@@ -1,0 +1,75 @@
+//! Criterion benches for the design-choice ablations called out in
+//! DESIGN.md: SSN width (wrap-drain frequency), FSP training ratio,
+//! re-execution port pressure, the ordering-detection substrate
+//! (SVW re-execution vs a conventional LQ CAM), the Store Sets
+//! formulation, and path-qualified FSP indexing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqip_bench::{shrink, sim_with};
+use sqip_core::{OrderingMode, SimConfig, SqDesign};
+use sqip_predictors::TrainRatio;
+use sqip_workloads::by_name;
+
+fn bench(c: &mut Criterion) {
+    let spec = shrink(by_name("eon.c").expect("exists"), 300);
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    for bits in [10u32, 16] {
+        g.bench_function(format!("eon.c/ssn-bits-{bits}"), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+                cfg.ssn_bits = bits;
+                std::hint::black_box(sim_with(&spec, cfg))
+            })
+        });
+    }
+    for (p, n) in [(1u8, 1u8), (8, 1)] {
+        g.bench_function(format!("eon.c/fsp-ratio-{p}to{n}"), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+                cfg.fsp.ratio = TrainRatio::new(p, n);
+                std::hint::black_box(sim_with(&spec, cfg))
+            })
+        });
+    }
+    for ports in [1usize, 2] {
+        g.bench_function(format!("eon.c/reexec-ports-{ports}"), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+                cfg.reexec_ports = ports;
+                std::hint::black_box(sim_with(&spec, cfg))
+            })
+        });
+    }
+    for (label, ordering) in [("svw", OrderingMode::SvwReexecution), ("lqcam", OrderingMode::LqCam)] {
+        g.bench_function(format!("eon.c/ordering-{label}"), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::with_design(SqDesign::Associative3);
+                cfg.ordering = ordering;
+                std::hint::black_box(sim_with(&spec, cfg))
+            })
+        });
+    }
+    for (label, design) in [
+        ("original", SqDesign::Associative3StoreSets),
+        ("reformulated", SqDesign::Associative3),
+    ] {
+        g.bench_function(format!("eon.c/storesets-{label}"), |b| {
+            b.iter(|| std::hint::black_box(sim_with(&spec, SimConfig::with_design(design))))
+        });
+    }
+    for path_bits in [0u32, 4] {
+        g.bench_function(format!("eon.c/fsp-path-bits-{path_bits}"), |b| {
+            b.iter(|| {
+                let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+                cfg.fsp.path_bits = path_bits;
+                std::hint::black_box(sim_with(&spec, cfg))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

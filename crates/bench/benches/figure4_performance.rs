@@ -1,0 +1,22 @@
+//! Criterion bench for the Figure 4 regenerator: one workload under every
+//! store-queue design (shrunk gzip).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqip_bench::{shrink, sim};
+use sqip_core::SqDesign;
+use sqip_workloads::by_name;
+
+fn bench(c: &mut Criterion) {
+    let spec = shrink(by_name("gzip").expect("exists"), 300);
+    let mut g = c.benchmark_group("figure4");
+    g.sample_size(10);
+    for design in SqDesign::ALL {
+        g.bench_function(format!("gzip/{design}"), |b| {
+            b.iter(|| std::hint::black_box(sim(&spec, design)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

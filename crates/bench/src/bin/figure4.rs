@@ -1,0 +1,90 @@
+//! Regenerates the paper's **Figure 4**: execution times of five store
+//! queue configurations relative to an ideal 3-cycle associative SQ with
+//! oracle load scheduling, per benchmark and as per-suite geometric means.
+//!
+//! ```text
+//! cargo run --release -p sqip-bench --bin figure4 [-- <benchmark> ...]
+//! ```
+
+use sqip_bench::{geomean, sim};
+use sqip_core::SqDesign;
+use sqip_workloads::{all_workloads, Suite, WorkloadSpec};
+
+const DESIGNS: [SqDesign; 5] = [
+    SqDesign::Associative3,
+    SqDesign::Associative5Replay,
+    SqDesign::Associative5FwdPred,
+    SqDesign::Indexed3Fwd,
+    SqDesign::Indexed3FwdDly,
+];
+
+struct Row {
+    name: &'static str,
+    suite: Suite,
+    baseline_ipc: f64,
+    /// Relative execution time per design (same order as `DESIGNS`).
+    relative: [f64; 5],
+}
+
+fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let workloads: Vec<WorkloadSpec> = all_workloads()
+        .into_iter()
+        .filter(|w| filter.is_empty() || filter.iter().any(|f| f == w.name))
+        .collect();
+
+    println!("Figure 4. Execution times relative to an ideal, 3-cycle");
+    println!("associative store queue with oracle load scheduling.\n");
+    println!(
+        "{:>10} {:>6} | {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "", "IPC", "assoc-3", "assoc-5r", "assoc-5f", "idx-fwd", "idx-f+d"
+    );
+    println!("{}", "-".repeat(66));
+
+    let mut rows = Vec::new();
+    for spec in &workloads {
+        let baseline = sim(spec, SqDesign::IdealOracle);
+        let mut relative = [0.0; 5];
+        for (slot, design) in relative.iter_mut().zip(DESIGNS) {
+            let stats = sim(spec, design);
+            *slot = stats.cycles as f64 / baseline.cycles as f64;
+        }
+        let row = Row {
+            name: spec.name,
+            suite: spec.suite,
+            baseline_ipc: baseline.ipc(),
+            relative,
+        };
+        print_row(&row);
+        rows.push(row);
+    }
+
+    if filter.is_empty() {
+        println!("{}", "-".repeat(66));
+        for suite in [Suite::Media, Suite::Int, Suite::Fp] {
+            print_gmean(&format!("{suite}.gmean"), rows.iter().filter(|r| r.suite == suite));
+        }
+        print_gmean("All.gmean", rows.iter());
+    }
+}
+
+fn print_row(r: &Row) {
+    print!("{:>10} {:>6.2} |", r.name, r.baseline_ipc);
+    for v in r.relative {
+        print!(" {v:>8.3}");
+    }
+    println!();
+}
+
+fn print_gmean<'a>(label: &str, rows: impl Iterator<Item = &'a Row>) {
+    let rows: Vec<&Row> = rows.collect();
+    if rows.is_empty() {
+        return;
+    }
+    print!("{:>10} {:>6} |", label, "");
+    for i in 0..5 {
+        let g = geomean(rows.iter().map(|r| r.relative[i]));
+        print!(" {g:>8.3}");
+    }
+    println!();
+}

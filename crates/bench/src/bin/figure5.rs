@@ -1,0 +1,76 @@
+//! Regenerates the paper's **Figure 5**: performance sensitivity of the
+//! indexed store queue to (a) FSP/DDP capacity, (b) FSP associativity and
+//! (c) DDP training ratio, on the paper's nine selected benchmarks.
+//!
+//! ```text
+//! cargo run --release -p sqip-bench --bin figure5 -- capacity
+//! cargo run --release -p sqip-bench --bin figure5 -- associativity
+//! cargo run --release -p sqip-bench --bin figure5 -- ratio
+//! cargo run --release -p sqip-bench --bin figure5          # all three
+//! ```
+
+use sqip_bench::{sim, sim_with};
+use sqip_core::{SimConfig, SqDesign};
+use sqip_predictors::TrainRatio;
+use sqip_workloads::{by_name, WorkloadSpec, FIGURE5_WORKLOADS};
+
+fn main() {
+    let which: Vec<String> = std::env::args().skip(1).collect();
+    let all = which.is_empty();
+    let workloads: Vec<WorkloadSpec> = FIGURE5_WORKLOADS
+        .iter()
+        .map(|n| by_name(n).expect("figure 5 workload exists"))
+        .collect();
+
+    // Relative-time denominator: the ideal oracle baseline per workload.
+    let baselines: Vec<f64> = workloads
+        .iter()
+        .map(|w| sim(w, SqDesign::IdealOracle).cycles as f64)
+        .collect();
+
+    if all || which.iter().any(|a| a == "capacity") {
+        println!("Figure 5 (top): FSP/DDP capacity sweep (2-way), relative runtime\n");
+        sweep(&workloads, &baselines, &[512, 1024, 2048, 4096, 8192], |cfg, &cap| {
+            cfg.fsp.entries = cap;
+            cfg.ddp.entries = cap;
+        });
+    }
+    if all || which.iter().any(|a| a == "associativity") {
+        println!("\nFigure 5 (middle): FSP associativity sweep (4K entries), relative runtime\n");
+        sweep(&workloads, &baselines, &[1, 2, 4, 8, 32], |cfg, &ways| {
+            cfg.fsp.ways = ways;
+        });
+    }
+    if all || which.iter().any(|a| a == "ratio") {
+        println!("\nFigure 5 (bottom): DDP training ratio sweep, relative runtime\n");
+        let ratios = [(0u8, 1u8), (1, 1), (2, 1), (4, 1), (8, 1), (1, 0)];
+        sweep(&workloads, &baselines, &ratios, |cfg, &(p, n)| {
+            cfg.ddp.ratio = TrainRatio::new(p, n);
+            cfg.ddp.threshold = p.max(1);
+        });
+    }
+}
+
+fn sweep<P: std::fmt::Debug>(
+    workloads: &[WorkloadSpec],
+    baselines: &[f64],
+    points: &[P],
+    apply: impl Fn(&mut SimConfig, &P),
+) {
+    print!("{:>12} |", "config");
+    for w in workloads {
+        print!(" {:>8}", w.name);
+    }
+    println!();
+    println!("{}", "-".repeat(14 + 9 * workloads.len()));
+    for p in points {
+        print!("{:>12} |", format!("{p:?}"));
+        for (w, &base) in workloads.iter().zip(baselines) {
+            let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+            apply(&mut cfg, p);
+            let stats = sim_with(w, cfg);
+            print!(" {:>8.3}", stats.cycles as f64 / base);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,93 @@
+//! Regenerates the paper's **Table 3**: store-queue index prediction
+//! diagnostics — load forwarding rate, mis-forwardings per 1000 loads with
+//! forwarding prediction only (`Fwd`) and with delay prediction added
+//! (`Fwd+Dly`), the fraction of loads delayed, and the average delay.
+//!
+//! ```text
+//! cargo run --release -p sqip-bench --bin table3 [-- <benchmark> ...]
+//! ```
+
+use sqip_bench::sim;
+use sqip_core::SqDesign;
+use sqip_workloads::{all_workloads, Suite, WorkloadSpec};
+
+struct Row {
+    name: &'static str,
+    suite: Suite,
+    pct_fwd: f64,
+    fwd_mis: f64,
+    dly_mis: f64,
+    pct_dly: f64,
+    avg_dly: f64,
+}
+
+fn main() {
+    let filter: Vec<String> = std::env::args().skip(1).collect();
+    let workloads: Vec<WorkloadSpec> = all_workloads()
+        .into_iter()
+        .filter(|w| filter.is_empty() || filter.iter().any(|f| f == w.name))
+        .collect();
+
+    println!("Table 3. Store queue index prediction diagnostics.");
+    println!("Load forwarding rates, raw prediction accuracy, and improved");
+    println!("accuracy using delay prediction.\n");
+    println!(
+        "{:>10} {:>8} | {:>9} | {:>9} {:>7} {:>9}",
+        "", "%load", "Fwd", "Fwd+Dly", "", ""
+    );
+    println!(
+        "{:>10} {:>8} | {:>9} | {:>9} {:>7} {:>9}",
+        "", "forward", "mis/1000", "mis/1000", "%delay", "avg.dly"
+    );
+    println!("{}", "-".repeat(62));
+
+    let mut rows = Vec::new();
+    for spec in &workloads {
+        let fwd = sim(spec, SqDesign::Indexed3Fwd);
+        let dly = sim(spec, SqDesign::Indexed3FwdDly);
+        let row = Row {
+            name: spec.name,
+            suite: spec.suite,
+            pct_fwd: dly.pct_loads_forwarding(),
+            fwd_mis: fwd.mis_forwards_per_1000(),
+            dly_mis: dly.mis_forwards_per_1000(),
+            pct_dly: dly.pct_loads_delayed(),
+            avg_dly: dly.avg_delay_cycles(),
+        };
+        print_row(&row);
+        rows.push(row);
+    }
+
+    if filter.is_empty() {
+        println!("{}", "-".repeat(62));
+        for suite in [Suite::Media, Suite::Int, Suite::Fp] {
+            print_avg(&format!("{suite}.avg"), rows.iter().filter(|r| r.suite == suite));
+        }
+        print_avg("All.avg", rows.iter());
+    }
+}
+
+fn print_row(r: &Row) {
+    println!(
+        "{:>10} {:>8.1} | {:>9.1} | {:>9.1} {:>7.1} {:>9.1}",
+        r.name, r.pct_fwd, r.fwd_mis, r.dly_mis, r.pct_dly, r.avg_dly
+    );
+}
+
+fn print_avg<'a>(label: &str, rows: impl Iterator<Item = &'a Row>) {
+    let rows: Vec<&Row> = rows.collect();
+    let n = rows.len() as f64;
+    if n == 0.0 {
+        return;
+    }
+    let avg = |f: fn(&Row) -> f64| rows.iter().map(|r| f(r)).sum::<f64>() / n;
+    println!(
+        "{:>10} {:>8.1} | {:>9.1} | {:>9.1} {:>7.1} {:>9.1}",
+        label,
+        avg(|r| r.pct_fwd),
+        avg(|r| r.fwd_mis),
+        avg(|r| r.dly_mis),
+        avg(|r| r.pct_dly),
+        avg(|r| r.avg_dly)
+    );
+}

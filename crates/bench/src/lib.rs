@@ -1,0 +1,81 @@
+//! Shared experiment-harness utilities for the Table/Figure regenerators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sqip_core::{Processor, SimConfig, SimStats, SqDesign};
+use sqip_workloads::WorkloadSpec;
+
+/// Runs one workload under one SQ design with the paper's configuration.
+///
+/// # Panics
+///
+/// Panics if the workload fails to build/trace (generator bug).
+#[must_use]
+pub fn sim(spec: &WorkloadSpec, design: SqDesign) -> SimStats {
+    sim_with(spec, SimConfig::with_design(design))
+}
+
+/// Runs one workload under an arbitrary configuration.
+///
+/// # Panics
+///
+/// Panics if the workload fails to build/trace (generator bug).
+#[must_use]
+pub fn sim_with(spec: &WorkloadSpec, config: SimConfig) -> SimStats {
+    let trace = spec
+        .trace()
+        .unwrap_or_else(|e| panic!("workload {} failed to trace: {e}", spec.name));
+    Processor::new(config, &trace).run()
+}
+
+/// Geometric mean of a sequence of positive values (1.0 for empty input).
+#[must_use]
+pub fn geomean<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0u32;
+    for v in values {
+        assert!(v > 0.0, "geometric mean requires positive values");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        (log_sum / f64::from(n)).exp()
+    }
+}
+
+/// Shrinks a workload for quick Criterion runs (same mix, fewer
+/// iterations).
+#[must_use]
+pub fn shrink(mut spec: WorkloadSpec, iterations: u32) -> WorkloadSpec {
+    spec.iterations = iterations;
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean([]) - 1.0).abs() < 1e-12);
+        assert!((geomean([5.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        let _ = geomean([0.0]);
+    }
+
+    #[test]
+    fn shrink_preserves_mix() {
+        let w = sqip_workloads::by_name("gzip").unwrap();
+        let s = shrink(w.clone(), 100);
+        assert_eq!(s.iterations, 100);
+        assert_eq!(s.fwd_sites, w.fwd_sites);
+    }
+}

@@ -1,0 +1,141 @@
+//! A first-order analytic timing and energy model for store queues, cache
+//! banks and TLBs — the reproduction's substitute for CACTI 3.2, used to
+//! regenerate the paper's Table 2 (§4.2).
+//!
+//! # Model
+//!
+//! The model uses CACTI's structural decomposition with first-order RC
+//! delay terms:
+//!
+//! * **decoder** — log-depth: `d₁·log2(entries)`;
+//! * **bitline/matchline** — capacitance linear in the number of entries
+//!   hanging off the line: `d₂·entries`, scaled by a per-extra-port factor
+//!   (each port adds transistors and wire length);
+//! * **sense amp / drivers / compare** — constant.
+//!
+//! An **associative** SQ access is a CAM search (12-bit partial-address
+//! matchlines across all entries) followed by a data-array read; an
+//! **indexed** SQ access is a plain RAM read. The constants are calibrated
+//! against the anchor points the paper publishes (90nm, 1.1V, 3GHz) —
+//! absolute values are approximate by construction, but the *trends* (how
+//! associative search scales vs indexed access with capacity and ports)
+//! come from the model's structure, not from the calibration.
+//!
+//! # Example
+//!
+//! ```
+//! use sqip_cacti::{SqGeometry, TechParams};
+//!
+//! let tech = TechParams::default(); // 90nm, 3GHz
+//! let assoc = SqGeometry::associative(64, 2);
+//! let index = SqGeometry::indexed(64, 2);
+//! assert!(tech.sq_latency_ns(assoc) > tech.sq_latency_ns(index));
+//! assert_eq!(tech.sq_cycles(index), 2); // matches Table 2
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod energy;
+mod latency;
+
+pub use energy::sq_energy_pj;
+pub use latency::{CacheBankGeometry, SqGeometry, TechParams, TlbGeometry};
+
+/// One row of the regenerated Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// SQ entries.
+    pub entries: usize,
+    /// Associative latency, 1 load port (ns, cycles).
+    pub assoc_1p: (f64, u64),
+    /// Indexed latency, 1 load port.
+    pub index_1p: (f64, u64),
+    /// Associative latency, 2 load ports.
+    pub assoc_2p: (f64, u64),
+    /// Indexed latency, 2 load ports.
+    pub index_2p: (f64, u64),
+}
+
+/// Regenerates the SQ section of Table 2 for the standard capacities.
+#[must_use]
+pub fn table2_sq_rows(tech: &TechParams) -> Vec<Table2Row> {
+    [16, 32, 64, 128, 256]
+        .into_iter()
+        .map(|entries| {
+            let row = |geometry: SqGeometry| {
+                (tech.sq_latency_ns(geometry), tech.sq_cycles(geometry))
+            };
+            Table2Row {
+                entries,
+                assoc_1p: row(SqGeometry::associative(entries, 1)),
+                index_1p: row(SqGeometry::indexed(entries, 1)),
+                assoc_2p: row(SqGeometry::associative(entries, 2)),
+                index_2p: row(SqGeometry::indexed(entries, 2)),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_five_capacities() {
+        let rows = table2_sq_rows(&TechParams::default());
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].entries, 16);
+        assert_eq!(rows[4].entries, 256);
+    }
+
+    #[test]
+    fn indexed_always_beats_associative() {
+        for row in table2_sq_rows(&TechParams::default()) {
+            assert!(row.index_1p.0 < row.assoc_1p.0, "{row:?}");
+            assert!(row.index_2p.0 < row.assoc_2p.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn latency_grows_with_capacity_and_ports() {
+        let rows = table2_sq_rows(&TechParams::default());
+        for pair in rows.windows(2) {
+            assert!(pair[1].assoc_2p.0 > pair[0].assoc_2p.0);
+            assert!(pair[1].index_2p.0 > pair[0].index_2p.0);
+        }
+        for row in &rows {
+            assert!(row.assoc_2p.0 > row.assoc_1p.0);
+            assert!(row.index_2p.0 >= row.index_1p.0);
+        }
+    }
+
+    /// Every cycle count must be within ±1 cycle of the paper's Table 2.
+    #[test]
+    fn cycles_track_the_papers_anchors() {
+        let paper: [(usize, u64, u64, u64, u64); 5] = [
+            // entries, assoc 1p, index 1p, assoc 2p, index 2p
+            (16, 3, 2, 3, 2),
+            (32, 4, 2, 4, 2),
+            (64, 4, 2, 5, 2),
+            (128, 5, 2, 5, 3),
+            (256, 6, 3, 6, 3),
+        ];
+        for ((entries, a1, i1, a2, i2), row) in
+            paper.into_iter().zip(table2_sq_rows(&TechParams::default()))
+        {
+            assert_eq!(row.entries, entries);
+            for (got, want, what) in [
+                (row.assoc_1p.1, a1, "assoc 1p"),
+                (row.index_1p.1, i1, "index 1p"),
+                (row.assoc_2p.1, a2, "assoc 2p"),
+                (row.index_2p.1, i2, "index 2p"),
+            ] {
+                assert!(
+                    got.abs_diff(want) <= 1,
+                    "{entries}-entry {what}: {got} cycles vs paper {want}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Simulator configuration: the paper's §4.1 machine, with every knob the
+//! evaluation sweeps exposed.
+
+use sqip_mem::HierarchyConfig;
+use sqip_predictors::{BranchConfig, DdpConfig, FspConfig, StoreSetsConfig};
+
+/// Which store-queue design (and load scheduling discipline) the processor
+/// uses — the five configurations of Figure 4 plus the idealised baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqDesign {
+    /// Associative SQ, 3-cycle (= data cache) latency, *oracle* load
+    /// scheduling: each load waits exactly for its architectural producing
+    /// store and never violates. Figure 4's denominator.
+    IdealOracle,
+    /// Associative SQ, 3-cycle latency, **original** Store Sets (SSIT/LFST)
+    /// scheduling — Table 1's "preceding proposals" configuration. Differs
+    /// from the reformulation in representing unbounded store dependences
+    /// per load while serialising all stores within a set.
+    Associative3StoreSets,
+    /// Associative SQ, 3-cycle latency, reformulated Store Sets (FSP/SAT)
+    /// scheduling. Figure 4's `associative-3`.
+    Associative3,
+    /// Associative SQ, 5-cycle latency; the scheduler optimistically
+    /// assumes 3-cycle loads, so forwarded loads trigger dependent
+    /// replays. Top (striped) part of Figure 4's `associative-5` stack.
+    Associative5Replay,
+    /// Associative SQ, 5-cycle latency; the FSP predicts which loads will
+    /// forward, and their dependents are scheduled at SQ latency, avoiding
+    /// most replays. Bottom part of Figure 4's `associative-5` stack.
+    Associative5FwdPred,
+    /// The paper's speculative indexed SQ, 3-cycle latency, forwarding
+    /// index prediction only (`indexed-3-fwd`).
+    Indexed3Fwd,
+    /// The paper's full design: indexed SQ with forwarding *and* delay
+    /// index prediction (`indexed-3-fwd+dly`).
+    Indexed3FwdDly,
+}
+
+impl SqDesign {
+    /// All designs, in Figure 4's left-to-right order.
+    pub const ALL: [SqDesign; 7] = [
+        SqDesign::IdealOracle,
+        SqDesign::Associative3StoreSets,
+        SqDesign::Associative3,
+        SqDesign::Associative5Replay,
+        SqDesign::Associative5FwdPred,
+        SqDesign::Indexed3Fwd,
+        SqDesign::Indexed3FwdDly,
+    ];
+
+    /// Whether loads access the SQ by predicted index (vs associatively).
+    #[must_use]
+    pub fn is_indexed(self) -> bool {
+        matches!(self, SqDesign::Indexed3Fwd | SqDesign::Indexed3FwdDly)
+    }
+
+    /// Whether the delay index predictor (DDP) is active.
+    #[must_use]
+    pub fn uses_delay(self) -> bool {
+        self == SqDesign::Indexed3FwdDly
+    }
+
+    /// Whether load scheduling is oracle (no dependence predictor).
+    #[must_use]
+    pub fn is_oracle(self) -> bool {
+        self == SqDesign::IdealOracle
+    }
+
+    /// Whether scheduling uses the original SSIT/LFST Store Sets predictor
+    /// instead of the paper's FSP/SAT reformulation.
+    #[must_use]
+    pub fn uses_original_store_sets(self) -> bool {
+        self == SqDesign::Associative3StoreSets
+    }
+
+    /// SQ access latency in cycles for forwarded loads.
+    #[must_use]
+    pub fn sq_latency(self) -> u64 {
+        match self {
+            SqDesign::Associative5Replay | SqDesign::Associative5FwdPred => 5,
+            _ => 3,
+        }
+    }
+
+    /// Whether dependents of predicted-forwarding loads are scheduled at
+    /// SQ latency (the "forwarding prediction" latency hybrid of §4.2).
+    #[must_use]
+    pub fn predicts_forward_latency(self) -> bool {
+        self == SqDesign::Associative5FwdPred
+    }
+
+    /// The label used in Figure 4 and throughout the harness output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SqDesign::IdealOracle => "ideal-oracle",
+            SqDesign::Associative3StoreSets => "associative-3-storesets",
+            SqDesign::Associative3 => "associative-3",
+            SqDesign::Associative5Replay => "associative-5-replay",
+            SqDesign::Associative5FwdPred => "associative-5-fwdpred",
+            SqDesign::Indexed3Fwd => "indexed-3-fwd",
+            SqDesign::Indexed3FwdDly => "indexed-3-fwd+dly",
+        }
+    }
+}
+
+impl std::fmt::Display for SqDesign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// How memory-ordering violations (and forwarding mis-speculation) are
+/// detected — the two schemes §2 of the paper contrasts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderingMode {
+    /// SVW-filtered in-order pre-commit load re-execution (the paper's
+    /// mechanism, required by the indexed SQ designs: it detects *value*
+    /// errors, including forwarding from the wrong SQ entry).
+    SvwReexecution,
+    /// A conventional associative load queue: each executing store searches
+    /// the LQ for younger already-executed loads to an overlapping address
+    /// and flushes on a match. Timing-precise but blind to wrong-entry
+    /// forwarding, so it is only sound for associative SQ designs.
+    LqCam,
+}
+
+/// Per-class execution latencies in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpLatencies {
+    /// Simple integer ALU.
+    pub int_alu: u64,
+    /// Integer multiply.
+    pub int_mul: u64,
+    /// FP add/sub.
+    pub fp_add: u64,
+    /// FP multiply.
+    pub fp_mul: u64,
+    /// FP divide.
+    pub fp_div: u64,
+    /// Branch resolution.
+    pub branch: u64,
+}
+
+impl Default for OpLatencies {
+    fn default() -> OpLatencies {
+        OpLatencies {
+            int_alu: 1,
+            int_mul: 3,
+            fp_add: 4,
+            fp_mul: 4,
+            fp_div: 12,
+            branch: 1,
+        }
+    }
+}
+
+/// Per-cycle issue-port limits (the paper's mix: 6 int, 4 FP, 1 branch,
+/// 2 store, 2 load, 8 total).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueMix {
+    /// Total instructions issued per cycle.
+    pub total: usize,
+    /// Integer ops (ALU + multiply).
+    pub int: usize,
+    /// FP ops.
+    pub fp: usize,
+    /// Branches.
+    pub branch: usize,
+    /// Loads.
+    pub load: usize,
+    /// Stores.
+    pub store: usize,
+}
+
+impl Default for IssueMix {
+    fn default() -> IssueMix {
+        IssueMix {
+            total: 8,
+            int: 6,
+            fp: 4,
+            branch: 1,
+            load: 2,
+            store: 2,
+        }
+    }
+}
+
+/// The full machine configuration (defaults reproduce §4.1).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Store-queue design under test.
+    pub design: SqDesign,
+    /// Memory-ordering detection scheme.
+    pub ordering: OrderingMode,
+    /// Reorder buffer entries (512).
+    pub rob_size: usize,
+    /// Issue queue entries (300).
+    pub iq_size: usize,
+    /// Load queue entries (128).
+    pub lq_size: usize,
+    /// Store queue entries (64).
+    pub sq_size: usize,
+    /// Fetch width (12, past a single taken branch).
+    pub fetch_width: usize,
+    /// Decode/rename width (8).
+    pub rename_width: usize,
+    /// Commit width (8).
+    pub commit_width: usize,
+    /// Issue-port mix.
+    pub issue: IssueMix,
+    /// Cycles from fetch to rename-eligible (3 fetch + 2 decode + 2 rename).
+    pub front_latency: u64,
+    /// Cycles from issue selection to execute (2 schedule + 3 register read).
+    pub issue_to_exec: u64,
+    /// Pipeline depth between completion and commit-eligibility
+    /// (1 SVW + 3 re-execute stages).
+    pub post_exec_depth: u64,
+    /// Re-execution data-cache ports (re-executions per cycle).
+    pub reexec_ports: usize,
+    /// Execution latencies.
+    pub latencies: OpLatencies,
+    /// Memory hierarchy.
+    pub hierarchy: HierarchyConfig,
+    /// Branch predictor.
+    pub branch: BranchConfig,
+    /// Forwarding store predictor.
+    pub fsp: FspConfig,
+    /// Delay distance predictor.
+    pub ddp: DdpConfig,
+    /// Original Store Sets predictor (used only by
+    /// [`SqDesign::Associative3StoreSets`]).
+    pub store_sets: StoreSetsConfig,
+    /// Store alias table entries (256).
+    pub sat_entries: usize,
+    /// Store sequence Bloom filter entries (2K, byte granularity).
+    pub ssbf_entries: usize,
+    /// Store PC table entries (2K, byte granularity).
+    pub spct_entries: usize,
+    /// Hardware SSN width in bits (16): renaming a store whose SSN wraps
+    /// drains the pipeline and clears all SSN-holding structures.
+    pub ssn_bits: u32,
+}
+
+impl SimConfig {
+    /// The paper's configuration with the given SQ design.
+    #[must_use]
+    pub fn with_design(design: SqDesign) -> SimConfig {
+        let mut ddp = DdpConfig::default();
+        ddp.max_distance = 64; // = SQ size
+        SimConfig {
+            design,
+            ordering: OrderingMode::SvwReexecution,
+            rob_size: 512,
+            iq_size: 300,
+            lq_size: 128,
+            sq_size: 64,
+            fetch_width: 12,
+            rename_width: 8,
+            commit_width: 8,
+            issue: IssueMix::default(),
+            front_latency: 7,
+            issue_to_exec: 5,
+            post_exec_depth: 4,
+            reexec_ports: 2,
+            latencies: OpLatencies::default(),
+            hierarchy: HierarchyConfig::default(),
+            branch: BranchConfig::default(),
+            fsp: FspConfig::default(),
+            ddp,
+            store_sets: StoreSetsConfig::default(),
+            sat_entries: 256,
+            ssbf_entries: 2048,
+            spct_entries: 2048,
+            ssn_bits: 16,
+        }
+    }
+
+    /// Validates cross-structure invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (e.g. DDP max distance
+    /// differing from SQ size, zero widths).
+    pub fn validate(&self) {
+        assert!(self.rob_size > 0 && self.sq_size > 0 && self.lq_size > 0);
+        assert!(self.fetch_width > 0 && self.rename_width > 0 && self.commit_width > 0);
+        assert_eq!(
+            self.ddp.max_distance as usize, self.sq_size,
+            "DDP distances are bounded by SQ size (\u{2308}log2(SQ.size)\u{2309} bits)"
+        );
+        assert!(self.ssn_bits >= 8, "SSN width must cover the SQ");
+        assert!(
+            !(self.ordering == OrderingMode::LqCam && self.design.is_indexed()),
+            "an LQ CAM cannot detect wrong-entry forwarding; indexed designs \
+             require value-based re-execution (the paper's §2 argument)"
+        );
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig::with_design(SqDesign::Indexed3FwdDly)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_properties() {
+        assert!(SqDesign::Indexed3FwdDly.is_indexed());
+        assert!(SqDesign::Indexed3FwdDly.uses_delay());
+        assert!(!SqDesign::Indexed3Fwd.uses_delay());
+        assert!(!SqDesign::Associative3.is_indexed());
+        assert_eq!(SqDesign::Associative5Replay.sq_latency(), 5);
+        assert_eq!(SqDesign::Indexed3Fwd.sq_latency(), 3);
+        assert!(SqDesign::IdealOracle.is_oracle());
+        assert!(SqDesign::Associative5FwdPred.predicts_forward_latency());
+    }
+
+    #[test]
+    fn default_config_is_paper_machine() {
+        let c = SimConfig::default();
+        c.validate();
+        assert_eq!(c.rob_size, 512);
+        assert_eq!(c.iq_size, 300);
+        assert_eq!(c.lq_size, 128);
+        assert_eq!(c.sq_size, 64);
+        assert_eq!(c.fetch_width, 12);
+        assert_eq!(c.issue.total, 8);
+        assert_eq!(c.fsp.entries, 4096);
+        assert_eq!(c.ssbf_entries, 2048);
+        assert_eq!(c.ssn_bits, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounded by SQ size")]
+    fn validate_catches_ddp_sq_mismatch() {
+        let mut c = SimConfig::default();
+        c.sq_size = 32;
+        c.validate();
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            SqDesign::ALL.iter().map(|d| d.label()).collect();
+        assert_eq!(labels.len(), SqDesign::ALL.len());
+    }
+
+    #[test]
+    fn original_store_sets_is_an_associative_design() {
+        let d = SqDesign::Associative3StoreSets;
+        assert!(d.uses_original_store_sets());
+        assert!(!d.is_indexed());
+        assert!(!d.uses_delay());
+        assert_eq!(d.sq_latency(), 3);
+    }
+
+    #[test]
+    fn lq_cam_is_valid_for_associative_designs() {
+        let mut c = SimConfig::with_design(SqDesign::Associative3);
+        c.ordering = OrderingMode::LqCam;
+        c.validate(); // must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong-entry forwarding")]
+    fn lq_cam_is_rejected_for_indexed_designs() {
+        let mut c = SimConfig::with_design(SqDesign::Indexed3Fwd);
+        c.ordering = OrderingMode::LqCam;
+        c.validate();
+    }
+}

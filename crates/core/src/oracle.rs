@@ -1,0 +1,182 @@
+//! Architectural (oracle) dependence analysis over a golden trace.
+//!
+//! A preprocessing pass computes, for every dynamic load, the youngest
+//! older store that wrote any of its bytes. The `IdealOracle` configuration
+//! schedules loads with this information (perfect, violation-free
+//! scheduling — the paper's idealised baseline), and the statistics use it
+//! to report the architectural load forwarding rate of Table 3's first
+//! column.
+
+use std::collections::HashMap;
+
+use sqip_isa::Trace;
+use sqip_types::Seq;
+
+/// The architectural forwarding source of one dynamic load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleFwd {
+    /// Sequence number of the producing store (youngest older store whose
+    /// span overlaps the load's).
+    pub store_seq: Seq,
+    /// Whether the store's span fully covers the load (single-entry
+    /// forwarding is possible); `false` means a partial overlap.
+    pub covers: bool,
+    /// Distance in dynamic stores: 0 means the immediately preceding
+    /// store, `d` means `d` stores intervene between producer and load.
+    pub store_dist: u64,
+}
+
+/// Per-record oracle forwarding info (`None` for non-loads and for loads
+/// whose bytes were never written by a traced store).
+#[derive(Debug, Clone)]
+pub struct OracleInfo {
+    per_record: Vec<Option<OracleFwd>>,
+}
+
+impl OracleInfo {
+    /// Analyses a trace.
+    #[must_use]
+    pub fn analyze(trace: &Trace) -> OracleInfo {
+        // Byte address -> (store seq, store ordinal) of last writer.
+        let mut last_writer: HashMap<u64, (Seq, u64)> = HashMap::new();
+        let mut store_count: u64 = 0;
+        let mut per_record = Vec::with_capacity(trace.len());
+
+        for r in trace.records() {
+            let mut info = None;
+            if r.is_store() {
+                store_count += 1;
+                for b in r.mem_addr().span(r.size).byte_addrs() {
+                    last_writer.insert(b.0, (r.seq, store_count));
+                }
+            } else if r.is_load() {
+                let load_span = r.mem_addr().span(r.size);
+                let newest = load_span
+                    .byte_addrs()
+                    .filter_map(|b| last_writer.get(&b.0).copied())
+                    .max_by_key(|&(_, ord)| ord);
+                if let Some((store_seq, ord)) = newest {
+                    // Covered iff the youngest overlapping store wrote every
+                    // byte of the load.
+                    let covers = load_span
+                        .byte_addrs()
+                        .all(|b| last_writer.get(&b.0).is_some_and(|&(s, _)| s == store_seq));
+                    info = Some(OracleFwd {
+                        store_seq,
+                        covers,
+                        store_dist: store_count - ord,
+                    });
+                }
+            }
+            per_record.push(info);
+        }
+        OracleInfo { per_record }
+    }
+
+    /// Oracle info for the dynamic instruction at `seq`.
+    #[must_use]
+    pub fn fwd(&self, seq: Seq) -> Option<OracleFwd> {
+        self.per_record.get(seq.0 as usize).copied().flatten()
+    }
+
+    /// Fraction of dynamic loads whose producer is within `window` dynamic
+    /// stores (and fully covers them) — the structural forwarding rate.
+    #[must_use]
+    pub fn forwarding_rate(&self, trace: &Trace, window: u64) -> f64 {
+        if trace.dynamic_loads() == 0 {
+            return 0.0;
+        }
+        let n = self
+            .per_record
+            .iter()
+            .flatten()
+            .filter(|f| f.store_dist < window)
+            .count();
+        n as f64 / trace.dynamic_loads() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqip_isa::{trace_program, ProgramBuilder, Reg};
+    use sqip_types::DataSize;
+
+    #[test]
+    fn finds_adjacent_producer() {
+        let mut b = ProgramBuilder::new();
+        let (v, t) = (Reg::new(1), Reg::new(2));
+        b.load_imm(v, 7);
+        b.store(DataSize::Quad, v, Reg::ZERO, 0x100); // seq 1
+        b.load(DataSize::Quad, t, Reg::ZERO, 0x100); // seq 2
+        b.halt();
+        let trace = trace_program(&b.build().unwrap(), 100).unwrap();
+        let oracle = OracleInfo::analyze(&trace);
+        let f = oracle.fwd(Seq(2)).unwrap();
+        assert_eq!(f.store_seq, Seq(1));
+        assert!(f.covers);
+        assert_eq!(f.store_dist, 0);
+        assert_eq!(oracle.fwd(Seq(0)), None, "non-loads have no info");
+    }
+
+    #[test]
+    fn distance_counts_intervening_stores() {
+        let mut b = ProgramBuilder::new();
+        let (v, t) = (Reg::new(1), Reg::new(2));
+        b.load_imm(v, 7);
+        b.store(DataSize::Quad, v, Reg::ZERO, 0x100); // producer
+        b.store(DataSize::Quad, v, Reg::ZERO, 0x200);
+        b.store(DataSize::Quad, v, Reg::ZERO, 0x300);
+        b.load(DataSize::Quad, t, Reg::ZERO, 0x100); // seq 4
+        b.halt();
+        let trace = trace_program(&b.build().unwrap(), 100).unwrap();
+        let oracle = OracleInfo::analyze(&trace);
+        let f = oracle.fwd(Seq(4)).unwrap();
+        assert_eq!(f.store_dist, 2, "two stores intervene");
+        assert_eq!(f.store_seq, Seq(1));
+    }
+
+    #[test]
+    fn partial_coverage_detected() {
+        let mut b = ProgramBuilder::new();
+        let (v, t) = (Reg::new(1), Reg::new(2));
+        b.load_imm(v, 7);
+        b.store(DataSize::Word, v, Reg::ZERO, 0x100); // writes [0x100,0x104)
+        b.store(DataSize::Word, v, Reg::ZERO, 0x104); // writes [0x104,0x108)
+        b.load(DataSize::Quad, t, Reg::ZERO, 0x100); // needs both
+        b.halt();
+        let trace = trace_program(&b.build().unwrap(), 100).unwrap();
+        let oracle = OracleInfo::analyze(&trace);
+        let f = oracle.fwd(Seq(3)).unwrap();
+        assert_eq!(f.store_seq, Seq(2), "youngest overlapping store");
+        assert!(!f.covers, "no single store covers the quad load");
+    }
+
+    #[test]
+    fn untouched_address_has_no_producer() {
+        let mut b = ProgramBuilder::new();
+        b.load(DataSize::Quad, Reg::new(1), Reg::ZERO, 0x500);
+        b.halt();
+        let trace = trace_program(&b.build().unwrap(), 100).unwrap();
+        let oracle = OracleInfo::analyze(&trace);
+        assert_eq!(oracle.fwd(Seq(0)), None);
+        assert_eq!(oracle.forwarding_rate(&trace, 64), 0.0);
+    }
+
+    #[test]
+    fn forwarding_rate_respects_window() {
+        let mut b = ProgramBuilder::new();
+        let (v, t) = (Reg::new(1), Reg::new(2));
+        b.load_imm(v, 7);
+        b.store(DataSize::Quad, v, Reg::ZERO, 0x100);
+        for i in 0..4 {
+            b.store(DataSize::Quad, v, Reg::ZERO, 0x200 + 8 * i);
+        }
+        b.load(DataSize::Quad, t, Reg::ZERO, 0x100); // dist 4
+        b.halt();
+        let trace = trace_program(&b.build().unwrap(), 100).unwrap();
+        let oracle = OracleInfo::analyze(&trace);
+        assert_eq!(oracle.forwarding_rate(&trace, 64), 1.0);
+        assert_eq!(oracle.forwarding_rate(&trace, 4), 0.0, "window too small");
+    }
+}

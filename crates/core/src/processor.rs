@@ -1,0 +1,1748 @@
+//! The cycle-level out-of-order processor model.
+//!
+//! A 19-stage, 8-way machine driven by a golden trace (oracle control-flow
+//! path, architectural addresses) that recomputes *values* speculatively
+//! through the modelled dataflow. Store-load forwarding — the subject of
+//! the paper — is simulated exactly: loads obtain values from the store
+//! queue (associatively or by predicted index, per [`SqDesign`]) or from
+//! committed memory, wrong values propagate to dependents, and SVW-filtered
+//! pre-commit re-execution catches mis-speculations and flushes.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeMap, BTreeSet, HashMap};
+
+use sqip_isa::{Op, OpClass, Trace, TraceRecord};
+use sqip_mem::{Hierarchy, MemImage};
+use sqip_predictors::{BranchPredictor, Ddp, Fsp, Sat, Spct, Ssbf, StoreSets};
+use sqip_queues::{LoadQueue, SqSearch, StoreQueue, Window};
+use sqip_types::{Seq, Ssn};
+
+use crate::config::{OrderingMode, SimConfig};
+use crate::dyninst::{DynInst, InstState, Operand};
+use crate::oracle::OracleInfo;
+use crate::stats::SimStats;
+
+const NOT_READY: u64 = u64::MAX;
+/// Cycles without a commit after which the simulator declares deadlock.
+const WATCHDOG_CYCLES: u64 = 500_000;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EvKind {
+    /// Wakeup broadcast: consumers of this producer may now issue.
+    Broadcast,
+    /// Targeted wake of one waiting instruction (replay re-wake).
+    Wake,
+    /// Speculative wake of loads gated on a store's execution (key is the
+    /// store's SSN). Fired one cycle after the store issues, so that a
+    /// dependent load's SQ access lines up right behind the store's SQ
+    /// write; loads that arrive early (the store replayed) replay too.
+    StoreWake,
+    /// The instruction reaches its execute stage.
+    Exec,
+}
+
+/// The simulator.
+///
+/// Build one per (configuration, trace) pair and call [`Processor::run`].
+///
+/// # Example
+///
+/// ```
+/// use sqip_core::{Processor, SimConfig, SqDesign};
+/// use sqip_isa::{trace_program, ProgramBuilder, Reg};
+/// use sqip_types::DataSize;
+///
+/// let mut b = ProgramBuilder::new();
+/// let (v, t) = (Reg::new(1), Reg::new(2));
+/// b.load_imm(v, 7);
+/// b.store(DataSize::Quad, v, Reg::ZERO, 0x100);
+/// b.load(DataSize::Quad, t, Reg::ZERO, 0x100);
+/// b.halt();
+/// let trace = trace_program(&b.build()?, 100)?;
+///
+/// let stats = Processor::new(SimConfig::with_design(SqDesign::Indexed3FwdDly), &trace).run();
+/// assert_eq!(stats.committed, trace.len() as u64);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Processor<'t> {
+    cfg: SimConfig,
+    trace: &'t Trace,
+    oracle: OracleInfo,
+
+    cycle: u64,
+    incarnation: u64,
+    last_commit_cycle: u64,
+
+    // ---- front end ----
+    fetch_idx: usize,
+    fetch_stall_until: u64,
+    /// Mispredicted branch whose resolution fetch is waiting for.
+    pending_redirect: Option<Seq>,
+    /// Fetched instructions awaiting rename: (seq, rename-eligible cycle,
+    /// fetch-time path history snapshot).
+    front_q: std::collections::VecDeque<(Seq, u64, u64)>,
+    /// Branch-outcome path history at fetch (for path-qualified FSP).
+    path_history: u64,
+
+    // ---- rename ----
+    ssn_ren: Ssn,
+    rename_map: [Option<Seq>; sqip_isa::NUM_REGS],
+    committed_regs: [u64; sqip_isa::NUM_REGS],
+    /// Waiting for the ROB to drain before wrapping the SSN space.
+    draining_for_wrap: bool,
+
+    // ---- backend ----
+    rob: Window<Seq>,
+    insts: HashMap<u64, DynInst>,
+    iq_count: usize,
+    ready_q: BTreeSet<u64>,
+    events: BinaryHeap<Reverse<(u64, EvKind, u64, u64)>>,
+    /// Producer seq -> consumers waiting for its wakeup broadcast.
+    wake_on_value: HashMap<u64, Vec<u64>>,
+    /// Store SSN -> loads waiting for it to execute (forwarding dependence).
+    /// Drained speculatively when the store issues (StoreWake).
+    wake_on_store_exec: HashMap<u64, Vec<u64>>,
+    /// Store SSN -> loads that already replayed once chasing this store;
+    /// drained only when the store actually executes (no more speculative
+    /// wakes, breaking replay cascades).
+    wake_on_store_exec_strict: HashMap<u64, Vec<u64>>,
+    /// Store SSN -> loads waiting for it to commit (delay / partial hit).
+    wake_on_store_commit: BTreeMap<u64, Vec<u64>>,
+
+    // ---- dense per-seq value state (survives commit, reset on squash) ----
+    spec_value: Vec<u64>,
+    value_ready: Vec<u64>,
+    wake_time: Vec<u64>,
+
+    // ---- memory system ----
+    sq: StoreQueue,
+    lq: LoadQueue,
+    hierarchy: Hierarchy,
+    commit_mem: MemImage,
+    ssn_cmt: Ssn,
+
+    // ---- predictors ----
+    bp: BranchPredictor,
+    fsp: Fsp,
+    sat: Sat,
+    ddp: Ddp,
+    ssbf: Ssbf,
+    spct: Spct,
+    store_sets: StoreSets,
+
+    stats: SimStats,
+}
+
+impl<'t> Processor<'t> {
+    /// Builds a processor for one run over `trace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`SimConfig::validate`]).
+    #[must_use]
+    pub fn new(cfg: SimConfig, trace: &'t Trace) -> Processor<'t> {
+        cfg.validate();
+        let n = trace.len() + 1;
+        Processor {
+            oracle: OracleInfo::analyze(trace),
+            cycle: 0,
+            incarnation: 0,
+            last_commit_cycle: 0,
+            fetch_idx: 0,
+            fetch_stall_until: 0,
+            pending_redirect: None,
+            front_q: std::collections::VecDeque::new(),
+            path_history: 0,
+            ssn_ren: Ssn::NONE,
+            rename_map: [None; sqip_isa::NUM_REGS],
+            committed_regs: [0; sqip_isa::NUM_REGS],
+            draining_for_wrap: false,
+            rob: Window::new(cfg.rob_size),
+            insts: HashMap::new(),
+            iq_count: 0,
+            ready_q: BTreeSet::new(),
+            events: BinaryHeap::new(),
+            wake_on_value: HashMap::new(),
+            wake_on_store_exec: HashMap::new(),
+            wake_on_store_exec_strict: HashMap::new(),
+            wake_on_store_commit: BTreeMap::new(),
+            spec_value: vec![0; n],
+            value_ready: vec![NOT_READY; n],
+            wake_time: vec![NOT_READY; n],
+            sq: StoreQueue::new(cfg.sq_size),
+            lq: LoadQueue::new(cfg.lq_size),
+            hierarchy: Hierarchy::new(cfg.hierarchy),
+            commit_mem: MemImage::new(),
+            ssn_cmt: Ssn::NONE,
+            bp: BranchPredictor::new(cfg.branch),
+            fsp: Fsp::new(cfg.fsp),
+            sat: Sat::new(cfg.sat_entries),
+            ddp: Ddp::new(cfg.ddp),
+            ssbf: Ssbf::new(cfg.ssbf_entries),
+            spct: Spct::new(cfg.spct_entries),
+            store_sets: StoreSets::new(cfg.store_sets),
+            stats: SimStats::default(),
+            cfg,
+            trace,
+        }
+    }
+
+    /// Runs the trace to completion and returns the statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline deadlocks (no commit for a long time), which
+    /// indicates a simulator bug rather than a program property.
+    #[must_use]
+    pub fn run(mut self) -> SimStats {
+        while (self.stats.committed as usize) < self.trace.len() {
+            self.cycle += 1;
+            self.commit_stage();
+            self.process_events();
+            self.issue_stage();
+            self.rename_stage();
+            self.fetch_stage();
+            if self.cycle - self.last_commit_cycle >= WATCHDOG_CYCLES {
+                let head = self.rob.front().map(|&s| {
+                    let i = &self.insts[&s.0];
+                    format!(
+                        "head {} op={} state={:?} gates={} fwd={} dly={} wait_exec={:?} prev={} ssn_cmt={}",
+                        s.0,
+                        self.rec(s).op,
+                        i.state,
+                        i.gates,
+                        i.ssn_fwd,
+                        i.ssn_dly,
+                        i.wait_exec_ssn,
+                        i.prev_store_ssn,
+                        self.ssn_cmt
+                    )
+                });
+                panic!(
+                    "pipeline deadlock at cycle {} (committed {}, fetch_idx {}, rob {}, iq {}): {:?}",
+                    self.cycle,
+                    self.stats.committed,
+                    self.fetch_idx,
+                    self.rob.len(),
+                    self.iq_count,
+                    head,
+                );
+            }
+        }
+        self.stats.cycles = self.cycle;
+        self.stats.l1 = self.hierarchy.l1_stats();
+        self.stats.l2 = self.hierarchy.l2_stats();
+        self.stats.tlb = self.hierarchy.tlb_stats();
+        self.stats
+    }
+
+    fn rec(&self, seq: Seq) -> &TraceRecord {
+        &self.trace.records()[seq.0 as usize]
+    }
+
+    /// Pseudo-PC naming a store in the original Store Sets tables: derived
+    /// from the partial store PC so that SPCT-based violation training and
+    /// rename-time lookups agree.
+    fn store_pseudo_pc(&self, pc: sqip_types::Pc) -> sqip_types::Pc {
+        sqip_types::Pc::from_index(self.fsp.partial_store_pc(pc) as usize)
+    }
+
+    // ================================================================
+    // Fetch
+    // ================================================================
+
+    fn fetch_stage(&mut self) {
+        if self.cycle < self.fetch_stall_until || self.pending_redirect.is_some() {
+            return;
+        }
+        let mut budget = self.cfg.fetch_width;
+        let mut taken_seen = false;
+        let front_cap = self.cfg.fetch_width * 4;
+        while budget > 0 && self.fetch_idx < self.trace.len() && self.front_q.len() < front_cap {
+            let seq = Seq(self.fetch_idx as u64);
+            let rec = &self.trace.records()[self.fetch_idx];
+            let mispredicted = self.predict_branch(rec);
+            self.front_q
+                .push_back((seq, self.cycle + self.cfg.front_latency, self.path_history));
+            if rec.op.is_conditional() {
+                self.path_history = (self.path_history << 1) | u64::from(rec.taken);
+            }
+            self.fetch_idx += 1;
+            budget -= 1;
+            if mispredicted {
+                self.pending_redirect = Some(seq);
+                break;
+            }
+            if rec.taken {
+                if taken_seen {
+                    break; // at most one taken branch per fetch cycle
+                }
+                taken_seen = true;
+            }
+        }
+    }
+
+    /// Consults the branch predictor for a fetched record; returns whether
+    /// fetch must stall for resolution (misprediction).
+    ///
+    /// Tables and history are trained here, at fetch, rather than at
+    /// execute: with oracle-path fetch the outcome is already known, and
+    /// fetch-time training makes predictor accuracy a pure function of the
+    /// fetch sequence instead of execution timing, so store-queue designs
+    /// are compared under identical front-end behaviour.
+    fn predict_branch(&mut self, rec: &TraceRecord) -> bool {
+        match rec.op {
+            Op::BranchZ | Op::BranchNZ => {
+                let pred = self.bp.predict_conditional(rec.pc);
+                let mis = pred.taken != rec.taken; // direct targets resolve at decode
+                self.stats.branch_mispredicts += u64::from(mis);
+                self.bp.update(rec.pc, true, rec.taken, rec.next_pc);
+                mis
+            }
+            Op::Call => {
+                let _ = self.bp.predict_unconditional(rec.pc, true);
+                false
+            }
+            Op::Jump => false,
+            Op::Ret => {
+                let pred = self.bp.predict_return(rec.pc);
+                let mis = pred.target != Some(rec.next_pc);
+                self.stats.return_mispredicts += u64::from(mis);
+                mis
+            }
+            _ => false,
+        }
+    }
+
+    // ================================================================
+    // Rename
+    // ================================================================
+
+    fn rename_stage(&mut self) {
+        for _ in 0..self.cfg.rename_width {
+            let Some(&(seq, ready_at, path)) = self.front_q.front() else { break };
+            if ready_at > self.cycle || self.rob.is_full() || self.iq_count >= self.cfg.iq_size {
+                break;
+            }
+            let rec = *self.rec(seq);
+            if rec.is_load() && self.lq.is_full() {
+                break;
+            }
+            if rec.is_store() {
+                if self.sq.is_full() {
+                    break;
+                }
+                // SSN wrap-around: drain the pipeline, then clear every
+                // SSN-holding structure (§3.1).
+                if self.ssn_ren.next().low_bits(self.cfg.ssn_bits) == 0 || self.draining_for_wrap {
+                    if !self.rob.is_empty() {
+                        self.draining_for_wrap = true;
+                        break;
+                    }
+                    self.draining_for_wrap = false;
+                    self.ssbf.clear();
+                    self.spct.clear();
+                    self.sat.clear();
+                    self.stats.ssn_wraps += 1;
+                }
+            }
+            self.front_q.pop_front();
+            self.rename_one(seq, &rec, path);
+        }
+    }
+
+    fn rename_one(&mut self, seq: Seq, rec: &TraceRecord, path: u64) {
+        let mut inst = DynInst::new(seq, self.incarnation, self.ssn_ren);
+        inst.nondelay_ready = self.cycle;
+        inst.path = path;
+
+        // Resolve source operands against the rename map.
+        let mut gates = 0u32;
+        for (i, src) in rec.srcs.iter().enumerate() {
+            inst.srcs[i] = match src {
+                None => Operand::None,
+                Some(r) => match self.rename_map[r.index()] {
+                    Some(p) => {
+                        if self.wake_time[p.0 as usize] > self.cycle {
+                            gates += 1;
+                            self.wake_on_value.entry(p.0).or_default().push(seq.0);
+                        }
+                        Operand::InFlight(p)
+                    }
+                    None => Operand::Value(self.committed_regs[r.index()]),
+                },
+            };
+        }
+
+        if rec.is_store() {
+            self.ssn_ren = self.ssn_ren.next();
+            inst.my_ssn = self.ssn_ren;
+            self.sq
+                .allocate(inst.my_ssn, rec.pc)
+                .expect("SQ fullness checked before rename");
+            self.sat
+                .update(self.fsp.partial_store_pc(rec.pc), inst.my_ssn, seq);
+            if self.cfg.design.uses_original_store_sets() {
+                // In-set store serialisation: this store becomes the set's
+                // last-fetched store and orders behind its predecessor.
+                // Stores are named by the same partial-PC pseudo-PC used in
+                // violation training (the SPCT stores partial PCs).
+                let pseudo = self.store_pseudo_pc(rec.pc);
+                let pred = self.store_sets.rename_store(pseudo, inst.my_ssn);
+                if pred.is_in_flight(self.ssn_cmt) && !self.sq.is_executed(pred) {
+                    gates += 1;
+                    self.wake_on_store_exec.entry(pred.0).or_default().push(seq.0);
+                }
+            }
+        }
+
+        if rec.is_load() {
+            self.lq.allocate(seq, rec.pc).expect("LQ fullness checked before rename");
+            gates += self.attach_load_predictions(&mut inst, rec);
+        }
+
+        if let Some(d) = rec.dst {
+            self.rename_map[d.index()] = Some(seq);
+        }
+
+        inst.gates = gates;
+        inst.state = if gates == 0 { InstState::Ready } else { InstState::Waiting };
+        if gates == 0 {
+            self.ready_q.insert(seq.0);
+        }
+        self.iq_count += 1;
+        self.rob.push_back(seq).expect("ROB fullness checked before rename");
+        self.insts.insert(seq.0, inst);
+    }
+
+    /// Chained FSP/SAT access (or oracle information) plus DDP access for a
+    /// renaming load. Returns the number of scheduling gates added.
+    fn attach_load_predictions(&mut self, inst: &mut DynInst, rec: &TraceRecord) -> u32 {
+        let mut gates = 0;
+
+        if self.cfg.design.is_oracle() {
+            if let Some(f) = self.oracle.fwd(inst.seq) {
+                if let Some(store) = self.insts.get(&f.store_seq.0) {
+                    let ssn = store.my_ssn;
+                    if f.covers {
+                        inst.wait_exec_ssn = Some(ssn);
+                        if !self.sq.is_executed(ssn) {
+                            gates += 1;
+                            self.wake_on_store_exec.entry(ssn.0).or_default().push(inst.seq.0);
+                        }
+                    } else if ssn > self.ssn_cmt {
+                        // Partial coverage: wait for the store to commit.
+                        gates += 1;
+                        self.wake_on_store_commit.entry(ssn.0).or_default().push(inst.seq.0);
+                    }
+                }
+            }
+            return gates;
+        }
+
+        if self.cfg.design.uses_original_store_sets() {
+            // Original Store Sets: the load waits for the last fetched
+            // store of its set to execute.
+            let ssn = self.store_sets.rename_load(rec.pc);
+            if ssn.is_in_flight(self.ssn_cmt) {
+                inst.ssn_fwd = ssn;
+                inst.wait_exec_ssn = Some(ssn);
+                if !self.sq.is_executed(ssn) {
+                    gates += 1;
+                    self.wake_on_store_exec.entry(ssn.0).or_default().push(inst.seq.0);
+                }
+            }
+            return gates;
+        }
+
+        // Forwarding index prediction: FSP at decode, SAT at rename, keep
+        // the youngest in-flight SSN.
+        let mut best: Option<(u64, Ssn)> = None;
+        for pc in self.fsp.predict_with_path(rec.pc, inst.path) {
+            let ssn = self.sat.lookup(pc);
+            if ssn.is_in_flight(self.ssn_cmt) && best.map_or(true, |(_, b)| ssn > b) {
+                best = Some((pc, ssn));
+            }
+        }
+        if let Some((pc, ssn)) = best {
+            inst.pred_store_pc = Some(pc);
+            inst.ssn_fwd = ssn;
+            inst.wait_exec_ssn = Some(ssn);
+            if !self.sq.is_executed(ssn) {
+                gates += 1;
+                self.wake_on_store_exec.entry(ssn.0).or_default().push(inst.seq.0);
+            }
+        }
+
+        // Delay index prediction: SSNdly = SSNren − Ddly; the load waits
+        // until that store commits.
+        if self.cfg.design.uses_delay() {
+            if let Some(d) = self.ddp.predict(rec.pc) {
+                let ssn_dly = self.ssn_ren.minus(d);
+                inst.ssn_dly = ssn_dly;
+                if ssn_dly > self.ssn_cmt {
+                    gates += 1;
+                    inst.delay_gated = true;
+                    self.wake_on_store_commit.entry(ssn_dly.0).or_default().push(inst.seq.0);
+                }
+            }
+        }
+        gates
+    }
+
+    // ================================================================
+    // Issue
+    // ================================================================
+
+    fn issue_stage(&mut self) {
+        let mix = self.cfg.issue;
+        let (mut total, mut int, mut fp, mut br, mut ld, mut st) =
+            (mix.total, mix.int, mix.fp, mix.branch, mix.load, mix.store);
+        let mut issued = Vec::new();
+
+        for &seq in &self.ready_q {
+            if total == 0 {
+                break;
+            }
+            let class = self.trace.records()[seq as usize].op.class();
+            let port = match class {
+                OpClass::IntAlu | OpClass::IntMul | OpClass::None => &mut int,
+                OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => &mut fp,
+                OpClass::Branch => &mut br,
+                OpClass::Load => &mut ld,
+                OpClass::Store => &mut st,
+            };
+            if *port == 0 {
+                continue; // port conflict: skip, stay ready
+            }
+            *port -= 1;
+            total -= 1;
+            issued.push(seq);
+        }
+
+        for seq in issued {
+            self.ready_q.remove(&seq);
+            self.iq_count -= 1;
+            let (inc, my_ssn) = {
+                let inst = self.insts.get_mut(&seq).expect("ready inst in flight");
+                debug_assert_eq!(inst.state, InstState::Ready);
+                inst.state = InstState::Issued;
+                (inst.incarnation, inst.my_ssn)
+            };
+            let exec_at = self.cycle + self.cfg.issue_to_exec;
+            self.events.push(Reverse((exec_at, EvKind::Exec, seq, inc)));
+            if my_ssn.is_some() {
+                // Speculatively wake forwarding-gated loads behind this
+                // store so their SQ read chases its SQ write.
+                self.events.push(Reverse((self.cycle + 1, EvKind::StoreWake, my_ssn.0, inc)));
+            }
+
+            // Wakeup broadcast for register consumers, timed so a
+            // back-to-back dependent executes exactly when the value is
+            // predicted to be ready.
+            let rec = &self.trace.records()[seq as usize];
+            if rec.dst.is_some() {
+                let pred_latency = self.predicted_latency(rec, seq);
+                let broadcast_at = (exec_at + pred_latency)
+                    .saturating_sub(self.cfg.issue_to_exec)
+                    .max(self.cycle + 1);
+                self.wake_time[seq as usize] = broadcast_at;
+                self.events.push(Reverse((broadcast_at, EvKind::Broadcast, seq, inc)));
+            }
+        }
+    }
+
+    /// The latency the scheduler assumes for this instruction's value —
+    /// where the design-specific load-latency speculation policy lives.
+    fn predicted_latency(&self, rec: &TraceRecord, seq: u64) -> u64 {
+        let l = self.cfg.latencies;
+        match rec.op.class() {
+            OpClass::IntAlu | OpClass::None => l.int_alu,
+            OpClass::IntMul => l.int_mul,
+            OpClass::FpAdd => l.fp_add,
+            OpClass::FpMul => l.fp_mul,
+            OpClass::FpDiv => l.fp_div,
+            OpClass::Branch => l.branch,
+            OpClass::Store => 1,
+            OpClass::Load => {
+                let cache = self.cfg.hierarchy.l1.hit_latency;
+                if self.cfg.design.predicts_forward_latency() {
+                    // Forward-predicted loads schedule dependents at SQ
+                    // latency; everything else at cache latency.
+                    let inst = &self.insts[&seq];
+                    if inst.ssn_fwd.is_some() {
+                        self.cfg.design.sq_latency()
+                    } else {
+                        cache
+                    }
+                } else {
+                    // All other designs optimistically assume a cache hit;
+                    // mismatches replay dependents.
+                    cache
+                }
+            }
+        }
+    }
+
+    // ================================================================
+    // Events (execute, wakeup)
+    // ================================================================
+
+    fn process_events(&mut self) {
+        while let Some(&Reverse((at, kind, seq, inc))) = self.events.peek() {
+            if at > self.cycle {
+                break;
+            }
+            self.events.pop();
+            // Drop events addressed to squashed incarnations. Broadcasts
+            // are exempt: a producer may legitimately commit before its
+            // re-broadcast fires, and its registered consumers must still
+            // wake (wake_one itself guards against squashed consumers).
+            let alive = self.insts.get(&seq).is_some_and(|i| i.incarnation == inc);
+            match kind {
+                EvKind::Broadcast => self.do_broadcast(seq),
+                EvKind::Wake => {
+                    if alive {
+                        self.wake_one(seq, false);
+                    }
+                }
+                EvKind::StoreWake => {
+                    // `seq` carries the store's SSN, not a sequence number.
+                    if let Some(waiters) = self.wake_on_store_exec.remove(&seq) {
+                        for w in waiters {
+                            self.wake_one(w, false);
+                        }
+                    }
+                }
+                EvKind::Exec => {
+                    if alive {
+                        self.do_execute(Seq(seq));
+                    }
+                }
+            }
+        }
+    }
+
+    fn do_broadcast(&mut self, producer: u64) {
+        let Some(consumers) = self.wake_on_value.remove(&producer) else { return };
+        for c in consumers {
+            self.wake_one(c, false);
+        }
+    }
+
+    fn wake_one(&mut self, seq: u64, is_delay_gate: bool) {
+        let Some(inst) = self.insts.get_mut(&seq) else { return };
+        if inst.state != InstState::Waiting {
+            return;
+        }
+        if inst.release_gate(self.cycle, is_delay_gate) {
+            inst.state = InstState::Ready;
+            self.ready_q.insert(seq);
+        }
+    }
+
+    fn do_execute(&mut self, seq: Seq) {
+        let rec = *self.rec(seq);
+
+        // Selective replay: operands whose producers are not actually ready
+        // (scheduler latency mis-speculation) force a replay.
+        let mut unready: Vec<u64> = Vec::new();
+        {
+            let inst = &self.insts[&seq.0];
+            for src in inst.srcs {
+                if let Operand::InFlight(p) = src {
+                    if self.value_ready[p.0 as usize] > self.cycle {
+                        unready.push(p.0);
+                    }
+                }
+            }
+        }
+        if !unready.is_empty() {
+            self.replay(seq, &unready);
+            return;
+        }
+
+        let (s1, s2) = self.operand_values(seq);
+        match rec.op.class() {
+            OpClass::Load => self.execute_load(seq, &rec),
+            OpClass::Store => self.execute_store(seq, &rec, s2),
+            OpClass::Branch => self.execute_branch(seq, &rec),
+            _ => {
+                let value = rec.op.eval(s1, s2, rec.imm);
+                let latency = self.predicted_latency(&rec, seq.0);
+                self.complete(seq, value, latency);
+            }
+        }
+    }
+
+    fn operand_values(&self, seq: Seq) -> (u64, u64) {
+        let inst = &self.insts[&seq.0];
+        let get = |o: Operand| match o {
+            Operand::None => 0,
+            Operand::Value(v) => v,
+            Operand::InFlight(p) => self.spec_value[p.0 as usize],
+        };
+        (get(inst.srcs[0]), get(inst.srcs[1]))
+    }
+
+    fn replay(&mut self, seq: Seq, unready: &[u64]) {
+        self.stats.replays += 1;
+        let now = self.cycle;
+        let issue_to_exec = self.cfg.issue_to_exec;
+        let mut wakes = Vec::new();
+        {
+            let inst = self.insts.get_mut(&seq.0).expect("replaying inst in flight");
+            inst.state = InstState::Waiting;
+            inst.replays += 1;
+            inst.gates = unready.len() as u32;
+        }
+        for &p in unready {
+            let vr = self.value_ready[p as usize];
+            if vr == NOT_READY {
+                // Producer hasn't executed; it will re-broadcast.
+                self.wake_on_value.entry(p).or_default().push(seq.0);
+            } else {
+                wakes.push(vr.saturating_sub(issue_to_exec).max(now + 1));
+            }
+        }
+        self.iq_count += 1;
+        let inc = self.insts[&seq.0].incarnation;
+        for at in wakes {
+            self.events.push(Reverse((at, EvKind::Wake, seq.0, inc)));
+        }
+    }
+
+    /// Finishes execution: value known, completion scheduled.
+    fn complete(&mut self, seq: Seq, value: u64, latency: u64) {
+        let ready_at = self.cycle + latency;
+        self.spec_value[seq.0 as usize] = value;
+        self.value_ready[seq.0 as usize] = ready_at;
+        let post = self.cfg.post_exec_depth;
+        {
+            let inst = self.insts.get_mut(&seq.0).expect("completing inst in flight");
+            inst.state = InstState::Done;
+            inst.value = value;
+            inst.complete_cycle = ready_at;
+            inst.commit_eligible = ready_at + post;
+        }
+        // Consumers that replayed while this instruction was mid-flight
+        // (its issue-time broadcast already fired) re-registered on the
+        // wait list; a successful execution is the last broadcast they can
+        // get. Time it so their execute lines up with value readiness.
+        if self.wake_on_value.contains_key(&seq.0) {
+            let inc = self.insts[&seq.0].incarnation;
+            let at = ready_at.saturating_sub(self.cfg.issue_to_exec).max(self.cycle + 1);
+            self.events.push(Reverse((at, EvKind::Broadcast, seq.0, inc)));
+        }
+    }
+
+    fn execute_store(&mut self, seq: Seq, rec: &TraceRecord, data_operand: u64) {
+        let span = rec.mem_addr().span(rec.size);
+        let data = rec.size.truncate(data_operand);
+        let (ssn, inc) = {
+            let inst = &self.insts[&seq.0];
+            (inst.my_ssn, inst.incarnation)
+        };
+        self.sq.write(ssn, span, data);
+        if self.cfg.design.uses_original_store_sets() {
+            let pseudo = self.store_pseudo_pc(rec.pc);
+            self.store_sets.store_executed(pseudo, ssn);
+        }
+        if self.cfg.ordering == OrderingMode::LqCam {
+            // Conventional LQ search: any younger, already-executed load
+            // overlapping this store's span read a stale value. Flush from
+            // the oldest such load and train the schedulers.
+            let victim = self
+                .lq
+                .iter()
+                .find(|l| {
+                    l.seq > seq
+                        && l.span.is_some_and(|ls| ls.overlaps(span))
+                        && l.svw < ssn
+                })
+                .map(|l| (l.seq, l.pc));
+            if let Some((lseq, lpc)) = victim {
+                self.stats.mis_forwards += 1;
+                if self.cfg.design.uses_original_store_sets() {
+                    let pseudo = self.store_pseudo_pc(rec.pc);
+                    self.store_sets.violation(lpc, pseudo);
+                } else if !self.cfg.design.is_oracle() {
+                    self.fsp.learn(lpc, self.fsp.partial_store_pc(rec.pc));
+                }
+                self.complete(seq, data, 1);
+                self.squash_from(lseq);
+                return;
+            }
+        }
+        self.complete(seq, data, 1);
+        let _ = inc;
+        // Wake loads waiting on this store's execution (forwarding gate).
+        if let Some(waiters) = self.wake_on_store_exec.remove(&ssn.0) {
+            for w in waiters {
+                self.wake_one(w, false);
+            }
+        }
+        if let Some(waiters) = self.wake_on_store_exec_strict.remove(&ssn.0) {
+            for w in waiters {
+                self.wake_one(w, false);
+            }
+        }
+    }
+
+    fn execute_branch(&mut self, seq: Seq, rec: &TraceRecord) {
+        // (The predictor was trained at fetch; execution only resolves the
+        // pending redirect.)
+        // Link value for calls; 0 for other transfers.
+        let value = if rec.op == Op::Call { rec.pc.next().0 } else { 0 };
+        self.complete(seq, value, self.cfg.latencies.branch);
+        if self.pending_redirect == Some(seq) {
+            self.pending_redirect = None;
+            self.fetch_stall_until = self.cycle + 1;
+        }
+    }
+
+    fn execute_load(&mut self, seq: Seq, rec: &TraceRecord) {
+        let span = rec.mem_addr().span(rec.size);
+        let (prev_store_ssn, ssn_fwd, wait_exec) = {
+            let inst = &self.insts[&seq.0];
+            (inst.prev_store_ssn, inst.ssn_fwd, inst.wait_exec_ssn)
+        };
+
+        // The load was scheduled chasing a store's execution; if that store
+        // replayed, the load replays too (forwarding mis-schedule).
+        if let Some(gate) = wait_exec {
+            if gate.is_in_flight(self.ssn_cmt) && !self.sq.is_executed(gate) {
+                self.stats.replays += 1;
+                let inst = self.insts.get_mut(&seq.0).expect("load in flight");
+                inst.state = InstState::Waiting;
+                inst.gates = 1;
+                inst.replays += 1;
+                self.iq_count += 1;
+                self.wake_on_store_exec_strict.entry(gate.0).or_default().push(seq.0);
+                return;
+            }
+        }
+
+        // The data cache is accessed in parallel with the SQ in all designs.
+        let cache_outcome = self.hierarchy.access(rec.mem_addr());
+        let cache_value = self.commit_mem.read(rec.mem_addr(), rec.size);
+        let older_unknown = self.sq.has_unexecuted_older(prev_store_ssn);
+
+        let (value, latency, forwarded, svw) = if self.cfg.design.is_indexed() {
+            // Speculative indexed access: read the single predicted entry.
+            match ssn_fwd.is_in_flight(self.ssn_cmt).then(|| {
+                self.sq.indexed_read(ssn_fwd, span, rec.size)
+            }).flatten()
+            {
+                Some(v) => (v, self.cfg.design.sq_latency(), Some(ssn_fwd), ssn_fwd),
+                None => (cache_value, cache_outcome.total_latency(), None, self.ssn_cmt),
+            }
+        } else {
+            // Conventional fully-associative search.
+            match self.sq.search(prev_store_ssn, span, rec.size) {
+                SqSearch::Forward { ssn, value } => {
+                    (value, self.cfg.design.sq_latency(), Some(ssn), ssn)
+                }
+                SqSearch::Partial { ssn } => {
+                    // No single entry can supply the value: stall until the
+                    // store commits, then retry (reads the cache).
+                    self.stats.partial_stalls += 1;
+                    let inst = self.insts.get_mut(&seq.0).expect("load in flight");
+                    inst.state = InstState::Waiting;
+                    inst.gates = 1;
+                    inst.partial_stalled = true;
+                    self.iq_count += 1;
+                    if ssn > self.ssn_cmt {
+                        self.wake_on_store_commit.entry(ssn.0).or_default().push(seq.0);
+                    } else {
+                        // Committed in the meantime: retry immediately.
+                        let inc = self.insts[&seq.0].incarnation;
+                        self.events.push(Reverse((self.cycle + 1, EvKind::Wake, seq.0, inc)));
+                    }
+                    return;
+                }
+                SqSearch::Miss => (cache_value, cache_outcome.total_latency(), None, self.ssn_cmt),
+            }
+        };
+
+        self.lq.record_execution(seq, span, value, svw, older_unknown);
+        {
+            let inst = self.insts.get_mut(&seq.0).expect("load in flight");
+            inst.forwarded_from = forwarded;
+            inst.svw = svw;
+            inst.older_unknown = older_unknown;
+        }
+        self.complete(seq, value, latency);
+    }
+
+    // ================================================================
+    // Commit (SVW check, filtered re-execution, training, flush)
+    // ================================================================
+
+    fn commit_stage(&mut self) {
+        let mut reexec_budget = self.cfg.reexec_ports;
+        for _ in 0..self.cfg.commit_width {
+            let Some(&seq) = self.rob.front() else { break };
+            let eligible = {
+                let inst = &self.insts[&seq.0];
+                inst.state == InstState::Done && inst.commit_eligible <= self.cycle
+            };
+            if !eligible {
+                break;
+            }
+            let rec = *self.rec(seq);
+            if rec.is_load() && !self.commit_load(seq, &rec, &mut reexec_budget) {
+                break; // re-exec port stall or flush: stop committing
+            }
+            if rec.is_store() {
+                self.commit_store(seq, &rec);
+            }
+            if rec.op.is_conditional() {
+                self.stats.branches += 1;
+            }
+            self.retire(seq, &rec);
+        }
+    }
+
+    /// Returns `false` if commit must stop (port stall — load stays; or a
+    /// flush was triggered — load already retired inside).
+    fn commit_load(&mut self, seq: Seq, rec: &TraceRecord, reexec_budget: &mut usize) -> bool {
+        let span = rec.mem_addr().span(rec.size);
+        let (svw, older_unknown, value, fwd) = {
+            let inst = &self.insts[&seq.0];
+            (inst.svw, inst.older_unknown, inst.value, inst.forwarded_from)
+        };
+        self.stats.naive_reexec_candidates += u64::from(older_unknown);
+
+        // SVW filter: re-execute only if a store the load is vulnerable to
+        // wrote its address. Under the conventional LQ CAM, ordering was
+        // verified at store execution and no re-execution happens at all.
+        let needs_reexec = self.cfg.ordering == OrderingMode::SvwReexecution
+            && self.ssbf.newest(span) > svw;
+        let mut flush = false;
+        if needs_reexec {
+            if *reexec_budget == 0 {
+                self.stats.reexec_port_stalls += 1;
+                return false;
+            }
+            *reexec_budget -= 1;
+            self.stats.re_executions += 1;
+            self.hierarchy.touch(rec.mem_addr());
+            let correct = self.commit_mem.read(rec.mem_addr(), rec.size);
+            debug_assert_eq!(
+                correct, rec.result,
+                "commit-time memory must match the golden trace"
+            );
+            if value != correct {
+                // Mis-forwarding (or ordering violation): fix the load's
+                // value from re-execution and flush everything younger.
+                self.stats.mis_forwards += 1;
+                let inst = self.insts.get_mut(&seq.0).expect("load in flight");
+                inst.value = correct;
+                self.spec_value[seq.0 as usize] = correct;
+                flush = true;
+            }
+        }
+
+        self.train_load_predictors(seq, rec, span, flush);
+
+        // Per-load statistics.
+        self.stats.loads += 1;
+        self.stats.loads_forwarded += u64::from(fwd.is_some());
+        if let Some(f) = self.oracle.fwd(seq) {
+            if f.store_dist < self.cfg.sq_size as u64 {
+                self.stats.forwarding_relevant_loads += 1;
+            }
+        }
+        let inst = &self.insts[&seq.0];
+        let delay = inst.ddp_delay();
+        if inst.delay_gated && delay > 0 {
+            self.stats.loads_delayed += 1;
+            self.stats.delay_cycles += delay;
+        }
+
+        let _ = self.lq.commit_head();
+        if flush {
+            self.retire(seq, rec);
+            self.flush_younger(seq);
+            return false;
+        }
+        true
+    }
+
+    /// FSP/DDP training at load commit, per Table 1 and §3.2–3.3.
+    fn train_load_predictors(
+        &mut self,
+        seq: Seq,
+        rec: &TraceRecord,
+        span: sqip_types::AddrSpan,
+        flushed: bool,
+    ) {
+        if self.cfg.design.is_oracle() {
+            return;
+        }
+        if self.cfg.design.uses_original_store_sets() {
+            // Original Store Sets trains on violations: merge the load and
+            // the producing store (recovered via the SPCT as a pseudo-PC,
+            // exactly the Table 1 row-1 `SSIT[ld.PC, SPCT[ld.A]]` action).
+            if flushed {
+                if let Some(partial) = span
+                    .byte_addrs()
+                    .find_map(|b| self.spct.lookup_byte(b))
+                {
+                    self.store_sets
+                        .violation(rec.pc, sqip_types::Pc::from_index(partial as usize));
+                }
+            }
+            return;
+        }
+        let (pred_pc, ssn_fwd, prev_store_ssn, was_delayed, path) = {
+            let inst = &self.insts[&seq.0];
+            (
+                inst.pred_store_pc,
+                inst.ssn_fwd,
+                inst.prev_store_ssn,
+                inst.delay_gated,
+                inst.path,
+            )
+        };
+
+        let newest = self.ssbf.newest(span);
+        // Distance in dynamic stores from the load's rename point back to
+        // the actual producer (SSNcmt at load commit == prev_store_ssn).
+        // Ssn::NONE yields a huge distance, i.e. "no forwarding possible".
+        let dist = prev_store_ssn.distance_from(newest);
+        let forwarding_possible = newest.is_some() && dist < self.cfg.sq_size as u64;
+
+        // Delay training (§3.3 / Table 1): every wrong forwarding
+        // prediction (SSNfwd != SSBF[A]) raises the delay counter; correct
+        // predictions lower it. The *distance* fields are only trained when
+        // the event carries corroborated evidence — the load flushed, was
+        // forcibly delayed, or named the right PC but the wrong dynamic
+        // instance (the not-most-recent signature). Wrong predictions
+        // whose cache value was right anyway keep the counter trained but
+        // leave the distance at max (an effective no-delay), so aliasing
+        // noise in the 2K-entry SSBF cannot manufacture real delays.
+        if self.cfg.design.uses_delay() {
+            let wrong = ssn_fwd != newest;
+            if !wrong {
+                self.ddp.unlearn(rec.pc);
+            } else {
+                let pc_right_instance_wrong = forwarding_possible
+                    && pred_pc.is_some()
+                    && {
+                        let actual = span
+                            .byte_addrs()
+                            .find(|b| {
+                                self.ssbf.newest(b.span(sqip_types::DataSize::Byte)) == newest
+                            })
+                            .and_then(|b| self.spct.lookup_byte(b));
+                        pred_pc == actual
+                    };
+                let evidence = flushed || was_delayed || pc_right_instance_wrong;
+                self.ddp.learn(rec.pc, evidence.then_some(dist));
+            }
+        }
+
+        if !forwarding_possible {
+            // The load and the most recent store to its address are too far
+            // apart for forwarding (or there is none): unlearn (§3.2).
+            if let Some(pc) = pred_pc {
+                self.fsp.weaken_with_path(rec.pc, pc, path);
+            }
+            return;
+        }
+
+        // Recover the actual producing store's PC from the SPCT (probing
+        // the byte whose SSBF entry is newest).
+        let actual_pc = span
+            .byte_addrs()
+            .find(|b| self.ssbf.newest(b.span(sqip_types::DataSize::Byte)) == newest)
+            .and_then(|b| self.spct.lookup_byte(b));
+
+        let instance_correct = ssn_fwd == newest;
+        let pc_correct = pred_pc.is_some() && pred_pc == actual_pc;
+
+        if instance_correct && pc_correct {
+            // Correct forwarding prediction: reinforce (§3.2 "we learn
+            // store-load dependences on correct forwarding").
+            self.fsp
+                .strengthen_with_path(rec.pc, pred_pc.expect("pc_correct implies prediction"), path);
+        } else if pc_correct {
+            let pc = pred_pc.expect("pc_correct implies prediction");
+            if self.cfg.design.is_indexed() {
+                // Right store PC, wrong dynamic instance (not-most-recent
+                // forwarding): an indexed SQ cannot exploit this entry —
+                // "there is no point in delaying the load on a store
+                // instance on which it is known not to depend" — unlearn.
+                self.fsp.weaken_with_path(rec.pc, pc, path);
+            } else {
+                // For an associative SQ the FSP is only a scheduler, and
+                // gating on the most recent instance transitively orders
+                // the load behind the true (older) producer, which the
+                // search then finds: the dependence is useful — reinforce.
+                self.fsp.strengthen_with_path(rec.pc, pc, path);
+            }
+        } else if flushed {
+            // "... and on mis-forwardings in which we fail to predict not
+            // only the forwarding index, but also the forwarding store PC"
+            // — new dependences are created only by actual mis-forwardings,
+            // so lossy-SSBF aliasing cannot plant spurious dependences.
+            if let Some(ap) = actual_pc {
+                self.fsp.learn_with_path(rec.pc, ap, path);
+            }
+        }
+    }
+
+    fn commit_store(&mut self, seq: Seq, rec: &TraceRecord) {
+        let entry = self.sq.commit_head();
+        debug_assert_eq!(entry.ssn, self.insts[&seq.0].my_ssn);
+        let span = rec.mem_addr().span(rec.size);
+        debug_assert_eq!(
+            entry.data, rec.result,
+            "store data must be architecturally correct by commit"
+        );
+        self.commit_mem.write(rec.mem_addr(), rec.size, entry.data);
+        self.hierarchy.touch(rec.mem_addr());
+        self.ssbf.update(span, entry.ssn);
+        self.spct.update(span, self.fsp.partial_store_pc(rec.pc));
+        self.ssn_cmt = entry.ssn;
+        self.stats.stores += 1;
+
+        // Release delay-gated and partial-stalled loads waiting on stores
+        // up to this SSN.
+        let mut released = self.wake_on_store_commit.split_off(&(entry.ssn.0 + 1));
+        std::mem::swap(&mut released, &mut self.wake_on_store_commit);
+        for (_, waiters) in released {
+            for w in waiters {
+                self.wake_one(w, true);
+            }
+        }
+    }
+
+    fn retire(&mut self, seq: Seq, rec: &TraceRecord) {
+        if let Some(d) = rec.dst {
+            self.committed_regs[d.index()] = self.insts[&seq.0].value;
+            if self.rename_map[d.index()] == Some(seq) {
+                self.rename_map[d.index()] = None;
+            }
+        }
+        let _ = self.rob.pop_front();
+        self.insts.remove(&seq.0);
+        self.sat.prune_log(seq);
+        self.stats.committed += 1;
+        self.last_commit_cycle = self.cycle;
+    }
+
+    /// Mid-window squash (LQ CAM violation): everything at or younger than
+    /// `from` is squashed and refetched; older instructions stay in flight.
+    fn squash_from(&mut self, from: Seq) {
+        self.stats.flushes += 1;
+        self.incarnation += 1;
+
+        let squashed: Vec<u64> = self.insts.keys().copied().filter(|&s| s >= from.0).collect();
+        self.stats.squashed += squashed.len() as u64;
+        for &s in &squashed {
+            self.insts.remove(&s);
+            self.value_ready[s as usize] = NOT_READY;
+            self.wake_time[s as usize] = NOT_READY;
+        }
+        let keep = self.rob.iter().take_while(|&&s| s < from).count();
+        self.rob.truncate(keep);
+        self.ready_q.retain(|&s| s < from.0);
+        self.iq_count = self
+            .insts
+            .values()
+            .filter(|i| matches!(i.state, InstState::Waiting | InstState::Ready))
+            .count();
+        self.lq.squash_from(from);
+
+        // SSNs roll back to the youngest surviving store.
+        let keep_ssn = self
+            .insts
+            .values()
+            .map(|i| i.my_ssn)
+            .max()
+            .unwrap_or(Ssn::NONE)
+            .max(self.ssn_cmt);
+        self.sq.squash_from(keep_ssn.next());
+        self.ssn_ren = keep_ssn;
+        self.sat.rollback_younger(from);
+        self.store_sets.clear_lfst();
+
+        // Rebuild the rename map from the surviving window, oldest first.
+        self.rename_map = [None; sqip_isa::NUM_REGS];
+        let survivors: Vec<Seq> = self.rob.iter().copied().collect();
+        for s in survivors {
+            if let Some(d) = self.rec(s).dst {
+                self.rename_map[d.index()] = Some(s);
+            }
+        }
+
+        self.front_q.clear();
+        if self.pending_redirect.is_some_and(|s| s >= from) {
+            self.pending_redirect = None;
+        }
+        self.fetch_idx = from.0 as usize;
+        self.fetch_stall_until = self.cycle + 1;
+        self.draining_for_wrap = false;
+    }
+
+    /// Full pipeline flush: squash everything younger than the committing
+    /// load and refetch from the next instruction.
+    fn flush_younger(&mut self, from: Seq) {
+        self.stats.flushes += 1;
+        self.incarnation += 1;
+
+        for (&s, _) in &self.insts {
+            self.value_ready[s as usize] = NOT_READY;
+            self.wake_time[s as usize] = NOT_READY;
+        }
+        self.stats.squashed += self.insts.len() as u64;
+        self.insts.clear();
+        self.rob.clear();
+        self.ready_q.clear();
+        self.iq_count = 0;
+        self.lq.clear();
+        self.sq.clear();
+        self.wake_on_value.clear();
+        self.wake_on_store_exec.clear();
+        self.wake_on_store_exec_strict.clear();
+        self.wake_on_store_commit.clear();
+        self.front_q.clear();
+        self.rename_map = [None; sqip_isa::NUM_REGS];
+
+        // All in-flight stores were squashed; the rename-time SSN counter
+        // rolls back to the committed high-water mark, and the SAT undoes
+        // the squashed stores' writes.
+        self.ssn_ren = self.ssn_cmt;
+        self.sat.rollback_younger(from.next());
+        self.store_sets.clear_lfst();
+        self.draining_for_wrap = false;
+
+        self.pending_redirect = None;
+        self.fetch_idx = from.0 as usize + 1;
+        self.fetch_stall_until = self.cycle + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SqDesign;
+    use sqip_isa::{trace_program, ProgramBuilder, Reg};
+    use sqip_types::DataSize;
+
+    fn run_design(design: SqDesign, trace: &Trace) -> SimStats {
+        Processor::new(SimConfig::with_design(design), trace).run()
+    }
+
+    /// st/ld to the same address every iteration: classic forwarding.
+    fn forwarding_loop(iters: i64) -> Trace {
+        let mut b = ProgramBuilder::new();
+        let (ctr, v, t) = (Reg::new(1), Reg::new(2), Reg::new(3));
+        b.load_imm(ctr, iters);
+        b.load_imm(v, 7);
+        let top = b.label("top");
+        b.add_imm(v, v, 3);
+        b.store(DataSize::Quad, v, Reg::ZERO, 0x100);
+        b.load(DataSize::Quad, t, Reg::ZERO, 0x100);
+        b.add(t, t, v); // consume the loaded value
+        b.add_imm(ctr, ctr, -1);
+        b.branch_nz(ctr, top);
+        b.halt();
+        trace_program(&b.build().unwrap(), 1_000_000).unwrap()
+    }
+
+    /// The paper's not-most-recent pathology: X[i] = A * X[i-2].
+    fn not_most_recent_loop(iters: i64) -> Trace {
+        let mut b = ProgramBuilder::new();
+        let (ctr, ptr, x, y) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
+        b.load_imm(ctr, iters);
+        b.load_imm(ptr, 0x1000);
+        // Seed X[0], X[1].
+        b.load_imm(x, 1);
+        b.store(DataSize::Quad, x, ptr, 0);
+        b.store(DataSize::Quad, x, ptr, 8);
+        let top = b.label("top");
+        b.load(DataSize::Quad, y, ptr, 0); // X[i-2]
+        b.mul_imm(y, y, 3); // A * X[i-2]
+        b.store(DataSize::Quad, y, ptr, 16); // X[i]
+        b.add_imm(ptr, ptr, 8);
+        b.add_imm(ctr, ctr, -1);
+        b.branch_nz(ctr, top);
+        b.halt();
+        trace_program(&b.build().unwrap(), 1_000_000).unwrap()
+    }
+
+    /// Pointer-chase over a large ring: cache misses, no forwarding.
+    fn pointer_chase(iters: i64) -> Trace {
+        let mut b = ProgramBuilder::new();
+        let (ctr, p) = (Reg::new(1), Reg::new(2));
+        // Build a ring of 4096 nodes, stride 1 page to defeat the L1/TLB.
+        let nodes = 512i64;
+        b.load_imm(ctr, nodes);
+        b.load_imm(p, 0x10_0000);
+        let init = b.label("init");
+        {
+            let (nxt,) = (Reg::new(3),);
+            b.add_imm(nxt, p, 4096);
+            b.store(DataSize::Quad, nxt, p, 0);
+            b.add_imm(p, p, 4096);
+            b.add_imm(ctr, ctr, -1);
+            b.branch_nz(ctr, init);
+        }
+        // Close the ring.
+        let last = 0x10_0000 + (nodes - 1) * 4096;
+        let (head,) = (Reg::new(3),);
+        b.load_imm(head, 0x10_0000);
+        b.load_imm(p, last);
+        b.store(DataSize::Quad, head, p, 0);
+        // Chase.
+        b.load_imm(ctr, iters);
+        b.load_imm(p, 0x10_0000);
+        let top = b.label("chase");
+        b.load(DataSize::Quad, p, p, 0);
+        b.add_imm(ctr, ctr, -1);
+        b.branch_nz(ctr, top);
+        b.halt();
+        trace_program(&b.build().unwrap(), 10_000_000).unwrap()
+    }
+
+    #[test]
+    fn all_designs_complete_a_forwarding_loop() {
+        let trace = forwarding_loop(200);
+        for design in SqDesign::ALL {
+            let stats = run_design(design, &trace);
+            assert_eq!(
+                stats.committed,
+                trace.len() as u64,
+                "{design} must commit the whole trace"
+            );
+            assert!(stats.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn ideal_oracle_never_flushes() {
+        let trace = not_most_recent_loop(300);
+        let stats = run_design(SqDesign::IdealOracle, &trace);
+        assert_eq!(stats.flushes, 0, "oracle scheduling never violates");
+        assert_eq!(stats.mis_forwards, 0);
+    }
+
+    #[test]
+    fn indexed_design_learns_to_forward() {
+        let trace = forwarding_loop(500);
+        let stats = run_design(SqDesign::Indexed3FwdDly, &trace);
+        // After the first training flush, every iteration's load forwards.
+        assert!(
+            stats.loads_forwarded > 400,
+            "expected most loads to forward, got {}",
+            stats.loads_forwarded
+        );
+        assert!(
+            stats.mis_forwards <= 3,
+            "steady-state forwarding should flush at most a couple of times, got {}",
+            stats.mis_forwards
+        );
+    }
+
+    #[test]
+    fn associative_designs_forward_without_training_flushes() {
+        let trace = forwarding_loop(300);
+        let stats = run_design(SqDesign::Associative3, &trace);
+        assert!(stats.loads_forwarded > 250);
+        // The associative SQ always finds the right store once scheduling
+        // is reasonable; a handful of early ordering violations may occur.
+        assert!(stats.mis_forwards <= 3, "got {}", stats.mis_forwards);
+    }
+
+    #[test]
+    fn delay_prediction_tames_not_most_recent_forwarding() {
+        let trace = not_most_recent_loop(800);
+        let fwd = run_design(SqDesign::Indexed3Fwd, &trace);
+        let dly = run_design(SqDesign::Indexed3FwdDly, &trace);
+        assert!(
+            fwd.mis_forwards > 5,
+            "raw indexed forwarding should flush repeatedly on X[i]=A*X[i-2], got {}",
+            fwd.mis_forwards
+        );
+        assert!(
+            dly.mis_forwards * 5 < fwd.mis_forwards,
+            "delay prediction should remove most flushes ({} vs {})",
+            dly.mis_forwards,
+            fwd.mis_forwards
+        );
+        assert!(dly.loads_delayed > 0, "delays must actually be applied");
+        // Delay converts the flush penalty into a (usually smaller, but per
+        // the paper not universally smaller — it degrades 6 of 47 programs)
+        // delay penalty; require it to stay in the same ballpark here and
+        // leave the aggregate comparison to the Figure 4 harness.
+        assert!(
+            (dly.cycles as f64) < fwd.cycles as f64 * 1.25,
+            "delay penalty must stay comparable to the flush penalty ({} vs {})",
+            dly.cycles,
+            fwd.cycles
+        );
+    }
+
+    #[test]
+    fn values_stay_architectural_across_designs() {
+        // The debug_assert in commit_store cross-checks every committed
+        // store against the golden trace; run a value-heavy program under
+        // every design to exercise it.
+        let trace = not_most_recent_loop(200);
+        for design in SqDesign::ALL {
+            let stats = run_design(design, &trace);
+            assert_eq!(stats.committed, trace.len() as u64, "{design}");
+        }
+    }
+
+    #[test]
+    fn cache_misses_trigger_replays() {
+        let trace = pointer_chase(2000);
+        let stats = run_design(SqDesign::Indexed3FwdDly, &trace);
+        assert!(
+            stats.l1.misses > 500,
+            "page-stride pointer chase must miss, got {:?}",
+            stats.l1
+        );
+        assert!(
+            stats.replays > 100,
+            "consumers of missing loads must replay, got {}",
+            stats.replays
+        );
+        assert_eq!(stats.mis_forwards, 0, "no forwarding in a pure chase");
+    }
+
+    /// acc round-trips through memory every iteration, so SQ forwarding
+    /// latency sits on the program's critical path; an independent fdiv
+    /// drip keeps the ROB head busy so stores linger in the SQ (otherwise
+    /// a lone two-instruction loop commits stores before adjacent loads
+    /// reach their SQ access and nothing ever forwards).
+    fn serial_forwarding_loop(iters: i64) -> Trace {
+        let mut b = ProgramBuilder::new();
+        let (ctr, acc, f) = (Reg::new(1), Reg::new(2), Reg::new(5));
+        b.load_imm(ctr, iters);
+        b.load_imm(acc, 1);
+        b.load_imm(f, 12345);
+        let top = b.label("top");
+        b.fdiv(f, f, f);
+        b.store(DataSize::Quad, acc, Reg::ZERO, 0x100);
+        b.load(DataSize::Quad, acc, Reg::ZERO, 0x100);
+        b.add_imm(acc, acc, 3);
+        b.add_imm(ctr, ctr, -1);
+        b.branch_nz(ctr, top);
+        b.halt();
+        trace_program(&b.build().unwrap(), 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn slow_associative_sq_is_slower_on_forwarding_code() {
+        let trace = serial_forwarding_loop(500);
+        let fast = run_design(SqDesign::Associative3, &trace);
+        let slow = run_design(SqDesign::Associative5Replay, &trace);
+        assert!(
+            slow.cycles > fast.cycles,
+            "5-cycle SQ must cost cycles on forwarding-heavy code ({} vs {})",
+            slow.cycles,
+            fast.cycles
+        );
+        assert!(slow.replays > fast.replays, "forwarded loads replay dependents");
+    }
+
+    #[test]
+    fn forward_latency_prediction_cuts_replays() {
+        let trace = serial_forwarding_loop(500);
+        let replay = run_design(SqDesign::Associative5Replay, &trace);
+        let fwdpred = run_design(SqDesign::Associative5FwdPred, &trace);
+        assert!(
+            fwdpred.replays < replay.replays,
+            "predicting forwarders avoids replays ({} vs {})",
+            fwdpred.replays,
+            replay.replays
+        );
+    }
+
+    #[test]
+    fn branch_mispredicts_are_counted() {
+        // A data-dependent unpredictable-ish branch: alternating pattern is
+        // actually learnable by gshare, so use a short loop with a final
+        // fall-through that mispredicts once per run at most; just sanity
+        // check counters move.
+        let trace = forwarding_loop(100);
+        let stats = run_design(SqDesign::Indexed3FwdDly, &trace);
+        assert!(stats.branches > 90);
+        assert!(stats.branch_mispredicts <= stats.branches);
+    }
+
+    #[test]
+    fn svw_filter_limits_reexecution() {
+        let trace = forwarding_loop(500);
+        let stats = run_design(SqDesign::Indexed3FwdDly, &trace);
+        assert!(
+            stats.re_executions <= stats.naive_reexec_candidates + stats.mis_forwards,
+            "SVW must not re-execute more than the naive rule ({} vs {})",
+            stats.re_executions,
+            stats.naive_reexec_candidates
+        );
+    }
+
+    #[test]
+    fn ipc_ordering_matches_the_paper() {
+        // ideal >= indexed+dly, and every design completes with sane IPC.
+        let trace = forwarding_loop(1000);
+        let ideal = run_design(SqDesign::IdealOracle, &trace);
+        let dly = run_design(SqDesign::Indexed3FwdDly, &trace);
+        assert!(
+            ideal.cycles <= dly.cycles,
+            "oracle must be at least as fast ({} vs {})",
+            ideal.cycles,
+            dly.cycles
+        );
+        assert!(ideal.ipc() > 0.5, "8-wide machine should sustain decent IPC");
+    }
+
+    #[test]
+    fn ssn_wrap_drains_cleanly() {
+        let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+        cfg.ssn_bits = 8; // wrap every 256 stores
+        let trace = forwarding_loop(600); // 600 stores => 2 wraps
+        let stats = Processor::new(cfg, &trace).run();
+        assert_eq!(stats.committed, trace.len() as u64);
+        assert_eq!(stats.ssn_wraps, 2);
+    }
+
+    #[test]
+    fn partial_forwarding_stalls_associative_loads() {
+        // Word store, quad load overlapping it: partial hit.
+        let mut b = ProgramBuilder::new();
+        let (ctr, v, t) = (Reg::new(1), Reg::new(2), Reg::new(3));
+        b.load_imm(ctr, 50);
+        b.load_imm(v, 0xAB);
+        let top = b.label("top");
+        b.store(DataSize::Word, v, Reg::ZERO, 0x100);
+        b.load(DataSize::Quad, t, Reg::ZERO, 0x100);
+        b.add_imm(ctr, ctr, -1);
+        b.branch_nz(ctr, top);
+        b.halt();
+        let trace = trace_program(&b.build().unwrap(), 100_000).unwrap();
+        let stats = run_design(SqDesign::Associative3, &trace);
+        assert_eq!(stats.committed, trace.len() as u64);
+        assert!(stats.partial_stalls > 10, "got {}", stats.partial_stalls);
+        // The very first iteration may take an ordering violation before
+        // the FSP learns the dependence; after that, loads stall instead.
+        assert!(stats.mis_forwards <= 2, "stall, not mis-speculate: {}", stats.mis_forwards);
+    }
+
+    #[test]
+    fn empty_like_program_terminates() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let trace = trace_program(&b.build().unwrap(), 10).unwrap();
+        let stats = run_design(SqDesign::Indexed3FwdDly, &trace);
+        assert_eq!(stats.committed, 1);
+        assert_eq!(stats.loads, 0);
+    }
+}
+
+#[cfg(test)]
+mod ordering_tests {
+    use super::*;
+    use crate::config::{OrderingMode, SqDesign};
+    use sqip_isa::{trace_program, ProgramBuilder, Reg};
+    use sqip_types::DataSize;
+
+    /// A loop guaranteed to produce early-load ordering hazards: the store
+    /// data depends on a long fdiv chain, so unscheduled loads race it.
+    fn hazard_loop(iters: i64) -> Trace {
+        let mut b = ProgramBuilder::new();
+        let (ctr, f, t) = (Reg::new(1), Reg::new(2), Reg::new(3));
+        b.load_imm(ctr, iters);
+        b.load_imm(f, 12345);
+        let top = b.label("top");
+        b.fdiv(f, f, f); // slow producer
+        b.add_imm(f, f, 1); // keep the value nonzero and changing
+        b.store(DataSize::Quad, f, Reg::ZERO, 0x800);
+        b.load(DataSize::Quad, t, Reg::ZERO, 0x800);
+        b.xor(t, t, f);
+        b.add_imm(ctr, ctr, -1);
+        b.branch_nz(ctr, top);
+        b.halt();
+        trace_program(&b.build().unwrap(), 1_000_000).unwrap()
+    }
+
+    fn cam_config(design: SqDesign) -> SimConfig {
+        let mut cfg = SimConfig::with_design(design);
+        cfg.ordering = OrderingMode::LqCam;
+        cfg
+    }
+
+    #[test]
+    fn lq_cam_detects_and_recovers_from_violations() {
+        let trace = hazard_loop(300);
+        let stats = Processor::new(cam_config(SqDesign::Associative3), &trace).run();
+        // The debug assertions in commit_store verify every committed store
+        // against the golden trace, so completion here means the partial
+        // squash restored a consistent machine state every time.
+        assert_eq!(stats.committed, trace.len() as u64);
+        assert!(stats.flushes > 0, "the hazard loop must violate at least once");
+        assert_eq!(stats.re_executions, 0, "LQ CAM mode never re-executes");
+    }
+
+    #[test]
+    fn lq_cam_matches_svw_results_on_all_associative_designs() {
+        let trace = hazard_loop(300);
+        for design in [
+            SqDesign::IdealOracle,
+            SqDesign::Associative3StoreSets,
+            SqDesign::Associative3,
+            SqDesign::Associative5Replay,
+            SqDesign::Associative5FwdPred,
+        ] {
+            let cam = Processor::new(cam_config(design), &trace).run();
+            let svw = Processor::new(SimConfig::with_design(design), &trace).run();
+            assert_eq!(cam.committed, trace.len() as u64, "{design} (cam)");
+            assert_eq!(svw.committed, trace.len() as u64, "{design} (svw)");
+        }
+    }
+
+    #[test]
+    fn lq_cam_flushes_less_work_than_full_pipeline_flush() {
+        // A CAM violation squashes from the offending load, not the whole
+        // window, so it should squash less work per flush on average.
+        let trace = hazard_loop(400);
+        let cam = Processor::new(cam_config(SqDesign::Associative3), &trace).run();
+        let svw = Processor::new(SimConfig::with_design(SqDesign::Associative3), &trace).run();
+        if cam.flushes > 0 && svw.flushes > 0 {
+            let cam_per = cam.squashed as f64 / cam.flushes as f64;
+            let svw_per = svw.squashed as f64 / svw.flushes as f64;
+            assert!(
+                cam_per <= svw_per * 1.1,
+                "partial squash should not discard more than a commit-point flush ({cam_per:.0} vs {svw_per:.0})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong-entry forwarding")]
+    fn lq_cam_rejects_indexed_designs() {
+        let trace = hazard_loop(10);
+        let _ = Processor::new(cam_config(SqDesign::Indexed3FwdDly), &trace).run();
+    }
+
+    #[test]
+    fn original_store_sets_learns_to_schedule() {
+        let trace = hazard_loop(400);
+        let stats =
+            Processor::new(SimConfig::with_design(SqDesign::Associative3StoreSets), &trace).run();
+        assert_eq!(stats.committed, trace.len() as u64);
+        // After the first few violations the SSIT/LFST pair gates the load
+        // behind the store and violations stop.
+        assert!(
+            stats.mis_forwards < 20,
+            "store sets must learn the dependence, got {} violations",
+            stats.mis_forwards
+        );
+        assert!(stats.loads_forwarded > 200, "and the load then forwards");
+    }
+
+    #[test]
+    fn original_and_reformulated_store_sets_are_comparable() {
+        // §4.4: "in many other cases our formulation slightly outperforms
+        // the original" — they should land within a few percent of each
+        // other on well-behaved code.
+        let trace = hazard_loop(400);
+        let orig =
+            Processor::new(SimConfig::with_design(SqDesign::Associative3StoreSets), &trace).run();
+        let reform = Processor::new(SimConfig::with_design(SqDesign::Associative3), &trace).run();
+        let ratio = orig.cycles as f64 / reform.cycles as f64;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "formulations should be comparable, got ratio {ratio:.3}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod path_tests {
+    use super::*;
+    use crate::config::SqDesign;
+    use sqip_isa::{trace_program, ProgramBuilder, Reg};
+    use sqip_types::DataSize;
+
+    /// One load fed by two static stores selected by an alternating branch:
+    /// a 1-way (direct-mapped) FSP thrashes between the two dependences,
+    /// but with path bits the two paths index different sets and each can
+    /// hold its own store.
+    fn branch_selected_producer(iters: i64) -> Trace {
+        let mut b = ProgramBuilder::new();
+        let (ctr, par, v, t) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
+        b.load_imm(ctr, iters);
+        b.load_imm(v, 5);
+        let top = b.label("top");
+        b.add_imm(v, v, 1);
+        b.and(par, ctr, Reg::new(5)); // parity selector (r5 = 1, prepended)
+        b.branch_nz_to(par, "odd");
+        b.store(DataSize::Quad, v, Reg::ZERO, 0xA80); // even-path store
+        b.jump_to("join");
+        b.place("odd");
+        b.store(DataSize::Quad, v, Reg::ZERO, 0xA80); // odd-path store
+        b.place("join");
+        b.load(DataSize::Quad, t, Reg::ZERO, 0xA80);
+        b.xor(t, t, v);
+        b.add_imm(ctr, ctr, -1);
+        b.branch_nz(ctr, top);
+        b.halt();
+        // Prepend mask setup by rebuilding: simplest to set r5 in a fresh builder.
+        let inner = b.build().unwrap();
+        let mut outer = ProgramBuilder::new();
+        outer.load_imm(Reg::new(5), 1);
+        for (_, inst) in inner.iter() {
+            let mut i = *inst;
+            // shift branch/jump targets by 1 for the prepended instruction
+            if i.op.is_branch() && !matches!(i.op, sqip_isa::Op::Ret) {
+                i.imm += 1;
+            }
+            outer.emit(i);
+        }
+        let p = outer.build().unwrap();
+        trace_program(&p, 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn path_bits_rescue_a_direct_mapped_fsp() {
+        let trace = branch_selected_producer(600);
+        let run = |path_bits: u32| {
+            let mut cfg = SimConfig::with_design(SqDesign::Indexed3Fwd);
+            cfg.fsp.ways = 1; // direct-mapped: one dependence per set
+            cfg.fsp.path_bits = path_bits;
+            Processor::new(cfg, &trace).run()
+        };
+        let flat = run(0);
+        let pathful = run(4);
+        assert_eq!(flat.committed, trace.len() as u64);
+        assert_eq!(pathful.committed, trace.len() as u64);
+        assert!(
+            pathful.loads_forwarded > flat.loads_forwarded,
+            "path-qualified FSP should separate the two producers: {} vs {}",
+            pathful.loads_forwarded,
+            flat.loads_forwarded
+        );
+    }
+
+    #[test]
+    fn path_bits_zero_is_the_default_design() {
+        // Sanity: path_bits = 0 must behave identically to the plain API.
+        let trace = branch_selected_producer(200);
+        let a = Processor::new(SimConfig::with_design(SqDesign::Indexed3FwdDly), &trace).run();
+        let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+        cfg.fsp.path_bits = 0;
+        let b = Processor::new(cfg, &trace).run();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.mis_forwards, b.mis_forwards);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for program construction and execution.
+
+/// Errors produced while building or executing a micro-ISA program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// A branch referenced a label that was never placed.
+    UnresolvedLabel {
+        /// The label's name.
+        name: String,
+    },
+    /// A label was placed twice.
+    DuplicateLabel {
+        /// The label's name.
+        name: String,
+    },
+    /// Execution ran past the end of the program without a `halt`.
+    PcOutOfRange {
+        /// The offending instruction index.
+        index: usize,
+    },
+    /// Execution exceeded the caller's dynamic instruction budget without
+    /// reaching `halt`.
+    InstructionBudgetExceeded {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// The program is empty.
+    EmptyProgram,
+}
+
+impl std::fmt::Display for IsaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IsaError::UnresolvedLabel { name } => {
+                write!(f, "branch target label `{name}` was never placed")
+            }
+            IsaError::DuplicateLabel { name } => {
+                write!(f, "label `{name}` was placed more than once")
+            }
+            IsaError::PcOutOfRange { index } => {
+                write!(f, "execution reached instruction index {index}, past program end")
+            }
+            IsaError::InstructionBudgetExceeded { budget } => {
+                write!(f, "program did not halt within {budget} dynamic instructions")
+            }
+            IsaError::EmptyProgram => write!(f, "program contains no instructions"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_prose() {
+        let e = IsaError::UnresolvedLabel { name: "loop".into() };
+        assert!(e.to_string().contains("`loop`"));
+        let e = IsaError::InstructionBudgetExceeded { budget: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_err<E: std::error::Error + Send + Sync>(_: E) {}
+        takes_err(IsaError::EmptyProgram);
+    }
+}

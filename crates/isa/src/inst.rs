@@ -1,0 +1,120 @@
+//! Static instructions.
+
+use sqip_types::DataSize;
+
+use crate::op::Op;
+use crate::reg::Reg;
+
+/// One static instruction: an operation plus register operands and an
+/// immediate.
+///
+/// The encoding is deliberately uniform — every instruction has optional
+/// `dst`, `src1`, `src2` and a 64-bit immediate — so the pipeline stages
+/// can treat all instructions alike and the rename logic needs no special
+/// cases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticInst {
+    /// The operation.
+    pub op: Op,
+    /// Destination register, if the instruction writes one.
+    pub dst: Option<Reg>,
+    /// First source (address base for memory ops, condition for branches).
+    pub src1: Option<Reg>,
+    /// Second source (store data register).
+    pub src2: Option<Reg>,
+    /// Immediate: displacement for memory ops, target instruction index for
+    /// branches/jumps/calls, literal for `LoadImm`/`AddImm`/`MulImm`.
+    pub imm: i64,
+}
+
+impl StaticInst {
+    /// A no-op.
+    #[must_use]
+    pub fn nop() -> StaticInst {
+        StaticInst {
+            op: Op::Nop,
+            dst: None,
+            src1: None,
+            src2: None,
+            imm: 0,
+        }
+    }
+
+    /// The registers this instruction reads, zero register excluded
+    /// (reads of `r0` never create dependences).
+    #[must_use]
+    pub fn sources(&self) -> [Option<Reg>; 2] {
+        let keep = |r: Option<Reg>| r.filter(|r| !r.is_zero());
+        [keep(self.src1), keep(self.src2)]
+    }
+
+    /// The register this instruction writes, zero register excluded
+    /// (writes to `r0` are discarded).
+    #[must_use]
+    pub fn dest(&self) -> Option<Reg> {
+        self.dst.filter(|r| !r.is_zero())
+    }
+
+    /// Memory access width, for loads and stores.
+    #[must_use]
+    pub fn mem_size(&self) -> Option<DataSize> {
+        self.op.mem_size()
+    }
+}
+
+impl std::fmt::Display for StaticInst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.op)?;
+        if let Some(d) = self.dst {
+            write!(f, " {d}")?;
+        }
+        if let Some(s) = self.src1 {
+            write!(f, ", {s}")?;
+        }
+        if let Some(s) = self.src2 {
+            write!(f, ", {s}")?;
+        }
+        if self.imm != 0 {
+            write!(f, ", {}", self.imm)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_creates_no_dependences() {
+        let i = StaticInst {
+            op: Op::Add,
+            dst: Some(Reg::ZERO),
+            src1: Some(Reg::ZERO),
+            src2: Some(Reg::new(3)),
+            imm: 0,
+        };
+        assert_eq!(i.dest(), None, "writes to r0 are discarded");
+        assert_eq!(i.sources(), [None, Some(Reg::new(3))]);
+    }
+
+    #[test]
+    fn nop_touches_nothing() {
+        let n = StaticInst::nop();
+        assert_eq!(n.dest(), None);
+        assert_eq!(n.sources(), [None, None]);
+        assert_eq!(n.mem_size(), None);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let i = StaticInst {
+            op: Op::AddImm,
+            dst: Some(Reg::new(5)),
+            src1: Some(Reg::new(5)),
+            src2: None,
+            imm: 8,
+        };
+        assert_eq!(i.to_string(), "addimm r5, r5, 8");
+    }
+}

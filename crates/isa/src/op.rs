@@ -1,0 +1,266 @@
+//! Operations and their functional semantics.
+
+use sqip_types::DataSize;
+
+/// A micro-ISA operation.
+///
+/// Memory operations compute their effective address as `src1 + imm`;
+/// stores take their data from `src2`. Branch/jump targets are instruction
+/// *indices* held in `imm` (resolved from labels by the builder); `Ret`
+/// jumps to the address in `src1`, and `Call` writes the return address to
+/// its destination register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `dst = src1 + src2` (wrapping).
+    Add,
+    /// `dst = src1 - src2` (wrapping).
+    Sub,
+    /// `dst = src1 * src2` (wrapping); issued to the integer multiplier.
+    Mul,
+    /// `dst = src1 & src2`.
+    And,
+    /// `dst = src1 | src2`.
+    Or,
+    /// `dst = src1 ^ src2`.
+    Xor,
+    /// `dst = src1 << (src2 & 63)`.
+    Shl,
+    /// `dst = src1 >> (src2 & 63)` (logical).
+    Shr,
+    /// `dst = (src1 <s src2) ? 1 : 0` (signed compare).
+    CmpLt,
+    /// `dst = (src1 == src2) ? 1 : 0`.
+    CmpEq,
+    /// `dst = src1 + imm` (wrapping).
+    AddImm,
+    /// `dst = src1 * imm` (wrapping); integer multiplier.
+    MulImm,
+    /// `dst = imm` (sign-extended immediate materialisation).
+    LoadImm,
+    /// Floating-point add class (modelled on 64-bit integers; the predictors
+    /// never look at FP values, only at latencies and dependences).
+    FAdd,
+    /// Floating-point multiply class.
+    FMul,
+    /// Floating-point divide class (long latency, unpipelined).
+    FDiv,
+    /// `dst = zero_extend(mem[src1 + imm])` of the given width.
+    Load(DataSize),
+    /// `mem[src1 + imm] = truncate(src2)` of the given width.
+    Store(DataSize),
+    /// Branch to instruction index `imm` if `src1 == 0`.
+    BranchZ,
+    /// Branch to instruction index `imm` if `src1 != 0`.
+    BranchNZ,
+    /// Unconditional jump to instruction index `imm`.
+    Jump,
+    /// Call: `dst = return PC`, jump to instruction index `imm`.
+    Call,
+    /// Return: jump to the byte address in `src1`.
+    Ret,
+    /// No operation.
+    Nop,
+    /// Stop the program.
+    Halt,
+}
+
+/// Functional-unit class of an operation, used by the issue logic
+/// (the paper's issue mix: 6 int, 4 FP, 1 branch, 2 store, 2 load).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Simple integer ALU (1 cycle).
+    IntAlu,
+    /// Integer multiply (3 cycles).
+    IntMul,
+    /// FP add/sub (4 cycles).
+    FpAdd,
+    /// FP multiply (4 cycles).
+    FpMul,
+    /// FP divide (12 cycles).
+    FpDiv,
+    /// Load port.
+    Load,
+    /// Store port.
+    Store,
+    /// Branch unit.
+    Branch,
+    /// Consumes no functional unit (nop/halt).
+    None,
+}
+
+impl Op {
+    /// The functional-unit class this operation issues to.
+    #[must_use]
+    pub fn class(self) -> OpClass {
+        match self {
+            Op::Add
+            | Op::Sub
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Shl
+            | Op::Shr
+            | Op::CmpLt
+            | Op::CmpEq
+            | Op::AddImm
+            | Op::LoadImm => OpClass::IntAlu,
+            Op::Mul | Op::MulImm => OpClass::IntMul,
+            Op::FAdd => OpClass::FpAdd,
+            Op::FMul => OpClass::FpMul,
+            Op::FDiv => OpClass::FpDiv,
+            Op::Load(_) => OpClass::Load,
+            Op::Store(_) => OpClass::Store,
+            Op::BranchZ | Op::BranchNZ | Op::Jump | Op::Call | Op::Ret => OpClass::Branch,
+            Op::Nop | Op::Halt => OpClass::None,
+        }
+    }
+
+    /// Whether this is a load.
+    #[must_use]
+    pub fn is_load(self) -> bool {
+        matches!(self, Op::Load(_))
+    }
+
+    /// Whether this is a store.
+    #[must_use]
+    pub fn is_store(self) -> bool {
+        matches!(self, Op::Store(_))
+    }
+
+    /// Whether this is any control transfer.
+    #[must_use]
+    pub fn is_branch(self) -> bool {
+        self.class() == OpClass::Branch
+    }
+
+    /// Whether this is a *conditional* branch (the only ops the direction
+    /// predictor handles; jumps/calls/returns are always taken).
+    #[must_use]
+    pub fn is_conditional(self) -> bool {
+        matches!(self, Op::BranchZ | Op::BranchNZ)
+    }
+
+    /// Access width for memory operations.
+    #[must_use]
+    pub fn mem_size(self) -> Option<DataSize> {
+        match self {
+            Op::Load(s) | Op::Store(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Evaluates the *value-producing* semantics of a non-memory,
+    /// non-control operation.
+    ///
+    /// This is the function the timing simulator uses to recompute results
+    /// from speculative operand values, so a mis-forwarded load's poison
+    /// spreads exactly as far as real dataflow would carry it.
+    ///
+    /// Memory and control ops return 0 here; their results come from the
+    /// memory system / next-PC logic instead.
+    #[must_use]
+    pub fn eval(self, src1: u64, src2: u64, imm: i64) -> u64 {
+        match self {
+            Op::Add => src1.wrapping_add(src2),
+            Op::Sub => src1.wrapping_sub(src2),
+            Op::Mul => src1.wrapping_mul(src2),
+            Op::And => src1 & src2,
+            Op::Or => src1 | src2,
+            Op::Xor => src1 ^ src2,
+            Op::Shl => src1 << (src2 & 63),
+            Op::Shr => src1 >> (src2 & 63),
+            Op::CmpLt => u64::from((src1 as i64) < (src2 as i64)),
+            Op::CmpEq => u64::from(src1 == src2),
+            Op::AddImm => src1.wrapping_add(imm as u64),
+            Op::MulImm => src1.wrapping_mul(imm as u64),
+            Op::LoadImm => imm as u64,
+            // FP classes reuse integer semantics on the bit patterns; only
+            // their latency class differs, which is all the study needs.
+            Op::FAdd => src1.wrapping_add(src2),
+            Op::FMul => src1.wrapping_mul(src2).rotate_left(1),
+            Op::FDiv => src1 / src2.max(1),
+            Op::Load(_) | Op::Store(_) => 0,
+            Op::BranchZ | Op::BranchNZ | Op::Jump | Op::Call | Op::Ret | Op::Nop | Op::Halt => 0,
+        }
+    }
+
+    /// Evaluates the branch direction for conditional branches.
+    #[must_use]
+    pub fn branch_taken(self, src1: u64) -> bool {
+        match self {
+            Op::BranchZ => src1 == 0,
+            Op::BranchNZ => src1 != 0,
+            Op::Jump | Op::Call | Op::Ret => true,
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Op::Load(s) => write!(f, "ld{s}"),
+            Op::Store(s) => write!(f, "st{s}"),
+            other => write!(f, "{}", format!("{other:?}").to_lowercase()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_cover_issue_mix() {
+        assert_eq!(Op::Add.class(), OpClass::IntAlu);
+        assert_eq!(Op::Mul.class(), OpClass::IntMul);
+        assert_eq!(Op::FDiv.class(), OpClass::FpDiv);
+        assert_eq!(Op::Load(DataSize::Word).class(), OpClass::Load);
+        assert_eq!(Op::Store(DataSize::Byte).class(), OpClass::Store);
+        assert_eq!(Op::Ret.class(), OpClass::Branch);
+        assert_eq!(Op::Halt.class(), OpClass::None);
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Op::Load(DataSize::Quad).is_load());
+        assert!(!Op::Load(DataSize::Quad).is_store());
+        assert!(Op::Store(DataSize::Half).is_store());
+        assert!(Op::BranchZ.is_conditional());
+        assert!(Op::Jump.is_branch() && !Op::Jump.is_conditional());
+        assert_eq!(Op::Load(DataSize::Half).mem_size(), Some(DataSize::Half));
+        assert_eq!(Op::Add.mem_size(), None);
+    }
+
+    #[test]
+    fn eval_integer_semantics() {
+        assert_eq!(Op::Add.eval(3, 4, 0), 7);
+        assert_eq!(Op::Sub.eval(3, 4, 0), u64::MAX);
+        assert_eq!(Op::CmpLt.eval(u64::MAX, 0, 0), 1, "signed: -1 < 0");
+        assert_eq!(Op::CmpLt.eval(1, 0, 0), 0);
+        assert_eq!(Op::CmpEq.eval(5, 5, 0), 1);
+        assert_eq!(Op::AddImm.eval(10, 0, -3), 7);
+        assert_eq!(Op::LoadImm.eval(0, 0, -1), u64::MAX);
+        assert_eq!(Op::Shl.eval(1, 65, 0), 2, "shift amount masked to 6 bits");
+    }
+
+    #[test]
+    fn eval_fdiv_never_panics() {
+        assert_eq!(Op::FDiv.eval(10, 0, 0), 10, "divide by zero is guarded");
+    }
+
+    #[test]
+    fn branch_direction() {
+        assert!(Op::BranchZ.branch_taken(0));
+        assert!(!Op::BranchZ.branch_taken(1));
+        assert!(Op::BranchNZ.branch_taken(1));
+        assert!(Op::Jump.branch_taken(123));
+        assert!(!Op::Add.branch_taken(0));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Op::Load(DataSize::Quad).to_string(), "ld8B");
+        assert_eq!(Op::Add.to_string(), "add");
+    }
+}

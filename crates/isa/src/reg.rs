@@ -1,0 +1,81 @@
+//! Architectural registers.
+
+/// Number of architectural registers.
+pub const NUM_REGS: usize = 64;
+
+/// An architectural register name, `r0`–`r63`.
+///
+/// `r0` ([`Reg::ZERO`]) is hardwired to zero, Alpha/MIPS style: writes to it
+/// are discarded and reads always return 0. This gives programs a free
+/// constant and gives the renamer a register that never creates
+/// dependences.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired zero register.
+    pub const ZERO: Reg = Reg(0);
+
+    /// Creates a register name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_REGS`.
+    #[must_use]
+    pub fn new(index: u8) -> Reg {
+        assert!(
+            (index as usize) < NUM_REGS,
+            "register index {index} out of range (max {})",
+            NUM_REGS - 1
+        );
+        Reg(index)
+    }
+
+    /// The register's index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired zero register.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::new(1).is_zero());
+        assert_eq!(Reg::default(), Reg::ZERO);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for i in 0..NUM_REGS as u8 {
+            assert_eq!(Reg::new(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let _ = Reg::new(NUM_REGS as u8);
+    }
+
+    #[test]
+    fn displays_like_assembly() {
+        assert_eq!(Reg::new(17).to_string(), "r17");
+    }
+}

@@ -1,0 +1,269 @@
+//! A set-associative cache timing model with true-LRU replacement.
+
+use sqip_types::Addr;
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Access latency in cycles on a hit.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// The paper's L1 data cache: 64KB, 2-way, 3-cycle access.
+    #[must_use]
+    pub fn l1d() -> CacheConfig {
+        CacheConfig {
+            capacity_bytes: 64 * 1024,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 3,
+        }
+    }
+
+    /// The paper's unified L2: 1MB, 8-way, 10-cycle access.
+    #[must_use]
+    pub fn l2() -> CacheConfig {
+        CacheConfig {
+            capacity_bytes: 1024 * 1024,
+            ways: 8,
+            line_bytes: 64,
+            hit_latency: 10,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.capacity_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses observed.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0,1]`; zero when no accesses occurred.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    tag: u64,
+    /// Higher = more recently used.
+    lru: u64,
+}
+
+/// A set-associative tag array with true-LRU replacement.
+///
+/// Only tags are tracked — data lives in the flat
+/// [`MemImage`](crate::MemImage). `access` performs lookup-and-fill: a miss
+/// immediately installs the line (an atomic-fill simplification standard in
+/// trace-driven models).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    stats: CacheStats,
+    tick: u64,
+}
+
+impl Cache {
+    /// Builds a cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways, non-power-of-two
+    /// line size, capacity not divisible into sets).
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Cache {
+        assert!(config.ways > 0, "cache must have at least one way");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        let sets = config.sets();
+        assert!(sets > 0, "cache capacity too small for geometry");
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two for address slicing"
+        );
+        Cache {
+            config,
+            lines: vec![Line::default(); sets * config.ways],
+            stats: CacheStats::default(),
+            tick: 0,
+        }
+    }
+
+    /// The configured geometry.
+    #[must_use]
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accumulated hit/miss statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Looks up `addr`, filling on miss. Returns `true` on hit.
+    pub fn access(&mut self, addr: Addr) -> bool {
+        self.tick += 1;
+        let (set, tag) = self.slice(addr);
+        let base = set * self.config.ways;
+        let ways = &mut self.lines[base..base + self.config.ways];
+
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.tick;
+            self.stats.hits += 1;
+            return true;
+        }
+
+        // Miss: fill into the invalid or least-recently-used way.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("at least one way");
+        victim.valid = true;
+        victim.tag = tag;
+        victim.lru = self.tick;
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Whether `addr` is currently resident (no state change, no stats).
+    #[must_use]
+    pub fn probe(&self, addr: Addr) -> bool {
+        let (set, tag) = self.slice(addr);
+        let base = set * self.config.ways;
+        self.lines[base..base + self.config.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates everything (used at SSN wrap-around drains only if
+    /// configured; caches normally survive pipeline flushes).
+    pub fn invalidate_all(&mut self) {
+        for l in &mut self.lines {
+            l.valid = false;
+        }
+    }
+
+    fn slice(&self, addr: Addr) -> (usize, u64) {
+        let line = addr.line(self.config.line_bytes as u64);
+        let sets = self.config.sets() as u64;
+        ((line % sets) as usize, line / sets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512B.
+        Cache::new(CacheConfig {
+            capacity_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: 3,
+        })
+    }
+
+    #[test]
+    fn paper_geometries() {
+        assert_eq!(CacheConfig::l1d().sets(), 512);
+        assert_eq!(CacheConfig::l2().sets(), 2048);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(Addr::new(0x1000)));
+        assert!(c.access(Addr::new(0x1000)));
+        assert!(c.access(Addr::new(0x1004)), "same line, different byte");
+        assert_eq!(c.stats(), CacheStats { hits: 2, misses: 1 });
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (stride = sets*line = 256B).
+        let a = Addr::new(0x000);
+        let b = Addr::new(0x100);
+        let d = Addr::new(0x200);
+        c.access(a);
+        c.access(b);
+        c.access(a); // a is now MRU
+        assert!(!c.access(d), "d misses and evicts b");
+        assert!(c.probe(a), "a survived");
+        assert!(!c.probe(b), "b was the LRU victim");
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn probe_does_not_perturb() {
+        let mut c = tiny();
+        c.access(Addr::new(0));
+        let before = c.stats();
+        assert!(c.probe(Addr::new(0)));
+        assert!(!c.probe(Addr::new(0x40)));
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn invalidate_all_empties() {
+        let mut c = tiny();
+        c.access(Addr::new(0));
+        c.invalidate_all();
+        assert!(!c.probe(Addr::new(0)));
+    }
+
+    #[test]
+    fn miss_ratio_tracks() {
+        let mut c = tiny();
+        assert_eq!(c.stats().miss_ratio(), 0.0);
+        c.access(Addr::new(0));
+        c.access(Addr::new(0));
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_line_size() {
+        let _ = Cache::new(CacheConfig {
+            capacity_bytes: 512,
+            ways: 2,
+            line_bytes: 48,
+            hit_latency: 1,
+        });
+    }
+}

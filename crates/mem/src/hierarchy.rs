@@ -1,0 +1,193 @@
+//! The two-level cache hierarchy + memory model from the paper's §4.1
+//! configuration.
+
+use sqip_types::Addr;
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::tlb::{Tlb, TlbConfig};
+
+/// Where an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemLevel {
+    /// Hit in the L1 data cache.
+    L1,
+    /// Missed L1, hit L2.
+    L2,
+    /// Missed both caches; went to main memory.
+    Memory,
+}
+
+/// The latency breakdown of one data access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Deepest level consulted.
+    pub level: MemLevel,
+    /// Cache latency (L1 hit latency, plus L2/memory on misses).
+    pub cache_latency: u64,
+    /// Extra cycles from a TLB walk (0 on TLB hit).
+    pub tlb_latency: u64,
+}
+
+impl AccessOutcome {
+    /// Total cycles for the access.
+    #[must_use]
+    pub fn total_latency(&self) -> u64 {
+        self.cache_latency + self.tlb_latency
+    }
+
+    /// Whether the access hit in the L1 (the common case the scheduler
+    /// speculates on).
+    #[must_use]
+    pub fn is_l1_hit(&self) -> bool {
+        self.level == MemLevel::L1 && self.tlb_latency == 0
+    }
+}
+
+/// Latencies and geometries for the full hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 data cache geometry.
+    pub l1: CacheConfig,
+    /// L2 geometry.
+    pub l2: CacheConfig,
+    /// TLB geometry.
+    pub tlb: TlbConfig,
+    /// Main memory latency in cycles (the paper uses 150).
+    pub memory_latency: u64,
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> HierarchyConfig {
+        HierarchyConfig {
+            l1: CacheConfig::l1d(),
+            l2: CacheConfig::l2(),
+            tlb: TlbConfig::default(),
+            memory_latency: 150,
+        }
+    }
+}
+
+/// L1 + L2 + memory with a TLB in front, returning a latency per access.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    config: HierarchyConfig,
+    l1: Cache,
+    l2: Cache,
+    tlb: Tlb,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy.
+    #[must_use]
+    pub fn new(config: HierarchyConfig) -> Hierarchy {
+        Hierarchy {
+            config,
+            l1: Cache::new(config.l1),
+            l2: Cache::new(config.l2),
+            tlb: Tlb::new(config.tlb),
+        }
+    }
+
+    /// Performs (and fills for) a data access, returning its latency
+    /// breakdown.
+    pub fn access(&mut self, addr: Addr) -> AccessOutcome {
+        let tlb_latency = self.tlb.translate(addr);
+        if self.l1.access(addr) {
+            return AccessOutcome {
+                level: MemLevel::L1,
+                cache_latency: self.config.l1.hit_latency,
+                tlb_latency,
+            };
+        }
+        if self.l2.access(addr) {
+            return AccessOutcome {
+                level: MemLevel::L2,
+                cache_latency: self.config.l1.hit_latency + self.config.l2.hit_latency,
+                tlb_latency,
+            };
+        }
+        AccessOutcome {
+            level: MemLevel::Memory,
+            cache_latency: self.config.l1.hit_latency
+                + self.config.l2.hit_latency
+                + self.config.memory_latency,
+            tlb_latency,
+        }
+    }
+
+    /// Touches the line without charging latency — used by committing
+    /// stores (which are not on the load critical path) and by re-executing
+    /// loads, both of which still warm the cache.
+    pub fn touch(&mut self, addr: Addr) {
+        self.tlb.translate(addr);
+        if !self.l1.access(addr) {
+            self.l2.access(addr);
+        }
+    }
+
+    /// L1 statistics.
+    #[must_use]
+    pub fn l1_stats(&self) -> CacheStats {
+        self.l1.stats()
+    }
+
+    /// L2 statistics.
+    #[must_use]
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
+    /// TLB statistics.
+    #[must_use]
+    pub fn tlb_stats(&self) -> CacheStats {
+        self.tlb.stats()
+    }
+
+    /// The configured latencies.
+    #[must_use]
+    pub fn config(&self) -> HierarchyConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_latency_ladder() {
+        let mut h = Hierarchy::new(HierarchyConfig::default());
+        let a = Addr::new(0x4_0000);
+        let cold = h.access(a);
+        assert_eq!(cold.level, MemLevel::Memory);
+        assert_eq!(cold.cache_latency, 3 + 10 + 150);
+        assert_eq!(cold.tlb_latency, 30);
+
+        let warm = h.access(a);
+        assert_eq!(warm.level, MemLevel::L1);
+        assert_eq!(warm.total_latency(), 3);
+        assert!(warm.is_l1_hit());
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction() {
+        let mut h = Hierarchy::new(HierarchyConfig::default());
+        let target = Addr::new(0);
+        h.access(target);
+        // Evict from the 2-way L1 set by touching 2 more lines that map to
+        // L1 set 0 (L1 stride = 512 sets * 64B = 32KB) but distinct L2 sets.
+        h.access(Addr::new(32 * 1024));
+        h.access(Addr::new(64 * 1024));
+        let out = h.access(target);
+        assert_eq!(out.level, MemLevel::L2, "line fell out of L1 but not L2");
+        assert_eq!(out.cache_latency, 13);
+    }
+
+    #[test]
+    fn touch_warms_without_latency_accounting() {
+        let mut h = Hierarchy::new(HierarchyConfig::default());
+        h.touch(Addr::new(0x8000));
+        let out = h.access(Addr::new(0x8000));
+        assert_eq!(out.level, MemLevel::L1);
+    }
+}

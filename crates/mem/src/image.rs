@@ -1,0 +1,128 @@
+//! A sparse, byte-addressable memory image.
+
+use std::collections::HashMap;
+
+use sqip_types::{Addr, DataSize};
+
+const PAGE_BYTES: usize = 4096;
+
+/// A sparse 64-bit byte-addressable memory, allocated in 4KB pages on first
+/// touch. Unwritten bytes read as zero, like a fresh zero-filled process
+/// image.
+///
+/// Two images are kept by the timing simulator: the functional executor's
+/// architectural image and the commit-time image that backs the data cache,
+/// so that a load that wrongly skips forwarding really does observe the
+/// stale committed value.
+#[derive(Debug, Clone, Default)]
+pub struct MemImage {
+    pages: HashMap<u64, Box<[u8; PAGE_BYTES]>>,
+}
+
+impl MemImage {
+    /// Creates an empty (all-zero) image.
+    #[must_use]
+    pub fn new() -> MemImage {
+        MemImage::default()
+    }
+
+    /// Number of 4KB pages that have been touched.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte.
+    #[must_use]
+    pub fn read_byte(&self, addr: Addr) -> u8 {
+        let (page, off) = split(addr);
+        self.pages.get(&page).map_or(0, |p| p[off])
+    }
+
+    /// Writes one byte, allocating the page if needed.
+    pub fn write_byte(&mut self, addr: Addr, value: u8) {
+        let (page, off) = split(addr);
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u8; PAGE_BYTES]))[off] = value;
+    }
+
+    /// Reads a little-endian value of the given size.
+    #[must_use]
+    pub fn read(&self, addr: Addr, size: DataSize) -> u64 {
+        let mut v: u64 = 0;
+        for (i, byte_addr) in addr.span(size).byte_addrs().enumerate() {
+            v |= u64::from(self.read_byte(byte_addr)) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes a little-endian value of the given size (truncating `value`
+    /// to the access width, as store datapaths do).
+    pub fn write(&mut self, addr: Addr, size: DataSize, value: u64) {
+        for (i, byte_addr) in addr.span(size).byte_addrs().enumerate() {
+            self.write_byte(byte_addr, (value >> (8 * i)) as u8);
+        }
+    }
+}
+
+fn split(addr: Addr) -> (u64, usize) {
+    (addr.0 / PAGE_BYTES as u64, (addr.0 % PAGE_BYTES as u64) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = MemImage::new();
+        assert_eq!(m.read(Addr::new(0x7fff_0000), DataSize::Quad), 0);
+        assert_eq!(m.resident_pages(), 0, "reads do not allocate");
+    }
+
+    #[test]
+    fn read_back_each_size() {
+        let mut m = MemImage::new();
+        for (i, size) in DataSize::ALL.iter().enumerate() {
+            let a = Addr::new(0x100 + 16 * i as u64);
+            m.write(a, *size, 0x1122_3344_5566_7788);
+            assert_eq!(m.read(a, *size), size.truncate(0x1122_3344_5566_7788));
+        }
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = MemImage::new();
+        m.write(Addr::new(0x10), DataSize::Word, 0xA1B2_C3D4);
+        assert_eq!(m.read_byte(Addr::new(0x10)), 0xD4);
+        assert_eq!(m.read_byte(Addr::new(0x13)), 0xA1);
+        assert_eq!(m.read(Addr::new(0x12), DataSize::Half), 0xA1B2);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = MemImage::new();
+        let a = Addr::new(PAGE_BYTES as u64 - 4); // quad straddles page 0 / page 1
+        m.write(a, DataSize::Quad, 0x0102_0304_0506_0708);
+        assert_eq!(m.read(a, DataSize::Quad), 0x0102_0304_0506_0708);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn narrow_write_leaves_neighbours() {
+        let mut m = MemImage::new();
+        m.write(Addr::new(0x20), DataSize::Quad, u64::MAX);
+        m.write(Addr::new(0x22), DataSize::Byte, 0);
+        assert_eq!(m.read(Addr::new(0x20), DataSize::Quad), 0xFFFF_FFFF_FF00_FFFF);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut m = MemImage::new();
+        m.write(Addr::new(0x30), DataSize::Word, 7);
+        let snapshot = m.clone();
+        m.write(Addr::new(0x30), DataSize::Word, 9);
+        assert_eq!(snapshot.read(Addr::new(0x30), DataSize::Word), 7);
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based tests: the sparse memory image must behave exactly like
+//! a flat byte map under arbitrary read/write sequences.
+
+use proptest::prelude::*;
+use sqip_mem::MemImage;
+use sqip_types::{Addr, DataSize};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u64, DataSize, u64),
+    Read(u64, DataSize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let size = prop_oneof![
+        Just(DataSize::Byte),
+        Just(DataSize::Half),
+        Just(DataSize::Word),
+        Just(DataSize::Quad),
+    ];
+    prop_oneof![
+        (0u64..16_384, size.clone(), any::<u64>()).prop_map(|(a, s, v)| Op::Write(a, s, v)),
+        (0u64..16_384, size).prop_map(|(a, s)| Op::Read(a, s)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn image_matches_reference_byte_map(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut image = MemImage::new();
+        let mut reference: HashMap<u64, u8> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Write(a, s, v) => {
+                    image.write(Addr::new(a), s, v);
+                    for (i, b) in Addr::new(a).span(s).byte_addrs().enumerate() {
+                        reference.insert(b.0, (v >> (8 * i)) as u8);
+                    }
+                }
+                Op::Read(a, s) => {
+                    let mut want = 0u64;
+                    for (i, b) in Addr::new(a).span(s).byte_addrs().enumerate() {
+                        want |= u64::from(*reference.get(&b.0).unwrap_or(&0)) << (8 * i);
+                    }
+                    prop_assert_eq!(image.read(Addr::new(a), s), want);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn write_read_round_trip(a in 0u64..1_000_000, v in any::<u64>()) {
+        let mut image = MemImage::new();
+        for s in DataSize::ALL {
+            image.write(Addr::new(a), s, v);
+            prop_assert_eq!(image.read(Addr::new(a), s), s.truncate(v));
+        }
+    }
+}

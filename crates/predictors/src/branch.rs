@@ -1,0 +1,322 @@
+//! Branch prediction: hybrid gShare/bimodal + BTB + return-address stack,
+//! per the paper's §4.1 front-end configuration.
+
+use sqip_types::Pc;
+
+/// Branch predictor geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchConfig {
+    /// Entries in each direction table (gShare, bimodal, chooser); the
+    /// paper uses a 4K-entry hybrid.
+    pub direction_entries: usize,
+    /// BTB entries (2K in the paper).
+    pub btb_entries: usize,
+    /// BTB associativity (4 in the paper).
+    pub btb_ways: usize,
+    /// Return address stack depth (32 in the paper).
+    pub ras_depth: usize,
+    /// Global history length in bits.
+    pub history_bits: u32,
+}
+
+impl Default for BranchConfig {
+    fn default() -> BranchConfig {
+        BranchConfig {
+            direction_entries: 4096,
+            btb_entries: 2048,
+            btb_ways: 4,
+            ras_depth: 32,
+            history_bits: 12,
+        }
+    }
+}
+
+/// What the front end predicted for one branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchPrediction {
+    /// Predicted direction (always true for unconditional transfers).
+    pub taken: bool,
+    /// Predicted target, if the BTB/RAS produced one.
+    pub target: Option<Pc>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct BtbEntry {
+    valid: bool,
+    tag: u64,
+    target: Pc,
+    lru: u64,
+}
+
+/// A hybrid gShare/bimodal direction predictor with a chooser, a
+/// set-associative BTB, and a return-address stack.
+///
+/// The timing simulator runs on the architecturally correct path, so the
+/// predictor's role is to decide *whether* each control transfer redirects
+/// fetch (misprediction penalty) — exactly the accounting trace-driven
+/// simulators of the paper's era used.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    config: BranchConfig,
+    gshare: Vec<u8>,
+    bimodal: Vec<u8>,
+    chooser: Vec<u8>, // 0..=3; >=2 selects gShare
+    btb: Vec<BtbEntry>,
+    ras: Vec<Pc>,
+    history: u64,
+    tick: u64,
+}
+
+impl Default for BranchPredictor {
+    fn default() -> BranchPredictor {
+        BranchPredictor::new(BranchConfig::default())
+    }
+}
+
+impl BranchPredictor {
+    /// Builds a predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry (non-power-of-two tables, zero ways).
+    #[must_use]
+    pub fn new(config: BranchConfig) -> BranchPredictor {
+        assert!(
+            config.direction_entries.is_power_of_two(),
+            "direction tables must be a power of two"
+        );
+        assert!(config.btb_ways > 0, "BTB must have at least one way");
+        let btb_sets = config.btb_entries / config.btb_ways;
+        assert!(
+            btb_sets > 0 && btb_sets.is_power_of_two(),
+            "BTB set count must be a power of two"
+        );
+        BranchPredictor {
+            config,
+            gshare: vec![1; config.direction_entries], // weakly not-taken
+            bimodal: vec![1; config.direction_entries],
+            chooser: vec![2; config.direction_entries], // weakly prefer gShare
+            btb: vec![BtbEntry::default(); config.btb_entries],
+            ras: Vec::with_capacity(config.ras_depth),
+            history: 0,
+            tick: 0,
+        }
+    }
+
+    /// Predicts a conditional branch's direction and target.
+    pub fn predict_conditional(&mut self, pc: Pc) -> BranchPrediction {
+        let g = self.gshare[self.gshare_index(pc)] >= 2;
+        let b = self.bimodal[self.pc_index(pc)] >= 2;
+        let use_gshare = self.chooser[self.pc_index(pc)] >= 2;
+        let taken = if use_gshare { g } else { b };
+        BranchPrediction {
+            taken,
+            target: if taken { self.btb_lookup(pc) } else { None },
+        }
+    }
+
+    /// Predicts an unconditional jump/call (always taken; target from BTB).
+    /// For calls, also pushes the return address onto the RAS.
+    pub fn predict_unconditional(&mut self, pc: Pc, is_call: bool) -> BranchPrediction {
+        let target = self.btb_lookup(pc);
+        if is_call {
+            if self.ras.len() == self.config.ras_depth {
+                self.ras.remove(0); // overflow discards the oldest frame
+            }
+            self.ras.push(pc.next());
+        }
+        BranchPrediction { taken: true, target }
+    }
+
+    /// Predicts a return (target from the RAS, falling back to the BTB).
+    pub fn predict_return(&mut self, pc: Pc) -> BranchPrediction {
+        let target = self.ras.pop().or_else(|| self.btb_lookup(pc));
+        BranchPrediction { taken: true, target }
+    }
+
+    /// Updates direction tables, history, and BTB with a resolved branch.
+    pub fn update(&mut self, pc: Pc, conditional: bool, taken: bool, target: Pc) {
+        if conditional {
+            let gi = self.gshare_index(pc);
+            let pi = self.pc_index(pc);
+            let g_correct = (self.gshare[gi] >= 2) == taken;
+            let b_correct = (self.bimodal[pi] >= 2) == taken;
+            bump(&mut self.gshare[gi], taken);
+            bump(&mut self.bimodal[pi], taken);
+            match (g_correct, b_correct) {
+                (true, false) => bump(&mut self.chooser[pi], true),
+                (false, true) => bump(&mut self.chooser[pi], false),
+                _ => {}
+            }
+            self.history = ((self.history << 1) | u64::from(taken))
+                & ((1 << self.config.history_bits) - 1);
+        }
+        if taken {
+            self.btb_insert(pc, target);
+        }
+    }
+
+    /// Current RAS depth (diagnostics).
+    #[must_use]
+    pub fn ras_depth(&self) -> usize {
+        self.ras.len()
+    }
+
+    fn pc_index(&self, pc: Pc) -> usize {
+        pc.table_index(self.config.direction_entries)
+    }
+
+    fn gshare_index(&self, pc: Pc) -> usize {
+        (self.pc_index(pc) as u64 ^ self.history) as usize & (self.config.direction_entries - 1)
+    }
+
+    fn btb_slice(&self, pc: Pc) -> (usize, u64) {
+        let sets = self.config.btb_entries / self.config.btb_ways;
+        let set = pc.table_index(sets);
+        (set * self.config.btb_ways, (pc.0 >> 2) / sets as u64)
+    }
+
+    fn btb_lookup(&self, pc: Pc) -> Option<Pc> {
+        let (base, tag) = self.btb_slice(pc);
+        self.btb[base..base + self.config.btb_ways]
+            .iter()
+            .find(|e| e.valid && e.tag == tag)
+            .map(|e| e.target)
+    }
+
+    fn btb_insert(&mut self, pc: Pc, target: Pc) {
+        self.tick += 1;
+        let tick = self.tick;
+        let ways = self.config.btb_ways;
+        let (base, tag) = self.btb_slice(pc);
+        let set = &mut self.btb[base..base + ways];
+        if let Some(e) = set.iter_mut().find(|e| e.valid && e.tag == tag) {
+            e.target = target;
+            e.lru = tick;
+            return;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|e| (e.valid, e.lru))
+            .expect("at least one way");
+        *victim = BtbEntry {
+            valid: true,
+            tag,
+            target,
+            lru: tick,
+        };
+    }
+}
+
+fn bump(counter: &mut u8, up: bool) {
+    if up {
+        *counter = (*counter + 1).min(3);
+    } else {
+        *counter = counter.saturating_sub(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_always_taken_branch() {
+        let mut bp = BranchPredictor::default();
+        let pc = Pc::new(0x40);
+        let tgt = Pc::new(0x10);
+        for _ in 0..4 {
+            bp.update(pc, true, true, tgt);
+        }
+        let p = bp.predict_conditional(pc);
+        assert!(p.taken);
+        assert_eq!(p.target, Some(tgt));
+    }
+
+    #[test]
+    fn learns_never_taken_branch() {
+        let mut bp = BranchPredictor::default();
+        let pc = Pc::new(0x40);
+        for _ in 0..4 {
+            bp.update(pc, true, false, Pc::new(0));
+        }
+        assert!(!bp.predict_conditional(pc).taken);
+    }
+
+    #[test]
+    fn gshare_learns_alternating_pattern() {
+        let mut bp = BranchPredictor::default();
+        let pc = Pc::new(0x80);
+        let tgt = Pc::new(0x20);
+        // Alternating T/NT: bimodal hovers, gShare keyed by history learns.
+        let mut correct = 0;
+        for i in 0..200u32 {
+            let actual = i % 2 == 0;
+            if bp.predict_conditional(pc).taken == actual {
+                correct += 1;
+            }
+            bp.update(pc, true, actual, tgt);
+        }
+        assert!(
+            correct > 150,
+            "hybrid should learn the alternating pattern (got {correct}/200)"
+        );
+    }
+
+    #[test]
+    fn ras_pairs_calls_and_returns() {
+        let mut bp = BranchPredictor::default();
+        let call_pc = Pc::new(0x100);
+        bp.predict_unconditional(call_pc, true);
+        assert_eq!(bp.ras_depth(), 1);
+        let p = bp.predict_return(Pc::new(0x500));
+        assert_eq!(p.target, Some(call_pc.next()));
+        assert_eq!(bp.ras_depth(), 0);
+    }
+
+    #[test]
+    fn ras_overflow_discards_oldest() {
+        let mut bp = BranchPredictor::new(BranchConfig {
+            ras_depth: 2,
+            ..BranchConfig::default()
+        });
+        bp.predict_unconditional(Pc::new(0x10), true);
+        bp.predict_unconditional(Pc::new(0x20), true);
+        bp.predict_unconditional(Pc::new(0x30), true);
+        assert_eq!(bp.predict_return(Pc::new(0)).target, Some(Pc::new(0x34)));
+        assert_eq!(bp.predict_return(Pc::new(0)).target, Some(Pc::new(0x24)));
+        assert_eq!(
+            bp.predict_return(Pc::new(0)).target,
+            None,
+            "oldest frame was discarded on overflow (no BTB entry either)"
+        );
+    }
+
+    #[test]
+    fn btb_miss_on_cold_branch() {
+        let mut bp = BranchPredictor::default();
+        let p = bp.predict_unconditional(Pc::new(0x40), false);
+        assert!(p.taken);
+        assert_eq!(p.target, None, "cold BTB cannot provide a target");
+    }
+
+    #[test]
+    fn btb_replacement_is_lru() {
+        let mut bp = BranchPredictor::new(BranchConfig {
+            btb_entries: 8,
+            btb_ways: 2,
+            ..BranchConfig::default()
+        });
+        // Three branches in the same BTB set (stride = 4 sets * 4 bytes).
+        let a = Pc::new(0x00);
+        let b = Pc::new(0x10);
+        let c = Pc::new(0x20);
+        bp.update(a, false, true, Pc::new(0xA0));
+        bp.update(b, false, true, Pc::new(0xB0));
+        bp.update(a, false, true, Pc::new(0xA0)); // refresh a
+        bp.update(c, false, true, Pc::new(0xC0)); // evicts b
+        assert_eq!(bp.predict_unconditional(a, false).target, Some(Pc::new(0xA0)));
+        assert_eq!(bp.predict_unconditional(b, false).target, None);
+        assert_eq!(bp.predict_unconditional(c, false).target, Some(Pc::new(0xC0)));
+    }
+}

@@ -1,0 +1,127 @@
+//! Saturating counters, the confidence mechanism in every predictor table.
+
+/// An `n`-bit saturating counter with a prediction threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SatCounter {
+    value: u8,
+    max: u8,
+    threshold: u8,
+}
+
+impl SatCounter {
+    /// Builds a counter saturating at `max`, predicting "yes" at or above
+    /// `threshold`, starting at zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold > max` or `max == 0`.
+    #[must_use]
+    pub fn new(max: u8, threshold: u8) -> SatCounter {
+        assert!(max > 0, "counter must have at least one bit of range");
+        assert!(threshold <= max, "threshold must be reachable");
+        SatCounter {
+            value: 0,
+            max,
+            threshold,
+        }
+    }
+
+    /// A 4-bit counter (saturating at 15) with the given threshold — the
+    /// width the paper budgets for FSP and DDP entries.
+    #[must_use]
+    pub fn four_bit(threshold: u8) -> SatCounter {
+        SatCounter::new(15, threshold)
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> u8 {
+        self.value
+    }
+
+    /// Whether the counter is at or above its prediction threshold.
+    #[must_use]
+    pub fn predicts(&self) -> bool {
+        self.value >= self.threshold
+    }
+
+    /// Whether the counter has decayed to zero (replacement candidate).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.value == 0
+    }
+
+    /// Saturating increment by `amount`.
+    pub fn strengthen(&mut self, amount: u8) {
+        self.value = self.value.saturating_add(amount).min(self.max);
+    }
+
+    /// Saturating decrement by `amount`.
+    pub fn weaken(&mut self, amount: u8) {
+        self.value = self.value.saturating_sub(amount);
+    }
+
+    /// Resets to zero.
+    pub fn clear(&mut self) {
+        self.value = 0;
+    }
+
+    /// Jumps straight to the saturated maximum (used when a new dependence
+    /// is learned from a flush, which the paper treats as strong evidence).
+    pub fn saturate(&mut self) {
+        self.value = self.max;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_both_ways() {
+        let mut c = SatCounter::new(3, 2);
+        c.weaken(5);
+        assert_eq!(c.value(), 0);
+        c.strengthen(10);
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn threshold_semantics() {
+        let mut c = SatCounter::four_bit(8);
+        assert!(!c.predicts());
+        c.strengthen(8);
+        assert!(c.predicts());
+        c.weaken(1);
+        assert!(!c.predicts());
+    }
+
+    #[test]
+    fn asymmetric_training_models_ratio() {
+        // 8:1 ratio — one positive outweighs seven negatives.
+        let mut c = SatCounter::four_bit(8);
+        c.strengthen(8);
+        for _ in 0..7 {
+            c.weaken(1);
+        }
+        assert!(!c.predicts());
+        c.strengthen(8);
+        assert!(c.predicts());
+    }
+
+    #[test]
+    fn clear_and_saturate() {
+        let mut c = SatCounter::four_bit(8);
+        c.saturate();
+        assert_eq!(c.value(), 15);
+        assert!(c.predicts());
+        c.clear();
+        assert!(c.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "reachable")]
+    fn threshold_above_max_rejected() {
+        let _ = SatCounter::new(3, 4);
+    }
+}

@@ -1,0 +1,350 @@
+//! The Delay Distance Predictor (DDP), §3.3.
+
+use sqip_types::Pc;
+
+use crate::counter::SatCounter;
+use crate::TrainRatio;
+
+/// DDP geometry and training parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DdpConfig {
+    /// Total entries (default 4K, swept with the FSP in Figure 5).
+    pub entries: usize,
+    /// Set associativity (fixed at 2 in the paper's sweeps).
+    pub ways: usize,
+    /// Partial tag width in bits.
+    pub tag_bits: u32,
+    /// Positive:negative training weights (default 4:1; Figure 5 sweeps
+    /// 0:1, 1:1, 2:1, 4:1, 8:1 and 1:0).
+    pub ratio: TrainRatio,
+    /// Counter prediction threshold.
+    pub threshold: u8,
+    /// Maximum representable delay distance. Distances are stored in
+    /// ⌈log2(SQ size)⌉ bits because a delay larger than the SQ is no delay
+    /// at all; this is the SQ size (64 by default).
+    pub max_distance: u64,
+    /// How many training events on an entry before the "current" distance
+    /// field is refreshed from the "future" field (8 in the paper).
+    pub swap_period: u8,
+}
+
+impl Default for DdpConfig {
+    fn default() -> DdpConfig {
+        DdpConfig {
+            entries: 4096,
+            ways: 2,
+            tag_bits: 8,
+            ratio: TrainRatio::new(4, 1),
+            threshold: 4,
+            max_distance: 64,
+            swap_period: 8,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct DdpEntry {
+    valid: bool,
+    tag: u64,
+    counter: SatCounter,
+    /// Distance currently used for predictions.
+    dist_current: u64,
+    /// Distance being re-learned; promoted to `dist_current` every
+    /// `swap_period` training events so over-conservative distances decay.
+    dist_future: u64,
+    events: u8,
+    lru: u64,
+}
+
+/// The tagged, PC-indexed table mapping each difficult load to the distance
+/// (in dynamic stores) to the closest older store that causes its
+/// mis-forwardings.
+///
+/// A load predicted by the DDP is held at issue until the store
+/// `SSNren − distance` has committed, converting what would have been a
+/// mis-forwarding flush into a bounded delay. The dual distance fields
+/// implement the paper's down-training: both are trained with the minimum
+/// observed distance, and every eight events the current field is replaced
+/// by the future field (which then resets), so distances can shrink as well
+/// as grow... or rather, can *grow back* toward no-delay instead of
+/// converging monotonically to the most conservative value ever seen.
+#[derive(Debug, Clone)]
+pub struct Ddp {
+    config: DdpConfig,
+    sets: Vec<DdpEntry>,
+    tick: u64,
+}
+
+impl Default for Ddp {
+    fn default() -> Ddp {
+        Ddp::new(DdpConfig::default())
+    }
+}
+
+impl Ddp {
+    /// Builds a DDP.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry.
+    #[must_use]
+    pub fn new(config: DdpConfig) -> Ddp {
+        assert!(config.ways > 0, "DDP must have at least one way");
+        let sets = config.entries / config.ways;
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "DDP set count must be a power of two (got {sets})"
+        );
+        let empty = DdpEntry {
+            valid: false,
+            tag: 0,
+            counter: SatCounter::four_bit(config.threshold),
+            dist_current: config.max_distance,
+            dist_future: config.max_distance,
+            events: 0,
+            lru: 0,
+        };
+        Ddp {
+            config,
+            sets: vec![empty; config.entries],
+            tick: 0,
+        }
+    }
+
+    /// The configured parameters.
+    #[must_use]
+    pub fn config(&self) -> DdpConfig {
+        self.config
+    }
+
+    /// The delay distance for this load: `Some(d)` if the load should not
+    /// execute until the store `d` dynamic stores before it has committed,
+    /// `None` for no effective delay (no entry or low confidence).
+    #[must_use]
+    pub fn predict(&self, load_pc: Pc) -> Option<u64> {
+        let (base, tag) = self.slice(load_pc);
+        self.sets[base..base + self.config.ways]
+            .iter()
+            .find(|e| e.valid && e.tag == tag && e.counter.predicts())
+            .map(|e| e.dist_current)
+    }
+
+    /// Trains on a *wrong forwarding prediction* at this load's commit:
+    /// raises confidence, and — when the caller supplies a corroborated
+    /// distance (the load flushed, was forcibly delayed, or named the right
+    /// store PC but the wrong instance) — learns `observed_distance` if
+    /// smaller than what is known. Wrong predictions without distance
+    /// evidence (`None`) still raise confidence and tick the entry, but a
+    /// confident entry whose distance fields sit at `max_distance` is an
+    /// effective no-delay, so lossy-SSBF aliasing noise stays harmless.
+    pub fn learn(&mut self, load_pc: Pc, observed_distance: Option<u64>) {
+        if !self.config.ratio.learns() {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let cfg = self.config;
+        let (base, tag) = self.slice(load_pc);
+        let set = &mut self.sets[base..base + cfg.ways];
+        let dist = observed_distance
+            .unwrap_or(cfg.max_distance)
+            .min(cfg.max_distance);
+
+        if let Some(e) = set.iter_mut().find(|e| e.valid && e.tag == tag) {
+            e.counter.strengthen(cfg.ratio.positive);
+            // "a delay distance is learned only if it is smaller than the
+            // current known delay"
+            e.dist_current = e.dist_current.min(dist);
+            e.dist_future = e.dist_future.min(dist);
+            e.lru = tick;
+            Self::bump_events(e, cfg.swap_period, cfg.max_distance);
+            return;
+        }
+        let victim = set
+            .iter_mut()
+            .min_by_key(|e| (e.valid, !e.counter.is_zero(), e.lru))
+            .expect("at least one way");
+        victim.valid = true;
+        victim.tag = tag;
+        victim.counter = SatCounter::four_bit(cfg.threshold);
+        victim.counter.strengthen(cfg.ratio.positive);
+        victim.dist_current = dist;
+        victim.dist_future = dist;
+        victim.events = 0;
+        victim.lru = tick;
+    }
+
+    /// Trains on a *correct forwarding prediction* at this load's commit:
+    /// lowers confidence (no need to delay a load we can forward-predict).
+    pub fn unlearn(&mut self, load_pc: Pc) {
+        let cfg = self.config;
+        let (base, tag) = self.slice(load_pc);
+        if let Some(e) = self.sets[base..base + cfg.ways]
+            .iter_mut()
+            .find(|e| e.valid && e.tag == tag)
+        {
+            e.counter.weaken(cfg.ratio.negative);
+            Self::bump_events(e, cfg.swap_period, cfg.max_distance);
+        }
+    }
+
+    /// Clears the table (SSN wrap-around drain).
+    pub fn clear(&mut self) {
+        for e in &mut self.sets {
+            e.valid = false;
+        }
+    }
+
+    /// Number of valid entries (diagnostics).
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().filter(|e| e.valid).count()
+    }
+
+    fn bump_events(e: &mut DdpEntry, period: u8, max_distance: u64) {
+        e.events += 1;
+        if e.events >= period {
+            e.events = 0;
+            e.dist_current = e.dist_future;
+            e.dist_future = max_distance;
+        }
+    }
+
+    fn slice(&self, pc: Pc) -> (usize, u64) {
+        let sets = self.config.entries / self.config.ways;
+        let set = pc.table_index(sets);
+        (set * self.config.ways, pc.partial_tag(sets, self.config.tag_bits))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Ddp {
+        Ddp::new(DdpConfig {
+            entries: 32,
+            ways: 2,
+            ..DdpConfig::default()
+        })
+    }
+
+    #[test]
+    fn empty_table_never_delays() {
+        assert_eq!(Ddp::default().predict(Pc::new(0x40)), None);
+    }
+
+    #[test]
+    fn learn_reaches_threshold_then_predicts() {
+        let mut ddp = small();
+        let ld = Pc::new(0x80);
+        ddp.learn(ld, Some(10));
+        assert_eq!(ddp.predict(ld), Some(10), "4:1 ratio reaches threshold at once");
+    }
+
+    #[test]
+    fn distance_only_shrinks_within_a_window() {
+        let mut ddp = small();
+        let ld = Pc::new(0x80);
+        ddp.learn(ld, Some(10));
+        ddp.learn(ld, Some(20));
+        assert_eq!(ddp.predict(ld), Some(10), "larger distance is not learned");
+        ddp.learn(ld, Some(4));
+        assert_eq!(ddp.predict(ld), Some(4), "smaller distance is learned");
+    }
+
+    #[test]
+    fn future_field_lets_distance_grow_back() {
+        let mut ddp = small();
+        let ld = Pc::new(0x80);
+        ddp.learn(ld, Some(2)); // a one-off close store
+        // Two full 8-event windows at distance 20. The first swap still
+        // publishes 2 (the future field saw the early event); the second
+        // window's future field only ever sees 20, so the stale
+        // over-conservative distance is discarded at the second swap.
+        for _ in 0..16 {
+            ddp.learn(ld, Some(20));
+        }
+        assert_eq!(
+            ddp.predict(ld),
+            Some(20),
+            "swap discarded the stale over-conservative distance"
+        );
+    }
+
+    #[test]
+    fn unlearn_lowers_confidence() {
+        let mut ddp = small();
+        let ld = Pc::new(0x80);
+        ddp.learn(ld, Some(10)); // counter = 4 (threshold)
+        ddp.unlearn(ld);
+        assert_eq!(ddp.predict(ld), None, "one correct prediction drops below threshold");
+        ddp.learn(ld, Some(10));
+        assert!(ddp.predict(ld).is_some());
+    }
+
+    #[test]
+    fn zero_one_ratio_never_learns() {
+        let mut ddp = Ddp::new(DdpConfig {
+            entries: 32,
+            ways: 2,
+            ratio: TrainRatio::new(0, 1),
+            ..DdpConfig::default()
+        });
+        let ld = Pc::new(0x80);
+        for _ in 0..100 {
+            ddp.learn(ld, Some(5));
+        }
+        assert_eq!(ddp.predict(ld), None, "0:1 degenerates to the raw Fwd configuration");
+        assert_eq!(ddp.occupancy(), 0);
+    }
+
+    #[test]
+    fn one_zero_ratio_never_unlearns() {
+        let mut ddp = Ddp::new(DdpConfig {
+            entries: 32,
+            ways: 2,
+            ratio: TrainRatio::new(1, 0),
+            threshold: 1,
+            ..DdpConfig::default()
+        });
+        let ld = Pc::new(0x80);
+        ddp.learn(ld, Some(5));
+        for _ in 0..100 {
+            ddp.unlearn(ld);
+        }
+        // The *decision* to delay never un-learns (counter never decays),
+        // but the distance itself decays toward max_distance (≈ no
+        // effective delay) through the future-field swaps, since only
+        // wrong predictions carry distance information.
+        assert_eq!(ddp.predict(ld), Some(64), "still predicts delay, distance decayed");
+        ddp.learn(ld, Some(5));
+        assert_eq!(ddp.predict(ld), Some(5), "a new wrong prediction re-learns at once");
+    }
+
+    #[test]
+    fn distance_saturates_at_sq_size() {
+        let mut ddp = small();
+        let ld = Pc::new(0x80);
+        ddp.learn(ld, Some(1000));
+        assert_eq!(ddp.predict(ld), Some(64), "distances cap at max_distance");
+    }
+
+    #[test]
+    fn tag_mismatch_misses() {
+        let mut ddp = small();
+        let sets = 16;
+        let a = Pc::from_index(3);
+        let b = Pc::from_index(3 + sets);
+        ddp.learn(a, Some(10));
+        assert_eq!(ddp.predict(b), None);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut ddp = small();
+        ddp.learn(Pc::new(0x80), Some(10));
+        ddp.clear();
+        assert_eq!(ddp.occupancy(), 0);
+    }
+}

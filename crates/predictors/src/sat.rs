@@ -1,0 +1,234 @@
+//! The Store Alias Table (SAT), §3.2.
+
+use sqip_types::{Seq, Ssn};
+
+/// A checkpoint of the full SAT contents (the paper's SAT supports 4
+/// checkpoints; the simulator does not bound how many you take).
+#[derive(Debug, Clone)]
+pub struct SatCheckpoint {
+    entries: Vec<Ssn>,
+}
+
+/// The untagged table mapping each partial store PC to the SSN of the
+/// youngest in-flight (renamed) instance of that store.
+///
+/// Like a register alias table, the SAT is written at rename and must be
+/// repaired when renamed-but-squashed stores are flushed. Repair is for
+/// performance only — a stale SAT entry merely degrades prediction — but we
+/// model it faithfully with a write log ([`Sat::rollback_younger`])
+/// and with whole-table checkpoints ([`Sat::checkpoint`] /
+/// [`Sat::restore`]), the two mechanisms the paper names.
+///
+/// # Example
+///
+/// ```
+/// use sqip_predictors::Sat;
+/// use sqip_types::{Seq, Ssn};
+///
+/// let mut sat = Sat::new(256);
+/// sat.update(0x17, Ssn::new(34), Seq(100));
+/// assert_eq!(sat.lookup(0x17), Ssn::new(34));
+/// sat.rollback_younger(Seq(100)); // squash the store that wrote it
+/// assert_eq!(sat.lookup(0x17), Ssn::NONE);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sat {
+    entries: Vec<Ssn>,
+    /// Write log for flush repair: (sequence of writer, index, old value).
+    log: Vec<(Seq, usize, Ssn)>,
+}
+
+impl Sat {
+    /// Builds a SAT with `entries` slots (256 in the paper, indexed by the
+    /// 8-bit partial store PC).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    #[must_use]
+    pub fn new(entries: usize) -> Sat {
+        assert!(entries.is_power_of_two(), "SAT size must be a power of two");
+        Sat {
+            entries: vec![Ssn::NONE; entries],
+            log: Vec::new(),
+        }
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The SAT always has slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Records that the store at `partial_pc` renamed as `ssn` (writer's
+    /// fetch sequence recorded for flush repair).
+    pub fn update(&mut self, partial_pc: u64, ssn: Ssn, writer: Seq) {
+        let idx = self.index(partial_pc);
+        self.log.push((writer, idx, self.entries[idx]));
+        self.entries[idx] = ssn;
+    }
+
+    /// The SSN of the youngest renamed instance of the store with this
+    /// partial PC ([`Ssn::NONE`] if none).
+    #[must_use]
+    pub fn lookup(&self, partial_pc: u64) -> Ssn {
+        self.entries[self.index(partial_pc)]
+    }
+
+    /// Undoes, youngest-first, every write made by instructions with
+    /// sequence `>= squash_from` (mis-forwarding flush repair).
+    pub fn rollback_younger(&mut self, squash_from: Seq) {
+        while let Some(&(seq, idx, old)) = self.log.last() {
+            if seq.is_older_than(squash_from) {
+                break;
+            }
+            self.entries[idx] = old;
+            self.log.pop();
+        }
+    }
+
+    /// Drops log entries for stores at or older than `committed` — their
+    /// writes can no longer be squashed. Call periodically (e.g. at commit)
+    /// to keep the log bounded.
+    pub fn prune_log(&mut self, committed: Seq) {
+        self.log.retain(|(seq, _, _)| !seq.is_older_than(committed.next()));
+    }
+
+    /// Takes a full-contents checkpoint.
+    #[must_use]
+    pub fn checkpoint(&self) -> SatCheckpoint {
+        SatCheckpoint {
+            entries: self.entries.clone(),
+        }
+    }
+
+    /// Restores a checkpoint (discards the write log, which the checkpoint
+    /// supersedes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint came from a SAT of a different size.
+    pub fn restore(&mut self, checkpoint: &SatCheckpoint) {
+        assert_eq!(
+            checkpoint.entries.len(),
+            self.entries.len(),
+            "checkpoint size mismatch"
+        );
+        self.entries.clone_from(&checkpoint.entries);
+        self.log.clear();
+    }
+
+    /// Clears every entry and the log (SSN wrap-around drain).
+    pub fn clear(&mut self) {
+        self.entries.fill(Ssn::NONE);
+        self.log.clear();
+    }
+
+    /// Current log length (diagnostics; bounded by in-flight stores when
+    /// `prune_log` is used).
+    #[must_use]
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    fn index(&self, partial_pc: u64) -> usize {
+        (partial_pc as usize) & (self.entries.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_then_lookup() {
+        let mut sat = Sat::new(256);
+        sat.update(5, Ssn::new(18), Seq(1));
+        assert_eq!(sat.lookup(5), Ssn::new(18));
+        assert_eq!(sat.lookup(6), Ssn::NONE);
+    }
+
+    #[test]
+    fn youngest_instance_wins() {
+        let mut sat = Sat::new(256);
+        sat.update(5, Ssn::new(18), Seq(1));
+        sat.update(5, Ssn::new(34), Seq(9));
+        assert_eq!(sat.lookup(5), Ssn::new(34));
+    }
+
+    #[test]
+    fn rollback_restores_older_instance() {
+        let mut sat = Sat::new(256);
+        sat.update(5, Ssn::new(18), Seq(1));
+        sat.update(5, Ssn::new(34), Seq(9));
+        sat.update(7, Ssn::new(35), Seq(10));
+        sat.rollback_younger(Seq(9));
+        assert_eq!(sat.lookup(5), Ssn::new(18), "squashed write undone");
+        assert_eq!(sat.lookup(7), Ssn::NONE, "younger write also undone");
+    }
+
+    #[test]
+    fn rollback_is_exact_at_boundary() {
+        let mut sat = Sat::new(256);
+        sat.update(1, Ssn::new(10), Seq(5));
+        sat.rollback_younger(Seq(6));
+        assert_eq!(sat.lookup(1), Ssn::new(10), "older write survives");
+        sat.rollback_younger(Seq(5));
+        assert_eq!(sat.lookup(1), Ssn::NONE, "boundary write squashed");
+    }
+
+    #[test]
+    fn prune_bounds_log() {
+        let mut sat = Sat::new(256);
+        for i in 0..100 {
+            sat.update(i % 8, Ssn::new(i + 1), Seq(i));
+        }
+        assert_eq!(sat.log_len(), 100);
+        sat.prune_log(Seq(49));
+        assert_eq!(sat.log_len(), 50);
+        // Rollback of still-logged writes still works.
+        sat.rollback_younger(Seq(50));
+        assert_eq!(sat.lookup(50 % 8), Ssn::new(43), "value from seq 42 write");
+    }
+
+    #[test]
+    fn checkpoint_restore() {
+        let mut sat = Sat::new(256);
+        sat.update(3, Ssn::new(7), Seq(0));
+        let cp = sat.checkpoint();
+        sat.update(3, Ssn::new(9), Seq(1));
+        sat.update(4, Ssn::new(10), Seq(2));
+        sat.restore(&cp);
+        assert_eq!(sat.lookup(3), Ssn::new(7));
+        assert_eq!(sat.lookup(4), Ssn::NONE);
+        assert_eq!(sat.log_len(), 0);
+    }
+
+    #[test]
+    fn index_wraps_partial_pc() {
+        let mut sat = Sat::new(16);
+        sat.update(0x13, Ssn::new(1), Seq(0));
+        assert_eq!(sat.lookup(0x03), Ssn::new(1), "only low bits index");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut sat = Sat::new(256);
+        sat.update(1, Ssn::new(2), Seq(0));
+        sat.clear();
+        assert_eq!(sat.lookup(1), Ssn::NONE);
+        assert_eq!(sat.log_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Sat::new(100);
+    }
+}

@@ -1,0 +1,95 @@
+//! The Store PC Table (SPCT), §2 — trains store-load pair predictors under
+//! pre-commit re-execution.
+
+use sqip_types::{Addr, AddrSpan};
+
+use crate::ssbf::fold;
+
+/// An address-indexed table holding, per byte, the (partial) PC of the last
+/// committed store to write that byte.
+///
+/// Re-execution detects *that* a load went wrong but not *which* store it
+/// should have forwarded from; a committing load probes the SPCT with its
+/// address to recover the producing store's PC and train the FSP.
+#[derive(Debug, Clone)]
+pub struct Spct {
+    entries: Vec<Option<u64>>,
+}
+
+impl Spct {
+    /// Builds an SPCT with `entries` byte slots (2K in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    #[must_use]
+    pub fn new(entries: usize) -> Spct {
+        assert!(entries.is_power_of_two(), "SPCT size must be a power of two");
+        Spct {
+            entries: vec![None; entries],
+        }
+    }
+
+    /// Number of byte slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The SPCT always has slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Records a committing store's partial PC over the bytes it wrote.
+    pub fn update(&mut self, span: AddrSpan, partial_pc: u64) {
+        let mask = self.entries.len() - 1;
+        for b in span.byte_addrs() {
+            self.entries[fold(b.0) & mask] = Some(partial_pc);
+        }
+    }
+
+    /// The partial PC of the last committed store to write this byte.
+    #[must_use]
+    pub fn lookup_byte(&self, addr: Addr) -> Option<u64> {
+        self.entries[fold(addr.0) & (self.entries.len() - 1)]
+    }
+
+    /// Clears the table (SSN wrap-around drain).
+    pub fn clear(&mut self) {
+        self.entries.fill(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqip_types::DataSize;
+
+    #[test]
+    fn per_byte_tracking() {
+        let mut spct = Spct::new(2048);
+        spct.update(Addr::new(0x100).span(DataSize::Word), 0xAA);
+        spct.update(Addr::new(0x102).span(DataSize::Byte), 0xBB);
+        assert_eq!(spct.lookup_byte(Addr::new(0x100)), Some(0xAA));
+        assert_eq!(spct.lookup_byte(Addr::new(0x102)), Some(0xBB), "newer store wins its byte");
+        assert_eq!(spct.lookup_byte(Addr::new(0x103)), Some(0xAA));
+        assert_eq!(spct.lookup_byte(Addr::new(0x104)), None);
+    }
+
+    #[test]
+    fn aliasing_low_bits() {
+        let mut spct = Spct::new(64);
+        spct.update(Addr::new(3).span(DataSize::Byte), 0x7);
+        assert_eq!(spct.lookup_byte(Addr::new(64 + 3)), Some(0x7));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut spct = Spct::new(64);
+        spct.update(Addr::new(0).span(DataSize::Byte), 1);
+        spct.clear();
+        assert_eq!(spct.lookup_byte(Addr::new(0)), None);
+    }
+}

@@ -1,0 +1,135 @@
+//! The Store Sequence Bloom Filter (SSBF), from the SVW work the paper
+//! builds on (§2).
+
+use sqip_types::{AddrSpan, Ssn};
+
+/// An address-indexed table tracking, per byte, the SSN of the most recent
+/// *committed* store to that byte.
+///
+/// Organised at 1-byte granularity (conceptually banked 8 ways so an 8-byte
+/// access touches each bank once); being a lossy hash ("Bloom filter"),
+/// aliasing can only *over-state* the newest store SSN, which makes the SVW
+/// filter conservative — false positives cause harmless extra
+/// re-executions, never missed violations.
+///
+/// # Example
+///
+/// ```
+/// use sqip_predictors::Ssbf;
+/// use sqip_types::{Addr, DataSize, Ssn};
+///
+/// let mut ssbf = Ssbf::new(2048);
+/// ssbf.update(Addr::new(0x100).span(DataSize::Quad), Ssn::new(17));
+/// assert_eq!(ssbf.newest(Addr::new(0x104).span(DataSize::Word)), Ssn::new(17));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ssbf {
+    entries: Vec<Ssn>,
+}
+
+impl Ssbf {
+    /// Builds an SSBF with `entries` byte slots (2K in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    #[must_use]
+    pub fn new(entries: usize) -> Ssbf {
+        assert!(entries.is_power_of_two(), "SSBF size must be a power of two");
+        Ssbf {
+            entries: vec![Ssn::NONE; entries],
+        }
+    }
+
+    /// Number of byte slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The SSBF always has slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Records a committing store: every byte it wrote now maps to its SSN.
+    pub fn update(&mut self, span: AddrSpan, ssn: Ssn) {
+        let mask = self.entries.len() - 1;
+        for b in span.byte_addrs() {
+            self.entries[fold(b.0) & mask] = ssn;
+        }
+    }
+
+    /// The SSN of the newest committed store that wrote any byte of `span`
+    /// ([`Ssn::NONE`] if no tracked store did).
+    #[must_use]
+    pub fn newest(&self, span: AddrSpan) -> Ssn {
+        let mask = self.entries.len() - 1;
+        span.byte_addrs()
+            .map(|b| self.entries[fold(b.0) & mask])
+            .max()
+            .unwrap_or(Ssn::NONE)
+    }
+
+    /// Clears the filter (SSN wrap-around drain).
+    pub fn clear(&mut self) {
+        self.entries.fill(Ssn::NONE);
+    }
+}
+
+/// XOR-folds the high address bits into the index so aliasing between
+/// regions is pseudo-random rather than systematic (adjacent bytes still
+/// map to distinct entries, preserving the 8-way banked organisation).
+pub(crate) fn fold(addr: u64) -> usize {
+    (addr ^ (addr >> 11) ^ (addr >> 22)) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqip_types::{Addr, DataSize};
+
+    #[test]
+    fn untouched_bytes_read_none() {
+        let ssbf = Ssbf::new(64);
+        assert_eq!(ssbf.newest(Addr::new(0x10).span(DataSize::Quad)), Ssn::NONE);
+    }
+
+    #[test]
+    fn overlapping_access_sees_newest() {
+        let mut ssbf = Ssbf::new(2048);
+        ssbf.update(Addr::new(0x100).span(DataSize::Quad), Ssn::new(10));
+        ssbf.update(Addr::new(0x104).span(DataSize::Word), Ssn::new(20));
+        // A quad load over [0x100,0x108): bytes 0-3 say 10, bytes 4-7 say 20.
+        assert_eq!(ssbf.newest(Addr::new(0x100).span(DataSize::Quad)), Ssn::new(20));
+        // A word load over [0x100,0x104) only sees the older store.
+        assert_eq!(ssbf.newest(Addr::new(0x100).span(DataSize::Word)), Ssn::new(10));
+    }
+
+    #[test]
+    fn aliasing_is_conservative() {
+        let mut ssbf = Ssbf::new(64);
+        ssbf.update(Addr::new(0x0).span(DataSize::Byte), Ssn::new(5));
+        // Address 64 aliases address 0 in a 64-entry filter.
+        assert_eq!(
+            ssbf.newest(Addr::new(64).span(DataSize::Byte)),
+            Ssn::new(5),
+            "false positive over-states, never under-states"
+        );
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut ssbf = Ssbf::new(64);
+        ssbf.update(Addr::new(0).span(DataSize::Quad), Ssn::new(9));
+        ssbf.clear();
+        assert_eq!(ssbf.newest(Addr::new(0).span(DataSize::Quad)), Ssn::NONE);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = Ssbf::new(100);
+    }
+}

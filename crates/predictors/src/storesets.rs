@@ -1,0 +1,229 @@
+//! The original Store Sets predictor (Chrysos & Emer, ISCA'98), used by the
+//! paper's Table 1 "preceding proposals" configuration and as a comparison
+//! point for the reformulated FSP/SAT scheduler.
+
+use sqip_types::{Pc, Ssn};
+
+/// Store Sets geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSetsConfig {
+    /// SSIT entries (the paper's load scheduler uses a 1K-entry predictor).
+    pub ssit_entries: usize,
+    /// LFST entries (number of distinct store sets that can be live).
+    pub lfst_entries: usize,
+}
+
+impl Default for StoreSetsConfig {
+    fn default() -> StoreSetsConfig {
+        StoreSetsConfig {
+            ssit_entries: 1024,
+            lfst_entries: 256,
+        }
+    }
+}
+
+/// The SSIT + LFST pair.
+///
+/// * The **Store Set ID Table** (SSIT) maps both load and store PCs to
+///   store-set IDs (SSIDs).
+/// * The **Last Fetched Store Table** (LFST) maps each SSID to the SSN of
+///   the most recently renamed store in that set.
+///
+/// Differences from the paper's FSP/SAT reformulation (§3.4): Store Sets
+/// can represent arbitrarily many store dependences per load (sets merge),
+/// but serialises *all* loads and stores within a set, whereas the FSP/SAT
+/// serialises a load against a single predicted store instance.
+#[derive(Debug, Clone)]
+pub struct StoreSets {
+    config: StoreSetsConfig,
+    ssit: Vec<Option<u32>>,
+    lfst: Vec<Ssn>,
+    next_ssid: u32,
+}
+
+impl Default for StoreSets {
+    fn default() -> StoreSets {
+        StoreSets::new(StoreSetsConfig::default())
+    }
+}
+
+impl StoreSets {
+    /// Builds the predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either table size is not a power of two.
+    #[must_use]
+    pub fn new(config: StoreSetsConfig) -> StoreSets {
+        assert!(config.ssit_entries.is_power_of_two(), "SSIT size must be a power of two");
+        assert!(config.lfst_entries.is_power_of_two(), "LFST size must be a power of two");
+        StoreSets {
+            config,
+            ssit: vec![None; config.ssit_entries],
+            lfst: vec![Ssn::NONE; config.lfst_entries],
+            next_ssid: 0,
+        }
+    }
+
+    /// At rename, a load asks which store (SSN) it must wait for:
+    /// the last fetched store of its set, if any.
+    #[must_use]
+    pub fn rename_load(&self, pc: Pc) -> Ssn {
+        match self.ssit[self.index(pc)] {
+            Some(ssid) => self.lfst[self.lfst_index(ssid)],
+            None => Ssn::NONE,
+        }
+    }
+
+    /// At rename, a store (a) learns which older store it must order behind
+    /// (in-set store serialisation) and (b) becomes its set's last fetched
+    /// store.
+    pub fn rename_store(&mut self, pc: Pc, ssn: Ssn) -> Ssn {
+        match self.ssit[self.index(pc)] {
+            Some(ssid) => {
+                let idx = self.lfst_index(ssid);
+                let predecessor = self.lfst[idx];
+                self.lfst[idx] = ssn;
+                predecessor
+            }
+            None => Ssn::NONE,
+        }
+    }
+
+    /// When a store executes (or is squashed), it vacates the LFST if it is
+    /// still the set's last fetched store.
+    pub fn store_executed(&mut self, pc: Pc, ssn: Ssn) {
+        if let Some(ssid) = self.ssit[self.index(pc)] {
+            let idx = self.lfst_index(ssid);
+            if self.lfst[idx] == ssn {
+                self.lfst[idx] = Ssn::NONE;
+            }
+        }
+    }
+
+    /// Trains on a memory-ordering violation between `load_pc` and
+    /// `store_pc`, applying the Chrysos–Emer set assignment/merge rules.
+    pub fn violation(&mut self, load_pc: Pc, store_pc: Pc) {
+        let li = self.index(load_pc);
+        let si = self.index(store_pc);
+        match (self.ssit[li], self.ssit[si]) {
+            (None, None) => {
+                let ssid = self.alloc_ssid();
+                self.ssit[li] = Some(ssid);
+                self.ssit[si] = Some(ssid);
+            }
+            (Some(ssid), None) => self.ssit[si] = Some(ssid),
+            (None, Some(ssid)) => self.ssit[li] = Some(ssid),
+            (Some(a), Some(b)) => {
+                // Both assigned: both adopt the smaller SSID ("declares as
+                // the winner the smaller of the two store set IDs").
+                let winner = a.min(b);
+                self.ssit[li] = Some(winner);
+                self.ssit[si] = Some(winner);
+            }
+        }
+    }
+
+    /// Clears both tables.
+    pub fn clear(&mut self) {
+        self.ssit.fill(None);
+        self.lfst.fill(Ssn::NONE);
+    }
+
+    /// Clears only the LFST (pipeline flush: every in-flight store was
+    /// squashed, so no set has a live last-fetched store; the learned sets
+    /// themselves survive).
+    pub fn clear_lfst(&mut self) {
+        self.lfst.fill(Ssn::NONE);
+    }
+
+    fn alloc_ssid(&mut self) -> u32 {
+        let ssid = self.next_ssid;
+        self.next_ssid = self.next_ssid.wrapping_add(1);
+        ssid
+    }
+
+    fn index(&self, pc: Pc) -> usize {
+        pc.table_index(self.config.ssit_entries)
+    }
+
+    fn lfst_index(&self, ssid: u32) -> usize {
+        ssid as usize & (self.config.lfst_entries - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_pair_is_unordered() {
+        let ss = StoreSets::default();
+        assert_eq!(ss.rename_load(Pc::new(0x40)), Ssn::NONE);
+    }
+
+    #[test]
+    fn violation_creates_dependence() {
+        let mut ss = StoreSets::default();
+        let (ld, st) = (Pc::new(0x40), Pc::new(0x80));
+        ss.violation(ld, st);
+        let pred = ss.rename_store(st, Ssn::new(7));
+        assert_eq!(pred, Ssn::NONE, "first store has no in-set predecessor");
+        assert_eq!(ss.rename_load(ld), Ssn::new(7), "load waits for the store");
+    }
+
+    #[test]
+    fn store_execution_clears_lfst() {
+        let mut ss = StoreSets::default();
+        let (ld, st) = (Pc::new(0x40), Pc::new(0x80));
+        ss.violation(ld, st);
+        ss.rename_store(st, Ssn::new(7));
+        ss.store_executed(st, Ssn::new(7));
+        assert_eq!(ss.rename_load(ld), Ssn::NONE, "executed store imposes no wait");
+    }
+
+    #[test]
+    fn in_set_stores_serialise() {
+        let mut ss = StoreSets::default();
+        let (ld, st_a, st_b) = (Pc::new(0x40), Pc::new(0x80), Pc::new(0xC0));
+        ss.violation(ld, st_a);
+        ss.violation(ld, st_b); // merges st_b into the same set
+        ss.rename_store(st_a, Ssn::new(5));
+        let pred = ss.rename_store(st_b, Ssn::new(6));
+        assert_eq!(pred, Ssn::new(5), "second store in set orders behind first");
+        assert_eq!(ss.rename_load(ld), Ssn::new(6), "load waits for last fetched");
+    }
+
+    #[test]
+    fn merge_prefers_smaller_ssid() {
+        let mut ss = StoreSets::default();
+        ss.violation(Pc::new(0x10), Pc::new(0x20)); // ssid 0
+        ss.violation(Pc::new(0x30), Pc::new(0x44)); // ssid 1
+        // A violation between members of the two sets reassigns both
+        // participants to the smaller SSID (0). Merging is per-PC, not
+        // transitive: 0x30 keeps ssid 1, exactly as in Chrysos–Emer.
+        ss.violation(Pc::new(0x10), Pc::new(0x44));
+        ss.rename_store(Pc::new(0x44), Ssn::new(9));
+        assert_eq!(
+            ss.rename_load(Pc::new(0x10)),
+            Ssn::new(9),
+            "load now orders behind the store pulled into its set"
+        );
+        assert_eq!(
+            ss.rename_load(Pc::new(0x30)),
+            Ssn::NONE,
+            "non-participant of the merging violation keeps its old set"
+        );
+    }
+
+    #[test]
+    fn stale_lfst_not_cleared_by_older_store() {
+        let mut ss = StoreSets::default();
+        let (ld, st) = (Pc::new(0x40), Pc::new(0x80));
+        ss.violation(ld, st);
+        ss.rename_store(st, Ssn::new(5));
+        ss.rename_store(st, Ssn::new(8)); // younger instance takes over
+        ss.store_executed(st, Ssn::new(5)); // older instance executes
+        assert_eq!(ss.rename_load(ld), Ssn::new(8), "LFST still names the younger");
+    }
+}

@@ -1,0 +1,40 @@
+//! In-flight instruction queues: the two store-queue designs the paper
+//! compares, the load queue with SVW fields, and a generic capacity-limited
+//! in-flight window used for the ROB and issue queue.
+//!
+//! The central type is [`StoreQueue`], an age-ordered circular buffer that
+//! supports **both** access disciplines:
+//!
+//! * [`StoreQueue::search`] — the conventional fully-associative
+//!   search-and-read: find the youngest *executed* store older than the
+//!   load with an overlapping address (the CAM + age-logic path the paper
+//!   eliminates).
+//! * [`StoreQueue::indexed_read`] — the paper's direct, decoder-only read
+//!   of a single predicted entry, verified by SSN and address match.
+//!
+//! Both disciplines run against the same entries, which is what lets the
+//! simulator in `sqip-core` swap SQ designs while holding everything else
+//! fixed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lq;
+mod sq;
+mod window;
+
+pub use lq::{LoadQueue, LqEntry};
+pub use sq::{SqEntry, SqSearch, StoreQueue};
+pub use window::Window;
+
+/// Error returned when a capacity-limited structure is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FullError;
+
+impl std::fmt::Display for FullError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "structure is at capacity")
+    }
+}
+
+impl std::error::Error for FullError {}

@@ -1,0 +1,424 @@
+//! The age-ordered store queue, with both associative and indexed access.
+
+use std::collections::VecDeque;
+
+use sqip_types::{AddrSpan, DataSize, Pc, Ssn};
+
+use crate::FullError;
+
+/// One in-flight store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SqEntry {
+    /// The store's SSN (names the entry; low bits are its SQ index).
+    pub ssn: Ssn,
+    /// The store's static PC.
+    pub pc: Pc,
+    /// Address span, known once the store executes.
+    pub span: Option<AddrSpan>,
+    /// Store data (valid once executed), truncated to the access width.
+    pub data: u64,
+}
+
+impl SqEntry {
+    /// Whether the store has executed (address and data known).
+    #[must_use]
+    pub fn is_executed(&self) -> bool {
+        self.span.is_some()
+    }
+}
+
+/// Outcome of an associative SQ search for a load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqSearch {
+    /// No older executed store overlaps the load.
+    Miss,
+    /// The youngest overlapping older store fully covers the load: forward.
+    Forward {
+        /// The forwarding store.
+        ssn: Ssn,
+        /// The load's value, extracted from the store's data.
+        value: u64,
+    },
+    /// The youngest overlapping older store only partially covers the load;
+    /// a single SQ entry cannot supply the value (load must stall until the
+    /// store commits).
+    Partial {
+        /// The partially-overlapping store.
+        ssn: Ssn,
+    },
+}
+
+/// An age-ordered store queue.
+///
+/// Entries are held oldest-first; allocation at rename appends, commit pops
+/// the head, and a mis-forwarding flush truncates the tail. SSNs are dense
+/// within the queue, so entry lookup by SSN is O(1).
+#[derive(Debug, Clone)]
+pub struct StoreQueue {
+    entries: VecDeque<SqEntry>,
+    capacity: usize,
+}
+
+impl StoreQueue {
+    /// Builds an SQ with `capacity` entries (64 in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> StoreQueue {
+        assert!(capacity > 0, "store queue must have capacity");
+        StoreQueue {
+            entries: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of in-flight stores.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the queue is full (rename must stall).
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() == self.capacity
+    }
+
+    /// Allocates an entry for a renaming store.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FullError`] when at capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ssn` is not one greater than the current tail (SSNs must
+    /// stay dense and age-ordered).
+    pub fn allocate(&mut self, ssn: Ssn, pc: Pc) -> Result<(), FullError> {
+        if self.is_full() {
+            return Err(FullError);
+        }
+        if let Some(tail) = self.entries.back() {
+            assert_eq!(tail.ssn.next(), ssn, "SQ allocation must be age-ordered and dense");
+        }
+        self.entries.push_back(SqEntry {
+            ssn,
+            pc,
+            span: None,
+            data: 0,
+        });
+        Ok(())
+    }
+
+    /// Records an executing store's address and data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ssn` is not in flight.
+    pub fn write(&mut self, ssn: Ssn, span: AddrSpan, data: u64) {
+        let e = self.entry_mut(ssn).expect("store not in flight");
+        e.span = Some(span);
+        e.data = data;
+    }
+
+    /// The in-flight entry named by `ssn`, if present.
+    #[must_use]
+    pub fn entry(&self, ssn: Ssn) -> Option<&SqEntry> {
+        let head = self.entries.front()?.ssn;
+        if ssn < head {
+            return None;
+        }
+        let idx = (ssn.0 - head.0) as usize;
+        self.entries.get(idx)
+    }
+
+    /// Whether the store named by `ssn` is in flight and has executed.
+    #[must_use]
+    pub fn is_executed(&self, ssn: Ssn) -> bool {
+        self.entry(ssn).is_some_and(SqEntry::is_executed)
+    }
+
+    /// Pops the oldest store for commit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is empty or the head has not executed.
+    pub fn commit_head(&mut self) -> SqEntry {
+        let e = self.entries.pop_front().expect("commit from empty SQ");
+        assert!(e.is_executed(), "committing a store that never executed");
+        e
+    }
+
+    /// Removes all stores with `ssn >= from` (mis-forwarding flush).
+    pub fn squash_from(&mut self, from: Ssn) {
+        while self.entries.back().is_some_and(|e| e.ssn >= from) {
+            self.entries.pop_back();
+        }
+    }
+
+    /// Fully-associative search-and-read: the youngest *executed* store
+    /// with `ssn <= older_than` whose span overlaps the load's. This is the
+    /// CAM + priority-encoder operation of a conventional SQ.
+    ///
+    /// `older_than` is the SSN of the youngest store preceding the load in
+    /// program order (stores younger than the load must not match).
+    #[must_use]
+    pub fn search(&self, older_than: Ssn, load_span: AddrSpan, load_size: DataSize) -> SqSearch {
+        for e in self.entries.iter().rev() {
+            if e.ssn > older_than {
+                continue;
+            }
+            let Some(span) = e.span else { continue };
+            if !span.overlaps(load_span) {
+                continue;
+            }
+            if span.contains(load_span) && load_size.bytes() <= span.len() {
+                return SqSearch::Forward {
+                    ssn: e.ssn,
+                    value: extract(span, e.data, load_span, load_size),
+                };
+            }
+            return SqSearch::Partial { ssn: e.ssn };
+        }
+        SqSearch::Miss
+    }
+
+    /// The paper's speculative indexed access: read exactly the entry at
+    /// `SSN mod capacity` and forward only if (1) that slot currently holds
+    /// the predicted SSN, (2) the store has executed, (3) its span covers
+    /// the load, and (4) the load width is ≤ the store width. Returns the
+    /// forwarded value, or `None` (load reads the cache).
+    #[must_use]
+    pub fn indexed_read(
+        &self,
+        predicted: Ssn,
+        load_span: AddrSpan,
+        load_size: DataSize,
+    ) -> Option<u64> {
+        let e = self.entry(predicted)?;
+        debug_assert_eq!(
+            e.ssn.sq_index(self.capacity),
+            predicted.sq_index(self.capacity),
+            "entry lookup and SQ indexing agree"
+        );
+        let span = e.span?;
+        if span.contains(load_span) && load_size.bytes() <= span.len() {
+            Some(extract(span, e.data, load_span, load_size))
+        } else {
+            None
+        }
+    }
+
+    /// Whether any older store (`ssn <= older_than`) has not yet executed —
+    /// the classic "unknown address" condition that triggers unfiltered
+    /// re-execution in the Cain–Lipasti scheme.
+    #[must_use]
+    pub fn has_unexecuted_older(&self, older_than: Ssn) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.ssn <= older_than && !e.is_executed())
+    }
+
+    /// Iterates over in-flight stores, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &SqEntry> {
+        self.entries.iter()
+    }
+
+    /// Drops everything (SSN wrap-around drain; only legal once all stores
+    /// have committed, which the drain protocol guarantees).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    fn entry_mut(&mut self, ssn: Ssn) -> Option<&mut SqEntry> {
+        let head = self.entries.front()?.ssn;
+        if ssn < head {
+            return None;
+        }
+        let idx = (ssn.0 - head.0) as usize;
+        self.entries.get_mut(idx)
+    }
+}
+
+/// Extracts the load's bytes from a covering store's data.
+fn extract(store_span: AddrSpan, store_data: u64, load_span: AddrSpan, load_size: DataSize) -> u64 {
+    debug_assert!(store_span.contains(load_span));
+    let shift = (load_span.base().0 - store_span.base().0) * 8;
+    load_size.truncate(store_data >> shift)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqip_types::Addr;
+
+    fn sq_with(entries: &[(u64, u64, DataSize, u64)]) -> StoreQueue {
+        // (ssn, addr, size, data) — allocates and executes each store.
+        let mut sq = StoreQueue::new(8);
+        for &(ssn, addr, size, data) in entries {
+            sq.allocate(Ssn::new(ssn), Pc::new(ssn * 4)).unwrap();
+            sq.write(Ssn::new(ssn), Addr::new(addr).span(size), data);
+        }
+        sq
+    }
+
+    #[test]
+    fn allocate_execute_commit_cycle() {
+        let mut sq = StoreQueue::new(4);
+        sq.allocate(Ssn::new(1), Pc::new(0)).unwrap();
+        assert!(!sq.is_executed(Ssn::new(1)));
+        sq.write(Ssn::new(1), Addr::new(0x10).span(DataSize::Quad), 99);
+        assert!(sq.is_executed(Ssn::new(1)));
+        let e = sq.commit_head();
+        assert_eq!(e.ssn, Ssn::new(1));
+        assert_eq!(e.data, 99);
+        assert!(sq.is_empty());
+    }
+
+    #[test]
+    fn capacity_limits_allocation() {
+        let mut sq = StoreQueue::new(2);
+        sq.allocate(Ssn::new(1), Pc::new(0)).unwrap();
+        sq.allocate(Ssn::new(2), Pc::new(4)).unwrap();
+        assert!(sq.is_full());
+        assert_eq!(sq.allocate(Ssn::new(3), Pc::new(8)), Err(FullError));
+    }
+
+    #[test]
+    #[should_panic(expected = "age-ordered")]
+    fn allocation_must_be_dense() {
+        let mut sq = StoreQueue::new(4);
+        sq.allocate(Ssn::new(1), Pc::new(0)).unwrap();
+        let _ = sq.allocate(Ssn::new(3), Pc::new(8));
+    }
+
+    #[test]
+    fn search_finds_youngest_older_match() {
+        let sq = sq_with(&[
+            (1, 0x100, DataSize::Quad, 0xAAAA),
+            (2, 0x100, DataSize::Quad, 0xBBBB),
+            (3, 0x100, DataSize::Quad, 0xCCCC),
+        ]);
+        // Load older than store 3: must get store 2's value.
+        let r = sq.search(Ssn::new(2), Addr::new(0x100).span(DataSize::Quad), DataSize::Quad);
+        assert_eq!(r, SqSearch::Forward { ssn: Ssn::new(2), value: 0xBBBB });
+    }
+
+    #[test]
+    fn search_ignores_younger_stores() {
+        let sq = sq_with(&[(5, 0x100, DataSize::Quad, 1)]);
+        let r = sq.search(Ssn::new(4), Addr::new(0x100).span(DataSize::Quad), DataSize::Quad);
+        assert_eq!(r, SqSearch::Miss, "store 5 is younger than the load");
+    }
+
+    #[test]
+    fn search_ignores_unexecuted_stores() {
+        let mut sq = StoreQueue::new(4);
+        sq.allocate(Ssn::new(1), Pc::new(0)).unwrap(); // never executes
+        let r = sq.search(Ssn::new(1), Addr::new(0x100).span(DataSize::Quad), DataSize::Quad);
+        assert_eq!(r, SqSearch::Miss);
+        assert!(sq.has_unexecuted_older(Ssn::new(1)));
+        assert!(!sq.has_unexecuted_older(Ssn::NONE));
+    }
+
+    #[test]
+    fn search_partial_overlap_stalls() {
+        // Store writes [0x100,0x104); load wants [0x102,0x10A) — overlap
+        // without containment.
+        let sq = sq_with(&[(1, 0x100, DataSize::Word, 0xAABBCCDD)]);
+        let r = sq.search(Ssn::new(1), Addr::new(0x102).span(DataSize::Quad), DataSize::Quad);
+        assert_eq!(r, SqSearch::Partial { ssn: Ssn::new(1) });
+    }
+
+    #[test]
+    fn forwarded_value_respects_offset_and_width() {
+        // Quad store of 0x1122334455667788 at 0x100; byte load at 0x102
+        // must see 0x66 (little-endian byte 2).
+        let sq = sq_with(&[(1, 0x100, DataSize::Quad, 0x1122_3344_5566_7788)]);
+        let r = sq.search(Ssn::new(1), Addr::new(0x102).span(DataSize::Byte), DataSize::Byte);
+        assert_eq!(r, SqSearch::Forward { ssn: Ssn::new(1), value: 0x66 });
+    }
+
+    #[test]
+    fn indexed_read_hits_on_correct_prediction() {
+        let sq = sq_with(&[(1, 0x100, DataSize::Quad, 42)]);
+        let v = sq.indexed_read(Ssn::new(1), Addr::new(0x100).span(DataSize::Quad), DataSize::Quad);
+        assert_eq!(v, Some(42));
+    }
+
+    #[test]
+    fn indexed_read_address_mismatch_reads_cache() {
+        let sq = sq_with(&[(1, 0x200, DataSize::Quad, 42)]);
+        let v = sq.indexed_read(Ssn::new(1), Addr::new(0x100).span(DataSize::Quad), DataSize::Quad);
+        assert_eq!(v, None, "address mismatch: load uses the cache value");
+    }
+
+    #[test]
+    fn indexed_read_of_departed_store_misses() {
+        let mut sq = sq_with(&[(1, 0x100, DataSize::Quad, 42), (2, 0x100, DataSize::Quad, 43)]);
+        sq.commit_head();
+        let v = sq.indexed_read(Ssn::new(1), Addr::new(0x100).span(DataSize::Quad), DataSize::Quad);
+        assert_eq!(v, None, "committed store no longer forwards from the SQ");
+    }
+
+    #[test]
+    fn indexed_read_width_rule() {
+        // Word store; quad load at same base — load width > store width.
+        let sq = sq_with(&[(1, 0x100, DataSize::Word, 42)]);
+        let v = sq.indexed_read(Ssn::new(1), Addr::new(0x100).span(DataSize::Quad), DataSize::Quad);
+        assert_eq!(v, None);
+        // Byte load within the word store forwards.
+        let v = sq.indexed_read(Ssn::new(1), Addr::new(0x101).span(DataSize::Byte), DataSize::Byte);
+        assert_eq!(v, Some(0));
+    }
+
+    #[test]
+    fn squash_from_truncates_tail() {
+        let mut sq = sq_with(&[
+            (1, 0x100, DataSize::Quad, 1),
+            (2, 0x100, DataSize::Quad, 2),
+            (3, 0x100, DataSize::Quad, 3),
+        ]);
+        sq.squash_from(Ssn::new(2));
+        assert_eq!(sq.len(), 1);
+        assert!(sq.entry(Ssn::new(2)).is_none());
+        assert!(sq.entry(Ssn::new(1)).is_some());
+        // The queue accepts re-allocation of the squashed SSNs.
+        sq.allocate(Ssn::new(2), Pc::new(8)).unwrap();
+        assert_eq!(sq.len(), 2);
+    }
+
+    #[test]
+    fn entry_lookup_by_ssn_after_commits() {
+        let mut sq = sq_with(&[
+            (1, 0x100, DataSize::Quad, 1),
+            (2, 0x110, DataSize::Quad, 2),
+            (3, 0x120, DataSize::Quad, 3),
+        ]);
+        sq.commit_head();
+        assert_eq!(sq.entry(Ssn::new(1)), None);
+        assert_eq!(sq.entry(Ssn::new(3)).unwrap().data, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "never executed")]
+    fn committing_unexecuted_store_panics() {
+        let mut sq = StoreQueue::new(4);
+        sq.allocate(Ssn::new(1), Pc::new(0)).unwrap();
+        let _ = sq.commit_head();
+    }
+}

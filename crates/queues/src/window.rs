@@ -1,0 +1,185 @@
+//! A generic capacity-limited in-flight window (ROB, issue queue).
+
+use std::collections::VecDeque;
+
+use crate::FullError;
+
+/// An age-ordered, capacity-limited window of in-flight items.
+///
+/// Used for the reorder buffer (allocate at rename, retire at commit,
+/// truncate on flush) and anywhere else a bounded in-order buffer is
+/// needed.
+#[derive(Debug, Clone)]
+pub struct Window<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> Window<T> {
+    /// Builds a window holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Window<T> {
+        assert!(capacity > 0, "window must have capacity");
+        Window {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently in flight.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the window is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the window is full.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Appends at the tail (youngest position).
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back inside [`FullError`]-like semantics — the
+    /// window is unchanged when full.
+    pub fn push_back(&mut self, item: T) -> Result<(), FullError> {
+        if self.is_full() {
+            return Err(FullError);
+        }
+        self.items.push_back(item);
+        Ok(())
+    }
+
+    /// Removes and returns the oldest item.
+    #[must_use]
+    pub fn pop_front(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// The oldest item.
+    #[must_use]
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Mutable access to the oldest item.
+    #[must_use]
+    pub fn front_mut(&mut self) -> Option<&mut T> {
+        self.items.front_mut()
+    }
+
+    /// The youngest item.
+    #[must_use]
+    pub fn back(&self) -> Option<&T> {
+        self.items.back()
+    }
+
+    /// Indexed access (0 = oldest).
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<&T> {
+        self.items.get(index)
+    }
+
+    /// Mutable indexed access (0 = oldest).
+    #[must_use]
+    pub fn get_mut(&mut self, index: usize) -> Option<&mut T> {
+        self.items.get_mut(index)
+    }
+
+    /// Keeps the oldest `len` items, discarding the younger tail (flush).
+    pub fn truncate(&mut self, len: usize) {
+        self.items.truncate(len);
+    }
+
+    /// Removes everything.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Iterates oldest → youngest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Mutable iteration oldest → youngest.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.items.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut w = Window::new(3);
+        w.push_back(1).unwrap();
+        w.push_back(2).unwrap();
+        assert_eq!(w.pop_front(), Some(1));
+        assert_eq!(w.front(), Some(&2));
+        assert_eq!(w.back(), Some(&2));
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut w = Window::new(2);
+        w.push_back(1).unwrap();
+        w.push_back(2).unwrap();
+        assert!(w.is_full());
+        assert_eq!(w.push_back(3), Err(FullError));
+        assert_eq!(w.len(), 2, "failed push leaves window unchanged");
+    }
+
+    #[test]
+    fn truncate_flushes_tail() {
+        let mut w = Window::new(4);
+        for i in 0..4 {
+            w.push_back(i).unwrap();
+        }
+        w.truncate(1);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.front(), Some(&0));
+    }
+
+    #[test]
+    fn indexed_and_iter_access() {
+        let mut w = Window::new(4);
+        for i in 10..13 {
+            w.push_back(i).unwrap();
+        }
+        assert_eq!(w.get(0), Some(&10));
+        assert_eq!(w.get(2), Some(&12));
+        assert_eq!(w.get(3), None);
+        let all: Vec<i32> = w.iter().copied().collect();
+        assert_eq!(all, vec![10, 11, 12]);
+        for x in w.iter_mut() {
+            *x += 1;
+        }
+        assert_eq!(w.get(0), Some(&11));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _: Window<u8> = Window::new(0);
+    }
+}

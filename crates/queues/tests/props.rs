@@ -1,0 +1,127 @@
+//! Property-based tests: the store queue's associative search and indexed
+//! read must agree with a brute-force reference model on arbitrary store
+//! sets.
+
+use proptest::prelude::*;
+use sqip_queues::{SqSearch, StoreQueue};
+use sqip_types::{Addr, AddrSpan, DataSize, Pc, Ssn};
+
+fn size_strategy() -> impl Strategy<Value = DataSize> {
+    prop_oneof![
+        Just(DataSize::Byte),
+        Just(DataSize::Half),
+        Just(DataSize::Word),
+        Just(DataSize::Quad),
+    ]
+}
+
+/// (address, size, data, executed) per store, ages implicit in order.
+fn stores_strategy() -> impl Strategy<Value = Vec<(u64, DataSize, u64, bool)>> {
+    proptest::collection::vec(
+        (0u64..64, size_strategy(), any::<u64>(), any::<bool>()),
+        1..8,
+    )
+}
+
+/// Brute-force reference: youngest executed store with ssn <= bound whose
+/// span overlaps the load span.
+fn reference_search(
+    stores: &[(u64, DataSize, u64, bool)],
+    bound: usize,
+    load: AddrSpan,
+    load_size: DataSize,
+) -> SqSearch {
+    for (idx, &(a, s, d, executed)) in stores.iter().enumerate().rev() {
+        let ssn = Ssn::new(idx as u64 + 1);
+        if ssn > Ssn::new(bound as u64) || !executed {
+            continue;
+        }
+        let span = Addr::new(a).span(s);
+        if !span.overlaps(load) {
+            continue;
+        }
+        if span.contains(load) && load_size.bytes() <= span.len() {
+            let shift = (load.base().0 - span.base().0) * 8;
+            return SqSearch::Forward {
+                ssn,
+                value: load_size.truncate(d >> shift),
+            };
+        }
+        return SqSearch::Partial { ssn };
+    }
+    SqSearch::Miss
+}
+
+proptest! {
+    #[test]
+    fn search_matches_reference(
+        stores in stores_strategy(),
+        load_addr in 0u64..64,
+        load_size in size_strategy(),
+        bound_sel in any::<proptest::sample::Index>(),
+    ) {
+        let mut sq = StoreQueue::new(16);
+        for (idx, &(a, s, d, executed)) in stores.iter().enumerate() {
+            let ssn = Ssn::new(idx as u64 + 1);
+            sq.allocate(ssn, Pc::from_index(idx)).unwrap();
+            if executed {
+                sq.write(ssn, Addr::new(a).span(s), s.truncate(d));
+            }
+        }
+        let bound = bound_sel.index(stores.len() + 1); // 0..=len
+        let load = Addr::new(load_addr).span(load_size);
+        let got = sq.search(Ssn::new(bound as u64), load, load_size);
+        // Reference works on truncated data like the SQ write path does.
+        let truncated: Vec<_> = stores
+            .iter()
+            .map(|&(a, s, d, e)| (a, s, s.truncate(d), e))
+            .collect();
+        let want = reference_search(&truncated, bound, load, load_size);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn indexed_read_agrees_with_search_on_correct_prediction(
+        stores in stores_strategy(),
+        load_addr in 0u64..64,
+        load_size in size_strategy(),
+    ) {
+        let mut sq = StoreQueue::new(16);
+        for (idx, &(a, s, d, executed)) in stores.iter().enumerate() {
+            let ssn = Ssn::new(idx as u64 + 1);
+            sq.allocate(ssn, Pc::from_index(idx)).unwrap();
+            if executed {
+                sq.write(ssn, Addr::new(a).span(s), s.truncate(d));
+            }
+        }
+        let load = Addr::new(load_addr).span(load_size);
+        // If the associative search forwards from ssn S, then an indexed
+        // read predicting exactly S must return the same value.
+        let bound = Ssn::new(stores.len() as u64);
+        if let SqSearch::Forward { ssn, value } = sq.search(bound, load, load_size) {
+            prop_assert_eq!(sq.indexed_read(ssn, load, load_size), Some(value));
+        }
+    }
+
+    #[test]
+    fn squash_then_refill_is_clean(
+        stores in stores_strategy(),
+        squash_at in 1u64..8,
+    ) {
+        let mut sq = StoreQueue::new(16);
+        for (idx, &(a, s, d, _)) in stores.iter().enumerate() {
+            let ssn = Ssn::new(idx as u64 + 1);
+            sq.allocate(ssn, Pc::from_index(idx)).unwrap();
+            sq.write(ssn, Addr::new(a).span(s), d);
+        }
+        sq.squash_from(Ssn::new(squash_at));
+        let expected = (squash_at as usize - 1).min(stores.len());
+        prop_assert_eq!(sq.len(), expected);
+        // Re-allocation from the squash point must succeed densely.
+        let next = Ssn::new(expected as u64 + 1);
+        if !sq.is_full() {
+            sq.allocate(next, Pc::from_index(99)).unwrap();
+            prop_assert!(sq.entry(next).is_some());
+        }
+    }
+}

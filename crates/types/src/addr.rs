@@ -1,0 +1,176 @@
+//! Data addresses and byte spans.
+
+use crate::size::DataSize;
+
+/// A byte-granularity data (virtual/physical) address.
+///
+/// The simulator keeps a flat address space, so a single newtype serves for
+/// both virtual and physical addresses; the paper's SQs hold physical
+/// addresses to avoid aliasing, and our TLB model charges translation
+/// latency without remapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// Creates an address.
+    #[must_use]
+    pub fn new(raw: u64) -> Addr {
+        Addr(raw)
+    }
+
+    /// The address `bytes` bytes above this one.
+    #[must_use]
+    pub fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0.wrapping_add(bytes))
+    }
+
+    /// The page offset (low 12 bits for the paper's 4KB pages); this is the
+    /// untranslated portion used to access the SQ CAM in modern designs.
+    #[must_use]
+    pub fn page_offset(self) -> u64 {
+        self.0 & 0xFFF
+    }
+
+    /// The page number (address with the 4KB page offset stripped).
+    #[must_use]
+    pub fn page_number(self) -> u64 {
+        self.0 >> 12
+    }
+
+    /// The cache-line address for a given line size (power of two).
+    #[must_use]
+    pub fn line(self, line_bytes: u64) -> u64 {
+        debug_assert!(line_bytes.is_power_of_two());
+        self.0 / line_bytes
+    }
+
+    /// The byte span `[self, self+size)` occupied by an access of `size`.
+    #[must_use]
+    pub fn span(self, size: DataSize) -> AddrSpan {
+        AddrSpan {
+            base: self,
+            bytes: size.bytes(),
+        }
+    }
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl std::fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// A contiguous byte range touched by a memory access.
+///
+/// Spans make the byte-granularity overlap/containment logic used by the
+/// associative SQ (and the byte-banked SSBF/SPCT) explicit and testable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AddrSpan {
+    base: Addr,
+    bytes: u8,
+}
+
+impl AddrSpan {
+    /// The first byte address of the span.
+    #[must_use]
+    pub fn base(self) -> Addr {
+        self.base
+    }
+
+    /// Number of bytes covered.
+    #[must_use]
+    pub fn len(self) -> u8 {
+        self.bytes
+    }
+
+    /// Spans always cover at least one byte.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// One past the last byte address.
+    #[must_use]
+    pub fn end(self) -> u64 {
+        self.base.0 + u64::from(self.bytes)
+    }
+
+    /// Whether the two spans share at least one byte.
+    #[must_use]
+    pub fn overlaps(self, other: AddrSpan) -> bool {
+        self.base.0 < other.end() && other.base.0 < self.end()
+    }
+
+    /// Whether `self` covers every byte of `inner`.
+    ///
+    /// A store span must *contain* a load span for the SQ to forward the
+    /// value; mere overlap (a partial hit) cannot be satisfied from a single
+    /// SQ entry and stalls the load in associative designs.
+    #[must_use]
+    pub fn contains(self, inner: AddrSpan) -> bool {
+        self.base.0 <= inner.base.0 && inner.end() <= self.end()
+    }
+
+    /// Iterates over each byte address in the span.
+    pub fn byte_addrs(self) -> impl Iterator<Item = Addr> {
+        let base = self.base.0;
+        (0..u64::from(self.bytes)).map(move |i| Addr(base + i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_fields() {
+        let a = Addr::new(0x1234_5678);
+        assert_eq!(a.page_offset(), 0x678);
+        assert_eq!(a.page_number(), 0x12345);
+    }
+
+    #[test]
+    fn line_extraction() {
+        assert_eq!(Addr::new(0x100).line(64), 4);
+        assert_eq!(Addr::new(0x13f).line(64), 4);
+        assert_eq!(Addr::new(0x140).line(64), 5);
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_exact() {
+        let w = Addr::new(0x100).span(DataSize::Quad); // [0x100,0x108)
+        let b_in = Addr::new(0x107).span(DataSize::Byte);
+        let b_out = Addr::new(0x108).span(DataSize::Byte);
+        assert!(w.overlaps(b_in) && b_in.overlaps(w));
+        assert!(!w.overlaps(b_out) && !b_out.overlaps(w));
+    }
+
+    #[test]
+    fn containment_requires_full_coverage() {
+        let store = Addr::new(0x100).span(DataSize::Quad); // [0x100,0x108)
+        let ld_half = Addr::new(0x104).span(DataSize::Half);
+        let ld_straddle = Addr::new(0x106).span(DataSize::Word); // [0x106,0x10a)
+        assert!(store.contains(ld_half));
+        assert!(!store.contains(ld_straddle));
+        assert!(store.overlaps(ld_straddle), "partial hit still overlaps");
+    }
+
+    #[test]
+    fn byte_addrs_enumerates_span() {
+        let s = Addr::new(10).span(DataSize::Word);
+        let bytes: Vec<u64> = s.byte_addrs().map(|a| a.0).collect();
+        assert_eq!(bytes, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn span_never_empty() {
+        assert!(!Addr::new(0).span(DataSize::Byte).is_empty());
+        assert_eq!(Addr::new(0).span(DataSize::Byte).len(), 1);
+    }
+}

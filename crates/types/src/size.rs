@@ -1,0 +1,119 @@
+//! Memory access sizes.
+
+/// The width of a memory access, 1–8 bytes.
+///
+/// The paper's SQ forwards only when the load width is less than or equal to
+/// the store width (and the store span covers the load span); the SSBF and
+/// SPCT are built at 1-byte granularity with 8-way banking to capture mixed
+/// sizes (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DataSize {
+    /// 1 byte.
+    Byte,
+    /// 2 bytes.
+    Half,
+    /// 4 bytes.
+    Word,
+    /// 8 bytes.
+    Quad,
+}
+
+impl DataSize {
+    /// All sizes, smallest first.
+    pub const ALL: [DataSize; 4] = [
+        DataSize::Byte,
+        DataSize::Half,
+        DataSize::Word,
+        DataSize::Quad,
+    ];
+
+    /// Number of bytes the access touches.
+    #[must_use]
+    pub fn bytes(self) -> u8 {
+        match self {
+            DataSize::Byte => 1,
+            DataSize::Half => 2,
+            DataSize::Word => 4,
+            DataSize::Quad => 8,
+        }
+    }
+
+    /// Builds a size from a byte count.
+    ///
+    /// Returns `None` for widths the ISA does not support.
+    #[must_use]
+    pub fn from_bytes(bytes: u8) -> Option<DataSize> {
+        match bytes {
+            1 => Some(DataSize::Byte),
+            2 => Some(DataSize::Half),
+            4 => Some(DataSize::Word),
+            8 => Some(DataSize::Quad),
+            _ => None,
+        }
+    }
+
+    /// Mask selecting the low `bytes()*8` bits of a 64-bit value.
+    #[must_use]
+    pub fn mask(self) -> u64 {
+        match self {
+            DataSize::Quad => u64::MAX,
+            _ => (1u64 << (u64::from(self.bytes()) * 8)) - 1,
+        }
+    }
+
+    /// Truncates `value` to this width.
+    #[must_use]
+    pub fn truncate(self, value: u64) -> u64 {
+        value & self.mask()
+    }
+}
+
+impl Default for DataSize {
+    fn default() -> Self {
+        DataSize::Quad
+    }
+}
+
+impl std::fmt::Display for DataSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}B", self.bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_counts() {
+        assert_eq!(
+            DataSize::ALL.map(DataSize::bytes),
+            [1, 2, 4, 8],
+            "sizes are the powers of two up to 8"
+        );
+    }
+
+    #[test]
+    fn from_bytes_round_trips() {
+        for s in DataSize::ALL {
+            assert_eq!(DataSize::from_bytes(s.bytes()), Some(s));
+        }
+        assert_eq!(DataSize::from_bytes(3), None);
+        assert_eq!(DataSize::from_bytes(0), None);
+        assert_eq!(DataSize::from_bytes(16), None);
+    }
+
+    #[test]
+    fn masks_and_truncation() {
+        assert_eq!(DataSize::Byte.truncate(0x1234), 0x34);
+        assert_eq!(DataSize::Half.truncate(0x1_2345), 0x2345);
+        assert_eq!(DataSize::Word.truncate(u64::MAX), 0xFFFF_FFFF);
+        assert_eq!(DataSize::Quad.truncate(u64::MAX), u64::MAX);
+    }
+
+    #[test]
+    fn ordering_matches_width() {
+        assert!(DataSize::Byte < DataSize::Quad);
+        assert!(DataSize::Half < DataSize::Word);
+    }
+}

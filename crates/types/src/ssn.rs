@@ -1,0 +1,155 @@
+//! Store sequence numbers (SSNs), the store-naming scheme from the Store
+//! Vulnerability Window work that the paper adopts (§3.1).
+
+/// A Store Sequence Number: a monotonically increasing name for a dynamic
+/// store, as defined by SVW and used throughout the paper.
+///
+/// Internally the simulator keeps SSNs as full 64-bit counters so age
+/// comparison is exact; the *hardware* width (16 bits in the paper) is
+/// modelled by the pipeline, which drains and clears all SSN-holding
+/// structures whenever the low `N` bits wrap (§3.1).
+///
+/// `Ssn(0)` is reserved to mean "no store" / "no effective delay": the
+/// simulator assigns real stores SSNs starting at 1, so predictor tables can
+/// use the default value as an absent entry exactly the way the paper's
+/// `SSNdly = 0` convention works.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ssn(pub u64);
+
+impl Ssn {
+    /// The "no store" sentinel (also "no effective delay" for SSNdly).
+    pub const NONE: Ssn = Ssn(0);
+
+    /// Creates an SSN from a raw counter value.
+    #[must_use]
+    pub fn new(raw: u64) -> Ssn {
+        Ssn(raw)
+    }
+
+    /// Whether this is the reserved "no store" sentinel.
+    #[must_use]
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether this names an actual dynamic store.
+    #[must_use]
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+
+    /// The next SSN in program order.
+    #[must_use]
+    pub fn next(self) -> Ssn {
+        Ssn(self.0 + 1)
+    }
+
+    /// The store queue slot this store occupies while in flight.
+    ///
+    /// The paper derives the SQ index from the low-order bits of the SSN
+    /// (assuming a power-of-two SQ size); we accept any size and use modulo,
+    /// which is identical for powers of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sq_size` is zero.
+    #[must_use]
+    pub fn sq_index(self, sq_size: usize) -> usize {
+        assert!(sq_size > 0, "store queue size must be non-zero");
+        (self.0 % sq_size as u64) as usize
+    }
+
+    /// Whether this store is still in flight given the committed-store
+    /// high-water mark `ssn_cmt` (the paper's `SSN > SSNcmt` test).
+    #[must_use]
+    pub fn is_in_flight(self, ssn_cmt: Ssn) -> bool {
+        self.is_some() && self.0 > ssn_cmt.0
+    }
+
+    /// Distance in dynamic stores from `self` back to `older` (saturating).
+    #[must_use]
+    pub fn distance_from(self, older: Ssn) -> u64 {
+        self.0.saturating_sub(older.0)
+    }
+
+    /// The SSN `distance` dynamic stores older than this one, saturating at
+    /// the [`Ssn::NONE`] sentinel (used to compute `SSNdly = SSNren − Ddly`).
+    #[must_use]
+    pub fn minus(self, distance: u64) -> Ssn {
+        Ssn(self.0.saturating_sub(distance))
+    }
+
+    /// The value of the low `bits` bits, i.e. what a hardware SSN register
+    /// of that width would hold.
+    #[must_use]
+    pub fn low_bits(self, bits: u32) -> u64 {
+        if bits >= 64 {
+            self.0
+        } else {
+            self.0 & ((1u64 << bits) - 1)
+        }
+    }
+}
+
+impl std::fmt::Display for Ssn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_none() {
+            write!(f, "ssn:none")
+        } else {
+            write!(f, "ssn:{}", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sentinel_semantics() {
+        assert!(Ssn::NONE.is_none());
+        assert!(!Ssn::NONE.is_some());
+        assert!(Ssn::new(1).is_some());
+        assert_eq!(Ssn::default(), Ssn::NONE);
+    }
+
+    #[test]
+    fn sq_index_matches_paper_example() {
+        // Figure 3: store with SSN 34 lives at SQ[34 mod 4] = SQ[2].
+        assert_eq!(Ssn::new(34).sq_index(4), 2);
+        assert_eq!(Ssn::new(18).sq_index(4), 2);
+        assert_eq!(Ssn::new(64).sq_index(64), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn sq_index_rejects_zero_size() {
+        let _ = Ssn::new(1).sq_index(0);
+    }
+
+    #[test]
+    fn in_flight_test_is_strictly_greater() {
+        let cmt = Ssn::new(17);
+        assert!(Ssn::new(18).is_in_flight(cmt));
+        assert!(!Ssn::new(17).is_in_flight(cmt));
+        assert!(!Ssn::new(3).is_in_flight(cmt));
+        assert!(!Ssn::NONE.is_in_flight(cmt), "sentinel is never in flight");
+    }
+
+    #[test]
+    fn distance_and_minus_are_inverse_when_in_range() {
+        let s = Ssn::new(100);
+        assert_eq!(s.minus(30), Ssn::new(70));
+        assert_eq!(s.distance_from(Ssn::new(70)), 30);
+        assert_eq!(s.minus(1000), Ssn::NONE, "saturates to the sentinel");
+        assert_eq!(Ssn::new(5).distance_from(Ssn::new(9)), 0);
+    }
+
+    #[test]
+    fn low_bits_models_hardware_width() {
+        let s = Ssn::new(0x1_0003);
+        assert_eq!(s.low_bits(16), 3);
+        assert_eq!(s.low_bits(64), 0x1_0003);
+        assert_eq!(s.low_bits(70), 0x1_0003);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the fundamental value types.
+
+use proptest::prelude::*;
+use sqip_types::{Addr, DataSize, Ssn};
+
+fn size_strategy() -> impl Strategy<Value = DataSize> {
+    prop_oneof![
+        Just(DataSize::Byte),
+        Just(DataSize::Half),
+        Just(DataSize::Word),
+        Just(DataSize::Quad),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn overlap_is_symmetric(a in 0u64..10_000, sa in size_strategy(),
+                            b in 0u64..10_000, sb in size_strategy()) {
+        let x = Addr::new(a).span(sa);
+        let y = Addr::new(b).span(sb);
+        prop_assert_eq!(x.overlaps(y), y.overlaps(x));
+    }
+
+    #[test]
+    fn overlap_agrees_with_byte_sets(a in 0u64..1_000, sa in size_strategy(),
+                                     b in 0u64..1_000, sb in size_strategy()) {
+        let x = Addr::new(a).span(sa);
+        let y = Addr::new(b).span(sb);
+        let xs: std::collections::HashSet<u64> = x.byte_addrs().map(|p| p.0).collect();
+        let ys: std::collections::HashSet<u64> = y.byte_addrs().map(|p| p.0).collect();
+        prop_assert_eq!(x.overlaps(y), !xs.is_disjoint(&ys));
+        prop_assert_eq!(x.contains(y), ys.is_subset(&xs));
+    }
+
+    #[test]
+    fn contains_implies_overlap_and_width(a in 0u64..1_000, sa in size_strategy(),
+                                          b in 0u64..1_000, sb in size_strategy()) {
+        let x = Addr::new(a).span(sa);
+        let y = Addr::new(b).span(sb);
+        if x.contains(y) {
+            prop_assert!(x.overlaps(y));
+            prop_assert!(x.len() >= y.len());
+        }
+    }
+
+    #[test]
+    fn span_length_matches_size(a in 0u64..1_000_000, s in size_strategy()) {
+        let span = Addr::new(a).span(s);
+        prop_assert_eq!(span.byte_addrs().count(), s.bytes() as usize);
+        prop_assert_eq!(span.len(), s.bytes());
+        prop_assert_eq!(span.end() - span.base().0, u64::from(s.bytes()));
+    }
+
+    #[test]
+    fn truncate_is_idempotent_and_bounded(v in any::<u64>(), s in size_strategy()) {
+        let t = s.truncate(v);
+        prop_assert_eq!(s.truncate(t), t);
+        if s != DataSize::Quad {
+            prop_assert!(t < (1u64 << (8 * s.bytes())));
+        }
+    }
+
+    #[test]
+    fn ssn_minus_then_distance_round_trips(raw in 1u64..1_000_000, d in 0u64..1_000) {
+        let s = Ssn::new(raw);
+        if raw > d {
+            prop_assert_eq!(s.distance_from(s.minus(d)), d);
+        }
+    }
+
+    #[test]
+    fn sq_index_is_stable_under_capacity(raw in 1u64..1_000_000) {
+        let s = Ssn::new(raw);
+        for cap in [4usize, 16, 64, 256] {
+            prop_assert!(s.sq_index(cap) < cap);
+            prop_assert_eq!(s.sq_index(cap), (raw % cap as u64) as usize);
+        }
+    }
+}

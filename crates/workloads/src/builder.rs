@@ -1,0 +1,460 @@
+//! The program generator: lowers a [`WorkloadSpec`] into micro-ISA code.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sqip_isa::{IsaError, Program, ProgramBuilder, Reg};
+use sqip_types::DataSize;
+
+use crate::spec::WorkloadSpec;
+
+// ---- persistent register allocation ----
+const R_CTR: u8 = 1; // outer loop counter
+const R_LCG: u8 = 2; // LCG state for random branches
+const R_FP: u8 = 3; // FP chain accumulator
+const R_T0: u8 = 4; // temps
+const R_T1: u8 = 5;
+const R_T2: u8 = 6;
+const R_ACC: u8 = 7; // integer sink accumulator
+const R_PLD: u8 = 8; // plain-load stream offset
+const R_NMR0: u8 = 10; // 16 not-most-recent ring offsets
+const R_FAR0: u8 = 26; // 16 far-pair ring offsets
+const R_ITER: u8 = 46; // iteration index
+const R_NMR_MASK: u8 = 47;
+const R_FAR_MASK: u8 = 48;
+const R_PLAIN_MASK: u8 = 49;
+const R_LCG_BIT: u8 = 50;
+const R_PAT_MASK: u8 = 51;
+const R_FP_CONST: u8 = 52;
+const R_CHASE: u8 = 53;
+const R_ALIAS0: u8 = 56; // 3 alias-site ring offsets
+const R_SHIFT17: u8 = 59; // shift to extract alias variant bits from the LCG
+const R_REP_MASK: u8 = 60; // body phase-selection mask (replicate-1)
+
+// ---- memory map ----
+const FWD_BASE: i64 = 0x0001_0000;
+const ALIAS_BASE: i64 = 0x0002_0000;
+const NMR_BASE: i64 = 0x0010_0000;
+const NMR_SPACING: i64 = 0x4000;
+const NMR_MASK: i64 = 1023; // 1KB ring, 128 quad slots (hot, stack-like)
+const FAR_BASE: i64 = 0x0030_0000;
+const FAR_SPACING: i64 = 0x1000;
+const FAR_MASK: i64 = 1023; // 1KB ring, 128 quad slots
+const FAR_LAG: i64 = 80 * 8; // 80 slots: clearly beyond a 64-entry SQ
+const PLAIN_LD_BASE: i64 = 0x0040_0000;
+const PLAIN_ST_BASE: i64 = 0x0060_0000;
+const PLAIN_LD_MASK: i64 = 256 * 1024 - 1;
+const CHASE_BASE: i64 = 0x0100_0000;
+
+/// Maximum per-kind site counts (bounded by register allocation).
+pub(crate) const MAX_NMR_SITES: u32 = 16;
+pub(crate) const MAX_FAR_SITES: u32 = 16;
+pub(crate) const MAX_ALIAS_SITES: u32 = 3;
+
+/// Lowers `spec` into a program.
+///
+/// # Panics
+///
+/// Panics if the spec exceeds the generator's per-kind site limits.
+pub(crate) fn build_program(spec: &WorkloadSpec) -> Result<Program, IsaError> {
+    assert!(spec.nmr_sites <= MAX_NMR_SITES, "too many nmr sites");
+    assert!(spec.far_sites <= MAX_FAR_SITES, "too many far sites");
+    assert!(spec.alias_sites <= MAX_ALIAS_SITES, "too many alias sites");
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut b = ProgramBuilder::new();
+    let r = Reg::new;
+
+    // ---- initialisation ----
+    b.load_imm(r(R_CTR), i64::from(spec.iterations));
+    b.load_imm(r(R_LCG), (spec.seed as i64) | 1);
+    b.load_imm(r(R_FP), 0x3ff1_2345);
+    b.load_imm(r(R_FP_CONST), 3);
+    b.load_imm(r(R_ITER), 0);
+    b.load_imm(r(R_ACC), 0);
+    b.load_imm(r(R_PLD), 0);
+    b.load_imm(r(R_NMR_MASK), NMR_MASK);
+    b.load_imm(r(R_FAR_MASK), FAR_MASK);
+    b.load_imm(r(R_PLAIN_MASK), PLAIN_LD_MASK);
+    b.load_imm(r(R_LCG_BIT), 1 << 17);
+    b.load_imm(r(R_PAT_MASK), 3);
+    if spec.alias_sites > 0 {
+        b.load_imm(r(R_SHIFT17), 17);
+    }
+    let replicate = spec.replicate.max(1);
+    assert!(replicate.is_power_of_two(), "replicate must be a power of two");
+    if replicate > 1 {
+        b.load_imm(r(R_REP_MASK), i64::from(replicate) - 1);
+    }
+    for k in 0..spec.alias_sites {
+        b.load_imm(r(R_ALIAS0 + k as u8), 0);
+    }
+    for k in 0..spec.nmr_sites {
+        b.load_imm(r(R_NMR0 + k as u8), 0);
+    }
+    for k in 0..spec.far_sites {
+        b.load_imm(r(R_FAR0 + k as u8), 0);
+    }
+
+    // Pointer-chase ring construction.
+    if spec.chase_loads > 0 {
+        let stride = i64::from(spec.chase_stride);
+        let nodes = i64::from(spec.chase_nodes);
+        b.load_imm(r(R_CHASE), CHASE_BASE);
+        b.load_imm(r(R_T0), nodes - 1);
+        let init = b.label("chase_init");
+        b.add_imm(r(R_T1), r(R_CHASE), stride);
+        b.store(DataSize::Quad, r(R_T1), r(R_CHASE), 0);
+        b.add_imm(r(R_CHASE), r(R_CHASE), stride);
+        b.add_imm(r(R_T0), r(R_T0), -1);
+        b.branch_nz(r(R_T0), init);
+        // Close the ring and reset the cursor.
+        b.load_imm(r(R_T1), CHASE_BASE);
+        b.store(DataSize::Quad, r(R_T1), r(R_CHASE), 0);
+        b.load_imm(r(R_CHASE), CHASE_BASE);
+    }
+
+    // ---- outer loop body ----
+    //
+    // With `replicate` > 1, the loop contains `replicate` complete copies
+    // of the body (distinct PCs, distinct fixed slots) and each iteration
+    // executes exactly one, selected by `iter mod replicate`. Ring-offset
+    // registers are shared across copies, so every dynamic distance is the
+    // same as in the unreplicated program — only the *static* footprint
+    // grows, which is what the FSP/DDP capacity study needs.
+    let top = b.label("outer");
+
+    // ---- common section: stateful ring/chase/FP kernels run every
+    // iteration (their pathologies depend on instance recurrence, so they
+    // must not rotate through phase copies) ----
+    // Alias sites: a ring written by one of four static stores (selected
+    // pseudo-randomly, defeating a 2-way FSP set) and read back one
+    // iteration later. The FSP can only represent two of the four
+    // producers, so the load's forwarding prediction is frequently wrong;
+    // wrong predictions forward nothing (the predicted store's older
+    // instance no longer matches the slot) and flush whenever the real
+    // producer has not yet committed. Delay prediction converts that
+    // flushing into bounded delays — the paper's eon/vortex behaviour.
+    for i in 0..spec.alias_sites {
+        let ra = r(R_ALIAS0 + i as u8);
+        let base = ALIAS_BASE + 0x1000 * i64::from(i);
+        let l1 = format!("al{i}_1");
+        let l2 = format!("al{i}_2");
+        let l3 = format!("al{i}_3");
+        let lend = format!("al{i}_end");
+        b.mul_imm(r(R_LCG), r(R_LCG), 6_364_136_223_846_793_005);
+        b.add_imm(r(R_LCG), r(R_LCG), 1_442_695_040_888_963_407);
+        b.shr(r(R_T0), r(R_LCG), r(R_SHIFT17));
+        b.and(r(R_T0), r(R_T0), r(R_PAT_MASK)); // variant = 2 LCG bits
+        b.branch_nz_to(r(R_T0), &l1);
+        b.store(DataSize::Quad, r(R_ITER), ra, base); // variant 0
+        b.jump_to(&lend);
+        b.place(&l1);
+        b.add_imm(r(R_T1), r(R_T0), -1);
+        b.branch_nz_to(r(R_T1), &l2);
+        b.store(DataSize::Quad, r(R_PLD), ra, base); // variant 1
+        b.jump_to(&lend);
+        b.place(&l2);
+        b.add_imm(r(R_T1), r(R_T0), -2);
+        b.branch_nz_to(r(R_T1), &l3);
+        b.store(DataSize::Quad, r(R_CTR), ra, base); // variant 2
+        b.jump_to(&lend);
+        b.place(&l3);
+        b.store(DataSize::Quad, r(R_LCG), ra, base); // variant 3
+        b.place(&lend);
+        // Load the slot written last iteration.
+        b.add_imm(r(R_T0), ra, -8);
+        b.and(r(R_T0), r(R_T0), r(R_FAR_MASK));
+        b.load(DataSize::Quad, r(R_T1), r(R_T0), base);
+        b.xor(r(R_ACC), r(R_ACC), r(R_T1));
+        b.add_imm(ra, ra, 8);
+        b.and(ra, ra, r(R_FAR_MASK));
+    }
+
+    // Not-most-recent recurrences: X[i] = 3·X[i−lag] over a hot ring.
+    assert!(spec.nmr_lag >= 2, "lag 1 would be most-recent (SAT-predictable)");
+    for k in 0..spec.nmr_sites {
+        let ro = r(R_NMR0 + k as u8);
+        let base = NMR_BASE + NMR_SPACING * i64::from(k);
+        b.add_imm(r(R_T0), ro, -8 * i64::from(spec.nmr_lag));
+        b.and(r(R_T0), r(R_T0), r(R_NMR_MASK));
+        b.load(DataSize::Quad, r(R_T1), r(R_T0), base); // X[i-2]
+        b.mul_imm(r(R_T1), r(R_T1), 3);
+        b.add_imm(r(R_T1), r(R_T1), 1); // keep values nonzero
+        b.store(DataSize::Quad, r(R_T1), ro, base); // X[i]
+        b.add_imm(ro, ro, 8);
+        b.and(ro, ro, r(R_NMR_MASK));
+    }
+
+    // Far pairs: load a slot stored 66 iterations ago (beyond the SQ).
+    for k in 0..spec.far_sites {
+        let rf = r(R_FAR0 + k as u8);
+        let base = FAR_BASE + FAR_SPACING * i64::from(k);
+        b.add_imm(r(R_T0), rf, -FAR_LAG);
+        b.and(r(R_T0), r(R_T0), r(R_FAR_MASK));
+        b.load(DataSize::Quad, r(R_T1), r(R_T0), base);
+        b.xor(r(R_ACC), r(R_ACC), r(R_T1));
+        b.store(DataSize::Quad, r(R_ITER), rf, base);
+        b.add_imm(rf, rf, 8);
+        b.and(rf, rf, r(R_FAR_MASK));
+    }
+
+    // Pointer chase (serial cache-missing dereferences; single copy).
+    for _ in 0..spec.chase_loads {
+        b.load(DataSize::Quad, r(R_CHASE), r(R_CHASE), 0);
+    }
+
+    // Hard (LCG-driven) branches.
+    for j in 0..spec.random_branches {
+        let skip = format!("rb{j}");
+        b.mul_imm(r(R_LCG), r(R_LCG), 6_364_136_223_846_793_005);
+        b.add_imm(r(R_LCG), r(R_LCG), 1_442_695_040_888_963_407);
+        b.and(r(R_T0), r(R_LCG), r(R_LCG_BIT));
+        b.branch_nz_to(r(R_T0), &skip);
+        b.add_imm(r(R_ACC), r(R_ACC), 1);
+        b.place(&skip);
+    }
+
+    // Serial FP chain (latency pressure on the FP pipes; single copy).
+    for _ in 0..spec.fp_chain {
+        b.fmul(r(R_FP), r(R_FP), r(R_FP_CONST));
+    }
+
+
+    // ---- phase dispatch: one stateless body copy per iteration ----
+    if replicate > 1 {
+        b.and(r(R_T2), r(R_ITER), r(R_REP_MASK));
+    }
+    for copy in 0..replicate {
+    // Distinct fixed slots per copy, in a region far above the ring/chase
+    // address ranges so replicas never collide with stateful kernels.
+    let cbase = if copy == 0 { 0 } else { 0x0800_0000 + 0x20000 * i64::from(copy) };
+    if replicate > 1 {
+        if copy > 0 {
+            b.add_imm(r(R_T2), r(R_T2), -1);
+        }
+        if copy + 1 < replicate {
+            b.branch_nz_to(r(R_T2), &format!("phase_{}", copy + 1));
+        }
+    }
+    // Forwarding pairs: store then load the same quad slot.
+    for i in 0..spec.fwd_sites {
+        let slot = cbase + FWD_BASE + 32 * i64::from(i) + 8 * (rng.gen_range(0..2) as i64);
+        b.store(DataSize::Quad, r(R_ITER), Reg::ZERO, slot);
+        b.load(DataSize::Quad, r(R_T0), Reg::ZERO, slot);
+        b.xor(r(R_ACC), r(R_ACC), r(R_T0));
+    }
+
+    // Narrow pairs: word store, byte load inside it (forwards).
+    for i in 0..spec.narrow_sites {
+        let slot = cbase + FWD_BASE + 0x8000 + 32 * i64::from(i);
+        let byte_off = rng.gen_range(0..4) as i64;
+        b.store(DataSize::Word, r(R_ITER), Reg::ZERO, slot);
+        b.load(DataSize::Byte, r(R_T0), Reg::ZERO, slot + byte_off);
+        b.xor(r(R_ACC), r(R_ACC), r(R_T0));
+    }
+
+    // Partial pairs: word store, quad load over it (unforwardable from a
+    // single SQ entry).
+    for i in 0..spec.partial_sites {
+        let slot = cbase + FWD_BASE + 0xC000 + 32 * i64::from(i);
+        b.store(DataSize::Word, r(R_ITER), Reg::ZERO, slot);
+        b.load(DataSize::Quad, r(R_T0), Reg::ZERO, slot);
+        b.xor(r(R_ACC), r(R_ACC), r(R_T0));
+    }
+
+    // Plain streamed loads (no forwarding). Word-width, matching the
+    // dominant access size in the paper's workloads (the SSBF probe count
+    // per load matters for its false-positive behaviour).
+    for i in 0..spec.plain_loads {
+        let disp = PLAIN_LD_BASE + 8 * i64::from(i);
+        b.load(DataSize::Word, r(R_T0), r(R_PLD), disp);
+        b.xor(r(R_ACC), r(R_ACC), r(R_T0));
+    }
+    if spec.plain_loads > 0 {
+        b.add_imm(r(R_PLD), r(R_PLD), 8 * i64::from(spec.plain_loads));
+        b.and(r(R_PLD), r(R_PLD), r(R_PLAIN_MASK));
+    }
+
+    // Plain stores: fixed hot slots (never loaded back), modelling the
+    // stack-spill traffic that dominates real store streams. Streaming
+    // these over a large region would give the 2K-entry SSBF a much larger
+    // recent-store footprint than real traces exhibit.
+    for i in 0..spec.plain_stores {
+        let disp = PLAIN_ST_BASE + 8 * i64::from(i);
+        b.store(DataSize::Quad, r(R_ACC), Reg::ZERO, disp);
+    }
+
+    // Easy periodic branches (period-4 pattern, learnable).
+    for j in 0..spec.pattern_branches {
+        let skip = format!("pb{copy}_{j}");
+        b.and(r(R_T0), r(R_ITER), r(R_PAT_MASK));
+        b.branch_nz_to(r(R_T0), &skip);
+        b.add_imm(r(R_ACC), r(R_ACC), 3);
+        b.place(&skip);
+    }
+
+    // Independent integer filler (ILP).
+    for i in 0..spec.int_filler {
+        let t = [R_T1, R_T2][i as usize % 2];
+        b.add_imm(r(t), r(R_ITER), i64::from(i) + 1);
+    }
+    if replicate > 1 {
+        if copy + 1 < replicate {
+            b.jump_to("loop_tail");
+        }
+        b.place(&format!("phase_{}", copy + 1));
+    }
+    } // per-phase body copies
+    if replicate > 1 {
+        b.place("loop_tail");
+    }
+
+    // Loop control.
+    b.add_imm(r(R_ITER), r(R_ITER), 1);
+    b.add_imm(r(R_CTR), r(R_CTR), -1);
+    b.branch_nz(r(R_CTR), top);
+    b.halt();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Suite;
+
+    fn spec_with(f: impl FnOnce(&mut WorkloadSpec)) -> WorkloadSpec {
+        let mut w = WorkloadSpec::base("t", Suite::Int);
+        w.iterations = 200;
+        f(&mut w);
+        w
+    }
+
+    #[test]
+    fn every_kernel_kind_builds_and_halts() {
+        let w = spec_with(|w| {
+            w.fwd_sites = 2;
+            w.narrow_sites = 1;
+            w.partial_sites = 1;
+            w.alias_sites = 1;
+            w.nmr_sites = 2;
+            w.far_sites = 1;
+            w.plain_loads = 2;
+            w.plain_stores = 1;
+            w.chase_loads = 1;
+            w.chase_nodes = 16;
+            w.random_branches = 1;
+            w.pattern_branches = 1;
+            w.fp_chain = 2;
+            w.int_filler = 2;
+        });
+        let trace = w.trace().expect("composite workload runs");
+        assert_eq!(
+            trace.dynamic_loads(),
+            u64::from(w.loads_per_iter() * w.iterations)
+        );
+        assert_eq!(
+            trace.dynamic_stores(),
+            // chase-ring init stores + per-iteration stores
+            u64::from(w.stores_per_iter() * w.iterations) + u64::from(w.chase_nodes),
+        );
+    }
+
+    #[test]
+    fn forwarding_rate_tracks_target() {
+        let w = spec_with(|w| {
+            w.fwd_sites = 6;
+            w.plain_loads = 6;
+            w.plain_stores = 2;
+        });
+        let trace = w.trace().unwrap();
+        let measured = trace.oracle_forwarding_rate(64);
+        let target = w.target_forwarding_rate();
+        assert!(
+            (measured - target).abs() < 0.1,
+            "measured {measured:.3} vs target {target:.3}"
+        );
+    }
+
+    #[test]
+    fn far_pairs_are_beyond_the_sq() {
+        let w = spec_with(|w| {
+            w.far_sites = 1;
+            w.plain_loads = 0;
+            w.plain_stores = 0;
+            w.pattern_branches = 0;
+            w.int_filler = 0;
+            w.iterations = 300;
+        });
+        let trace = w.trace().unwrap();
+        // Loads exist but none are within a 64-store window.
+        assert!(trace.dynamic_loads() > 0);
+        assert_eq!(trace.oracle_forwarding_rate(64), 0.0);
+        assert!(trace.oracle_forwarding_rate(100) > 0.5, "but they do forward at distance 66");
+    }
+
+    #[test]
+    fn nmr_recurrence_really_reads_two_back() {
+        let w = spec_with(|w| {
+            w.nmr_sites = 1;
+            w.plain_loads = 0;
+            w.plain_stores = 0;
+            w.pattern_branches = 0;
+            w.int_filler = 0;
+            w.iterations = 50;
+        });
+        let trace = w.trace().unwrap();
+        // After warmup, values follow v_i = 3*v_{i-2} + 1 with v seeded 0:
+        // the loaded values must be nonzero eventually.
+        let loaded: Vec<u64> = trace
+            .records()
+            .iter()
+            .filter(|r| r.is_load())
+            .map(|r| r.result)
+            .collect();
+        assert!(loaded.iter().skip(10).all(|&v| v > 0), "recurrence propagates");
+    }
+
+    #[test]
+    fn chase_ring_closes() {
+        let w = spec_with(|w| {
+            w.chase_loads = 2;
+            w.chase_nodes = 8;
+            w.chase_stride = 64;
+            w.iterations = 100;
+        });
+        let trace = w.trace().unwrap();
+        // 2 derefs/iter over an 8-node ring: pointer values repeat with
+        // period 4 iterations and never leave the ring.
+        let ring_lo = 0x0100_0000u64;
+        let ring_hi = ring_lo + 8 * 64;
+        let ptrs: Vec<u64> = trace
+            .records()
+            .iter()
+            .filter(|r| r.is_load() && r.mem_addr().0 >= ring_lo && r.mem_addr().0 < ring_hi)
+            .map(|r| r.result)
+            .collect();
+        assert!(!ptrs.is_empty());
+        assert!(ptrs.iter().all(|&p| (ring_lo..ring_hi).contains(&p)));
+    }
+
+    #[test]
+    fn random_branches_are_roughly_balanced() {
+        let w = spec_with(|w| {
+            w.random_branches = 1;
+            w.pattern_branches = 0;
+            w.iterations = 2000;
+        });
+        let trace = w.trace().unwrap();
+        // Count all conditional branches: the loop-control branch is
+        // nearly always taken, the LCG branch splits ~50/50, so the blend
+        // must land clearly between the two.
+        let (mut taken, mut total) = (0u32, 0u32);
+        for r in trace.records() {
+            if r.op.is_conditional() {
+                total += 1;
+                taken += u32::from(r.taken);
+            }
+        }
+        let ratio = f64::from(taken) / f64::from(total);
+        assert!(ratio > 0.55 && ratio < 0.95, "mixed directions, got {ratio}");
+    }
+}

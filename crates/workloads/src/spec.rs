@@ -1,0 +1,205 @@
+//! Workload specifications: the knobs that shape a synthetic benchmark.
+
+use sqip_isa::{trace_program, IsaError, Program, Trace};
+
+use crate::builder::build_program;
+
+/// Which benchmark suite a workload models (Table 3's grouping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// MediaBench.
+    Media,
+    /// SPECint 2000.
+    Int,
+    /// SPECfp 2000.
+    Fp,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Suite::Media => "Media",
+            Suite::Int => "Int",
+            Suite::Fp => "FP",
+        })
+    }
+}
+
+/// A synthetic benchmark description.
+///
+/// The counts are *per iteration of the outer loop*; every site is a
+/// distinct static code sequence (distinct PCs), so site counts double as
+/// the program's static memory-dependence footprint.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Benchmark name (a Table 3 row, e.g. `"mesa.t"`).
+    pub name: &'static str,
+    /// Suite grouping.
+    pub suite: Suite,
+    /// Outer-loop iterations.
+    pub iterations: u32,
+    /// Quad-width store→load forwarding pairs.
+    pub fwd_sites: u32,
+    /// Mixed-width forwarding pairs (word store, byte/half load).
+    pub narrow_sites: u32,
+    /// Partial-overlap pairs (word store, quad load): unforwardable from a
+    /// single SQ entry.
+    pub partial_sites: u32,
+    /// Loads fed by 4 static stores selected by control flow (FSP-set
+    /// thrash).
+    pub alias_sites: u32,
+    /// Not-most-recent recurrences `X[i] = a·X[i−lag]`.
+    pub nmr_sites: u32,
+    /// Recurrence lag in ring slots (≥2; 2 is the paper's `X[i]=A*X[i-2]`
+    /// pathology, longer lags flush less often because the producer store
+    /// is usually committed by the time the load executes).
+    pub nmr_lag: u32,
+    /// Store→load pairs at a distance beyond the SQ (ring with a 66-
+    /// iteration lag).
+    pub far_sites: u32,
+    /// Loads from a read-only streamed region (no forwarding).
+    pub plain_loads: u32,
+    /// Stores to a write-only region (no forwarding).
+    pub plain_stores: u32,
+    /// Pointer-chase dereferences per iteration.
+    pub chase_loads: u32,
+    /// Pointer-ring node count (ring bytes = nodes × stride).
+    pub chase_nodes: u32,
+    /// Pointer-ring node stride in bytes (4096 defeats the TLB/L1).
+    pub chase_stride: u32,
+    /// Data-dependent branches driven by an in-register LCG (hard to
+    /// predict).
+    pub random_branches: u32,
+    /// Branches with a short periodic pattern (learnable).
+    pub pattern_branches: u32,
+    /// Serial FP multiply chain length per iteration.
+    pub fp_chain: u32,
+    /// Independent integer ALU filler ops.
+    pub int_filler: u32,
+    /// Static replication factor: the loop body is emitted this many times
+    /// with distinct PCs (and distinct fixed slots), multiplying the
+    /// program's *static* load-store dependence footprint without changing
+    /// its dynamic behaviour. Models large-code programs for the FSP/DDP
+    /// capacity sensitivity study (Figure 5).
+    pub replicate: u32,
+    /// Generator seed (address/layout shuffling).
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A small neutral baseline spec; named workloads override fields.
+    #[must_use]
+    pub fn base(name: &'static str, suite: Suite) -> WorkloadSpec {
+        WorkloadSpec {
+            name,
+            suite,
+            iterations: 3000,
+            fwd_sites: 0,
+            narrow_sites: 0,
+            partial_sites: 0,
+            alias_sites: 0,
+            nmr_sites: 0,
+            nmr_lag: 2,
+            far_sites: 0,
+            plain_loads: 6,
+            plain_stores: 2,
+            chase_loads: 0,
+            chase_nodes: 256,
+            chase_stride: 4096,
+            random_branches: 0,
+            pattern_branches: 1,
+            fp_chain: 0,
+            int_filler: 6,
+            replicate: 1,
+            seed: 0x5eed,
+        }
+    }
+
+    /// Dynamic loads per outer iteration (exactly one phase body runs per
+    /// iteration, so replication does not change dynamic counts).
+    #[must_use]
+    pub fn loads_per_iter(&self) -> u32 {
+        self.fwd_sites
+            + self.narrow_sites
+            + self.partial_sites
+            + self.alias_sites
+            + self.nmr_sites
+            + self.far_sites
+            + self.plain_loads
+            + self.chase_loads
+    }
+
+    /// Dynamic stores per outer iteration.
+    #[must_use]
+    pub fn stores_per_iter(&self) -> u32 {
+        self.fwd_sites
+            + self.narrow_sites
+            + self.partial_sites
+            + self.alias_sites
+            + self.nmr_sites
+            + self.far_sites
+            + self.plain_stores
+    }
+
+    /// The forwarding-relevant fraction of loads this mix aims at
+    /// (forwarding pairs + aliases + narrow + recurrences over all loads).
+    #[must_use]
+    pub fn target_forwarding_rate(&self) -> f64 {
+        let fwd = self.fwd_sites + self.narrow_sites + self.alias_sites + self.nmr_sites;
+        let all = self.loads_per_iter();
+        if all == 0 {
+            0.0
+        } else {
+            f64::from(fwd) / f64::from(all)
+        }
+    }
+
+    /// Builds the program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembler errors (a bug in the generator, not the spec).
+    pub fn build(&self) -> Result<Program, IsaError> {
+        build_program(self)
+    }
+
+    /// Builds and functionally executes the program into a golden trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembler/executor errors.
+    pub fn trace(&self) -> Result<Trace, IsaError> {
+        let program = self.build()?;
+        // Generous budget: iterations × (a bound on per-iteration length)
+        // plus initialisation.
+        let per_iter = 16 * (self.loads_per_iter() + self.stores_per_iter()) as u64 + 64;
+        let budget = u64::from(self.iterations) * per_iter + 16 * u64::from(self.chase_nodes) + 4096;
+        trace_program(&program, budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_spec_builds_and_runs() {
+        let w = WorkloadSpec::base("test", Suite::Int);
+        let t = w.trace().unwrap();
+        assert!(t.len() > 1000);
+        assert_eq!(
+            t.dynamic_loads(),
+            u64::from(w.loads_per_iter() * w.iterations),
+            "load accounting matches the generator"
+        );
+    }
+
+    #[test]
+    fn target_rate_is_a_ratio() {
+        let mut w = WorkloadSpec::base("t", Suite::Fp);
+        w.fwd_sites = 5;
+        w.plain_loads = 5;
+        w.random_branches = 0;
+        assert!((w.target_forwarding_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,58 @@
+//! Design-space walk: sweep store-queue size and predictor geometry on one
+//! workload and print how the paper's design point (64-entry SQ, 4K-entry
+//! 2-way FSP/DDP) sits in the space. Also prints the Table 2 hardware
+//! latencies for each SQ size, connecting the IPC study to the circuit
+//! study.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! ```
+
+use sqip_cacti::{SqGeometry, TechParams};
+use sqip_core::{Processor, SimConfig, SqDesign};
+use sqip_workloads::by_name;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = by_name("gzip").expect("gzip is a Table 3 workload");
+    let trace = spec.trace()?;
+    let tech = TechParams::default();
+
+    println!("workload: gzip model ({} dynamic instructions)\n", trace.len());
+    println!(
+        "{:>8} | {:>12} {:>12} | {:>9} {:>9}",
+        "SQ size", "assoc ns(cy)", "index ns(cy)", "IPC assoc", "IPC index"
+    );
+    for sq in [16usize, 32, 64, 128] {
+        let a = SqGeometry::associative(sq, 2);
+        let i = SqGeometry::indexed(sq, 2);
+        let ipc = |design| {
+            let mut cfg = SimConfig::with_design(design);
+            cfg.sq_size = sq;
+            cfg.ddp.max_distance = sq as u64;
+            Processor::new(cfg, &trace).run().ipc()
+        };
+        println!(
+            "{:>8} | {:>7.2} ({:>2}) {:>7.2} ({:>2}) | {:>9.2} {:>9.2}",
+            sq,
+            tech.sq_latency_ns(a),
+            tech.sq_cycles(a),
+            tech.sq_latency_ns(i),
+            tech.sq_cycles(i),
+            ipc(SqDesign::Associative3),
+            ipc(SqDesign::Indexed3FwdDly),
+        );
+    }
+
+    println!("\nFSP capacity sweep (indexed-3-fwd+dly):");
+    for entries in [512usize, 1024, 4096] {
+        let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+        cfg.fsp.entries = entries;
+        let stats = Processor::new(cfg, &trace).run();
+        println!(
+            "  {entries:>5}-entry FSP: IPC {:.2}, misfwd/1k {:.2}",
+            stats.ipc(),
+            stats.mis_forwards_per_1000()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Forwarding microscope: reproduce the paper's §3.3 motivating example,
+//! `X[i] = A * X[i-2]`, and watch each mechanism engage.
+//!
+//! Not-most-recent forwarding is the one pattern SQ index prediction
+//! fundamentally cannot handle: the Store Alias Table can only name the
+//! *youngest* instance of a store, but the load needs the one before it.
+//! This example runs the recurrence under four designs and shows how the
+//! raw indexed SQ flushes, and how the delay index predictor converts
+//! those flushes into bounded delays.
+//!
+//! ```text
+//! cargo run --release --example forwarding_microscope
+//! ```
+
+use sqip_core::{Processor, SimConfig, SqDesign};
+use sqip_isa::{trace_program, ProgramBuilder, Reg};
+use sqip_types::DataSize;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // X[i] = 3 * X[i-2] over a sliding window, the paper's pathology.
+    let mut b = ProgramBuilder::new();
+    let (ctr, ptr, x, y) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
+    b.load_imm(ctr, 3_000);
+    b.load_imm(ptr, 0x1000);
+    b.load_imm(x, 1);
+    b.store(DataSize::Quad, x, ptr, 0); // seed X[0]
+    b.store(DataSize::Quad, x, ptr, 8); // seed X[1]
+    let top = b.label("top");
+    b.load(DataSize::Quad, y, ptr, 0); // X[i-2]
+    b.mul_imm(y, y, 3);
+    b.store(DataSize::Quad, y, ptr, 16); // X[i]
+    b.add_imm(ptr, ptr, 8);
+    b.add_imm(ctr, ctr, -1);
+    b.branch_nz(ctr, top);
+    b.halt();
+    let trace = trace_program(&b.build()?, 1_000_000)?;
+
+    println!("X[i] = 3*X[i-2], {} dynamic instructions\n", trace.len());
+    println!(
+        "{:<22} {:>9} {:>7} {:>10} {:>9} {:>9}",
+        "design", "cycles", "IPC", "misfwd/1k", "%delayed", "avg delay"
+    );
+    for design in [
+        SqDesign::IdealOracle,
+        SqDesign::Associative3,
+        SqDesign::Indexed3Fwd,
+        SqDesign::Indexed3FwdDly,
+    ] {
+        let stats = Processor::new(SimConfig::with_design(design), &trace).run();
+        println!(
+            "{:<22} {:>9} {:>7.2} {:>10.1} {:>9.1} {:>9.1}",
+            design.label(),
+            stats.cycles,
+            stats.ipc(),
+            stats.mis_forwards_per_1000(),
+            stats.pct_loads_delayed(),
+            stats.avg_delay_cycles()
+        );
+    }
+    println!(
+        "\nThe associative SQ forwards the recurrence natively; the raw\n\
+         indexed SQ (indexed-3-fwd) repeatedly mis-forwards and flushes;\n\
+         adding the delay predictor (indexed-3-fwd+dly) converts flushes\n\
+         into scheduling delays, as in the paper's §3.3."
+    );
+    Ok(())
+}

@@ -1,0 +1,112 @@
+//! Miniature end-to-end versions of every experiment the harness
+//! regenerates, asserting the paper's qualitative claims hold.
+
+use sqip_bench::{geomean, shrink, sim, sim_with};
+use sqip_cacti::{sq_energy_pj, table2_sq_rows, SqGeometry, TechParams};
+use sqip_core::{SimConfig, SqDesign};
+use sqip_predictors::TrainRatio;
+use sqip_workloads::by_name;
+
+/// Table 2: indexed SQ latency beats associative at every size/porting,
+/// and the paper's headline 64-entry/2-port comparison holds.
+#[test]
+fn table2_claims() {
+    let tech = TechParams::default();
+    for row in table2_sq_rows(&tech) {
+        assert!(row.index_2p.0 < row.assoc_2p.0);
+    }
+    assert!(tech.sq_cycles(SqGeometry::associative(64, 2)) >= 4);
+    assert_eq!(tech.sq_cycles(SqGeometry::indexed(64, 2)), 2);
+    let saving = 1.0
+        - sq_energy_pj(SqGeometry::indexed(64, 2)) / sq_energy_pj(SqGeometry::associative(64, 2));
+    assert!((saving - 0.30).abs() < 0.05, "~30% energy saving, got {saving:.2}");
+}
+
+/// Table 3: delay prediction cuts mis-forwarding by a large factor at a
+/// small delayed-load cost (shrunk three-benchmark sample).
+#[test]
+fn table3_claims() {
+    let mut fwd_rates = Vec::new();
+    let mut dly_rates = Vec::new();
+    let mut pct_delayed = Vec::new();
+    for name in ["mesa.t", "eon.k", "twolf"] {
+        let spec = shrink(by_name(name).unwrap(), 800);
+        let fwd = sim(&spec, SqDesign::Indexed3Fwd);
+        let dly = sim(&spec, SqDesign::Indexed3FwdDly);
+        fwd_rates.push(fwd.mis_forwards_per_1000());
+        dly_rates.push(dly.mis_forwards_per_1000());
+        pct_delayed.push(dly.pct_loads_delayed());
+    }
+    let fwd_avg = fwd_rates.iter().sum::<f64>() / 3.0;
+    let dly_avg = dly_rates.iter().sum::<f64>() / 3.0;
+    assert!(fwd_avg > 3.0, "pathological sample must mis-forward, got {fwd_avg:.1}");
+    assert!(
+        dly_avg < fwd_avg / 2.0,
+        "delay must cut mis-forwarding substantially: {dly_avg:.2} vs {fwd_avg:.2}"
+    );
+    assert!(
+        pct_delayed.iter().all(|&p| p < 35.0),
+        "delays stay bounded: {pct_delayed:?}"
+    );
+}
+
+/// Figure 4: the design ordering on a mixed sample — ideal fastest,
+/// indexed-with-delay competitive with the associative designs, raw
+/// indexed worst.
+#[test]
+fn figure4_claims() {
+    let names = ["gzip", "vortex", "gsm.e"];
+    let mut rel = std::collections::HashMap::new();
+    for design in [
+        SqDesign::Associative3,
+        SqDesign::Indexed3Fwd,
+        SqDesign::Indexed3FwdDly,
+    ] {
+        let mut ratios = Vec::new();
+        for name in names {
+            let spec = shrink(by_name(name).unwrap(), 1500);
+            let base = sim(&spec, SqDesign::IdealOracle).cycles as f64;
+            ratios.push(sim(&spec, design).cycles as f64 / base);
+        }
+        rel.insert(design.label(), geomean(ratios));
+    }
+    let assoc3 = rel["associative-3"];
+    let idx_fwd = rel["indexed-3-fwd"];
+    let idx_dly = rel["indexed-3-fwd+dly"];
+    assert!(assoc3 >= 0.99, "oracle is the floor, got {assoc3:.3}");
+    assert!(
+        idx_fwd > idx_dly,
+        "delay prediction must improve raw indexed forwarding ({idx_fwd:.3} vs {idx_dly:.3})"
+    );
+    assert!(
+        idx_dly < assoc3 + 0.06,
+        "indexed+delay competitive with associative: {idx_dly:.3} vs {assoc3:.3}"
+    );
+}
+
+/// Figure 5: a 512-entry FSP/DDP must not beat the default 4K tables on a
+/// large-footprint workload, and the 0:1 DDP ratio degenerates to the raw
+/// forwarding configuration.
+#[test]
+fn figure5_claims() {
+    let spec = shrink(by_name("vortex").unwrap(), 1500);
+
+    let run_cap = |entries: usize| {
+        let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+        cfg.fsp.entries = entries;
+        cfg.ddp.entries = entries;
+        sim_with(&spec, cfg).cycles
+    };
+    assert!(run_cap(512) as f64 >= run_cap(4096) as f64 * 0.98);
+
+    let mut zero_one = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+    zero_one.ddp.ratio = TrainRatio::new(0, 1);
+    zero_one.ddp.threshold = 1;
+    let degenerate = sim_with(&spec, zero_one);
+    let raw = sim(&spec, SqDesign::Indexed3Fwd);
+    assert_eq!(
+        degenerate.loads_delayed, 0,
+        "0:1 never learns delay, matching the raw Fwd configuration"
+    );
+    assert_eq!(degenerate.mis_forwards, raw.mis_forwards);
+}
