@@ -1,75 +1,75 @@
-//! Criterion benches for the design-choice ablations called out in
-//! DESIGN.md: SSN width (wrap-drain frequency), FSP training ratio,
-//! re-execution port pressure, the ordering-detection substrate
-//! (SVW re-execution vs a conventional LQ CAM), the Store Sets
-//! formulation, and path-qualified FSP indexing.
+//! Micro-benches for the design-choice ablations: SSN width (wrap-drain
+//! frequency), FSP training ratio, re-execution port pressure, the
+//! ordering-detection substrate (SVW re-execution vs a conventional LQ
+//! CAM), the Store Sets formulation, and path-qualified FSP indexing.
+//!
+//! Each ablation family is expressed as one [`Experiment`] whose `vary`
+//! axis is the ablated knob; the harness times the whole (serial) sweep
+//! so throughput numbers stay comparable run to run.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use sqip_bench::{shrink, sim_with};
-use sqip_core::{OrderingMode, SimConfig, SqDesign};
+use sqip::{by_name, shrink, Experiment, OrderingMode, SqDesign};
+use sqip_bench::micro::Group;
 use sqip_predictors::TrainRatio;
-use sqip_workloads::by_name;
+use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let spec = shrink(by_name("eon.c").expect("exists"), 300);
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
+    let group = Group::new("ablations");
 
-    for bits in [10u32, 16] {
-        g.bench_function(format!("eon.c/ssn-bits-{bits}"), |b| {
-            b.iter(|| {
-                let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
-                cfg.ssn_bits = bits;
-                std::hint::black_box(sim_with(&spec, cfg))
-            })
+    let base = || {
+        Experiment::new()
+            .workload(spec.clone())
+            .design(SqDesign::Indexed3FwdDly)
+            .threads(1)
+    };
+
+    group.bench("eon.c/ssn-bits", || {
+        let exp = [10u32, 16].into_iter().fold(base(), |e, bits| {
+            e.vary(format!("ssn-{bits}"), move |cfg| cfg.ssn_bits = bits)
         });
-    }
-    for (p, n) in [(1u8, 1u8), (8, 1)] {
-        g.bench_function(format!("eon.c/fsp-ratio-{p}to{n}"), |b| {
-            b.iter(|| {
-                let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+        black_box(exp.run().expect("ablation sweep runs"));
+    });
+
+    group.bench("eon.c/fsp-ratio", || {
+        let exp = [(1u8, 1u8), (8, 1)].into_iter().fold(base(), |e, (p, n)| {
+            e.vary(format!("ratio-{p}to{n}"), move |cfg| {
                 cfg.fsp.ratio = TrainRatio::new(p, n);
-                std::hint::black_box(sim_with(&spec, cfg))
             })
         });
-    }
-    for ports in [1usize, 2] {
-        g.bench_function(format!("eon.c/reexec-ports-{ports}"), |b| {
-            b.iter(|| {
-                let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
-                cfg.reexec_ports = ports;
-                std::hint::black_box(sim_with(&spec, cfg))
-            })
-        });
-    }
-    for (label, ordering) in [("svw", OrderingMode::SvwReexecution), ("lqcam", OrderingMode::LqCam)] {
-        g.bench_function(format!("eon.c/ordering-{label}"), |b| {
-            b.iter(|| {
-                let mut cfg = SimConfig::with_design(SqDesign::Associative3);
-                cfg.ordering = ordering;
-                std::hint::black_box(sim_with(&spec, cfg))
-            })
-        });
-    }
-    for (label, design) in [
-        ("original", SqDesign::Associative3StoreSets),
-        ("reformulated", SqDesign::Associative3),
-    ] {
-        g.bench_function(format!("eon.c/storesets-{label}"), |b| {
-            b.iter(|| std::hint::black_box(sim_with(&spec, SimConfig::with_design(design))))
-        });
-    }
-    for path_bits in [0u32, 4] {
-        g.bench_function(format!("eon.c/fsp-path-bits-{path_bits}"), |b| {
-            b.iter(|| {
-                let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
-                cfg.fsp.path_bits = path_bits;
-                std::hint::black_box(sim_with(&spec, cfg))
-            })
-        });
-    }
-    g.finish();
-}
+        black_box(exp.run().expect("ablation sweep runs"));
+    });
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+    group.bench("eon.c/reexec-ports", || {
+        let exp = [1usize, 2].into_iter().fold(base(), |e, ports| {
+            e.vary(format!("ports-{ports}"), move |cfg| {
+                cfg.reexec_ports = ports
+            })
+        });
+        black_box(exp.run().expect("ablation sweep runs"));
+    });
+
+    group.bench("eon.c/ordering", || {
+        let exp = Experiment::new()
+            .workload(spec.clone())
+            .design(SqDesign::Associative3)
+            .threads(1)
+            .vary("svw", |cfg| cfg.ordering = OrderingMode::SvwReexecution)
+            .vary("lqcam", |cfg| cfg.ordering = OrderingMode::LqCam);
+        black_box(exp.run().expect("ablation sweep runs"));
+    });
+
+    group.bench("eon.c/storesets", || {
+        let exp = Experiment::new()
+            .workload(spec.clone())
+            .designs([SqDesign::Associative3StoreSets, SqDesign::Associative3])
+            .threads(1);
+        black_box(exp.run().expect("ablation sweep runs"));
+    });
+
+    group.bench("eon.c/fsp-path-bits", || {
+        let exp = [0u32, 4].into_iter().fold(base(), |e, bits| {
+            e.vary(format!("path-{bits}"), move |cfg| cfg.fsp.path_bits = bits)
+        });
+        black_box(exp.run().expect("ablation sweep runs"));
+    });
+}

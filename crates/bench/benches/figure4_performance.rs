@@ -1,22 +1,16 @@
-//! Criterion bench for the Figure 4 regenerator: one workload under every
-//! store-queue design (shrunk gzip).
+//! Micro-bench for the Figure 4 regenerator: one workload under every
+//! store-queue design (shrunk gzip), driven through the Experiment API.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use sqip_bench::{shrink, sim};
-use sqip_core::SqDesign;
-use sqip_workloads::by_name;
+use sqip::{by_name, shrink, simulate, SqDesign};
+use sqip_bench::micro::Group;
+use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let spec = shrink(by_name("gzip").expect("exists"), 300);
-    let mut g = c.benchmark_group("figure4");
-    g.sample_size(10);
+    let group = Group::new("figure4");
     for design in SqDesign::ALL {
-        g.bench_function(format!("gzip/{design}"), |b| {
-            b.iter(|| std::hint::black_box(sim(&spec, design)))
+        group.bench(design.label(), || {
+            black_box(simulate(&spec, design).expect("gzip simulates"));
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,27 +1,19 @@
-//! Criterion bench for the Figure 5 regenerator: predictor-capacity
+//! Micro-bench for the Figure 5 regenerator: predictor-capacity
 //! sensitivity points (shrunk vortex).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use sqip_bench::{shrink, sim_with};
-use sqip_core::{SimConfig, SqDesign};
-use sqip_workloads::by_name;
+use sqip::{by_name, shrink, simulate_with, SimConfig, SqDesign};
+use sqip_bench::micro::Group;
+use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let spec = shrink(by_name("vortex").expect("exists"), 300);
-    let mut g = c.benchmark_group("figure5");
-    g.sample_size(10);
+    let group = Group::new("figure5");
     for capacity in [512usize, 4096, 8192] {
-        g.bench_function(format!("vortex/fsp-ddp-{capacity}"), |b| {
-            b.iter(|| {
-                let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
-                cfg.fsp.entries = capacity;
-                cfg.ddp.entries = capacity;
-                std::hint::black_box(sim_with(&spec, cfg))
-            })
+        group.bench(&format!("vortex/fsp-ddp-{capacity}"), || {
+            let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+            cfg.fsp.entries = capacity;
+            cfg.ddp.entries = capacity;
+            black_box(simulate_with(&spec, cfg).expect("vortex simulates"));
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

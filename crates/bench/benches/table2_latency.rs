@@ -1,25 +1,28 @@
-//! Criterion bench for the Table 2 regenerator: the analytic latency and
+//! Micro-bench for the Table 2 regenerator: the analytic latency and
 //! energy model (fast, pure arithmetic).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sqip_bench::micro::Group;
 use sqip_cacti::{sq_energy_pj, table2_sq_rows, SqGeometry, TechParams};
+use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let tech = TechParams::default();
-    c.bench_function("table2/full_sq_table", |b| {
-        b.iter(|| std::hint::black_box(table2_sq_rows(&tech)))
+    let group = Group::new("table2");
+    group.bench("full_sq_table", || {
+        for _ in 0..10_000 {
+            black_box(table2_sq_rows(&tech));
+        }
     });
-    c.bench_function("table2/assoc_64x2_latency", |b| {
-        b.iter(|| std::hint::black_box(tech.sq_latency_ns(SqGeometry::associative(64, 2))))
+    group.bench("assoc_64x2_latency", || {
+        for _ in 0..100_000 {
+            black_box(tech.sq_latency_ns(SqGeometry::associative(64, 2)));
+        }
     });
-    c.bench_function("table2/energy_comparison", |b| {
-        b.iter(|| {
+    group.bench("energy_comparison", || {
+        for _ in 0..100_000 {
             let a = sq_energy_pj(SqGeometry::associative(64, 2));
             let i = sq_energy_pj(SqGeometry::indexed(64, 2));
-            std::hint::black_box(a - i)
-        })
+            black_box(a - i);
+        }
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

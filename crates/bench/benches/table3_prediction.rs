@@ -1,24 +1,17 @@
-//! Criterion bench for the Table 3 regenerator: prediction-diagnostic
+//! Micro-bench for the Table 3 regenerator: prediction-diagnostic
 //! simulation of the indexed SQ with and without delay prediction on a
 //! shrunk not-most-recent-heavy workload (mesa.t).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use sqip_bench::{shrink, sim};
-use sqip_core::SqDesign;
-use sqip_workloads::by_name;
+use sqip::{by_name, shrink, simulate, SqDesign};
+use sqip_bench::micro::Group;
+use std::hint::black_box;
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let spec = shrink(by_name("mesa.t").expect("exists"), 300);
-    let mut g = c.benchmark_group("table3");
-    g.sample_size(10);
-    g.bench_function("mesa.t/indexed-3-fwd", |b| {
-        b.iter(|| std::hint::black_box(sim(&spec, SqDesign::Indexed3Fwd)))
-    });
-    g.bench_function("mesa.t/indexed-3-fwd+dly", |b| {
-        b.iter(|| std::hint::black_box(sim(&spec, SqDesign::Indexed3FwdDly)))
-    });
-    g.finish();
+    let group = Group::new("table3");
+    for design in [SqDesign::Indexed3Fwd, SqDesign::Indexed3FwdDly] {
+        group.bench(&format!("mesa.t/{design}"), || {
+            black_box(simulate(&spec, design).expect("mesa.t simulates"));
+        });
+    }
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -4,12 +4,16 @@
 //!
 //! ```text
 //! cargo run --release -p sqip-bench --bin figure4 [-- <benchmark> ...]
+//! cargo run --release -p sqip-bench --bin figure4 -- --json > figure4.json
+//! cargo run --release -p sqip-bench --bin figure4 -- --csv  > figure4.csv
 //! ```
+//!
+//! The whole sweep is one [`Experiment`]: 47 workloads × 6 designs,
+//! executed in parallel with deterministic results.
 
-use sqip_bench::{geomean, sim};
-use sqip_core::SqDesign;
-use sqip_workloads::{all_workloads, Suite, WorkloadSpec};
+use sqip::{all_workloads, geomean, Experiment, ResultSet, SqDesign, Suite};
 
+const BASELINE: SqDesign = SqDesign::IdealOracle;
 const DESIGNS: [SqDesign; 5] = [
     SqDesign::Associative3,
     SqDesign::Associative5Replay,
@@ -18,20 +22,30 @@ const DESIGNS: [SqDesign; 5] = [
     SqDesign::Indexed3FwdDly,
 ];
 
-struct Row {
-    name: &'static str,
-    suite: Suite,
-    baseline_ipc: f64,
-    /// Relative execution time per design (same order as `DESIGNS`).
-    relative: [f64; 5],
-}
+fn main() -> Result<(), sqip::SqipError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let csv = args.iter().any(|a| a == "--csv");
+    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
-fn main() {
-    let filter: Vec<String> = std::env::args().skip(1).collect();
-    let workloads: Vec<WorkloadSpec> = all_workloads()
-        .into_iter()
-        .filter(|w| filter.is_empty() || filter.iter().any(|f| f == w.name))
-        .collect();
+    let results = Experiment::new()
+        .workloads(
+            all_workloads()
+                .into_iter()
+                .filter(|w| filter.is_empty() || filter.iter().any(|f| *f == w.name)),
+        )
+        .design(BASELINE)
+        .designs(DESIGNS)
+        .run()?;
+
+    if json {
+        println!("{}", results.to_json_pretty());
+        return Ok(());
+    }
+    if csv {
+        print!("{}", results.to_csv());
+        return Ok(());
+    }
 
     println!("Figure 4. Execution times relative to an ideal, 3-cycle");
     println!("associative store queue with oracle load scheduling.\n");
@@ -41,50 +55,40 @@ fn main() {
     );
     println!("{}", "-".repeat(66));
 
-    let mut rows = Vec::new();
-    for spec in &workloads {
-        let baseline = sim(spec, SqDesign::IdealOracle);
-        let mut relative = [0.0; 5];
-        for (slot, design) in relative.iter_mut().zip(DESIGNS) {
-            let stats = sim(spec, design);
-            *slot = stats.cycles as f64 / baseline.cycles as f64;
+    for name in results.workload_names() {
+        let baseline = results.get(name, BASELINE).expect("baseline cell ran");
+        print!("{:>10} {:>6.2} |", name, baseline.stats.ipc());
+        for design in DESIGNS {
+            let rel = results
+                .relative_runtime(name, sqip::BASE_VARIANT, design, BASELINE)
+                .expect("design cell ran");
+            print!(" {rel:>8.3}");
         }
-        let row = Row {
-            name: spec.name,
-            suite: spec.suite,
-            baseline_ipc: baseline.ipc(),
-            relative,
-        };
-        print_row(&row);
-        rows.push(row);
+        println!();
     }
 
     if filter.is_empty() {
         println!("{}", "-".repeat(66));
         for suite in [Suite::Media, Suite::Int, Suite::Fp] {
-            print_gmean(&format!("{suite}.gmean"), rows.iter().filter(|r| r.suite == suite));
+            print_gmean(&results, &format!("{suite}.gmean"), Some(suite));
         }
-        print_gmean("All.gmean", rows.iter());
+        print_gmean(&results, "All.gmean", None);
     }
+    Ok(())
 }
 
-fn print_row(r: &Row) {
-    print!("{:>10} {:>6.2} |", r.name, r.baseline_ipc);
-    for v in r.relative {
-        print!(" {v:>8.3}");
-    }
-    println!();
-}
-
-fn print_gmean<'a>(label: &str, rows: impl Iterator<Item = &'a Row>) {
-    let rows: Vec<&Row> = rows.collect();
-    if rows.is_empty() {
-        return;
-    }
+fn print_gmean(results: &ResultSet, label: &str, suite: Option<Suite>) {
     print!("{:>10} {:>6} |", label, "");
-    for i in 0..5 {
-        let g = geomean(rows.iter().map(|r| r.relative[i]));
-        print!(" {g:>8.3}");
+    for design in DESIGNS {
+        let ratios: Vec<f64> = results
+            .workload_names()
+            .iter()
+            .filter(|&&name| {
+                suite.is_none() || results.get(name, BASELINE).and_then(|r| r.suite) == suite
+            })
+            .filter_map(|name| results.relative_runtime(name, sqip::BASE_VARIANT, design, BASELINE))
+            .collect();
+        print!(" {:>8.3}", geomean(ratios));
     }
     println!();
 }

@@ -8,13 +8,14 @@
 //! cargo run --release -p sqip-bench --bin figure5 -- ratio
 //! cargo run --release -p sqip-bench --bin figure5          # all three
 //! ```
+//!
+//! Each panel is one [`Experiment`] whose `vary` axis is the swept knob;
+//! the oracle denominators come from a shared baseline experiment.
 
-use sqip_bench::{sim, sim_with};
-use sqip_core::{SimConfig, SqDesign};
+use sqip::{by_name, Experiment, ResultSet, SqDesign, WorkloadSpec, FIGURE5_WORKLOADS};
 use sqip_predictors::TrainRatio;
-use sqip_workloads::{by_name, WorkloadSpec, FIGURE5_WORKLOADS};
 
-fn main() {
+fn main() -> Result<(), sqip::SqipError> {
     let which: Vec<String> = std::env::args().skip(1).collect();
     let all = which.is_empty();
     let workloads: Vec<WorkloadSpec> = FIGURE5_WORKLOADS
@@ -23,53 +24,80 @@ fn main() {
         .collect();
 
     // Relative-time denominator: the ideal oracle baseline per workload.
-    let baselines: Vec<f64> = workloads
-        .iter()
-        .map(|w| sim(w, SqDesign::IdealOracle).cycles as f64)
-        .collect();
+    let baselines = Experiment::new()
+        .workloads(workloads.iter())
+        .design(SqDesign::IdealOracle)
+        .run()?;
 
     if all || which.iter().any(|a| a == "capacity") {
         println!("Figure 5 (top): FSP/DDP capacity sweep (2-way), relative runtime\n");
-        sweep(&workloads, &baselines, &[512, 1024, 2048, 4096, 8192], |cfg, &cap| {
-            cfg.fsp.entries = cap;
-            cfg.ddp.entries = cap;
-        });
+        let sweep = [512usize, 1024, 2048, 4096, 8192]
+            .into_iter()
+            .fold(panel(&workloads), |e, cap| {
+                e.vary(format!("{cap}"), move |cfg| {
+                    cfg.fsp.entries = cap;
+                    cfg.ddp.entries = cap;
+                })
+            })
+            .run()?;
+        print_panel(&sweep, &baselines);
     }
     if all || which.iter().any(|a| a == "associativity") {
         println!("\nFigure 5 (middle): FSP associativity sweep (4K entries), relative runtime\n");
-        sweep(&workloads, &baselines, &[1, 2, 4, 8, 32], |cfg, &ways| {
-            cfg.fsp.ways = ways;
-        });
+        let sweep = [1usize, 2, 4, 8, 32]
+            .into_iter()
+            .fold(panel(&workloads), |e, ways| {
+                e.vary(format!("{ways}"), move |cfg| cfg.fsp.ways = ways)
+            })
+            .run()?;
+        print_panel(&sweep, &baselines);
     }
     if all || which.iter().any(|a| a == "ratio") {
         println!("\nFigure 5 (bottom): DDP training ratio sweep, relative runtime\n");
         let ratios = [(0u8, 1u8), (1, 1), (2, 1), (4, 1), (8, 1), (1, 0)];
-        sweep(&workloads, &baselines, &ratios, |cfg, &(p, n)| {
-            cfg.ddp.ratio = TrainRatio::new(p, n);
-            cfg.ddp.threshold = p.max(1);
-        });
+        let sweep = ratios
+            .into_iter()
+            .fold(panel(&workloads), |e, (p, n)| {
+                e.vary(format!("{p}:{n}"), move |cfg| {
+                    cfg.ddp.ratio = TrainRatio::new(p, n);
+                    cfg.ddp.threshold = p.max(1);
+                })
+            })
+            .run()?;
+        print_panel(&sweep, &baselines);
     }
+    Ok(())
 }
 
-fn sweep<P: std::fmt::Debug>(
-    workloads: &[WorkloadSpec],
-    baselines: &[f64],
-    points: &[P],
-    apply: impl Fn(&mut SimConfig, &P),
-) {
+/// The shared shape of every Figure 5 panel: the nine workloads under the
+/// full indexed design; the panel's knob is added as `vary` points.
+fn panel(workloads: &[WorkloadSpec]) -> Experiment {
+    Experiment::new()
+        .workloads(workloads.iter())
+        .design(SqDesign::Indexed3FwdDly)
+}
+
+fn print_panel(sweep: &ResultSet, baselines: &ResultSet) {
+    // Read the swept and baseline designs off the records themselves so
+    // this cannot drift from the experiments that produced them.
+    let design = sweep.records()[0].design;
+    let baseline_design = baselines.records()[0].design;
+    let names = sweep.workload_names();
     print!("{:>12} |", "config");
-    for w in workloads {
-        print!(" {:>8}", w.name);
+    for name in &names {
+        print!(" {name:>8}");
     }
     println!();
-    println!("{}", "-".repeat(14 + 9 * workloads.len()));
-    for p in points {
-        print!("{:>12} |", format!("{p:?}"));
-        for (w, &base) in workloads.iter().zip(baselines) {
-            let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
-            apply(&mut cfg, p);
-            let stats = sim_with(w, cfg);
-            print!(" {:>8.3}", stats.cycles as f64 / base);
+    println!("{}", "-".repeat(14 + 9 * names.len()));
+    for variant in sweep.variants() {
+        print!("{variant:>12} |");
+        for name in &names {
+            let cell = sweep.find(name, design, variant).expect("sweep cell ran");
+            let base = baselines.get(name, baseline_design).expect("baseline ran");
+            print!(
+                " {:>8.3}",
+                cell.stats.cycles as f64 / base.stats.cycles as f64
+            );
         }
         println!();
     }

@@ -16,7 +16,10 @@ fn main() {
 
     println!("Table 2. Store queue latencies in 90nm process.");
     println!("ns and equivalent cycles on a 3GHz processor.\n");
-    println!("{:>18} | {:^23} | {:^23}", "", "1 Load Port", "2 Load Ports");
+    println!(
+        "{:>18} | {:^23} | {:^23}",
+        "", "1 Load Port", "2 Load Ports"
+    );
     println!(
         "{:>18} | {:>11} {:>11} | {:>11} {:>11}",
         "", "Assoc.", "Index", "Assoc.", "Index"
@@ -41,9 +44,20 @@ fn main() {
             line_bytes: 64,
             ports,
         };
-        let one = (tech.cache_bank_latency_ns(bank(1)), tech.cache_bank_cycles(bank(1)));
-        let two = (tech.cache_bank_latency_ns(bank(2)), tech.cache_bank_cycles(bank(2)));
-        println!("D$ bank {:>10} | {:>23} | {:>23}", label, fmt(one), fmt(two));
+        let one = (
+            tech.cache_bank_latency_ns(bank(1)),
+            tech.cache_bank_cycles(bank(1)),
+        );
+        let two = (
+            tech.cache_bank_latency_ns(bank(2)),
+            tech.cache_bank_cycles(bank(2)),
+        );
+        println!(
+            "D$ bank {:>10} | {:>23} | {:>23}",
+            label,
+            fmt(one),
+            fmt(two)
+        );
     }
     let tlb = |ports| TlbGeometry {
         entries: 32,

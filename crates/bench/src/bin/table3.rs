@@ -5,28 +5,31 @@
 //!
 //! ```text
 //! cargo run --release -p sqip-bench --bin table3 [-- <benchmark> ...]
+//! cargo run --release -p sqip-bench --bin table3 -- --json > table3.json
 //! ```
+//!
+//! One [`Experiment`]: 47 workloads × the two indexed designs.
 
-use sqip_bench::sim;
-use sqip_core::SqDesign;
-use sqip_workloads::{all_workloads, Suite, WorkloadSpec};
+use sqip::{all_workloads, Experiment, RunRecord, SqDesign, Suite};
 
-struct Row {
-    name: &'static str,
-    suite: Suite,
-    pct_fwd: f64,
-    fwd_mis: f64,
-    dly_mis: f64,
-    pct_dly: f64,
-    avg_dly: f64,
-}
+fn main() -> Result<(), sqip::SqipError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
 
-fn main() {
-    let filter: Vec<String> = std::env::args().skip(1).collect();
-    let workloads: Vec<WorkloadSpec> = all_workloads()
-        .into_iter()
-        .filter(|w| filter.is_empty() || filter.iter().any(|f| f == w.name))
-        .collect();
+    let results = Experiment::new()
+        .workloads(
+            all_workloads()
+                .into_iter()
+                .filter(|w| filter.is_empty() || filter.iter().any(|f| *f == w.name)),
+        )
+        .designs([SqDesign::Indexed3Fwd, SqDesign::Indexed3FwdDly])
+        .run()?;
+
+    if json {
+        println!("{}", results.to_json_pretty());
+        return Ok(());
+    }
 
     println!("Table 3. Store queue index prediction diagnostics.");
     println!("Load forwarding rates, raw prediction accuracy, and improved");
@@ -41,53 +44,67 @@ fn main() {
     );
     println!("{}", "-".repeat(62));
 
-    let mut rows = Vec::new();
-    for spec in &workloads {
-        let fwd = sim(spec, SqDesign::Indexed3Fwd);
-        let dly = sim(spec, SqDesign::Indexed3FwdDly);
-        let row = Row {
-            name: spec.name,
-            suite: spec.suite,
-            pct_fwd: dly.pct_loads_forwarding(),
-            fwd_mis: fwd.mis_forwards_per_1000(),
-            dly_mis: dly.mis_forwards_per_1000(),
-            pct_dly: dly.pct_loads_delayed(),
-            avg_dly: dly.avg_delay_cycles(),
-        };
-        print_row(&row);
-        rows.push(row);
+    let row = |name: &str| -> Option<[f64; 5]> {
+        let fwd = results.get(name, SqDesign::Indexed3Fwd)?;
+        let dly = results.get(name, SqDesign::Indexed3FwdDly)?;
+        Some(table3_row(fwd, dly))
+    };
+
+    for name in results.workload_names() {
+        let r = row(name).expect("both designs ran");
+        print_row(name, r);
     }
 
     if filter.is_empty() {
         println!("{}", "-".repeat(62));
         for suite in [Suite::Media, Suite::Int, Suite::Fp] {
-            print_avg(&format!("{suite}.avg"), rows.iter().filter(|r| r.suite == suite));
+            let names: Vec<&str> = results
+                .workload_names()
+                .into_iter()
+                .filter(|n| {
+                    results
+                        .get(n, SqDesign::Indexed3FwdDly)
+                        .and_then(|r| r.suite)
+                        == Some(suite)
+                })
+                .collect();
+            print_avg(&format!("{suite}.avg"), &names, &row);
         }
-        print_avg("All.avg", rows.iter());
+        let all: Vec<&str> = results.workload_names();
+        print_avg("All.avg", &all, &row);
     }
+    Ok(())
 }
 
-fn print_row(r: &Row) {
+/// `[%fwd, fwd mis/1000, dly mis/1000, %delayed, avg delay]` for one row.
+fn table3_row(fwd: &RunRecord, dly: &RunRecord) -> [f64; 5] {
+    [
+        dly.stats.pct_loads_forwarding(),
+        fwd.stats.mis_forwards_per_1000(),
+        dly.stats.mis_forwards_per_1000(),
+        dly.stats.pct_loads_delayed(),
+        dly.stats.avg_delay_cycles(),
+    ]
+}
+
+fn print_row(name: &str, r: [f64; 5]) {
     println!(
         "{:>10} {:>8.1} | {:>9.1} | {:>9.1} {:>7.1} {:>9.1}",
-        r.name, r.pct_fwd, r.fwd_mis, r.dly_mis, r.pct_dly, r.avg_dly
+        name, r[0], r[1], r[2], r[3], r[4]
     );
 }
 
-fn print_avg<'a>(label: &str, rows: impl Iterator<Item = &'a Row>) {
-    let rows: Vec<&Row> = rows.collect();
-    let n = rows.len() as f64;
-    if n == 0.0 {
+fn print_avg(label: &str, names: &[&str], row: &dyn Fn(&str) -> Option<[f64; 5]>) {
+    let rows: Vec<[f64; 5]> = names.iter().filter_map(|n| row(n)).collect();
+    if rows.is_empty() {
         return;
     }
-    let avg = |f: fn(&Row) -> f64| rows.iter().map(|r| f(r)).sum::<f64>() / n;
-    println!(
-        "{:>10} {:>8.1} | {:>9.1} | {:>9.1} {:>7.1} {:>9.1}",
-        label,
-        avg(|r| r.pct_fwd),
-        avg(|r| r.fwd_mis),
-        avg(|r| r.dly_mis),
-        avg(|r| r.pct_dly),
-        avg(|r| r.avg_dly)
-    );
+    let n = rows.len() as f64;
+    let mut avg = [0.0; 5];
+    for r in &rows {
+        for (a, v) in avg.iter_mut().zip(r) {
+            *a += v / n;
+        }
+    }
+    print_row(label, avg);
 }

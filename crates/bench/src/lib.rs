@@ -1,57 +1,71 @@
-//! Shared experiment-harness utilities for the Table/Figure regenerators.
+//! Harness utilities for the Table/Figure regenerator binaries and the
+//! micro-benchmarks.
+//!
+//! Sweep logic lives in the [`sqip`] facade crate ([`sqip::Experiment`]);
+//! this crate only adds the bits specific to the regenerator binaries: a
+//! tiny dependency-free wall-clock benchmark harness ([`micro`]) used by
+//! the `benches/` targets (the build environment has no criterion), and
+//! re-exports of the harness helpers the binaries share.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use sqip_core::{Processor, SimConfig, SimStats, SqDesign};
-use sqip_workloads::WorkloadSpec;
+pub use sqip::{geomean, shrink, simulate, simulate_with};
 
-/// Runs one workload under one SQ design with the paper's configuration.
+/// A minimal wall-clock micro-benchmark harness.
 ///
-/// # Panics
-///
-/// Panics if the workload fails to build/trace (generator bug).
-#[must_use]
-pub fn sim(spec: &WorkloadSpec, design: SqDesign) -> SimStats {
-    sim_with(spec, SimConfig::with_design(design))
-}
+/// Each case runs one warmup iteration plus `SQIP_BENCH_ITERS` timed
+/// iterations (default 3) and reports the minimum and mean wall time.
+/// Intentionally tiny: the benches exist to track simulator throughput
+/// trends, not microsecond-level noise.
+pub mod micro {
+    use std::time::{Duration, Instant};
 
-/// Runs one workload under an arbitrary configuration.
-///
-/// # Panics
-///
-/// Panics if the workload fails to build/trace (generator bug).
-#[must_use]
-pub fn sim_with(spec: &WorkloadSpec, config: SimConfig) -> SimStats {
-    let trace = spec
-        .trace()
-        .unwrap_or_else(|e| panic!("workload {} failed to trace: {e}", spec.name));
-    Processor::new(config, &trace).run()
-}
-
-/// Geometric mean of a sequence of positive values (1.0 for empty input).
-#[must_use]
-pub fn geomean<I: IntoIterator<Item = f64>>(values: I) -> f64 {
-    let mut log_sum = 0.0;
-    let mut n = 0u32;
-    for v in values {
-        assert!(v > 0.0, "geometric mean requires positive values");
-        log_sum += v.ln();
-        n += 1;
+    fn configured_iters() -> u32 {
+        std::env::var("SQIP_BENCH_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(3)
     }
-    if n == 0 {
-        1.0
-    } else {
-        (log_sum / f64::from(n)).exp()
-    }
-}
 
-/// Shrinks a workload for quick Criterion runs (same mix, fewer
-/// iterations).
-#[must_use]
-pub fn shrink(mut spec: WorkloadSpec, iterations: u32) -> WorkloadSpec {
-    spec.iterations = iterations;
-    spec
+    /// A named group of benchmark cases.
+    pub struct Group {
+        name: String,
+        iters: u32,
+    }
+
+    impl Group {
+        /// Starts a group and prints its header.
+        #[must_use]
+        pub fn new(name: impl Into<String>) -> Group {
+            let name = name.into();
+            let iters = configured_iters();
+            println!("== {name} ({iters} timed iters per case) ==");
+            Group { name, iters }
+        }
+
+        /// Times one case and prints its line.
+        pub fn bench(&self, case: &str, mut f: impl FnMut()) {
+            f(); // warmup
+            let mut min = Duration::MAX;
+            let mut total = Duration::ZERO;
+            for _ in 0..self.iters {
+                let start = Instant::now();
+                f();
+                let took = start.elapsed();
+                total += took;
+                min = min.min(took);
+            }
+            let mean = total / self.iters;
+            println!(
+                "{:<40} min {:>10.3?}   mean {:>10.3?}",
+                format!("{}/{case}", self.name),
+                min,
+                mean
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -59,23 +73,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn geomean_basics() {
+    fn reexports_cover_the_harness_surface() {
         assert!((geomean([2.0, 8.0]) - 4.0).abs() < 1e-12);
-        assert!((geomean([]) - 1.0).abs() < 1e-12);
-        assert!((geomean([5.0]) - 5.0).abs() < 1e-12);
-    }
-
-    #[test]
-    #[should_panic(expected = "positive")]
-    fn geomean_rejects_zero() {
-        let _ = geomean([0.0]);
-    }
-
-    #[test]
-    fn shrink_preserves_mix() {
-        let w = sqip_workloads::by_name("gzip").unwrap();
+        let w = sqip::by_name("gzip").unwrap();
         let s = shrink(w.clone(), 100);
         assert_eq!(s.iterations, 100);
         assert_eq!(s.fwd_sites, w.fwd_sites);
+    }
+
+    #[test]
+    fn micro_group_runs_cases() {
+        let group = micro::Group::new("selftest");
+        let mut count = 0u32;
+        group.bench("noop", || count += 1);
+        assert!(count >= 2, "warmup + timed iterations, got {count}");
     }
 }

@@ -254,9 +254,21 @@ mod tests {
             ports,
         };
         // Paper: 8KB 0.84/0.92, 32KB 1.00/1.15 ns (1 / 2 ports).
-        assert!(close(t.cache_bank_latency_ns(bank(8 * 1024, 1)), 0.84, 0.12));
-        assert!(close(t.cache_bank_latency_ns(bank(32 * 1024, 1)), 1.00, 0.12));
-        assert!(close(t.cache_bank_latency_ns(bank(32 * 1024, 2)), 1.15, 0.15));
+        assert!(close(
+            t.cache_bank_latency_ns(bank(8 * 1024, 1)),
+            0.84,
+            0.12
+        ));
+        assert!(close(
+            t.cache_bank_latency_ns(bank(32 * 1024, 1)),
+            1.00,
+            0.12
+        ));
+        assert!(close(
+            t.cache_bank_latency_ns(bank(32 * 1024, 2)),
+            1.15,
+            0.15
+        ));
         // The paper's headline: a 32KB bank is 3 cycles at 3GHz.
         assert_eq!(t.cache_bank_cycles(bank(32 * 1024, 1)), 3);
     }
@@ -291,7 +303,10 @@ mod tests {
         let g = SqGeometry::indexed(256, 2);
         let flat = t.sq_latency_banked_ns(g, 1);
         let banked = t.sq_latency_banked_ns(g, 4);
-        assert!(banked < flat, "4-way banking must shorten the bitlines: {banked:.3} vs {flat:.3}");
+        assert!(
+            banked < flat,
+            "4-way banking must shorten the bitlines: {banked:.3} vs {flat:.3}"
+        );
         // Banking never applies to the associative design (age logic).
         let a = SqGeometry::associative(256, 2);
         assert_eq!(t.sq_latency_banked_ns(a, 4), t.sq_latency_ns(a));

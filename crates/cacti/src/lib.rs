@@ -63,9 +63,8 @@ pub fn table2_sq_rows(tech: &TechParams) -> Vec<Table2Row> {
     [16, 32, 64, 128, 256]
         .into_iter()
         .map(|entries| {
-            let row = |geometry: SqGeometry| {
-                (tech.sq_latency_ns(geometry), tech.sq_cycles(geometry))
-            };
+            let row =
+                |geometry: SqGeometry| (tech.sq_latency_ns(geometry), tech.sq_cycles(geometry));
             Table2Row {
                 entries,
                 assoc_1p: row(SqGeometry::associative(entries, 1)),
@@ -121,8 +120,9 @@ mod tests {
             (128, 5, 2, 5, 3),
             (256, 6, 3, 6, 3),
         ];
-        for ((entries, a1, i1, a2, i2), row) in
-            paper.into_iter().zip(table2_sq_rows(&TechParams::default()))
+        for ((entries, a1, i1, a2, i2), row) in paper
+            .into_iter()
+            .zip(table2_sq_rows(&TechParams::default()))
         {
             assert_eq!(row.entries, entries);
             for (got, want, what) in [

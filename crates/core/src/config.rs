@@ -4,9 +4,13 @@
 use sqip_mem::HierarchyConfig;
 use sqip_predictors::{BranchConfig, DdpConfig, FspConfig, StoreSetsConfig};
 
+use crate::error::SimError;
+
+use serde::{Deserialize, Serialize};
+
 /// Which store-queue design (and load scheduling discipline) the processor
 /// uses — the five configurations of Figure 4 plus the idealised baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum SqDesign {
     /// Associative SQ, 3-cycle (= data cache) latency, *oracle* load
     /// scheduling: each load waits exactly for its architectural producing
@@ -112,7 +116,7 @@ impl std::fmt::Display for SqDesign {
 
 /// How memory-ordering violations (and forwarding mis-speculation) are
 /// detected — the two schemes §2 of the paper contrasts.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum OrderingMode {
     /// SVW-filtered in-order pre-commit load re-execution (the paper's
     /// mechanism, required by the indexed SQ designs: it detects *value*
@@ -126,7 +130,7 @@ pub enum OrderingMode {
 }
 
 /// Per-class execution latencies in cycles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OpLatencies {
     /// Simple integer ALU.
     pub int_alu: u64,
@@ -157,7 +161,7 @@ impl Default for OpLatencies {
 
 /// Per-cycle issue-port limits (the paper's mix: 6 int, 4 FP, 1 branch,
 /// 2 store, 2 load, 8 total).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IssueMix {
     /// Total instructions issued per cycle.
     pub total: usize,
@@ -187,7 +191,7 @@ impl Default for IssueMix {
 }
 
 /// The full machine configuration (defaults reproduce §4.1).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimConfig {
     /// Store-queue design under test.
     pub design: SqDesign,
@@ -246,8 +250,10 @@ impl SimConfig {
     /// The paper's configuration with the given SQ design.
     #[must_use]
     pub fn with_design(design: SqDesign) -> SimConfig {
-        let mut ddp = DdpConfig::default();
-        ddp.max_distance = 64; // = SQ size
+        let ddp = DdpConfig {
+            max_distance: 64, // = SQ size
+            ..DdpConfig::default()
+        };
         SimConfig {
             design,
             ordering: OrderingMode::SvwReexecution,
@@ -278,23 +284,48 @@ impl SimConfig {
 
     /// Validates cross-structure invariants.
     ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] if the configuration is inconsistent
+    /// (e.g. DDP max distance differing from SQ size, zero widths).
+    pub fn try_validate(&self) -> Result<(), SimError> {
+        let invalid = |msg: &str| Err(SimError::InvalidConfig(msg.to_string()));
+        if self.rob_size == 0 || self.sq_size == 0 || self.lq_size == 0 {
+            return invalid("window structures (ROB/SQ/LQ) must be non-empty");
+        }
+        if self.fetch_width == 0 || self.rename_width == 0 || self.commit_width == 0 {
+            return invalid("pipeline widths must be non-zero");
+        }
+        if self.ddp.max_distance as usize != self.sq_size {
+            return invalid(
+                "DDP distances are bounded by SQ size (\u{2308}log2(SQ.size)\u{2309} bits)",
+            );
+        }
+        if self.ssn_bits < 8 {
+            return invalid("SSN width must cover the SQ");
+        }
+        if self.ordering == OrderingMode::LqCam && self.design.is_indexed() {
+            return invalid(
+                "an LQ CAM cannot detect wrong-entry forwarding; indexed designs \
+                 require value-based re-execution (the paper's §2 argument)",
+            );
+        }
+        Ok(())
+    }
+
+    /// Validates cross-structure invariants, panicking on violations.
+    ///
+    /// This is the legacy convenience wrapper around
+    /// [`SimConfig::try_validate`].
+    ///
     /// # Panics
     ///
     /// Panics if the configuration is inconsistent (e.g. DDP max distance
     /// differing from SQ size, zero widths).
     pub fn validate(&self) {
-        assert!(self.rob_size > 0 && self.sq_size > 0 && self.lq_size > 0);
-        assert!(self.fetch_width > 0 && self.rename_width > 0 && self.commit_width > 0);
-        assert_eq!(
-            self.ddp.max_distance as usize, self.sq_size,
-            "DDP distances are bounded by SQ size (\u{2308}log2(SQ.size)\u{2309} bits)"
-        );
-        assert!(self.ssn_bits >= 8, "SSN width must cover the SQ");
-        assert!(
-            !(self.ordering == OrderingMode::LqCam && self.design.is_indexed()),
-            "an LQ CAM cannot detect wrong-entry forwarding; indexed designs \
-             require value-based re-execution (the paper's §2 argument)"
-        );
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -338,8 +369,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "bounded by SQ size")]
     fn validate_catches_ddp_sq_mismatch() {
-        let mut c = SimConfig::default();
-        c.sq_size = 32;
+        let c = SimConfig {
+            sq_size: 32,
+            ..SimConfig::default()
+        };
         c.validate();
     }
 

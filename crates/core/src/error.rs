@@ -1,0 +1,62 @@
+//! The unified simulation error type.
+
+/// Everything that can go wrong while configuring or running a simulation.
+///
+/// The legacy entry points ([`crate::Processor::run`],
+/// [`crate::SimConfig::validate`]) panic on these conditions; the
+/// `Result`-based API ([`crate::Processor::try_run`],
+/// [`crate::Processor::step`], [`crate::SimConfig::try_validate`]) returns
+/// them instead so experiment drivers can report failures per sweep cell
+/// rather than aborting a whole campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The configuration violates a cross-structure invariant.
+    InvalidConfig(String),
+    /// The pipeline stopped committing — a simulator bug, not a program
+    /// property. Carries the machine state needed to debug it.
+    Deadlock {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Instructions committed before the stall.
+        committed: u64,
+        /// Human-readable dump of the ROB head and front-end state.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => f.write_str(msg),
+            SimError::Deadlock {
+                cycle,
+                committed,
+                detail,
+            } => write!(
+                f,
+                "pipeline deadlock at cycle {cycle} (committed {committed}): {detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_context() {
+        let e = SimError::Deadlock {
+            cycle: 99,
+            committed: 3,
+            detail: "head stuck".to_string(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("deadlock"));
+        assert!(text.contains("99"));
+        assert!(text.contains("head stuck"));
+        assert_eq!(SimError::InvalidConfig("bad".into()).to_string(), "bad");
+    }
+}

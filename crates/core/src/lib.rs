@@ -52,11 +52,15 @@
 
 mod config;
 mod dyninst;
+mod error;
+mod observer;
 mod oracle;
 mod processor;
 mod stats;
 
 pub use config::{IssueMix, OpLatencies, OrderingMode, SimConfig, SqDesign};
+pub use error::SimError;
+pub use observer::{ObserverAction, SimObserver};
 pub use oracle::{OracleFwd, OracleInfo};
-pub use processor::Processor;
+pub use processor::{Processor, StepOutcome};
 pub use stats::SimStats;

@@ -1,0 +1,79 @@
+//! Observation hooks into a running simulation.
+
+use crate::config::SimConfig;
+use crate::stats::SimStats;
+
+/// What an observer wants the simulation to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObserverAction {
+    /// Keep simulating.
+    Continue,
+    /// Stop now; [`crate::Processor::run_observed`] returns the statistics
+    /// accumulated so far (with `committed < trace.len()`).
+    Abort,
+}
+
+/// Callbacks fired by [`crate::Processor::run_observed`].
+///
+/// Implementations can report progress, sample per-interval statistics, or
+/// abort a run early (e.g. fast-forward sampling, wall-clock budgets).
+/// All methods have no-op defaults, so an observer only implements what it
+/// needs.
+///
+/// # Example
+///
+/// ```
+/// use sqip_core::{ObserverAction, Processor, SimConfig, SimObserver, SimStats, SqDesign};
+/// use sqip_isa::{trace_program, ProgramBuilder, Reg};
+/// use sqip_types::DataSize;
+///
+/// struct Progress {
+///     samples: u64,
+/// }
+///
+/// impl SimObserver for Progress {
+///     fn interval(&self) -> u64 {
+///         1_000
+///     }
+///     fn on_interval(&mut self, _cycle: u64, _stats: &SimStats) -> ObserverAction {
+///         self.samples += 1;
+///         ObserverAction::Continue
+///     }
+/// }
+///
+/// let mut b = ProgramBuilder::new();
+/// let (ctr, v) = (Reg::new(1), Reg::new(2));
+/// b.load_imm(ctr, 2_000);
+/// let top = b.label("top");
+/// b.store(DataSize::Quad, v, Reg::ZERO, 0x100);
+/// b.load(DataSize::Quad, v, Reg::ZERO, 0x100);
+/// b.add_imm(ctr, ctr, -1);
+/// b.branch_nz(ctr, top);
+/// b.halt();
+/// let trace = trace_program(&b.build()?, 100_000)?;
+///
+/// let mut progress = Progress { samples: 0 };
+/// let stats = Processor::new(SimConfig::default(), &trace).run_observed(&mut progress)?;
+/// assert_eq!(stats.committed, trace.len() as u64);
+/// assert_eq!(progress.samples, (stats.cycles - 1) / 1_000);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub trait SimObserver {
+    /// Cycles between [`SimObserver::on_interval`] callbacks.
+    fn interval(&self) -> u64 {
+        100_000
+    }
+
+    /// Fired once before the first cycle.
+    fn on_start(&mut self, _config: &SimConfig, _trace_len: usize) {}
+
+    /// Fired every [`SimObserver::interval`] cycles with a consistent
+    /// statistics snapshot. Return [`ObserverAction::Abort`] to stop the
+    /// run early.
+    fn on_interval(&mut self, _cycle: u64, _stats: &SimStats) -> ObserverAction {
+        ObserverAction::Continue
+    }
+
+    /// Fired once when the trace fully commits (not on early abort).
+    fn on_finish(&mut self, _stats: &SimStats) {}
+}

@@ -9,7 +9,7 @@
 //! pre-commit re-execution catches mis-speculations and flushes.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 
 use sqip_isa::{Op, OpClass, Trace, TraceRecord};
 use sqip_mem::{Hierarchy, MemImage};
@@ -19,12 +19,23 @@ use sqip_types::{Seq, Ssn};
 
 use crate::config::{OrderingMode, SimConfig};
 use crate::dyninst::{DynInst, InstState, Operand};
+use crate::error::SimError;
+use crate::observer::{ObserverAction, SimObserver};
 use crate::oracle::OracleInfo;
 use crate::stats::SimStats;
 
 const NOT_READY: u64 = u64::MAX;
 /// Cycles without a commit after which the simulator declares deadlock.
 const WATCHDOG_CYCLES: u64 = 500_000;
+
+/// What a [`Processor::step`] (or [`Processor::run_until`]) left behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The trace has not fully committed yet.
+    Running,
+    /// Every trace record has committed; statistics are final.
+    Done,
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum EvKind {
@@ -135,6 +146,18 @@ pub struct Processor<'t> {
 }
 
 impl<'t> Processor<'t> {
+    /// Builds a processor for one run over `trace`, validating the
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] if the configuration is inconsistent
+    /// (see [`SimConfig::try_validate`]).
+    pub fn try_new(cfg: SimConfig, trace: &'t Trace) -> Result<Processor<'t>, SimError> {
+        cfg.try_validate()?;
+        Ok(Processor::new_unchecked(cfg, trace))
+    }
+
     /// Builds a processor for one run over `trace`.
     ///
     /// # Panics
@@ -144,6 +167,10 @@ impl<'t> Processor<'t> {
     #[must_use]
     pub fn new(cfg: SimConfig, trace: &'t Trace) -> Processor<'t> {
         cfg.validate();
+        Processor::new_unchecked(cfg, trace)
+    }
+
+    fn new_unchecked(cfg: SimConfig, trace: &'t Trace) -> Processor<'t> {
         let n = trace.len() + 1;
         Processor {
             oracle: OracleInfo::analyze(trace),
@@ -189,53 +216,160 @@ impl<'t> Processor<'t> {
         }
     }
 
+    /// Whether the whole trace has committed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        (self.stats.committed as usize) >= self.trace.len()
+    }
+
+    /// The current cycle number.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The statistics accumulated so far. [`Processor::step`] folds the
+    /// cycle count and cache counters in after every cycle, so the view
+    /// is consistent mid-run.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Folds the hierarchy counters and cycle count into `stats` so the
+    /// snapshot is consistent at any point of the run. Idempotent.
+    fn sync_stats(&mut self) {
+        self.stats.cycles = self.cycle;
+        self.stats.l1 = self.hierarchy.l1_stats();
+        self.stats.l2 = self.hierarchy.l2_stats();
+        self.stats.tlb = self.hierarchy.tlb_stats();
+    }
+
+    /// Simulates one cycle.
+    ///
+    /// Returns [`StepOutcome::Done`] once the whole trace has committed
+    /// (further calls are no-ops that keep returning `Done`).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] if no instruction has committed for an
+    /// implausibly long time — a simulator bug, not a program property.
+    pub fn step(&mut self) -> Result<StepOutcome, SimError> {
+        if self.is_done() {
+            self.sync_stats();
+            return Ok(StepOutcome::Done);
+        }
+        self.cycle += 1;
+        self.commit_stage();
+        self.process_events();
+        self.issue_stage();
+        self.rename_stage();
+        self.fetch_stage();
+        self.sync_stats();
+        if self.is_done() {
+            return Ok(StepOutcome::Done);
+        }
+        if self.cycle - self.last_commit_cycle >= WATCHDOG_CYCLES {
+            return Err(self.deadlock_error());
+        }
+        Ok(StepOutcome::Running)
+    }
+
+    /// Runs until the trace commits fully or `cycle_limit` is reached,
+    /// whichever comes first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Deadlock`] from [`Processor::step`].
+    pub fn run_until(&mut self, cycle_limit: u64) -> Result<StepOutcome, SimError> {
+        while self.cycle < cycle_limit {
+            if self.step()? == StepOutcome::Done {
+                return Ok(StepOutcome::Done);
+            }
+        }
+        Ok(if self.is_done() {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Running
+        })
+    }
+
     /// Runs the trace to completion and returns the statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] if the pipeline stops committing.
+    pub fn try_run(mut self) -> Result<SimStats, SimError> {
+        while self.step()? == StepOutcome::Running {}
+        Ok(self.stats)
+    }
+
+    /// Runs to completion with observation hooks: `observer` is started
+    /// before the first cycle, called every [`SimObserver::interval`]
+    /// cycles, and may abort the run early (the partial statistics are
+    /// returned, with `committed < trace.len()`).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] if the pipeline stops committing.
+    pub fn run_observed<O: SimObserver + ?Sized>(
+        mut self,
+        observer: &mut O,
+    ) -> Result<SimStats, SimError> {
+        observer.on_start(&self.cfg, self.trace.len());
+        let interval = observer.interval().max(1);
+        while self.step()? == StepOutcome::Running {
+            if self.cycle.is_multiple_of(interval)
+                && observer.on_interval(self.cycle, &self.stats) == ObserverAction::Abort
+            {
+                return Ok(self.stats);
+            }
+        }
+        observer.on_finish(&self.stats);
+        Ok(self.stats)
+    }
+
+    /// Runs the trace to completion and returns the statistics.
+    ///
+    /// This is the legacy convenience wrapper around
+    /// [`Processor::try_run`].
     ///
     /// # Panics
     ///
     /// Panics if the pipeline deadlocks (no commit for a long time), which
     /// indicates a simulator bug rather than a program property.
     #[must_use]
-    pub fn run(mut self) -> SimStats {
-        while (self.stats.committed as usize) < self.trace.len() {
-            self.cycle += 1;
-            self.commit_stage();
-            self.process_events();
-            self.issue_stage();
-            self.rename_stage();
-            self.fetch_stage();
-            if self.cycle - self.last_commit_cycle >= WATCHDOG_CYCLES {
-                let head = self.rob.front().map(|&s| {
-                    let i = &self.insts[&s.0];
-                    format!(
-                        "head {} op={} state={:?} gates={} fwd={} dly={} wait_exec={:?} prev={} ssn_cmt={}",
-                        s.0,
-                        self.rec(s).op,
-                        i.state,
-                        i.gates,
-                        i.ssn_fwd,
-                        i.ssn_dly,
-                        i.wait_exec_ssn,
-                        i.prev_store_ssn,
-                        self.ssn_cmt
-                    )
-                });
-                panic!(
-                    "pipeline deadlock at cycle {} (committed {}, fetch_idx {}, rob {}, iq {}): {:?}",
-                    self.cycle,
-                    self.stats.committed,
-                    self.fetch_idx,
-                    self.rob.len(),
-                    self.iq_count,
-                    head,
-                );
-            }
+    pub fn run(self) -> SimStats {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn deadlock_error(&self) -> SimError {
+        let head = self.rob.front().map(|&s| {
+            let i = &self.insts[&s.0];
+            format!(
+                "head {} op={} state={:?} gates={} fwd={} dly={} wait_exec={:?} prev={} ssn_cmt={}",
+                s.0,
+                self.rec(s).op,
+                i.state,
+                i.gates,
+                i.ssn_fwd,
+                i.ssn_dly,
+                i.wait_exec_ssn,
+                i.prev_store_ssn,
+                self.ssn_cmt
+            )
+        });
+        SimError::Deadlock {
+            cycle: self.cycle,
+            committed: self.stats.committed,
+            detail: format!(
+                "fetch_idx {}, rob {}, iq {}, head {:?}",
+                self.fetch_idx,
+                self.rob.len(),
+                self.iq_count,
+                head
+            ),
         }
-        self.stats.cycles = self.cycle;
-        self.stats.l1 = self.hierarchy.l1_stats();
-        self.stats.l2 = self.hierarchy.l2_stats();
-        self.stats.tlb = self.hierarchy.tlb_stats();
-        self.stats
     }
 
     fn rec(&self, seq: Seq) -> &TraceRecord {
@@ -322,7 +456,9 @@ impl<'t> Processor<'t> {
 
     fn rename_stage(&mut self) {
         for _ in 0..self.cfg.rename_width {
-            let Some(&(seq, ready_at, path)) = self.front_q.front() else { break };
+            let Some(&(seq, ready_at, path)) = self.front_q.front() else {
+                break;
+            };
             if ready_at > self.cycle || self.rob.is_full() || self.iq_count >= self.cfg.iq_size {
                 break;
             }
@@ -393,13 +529,18 @@ impl<'t> Processor<'t> {
                 let pred = self.store_sets.rename_store(pseudo, inst.my_ssn);
                 if pred.is_in_flight(self.ssn_cmt) && !self.sq.is_executed(pred) {
                     gates += 1;
-                    self.wake_on_store_exec.entry(pred.0).or_default().push(seq.0);
+                    self.wake_on_store_exec
+                        .entry(pred.0)
+                        .or_default()
+                        .push(seq.0);
                 }
             }
         }
 
         if rec.is_load() {
-            self.lq.allocate(seq, rec.pc).expect("LQ fullness checked before rename");
+            self.lq
+                .allocate(seq, rec.pc)
+                .expect("LQ fullness checked before rename");
             gates += self.attach_load_predictions(&mut inst, rec);
         }
 
@@ -408,12 +549,18 @@ impl<'t> Processor<'t> {
         }
 
         inst.gates = gates;
-        inst.state = if gates == 0 { InstState::Ready } else { InstState::Waiting };
+        inst.state = if gates == 0 {
+            InstState::Ready
+        } else {
+            InstState::Waiting
+        };
         if gates == 0 {
             self.ready_q.insert(seq.0);
         }
         self.iq_count += 1;
-        self.rob.push_back(seq).expect("ROB fullness checked before rename");
+        self.rob
+            .push_back(seq)
+            .expect("ROB fullness checked before rename");
         self.insts.insert(seq.0, inst);
     }
 
@@ -430,12 +577,18 @@ impl<'t> Processor<'t> {
                         inst.wait_exec_ssn = Some(ssn);
                         if !self.sq.is_executed(ssn) {
                             gates += 1;
-                            self.wake_on_store_exec.entry(ssn.0).or_default().push(inst.seq.0);
+                            self.wake_on_store_exec
+                                .entry(ssn.0)
+                                .or_default()
+                                .push(inst.seq.0);
                         }
                     } else if ssn > self.ssn_cmt {
                         // Partial coverage: wait for the store to commit.
                         gates += 1;
-                        self.wake_on_store_commit.entry(ssn.0).or_default().push(inst.seq.0);
+                        self.wake_on_store_commit
+                            .entry(ssn.0)
+                            .or_default()
+                            .push(inst.seq.0);
                     }
                 }
             }
@@ -451,7 +604,10 @@ impl<'t> Processor<'t> {
                 inst.wait_exec_ssn = Some(ssn);
                 if !self.sq.is_executed(ssn) {
                     gates += 1;
-                    self.wake_on_store_exec.entry(ssn.0).or_default().push(inst.seq.0);
+                    self.wake_on_store_exec
+                        .entry(ssn.0)
+                        .or_default()
+                        .push(inst.seq.0);
                 }
             }
             return gates;
@@ -462,7 +618,7 @@ impl<'t> Processor<'t> {
         let mut best: Option<(u64, Ssn)> = None;
         for pc in self.fsp.predict_with_path(rec.pc, inst.path) {
             let ssn = self.sat.lookup(pc);
-            if ssn.is_in_flight(self.ssn_cmt) && best.map_or(true, |(_, b)| ssn > b) {
+            if ssn.is_in_flight(self.ssn_cmt) && best.is_none_or(|(_, b)| ssn > b) {
                 best = Some((pc, ssn));
             }
         }
@@ -472,7 +628,10 @@ impl<'t> Processor<'t> {
             inst.wait_exec_ssn = Some(ssn);
             if !self.sq.is_executed(ssn) {
                 gates += 1;
-                self.wake_on_store_exec.entry(ssn.0).or_default().push(inst.seq.0);
+                self.wake_on_store_exec
+                    .entry(ssn.0)
+                    .or_default()
+                    .push(inst.seq.0);
             }
         }
 
@@ -485,7 +644,10 @@ impl<'t> Processor<'t> {
                 if ssn_dly > self.ssn_cmt {
                     gates += 1;
                     inst.delay_gated = true;
-                    self.wake_on_store_commit.entry(ssn_dly.0).or_default().push(inst.seq.0);
+                    self.wake_on_store_commit
+                        .entry(ssn_dly.0)
+                        .or_default()
+                        .push(inst.seq.0);
                 }
             }
         }
@@ -536,7 +698,8 @@ impl<'t> Processor<'t> {
             if my_ssn.is_some() {
                 // Speculatively wake forwarding-gated loads behind this
                 // store so their SQ read chases its SQ write.
-                self.events.push(Reverse((self.cycle + 1, EvKind::StoreWake, my_ssn.0, inc)));
+                self.events
+                    .push(Reverse((self.cycle + 1, EvKind::StoreWake, my_ssn.0, inc)));
             }
 
             // Wakeup broadcast for register consumers, timed so a
@@ -549,7 +712,8 @@ impl<'t> Processor<'t> {
                     .saturating_sub(self.cfg.issue_to_exec)
                     .max(self.cycle + 1);
                 self.wake_time[seq as usize] = broadcast_at;
-                self.events.push(Reverse((broadcast_at, EvKind::Broadcast, seq, inc)));
+                self.events
+                    .push(Reverse((broadcast_at, EvKind::Broadcast, seq, inc)));
             }
         }
     }
@@ -626,14 +790,18 @@ impl<'t> Processor<'t> {
     }
 
     fn do_broadcast(&mut self, producer: u64) {
-        let Some(consumers) = self.wake_on_value.remove(&producer) else { return };
+        let Some(consumers) = self.wake_on_value.remove(&producer) else {
+            return;
+        };
         for c in consumers {
             self.wake_one(c, false);
         }
     }
 
     fn wake_one(&mut self, seq: u64, is_delay_gate: bool) {
-        let Some(inst) = self.insts.get_mut(&seq) else { return };
+        let Some(inst) = self.insts.get_mut(&seq) else {
+            return;
+        };
         if inst.state != InstState::Waiting {
             return;
         }
@@ -693,7 +861,10 @@ impl<'t> Processor<'t> {
         let issue_to_exec = self.cfg.issue_to_exec;
         let mut wakes = Vec::new();
         {
-            let inst = self.insts.get_mut(&seq.0).expect("replaying inst in flight");
+            let inst = self
+                .insts
+                .get_mut(&seq.0)
+                .expect("replaying inst in flight");
             inst.state = InstState::Waiting;
             inst.replays += 1;
             inst.gates = unready.len() as u32;
@@ -721,7 +892,10 @@ impl<'t> Processor<'t> {
         self.value_ready[seq.0 as usize] = ready_at;
         let post = self.cfg.post_exec_depth;
         {
-            let inst = self.insts.get_mut(&seq.0).expect("completing inst in flight");
+            let inst = self
+                .insts
+                .get_mut(&seq.0)
+                .expect("completing inst in flight");
             inst.state = InstState::Done;
             inst.value = value;
             inst.complete_cycle = ready_at;
@@ -733,8 +907,11 @@ impl<'t> Processor<'t> {
         // get. Time it so their execute lines up with value readiness.
         if self.wake_on_value.contains_key(&seq.0) {
             let inc = self.insts[&seq.0].incarnation;
-            let at = ready_at.saturating_sub(self.cfg.issue_to_exec).max(self.cycle + 1);
-            self.events.push(Reverse((at, EvKind::Broadcast, seq.0, inc)));
+            let at = ready_at
+                .saturating_sub(self.cfg.issue_to_exec)
+                .max(self.cycle + 1);
+            self.events
+                .push(Reverse((at, EvKind::Broadcast, seq.0, inc)));
         }
     }
 
@@ -757,11 +934,7 @@ impl<'t> Processor<'t> {
             let victim = self
                 .lq
                 .iter()
-                .find(|l| {
-                    l.seq > seq
-                        && l.span.is_some_and(|ls| ls.overlaps(span))
-                        && l.svw < ssn
-                })
+                .find(|l| l.seq > seq && l.span.is_some_and(|ls| ls.overlaps(span)) && l.svw < ssn)
                 .map(|l| (l.seq, l.pc));
             if let Some((lseq, lpc)) = victim {
                 self.stats.mis_forwards += 1;
@@ -795,7 +968,11 @@ impl<'t> Processor<'t> {
         // (The predictor was trained at fetch; execution only resolves the
         // pending redirect.)
         // Link value for calls; 0 for other transfers.
-        let value = if rec.op == Op::Call { rec.pc.next().0 } else { 0 };
+        let value = if rec.op == Op::Call {
+            rec.pc.next().0
+        } else {
+            0
+        };
         self.complete(seq, value, self.cfg.latencies.branch);
         if self.pending_redirect == Some(seq) {
             self.pending_redirect = None;
@@ -820,7 +997,10 @@ impl<'t> Processor<'t> {
                 inst.gates = 1;
                 inst.replays += 1;
                 self.iq_count += 1;
-                self.wake_on_store_exec_strict.entry(gate.0).or_default().push(seq.0);
+                self.wake_on_store_exec_strict
+                    .entry(gate.0)
+                    .or_default()
+                    .push(seq.0);
                 return;
             }
         }
@@ -832,12 +1012,18 @@ impl<'t> Processor<'t> {
 
         let (value, latency, forwarded, svw) = if self.cfg.design.is_indexed() {
             // Speculative indexed access: read the single predicted entry.
-            match ssn_fwd.is_in_flight(self.ssn_cmt).then(|| {
-                self.sq.indexed_read(ssn_fwd, span, rec.size)
-            }).flatten()
+            match ssn_fwd
+                .is_in_flight(self.ssn_cmt)
+                .then(|| self.sq.indexed_read(ssn_fwd, span, rec.size))
+                .flatten()
             {
                 Some(v) => (v, self.cfg.design.sq_latency(), Some(ssn_fwd), ssn_fwd),
-                None => (cache_value, cache_outcome.total_latency(), None, self.ssn_cmt),
+                None => (
+                    cache_value,
+                    cache_outcome.total_latency(),
+                    None,
+                    self.ssn_cmt,
+                ),
             }
         } else {
             // Conventional fully-associative search.
@@ -855,19 +1041,29 @@ impl<'t> Processor<'t> {
                     inst.partial_stalled = true;
                     self.iq_count += 1;
                     if ssn > self.ssn_cmt {
-                        self.wake_on_store_commit.entry(ssn.0).or_default().push(seq.0);
+                        self.wake_on_store_commit
+                            .entry(ssn.0)
+                            .or_default()
+                            .push(seq.0);
                     } else {
                         // Committed in the meantime: retry immediately.
                         let inc = self.insts[&seq.0].incarnation;
-                        self.events.push(Reverse((self.cycle + 1, EvKind::Wake, seq.0, inc)));
+                        self.events
+                            .push(Reverse((self.cycle + 1, EvKind::Wake, seq.0, inc)));
                     }
                     return;
                 }
-                SqSearch::Miss => (cache_value, cache_outcome.total_latency(), None, self.ssn_cmt),
+                SqSearch::Miss => (
+                    cache_value,
+                    cache_outcome.total_latency(),
+                    None,
+                    self.ssn_cmt,
+                ),
             }
         };
 
-        self.lq.record_execution(seq, span, value, svw, older_unknown);
+        self.lq
+            .record_execution(seq, span, value, svw, older_unknown);
         {
             let inst = self.insts.get_mut(&seq.0).expect("load in flight");
             inst.forwarded_from = forwarded;
@@ -912,15 +1108,20 @@ impl<'t> Processor<'t> {
         let span = rec.mem_addr().span(rec.size);
         let (svw, older_unknown, value, fwd) = {
             let inst = &self.insts[&seq.0];
-            (inst.svw, inst.older_unknown, inst.value, inst.forwarded_from)
+            (
+                inst.svw,
+                inst.older_unknown,
+                inst.value,
+                inst.forwarded_from,
+            )
         };
         self.stats.naive_reexec_candidates += u64::from(older_unknown);
 
         // SVW filter: re-execute only if a store the load is vulnerable to
         // wrote its address. Under the conventional LQ CAM, ordering was
         // verified at store execution and no re-execution happens at all.
-        let needs_reexec = self.cfg.ordering == OrderingMode::SvwReexecution
-            && self.ssbf.newest(span) > svw;
+        let needs_reexec =
+            self.cfg.ordering == OrderingMode::SvwReexecution && self.ssbf.newest(span) > svw;
         let mut flush = false;
         if needs_reexec {
             if *reexec_budget == 0 {
@@ -988,10 +1189,7 @@ impl<'t> Processor<'t> {
             // the producing store (recovered via the SPCT as a pseudo-PC,
             // exactly the Table 1 row-1 `SSIT[ld.PC, SPCT[ld.A]]` action).
             if flushed {
-                if let Some(partial) = span
-                    .byte_addrs()
-                    .find_map(|b| self.spct.lookup_byte(b))
-                {
+                if let Some(partial) = span.byte_addrs().find_map(|b| self.spct.lookup_byte(b)) {
                     self.store_sets
                         .violation(rec.pc, sqip_types::Pc::from_index(partial as usize));
                 }
@@ -1030,17 +1228,13 @@ impl<'t> Processor<'t> {
             if !wrong {
                 self.ddp.unlearn(rec.pc);
             } else {
-                let pc_right_instance_wrong = forwarding_possible
-                    && pred_pc.is_some()
-                    && {
-                        let actual = span
-                            .byte_addrs()
-                            .find(|b| {
-                                self.ssbf.newest(b.span(sqip_types::DataSize::Byte)) == newest
-                            })
-                            .and_then(|b| self.spct.lookup_byte(b));
-                        pred_pc == actual
-                    };
+                let pc_right_instance_wrong = forwarding_possible && pred_pc.is_some() && {
+                    let actual = span
+                        .byte_addrs()
+                        .find(|b| self.ssbf.newest(b.span(sqip_types::DataSize::Byte)) == newest)
+                        .and_then(|b| self.spct.lookup_byte(b));
+                    pred_pc == actual
+                };
                 let evidence = flushed || was_delayed || pc_right_instance_wrong;
                 self.ddp.learn(rec.pc, evidence.then_some(dist));
             }
@@ -1068,8 +1262,11 @@ impl<'t> Processor<'t> {
         if instance_correct && pc_correct {
             // Correct forwarding prediction: reinforce (§3.2 "we learn
             // store-load dependences on correct forwarding").
-            self.fsp
-                .strengthen_with_path(rec.pc, pred_pc.expect("pc_correct implies prediction"), path);
+            self.fsp.strengthen_with_path(
+                rec.pc,
+                pred_pc.expect("pc_correct implies prediction"),
+                path,
+            );
         } else if pc_correct {
             let pc = pred_pc.expect("pc_correct implies prediction");
             if self.cfg.design.is_indexed() {
@@ -1142,7 +1339,12 @@ impl<'t> Processor<'t> {
         self.stats.flushes += 1;
         self.incarnation += 1;
 
-        let squashed: Vec<u64> = self.insts.keys().copied().filter(|&s| s >= from.0).collect();
+        let squashed: Vec<u64> = self
+            .insts
+            .keys()
+            .copied()
+            .filter(|&s| s >= from.0)
+            .collect();
         self.stats.squashed += squashed.len() as u64;
         for &s in &squashed {
             self.insts.remove(&s);
@@ -1196,7 +1398,7 @@ impl<'t> Processor<'t> {
         self.stats.flushes += 1;
         self.incarnation += 1;
 
-        for (&s, _) in &self.insts {
+        for &s in self.insts.keys() {
             self.value_ready[s as usize] = NOT_READY;
             self.wake_time[s as usize] = NOT_READY;
         }
@@ -1451,7 +1653,10 @@ mod tests {
             slow.cycles,
             fast.cycles
         );
-        assert!(slow.replays > fast.replays, "forwarded loads replay dependents");
+        assert!(
+            slow.replays > fast.replays,
+            "forwarded loads replay dependents"
+        );
     }
 
     #[test]
@@ -1503,7 +1708,10 @@ mod tests {
             ideal.cycles,
             dly.cycles
         );
-        assert!(ideal.ipc() > 0.5, "8-wide machine should sustain decent IPC");
+        assert!(
+            ideal.ipc() > 0.5,
+            "8-wide machine should sustain decent IPC"
+        );
     }
 
     #[test]
@@ -1535,7 +1743,11 @@ mod tests {
         assert!(stats.partial_stalls > 10, "got {}", stats.partial_stalls);
         // The very first iteration may take an ordering violation before
         // the FSP learns the dependence; after that, loads stall instead.
-        assert!(stats.mis_forwards <= 2, "stall, not mis-speculate: {}", stats.mis_forwards);
+        assert!(
+            stats.mis_forwards <= 2,
+            "stall, not mis-speculate: {}",
+            stats.mis_forwards
+        );
     }
 
     #[test]
@@ -1589,7 +1801,10 @@ mod ordering_tests {
         // against the golden trace, so completion here means the partial
         // squash restored a consistent machine state every time.
         assert_eq!(stats.committed, trace.len() as u64);
-        assert!(stats.flushes > 0, "the hazard loop must violate at least once");
+        assert!(
+            stats.flushes > 0,
+            "the hazard loop must violate at least once"
+        );
         assert_eq!(stats.re_executions, 0, "LQ CAM mode never re-executes");
     }
 
@@ -1637,8 +1852,11 @@ mod ordering_tests {
     #[test]
     fn original_store_sets_learns_to_schedule() {
         let trace = hazard_loop(400);
-        let stats =
-            Processor::new(SimConfig::with_design(SqDesign::Associative3StoreSets), &trace).run();
+        let stats = Processor::new(
+            SimConfig::with_design(SqDesign::Associative3StoreSets),
+            &trace,
+        )
+        .run();
         assert_eq!(stats.committed, trace.len() as u64);
         // After the first few violations the SSIT/LFST pair gates the load
         // behind the store and violations stop.
@@ -1656,8 +1874,11 @@ mod ordering_tests {
         // the original" — they should land within a few percent of each
         // other on well-behaved code.
         let trace = hazard_loop(400);
-        let orig =
-            Processor::new(SimConfig::with_design(SqDesign::Associative3StoreSets), &trace).run();
+        let orig = Processor::new(
+            SimConfig::with_design(SqDesign::Associative3StoreSets),
+            &trace,
+        )
+        .run();
         let reform = Processor::new(SimConfig::with_design(SqDesign::Associative3), &trace).run();
         let ratio = orig.cycles as f64 / reform.cycles as f64;
         assert!(

@@ -3,8 +3,10 @@
 
 use sqip_mem::CacheStats;
 
+use serde::{Deserialize, Serialize};
+
 /// Counters and derived metrics from one simulation run.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimStats {
     /// Total simulated cycles.
     pub cycles: u64,
@@ -208,6 +210,9 @@ mod derived_tests {
             ..SimStats::default()
         };
         assert!((s.pct_loads_reexecuted() - 1.0).abs() < 1e-9);
-        assert!((s.pct_loads_naive_reexec() - 9.0).abs() < 1e-9, "the paper's 9% vs 1% contrast");
+        assert!(
+            (s.pct_loads_naive_reexec() - 9.0).abs() < 1e-9,
+            "the paper's 9% vs 1% contrast"
+        );
     }
 }

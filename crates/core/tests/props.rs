@@ -32,7 +32,12 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
 }
 
 fn build_trace(body: &[Stmt], iters: i64) -> Trace {
-    let sizes = [DataSize::Byte, DataSize::Half, DataSize::Word, DataSize::Quad];
+    let sizes = [
+        DataSize::Byte,
+        DataSize::Half,
+        DataSize::Word,
+        DataSize::Quad,
+    ];
     let mut b = ProgramBuilder::new();
     let ctr = Reg::new(62);
     b.load_imm(ctr, iters);
@@ -53,10 +58,20 @@ fn build_trace(body: &[Stmt], iters: i64) -> Trace {
             }
             Stmt::Store(d, slot, z) => {
                 // 8-byte aligned slots so accesses overlap in varied ways.
-                b.store(sizes[z as usize], Reg::new(d), Reg::ZERO, 0x400 + 8 * i64::from(slot));
+                b.store(
+                    sizes[z as usize],
+                    Reg::new(d),
+                    Reg::ZERO,
+                    0x400 + 8 * i64::from(slot),
+                );
             }
             Stmt::Load(d, slot, z) => {
-                b.load(sizes[z as usize], Reg::new(d), Reg::ZERO, 0x400 + 8 * i64::from(slot));
+                b.load(
+                    sizes[z as usize],
+                    Reg::new(d),
+                    Reg::ZERO,
+                    0x400 + 8 * i64::from(slot),
+                );
             }
             Stmt::Fp(a, x) => {
                 b.fmul(Reg::new(a), Reg::new(a), Reg::new(x));

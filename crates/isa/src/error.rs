@@ -38,10 +38,16 @@ impl std::fmt::Display for IsaError {
                 write!(f, "label `{name}` was placed more than once")
             }
             IsaError::PcOutOfRange { index } => {
-                write!(f, "execution reached instruction index {index}, past program end")
+                write!(
+                    f,
+                    "execution reached instruction index {index}, past program end"
+                )
             }
             IsaError::InstructionBudgetExceeded { budget } => {
-                write!(f, "program did not halt within {budget} dynamic instructions")
+                write!(
+                    f,
+                    "program did not halt within {budget} dynamic instructions"
+                )
             }
             IsaError::EmptyProgram => write!(f, "program contains no instructions"),
         }
@@ -56,7 +62,9 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_prose() {
-        let e = IsaError::UnresolvedLabel { name: "loop".into() };
+        let e = IsaError::UnresolvedLabel {
+            name: "loop".into(),
+        };
         assert!(e.to_string().contains("`loop`"));
         let e = IsaError::InstructionBudgetExceeded { budget: 10 };
         assert!(e.to_string().contains("10"));

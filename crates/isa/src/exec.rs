@@ -255,7 +255,10 @@ mod tests {
         let p = b.build().unwrap();
         let mut st = ArchState::new();
         st.step(&p).unwrap();
-        assert_eq!(st.step(&p).unwrap_err(), IsaError::PcOutOfRange { index: 1 });
+        assert_eq!(
+            st.step(&p).unwrap_err(),
+            IsaError::PcOutOfRange { index: 1 }
+        );
     }
 
     #[test]

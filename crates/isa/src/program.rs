@@ -91,7 +91,11 @@ impl ProgramBuilder {
     /// reference. The same `Label` may also be referenced *before* being
     /// placed via [`ProgramBuilder::forward_label`].
     pub fn label(&mut self, name: &str) -> Label {
-        if self.labels.insert(name.to_owned(), self.insts.len()).is_some() {
+        if self
+            .labels
+            .insert(name.to_owned(), self.insts.len())
+            .is_some()
+        {
             self.duplicate.get_or_insert_with(|| name.to_owned());
         }
         Label(self.insts.len())
@@ -105,7 +109,11 @@ impl ProgramBuilder {
 
     /// Places a previously declared forward label here.
     pub fn place(&mut self, name: &str) {
-        if self.labels.insert(name.to_owned(), self.insts.len()).is_some() {
+        if self
+            .labels
+            .insert(name.to_owned(), self.insts.len())
+            .is_some()
+        {
             self.duplicate.get_or_insert_with(|| name.to_owned());
         }
     }
@@ -398,7 +406,9 @@ mod tests {
         b.jump_to("nowhere");
         assert_eq!(
             b.build().unwrap_err(),
-            IsaError::UnresolvedLabel { name: "nowhere".into() }
+            IsaError::UnresolvedLabel {
+                name: "nowhere".into()
+            }
         );
     }
 
@@ -410,12 +420,18 @@ mod tests {
         b.nop();
         b.label("x");
         b.halt();
-        assert_eq!(b.build().unwrap_err(), IsaError::DuplicateLabel { name: "x".into() });
+        assert_eq!(
+            b.build().unwrap_err(),
+            IsaError::DuplicateLabel { name: "x".into() }
+        );
     }
 
     #[test]
     fn empty_program_errors() {
-        assert_eq!(ProgramBuilder::new().build().unwrap_err(), IsaError::EmptyProgram);
+        assert_eq!(
+            ProgramBuilder::new().build().unwrap_err(),
+            IsaError::EmptyProgram
+        );
     }
 
     #[test]

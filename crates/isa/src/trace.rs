@@ -63,7 +63,8 @@ impl TraceRecord {
     /// Panics if called on a non-memory instruction.
     #[must_use]
     pub fn mem_addr(&self) -> Addr {
-        self.addr.expect("mem_addr called on a non-memory instruction")
+        self.addr
+            .expect("mem_addr called on a non-memory instruction")
     }
 }
 
@@ -178,7 +179,9 @@ pub fn trace_program_with_state(
             break;
         }
         let pc = state.pc();
-        let inst: StaticInst = *program.fetch(pc).ok_or(IsaError::PcOutOfRange { index: pc.index() })?;
+        let inst: StaticInst = *program
+            .fetch(pc)
+            .ok_or(IsaError::PcOutOfRange { index: pc.index() })?;
         let out = state.step(program)?;
         if inst.op.is_load() {
             loads += 1;
@@ -248,14 +251,20 @@ mod tests {
             assert_eq!(r.seq, Seq(i as u64));
         }
         let loads: Vec<_> = t.records().iter().filter(|r| r.is_load()).collect();
-        assert!(loads.iter().all(|r| r.result == 0x55), "loads see stored value");
+        assert!(
+            loads.iter().all(|r| r.result == 0x55),
+            "loads see stored value"
+        );
         assert!(loads.iter().all(|r| r.mem_addr() == Addr::new(0x100)));
     }
 
     #[test]
     fn oracle_forwarding_rate_sees_adjacent_pairs() {
         let t = trace_program(&forwarding_program(), 1000).unwrap();
-        assert!((t.oracle_forwarding_rate(64) - 1.0).abs() < 1e-12, "every load forwards");
+        assert!(
+            (t.oracle_forwarding_rate(64) - 1.0).abs() < 1e-12,
+            "every load forwards"
+        );
         // With a 0-entry window nothing can forward... window=1 still works
         // because the store is the immediately preceding one.
         assert!((t.oracle_forwarding_rate(1) - 1.0).abs() < 1e-12);

@@ -6,6 +6,8 @@ use sqip_types::Addr;
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::tlb::{Tlb, TlbConfig};
 
+use serde::{Deserialize, Serialize};
+
 /// Where an access was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemLevel {
@@ -44,7 +46,7 @@ impl AccessOutcome {
 }
 
 /// Latencies and geometries for the full hierarchy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HierarchyConfig {
     /// L1 data cache geometry.
     pub l1: CacheConfig,

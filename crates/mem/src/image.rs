@@ -67,7 +67,10 @@ impl MemImage {
 }
 
 fn split(addr: Addr) -> (u64, usize) {
-    (addr.0 / PAGE_BYTES as u64, (addr.0 % PAGE_BYTES as u64) as usize)
+    (
+        addr.0 / PAGE_BYTES as u64,
+        (addr.0 % PAGE_BYTES as u64) as usize,
+    )
 }
 
 #[cfg(test)]
@@ -114,7 +117,10 @@ mod tests {
         let mut m = MemImage::new();
         m.write(Addr::new(0x20), DataSize::Quad, u64::MAX);
         m.write(Addr::new(0x22), DataSize::Byte, 0);
-        assert_eq!(m.read(Addr::new(0x20), DataSize::Quad), 0xFFFF_FFFF_FF00_FFFF);
+        assert_eq!(
+            m.read(Addr::new(0x20), DataSize::Quad),
+            0xFFFF_FFFF_FF00_FFFF
+        );
     }
 
     #[test]

@@ -4,8 +4,10 @@ use sqip_types::Addr;
 
 use crate::cache::CacheStats;
 
+use serde::{Deserialize, Serialize};
+
 /// TLB geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TlbConfig {
     /// Number of entries.
     pub entries: usize,
@@ -57,9 +59,15 @@ impl Tlb {
     #[must_use]
     pub fn new(config: TlbConfig) -> Tlb {
         assert!(config.ways > 0, "TLB must have at least one way");
-        assert!(config.page_bytes.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            config.page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
         let sets = config.entries / config.ways;
-        assert!(sets > 0 && sets.is_power_of_two(), "TLB set count must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "TLB set count must be a power of two"
+        );
         Tlb {
             config,
             entries: vec![TlbEntry::default(); config.entries],

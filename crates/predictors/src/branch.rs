@@ -3,8 +3,10 @@
 
 use sqip_types::Pc;
 
+use serde::{Deserialize, Serialize};
+
 /// Branch predictor geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BranchConfig {
     /// Entries in each direction table (gShare, bimodal, chooser); the
     /// paper uses a 4K-entry hybrid.
@@ -125,13 +127,19 @@ impl BranchPredictor {
             }
             self.ras.push(pc.next());
         }
-        BranchPrediction { taken: true, target }
+        BranchPrediction {
+            taken: true,
+            target,
+        }
     }
 
     /// Predicts a return (target from the RAS, falling back to the BTB).
     pub fn predict_return(&mut self, pc: Pc) -> BranchPrediction {
         let target = self.ras.pop().or_else(|| self.btb_lookup(pc));
-        BranchPrediction { taken: true, target }
+        BranchPrediction {
+            taken: true,
+            target,
+        }
     }
 
     /// Updates direction tables, history, and BTB with a resolved branch.
@@ -148,8 +156,8 @@ impl BranchPredictor {
                 (false, true) => bump(&mut self.chooser[pi], false),
                 _ => {}
             }
-            self.history = ((self.history << 1) | u64::from(taken))
-                & ((1 << self.config.history_bits) - 1);
+            self.history =
+                ((self.history << 1) | u64::from(taken)) & ((1 << self.config.history_bits) - 1);
         }
         if taken {
             self.btb_insert(pc, target);
@@ -315,8 +323,14 @@ mod tests {
         bp.update(b, false, true, Pc::new(0xB0));
         bp.update(a, false, true, Pc::new(0xA0)); // refresh a
         bp.update(c, false, true, Pc::new(0xC0)); // evicts b
-        assert_eq!(bp.predict_unconditional(a, false).target, Some(Pc::new(0xA0)));
+        assert_eq!(
+            bp.predict_unconditional(a, false).target,
+            Some(Pc::new(0xA0))
+        );
         assert_eq!(bp.predict_unconditional(b, false).target, None);
-        assert_eq!(bp.predict_unconditional(c, false).target, Some(Pc::new(0xC0)));
+        assert_eq!(
+            bp.predict_unconditional(c, false).target,
+            Some(Pc::new(0xC0))
+        );
     }
 }

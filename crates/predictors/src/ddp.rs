@@ -5,8 +5,10 @@ use sqip_types::Pc;
 use crate::counter::SatCounter;
 use crate::TrainRatio;
 
+use serde::{Deserialize, Serialize};
+
 /// DDP geometry and training parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DdpConfig {
     /// Total entries (default 4K, swept with the FSP in Figure 5).
     pub entries: usize,
@@ -213,7 +215,10 @@ impl Ddp {
     fn slice(&self, pc: Pc) -> (usize, u64) {
         let sets = self.config.entries / self.config.ways;
         let set = pc.table_index(sets);
-        (set * self.config.ways, pc.partial_tag(sets, self.config.tag_bits))
+        (
+            set * self.config.ways,
+            pc.partial_tag(sets, self.config.tag_bits),
+        )
     }
 }
 
@@ -239,7 +244,11 @@ mod tests {
         let mut ddp = small();
         let ld = Pc::new(0x80);
         ddp.learn(ld, Some(10));
-        assert_eq!(ddp.predict(ld), Some(10), "4:1 ratio reaches threshold at once");
+        assert_eq!(
+            ddp.predict(ld),
+            Some(10),
+            "4:1 ratio reaches threshold at once"
+        );
     }
 
     #[test]
@@ -258,10 +267,10 @@ mod tests {
         let mut ddp = small();
         let ld = Pc::new(0x80);
         ddp.learn(ld, Some(2)); // a one-off close store
-        // Two full 8-event windows at distance 20. The first swap still
-        // publishes 2 (the future field saw the early event); the second
-        // window's future field only ever sees 20, so the stale
-        // over-conservative distance is discarded at the second swap.
+                                // Two full 8-event windows at distance 20. The first swap still
+                                // publishes 2 (the future field saw the early event); the second
+                                // window's future field only ever sees 20, so the stale
+                                // over-conservative distance is discarded at the second swap.
         for _ in 0..16 {
             ddp.learn(ld, Some(20));
         }
@@ -278,7 +287,11 @@ mod tests {
         let ld = Pc::new(0x80);
         ddp.learn(ld, Some(10)); // counter = 4 (threshold)
         ddp.unlearn(ld);
-        assert_eq!(ddp.predict(ld), None, "one correct prediction drops below threshold");
+        assert_eq!(
+            ddp.predict(ld),
+            None,
+            "one correct prediction drops below threshold"
+        );
         ddp.learn(ld, Some(10));
         assert!(ddp.predict(ld).is_some());
     }
@@ -295,7 +308,11 @@ mod tests {
         for _ in 0..100 {
             ddp.learn(ld, Some(5));
         }
-        assert_eq!(ddp.predict(ld), None, "0:1 degenerates to the raw Fwd configuration");
+        assert_eq!(
+            ddp.predict(ld),
+            None,
+            "0:1 degenerates to the raw Fwd configuration"
+        );
         assert_eq!(ddp.occupancy(), 0);
     }
 
@@ -317,9 +334,17 @@ mod tests {
         // but the distance itself decays toward max_distance (≈ no
         // effective delay) through the future-field swaps, since only
         // wrong predictions carry distance information.
-        assert_eq!(ddp.predict(ld), Some(64), "still predicts delay, distance decayed");
+        assert_eq!(
+            ddp.predict(ld),
+            Some(64),
+            "still predicts delay, distance decayed"
+        );
         ddp.learn(ld, Some(5));
-        assert_eq!(ddp.predict(ld), Some(5), "a new wrong prediction re-learns at once");
+        assert_eq!(
+            ddp.predict(ld),
+            Some(5),
+            "a new wrong prediction re-learns at once"
+        );
     }
 
     #[test]

@@ -5,8 +5,10 @@ use sqip_types::Pc;
 use crate::counter::SatCounter;
 use crate::TrainRatio;
 
+use serde::{Deserialize, Serialize};
+
 /// FSP geometry and training parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FspConfig {
     /// Total entries (the paper's default is 4K; Figure 5 sweeps 512–8K).
     pub entries: usize,
@@ -235,10 +237,18 @@ impl Fsp {
             (1u64 << self.config.path_bits.min(63)) - 1
         };
         let set = (pc.table_index(sets) ^ (path & path_mask) as usize) & (sets - 1);
-        (set * self.config.ways, pc.partial_tag(sets, self.config.tag_bits))
+        (
+            set * self.config.ways,
+            pc.partial_tag(sets, self.config.tag_bits),
+        )
     }
 
-    fn entry_mut(&mut self, load_pc: Pc, store_partial_pc: u64, path: u64) -> Option<&mut FspEntry> {
+    fn entry_mut(
+        &mut self,
+        load_pc: Pc,
+        store_partial_pc: u64,
+        path: u64,
+    ) -> Option<&mut FspEntry> {
         let ways = self.config.ways;
         let (base, tag) = self.slice_with_path(load_pc, path);
         self.sets[base..base + ways]
@@ -368,6 +378,10 @@ mod tests {
         let fsp = Fsp::default();
         let a = Pc::from_index(7);
         let b = Pc::from_index(7 + 256);
-        assert_eq!(fsp.partial_store_pc(a), fsp.partial_store_pc(b), "8-bit partial PCs alias");
+        assert_eq!(
+            fsp.partial_store_pc(a),
+            fsp.partial_store_pc(b),
+            "8-bit partial PCs alias"
+        );
     }
 }

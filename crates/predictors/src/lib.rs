@@ -43,12 +43,14 @@ pub use spct::Spct;
 pub use ssbf::Ssbf;
 pub use storesets::{StoreSets, StoreSetsConfig};
 
+use serde::{Deserialize, Serialize};
+
 /// A training ratio: how much positive events outweigh negative ones.
 ///
 /// The paper trains the FSP at 8:1 and the DDP at 4:1 by default, and
 /// sweeps the DDP ratio from 0:1 (never learn) to 1:0 (never unlearn) in
 /// Figure 5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TrainRatio {
     /// Counter increment on a positive (reinforcing) event.
     pub positive: u8,

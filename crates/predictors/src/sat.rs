@@ -97,7 +97,8 @@ impl Sat {
     /// writes can no longer be squashed. Call periodically (e.g. at commit)
     /// to keep the log bounded.
     pub fn prune_log(&mut self, committed: Seq) {
-        self.log.retain(|(seq, _, _)| !seq.is_older_than(committed.next()));
+        self.log
+            .retain(|(seq, _, _)| !seq.is_older_than(committed.next()));
     }
 
     /// Takes a full-contents checkpoint.

@@ -24,7 +24,10 @@ impl Spct {
     /// Panics if `entries` is not a power of two.
     #[must_use]
     pub fn new(entries: usize) -> Spct {
-        assert!(entries.is_power_of_two(), "SPCT size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "SPCT size must be a power of two"
+        );
         Spct {
             entries: vec![None; entries],
         }
@@ -73,7 +76,11 @@ mod tests {
         spct.update(Addr::new(0x100).span(DataSize::Word), 0xAA);
         spct.update(Addr::new(0x102).span(DataSize::Byte), 0xBB);
         assert_eq!(spct.lookup_byte(Addr::new(0x100)), Some(0xAA));
-        assert_eq!(spct.lookup_byte(Addr::new(0x102)), Some(0xBB), "newer store wins its byte");
+        assert_eq!(
+            spct.lookup_byte(Addr::new(0x102)),
+            Some(0xBB),
+            "newer store wins its byte"
+        );
         assert_eq!(spct.lookup_byte(Addr::new(0x103)), Some(0xAA));
         assert_eq!(spct.lookup_byte(Addr::new(0x104)), None);
     }

@@ -35,7 +35,10 @@ impl Ssbf {
     /// Panics if `entries` is not a power of two.
     #[must_use]
     pub fn new(entries: usize) -> Ssbf {
-        assert!(entries.is_power_of_two(), "SSBF size must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "SSBF size must be a power of two"
+        );
         Ssbf {
             entries: vec![Ssn::NONE; entries],
         }
@@ -102,9 +105,15 @@ mod tests {
         ssbf.update(Addr::new(0x100).span(DataSize::Quad), Ssn::new(10));
         ssbf.update(Addr::new(0x104).span(DataSize::Word), Ssn::new(20));
         // A quad load over [0x100,0x108): bytes 0-3 say 10, bytes 4-7 say 20.
-        assert_eq!(ssbf.newest(Addr::new(0x100).span(DataSize::Quad)), Ssn::new(20));
+        assert_eq!(
+            ssbf.newest(Addr::new(0x100).span(DataSize::Quad)),
+            Ssn::new(20)
+        );
         // A word load over [0x100,0x104) only sees the older store.
-        assert_eq!(ssbf.newest(Addr::new(0x100).span(DataSize::Word)), Ssn::new(10));
+        assert_eq!(
+            ssbf.newest(Addr::new(0x100).span(DataSize::Word)),
+            Ssn::new(10)
+        );
     }
 
     #[test]

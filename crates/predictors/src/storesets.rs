@@ -4,8 +4,10 @@
 
 use sqip_types::{Pc, Ssn};
 
+use serde::{Deserialize, Serialize};
+
 /// Store Sets geometry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StoreSetsConfig {
     /// SSIT entries (the paper's load scheduler uses a 1K-entry predictor).
     pub ssit_entries: usize,
@@ -55,8 +57,14 @@ impl StoreSets {
     /// Panics if either table size is not a power of two.
     #[must_use]
     pub fn new(config: StoreSetsConfig) -> StoreSets {
-        assert!(config.ssit_entries.is_power_of_two(), "SSIT size must be a power of two");
-        assert!(config.lfst_entries.is_power_of_two(), "LFST size must be a power of two");
+        assert!(
+            config.ssit_entries.is_power_of_two(),
+            "SSIT size must be a power of two"
+        );
+        assert!(
+            config.lfst_entries.is_power_of_two(),
+            "LFST size must be a power of two"
+        );
         StoreSets {
             config,
             ssit: vec![None; config.ssit_entries],
@@ -179,7 +187,11 @@ mod tests {
         ss.violation(ld, st);
         ss.rename_store(st, Ssn::new(7));
         ss.store_executed(st, Ssn::new(7));
-        assert_eq!(ss.rename_load(ld), Ssn::NONE, "executed store imposes no wait");
+        assert_eq!(
+            ss.rename_load(ld),
+            Ssn::NONE,
+            "executed store imposes no wait"
+        );
     }
 
     #[test]
@@ -191,7 +203,11 @@ mod tests {
         ss.rename_store(st_a, Ssn::new(5));
         let pred = ss.rename_store(st_b, Ssn::new(6));
         assert_eq!(pred, Ssn::new(5), "second store in set orders behind first");
-        assert_eq!(ss.rename_load(ld), Ssn::new(6), "load waits for last fetched");
+        assert_eq!(
+            ss.rename_load(ld),
+            Ssn::new(6),
+            "load waits for last fetched"
+        );
     }
 
     #[test]
@@ -199,9 +215,9 @@ mod tests {
         let mut ss = StoreSets::default();
         ss.violation(Pc::new(0x10), Pc::new(0x20)); // ssid 0
         ss.violation(Pc::new(0x30), Pc::new(0x44)); // ssid 1
-        // A violation between members of the two sets reassigns both
-        // participants to the smaller SSID (0). Merging is per-PC, not
-        // transitive: 0x30 keeps ssid 1, exactly as in Chrysos–Emer.
+                                                    // A violation between members of the two sets reassigns both
+                                                    // participants to the smaller SSID (0). Merging is per-PC, not
+                                                    // transitive: 0x30 keeps ssid 1, exactly as in Chrysos–Emer.
         ss.violation(Pc::new(0x10), Pc::new(0x44));
         ss.rename_store(Pc::new(0x44), Ssn::new(9));
         assert_eq!(
@@ -224,6 +240,10 @@ mod tests {
         ss.rename_store(st, Ssn::new(5));
         ss.rename_store(st, Ssn::new(8)); // younger instance takes over
         ss.store_executed(st, Ssn::new(5)); // older instance executes
-        assert_eq!(ss.rename_load(ld), Ssn::new(8), "LFST still names the younger");
+        assert_eq!(
+            ss.rename_load(ld),
+            Ssn::new(8),
+            "LFST still names the younger"
+        );
     }
 }

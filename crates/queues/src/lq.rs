@@ -99,7 +99,10 @@ impl LoadQueue {
             return Err(FullError);
         }
         if let Some(tail) = self.entries.back() {
-            assert!(tail.seq.is_older_than(seq), "LQ allocation must be age-ordered");
+            assert!(
+                tail.seq.is_older_than(seq),
+                "LQ allocation must be age-ordered"
+            );
         }
         self.entries.push_back(LqEntry {
             seq,

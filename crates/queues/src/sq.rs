@@ -113,7 +113,11 @@ impl StoreQueue {
             return Err(FullError);
         }
         if let Some(tail) = self.entries.back() {
-            assert_eq!(tail.ssn.next(), ssn, "SQ allocation must be age-ordered and dense");
+            assert_eq!(
+                tail.ssn.next(),
+                ssn,
+                "SQ allocation must be age-ordered and dense"
+            );
         }
         self.entries.push_back(SqEntry {
             ssn,
@@ -314,14 +318,28 @@ mod tests {
             (3, 0x100, DataSize::Quad, 0xCCCC),
         ]);
         // Load older than store 3: must get store 2's value.
-        let r = sq.search(Ssn::new(2), Addr::new(0x100).span(DataSize::Quad), DataSize::Quad);
-        assert_eq!(r, SqSearch::Forward { ssn: Ssn::new(2), value: 0xBBBB });
+        let r = sq.search(
+            Ssn::new(2),
+            Addr::new(0x100).span(DataSize::Quad),
+            DataSize::Quad,
+        );
+        assert_eq!(
+            r,
+            SqSearch::Forward {
+                ssn: Ssn::new(2),
+                value: 0xBBBB
+            }
+        );
     }
 
     #[test]
     fn search_ignores_younger_stores() {
         let sq = sq_with(&[(5, 0x100, DataSize::Quad, 1)]);
-        let r = sq.search(Ssn::new(4), Addr::new(0x100).span(DataSize::Quad), DataSize::Quad);
+        let r = sq.search(
+            Ssn::new(4),
+            Addr::new(0x100).span(DataSize::Quad),
+            DataSize::Quad,
+        );
         assert_eq!(r, SqSearch::Miss, "store 5 is younger than the load");
     }
 
@@ -329,7 +347,11 @@ mod tests {
     fn search_ignores_unexecuted_stores() {
         let mut sq = StoreQueue::new(4);
         sq.allocate(Ssn::new(1), Pc::new(0)).unwrap(); // never executes
-        let r = sq.search(Ssn::new(1), Addr::new(0x100).span(DataSize::Quad), DataSize::Quad);
+        let r = sq.search(
+            Ssn::new(1),
+            Addr::new(0x100).span(DataSize::Quad),
+            DataSize::Quad,
+        );
         assert_eq!(r, SqSearch::Miss);
         assert!(sq.has_unexecuted_older(Ssn::new(1)));
         assert!(!sq.has_unexecuted_older(Ssn::NONE));
@@ -340,7 +362,11 @@ mod tests {
         // Store writes [0x100,0x104); load wants [0x102,0x10A) — overlap
         // without containment.
         let sq = sq_with(&[(1, 0x100, DataSize::Word, 0xAABBCCDD)]);
-        let r = sq.search(Ssn::new(1), Addr::new(0x102).span(DataSize::Quad), DataSize::Quad);
+        let r = sq.search(
+            Ssn::new(1),
+            Addr::new(0x102).span(DataSize::Quad),
+            DataSize::Quad,
+        );
         assert_eq!(r, SqSearch::Partial { ssn: Ssn::new(1) });
     }
 
@@ -349,29 +375,54 @@ mod tests {
         // Quad store of 0x1122334455667788 at 0x100; byte load at 0x102
         // must see 0x66 (little-endian byte 2).
         let sq = sq_with(&[(1, 0x100, DataSize::Quad, 0x1122_3344_5566_7788)]);
-        let r = sq.search(Ssn::new(1), Addr::new(0x102).span(DataSize::Byte), DataSize::Byte);
-        assert_eq!(r, SqSearch::Forward { ssn: Ssn::new(1), value: 0x66 });
+        let r = sq.search(
+            Ssn::new(1),
+            Addr::new(0x102).span(DataSize::Byte),
+            DataSize::Byte,
+        );
+        assert_eq!(
+            r,
+            SqSearch::Forward {
+                ssn: Ssn::new(1),
+                value: 0x66
+            }
+        );
     }
 
     #[test]
     fn indexed_read_hits_on_correct_prediction() {
         let sq = sq_with(&[(1, 0x100, DataSize::Quad, 42)]);
-        let v = sq.indexed_read(Ssn::new(1), Addr::new(0x100).span(DataSize::Quad), DataSize::Quad);
+        let v = sq.indexed_read(
+            Ssn::new(1),
+            Addr::new(0x100).span(DataSize::Quad),
+            DataSize::Quad,
+        );
         assert_eq!(v, Some(42));
     }
 
     #[test]
     fn indexed_read_address_mismatch_reads_cache() {
         let sq = sq_with(&[(1, 0x200, DataSize::Quad, 42)]);
-        let v = sq.indexed_read(Ssn::new(1), Addr::new(0x100).span(DataSize::Quad), DataSize::Quad);
+        let v = sq.indexed_read(
+            Ssn::new(1),
+            Addr::new(0x100).span(DataSize::Quad),
+            DataSize::Quad,
+        );
         assert_eq!(v, None, "address mismatch: load uses the cache value");
     }
 
     #[test]
     fn indexed_read_of_departed_store_misses() {
-        let mut sq = sq_with(&[(1, 0x100, DataSize::Quad, 42), (2, 0x100, DataSize::Quad, 43)]);
+        let mut sq = sq_with(&[
+            (1, 0x100, DataSize::Quad, 42),
+            (2, 0x100, DataSize::Quad, 43),
+        ]);
         sq.commit_head();
-        let v = sq.indexed_read(Ssn::new(1), Addr::new(0x100).span(DataSize::Quad), DataSize::Quad);
+        let v = sq.indexed_read(
+            Ssn::new(1),
+            Addr::new(0x100).span(DataSize::Quad),
+            DataSize::Quad,
+        );
         assert_eq!(v, None, "committed store no longer forwards from the SQ");
     }
 
@@ -379,10 +430,18 @@ mod tests {
     fn indexed_read_width_rule() {
         // Word store; quad load at same base — load width > store width.
         let sq = sq_with(&[(1, 0x100, DataSize::Word, 42)]);
-        let v = sq.indexed_read(Ssn::new(1), Addr::new(0x100).span(DataSize::Quad), DataSize::Quad);
+        let v = sq.indexed_read(
+            Ssn::new(1),
+            Addr::new(0x100).span(DataSize::Quad),
+            DataSize::Quad,
+        );
         assert_eq!(v, None);
         // Byte load within the word store forwards.
-        let v = sq.indexed_read(Ssn::new(1), Addr::new(0x101).span(DataSize::Byte), DataSize::Byte);
+        let v = sq.indexed_read(
+            Ssn::new(1),
+            Addr::new(0x101).span(DataSize::Byte),
+            DataSize::Byte,
+        );
         assert_eq!(v, Some(0));
     }
 

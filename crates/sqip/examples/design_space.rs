@@ -1,0 +1,88 @@
+//! Design-space walk: sweep store-queue size and predictor geometry on one
+//! workload and print how the paper's design point (64-entry SQ, 4K-entry
+//! 2-way FSP/DDP) sits in the space. Also prints the Table 2 hardware
+//! latencies for each SQ size, connecting the IPC study to the circuit
+//! study.
+//!
+//! Both sweeps are `Experiment`s: the SQ-size walk varies `sq_size` (and
+//! the DDP distance bound tied to it) across two designs, the capacity
+//! walk varies the FSP table size.
+//!
+//! ```text
+//! cargo run --release -p sqip --example design_space
+//! ```
+
+use sqip::{by_name, Experiment, SqDesign};
+use sqip_cacti::{SqGeometry, TechParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = by_name("gzip").expect("gzip is a Table 3 workload");
+    let tech = TechParams::default();
+
+    let sq_sizes = [16usize, 32, 64, 128];
+    let sizes_sweep = sq_sizes
+        .into_iter()
+        .fold(
+            Experiment::new()
+                .workload(spec.clone())
+                .designs([SqDesign::Associative3, SqDesign::Indexed3FwdDly]),
+            |e, sq| {
+                e.vary(format!("sq-{sq}"), move |cfg| {
+                    cfg.sq_size = sq;
+                    cfg.ddp.max_distance = sq as u64;
+                })
+            },
+        )
+        .run()?;
+
+    println!(
+        "{:>8} | {:>12} {:>12} | {:>9} {:>9}",
+        "SQ size", "assoc ns(cy)", "index ns(cy)", "IPC assoc", "IPC index"
+    );
+    for sq in sq_sizes {
+        let a = SqGeometry::associative(sq, 2);
+        let i = SqGeometry::indexed(sq, 2);
+        let variant = format!("sq-{sq}");
+        let ipc = |design| {
+            sizes_sweep
+                .find("gzip", design, &variant)
+                .expect("sweep cell ran")
+                .stats
+                .ipc()
+        };
+        println!(
+            "{:>8} | {:>7.2} ({:>2}) {:>7.2} ({:>2}) | {:>9.2} {:>9.2}",
+            sq,
+            tech.sq_latency_ns(a),
+            tech.sq_cycles(a),
+            tech.sq_latency_ns(i),
+            tech.sq_cycles(i),
+            ipc(SqDesign::Associative3),
+            ipc(SqDesign::Indexed3FwdDly),
+        );
+    }
+
+    println!("\nFSP capacity sweep (indexed-3-fwd+dly):");
+    let capacities = [512usize, 1024, 4096];
+    let capacity_sweep = capacities
+        .into_iter()
+        .fold(
+            Experiment::new()
+                .workload(spec)
+                .design(SqDesign::Indexed3FwdDly),
+            |e, entries| e.vary(format!("{entries}"), move |cfg| cfg.fsp.entries = entries),
+        )
+        .run()?;
+    for entries in capacities {
+        let stats = &capacity_sweep
+            .find("gzip", SqDesign::Indexed3FwdDly, &format!("{entries}"))
+            .expect("sweep cell ran")
+            .stats;
+        println!(
+            "  {entries:>5}-entry FSP: IPC {:.2}, misfwd/1k {:.2}",
+            stats.ipc(),
+            stats.mis_forwards_per_1000()
+        );
+    }
+    Ok(())
+}

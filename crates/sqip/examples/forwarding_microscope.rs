@@ -8,11 +8,14 @@
 //! raw indexed SQ flushes, and how the delay index predictor converts
 //! those flushes into bounded delays.
 //!
+//! The custom program enters the sweep as a [`Workload::from_trace`] cell,
+//! so hand-built traces and Table 3 models drive through the same API.
+//!
 //! ```text
-//! cargo run --release --example forwarding_microscope
+//! cargo run --release -p sqip --example forwarding_microscope
 //! ```
 
-use sqip_core::{Processor, SimConfig, SqDesign};
+use sqip::{Experiment, SqDesign, Workload};
 use sqip_isa::{trace_program, ProgramBuilder, Reg};
 use sqip_types::DataSize;
 
@@ -36,25 +39,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = trace_program(&b.build()?, 1_000_000)?;
 
     println!("X[i] = 3*X[i-2], {} dynamic instructions\n", trace.len());
+
+    let results = Experiment::new()
+        .workload(Workload::from_trace("nmr-recurrence", trace))
+        .designs([
+            SqDesign::IdealOracle,
+            SqDesign::Associative3,
+            SqDesign::Indexed3Fwd,
+            SqDesign::Indexed3FwdDly,
+        ])
+        .run()?;
+
     println!(
         "{:<22} {:>9} {:>7} {:>10} {:>9} {:>9}",
         "design", "cycles", "IPC", "misfwd/1k", "%delayed", "avg delay"
     );
-    for design in [
-        SqDesign::IdealOracle,
-        SqDesign::Associative3,
-        SqDesign::Indexed3Fwd,
-        SqDesign::Indexed3FwdDly,
-    ] {
-        let stats = Processor::new(SimConfig::with_design(design), &trace).run();
+    for record in &results {
+        let s = &record.stats;
         println!(
             "{:<22} {:>9} {:>7.2} {:>10.1} {:>9.1} {:>9.1}",
-            design.label(),
-            stats.cycles,
-            stats.ipc(),
-            stats.mis_forwards_per_1000(),
-            stats.pct_loads_delayed(),
-            stats.avg_delay_cycles()
+            record.design.label(),
+            s.cycles,
+            s.ipc(),
+            s.mis_forwards_per_1000(),
+            s.pct_loads_delayed(),
+            s.avg_delay_cycles()
         );
     }
     println!(

@@ -1,0 +1,53 @@
+//! Quickstart: declare a small experiment, run it in parallel, and read
+//! the results — then export them as JSON for downstream tooling.
+//!
+//! ```text
+//! cargo run --release -p sqip --example quickstart
+//! ```
+
+use sqip::{by_name, Experiment, SqDesign};
+
+fn main() -> Result<(), sqip::SqipError> {
+    // A sweep is workloads × designs (× optional config variants). This
+    // one compares the paper's speculative indexed store queue against
+    // the idealised associative baseline on two workload models.
+    let results = Experiment::new()
+        .workloads(["gzip", "mesa.t"].map(|n| by_name(n).expect("a Table 3 row")))
+        .designs([SqDesign::IdealOracle, SqDesign::Indexed3FwdDly])
+        .run()?;
+
+    for record in &results {
+        let s = &record.stats;
+        println!(
+            "{:<28} cycles {:>9}  IPC {:>5.2}  fwd {:>6}/{:<6} misfwd/1k {:>5.2}",
+            record.label(),
+            s.cycles,
+            s.ipc(),
+            s.loads_forwarded,
+            s.loads,
+            s.mis_forwards_per_1000(),
+        );
+    }
+
+    // Relative execution time, the paper's headline metric.
+    for name in results.workload_names() {
+        let rel = results
+            .relative_runtime(
+                name,
+                sqip::BASE_VARIANT,
+                SqDesign::Indexed3FwdDly,
+                SqDesign::IdealOracle,
+            )
+            .expect("both designs ran");
+        println!("{name}: indexed-3-fwd+dly runs at {rel:.3}x the oracle runtime");
+    }
+
+    // Results are plain data: serialize them, ship them, reload them.
+    let json = results.to_json_pretty();
+    println!(
+        "\nJSON export ({} bytes), first lines:\n{}",
+        json.len(),
+        json.lines().take(12).collect::<Vec<_>>().join("\n")
+    );
+    Ok(())
+}

@@ -2,11 +2,10 @@
 //! character of any of the 47 Table 3 workload models.
 //!
 //! ```text
-//! cargo run --release --example workload_explorer [-- vortex mesa.t ...]
+//! cargo run --release -p sqip --example workload_explorer [-- vortex mesa.t ...]
 //! ```
 
-use sqip_core::OracleInfo;
-use sqip_workloads::{all_workloads, by_name};
+use sqip::{all_workloads, by_name, OracleInfo};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();

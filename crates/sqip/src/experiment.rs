@@ -1,0 +1,445 @@
+//! The composable experiment builder: cartesian sweeps of workloads ×
+//! designs × config variants, executed in parallel with deterministic
+//! results.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sqip_core::{Processor, SimConfig, SimObserver, SimStats, SqDesign};
+use sqip_isa::Trace;
+use sqip_workloads::{Suite, WorkloadSpec};
+
+use crate::error::SqipError;
+use crate::parallel::{default_threads, parallel_map};
+use crate::results::{ResultSet, RunRecord};
+
+/// A config mutation shared across sweep cells.
+pub type ConfigFn = Arc<dyn Fn(&mut SimConfig) + Send + Sync>;
+
+/// A factory producing one observer per sweep cell (called on the worker
+/// thread that executes the cell).
+pub type ObserverFn = Arc<dyn Fn(&Run) -> Box<dyn SimObserver> + Send + Sync>;
+
+/// The variant label used when an experiment declares no
+/// [`Experiment::vary`] axis.
+pub const BASE_VARIANT: &str = "base";
+
+/// One point on the experiment's workload axis: a synthetic benchmark
+/// model, or a pre-built custom trace.
+#[derive(Clone)]
+pub enum Workload {
+    /// A synthetic Table 3 benchmark model (traced on demand, once per
+    /// experiment, however many cells share it).
+    Spec(WorkloadSpec),
+    /// A pre-built golden trace under a display name.
+    Trace {
+        /// Display name used in records and labels.
+        name: String,
+        /// The shared trace.
+        trace: Arc<Trace>,
+    },
+}
+
+impl Workload {
+    /// Wraps a pre-built trace as a workload.
+    #[must_use]
+    pub fn from_trace(name: impl Into<String>, trace: Trace) -> Workload {
+        Workload::Trace {
+            name: name.into(),
+            trace: Arc::new(trace),
+        }
+    }
+
+    /// The workload's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            Workload::Spec(spec) => spec.name,
+            Workload::Trace { name, .. } => name,
+        }
+    }
+
+    /// The suite grouping, when the workload models a Table 3 row.
+    #[must_use]
+    pub fn suite(&self) -> Option<Suite> {
+        match self {
+            Workload::Spec(spec) => Some(spec.suite),
+            Workload::Trace { .. } => None,
+        }
+    }
+
+    /// Builds (or shares) the golden trace.
+    fn trace(&self) -> Result<Arc<Trace>, SqipError> {
+        match self {
+            Workload::Spec(spec) => {
+                spec.trace()
+                    .map(Arc::new)
+                    .map_err(|source| SqipError::Workload {
+                        name: spec.name.to_string(),
+                        source,
+                    })
+            }
+            Workload::Trace { trace, .. } => Ok(Arc::clone(trace)),
+        }
+    }
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Workload::Spec(spec) => f.debug_tuple("Spec").field(&spec.name).finish(),
+            Workload::Trace { name, trace } => f
+                .debug_struct("Trace")
+                .field("name", name)
+                .field("len", &trace.len())
+                .finish(),
+        }
+    }
+}
+
+impl From<WorkloadSpec> for Workload {
+    fn from(spec: WorkloadSpec) -> Workload {
+        Workload::Spec(spec)
+    }
+}
+
+impl From<&WorkloadSpec> for Workload {
+    fn from(spec: &WorkloadSpec) -> Workload {
+        Workload::Spec(spec.clone())
+    }
+}
+
+/// A named configuration variant (one point on the `vary` axis).
+#[derive(Clone)]
+struct Variant {
+    name: String,
+    mutate: Option<ConfigFn>,
+}
+
+/// One fully-resolved sweep cell: a workload under a concrete
+/// configuration.
+#[derive(Clone)]
+pub struct Run {
+    /// The workload to simulate.
+    pub workload: Workload,
+    /// The store-queue design under test.
+    pub design: SqDesign,
+    /// The variant label.
+    pub variant: String,
+    /// The concrete, validated configuration.
+    pub config: SimConfig,
+}
+
+impl Run {
+    /// The `workload/design/variant` cell label used in errors and logs.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{}/{}/{}", self.workload.name(), self.design, self.variant)
+    }
+
+    /// Executes this cell against an already-built trace.
+    fn execute(&self, trace: &Trace, observer: Option<&ObserverFn>) -> Result<SimStats, SqipError> {
+        let sim = |source| SqipError::Sim {
+            cell: self.label(),
+            source,
+        };
+        let processor = Processor::try_new(self.config.clone(), trace).map_err(sim)?;
+        match observer {
+            None => processor.try_run().map_err(sim),
+            Some(factory) => {
+                let mut obs = factory(self);
+                processor.run_observed(obs.as_mut()).map_err(sim)
+            }
+        }
+    }
+
+    /// Builds the trace and executes this cell standalone (outside an
+    /// [`Experiment`] sweep).
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload-tracing and simulation errors.
+    pub fn execute_standalone(&self) -> Result<SimStats, SqipError> {
+        let trace = self.workload.trace()?;
+        self.execute(&trace, None)
+    }
+}
+
+impl std::fmt::Debug for Run {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Run")
+            .field("cell", &self.label())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A declarative simulation sweep.
+///
+/// An experiment is the cartesian product of three axes:
+///
+/// * **workloads** — Table 3 benchmark models or custom traces,
+/// * **designs** — the [`SqDesign`]s under test,
+/// * **variants** — named configuration mutations ([`Experiment::vary`]);
+///   with no variants declared there is a single implicit
+///   [`BASE_VARIANT`].
+///
+/// [`Experiment::run`] traces each workload once, executes every cell (in
+/// parallel across worker threads), and collects a [`ResultSet`] whose
+/// record order — and contents, since the simulator is deterministic — is
+/// independent of thread count.
+///
+/// # Example
+///
+/// ```
+/// use sqip::{Experiment, SqDesign};
+///
+/// let results = Experiment::new()
+///     .workload(sqip::by_name("gzip").unwrap().with_iterations(200))
+///     .designs([SqDesign::IdealOracle, SqDesign::Indexed3FwdDly])
+///     .run()?;
+/// assert_eq!(results.len(), 2);
+/// let rel = results
+///     .relative_runtime("gzip", "base", SqDesign::Indexed3FwdDly, SqDesign::IdealOracle)
+///     .unwrap();
+/// assert!(rel >= 0.95);
+/// # Ok::<(), sqip::SqipError>(())
+/// ```
+#[derive(Clone, Default)]
+pub struct Experiment {
+    workloads: Vec<Workload>,
+    designs: Vec<SqDesign>,
+    variants: Vec<Variant>,
+    base: Vec<ConfigFn>,
+    threads: Option<usize>,
+    observer: Option<ObserverFn>,
+}
+
+impl Experiment {
+    /// An empty experiment.
+    #[must_use]
+    pub fn new() -> Experiment {
+        Experiment::default()
+    }
+
+    /// Adds one workload.
+    #[must_use]
+    pub fn workload(mut self, workload: impl Into<Workload>) -> Experiment {
+        self.workloads.push(workload.into());
+        self
+    }
+
+    /// Adds many workloads.
+    #[must_use]
+    pub fn workloads<I>(mut self, workloads: I) -> Experiment
+    where
+        I: IntoIterator,
+        I::Item: Into<Workload>,
+    {
+        self.workloads.extend(workloads.into_iter().map(Into::into));
+        self
+    }
+
+    /// Adds one design.
+    #[must_use]
+    pub fn design(mut self, design: SqDesign) -> Experiment {
+        self.designs.push(design);
+        self
+    }
+
+    /// Adds many designs.
+    #[must_use]
+    pub fn designs(mut self, designs: impl IntoIterator<Item = SqDesign>) -> Experiment {
+        self.designs.extend(designs);
+        self
+    }
+
+    /// Applies a configuration mutation to *every* cell (machine-wide
+    /// knobs shared by the whole sweep). Applied before variant mutations,
+    /// in call order.
+    #[must_use]
+    pub fn configure(mut self, f: impl Fn(&mut SimConfig) + Send + Sync + 'static) -> Experiment {
+        self.base.push(Arc::new(f));
+        self
+    }
+
+    /// Adds a named configuration variant: one value on the sweep's
+    /// variant axis (e.g. an FSP capacity in a Figure 5 sweep). Each call
+    /// adds one variant; cells are produced for every (workload, design,
+    /// variant) combination.
+    #[must_use]
+    pub fn vary(
+        mut self,
+        name: impl Into<String>,
+        f: impl Fn(&mut SimConfig) + Send + Sync + 'static,
+    ) -> Experiment {
+        self.variants.push(Variant {
+            name: name.into(),
+            mutate: Some(Arc::new(f)),
+        });
+        self
+    }
+
+    /// Caps the worker-thread count (default: one per available core).
+    /// `1` forces a serial run; results are identical either way.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Experiment {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Installs an observer factory: each cell gets one observer built by
+    /// `factory` (on the executing worker thread), receiving progress
+    /// callbacks and the ability to abort its run early.
+    #[must_use]
+    pub fn observe(
+        mut self,
+        factory: impl Fn(&Run) -> Box<dyn SimObserver> + Send + Sync + 'static,
+    ) -> Experiment {
+        self.observer = Some(Arc::new(factory));
+        self
+    }
+
+    /// Resolves the cartesian product into concrete, validated sweep
+    /// cells, in deterministic order (workloads × designs × variants).
+    ///
+    /// # Errors
+    ///
+    /// [`SqipError::Config`] if the experiment has no workloads or no
+    /// designs; [`SqipError::Sim`] if a cell's configuration fails
+    /// validation.
+    pub fn cells(&self) -> Result<Vec<Run>, SqipError> {
+        if self.workloads.is_empty() {
+            return Err(SqipError::Config("experiment has no workloads".into()));
+        }
+        if self.designs.is_empty() {
+            return Err(SqipError::Config("experiment has no designs".into()));
+        }
+        // Traces are shared per workload *name* during execution, so two
+        // distinct workloads under one name would silently simulate the
+        // same trace; reject the ambiguity up front.
+        for (i, w) in self.workloads.iter().enumerate() {
+            if self.workloads[..i].iter().any(|p| p.name() == w.name()) {
+                return Err(SqipError::Config(format!(
+                    "duplicate workload name `{}`",
+                    w.name()
+                )));
+            }
+        }
+        let base_variant = [Variant {
+            name: BASE_VARIANT.to_string(),
+            mutate: None,
+        }];
+        let variants: &[Variant] = if self.variants.is_empty() {
+            &base_variant
+        } else {
+            &self.variants
+        };
+        let mut cells =
+            Vec::with_capacity(self.workloads.len() * self.designs.len() * variants.len());
+        for workload in &self.workloads {
+            for &design in &self.designs {
+                for variant in variants {
+                    let mut config = SimConfig::with_design(design);
+                    for f in &self.base {
+                        f(&mut config);
+                    }
+                    if let Some(mutate) = &variant.mutate {
+                        mutate(&mut config);
+                    }
+                    let run = Run {
+                        workload: workload.clone(),
+                        design,
+                        variant: variant.name.clone(),
+                        config,
+                    };
+                    run.config.try_validate().map_err(|source| SqipError::Sim {
+                        cell: run.label(),
+                        source,
+                    })?;
+                    cells.push(run);
+                }
+            }
+        }
+        Ok(cells)
+    }
+
+    /// Executes the sweep across the configured number of worker threads
+    /// and collects the results in cell order.
+    ///
+    /// Each distinct workload is traced exactly once (in parallel), then
+    /// every cell simulates against the shared trace. Because the
+    /// simulator is deterministic and results are collected by cell index,
+    /// the returned [`ResultSet`] is bit-identical for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// The first workload or cell failure, in cell order.
+    pub fn run(&self) -> Result<ResultSet, SqipError> {
+        self.run_on(self.threads.unwrap_or_else(default_threads))
+    }
+
+    /// Executes the sweep serially on the calling thread. Exists so tests
+    /// and debugging sessions can pin the execution mode explicitly;
+    /// results are identical to [`Experiment::run`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Experiment::run`].
+    pub fn run_serial(&self) -> Result<ResultSet, SqipError> {
+        self.run_on(1)
+    }
+
+    fn run_on(&self, threads: usize) -> Result<ResultSet, SqipError> {
+        let cells = self.cells()?;
+
+        // Trace each distinct workload once, in parallel.
+        let mut unique: Vec<&Workload> = Vec::new();
+        for cell in &cells {
+            if !unique.iter().any(|w| w.name() == cell.workload.name()) {
+                unique.push(&cell.workload);
+            }
+        }
+        let traces: HashMap<String, Arc<Trace>> = parallel_map(&unique, threads, |_, w| {
+            w.trace().map(|t| (w.name().to_string(), t))
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+
+        // Execute every cell against the shared traces.
+        let observer = self.observer.as_ref();
+        let outcomes = parallel_map(&cells, threads, |_, cell| {
+            let trace = &traces[cell.workload.name()];
+            cell.execute(trace, observer)
+        });
+
+        let mut records = Vec::with_capacity(cells.len());
+        for (cell, outcome) in cells.iter().zip(outcomes) {
+            records.push(RunRecord {
+                workload: cell.workload.name().to_string(),
+                suite: cell.workload.suite(),
+                design: cell.design,
+                variant: cell.variant.clone(),
+                stats: outcome?,
+            });
+        }
+        Ok(ResultSet::new(records))
+    }
+}
+
+impl std::fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Experiment")
+            .field("workloads", &self.workloads.len())
+            .field("designs", &self.designs)
+            .field(
+                "variants",
+                &self
+                    .variants
+                    .iter()
+                    .map(|v| v.name.as_str())
+                    .collect::<Vec<_>>(),
+            )
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}

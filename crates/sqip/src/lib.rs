@@ -1,0 +1,126 @@
+//! `sqip` — the experiment-driver facade for the store-queue index
+//! prediction reproduction (Sha, Martin & Roth, MICRO-38 2005).
+//!
+//! Everything the paper's evaluation does — Figure 4's design comparison,
+//! Table 3's prediction diagnostics, Figure 5's sensitivity sweeps, the
+//! ablations — is a *sweep*: some workloads × some store-queue designs ×
+//! some configuration variants, each cell an independent deterministic
+//! simulation. This crate expresses that directly:
+//!
+//! * [`Experiment`] — a builder for cartesian sweeps, executed in
+//!   parallel with results that are bit-identical to a serial run;
+//! * [`ResultSet`] / [`RunRecord`] — structured results with grouping,
+//!   [`geomean`] aggregation, relative-runtime helpers, and JSON / CSV
+//!   serialization (round-trippable via [`ResultSet::from_json`]);
+//! * [`SqipError`] — the unified error type for the whole pipeline
+//!   (workload tracing, configuration, simulation, import/export);
+//! * re-exports of the simulator core (including the resumable
+//!   [`Processor::step`] API and [`SimObserver`] hooks) and the workload
+//!   roster, so most drivers need only this crate.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sqip::{Experiment, SqDesign};
+//!
+//! // Figure 4 in miniature: two designs over two shrunk workloads,
+//! // relative to the ideal-oracle baseline.
+//! let results = Experiment::new()
+//!     .workloads(["gzip", "mesa.t"].map(|n| sqip::by_name(n).unwrap().with_iterations(150)))
+//!     .designs([SqDesign::IdealOracle, SqDesign::Associative3, SqDesign::Indexed3FwdDly])
+//!     .run()?;
+//!
+//! for name in results.workload_names() {
+//!     let rel = results
+//!         .relative_runtime(name, "base", SqDesign::Indexed3FwdDly, SqDesign::IdealOracle)
+//!         .unwrap();
+//!     assert!(rel > 0.9, "{name}: {rel}");
+//! }
+//!
+//! // Results serialize for downstream tooling and round-trip losslessly.
+//! let json = results.to_json();
+//! assert_eq!(sqip::ResultSet::from_json(&json)?, results);
+//! # Ok::<(), sqip::SqipError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod experiment;
+mod parallel;
+mod results;
+
+pub use error::SqipError;
+pub use experiment::{ConfigFn, Experiment, ObserverFn, Run, Workload, BASE_VARIANT};
+pub use results::{geomean, ResultSet, RunRecord};
+
+// The simulator core: configs, stats, the resumable processor and its
+// observation hooks.
+pub use sqip_core::{
+    ObserverAction, OracleFwd, OracleInfo, OrderingMode, Processor, SimConfig, SimError,
+    SimObserver, SimStats, SqDesign, StepOutcome,
+};
+// The workload roster.
+pub use sqip_workloads::{
+    all_workloads, by_name, mediabench, specfp, specint, Suite, WorkloadSpec, FIGURE5_WORKLOADS,
+};
+
+/// Runs one workload under one SQ design with the paper's configuration.
+///
+/// # Errors
+///
+/// Propagates workload-tracing and simulation errors.
+pub fn simulate(spec: &WorkloadSpec, design: SqDesign) -> Result<SimStats, SqipError> {
+    simulate_with(spec, SimConfig::with_design(design))
+}
+
+/// Runs one workload under an arbitrary configuration.
+///
+/// # Errors
+///
+/// Propagates workload-tracing and simulation errors.
+pub fn simulate_with(spec: &WorkloadSpec, config: SimConfig) -> Result<SimStats, SqipError> {
+    let trace = spec.trace().map_err(|source| SqipError::Workload {
+        name: spec.name.to_string(),
+        source,
+    })?;
+    let label = format!("{}/{}", spec.name, config.design);
+    Processor::try_new(config, &trace)
+        .and_then(Processor::try_run)
+        .map_err(|source| SqipError::Sim {
+            cell: label,
+            source,
+        })
+}
+
+/// Shrinks a workload for quick runs (same mix, fewer iterations).
+///
+/// Equivalent to [`WorkloadSpec::with_iterations`]; kept as a free
+/// function for harness ergonomics.
+#[must_use]
+pub fn shrink(spec: WorkloadSpec, iterations: u32) -> WorkloadSpec {
+    spec.with_iterations(iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulate_runs_a_shrunk_workload() {
+        let spec = shrink(by_name("gzip").unwrap(), 50);
+        let stats = simulate(&spec, SqDesign::Indexed3FwdDly).unwrap();
+        assert!(stats.committed > 0);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn simulate_with_reports_config_errors_per_cell() {
+        let spec = shrink(by_name("gzip").unwrap(), 50);
+        let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+        cfg.ordering = OrderingMode::LqCam; // invalid for indexed designs
+        let err = simulate_with(&spec, cfg).unwrap_err();
+        assert!(matches!(err, SqipError::Sim { .. }), "{err}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Miniature end-to-end versions of every experiment the harness
+//! regenerates, asserting the paper's qualitative claims hold — each
+//! driven through the `Experiment` API.
+
+use sqip::{by_name, shrink, simulate, simulate_with, Experiment, SimConfig, SqDesign};
+use sqip_cacti::{sq_energy_pj, table2_sq_rows, SqGeometry, TechParams};
+use sqip_predictors::TrainRatio;
+
+/// Table 2: indexed SQ latency beats associative at every size/porting,
+/// and the paper's headline 64-entry/2-port comparison holds.
+#[test]
+fn table2_claims() {
+    let tech = TechParams::default();
+    for row in table2_sq_rows(&tech) {
+        assert!(row.index_2p.0 < row.assoc_2p.0);
+    }
+    assert!(tech.sq_cycles(SqGeometry::associative(64, 2)) >= 4);
+    assert_eq!(tech.sq_cycles(SqGeometry::indexed(64, 2)), 2);
+    let saving = 1.0
+        - sq_energy_pj(SqGeometry::indexed(64, 2)) / sq_energy_pj(SqGeometry::associative(64, 2));
+    assert!(
+        (saving - 0.30).abs() < 0.05,
+        "~30% energy saving, got {saving:.2}"
+    );
+}
+
+/// Table 3: delay prediction cuts mis-forwarding by a large factor at a
+/// small delayed-load cost (shrunk three-benchmark sample), as one
+/// workloads × designs sweep.
+#[test]
+fn table3_claims() {
+    let results = Experiment::new()
+        .workloads(["mesa.t", "eon.k", "twolf"].map(|n| shrink(by_name(n).unwrap(), 800)))
+        .designs([SqDesign::Indexed3Fwd, SqDesign::Indexed3FwdDly])
+        .run()
+        .expect("sweep runs");
+
+    let avg = |design: SqDesign, f: &dyn Fn(&sqip::SimStats) -> f64| -> f64 {
+        let rows: Vec<f64> = results
+            .iter()
+            .filter(|r| r.design == design)
+            .map(|r| f(&r.stats))
+            .collect();
+        assert_eq!(rows.len(), 3);
+        rows.iter().sum::<f64>() / 3.0
+    };
+    let fwd_avg = avg(SqDesign::Indexed3Fwd, &|s| s.mis_forwards_per_1000());
+    let dly_avg = avg(SqDesign::Indexed3FwdDly, &|s| s.mis_forwards_per_1000());
+    assert!(
+        fwd_avg > 3.0,
+        "pathological sample must mis-forward, got {fwd_avg:.1}"
+    );
+    assert!(
+        dly_avg < fwd_avg / 2.0,
+        "delay must cut mis-forwarding substantially: {dly_avg:.2} vs {fwd_avg:.2}"
+    );
+    assert!(
+        results
+            .iter()
+            .filter(|r| r.design == SqDesign::Indexed3FwdDly)
+            .all(|r| r.stats.pct_loads_delayed() < 35.0),
+        "delays stay bounded"
+    );
+}
+
+/// Figure 4: the design ordering on a mixed sample — ideal fastest,
+/// indexed-with-delay competitive with the associative designs, raw
+/// indexed worst.
+#[test]
+fn figure4_claims() {
+    let results = Experiment::new()
+        .workloads(["gzip", "vortex", "gsm.e"].map(|n| shrink(by_name(n).unwrap(), 1500)))
+        .designs([
+            SqDesign::IdealOracle,
+            SqDesign::Associative3,
+            SqDesign::Indexed3Fwd,
+            SqDesign::Indexed3FwdDly,
+        ])
+        .run()
+        .expect("sweep runs");
+
+    let gmean_rel = |design: SqDesign| -> f64 {
+        sqip::geomean(results.workload_names().iter().map(|name| {
+            results
+                .relative_runtime(name, sqip::BASE_VARIANT, design, SqDesign::IdealOracle)
+                .expect("both designs ran")
+        }))
+    };
+    let assoc3 = gmean_rel(SqDesign::Associative3);
+    let idx_fwd = gmean_rel(SqDesign::Indexed3Fwd);
+    let idx_dly = gmean_rel(SqDesign::Indexed3FwdDly);
+    assert!(assoc3 >= 0.99, "oracle is the floor, got {assoc3:.3}");
+    assert!(
+        idx_fwd > idx_dly,
+        "delay prediction must improve raw indexed forwarding ({idx_fwd:.3} vs {idx_dly:.3})"
+    );
+    assert!(
+        idx_dly < assoc3 + 0.06,
+        "indexed+delay competitive with associative: {idx_dly:.3} vs {assoc3:.3}"
+    );
+}
+
+/// Figure 5: a 512-entry FSP/DDP must not beat the default 4K tables on a
+/// large-footprint workload, and the 0:1 DDP ratio degenerates to the raw
+/// forwarding configuration.
+#[test]
+fn figure5_claims() {
+    let spec = shrink(by_name("vortex").unwrap(), 1500);
+
+    let capacity = [512usize, 4096]
+        .into_iter()
+        .fold(
+            Experiment::new()
+                .workload(spec.clone())
+                .design(SqDesign::Indexed3FwdDly),
+            |e, entries| {
+                e.vary(format!("{entries}"), move |cfg| {
+                    cfg.fsp.entries = entries;
+                    cfg.ddp.entries = entries;
+                })
+            },
+        )
+        .run()
+        .expect("capacity sweep runs");
+    let cycles = |variant: &str| {
+        capacity
+            .find("vortex", SqDesign::Indexed3FwdDly, variant)
+            .expect("cell ran")
+            .stats
+            .cycles
+    };
+    assert!(cycles("512") as f64 >= cycles("4096") as f64 * 0.98);
+
+    let mut zero_one = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+    zero_one.ddp.ratio = TrainRatio::new(0, 1);
+    zero_one.ddp.threshold = 1;
+    let degenerate = simulate_with(&spec, zero_one).expect("0:1 config simulates");
+    let raw = simulate(&spec, SqDesign::Indexed3Fwd).expect("raw design simulates");
+    assert_eq!(
+        degenerate.loads_delayed, 0,
+        "0:1 never learns delay, matching the raw Fwd configuration"
+    );
+    assert_eq!(degenerate.mis_forwards, raw.mis_forwards);
+}

@@ -29,7 +29,11 @@ fn figure3_train_then_forward() {
     let trace = trace_program(&b.build().unwrap(), 100_000).unwrap();
 
     let stats = run(SqDesign::Indexed3FwdDly, &trace);
-    assert!(stats.mis_forwards <= 2, "training flushes only, got {}", stats.mis_forwards);
+    assert!(
+        stats.mis_forwards <= 2,
+        "training flushes only, got {}",
+        stats.mis_forwards
+    );
     assert!(
         stats.loads_forwarded >= 250,
         "steady state forwards via the predicted index, got {}",

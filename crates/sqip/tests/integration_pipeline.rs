@@ -8,7 +8,13 @@ use sqip_types::DataSize;
 /// A mixed program exercising ALU, FP, branches, calls and memory.
 fn mixed_program(iters: i64) -> sqip_isa::Trace {
     let mut b = ProgramBuilder::new();
-    let (ctr, a, f, link, t) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(30), Reg::new(4));
+    let (ctr, a, f, link, t) = (
+        Reg::new(1),
+        Reg::new(2),
+        Reg::new(3),
+        Reg::new(30),
+        Reg::new(4),
+    );
     b.load_imm(ctr, iters);
     b.load_imm(a, 1);
     b.load_imm(f, 99);
@@ -52,8 +58,14 @@ fn oracle_is_never_slower_than_speculative_designs() {
     let baseline = Processor::new(SimConfig::with_design(SqDesign::IdealOracle), &trace)
         .run()
         .cycles;
-    for design in [SqDesign::Indexed3Fwd, SqDesign::Indexed3FwdDly, SqDesign::Associative3] {
-        let cycles = Processor::new(SimConfig::with_design(design), &trace).run().cycles;
+    for design in [
+        SqDesign::Indexed3Fwd,
+        SqDesign::Indexed3FwdDly,
+        SqDesign::Associative3,
+    ] {
+        let cycles = Processor::new(SimConfig::with_design(design), &trace)
+            .run()
+            .cycles;
         // Small slack: predictor warmup noise on a short trace.
         assert!(
             cycles as f64 >= baseline as f64 * 0.98,

@@ -68,6 +68,7 @@ impl DataSize {
     }
 }
 
+#[allow(clippy::derivable_impls)] // Quad is a semantic default, kept explicit
 impl Default for DataSize {
     fn default() -> Self {
         DataSize::Quad

@@ -80,7 +80,10 @@ pub(crate) fn build_program(spec: &WorkloadSpec) -> Result<Program, IsaError> {
         b.load_imm(r(R_SHIFT17), 17);
     }
     let replicate = spec.replicate.max(1);
-    assert!(replicate.is_power_of_two(), "replicate must be a power of two");
+    assert!(
+        replicate.is_power_of_two(),
+        "replicate must be a power of two"
+    );
     if replicate > 1 {
         b.load_imm(r(R_REP_MASK), i64::from(replicate) - 1);
     }
@@ -170,7 +173,10 @@ pub(crate) fn build_program(spec: &WorkloadSpec) -> Result<Program, IsaError> {
     }
 
     // Not-most-recent recurrences: X[i] = 3·X[i−lag] over a hot ring.
-    assert!(spec.nmr_lag >= 2, "lag 1 would be most-recent (SAT-predictable)");
+    assert!(
+        spec.nmr_lag >= 2,
+        "lag 1 would be most-recent (SAT-predictable)"
+    );
     for k in 0..spec.nmr_sites {
         let ro = r(R_NMR0 + k as u8);
         let base = NMR_BASE + NMR_SPACING * i64::from(k);
@@ -218,91 +224,94 @@ pub(crate) fn build_program(spec: &WorkloadSpec) -> Result<Program, IsaError> {
         b.fmul(r(R_FP), r(R_FP), r(R_FP_CONST));
     }
 
-
     // ---- phase dispatch: one stateless body copy per iteration ----
     if replicate > 1 {
         b.and(r(R_T2), r(R_ITER), r(R_REP_MASK));
     }
     for copy in 0..replicate {
-    // Distinct fixed slots per copy, in a region far above the ring/chase
-    // address ranges so replicas never collide with stateful kernels.
-    let cbase = if copy == 0 { 0 } else { 0x0800_0000 + 0x20000 * i64::from(copy) };
-    if replicate > 1 {
-        if copy > 0 {
-            b.add_imm(r(R_T2), r(R_T2), -1);
+        // Distinct fixed slots per copy, in a region far above the ring/chase
+        // address ranges so replicas never collide with stateful kernels.
+        let cbase = if copy == 0 {
+            0
+        } else {
+            0x0800_0000 + 0x20000 * i64::from(copy)
+        };
+        if replicate > 1 {
+            if copy > 0 {
+                b.add_imm(r(R_T2), r(R_T2), -1);
+            }
+            if copy + 1 < replicate {
+                b.branch_nz_to(r(R_T2), &format!("phase_{}", copy + 1));
+            }
         }
-        if copy + 1 < replicate {
-            b.branch_nz_to(r(R_T2), &format!("phase_{}", copy + 1));
+        // Forwarding pairs: store then load the same quad slot.
+        for i in 0..spec.fwd_sites {
+            let slot = cbase + FWD_BASE + 32 * i64::from(i) + 8 * (rng.gen_range(0..2) as i64);
+            b.store(DataSize::Quad, r(R_ITER), Reg::ZERO, slot);
+            b.load(DataSize::Quad, r(R_T0), Reg::ZERO, slot);
+            b.xor(r(R_ACC), r(R_ACC), r(R_T0));
         }
-    }
-    // Forwarding pairs: store then load the same quad slot.
-    for i in 0..spec.fwd_sites {
-        let slot = cbase + FWD_BASE + 32 * i64::from(i) + 8 * (rng.gen_range(0..2) as i64);
-        b.store(DataSize::Quad, r(R_ITER), Reg::ZERO, slot);
-        b.load(DataSize::Quad, r(R_T0), Reg::ZERO, slot);
-        b.xor(r(R_ACC), r(R_ACC), r(R_T0));
-    }
 
-    // Narrow pairs: word store, byte load inside it (forwards).
-    for i in 0..spec.narrow_sites {
-        let slot = cbase + FWD_BASE + 0x8000 + 32 * i64::from(i);
-        let byte_off = rng.gen_range(0..4) as i64;
-        b.store(DataSize::Word, r(R_ITER), Reg::ZERO, slot);
-        b.load(DataSize::Byte, r(R_T0), Reg::ZERO, slot + byte_off);
-        b.xor(r(R_ACC), r(R_ACC), r(R_T0));
-    }
-
-    // Partial pairs: word store, quad load over it (unforwardable from a
-    // single SQ entry).
-    for i in 0..spec.partial_sites {
-        let slot = cbase + FWD_BASE + 0xC000 + 32 * i64::from(i);
-        b.store(DataSize::Word, r(R_ITER), Reg::ZERO, slot);
-        b.load(DataSize::Quad, r(R_T0), Reg::ZERO, slot);
-        b.xor(r(R_ACC), r(R_ACC), r(R_T0));
-    }
-
-    // Plain streamed loads (no forwarding). Word-width, matching the
-    // dominant access size in the paper's workloads (the SSBF probe count
-    // per load matters for its false-positive behaviour).
-    for i in 0..spec.plain_loads {
-        let disp = PLAIN_LD_BASE + 8 * i64::from(i);
-        b.load(DataSize::Word, r(R_T0), r(R_PLD), disp);
-        b.xor(r(R_ACC), r(R_ACC), r(R_T0));
-    }
-    if spec.plain_loads > 0 {
-        b.add_imm(r(R_PLD), r(R_PLD), 8 * i64::from(spec.plain_loads));
-        b.and(r(R_PLD), r(R_PLD), r(R_PLAIN_MASK));
-    }
-
-    // Plain stores: fixed hot slots (never loaded back), modelling the
-    // stack-spill traffic that dominates real store streams. Streaming
-    // these over a large region would give the 2K-entry SSBF a much larger
-    // recent-store footprint than real traces exhibit.
-    for i in 0..spec.plain_stores {
-        let disp = PLAIN_ST_BASE + 8 * i64::from(i);
-        b.store(DataSize::Quad, r(R_ACC), Reg::ZERO, disp);
-    }
-
-    // Easy periodic branches (period-4 pattern, learnable).
-    for j in 0..spec.pattern_branches {
-        let skip = format!("pb{copy}_{j}");
-        b.and(r(R_T0), r(R_ITER), r(R_PAT_MASK));
-        b.branch_nz_to(r(R_T0), &skip);
-        b.add_imm(r(R_ACC), r(R_ACC), 3);
-        b.place(&skip);
-    }
-
-    // Independent integer filler (ILP).
-    for i in 0..spec.int_filler {
-        let t = [R_T1, R_T2][i as usize % 2];
-        b.add_imm(r(t), r(R_ITER), i64::from(i) + 1);
-    }
-    if replicate > 1 {
-        if copy + 1 < replicate {
-            b.jump_to("loop_tail");
+        // Narrow pairs: word store, byte load inside it (forwards).
+        for i in 0..spec.narrow_sites {
+            let slot = cbase + FWD_BASE + 0x8000 + 32 * i64::from(i);
+            let byte_off = rng.gen_range(0..4) as i64;
+            b.store(DataSize::Word, r(R_ITER), Reg::ZERO, slot);
+            b.load(DataSize::Byte, r(R_T0), Reg::ZERO, slot + byte_off);
+            b.xor(r(R_ACC), r(R_ACC), r(R_T0));
         }
-        b.place(&format!("phase_{}", copy + 1));
-    }
+
+        // Partial pairs: word store, quad load over it (unforwardable from a
+        // single SQ entry).
+        for i in 0..spec.partial_sites {
+            let slot = cbase + FWD_BASE + 0xC000 + 32 * i64::from(i);
+            b.store(DataSize::Word, r(R_ITER), Reg::ZERO, slot);
+            b.load(DataSize::Quad, r(R_T0), Reg::ZERO, slot);
+            b.xor(r(R_ACC), r(R_ACC), r(R_T0));
+        }
+
+        // Plain streamed loads (no forwarding). Word-width, matching the
+        // dominant access size in the paper's workloads (the SSBF probe count
+        // per load matters for its false-positive behaviour).
+        for i in 0..spec.plain_loads {
+            let disp = PLAIN_LD_BASE + 8 * i64::from(i);
+            b.load(DataSize::Word, r(R_T0), r(R_PLD), disp);
+            b.xor(r(R_ACC), r(R_ACC), r(R_T0));
+        }
+        if spec.plain_loads > 0 {
+            b.add_imm(r(R_PLD), r(R_PLD), 8 * i64::from(spec.plain_loads));
+            b.and(r(R_PLD), r(R_PLD), r(R_PLAIN_MASK));
+        }
+
+        // Plain stores: fixed hot slots (never loaded back), modelling the
+        // stack-spill traffic that dominates real store streams. Streaming
+        // these over a large region would give the 2K-entry SSBF a much larger
+        // recent-store footprint than real traces exhibit.
+        for i in 0..spec.plain_stores {
+            let disp = PLAIN_ST_BASE + 8 * i64::from(i);
+            b.store(DataSize::Quad, r(R_ACC), Reg::ZERO, disp);
+        }
+
+        // Easy periodic branches (period-4 pattern, learnable).
+        for j in 0..spec.pattern_branches {
+            let skip = format!("pb{copy}_{j}");
+            b.and(r(R_T0), r(R_ITER), r(R_PAT_MASK));
+            b.branch_nz_to(r(R_T0), &skip);
+            b.add_imm(r(R_ACC), r(R_ACC), 3);
+            b.place(&skip);
+        }
+
+        // Independent integer filler (ILP).
+        for i in 0..spec.int_filler {
+            let t = [R_T1, R_T2][i as usize % 2];
+            b.add_imm(r(t), r(R_ITER), i64::from(i) + 1);
+        }
+        if replicate > 1 {
+            if copy + 1 < replicate {
+                b.jump_to("loop_tail");
+            }
+            b.place(&format!("phase_{}", copy + 1));
+        }
     } // per-phase body copies
     if replicate > 1 {
         b.place("loop_tail");
@@ -388,7 +397,10 @@ mod tests {
         // Loads exist but none are within a 64-store window.
         assert!(trace.dynamic_loads() > 0);
         assert_eq!(trace.oracle_forwarding_rate(64), 0.0);
-        assert!(trace.oracle_forwarding_rate(100) > 0.5, "but they do forward at distance 66");
+        assert!(
+            trace.oracle_forwarding_rate(100) > 0.5,
+            "but they do forward at distance 66"
+        );
     }
 
     #[test]
@@ -410,7 +422,10 @@ mod tests {
             .filter(|r| r.is_load())
             .map(|r| r.result)
             .collect();
-        assert!(loaded.iter().skip(10).all(|&v| v > 0), "recurrence propagates");
+        assert!(
+            loaded.iter().skip(10).all(|&v| v > 0),
+            "recurrence propagates"
+        );
     }
 
     #[test]
@@ -455,6 +470,9 @@ mod tests {
             }
         }
         let ratio = f64::from(taken) / f64::from(total);
-        assert!(ratio > 0.55 && ratio < 0.95, "mixed directions, got {ratio}");
+        assert!(
+            ratio > 0.55 && ratio < 0.95,
+            "mixed directions, got {ratio}"
+        );
     }
 }

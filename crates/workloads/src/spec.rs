@@ -4,8 +4,10 @@ use sqip_isa::{trace_program, IsaError, Program, Trace};
 
 use crate::builder::build_program;
 
+use serde::{Deserialize, Serialize};
+
 /// Which benchmark suite a workload models (Table 3's grouping).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Suite {
     /// MediaBench.
     Media,
@@ -115,6 +117,15 @@ impl WorkloadSpec {
         }
     }
 
+    /// The same workload with a different outer-iteration count — the
+    /// standard way to shrink a model for quick sweeps and tests without
+    /// changing its kernel mix.
+    #[must_use]
+    pub fn with_iterations(mut self, iterations: u32) -> WorkloadSpec {
+        self.iterations = iterations;
+        self
+    }
+
     /// Dynamic loads per outer iteration (exactly one phase body runs per
     /// iteration, so replication does not change dynamic counts).
     #[must_use]
@@ -173,7 +184,8 @@ impl WorkloadSpec {
         // Generous budget: iterations × (a bound on per-iteration length)
         // plus initialisation.
         let per_iter = 16 * (self.loads_per_iter() + self.stores_per_iter()) as u64 + 64;
-        let budget = u64::from(self.iterations) * per_iter + 16 * u64::from(self.chase_nodes) + 4096;
+        let budget =
+            u64::from(self.iterations) * per_iter + 16 * u64::from(self.chase_nodes) + 4096;
         trace_program(&program, budget)
     }
 }

@@ -401,7 +401,9 @@ mod tests {
     #[test]
     fn every_workload_traces() {
         for spec in all_workloads() {
-            let trace = spec.trace().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            let trace = spec
+                .trace()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
             assert!(
                 trace.len() > 50_000,
                 "{} too short: {} insts",
@@ -429,7 +431,10 @@ mod tests {
         let r_mid = mid.oracle_forwarding_rate(64);
         assert!(r_hi > 0.30, "mesa.m forwards heavily, got {r_hi:.3}");
         assert!(r_lo < 0.02, "adpcm barely forwards, got {r_lo:.3}");
-        assert!(r_mid > 0.05 && r_mid < 0.25, "bzip2 in between, got {r_mid:.3}");
+        assert!(
+            r_mid > 0.05 && r_mid < 0.25,
+            "bzip2 in between, got {r_mid:.3}"
+        );
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so this in-tree shim
+//! provides the derive-based serialization surface sqip uses: a
+//! [`Serialize`]/[`Deserialize`] trait pair over a JSON-shaped [`Value`]
+//! model, `#[derive(Serialize, Deserialize)]` (from the sibling
+//! `serde_derive` proc-macro crate, re-exported here exactly like real
+//! serde's `derive` feature), and impls for the primitive, `String`,
+//! `Option` and `Vec` types. The sibling `serde_json` crate renders
+//! [`Value`] to JSON text and parses it back.
+//!
+//! Supported derive shapes — plain structs with named fields (serialized
+//! as objects) and fieldless enums (serialized as their variant name) —
+//! cover every type the simulator serializes.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped dynamic value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// A (de)serialization failure.
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Wraps a failure message.
+    #[must_use]
+    pub fn custom(message: impl Into<String>) -> Error {
+        Error {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// Converts `self` to the dynamic value model.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, reporting shape mismatches as [`Error`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `value`'s shape does not match `Self`.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+/// Extracts and deserializes an object field (used by derived impls).
+///
+/// # Errors
+///
+/// Returns an error if the field is missing or has the wrong shape.
+pub fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, Error> {
+    let v = value
+        .get(name)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}`")))?;
+    T::deserialize(v).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw = match *value {
+                    Value::U64(v) => v,
+                    Value::I64(v) if v >= 0 => v as u64,
+                    _ => return Err(Error::custom(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let raw = u64::deserialize(value).map_err(|_| Error::custom("expected usize"))?;
+        usize::try_from(raw).map_err(|_| Error::custom("out of range for usize"))
+    }
+}
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                let v = i64::from(*self);
+                if v >= 0 {
+                    Value::U64(v as u64)
+                } else {
+                    Value::I64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw: i64 = match *value {
+                    Value::I64(v) => v,
+                    Value::U64(v) => {
+                        i64::try_from(v).map_err(|_| Error::custom("integer overflow"))?
+                    }
+                    _ => return Err(Error::custom(concat!("expected ", stringify!($t)))),
+                };
+                <$t>::try_from(raw)
+                    .map_err(|_| Error::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_serde_signed!(i8, i16, i32, i64);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match *value {
+            Value::F64(v) => Ok(v),
+            Value::U64(v) => Ok(v as f64),
+            Value::I64(v) => Ok(v as f64),
+            _ => Err(Error::custom("expected f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        f64::deserialize(value).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match *value {
+            Value::Bool(b) => Ok(b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            _ => Err(Error::custom("expected array")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::deserialize(&42u64.serialize()).unwrap(), 42);
+        assert_eq!(i64::deserialize(&(-7i64).serialize()).unwrap(), -7);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+        let v: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(Vec::<u32>::deserialize(&v.serialize()).unwrap(), v);
+        let none: Option<u8> = None;
+        assert_eq!(Option::<u8>::deserialize(&none.serialize()).unwrap(), None);
+    }
+
+    #[test]
+    fn u64_preserves_values_beyond_f64_precision() {
+        let big = u64::MAX - 1;
+        assert_eq!(u64::deserialize(&big.serialize()).unwrap(), big);
+    }
+
+    #[test]
+    fn shape_mismatches_error() {
+        assert!(u64::deserialize(&Value::Str("x".into())).is_err());
+        assert!(bool::deserialize(&Value::U64(1)).is_err());
+        assert!(field::<u64>(&Value::Object(vec![]), "missing").is_err());
+    }
+}

@@ -1,0 +1,267 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the sibling in-tree `serde` shim, with no syn/quote dependency: the
+//! macro input is parsed directly from the token stream. Two item shapes
+//! are supported, which cover every type sqip serializes:
+//!
+//! * **structs with named fields** — serialized as an object keyed by
+//!   field name;
+//! * **fieldless enums** — serialized as the variant name string.
+//!
+//! Anything else (tuple structs, data-carrying enums, generics) produces a
+//! `compile_error!` pointing here.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a named struct or fieldless enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+/// Derives `serde::Deserialize` for a named struct or fieldless enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match (&item, which) {
+        (Item::Struct { name, fields }, Which::Serialize) => struct_serialize(name, fields),
+        (Item::Struct { name, fields }, Which::Deserialize) => struct_deserialize(name, fields),
+        (Item::Enum { name, variants }, Which::Serialize) => enum_serialize(name, variants),
+        (Item::Enum { name, variants }, Which::Deserialize) => enum_deserialize(name, variants),
+    };
+    code.parse().unwrap()
+}
+
+fn struct_serialize(name: &str, fields: &[String]) -> String {
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!("fields.push(({f:?}.to_string(), ::serde::Serialize::serialize(&self.{f})));\n")
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn serialize(&self) -> ::serde::Value {{\n\
+             let mut fields = Vec::new();\n\
+             {pushes}\
+             ::serde::Value::Object(fields)\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &[String]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::field(value, {f:?})?,\n"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             ::std::result::Result::Ok({name} {{ {inits} }})\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[String]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),\n"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+           fn serialize(&self) -> ::serde::Value {{\n\
+             match self {{ {arms} }}\n\
+           }}\n\
+         }}"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[String]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),\n"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+           fn deserialize(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+             match value {{\n\
+               ::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {arms}\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(format!(\n\
+                   \"unknown {name} variant `{{other}}`\"))),\n\
+               }},\n\
+               _ => ::std::result::Result::Err(::serde::Error::custom(\n\
+                 \"expected a {name} variant string\")),\n\
+             }}\n\
+           }}\n\
+         }}"
+    )
+}
+
+/// Parses the derive input down to the item name and field/variant names.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: expected an item name".into()),
+    };
+    i += 1;
+
+    // Find the body brace group; anything before it that looks like
+    // generics is unsupported.
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.clone(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("serde shim derive: generic types are not supported".into());
+            }
+            Some(_) => i += 1,
+            None => return Err("serde shim derive: missing item body".into()),
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => Ok(Item::Struct {
+            name,
+            fields: parse_struct_fields(body.stream())?,
+        }),
+        "enum" => Ok(Item::Enum {
+            name,
+            variants: parse_enum_variants(body.stream())?,
+        }),
+        other => Err(format!(
+            "serde shim derive: unsupported item kind `{other}`"
+        )),
+    }
+}
+
+/// Field names of a named-field struct body.
+fn parse_struct_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tt) = tokens.get(i) else { break };
+        let TokenTree::Ident(id) = tt else {
+            return Err("serde shim derive: only named struct fields are supported".into());
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err("serde shim derive: only named struct fields are supported".into()),
+        }
+        // Skip the type up to the next top-level comma (angle brackets are
+        // punct tokens, not groups, so track their depth).
+        let mut angle_depth = 0i32;
+        while let Some(tt) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Variant names of a fieldless enum body.
+fn parse_enum_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == '#' {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        let Some(tt) = tokens.get(i) else { break };
+        let TokenTree::Ident(id) = tt else {
+            return Err("serde shim derive: unexpected token in enum body".into());
+        };
+        variants.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Group(_)) => {
+                return Err("serde shim derive: only fieldless enum variants are supported".into());
+            }
+            Some(_) => {
+                return Err("serde shim derive: unsupported enum variant shape".into());
+            }
+        }
+    }
+    Ok(variants)
+}
