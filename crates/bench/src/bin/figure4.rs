@@ -6,15 +6,19 @@
 //! cargo run --release -p sqip-bench --bin figure4 [-- <benchmark> ...]
 //! cargo run --release -p sqip-bench --bin figure4 -- --json > figure4.json
 //! cargo run --release -p sqip-bench --bin figure4 -- --csv  > figure4.csv
+//! cargo run --release -p sqip-bench --bin figure4 -- --list-designs
+//! cargo run --release -p sqip-bench --bin figure4 -- --design indexed-5-fwd+dly
 //! ```
 //!
-//! The whole sweep is one [`Experiment`]: 47 workloads × 6 designs,
-//! executed in parallel with deterministic results.
+//! The whole sweep is one [`Experiment`]: 47 workloads × the selected
+//! designs (Figure 4's five by default; any registry designs via
+//! `--design`), executed in parallel with deterministic results.
 
 use sqip::{all_workloads, geomean, Experiment, ResultSet, SqDesign, Suite};
+use sqip_bench::designs;
 
 const BASELINE: SqDesign = SqDesign::IdealOracle;
-const DESIGNS: [SqDesign; 5] = [
+const DEFAULT_DESIGNS: [SqDesign; 5] = [
     SqDesign::Associative3,
     SqDesign::Associative5Replay,
     SqDesign::Associative5FwdPred,
@@ -23,10 +27,23 @@ const DESIGNS: [SqDesign; 5] = [
 ];
 
 fn main() -> Result<(), sqip::SqipError> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let csv = args.iter().any(|a| a == "--csv");
-    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let parsed = designs::parse_or_exit(std::env::args().skip(1), &DEFAULT_DESIGNS);
+    let compared: Vec<SqDesign> = parsed
+        .designs
+        .into_iter()
+        .filter(|&d| d != BASELINE)
+        .collect();
+    if compared.is_empty() {
+        eprintln!("error: --design selected only the {BASELINE} baseline; nothing to compare");
+        std::process::exit(2);
+    }
+    let json = parsed.rest.iter().any(|a| a == "--json");
+    let csv = parsed.rest.iter().any(|a| a == "--csv");
+    let filter: Vec<&String> = parsed
+        .rest
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .collect();
 
     let results = Experiment::new()
         .workloads(
@@ -35,7 +52,7 @@ fn main() -> Result<(), sqip::SqipError> {
                 .filter(|w| filter.is_empty() || filter.iter().any(|f| *f == w.name)),
         )
         .design(BASELINE)
-        .designs(DESIGNS)
+        .designs(compared.iter().copied())
         .run()?;
 
     if json {
@@ -49,37 +66,53 @@ fn main() -> Result<(), sqip::SqipError> {
 
     println!("Figure 4. Execution times relative to an ideal, 3-cycle");
     println!("associative store queue with oracle load scheduling.\n");
-    println!(
-        "{:>10} {:>6} | {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "", "IPC", "assoc-3", "assoc-5r", "assoc-5f", "idx-fwd", "idx-f+d"
-    );
-    println!("{}", "-".repeat(66));
+    let widths: Vec<usize> = compared.iter().map(|d| d.label().len().max(8)).collect();
+    print!("{:>10} {:>6} |", "", "IPC");
+    for (design, w) in compared.iter().zip(&widths) {
+        print!(" {:>w$}", design.label(), w = w);
+    }
+    println!();
+    // 19 = the "{:>10} {:>6} |" prefix; each design column adds " " + w.
+    let rule = 19 + widths.iter().map(|w| w + 1).sum::<usize>();
+    println!("{}", "-".repeat(rule));
 
     for name in results.workload_names() {
         let baseline = results.get(name, BASELINE).expect("baseline cell ran");
         print!("{:>10} {:>6.2} |", name, baseline.stats.ipc());
-        for design in DESIGNS {
+        for (&design, &w) in compared.iter().zip(&widths) {
             let rel = results
                 .relative_runtime(name, sqip::BASE_VARIANT, design, BASELINE)
                 .expect("design cell ran");
-            print!(" {rel:>8.3}");
+            print!(" {rel:>w$.3}", w = w);
         }
         println!();
     }
 
     if filter.is_empty() {
-        println!("{}", "-".repeat(66));
+        println!("{}", "-".repeat(rule));
         for suite in [Suite::Media, Suite::Int, Suite::Fp] {
-            print_gmean(&results, &format!("{suite}.gmean"), Some(suite));
+            print_gmean(
+                &results,
+                &format!("{suite}.gmean"),
+                Some(suite),
+                &compared,
+                &widths,
+            );
         }
-        print_gmean(&results, "All.gmean", None);
+        print_gmean(&results, "All.gmean", None, &compared, &widths);
     }
     Ok(())
 }
 
-fn print_gmean(results: &ResultSet, label: &str, suite: Option<Suite>) {
+fn print_gmean(
+    results: &ResultSet,
+    label: &str,
+    suite: Option<Suite>,
+    compared: &[SqDesign],
+    widths: &[usize],
+) {
     print!("{:>10} {:>6} |", label, "");
-    for design in DESIGNS {
+    for (&design, &w) in compared.iter().zip(widths) {
         let ratios: Vec<f64> = results
             .workload_names()
             .iter()
@@ -88,7 +121,7 @@ fn print_gmean(results: &ResultSet, label: &str, suite: Option<Suite>) {
             })
             .filter_map(|name| results.relative_runtime(name, sqip::BASE_VARIANT, design, BASELINE))
             .collect();
-        print!(" {:>8.3}", geomean(ratios));
+        print!(" {:>w$.3}", geomean(ratios), w = w);
     }
     println!();
 }

@@ -7,16 +7,29 @@
 //! cargo run --release -p sqip-bench --bin figure5 -- associativity
 //! cargo run --release -p sqip-bench --bin figure5 -- ratio
 //! cargo run --release -p sqip-bench --bin figure5          # all three
+//! cargo run --release -p sqip-bench --bin figure5 -- --list-designs
+//! cargo run --release -p sqip-bench --bin figure5 -- --design indexed-5-fwd+dly capacity
 //! ```
 //!
 //! Each panel is one [`Experiment`] whose `vary` axis is the swept knob;
-//! the oracle denominators come from a shared baseline experiment.
+//! the oracle denominators come from a shared baseline experiment. The
+//! swept design defaults to the paper's `indexed-3-fwd+dly` and can be
+//! any registered design via `--design`.
 
 use sqip::{by_name, Experiment, ResultSet, SqDesign, WorkloadSpec, FIGURE5_WORKLOADS};
+use sqip_bench::designs;
 use sqip_predictors::TrainRatio;
 
 fn main() -> Result<(), sqip::SqipError> {
-    let which: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = designs::parse_or_exit(std::env::args().skip(1), &[SqDesign::Indexed3FwdDly]);
+    let [swept]: [SqDesign; 1] = match parsed.designs.try_into() {
+        Ok(one) => one,
+        Err(_) => {
+            eprintln!("error: figure5 sweeps exactly one design");
+            std::process::exit(2);
+        }
+    };
+    let which = parsed.rest;
     let all = which.is_empty();
     let workloads: Vec<WorkloadSpec> = FIGURE5_WORKLOADS
         .iter()
@@ -33,7 +46,7 @@ fn main() -> Result<(), sqip::SqipError> {
         println!("Figure 5 (top): FSP/DDP capacity sweep (2-way), relative runtime\n");
         let sweep = [512usize, 1024, 2048, 4096, 8192]
             .into_iter()
-            .fold(panel(&workloads), |e, cap| {
+            .fold(panel(&workloads, swept), |e, cap| {
                 e.vary(format!("{cap}"), move |cfg| {
                     cfg.fsp.entries = cap;
                     cfg.ddp.entries = cap;
@@ -46,7 +59,7 @@ fn main() -> Result<(), sqip::SqipError> {
         println!("\nFigure 5 (middle): FSP associativity sweep (4K entries), relative runtime\n");
         let sweep = [1usize, 2, 4, 8, 32]
             .into_iter()
-            .fold(panel(&workloads), |e, ways| {
+            .fold(panel(&workloads, swept), |e, ways| {
                 e.vary(format!("{ways}"), move |cfg| cfg.fsp.ways = ways)
             })
             .run()?;
@@ -57,7 +70,7 @@ fn main() -> Result<(), sqip::SqipError> {
         let ratios = [(0u8, 1u8), (1, 1), (2, 1), (4, 1), (8, 1), (1, 0)];
         let sweep = ratios
             .into_iter()
-            .fold(panel(&workloads), |e, (p, n)| {
+            .fold(panel(&workloads, swept), |e, (p, n)| {
                 e.vary(format!("{p}:{n}"), move |cfg| {
                     cfg.ddp.ratio = TrainRatio::new(p, n);
                     cfg.ddp.threshold = p.max(1);
@@ -70,11 +83,9 @@ fn main() -> Result<(), sqip::SqipError> {
 }
 
 /// The shared shape of every Figure 5 panel: the nine workloads under the
-/// full indexed design; the panel's knob is added as `vary` points.
-fn panel(workloads: &[WorkloadSpec]) -> Experiment {
-    Experiment::new()
-        .workloads(workloads.iter())
-        .design(SqDesign::Indexed3FwdDly)
+/// swept design; the panel's knob is added as `vary` points.
+fn panel(workloads: &[WorkloadSpec], swept: SqDesign) -> Experiment {
+    Experiment::new().workloads(workloads.iter()).design(swept)
 }
 
 fn print_panel(sweep: &ResultSet, baselines: &ResultSet) {

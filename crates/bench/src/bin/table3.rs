@@ -6,16 +6,36 @@
 //! ```text
 //! cargo run --release -p sqip-bench --bin table3 [-- <benchmark> ...]
 //! cargo run --release -p sqip-bench --bin table3 -- --json > table3.json
+//! cargo run --release -p sqip-bench --bin table3 -- --list-designs
+//! cargo run --release -p sqip-bench --bin table3 -- \
+//!     --design indexed-5-fwd+dly --design indexed-3-fwd+dly
 //! ```
 //!
-//! One [`Experiment`]: 47 workloads × the two indexed designs.
+//! One [`Experiment`]: 47 workloads × a (raw, delay-predicted) design
+//! pair — the two indexed designs by default, or any two registered
+//! designs via `--design` (given twice: first the raw design, then the
+//! delayed one).
 
 use sqip::{all_workloads, Experiment, RunRecord, SqDesign, Suite};
+use sqip_bench::designs;
+
+const DEFAULT_PAIR: [SqDesign; 2] = [SqDesign::Indexed3Fwd, SqDesign::Indexed3FwdDly];
 
 fn main() -> Result<(), sqip::SqipError> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let filter: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let parsed = designs::parse_or_exit(std::env::args().skip(1), &DEFAULT_PAIR);
+    let [raw_design, dly_design]: [SqDesign; 2] = match parsed.designs.try_into() {
+        Ok(pair) => pair,
+        Err(_) => {
+            eprintln!("error: table3 compares exactly two designs (raw, then delayed)");
+            std::process::exit(2);
+        }
+    };
+    let json = parsed.rest.iter().any(|a| a == "--json");
+    let filter: Vec<&String> = parsed
+        .rest
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .collect();
 
     let results = Experiment::new()
         .workloads(
@@ -23,7 +43,7 @@ fn main() -> Result<(), sqip::SqipError> {
                 .into_iter()
                 .filter(|w| filter.is_empty() || filter.iter().any(|f| *f == w.name)),
         )
-        .designs([SqDesign::Indexed3Fwd, SqDesign::Indexed3FwdDly])
+        .designs([raw_design, dly_design])
         .run()?;
 
     if json {
@@ -45,8 +65,8 @@ fn main() -> Result<(), sqip::SqipError> {
     println!("{}", "-".repeat(62));
 
     let row = |name: &str| -> Option<[f64; 5]> {
-        let fwd = results.get(name, SqDesign::Indexed3Fwd)?;
-        let dly = results.get(name, SqDesign::Indexed3FwdDly)?;
+        let fwd = results.get(name, raw_design)?;
+        let dly = results.get(name, dly_design)?;
         Some(table3_row(fwd, dly))
     };
 
@@ -61,12 +81,7 @@ fn main() -> Result<(), sqip::SqipError> {
             let names: Vec<&str> = results
                 .workload_names()
                 .into_iter()
-                .filter(|n| {
-                    results
-                        .get(n, SqDesign::Indexed3FwdDly)
-                        .and_then(|r| r.suite)
-                        == Some(suite)
-                })
+                .filter(|n| results.get(n, dly_design).and_then(|r| r.suite) == Some(suite))
                 .collect();
             print_avg(&format!("{suite}.avg"), &names, &row);
         }

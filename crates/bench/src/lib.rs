@@ -12,6 +12,114 @@
 
 pub use sqip::{geomean, shrink, simulate, simulate_with};
 
+/// Shared `--design <name>` / `--list-designs` handling for the figure
+/// and table regenerator binaries: designs are named through the open
+/// [`sqip::DesignRegistry`], so any registered design — builtin or custom
+/// — can replace a binary's default roster from the command line.
+pub mod designs {
+    use sqip::{DesignRegistry, SqDesign};
+
+    /// Parsed design-selection flags.
+    #[derive(Debug)]
+    pub struct DesignArgs {
+        /// The selected designs: every `--design <name>` in order, or
+        /// `default` when none was given.
+        pub designs: Vec<SqDesign>,
+        /// The remaining (non-design) arguments, order preserved.
+        pub rest: Vec<String>,
+    }
+
+    /// Extracts `--design <name>` (repeatable) and `--list-designs` from
+    /// `args`.
+    ///
+    /// Returns `Ok(None)` after printing the registry roster when
+    /// `--list-designs` is present (the binary should exit successfully).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when `--design` is missing its value or
+    /// names an unregistered design.
+    pub fn parse(
+        args: impl IntoIterator<Item = String>,
+        default: &[SqDesign],
+    ) -> Result<Option<DesignArgs>, String> {
+        let mut designs = Vec::new();
+        let mut rest = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--list-designs" => {
+                    print_roster();
+                    return Ok(None);
+                }
+                "--design" => {
+                    let name = it
+                        .next()
+                        .ok_or_else(|| "--design requires a design name".to_string())?;
+                    designs.push(name.parse::<SqDesign>().map_err(|e| e.to_string())?);
+                }
+                _ => rest.push(arg),
+            }
+        }
+        if designs.is_empty() {
+            designs = default.to_vec();
+        }
+        Ok(Some(DesignArgs { designs, rest }))
+    }
+
+    /// Prints every registered design with a capability summary.
+    pub fn print_roster() {
+        println!("registered store-queue designs:");
+        for name in DesignRegistry::global().names() {
+            let design: SqDesign = name.parse().expect("registered name parses");
+            println!("  {name:<26} {}", describe(design));
+        }
+    }
+
+    /// A one-line capability summary, derived from the registry.
+    #[must_use]
+    pub fn describe(design: SqDesign) -> String {
+        let mut parts = vec![
+            if design.is_indexed() {
+                "indexed".to_string()
+            } else {
+                "associative".to_string()
+            },
+            format!("{}-cycle SQ", design.sq_latency()),
+        ];
+        if design.is_oracle() {
+            parts.push("oracle scheduling".to_string());
+        }
+        if design.uses_original_store_sets() {
+            parts.push("original store sets".to_string());
+        }
+        if design.uses_delay() {
+            parts.push("delay prediction".to_string());
+        }
+        if design.predicts_forward_latency() {
+            parts.push("fwd-latency scheduling".to_string());
+        }
+        parts.join(", ")
+    }
+
+    /// Unwraps a [`parse`] outcome for a `main()`: prints errors to
+    /// stderr and exits (code 2 on bad flags, 0 after `--list-designs`).
+    #[must_use]
+    pub fn parse_or_exit(
+        args: impl IntoIterator<Item = String>,
+        default: &[SqDesign],
+    ) -> DesignArgs {
+        match parse(args, default) {
+            Ok(Some(parsed)) => parsed,
+            Ok(None) => std::process::exit(0),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
 /// A minimal wall-clock micro-benchmark harness.
 ///
 /// Each case runs one warmup iteration plus `SQIP_BENCH_ITERS` timed
@@ -79,6 +187,44 @@ mod tests {
         let s = shrink(w.clone(), 100);
         assert_eq!(s.iterations, 100);
         assert_eq!(s.fwd_sites, w.fwd_sites);
+    }
+
+    #[test]
+    fn design_args_select_designs_and_pass_other_args_through() {
+        let parsed = designs::parse(
+            ["--json", "--design", "indexed-5-fwd+dly", "gzip"].map(String::from),
+            &[sqip::SqDesign::IdealOracle],
+        )
+        .unwrap()
+        .expect("no --list-designs given");
+        let ext: sqip::SqDesign = "indexed-5-fwd+dly".parse().unwrap();
+        assert_eq!(parsed.designs, vec![ext]);
+        assert_eq!(parsed.rest, vec!["--json".to_string(), "gzip".to_string()]);
+
+        let defaulted = designs::parse(std::iter::empty(), &[sqip::SqDesign::Associative3])
+            .unwrap()
+            .unwrap();
+        assert_eq!(defaulted.designs, vec![sqip::SqDesign::Associative3]);
+
+        assert!(designs::parse(["--design".to_string()], &[]).is_err());
+        let err = designs::parse(["--design", "bogus"].map(String::from), &[]).unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn design_descriptions_cover_the_capability_axes() {
+        assert_eq!(
+            designs::describe(sqip::SqDesign::IdealOracle),
+            "associative, 3-cycle SQ, oracle scheduling"
+        );
+        assert_eq!(
+            designs::describe(sqip::SqDesign::Indexed3FwdDly),
+            "indexed, 3-cycle SQ, delay prediction"
+        );
+        assert_eq!(
+            designs::describe(sqip::SqDesign::Associative5FwdPred),
+            "associative, 5-cycle SQ, fwd-latency scheduling"
+        );
     }
 
     #[test]

@@ -5,43 +5,64 @@ use sqip_mem::HierarchyConfig;
 use sqip_predictors::{BranchConfig, DdpConfig, FspConfig, StoreSetsConfig};
 
 use crate::error::SimError;
+use crate::policy::{DesignCaps, DesignRegistry};
 
 use serde::{Deserialize, Serialize};
 
-/// Which store-queue design (and load scheduling discipline) the processor
-/// uses — the five configurations of Figure 4 plus the idealised baseline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum SqDesign {
+/// A store-queue design *name*.
+///
+/// `SqDesign` is a thin, copyable, serializable handle that resolves
+/// through the [`DesignRegistry`] to a
+/// [`ForwardingPolicy`](crate::ForwardingPolicy) — the object that owns
+/// the design's predictor state and pipeline decisions. The seven designs
+/// of the paper's Figure 4 are pre-registered (the associated constants
+/// below), as is the `indexed-5-fwd+dly` extension; custom designs
+/// register under new names via [`DesignRegistry::register`] and then
+/// work everywhere a builtin does.
+///
+/// Names round-trip through [`std::fmt::Display`] / [`std::str::FromStr`]
+/// (so CLI flags and JSON results can name designs), and deserialization
+/// additionally accepts the legacy enum-variant spellings
+/// (`"IdealOracle"`, …) that pre-registry JSON results used.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SqDesign(&'static str);
+
+#[allow(non_upper_case_globals)] // legacy enum-variant spellings, kept API-compatible
+impl SqDesign {
     /// Associative SQ, 3-cycle (= data cache) latency, *oracle* load
     /// scheduling: each load waits exactly for its architectural producing
     /// store and never violates. Figure 4's denominator.
-    IdealOracle,
+    pub const IdealOracle: SqDesign = SqDesign("ideal-oracle");
     /// Associative SQ, 3-cycle latency, **original** Store Sets (SSIT/LFST)
     /// scheduling — Table 1's "preceding proposals" configuration. Differs
     /// from the reformulation in representing unbounded store dependences
     /// per load while serialising all stores within a set.
-    Associative3StoreSets,
+    pub const Associative3StoreSets: SqDesign = SqDesign("associative-3-storesets");
     /// Associative SQ, 3-cycle latency, reformulated Store Sets (FSP/SAT)
     /// scheduling. Figure 4's `associative-3`.
-    Associative3,
+    pub const Associative3: SqDesign = SqDesign("associative-3");
     /// Associative SQ, 5-cycle latency; the scheduler optimistically
     /// assumes 3-cycle loads, so forwarded loads trigger dependent
     /// replays. Top (striped) part of Figure 4's `associative-5` stack.
-    Associative5Replay,
+    pub const Associative5Replay: SqDesign = SqDesign("associative-5-replay");
     /// Associative SQ, 5-cycle latency; the FSP predicts which loads will
     /// forward, and their dependents are scheduled at SQ latency, avoiding
     /// most replays. Bottom part of Figure 4's `associative-5` stack.
-    Associative5FwdPred,
+    pub const Associative5FwdPred: SqDesign = SqDesign("associative-5-fwdpred");
     /// The paper's speculative indexed SQ, 3-cycle latency, forwarding
     /// index prediction only (`indexed-3-fwd`).
-    Indexed3Fwd,
+    pub const Indexed3Fwd: SqDesign = SqDesign("indexed-3-fwd");
     /// The paper's full design: indexed SQ with forwarding *and* delay
     /// index prediction (`indexed-3-fwd+dly`).
-    Indexed3FwdDly,
+    pub const Indexed3FwdDly: SqDesign = SqDesign("indexed-3-fwd+dly");
 }
 
 impl SqDesign {
-    /// All designs, in Figure 4's left-to-right order.
+    /// The paper's seven designs, in Figure 4's left-to-right order.
+    ///
+    /// Registry extensions (e.g. `indexed-5-fwd+dly`) are deliberately
+    /// not part of this roster: it names exactly the Figure 4 bars. Use
+    /// [`DesignRegistry::names`] for the full open roster.
     pub const ALL: [SqDesign; 7] = [
         SqDesign::IdealOracle,
         SqDesign::Associative3StoreSets,
@@ -52,65 +73,168 @@ impl SqDesign {
         SqDesign::Indexed3FwdDly,
     ];
 
+    /// Wraps an interned name (registry internal; the public construction
+    /// paths are the constants, [`std::str::FromStr`] and
+    /// [`DesignRegistry::register`]).
+    pub(crate) const fn from_static(name: &'static str) -> SqDesign {
+        SqDesign(name)
+    }
+
+    /// The design's registered name (also its [`std::fmt::Display`] and
+    /// Figure 4 label).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        self.0
+    }
+
+    /// The label used in Figure 4 and throughout the harness output.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        self.0
+    }
+
+    /// The design's registered capabilities.
+    ///
+    /// This and the convenience predicates below resolve through
+    /// [`DesignRegistry::global`]. Handles created in an isolated
+    /// [`DesignRegistry::empty`] registry are not visible there — query
+    /// that registry's [`DesignRegistry::caps`] directly instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design is not in the global registry (i.e. the
+    /// handle came from an isolated registry).
+    #[must_use]
+    pub fn caps(self) -> DesignCaps {
+        DesignRegistry::global()
+            .caps(self)
+            .unwrap_or_else(|| panic!("design `{}` is not registered", self.0))
+    }
+
     /// Whether loads access the SQ by predicted index (vs associatively).
     #[must_use]
     pub fn is_indexed(self) -> bool {
-        matches!(self, SqDesign::Indexed3Fwd | SqDesign::Indexed3FwdDly)
+        self.caps().indexed
     }
 
     /// Whether the delay index predictor (DDP) is active.
     #[must_use]
     pub fn uses_delay(self) -> bool {
-        self == SqDesign::Indexed3FwdDly
+        self.caps().delay
     }
 
     /// Whether load scheduling is oracle (no dependence predictor).
     #[must_use]
     pub fn is_oracle(self) -> bool {
-        self == SqDesign::IdealOracle
+        self.caps().oracle
     }
 
     /// Whether scheduling uses the original SSIT/LFST Store Sets predictor
     /// instead of the paper's FSP/SAT reformulation.
     #[must_use]
     pub fn uses_original_store_sets(self) -> bool {
-        self == SqDesign::Associative3StoreSets
+        self.caps().original_store_sets
     }
 
     /// SQ access latency in cycles for forwarded loads.
     #[must_use]
     pub fn sq_latency(self) -> u64 {
-        match self {
-            SqDesign::Associative5Replay | SqDesign::Associative5FwdPred => 5,
-            _ => 3,
-        }
+        self.caps().sq_latency
     }
 
     /// Whether dependents of predicted-forwarding loads are scheduled at
     /// SQ latency (the "forwarding prediction" latency hybrid of §4.2).
     #[must_use]
     pub fn predicts_forward_latency(self) -> bool {
-        self == SqDesign::Associative5FwdPred
-    }
-
-    /// The label used in Figure 4 and throughout the harness output.
-    #[must_use]
-    pub fn label(self) -> &'static str {
-        match self {
-            SqDesign::IdealOracle => "ideal-oracle",
-            SqDesign::Associative3StoreSets => "associative-3-storesets",
-            SqDesign::Associative3 => "associative-3",
-            SqDesign::Associative5Replay => "associative-5-replay",
-            SqDesign::Associative5FwdPred => "associative-5-fwdpred",
-            SqDesign::Indexed3Fwd => "indexed-3-fwd",
-            SqDesign::Indexed3FwdDly => "indexed-3-fwd+dly",
-        }
+        self.caps().fwd_latency_pred
     }
 }
 
 impl std::fmt::Display for SqDesign {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.label())
+        f.write_str(self.0)
+    }
+}
+
+impl std::fmt::Debug for SqDesign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+/// The pre-registry enum-variant spellings, accepted by
+/// [`std::str::FromStr`] and deserialization for JSON compatibility.
+/// Reserved: the registry rejects registrations under these names, since
+/// name resolution would silently redirect them to the builtins.
+pub(crate) const LEGACY_ALIASES: [(&str, &str); 7] = [
+    ("IdealOracle", "ideal-oracle"),
+    ("Associative3StoreSets", "associative-3-storesets"),
+    ("Associative3", "associative-3"),
+    ("Associative5Replay", "associative-5-replay"),
+    ("Associative5FwdPred", "associative-5-fwdpred"),
+    ("Indexed3Fwd", "indexed-3-fwd"),
+    ("Indexed3FwdDly", "indexed-3-fwd+dly"),
+];
+
+/// A design name that is not in the [`DesignRegistry`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDesignError {
+    name: String,
+}
+
+impl ParseDesignError {
+    /// The unresolvable name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Display for ParseDesignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown store-queue design `{}` (registered: {})",
+            self.name,
+            DesignRegistry::global().names().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for ParseDesignError {}
+
+impl std::str::FromStr for SqDesign {
+    type Err = ParseDesignError;
+
+    /// The inverse of [`std::fmt::Display`]: resolves a design name (or a
+    /// legacy enum-variant spelling) through the global registry.
+    fn from_str(s: &str) -> Result<SqDesign, ParseDesignError> {
+        let canonical = LEGACY_ALIASES
+            .iter()
+            .find(|(alias, _)| *alias == s)
+            .map_or(s, |&(_, name)| name);
+        DesignRegistry::global()
+            .lookup(canonical)
+            .ok_or_else(|| ParseDesignError {
+                name: s.to_string(),
+            })
+    }
+}
+
+impl Serialize for SqDesign {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Str(self.0.to_string())
+    }
+}
+
+impl Deserialize for SqDesign {
+    fn deserialize(value: &serde::Value) -> Result<SqDesign, serde::Error> {
+        match value {
+            serde::Value::Str(s) => s
+                .parse()
+                .map_err(|e: ParseDesignError| serde::Error::custom(e.to_string())),
+            _ => Err(serde::Error::custom("expected a design name string")),
+        }
     }
 }
 
@@ -290,6 +414,12 @@ impl SimConfig {
     /// (e.g. DDP max distance differing from SQ size, zero widths).
     pub fn try_validate(&self) -> Result<(), SimError> {
         let invalid = |msg: &str| Err(SimError::InvalidConfig(msg.to_string()));
+        let Some(caps) = DesignRegistry::global().caps(self.design) else {
+            return invalid(&format!(
+                "store-queue design `{}` is not registered",
+                self.design
+            ));
+        };
         if self.rob_size == 0 || self.sq_size == 0 || self.lq_size == 0 {
             return invalid("window structures (ROB/SQ/LQ) must be non-empty");
         }
@@ -304,7 +434,7 @@ impl SimConfig {
         if self.ssn_bits < 8 {
             return invalid("SSN width must cover the SQ");
         }
-        if self.ordering == OrderingMode::LqCam && self.design.is_indexed() {
+        if self.ordering == OrderingMode::LqCam && caps.indexed {
             return invalid(
                 "an LQ CAM cannot detect wrong-entry forwarding; indexed designs \
                  require value-based re-execution (the paper's §2 argument)",
@@ -374,6 +504,34 @@ mod tests {
             ..SimConfig::default()
         };
         c.validate();
+    }
+
+    #[test]
+    fn design_names_round_trip_through_fromstr() {
+        // FromStr is the inverse of Display over the whole builtin roster.
+        for design in SqDesign::ALL {
+            let parsed: SqDesign = design.to_string().parse().unwrap();
+            assert_eq!(parsed, design);
+        }
+        // Registry extensions parse too; unknown names do not.
+        let ext: SqDesign = "indexed-5-fwd+dly".parse().unwrap();
+        assert_eq!(ext.sq_latency(), 5);
+        assert!(ext.is_indexed());
+        let err = "no-such-design".parse::<SqDesign>().unwrap_err();
+        assert!(err.to_string().contains("no-such-design"), "{err}");
+        assert!(err.to_string().contains("indexed-3-fwd+dly"), "{err}");
+    }
+
+    #[test]
+    fn legacy_variant_spellings_still_parse() {
+        assert_eq!(
+            "IdealOracle".parse::<SqDesign>().unwrap(),
+            SqDesign::IdealOracle
+        );
+        assert_eq!(
+            "Indexed3FwdDly".parse::<SqDesign>().unwrap(),
+            SqDesign::Indexed3FwdDly
+        );
     }
 
     #[test]

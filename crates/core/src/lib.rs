@@ -6,16 +6,21 @@
 //! # What this crate models
 //!
 //! An 8-way, 512-entry-window, 19-stage dynamically scheduled processor
-//! whose load/store unit can be configured as:
+//! whose load/store unit is an open, pluggable design axis: each
+//! [`SqDesign`] name resolves through the [`DesignRegistry`] to a
+//! [`ForwardingPolicy`] object owning the design's predictor state and
+//! pipeline decisions (see the [`policy`] module). Pre-registered:
 //!
 //! | [`SqDesign`] | SQ access | latency | scheduling |
 //! |---|---|---|---|
-//! | `IdealOracle` | associative | 3 | oracle |
-//! | `Associative3` | associative | 3 | FSP/SAT (reformulated Store Sets) |
-//! | `Associative5Replay` | associative | 5 | FSP/SAT, optimistic 3-cycle wakeup |
-//! | `Associative5FwdPred` | associative | 5 | FSP/SAT, forward-predicted wakeup |
-//! | `Indexed3Fwd` | **indexed** | 3 | forwarding index prediction |
-//! | `Indexed3FwdDly` | **indexed** | 3 | forwarding + delay index prediction |
+//! | `ideal-oracle` | associative | 3 | oracle |
+//! | `associative-3-storesets` | associative | 3 | original SSIT/LFST Store Sets |
+//! | `associative-3` | associative | 3 | FSP/SAT (reformulated Store Sets) |
+//! | `associative-5-replay` | associative | 5 | FSP/SAT, optimistic 3-cycle wakeup |
+//! | `associative-5-fwdpred` | associative | 5 | FSP/SAT, forward-predicted wakeup |
+//! | `indexed-3-fwd` | **indexed** | 3 | forwarding index prediction |
+//! | `indexed-3-fwd+dly` | **indexed** | 3 | forwarding + delay index prediction |
+//! | `indexed-5-fwd+dly` | **indexed** | 5 | the indexed scheme at a slow SQ (registry extension) |
 //!
 //! Memory ordering and forwarding mis-speculation are verified by
 //! SVW-filtered in-order pre-commit load re-execution, which also trains
@@ -55,12 +60,17 @@ mod dyninst;
 mod error;
 mod observer;
 mod oracle;
-mod processor;
+mod pipeline;
+pub mod policy;
 mod stats;
 
-pub use config::{IssueMix, OpLatencies, OrderingMode, SimConfig, SqDesign};
+pub use config::{IssueMix, OpLatencies, OrderingMode, ParseDesignError, SimConfig, SqDesign};
 pub use error::SimError;
 pub use observer::{ObserverAction, SimObserver};
 pub use oracle::{OracleFwd, OracleInfo};
-pub use processor::{Processor, StepOutcome};
+pub use pipeline::{Processor, StepOutcome};
+pub use policy::{
+    BuiltinPolicy, DesignCaps, DesignRegistry, ForwardingPolicy, LoadCommitInfo, LoadRename,
+    OracleHint, PipelineView, RegistryError, SqProbe,
+};
 pub use stats::SimStats;

@@ -1,0 +1,259 @@
+//! Commit: the SVW check, filtered re-execution, predictor training and
+//! flush repair (the policy's verify and repair touch-points).
+
+use sqip_isa::TraceRecord;
+use sqip_types::{Seq, Ssn};
+
+use crate::config::OrderingMode;
+use crate::dyninst::InstState;
+use crate::pipeline::{Processor, NOT_READY};
+use crate::policy::LoadCommitInfo;
+
+impl Processor<'_> {
+    pub(crate) fn commit_stage(&mut self) {
+        let mut reexec_budget = self.cfg.reexec_ports;
+        for _ in 0..self.cfg.commit_width {
+            let Some(&seq) = self.rob.front() else { break };
+            let eligible = {
+                let inst = &self.insts[&seq.0];
+                inst.state == InstState::Done && inst.commit_eligible <= self.cycle
+            };
+            if !eligible {
+                break;
+            }
+            let rec = *self.rec(seq);
+            if rec.is_load() && !self.commit_load(seq, &rec, &mut reexec_budget) {
+                break; // re-exec port stall or flush: stop committing
+            }
+            if rec.is_store() {
+                self.commit_store(seq, &rec);
+            }
+            if rec.op.is_conditional() {
+                self.stats.branches += 1;
+            }
+            self.retire(seq, &rec);
+        }
+    }
+
+    /// Returns `false` if commit must stop (port stall — load stays; or a
+    /// flush was triggered — load already retired inside).
+    fn commit_load(&mut self, seq: Seq, rec: &TraceRecord, reexec_budget: &mut usize) -> bool {
+        let span = rec.mem_addr().span(rec.size);
+        let (svw, older_unknown, value, fwd) = {
+            let inst = &self.insts[&seq.0];
+            (
+                inst.svw,
+                inst.older_unknown,
+                inst.value,
+                inst.forwarded_from,
+            )
+        };
+        self.stats.naive_reexec_candidates += u64::from(older_unknown);
+
+        // SVW filter (policy touch-point): re-execute only if a store the
+        // load is vulnerable to wrote its address. Under the conventional
+        // LQ CAM, ordering was verified at store execution and no
+        // re-execution happens at all.
+        let needs_reexec =
+            self.cfg.ordering == OrderingMode::SvwReexecution && self.policy.svw_newest(span) > svw;
+        let mut flush = false;
+        if needs_reexec {
+            if *reexec_budget == 0 {
+                self.stats.reexec_port_stalls += 1;
+                return false;
+            }
+            *reexec_budget -= 1;
+            self.stats.re_executions += 1;
+            self.hierarchy.touch(rec.mem_addr());
+            let correct = self.commit_mem.read(rec.mem_addr(), rec.size);
+            debug_assert_eq!(
+                correct, rec.result,
+                "commit-time memory must match the golden trace"
+            );
+            if value != correct {
+                // Mis-forwarding (or ordering violation): fix the load's
+                // value from re-execution and flush everything younger.
+                self.stats.mis_forwards += 1;
+                let inst = self.insts.get_mut(&seq.0).expect("load in flight");
+                inst.value = correct;
+                self.spec_value[seq.0 as usize] = correct;
+                flush = true;
+            }
+        }
+
+        // Policy touch-point: commit-time training (FSP/DDP per Table 1
+        // and §3.2–3.3, or original-Store-Sets violation merging).
+        let info = {
+            let inst = &self.insts[&seq.0];
+            LoadCommitInfo {
+                pc: rec.pc,
+                span,
+                flushed: flush,
+                pred_store_pc: inst.pred_store_pc,
+                ssn_fwd: inst.ssn_fwd,
+                prev_store_ssn: inst.prev_store_ssn,
+                was_delayed: inst.delay_gated,
+                path: inst.path,
+            }
+        };
+        self.policy.train_load_commit(&info);
+
+        // Per-load statistics.
+        self.stats.loads += 1;
+        self.stats.loads_forwarded += u64::from(fwd.is_some());
+        if let Some(f) = self.oracle.fwd(seq) {
+            if f.store_dist < self.cfg.sq_size as u64 {
+                self.stats.forwarding_relevant_loads += 1;
+            }
+        }
+        let inst = &self.insts[&seq.0];
+        let delay = inst.ddp_delay();
+        if inst.delay_gated && delay > 0 {
+            self.stats.loads_delayed += 1;
+            self.stats.delay_cycles += delay;
+        }
+
+        let _ = self.lq.commit_head();
+        if flush {
+            self.retire(seq, rec);
+            self.flush_younger(seq);
+            return false;
+        }
+        true
+    }
+
+    fn commit_store(&mut self, seq: Seq, rec: &TraceRecord) {
+        let entry = self.sq.commit_head();
+        debug_assert_eq!(entry.ssn, self.insts[&seq.0].my_ssn);
+        let span = rec.mem_addr().span(rec.size);
+        debug_assert_eq!(
+            entry.data, rec.result,
+            "store data must be architecturally correct by commit"
+        );
+        self.commit_mem.write(rec.mem_addr(), rec.size, entry.data);
+        self.hierarchy.touch(rec.mem_addr());
+        // Policy touch-point: verification-structure update (SSBF/SPCT).
+        self.policy.store_committed(rec.pc, span, entry.ssn);
+        self.ssn_cmt = entry.ssn;
+        self.stats.stores += 1;
+
+        // Release delay-gated and partial-stalled loads waiting on stores
+        // up to this SSN.
+        let mut released = self.wake_on_store_commit.split_off(&(entry.ssn.0 + 1));
+        std::mem::swap(&mut released, &mut self.wake_on_store_commit);
+        for (_, waiters) in released {
+            for w in waiters {
+                self.wake_one(w, true);
+            }
+        }
+    }
+
+    fn retire(&mut self, seq: Seq, rec: &TraceRecord) {
+        if let Some(d) = rec.dst {
+            self.committed_regs[d.index()] = self.insts[&seq.0].value;
+            if self.rename_map[d.index()] == Some(seq) {
+                self.rename_map[d.index()] = None;
+            }
+        }
+        let _ = self.rob.pop_front();
+        self.insts.remove(&seq.0);
+        self.policy.on_retire(seq);
+        self.stats.committed += 1;
+        self.last_commit_cycle = self.cycle;
+    }
+
+    /// Mid-window squash (LQ CAM violation): everything at or younger than
+    /// `from` is squashed and refetched; older instructions stay in flight.
+    pub(crate) fn squash_from(&mut self, from: Seq) {
+        self.stats.flushes += 1;
+        self.incarnation += 1;
+
+        let squashed: Vec<u64> = self
+            .insts
+            .keys()
+            .copied()
+            .filter(|&s| s >= from.0)
+            .collect();
+        self.stats.squashed += squashed.len() as u64;
+        for &s in &squashed {
+            self.insts.remove(&s);
+            self.value_ready[s as usize] = NOT_READY;
+            self.wake_time[s as usize] = NOT_READY;
+        }
+        let keep = self.rob.iter().take_while(|&&s| s < from).count();
+        self.rob.truncate(keep);
+        self.ready_q.retain(|&s| s < from.0);
+        self.iq_count = self
+            .insts
+            .values()
+            .filter(|i| matches!(i.state, InstState::Waiting | InstState::Ready))
+            .count();
+        self.lq.squash_from(from);
+
+        // SSNs roll back to the youngest surviving store.
+        let keep_ssn = self
+            .insts
+            .values()
+            .map(|i| i.my_ssn)
+            .max()
+            .unwrap_or(Ssn::NONE)
+            .max(self.ssn_cmt);
+        self.sq.squash_from(keep_ssn.next());
+        self.ssn_ren = keep_ssn;
+        // Policy touch-point: flush repair (SAT rollback, LFST clear).
+        self.policy.on_flush(from);
+
+        // Rebuild the rename map from the surviving window, oldest first.
+        self.rename_map = [None; sqip_isa::NUM_REGS];
+        let survivors: Vec<Seq> = self.rob.iter().copied().collect();
+        for s in survivors {
+            if let Some(d) = self.rec(s).dst {
+                self.rename_map[d.index()] = Some(s);
+            }
+        }
+
+        self.front_q.clear();
+        if self.pending_redirect.is_some_and(|s| s >= from) {
+            self.pending_redirect = None;
+        }
+        self.fetch_idx = from.0 as usize;
+        self.fetch_stall_until = self.cycle + 1;
+        self.draining_for_wrap = false;
+    }
+
+    /// Full pipeline flush: squash everything younger than the committing
+    /// load and refetch from the next instruction.
+    fn flush_younger(&mut self, from: Seq) {
+        self.stats.flushes += 1;
+        self.incarnation += 1;
+
+        for &s in self.insts.keys() {
+            self.value_ready[s as usize] = NOT_READY;
+            self.wake_time[s as usize] = NOT_READY;
+        }
+        self.stats.squashed += self.insts.len() as u64;
+        self.insts.clear();
+        self.rob.clear();
+        self.ready_q.clear();
+        self.iq_count = 0;
+        self.lq.clear();
+        self.sq.clear();
+        self.wake_on_value.clear();
+        self.wake_on_store_exec.clear();
+        self.wake_on_store_exec_strict.clear();
+        self.wake_on_store_commit.clear();
+        self.front_q.clear();
+        self.rename_map = [None; sqip_isa::NUM_REGS];
+
+        // All in-flight stores were squashed; the rename-time SSN counter
+        // rolls back to the committed high-water mark, and the policy
+        // undoes the squashed stores' speculative predictor writes.
+        self.ssn_ren = self.ssn_cmt;
+        self.policy.on_flush(from.next());
+        self.draining_for_wrap = false;
+
+        self.pending_redirect = None;
+        self.fetch_idx = from.0 as usize + 1;
+        self.fetch_stall_until = self.cycle + 1;
+    }
+}

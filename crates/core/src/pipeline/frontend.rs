@@ -1,0 +1,239 @@
+//! Front-end stages: fetch (with branch prediction) and rename (the
+//! policy's dependence / index prediction touch-point).
+
+use sqip_isa::{Op, TraceRecord};
+use sqip_types::Seq;
+
+use crate::dyninst::{DynInst, InstState, Operand};
+use crate::pipeline::Processor;
+use crate::policy::{OracleHint, PipelineView};
+
+impl Processor<'_> {
+    // ================================================================
+    // Fetch
+    // ================================================================
+
+    pub(crate) fn fetch_stage(&mut self) {
+        if self.cycle < self.fetch_stall_until || self.pending_redirect.is_some() {
+            return;
+        }
+        let mut budget = self.cfg.fetch_width;
+        let mut taken_seen = false;
+        let front_cap = self.cfg.fetch_width * 4;
+        while budget > 0 && self.fetch_idx < self.trace.len() && self.front_q.len() < front_cap {
+            let seq = Seq(self.fetch_idx as u64);
+            let rec = &self.trace.records()[self.fetch_idx];
+            let mispredicted = self.predict_branch(rec);
+            self.front_q
+                .push_back((seq, self.cycle + self.cfg.front_latency, self.path_history));
+            if rec.op.is_conditional() {
+                self.path_history = (self.path_history << 1) | u64::from(rec.taken);
+            }
+            self.fetch_idx += 1;
+            budget -= 1;
+            if mispredicted {
+                self.pending_redirect = Some(seq);
+                break;
+            }
+            if rec.taken {
+                if taken_seen {
+                    break; // at most one taken branch per fetch cycle
+                }
+                taken_seen = true;
+            }
+        }
+    }
+
+    /// Consults the branch predictor for a fetched record; returns whether
+    /// fetch must stall for resolution (misprediction).
+    ///
+    /// Tables and history are trained here, at fetch, rather than at
+    /// execute: with oracle-path fetch the outcome is already known, and
+    /// fetch-time training makes predictor accuracy a pure function of the
+    /// fetch sequence instead of execution timing, so store-queue designs
+    /// are compared under identical front-end behaviour.
+    fn predict_branch(&mut self, rec: &TraceRecord) -> bool {
+        match rec.op {
+            Op::BranchZ | Op::BranchNZ => {
+                let pred = self.bp.predict_conditional(rec.pc);
+                let mis = pred.taken != rec.taken; // direct targets resolve at decode
+                self.stats.branch_mispredicts += u64::from(mis);
+                self.bp.update(rec.pc, true, rec.taken, rec.next_pc);
+                mis
+            }
+            Op::Call => {
+                let _ = self.bp.predict_unconditional(rec.pc, true);
+                false
+            }
+            Op::Jump => false,
+            Op::Ret => {
+                let pred = self.bp.predict_return(rec.pc);
+                let mis = pred.target != Some(rec.next_pc);
+                self.stats.return_mispredicts += u64::from(mis);
+                mis
+            }
+            _ => false,
+        }
+    }
+
+    // ================================================================
+    // Rename
+    // ================================================================
+
+    pub(crate) fn rename_stage(&mut self) {
+        for _ in 0..self.cfg.rename_width {
+            let Some(&(seq, ready_at, path)) = self.front_q.front() else {
+                break;
+            };
+            if ready_at > self.cycle || self.rob.is_full() || self.iq_count >= self.cfg.iq_size {
+                break;
+            }
+            let rec = *self.rec(seq);
+            if rec.is_load() && self.lq.is_full() {
+                break;
+            }
+            if rec.is_store() {
+                if self.sq.is_full() {
+                    break;
+                }
+                // SSN wrap-around: drain the pipeline, then clear every
+                // SSN-holding structure (§3.1).
+                if self.ssn_ren.next().low_bits(self.cfg.ssn_bits) == 0 || self.draining_for_wrap {
+                    if !self.rob.is_empty() {
+                        self.draining_for_wrap = true;
+                        break;
+                    }
+                    self.draining_for_wrap = false;
+                    self.policy.on_ssn_wrap();
+                    self.stats.ssn_wraps += 1;
+                }
+            }
+            self.front_q.pop_front();
+            self.rename_one(seq, &rec, path);
+        }
+    }
+
+    fn rename_one(&mut self, seq: Seq, rec: &TraceRecord, path: u64) {
+        let mut inst = DynInst::new(seq, self.incarnation, self.ssn_ren);
+        inst.nondelay_ready = self.cycle;
+        inst.path = path;
+
+        // Resolve source operands against the rename map.
+        let mut gates = 0u32;
+        for (i, src) in rec.srcs.iter().enumerate() {
+            inst.srcs[i] = match src {
+                None => Operand::None,
+                Some(r) => match self.rename_map[r.index()] {
+                    Some(p) => {
+                        if self.wake_time[p.0 as usize] > self.cycle {
+                            gates += 1;
+                            self.wake_on_value.entry(p.0).or_default().push(seq.0);
+                        }
+                        Operand::InFlight(p)
+                    }
+                    None => Operand::Value(self.committed_regs[r.index()]),
+                },
+            };
+        }
+
+        if rec.is_store() {
+            self.ssn_ren = self.ssn_ren.next();
+            inst.my_ssn = self.ssn_ren;
+            self.sq
+                .allocate(inst.my_ssn, rec.pc)
+                .expect("SQ fullness checked before rename");
+            // Policy touch-point: store rename (SAT update, in-set
+            // serialisation under original Store Sets).
+            let view = PipelineView {
+                ssn_ren: self.ssn_ren,
+                ssn_cmt: self.ssn_cmt,
+                sq: &self.sq,
+            };
+            if let Some(pred) = self.policy.rename_store(rec.pc, inst.my_ssn, seq, &view) {
+                if pred.is_in_flight(self.ssn_cmt) && !self.sq.is_executed(pred) {
+                    gates += 1;
+                    self.wake_on_store_exec
+                        .entry(pred.0)
+                        .or_default()
+                        .push(seq.0);
+                }
+            }
+        }
+
+        if rec.is_load() {
+            self.lq
+                .allocate(seq, rec.pc)
+                .expect("LQ fullness checked before rename");
+            gates += self.attach_load_predictions(&mut inst, rec);
+        }
+
+        if let Some(d) = rec.dst {
+            self.rename_map[d.index()] = Some(seq);
+        }
+
+        inst.gates = gates;
+        inst.state = if gates == 0 {
+            InstState::Ready
+        } else {
+            InstState::Waiting
+        };
+        if gates == 0 {
+            self.ready_q.insert(seq.0);
+        }
+        self.iq_count += 1;
+        self.rob
+            .push_back(seq)
+            .expect("ROB fullness checked before rename");
+        self.insts.insert(seq.0, inst);
+    }
+
+    /// Policy touch-point: load rename. Feeds the policy (plus golden
+    /// forwarding information for oracle designs), copies its decisions
+    /// into the in-flight state and arms the scheduling gates it asked
+    /// for. Returns the number of gates added.
+    fn attach_load_predictions(&mut self, inst: &mut DynInst, rec: &TraceRecord) -> u32 {
+        let hint = if self.caps.oracle {
+            self.oracle.fwd(inst.seq).map(|f| OracleHint {
+                store_ssn: self.insts.get(&f.store_seq.0).map(|s| s.my_ssn),
+                covers: f.covers,
+            })
+        } else {
+            None
+        };
+        let view = PipelineView {
+            ssn_ren: self.ssn_ren,
+            ssn_cmt: self.ssn_cmt,
+            sq: &self.sq,
+        };
+        let decision = self.policy.rename_load(rec.pc, inst.path, hint, &view);
+
+        inst.pred_store_pc = decision.pred_store_pc;
+        inst.ssn_fwd = decision.ssn_fwd;
+        inst.ssn_dly = decision.ssn_dly;
+        inst.wait_exec_ssn = decision.wait_exec_ssn;
+        inst.delay_gated = decision.delay_gated;
+
+        // Arm the gates, dropping any that could never release (already
+        // executed / already committed) so no policy can deadlock a load.
+        let mut gates = 0;
+        if let Some(ssn) = decision.exec_gate {
+            if ssn.is_in_flight(self.ssn_cmt) && !self.sq.is_executed(ssn) {
+                gates += 1;
+                self.wake_on_store_exec
+                    .entry(ssn.0)
+                    .or_default()
+                    .push(inst.seq.0);
+            }
+        }
+        if let Some(ssn) = decision.commit_gate {
+            if ssn > self.ssn_cmt {
+                gates += 1;
+                self.wake_on_store_commit
+                    .entry(ssn.0)
+                    .or_default()
+                    .push(inst.seq.0);
+            }
+        }
+        gates
+    }
+}

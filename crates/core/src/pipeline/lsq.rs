@@ -1,0 +1,231 @@
+//! Execution and the load/store unit: the policy's store-queue probe
+//! touch-point (associative search vs indexed read), store execution and
+//! the LQ-CAM ordering check.
+
+use std::cmp::Reverse;
+
+use sqip_isa::{Op, OpClass, TraceRecord};
+use sqip_types::Seq;
+
+use crate::config::OrderingMode;
+use crate::dyninst::{InstState, Operand};
+use crate::pipeline::{EvKind, Processor};
+use crate::policy::SqProbe;
+
+impl Processor<'_> {
+    pub(crate) fn do_execute(&mut self, seq: Seq) {
+        let rec = *self.rec(seq);
+
+        // Selective replay: operands whose producers are not actually ready
+        // (scheduler latency mis-speculation) force a replay.
+        let mut unready: Vec<u64> = Vec::new();
+        {
+            let inst = &self.insts[&seq.0];
+            for src in inst.srcs {
+                if let Operand::InFlight(p) = src {
+                    if self.value_ready[p.0 as usize] > self.cycle {
+                        unready.push(p.0);
+                    }
+                }
+            }
+        }
+        if !unready.is_empty() {
+            self.replay(seq, &unready);
+            return;
+        }
+
+        let (s1, s2) = self.operand_values(seq);
+        match rec.op.class() {
+            OpClass::Load => self.execute_load(seq, &rec),
+            OpClass::Store => self.execute_store(seq, &rec, s2),
+            OpClass::Branch => self.execute_branch(seq, &rec),
+            _ => {
+                let value = rec.op.eval(s1, s2, rec.imm);
+                let latency = self.predicted_latency(&rec, seq.0);
+                self.complete(seq, value, latency);
+            }
+        }
+    }
+
+    fn operand_values(&self, seq: Seq) -> (u64, u64) {
+        let inst = &self.insts[&seq.0];
+        let get = |o: Operand| match o {
+            Operand::None => 0,
+            Operand::Value(v) => v,
+            Operand::InFlight(p) => self.spec_value[p.0 as usize],
+        };
+        (get(inst.srcs[0]), get(inst.srcs[1]))
+    }
+
+    /// Finishes execution: value known, completion scheduled.
+    pub(crate) fn complete(&mut self, seq: Seq, value: u64, latency: u64) {
+        let ready_at = self.cycle + latency;
+        self.spec_value[seq.0 as usize] = value;
+        self.value_ready[seq.0 as usize] = ready_at;
+        let post = self.cfg.post_exec_depth;
+        {
+            let inst = self
+                .insts
+                .get_mut(&seq.0)
+                .expect("completing inst in flight");
+            inst.state = InstState::Done;
+            inst.value = value;
+            inst.complete_cycle = ready_at;
+            inst.commit_eligible = ready_at + post;
+        }
+        // Consumers that replayed while this instruction was mid-flight
+        // (its issue-time broadcast already fired) re-registered on the
+        // wait list; a successful execution is the last broadcast they can
+        // get. Time it so their execute lines up with value readiness.
+        if self.wake_on_value.contains_key(&seq.0) {
+            let inc = self.insts[&seq.0].incarnation;
+            let at = ready_at
+                .saturating_sub(self.cfg.issue_to_exec)
+                .max(self.cycle + 1);
+            self.events
+                .push(Reverse((at, EvKind::Broadcast, seq.0, inc)));
+        }
+    }
+
+    fn execute_store(&mut self, seq: Seq, rec: &TraceRecord, data_operand: u64) {
+        let span = rec.mem_addr().span(rec.size);
+        let data = rec.size.truncate(data_operand);
+        let ssn = self.insts[&seq.0].my_ssn;
+        self.sq.write(ssn, span, data);
+        // Policy touch-point: store execution (LFST update under original
+        // Store Sets).
+        self.policy.store_executed(rec.pc, ssn);
+        if self.cfg.ordering == OrderingMode::LqCam {
+            // Conventional LQ search: any younger, already-executed load
+            // overlapping this store's span read a stale value. Flush from
+            // the oldest such load and train the schedulers.
+            let victim = self
+                .lq
+                .iter()
+                .find(|l| l.seq > seq && l.span.is_some_and(|ls| ls.overlaps(span)) && l.svw < ssn)
+                .map(|l| (l.seq, l.pc));
+            if let Some((lseq, lpc)) = victim {
+                self.stats.mis_forwards += 1;
+                self.policy.cam_violation(lpc, rec.pc);
+                self.complete(seq, data, 1);
+                self.squash_from(lseq);
+                return;
+            }
+        }
+        self.complete(seq, data, 1);
+        // Wake loads waiting on this store's execution (forwarding gate).
+        if let Some(waiters) = self.wake_on_store_exec.remove(&ssn.0) {
+            for w in waiters {
+                self.wake_one(w, false);
+            }
+        }
+        if let Some(waiters) = self.wake_on_store_exec_strict.remove(&ssn.0) {
+            for w in waiters {
+                self.wake_one(w, false);
+            }
+        }
+    }
+
+    fn execute_branch(&mut self, seq: Seq, rec: &TraceRecord) {
+        // (The predictor was trained at fetch; execution only resolves the
+        // pending redirect.)
+        // Link value for calls; 0 for other transfers.
+        let value = if rec.op == Op::Call {
+            rec.pc.next().0
+        } else {
+            0
+        };
+        self.complete(seq, value, self.cfg.latencies.branch);
+        if self.pending_redirect == Some(seq) {
+            self.pending_redirect = None;
+            self.fetch_stall_until = self.cycle + 1;
+        }
+    }
+
+    fn execute_load(&mut self, seq: Seq, rec: &TraceRecord) {
+        let span = rec.mem_addr().span(rec.size);
+        let (prev_store_ssn, ssn_fwd, wait_exec) = {
+            let inst = &self.insts[&seq.0];
+            (inst.prev_store_ssn, inst.ssn_fwd, inst.wait_exec_ssn)
+        };
+
+        // The load was scheduled chasing a store's execution; if that store
+        // replayed, the load replays too (forwarding mis-schedule).
+        if let Some(gate) = wait_exec {
+            if gate.is_in_flight(self.ssn_cmt) && !self.sq.is_executed(gate) {
+                self.stats.replays += 1;
+                let inst = self.insts.get_mut(&seq.0).expect("load in flight");
+                inst.state = InstState::Waiting;
+                inst.gates = 1;
+                inst.replays += 1;
+                self.iq_count += 1;
+                self.wake_on_store_exec_strict
+                    .entry(gate.0)
+                    .or_default()
+                    .push(seq.0);
+                return;
+            }
+        }
+
+        // The data cache is accessed in parallel with the SQ in all designs.
+        let cache_outcome = self.hierarchy.access(rec.mem_addr());
+        let cache_value = self.commit_mem.read(rec.mem_addr(), rec.size);
+        let older_unknown = self.sq.has_unexecuted_older(prev_store_ssn);
+
+        // Policy touch-point: the SQ probe (associative search, indexed
+        // read, or whatever the design does).
+        let probe = self.policy.probe_sq(
+            &self.sq,
+            prev_store_ssn,
+            ssn_fwd,
+            self.ssn_cmt,
+            span,
+            rec.size,
+        );
+        let (value, latency, forwarded, svw) = match probe {
+            SqProbe::Forward {
+                ssn,
+                value,
+                latency,
+            } => (value, latency, Some(ssn), ssn),
+            SqProbe::Partial { ssn } => {
+                // No single entry can supply the value: stall until the
+                // store commits, then retry (reads the cache).
+                self.stats.partial_stalls += 1;
+                let inst = self.insts.get_mut(&seq.0).expect("load in flight");
+                inst.state = InstState::Waiting;
+                inst.gates = 1;
+                inst.partial_stalled = true;
+                self.iq_count += 1;
+                if ssn > self.ssn_cmt {
+                    self.wake_on_store_commit
+                        .entry(ssn.0)
+                        .or_default()
+                        .push(seq.0);
+                } else {
+                    // Committed in the meantime: retry immediately.
+                    let inc = self.insts[&seq.0].incarnation;
+                    self.events
+                        .push(Reverse((self.cycle + 1, EvKind::Wake, seq.0, inc)));
+                }
+                return;
+            }
+            SqProbe::Miss => (
+                cache_value,
+                cache_outcome.total_latency(),
+                None,
+                self.ssn_cmt,
+            ),
+        };
+
+        self.lq
+            .record_execution(seq, span, value, svw, older_unknown);
+        {
+            let inst = self.insts.get_mut(&seq.0).expect("load in flight");
+            inst.forwarded_from = forwarded;
+            inst.svw = svw;
+            inst.older_unknown = older_unknown;
+        }
+        self.complete(seq, value, latency);
+    }
+}

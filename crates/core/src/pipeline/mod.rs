@@ -1,0 +1,415 @@
+//! The cycle-level out-of-order processor model.
+//!
+//! A 19-stage, 8-way machine driven by a golden trace (oracle control-flow
+//! path, architectural addresses) that recomputes *values* speculatively
+//! through the modelled dataflow. Store-load forwarding — the subject of
+//! the paper — is simulated exactly: loads obtain values from the store
+//! queue or from committed memory as decided by the configured
+//! [`ForwardingPolicy`], wrong values propagate to dependents, and
+//! SVW-filtered pre-commit re-execution catches mis-speculations and
+//! flushes.
+//!
+//! The pipeline itself is design-agnostic: every design-specific decision
+//! is a call into the policy object resolved from
+//! [`SimConfig::design`](crate::SimConfig) via the
+//! [`DesignRegistry`](crate::DesignRegistry). The stages live in focused
+//! submodules:
+//!
+//! * [`frontend`](self) — fetch, branch prediction, rename (policy
+//!   touch-point 1: dependence / index prediction);
+//! * [`schedule`](self) — issue selection, wakeup events, latency
+//!   speculation (touch-point 2);
+//! * [`lsq`](self) — execution, the SQ probe, the LQ (touch-point 3);
+//! * [`commit`](self) — SVW-filtered re-execution, training, flush
+//!   repair (touch-points 4 and 5).
+
+mod commit;
+mod frontend;
+mod lsq;
+mod schedule;
+#[cfg(test)]
+mod tests;
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+
+use sqip_isa::{Trace, TraceRecord};
+use sqip_mem::{Hierarchy, MemImage};
+use sqip_predictors::BranchPredictor;
+use sqip_queues::{LoadQueue, StoreQueue, Window};
+use sqip_types::{Addr, DataSize, Seq, Ssn};
+
+use crate::config::SimConfig;
+use crate::dyninst::DynInst;
+use crate::error::SimError;
+use crate::observer::{ObserverAction, SimObserver};
+use crate::oracle::OracleInfo;
+use crate::policy::{DesignCaps, DesignRegistry, ForwardingPolicy};
+use crate::stats::SimStats;
+
+pub(crate) const NOT_READY: u64 = u64::MAX;
+/// Cycles without a commit after which the simulator declares deadlock.
+const WATCHDOG_CYCLES: u64 = 500_000;
+
+/// What a [`Processor::step`] (or [`Processor::run_until`]) left behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The trace has not fully committed yet.
+    Running,
+    /// Every trace record has committed; statistics are final.
+    Done,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum EvKind {
+    /// Wakeup broadcast: consumers of this producer may now issue.
+    Broadcast,
+    /// Targeted wake of one waiting instruction (replay re-wake).
+    Wake,
+    /// Speculative wake of loads gated on a store's execution (key is the
+    /// store's SSN). Fired one cycle after the store issues, so that a
+    /// dependent load's SQ access lines up right behind the store's SQ
+    /// write; loads that arrive early (the store replayed) replay too.
+    StoreWake,
+    /// The instruction reaches its execute stage.
+    Exec,
+}
+
+/// The simulator.
+///
+/// Build one per (configuration, trace) pair and call [`Processor::run`].
+///
+/// # Example
+///
+/// ```
+/// use sqip_core::{Processor, SimConfig, SqDesign};
+/// use sqip_isa::{trace_program, ProgramBuilder, Reg};
+/// use sqip_types::DataSize;
+///
+/// let mut b = ProgramBuilder::new();
+/// let (v, t) = (Reg::new(1), Reg::new(2));
+/// b.load_imm(v, 7);
+/// b.store(DataSize::Quad, v, Reg::ZERO, 0x100);
+/// b.load(DataSize::Quad, t, Reg::ZERO, 0x100);
+/// b.halt();
+/// let trace = trace_program(&b.build()?, 100)?;
+///
+/// let stats = Processor::new(SimConfig::with_design(SqDesign::Indexed3FwdDly), &trace).run();
+/// assert_eq!(stats.committed, trace.len() as u64);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Processor<'t> {
+    pub(crate) cfg: SimConfig,
+    pub(crate) trace: &'t Trace,
+    pub(crate) oracle: OracleInfo,
+
+    pub(crate) cycle: u64,
+    pub(crate) incarnation: u64,
+    pub(crate) last_commit_cycle: u64,
+
+    // ---- front end ----
+    pub(crate) fetch_idx: usize,
+    pub(crate) fetch_stall_until: u64,
+    /// Mispredicted branch whose resolution fetch is waiting for.
+    pub(crate) pending_redirect: Option<Seq>,
+    /// Fetched instructions awaiting rename: (seq, rename-eligible cycle,
+    /// fetch-time path history snapshot).
+    pub(crate) front_q: std::collections::VecDeque<(Seq, u64, u64)>,
+    /// Branch-outcome path history at fetch (for path-qualified FSP).
+    pub(crate) path_history: u64,
+
+    // ---- rename ----
+    pub(crate) ssn_ren: Ssn,
+    pub(crate) rename_map: [Option<Seq>; sqip_isa::NUM_REGS],
+    pub(crate) committed_regs: [u64; sqip_isa::NUM_REGS],
+    /// Waiting for the ROB to drain before wrapping the SSN space.
+    pub(crate) draining_for_wrap: bool,
+
+    // ---- backend ----
+    pub(crate) rob: Window<Seq>,
+    pub(crate) insts: HashMap<u64, DynInst>,
+    pub(crate) iq_count: usize,
+    pub(crate) ready_q: BTreeSet<u64>,
+    pub(crate) events: BinaryHeap<Reverse<(u64, EvKind, u64, u64)>>,
+    /// Producer seq -> consumers waiting for its wakeup broadcast.
+    pub(crate) wake_on_value: HashMap<u64, Vec<u64>>,
+    /// Store SSN -> loads waiting for it to execute (forwarding dependence).
+    /// Drained speculatively when the store issues (StoreWake).
+    pub(crate) wake_on_store_exec: HashMap<u64, Vec<u64>>,
+    /// Store SSN -> loads that already replayed once chasing this store;
+    /// drained only when the store actually executes (no more speculative
+    /// wakes, breaking replay cascades).
+    pub(crate) wake_on_store_exec_strict: HashMap<u64, Vec<u64>>,
+    /// Store SSN -> loads waiting for it to commit (delay / partial hit).
+    pub(crate) wake_on_store_commit: BTreeMap<u64, Vec<u64>>,
+
+    // ---- dense per-seq value state (survives commit, reset on squash) ----
+    pub(crate) spec_value: Vec<u64>,
+    pub(crate) value_ready: Vec<u64>,
+    pub(crate) wake_time: Vec<u64>,
+
+    // ---- memory system ----
+    pub(crate) sq: StoreQueue,
+    pub(crate) lq: LoadQueue,
+    pub(crate) hierarchy: Hierarchy,
+    pub(crate) commit_mem: MemImage,
+    pub(crate) ssn_cmt: Ssn,
+
+    // ---- design policy + design-independent branch prediction ----
+    /// The store-queue design under test: predictor state + decisions at
+    /// the five pipeline touch-points.
+    pub(crate) policy: Box<dyn ForwardingPolicy>,
+    /// The policy's capabilities, cached at construction for hot paths.
+    pub(crate) caps: DesignCaps,
+    pub(crate) bp: BranchPredictor,
+
+    pub(crate) stats: SimStats,
+}
+
+impl<'t> Processor<'t> {
+    /// Builds a processor for one run over `trace`, validating the
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] if the configuration is inconsistent
+    /// (see [`SimConfig::try_validate`]).
+    pub fn try_new(cfg: SimConfig, trace: &'t Trace) -> Result<Processor<'t>, SimError> {
+        cfg.try_validate()?;
+        Ok(Processor::new_unchecked(cfg, trace))
+    }
+
+    /// Builds a processor for one run over `trace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`SimConfig::validate`]).
+    #[must_use]
+    pub fn new(cfg: SimConfig, trace: &'t Trace) -> Processor<'t> {
+        cfg.validate();
+        Processor::new_unchecked(cfg, trace)
+    }
+
+    fn new_unchecked(cfg: SimConfig, trace: &'t Trace) -> Processor<'t> {
+        let n = trace.len() + 1;
+        let policy = DesignRegistry::global()
+            .instantiate(cfg.design, &cfg)
+            .expect("design resolved during config validation");
+        let caps = policy.caps();
+        Processor {
+            oracle: OracleInfo::analyze(trace),
+            cycle: 0,
+            incarnation: 0,
+            last_commit_cycle: 0,
+            fetch_idx: 0,
+            fetch_stall_until: 0,
+            pending_redirect: None,
+            front_q: std::collections::VecDeque::new(),
+            path_history: 0,
+            ssn_ren: Ssn::NONE,
+            rename_map: [None; sqip_isa::NUM_REGS],
+            committed_regs: [0; sqip_isa::NUM_REGS],
+            draining_for_wrap: false,
+            rob: Window::new(cfg.rob_size),
+            insts: HashMap::new(),
+            iq_count: 0,
+            ready_q: BTreeSet::new(),
+            events: BinaryHeap::new(),
+            wake_on_value: HashMap::new(),
+            wake_on_store_exec: HashMap::new(),
+            wake_on_store_exec_strict: HashMap::new(),
+            wake_on_store_commit: BTreeMap::new(),
+            spec_value: vec![0; n],
+            value_ready: vec![NOT_READY; n],
+            wake_time: vec![NOT_READY; n],
+            sq: StoreQueue::new(cfg.sq_size),
+            lq: LoadQueue::new(cfg.lq_size),
+            hierarchy: Hierarchy::new(cfg.hierarchy),
+            commit_mem: MemImage::new(),
+            ssn_cmt: Ssn::NONE,
+            bp: BranchPredictor::new(cfg.branch),
+            policy,
+            caps,
+            stats: SimStats::default(),
+            cfg,
+            trace,
+        }
+    }
+
+    /// Whether the whole trace has committed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        (self.stats.committed as usize) >= self.trace.len()
+    }
+
+    /// The current cycle number.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The statistics accumulated so far. [`Processor::step`] folds the
+    /// cycle count and cache counters in after every cycle, so the view
+    /// is consistent mid-run.
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The committed architectural value of register `r` (used by
+    /// cross-design equivalence tests: every sound policy must retire the
+    /// same architectural state).
+    #[must_use]
+    pub fn committed_reg(&self, r: sqip_isa::Reg) -> u64 {
+        self.committed_regs[r.index()]
+    }
+
+    /// Reads the committed memory image — the architectural memory state
+    /// built by retired stores.
+    #[must_use]
+    pub fn committed_mem(&self, addr: Addr, size: DataSize) -> u64 {
+        self.commit_mem.read(addr, size)
+    }
+
+    /// Folds the hierarchy counters and cycle count into `stats` so the
+    /// snapshot is consistent at any point of the run. Idempotent.
+    fn sync_stats(&mut self) {
+        self.stats.cycles = self.cycle;
+        self.stats.l1 = self.hierarchy.l1_stats();
+        self.stats.l2 = self.hierarchy.l2_stats();
+        self.stats.tlb = self.hierarchy.tlb_stats();
+    }
+
+    /// Simulates one cycle.
+    ///
+    /// Returns [`StepOutcome::Done`] once the whole trace has committed
+    /// (further calls are no-ops that keep returning `Done`).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] if no instruction has committed for an
+    /// implausibly long time — a simulator bug, not a program property.
+    pub fn step(&mut self) -> Result<StepOutcome, SimError> {
+        if self.is_done() {
+            self.sync_stats();
+            return Ok(StepOutcome::Done);
+        }
+        self.cycle += 1;
+        self.commit_stage();
+        self.process_events();
+        self.issue_stage();
+        self.rename_stage();
+        self.fetch_stage();
+        self.sync_stats();
+        if self.is_done() {
+            return Ok(StepOutcome::Done);
+        }
+        if self.cycle - self.last_commit_cycle >= WATCHDOG_CYCLES {
+            return Err(self.deadlock_error());
+        }
+        Ok(StepOutcome::Running)
+    }
+
+    /// Runs until the trace commits fully or `cycle_limit` is reached,
+    /// whichever comes first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Deadlock`] from [`Processor::step`].
+    pub fn run_until(&mut self, cycle_limit: u64) -> Result<StepOutcome, SimError> {
+        while self.cycle < cycle_limit {
+            if self.step()? == StepOutcome::Done {
+                return Ok(StepOutcome::Done);
+            }
+        }
+        Ok(if self.is_done() {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Running
+        })
+    }
+
+    /// Runs the trace to completion and returns the statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] if the pipeline stops committing.
+    pub fn try_run(mut self) -> Result<SimStats, SimError> {
+        while self.step()? == StepOutcome::Running {}
+        Ok(self.stats)
+    }
+
+    /// Runs to completion with observation hooks: `observer` is started
+    /// before the first cycle, called every [`SimObserver::interval`]
+    /// cycles, and may abort the run early (the partial statistics are
+    /// returned, with `committed < trace.len()`).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] if the pipeline stops committing.
+    pub fn run_observed<O: SimObserver + ?Sized>(
+        mut self,
+        observer: &mut O,
+    ) -> Result<SimStats, SimError> {
+        observer.on_start(&self.cfg, self.trace.len());
+        let interval = observer.interval().max(1);
+        while self.step()? == StepOutcome::Running {
+            if self.cycle.is_multiple_of(interval)
+                && observer.on_interval(self.cycle, &self.stats) == ObserverAction::Abort
+            {
+                return Ok(self.stats);
+            }
+        }
+        observer.on_finish(&self.stats);
+        Ok(self.stats)
+    }
+
+    /// Runs the trace to completion and returns the statistics.
+    ///
+    /// This is the legacy convenience wrapper around
+    /// [`Processor::try_run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pipeline deadlocks (no commit for a long time), which
+    /// indicates a simulator bug rather than a program property.
+    #[must_use]
+    pub fn run(self) -> SimStats {
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn deadlock_error(&self) -> SimError {
+        let head = self.rob.front().map(|&s| {
+            let i = &self.insts[&s.0];
+            format!(
+                "head {} op={} state={:?} gates={} fwd={} dly={} wait_exec={:?} prev={} ssn_cmt={}",
+                s.0,
+                self.rec(s).op,
+                i.state,
+                i.gates,
+                i.ssn_fwd,
+                i.ssn_dly,
+                i.wait_exec_ssn,
+                i.prev_store_ssn,
+                self.ssn_cmt
+            )
+        });
+        SimError::Deadlock {
+            cycle: self.cycle,
+            committed: self.stats.committed,
+            detail: format!(
+                "fetch_idx {}, rob {}, iq {}, head {:?}",
+                self.fetch_idx,
+                self.rob.len(),
+                self.iq_count,
+                head
+            ),
+        }
+    }
+
+    pub(crate) fn rec(&self, seq: Seq) -> &TraceRecord {
+        &self.trace.records()[seq.0 as usize]
+    }
+}

@@ -1,0 +1,183 @@
+//! Scheduling: issue selection, the event queue (wakeups, replays) and
+//! load-latency speculation (the policy's scheduling touch-point).
+
+use std::cmp::Reverse;
+
+use sqip_isa::{OpClass, TraceRecord};
+use sqip_types::Seq;
+
+use crate::dyninst::InstState;
+use crate::pipeline::{EvKind, Processor, NOT_READY};
+
+impl Processor<'_> {
+    pub(crate) fn issue_stage(&mut self) {
+        let mix = self.cfg.issue;
+        let (mut total, mut int, mut fp, mut br, mut ld, mut st) =
+            (mix.total, mix.int, mix.fp, mix.branch, mix.load, mix.store);
+        let mut issued = Vec::new();
+
+        for &seq in &self.ready_q {
+            if total == 0 {
+                break;
+            }
+            let class = self.trace.records()[seq as usize].op.class();
+            let port = match class {
+                OpClass::IntAlu | OpClass::IntMul | OpClass::None => &mut int,
+                OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => &mut fp,
+                OpClass::Branch => &mut br,
+                OpClass::Load => &mut ld,
+                OpClass::Store => &mut st,
+            };
+            if *port == 0 {
+                continue; // port conflict: skip, stay ready
+            }
+            *port -= 1;
+            total -= 1;
+            issued.push(seq);
+        }
+
+        for seq in issued {
+            self.ready_q.remove(&seq);
+            self.iq_count -= 1;
+            let (inc, my_ssn) = {
+                let inst = self.insts.get_mut(&seq).expect("ready inst in flight");
+                debug_assert_eq!(inst.state, InstState::Ready);
+                inst.state = InstState::Issued;
+                (inst.incarnation, inst.my_ssn)
+            };
+            let exec_at = self.cycle + self.cfg.issue_to_exec;
+            self.events.push(Reverse((exec_at, EvKind::Exec, seq, inc)));
+            if my_ssn.is_some() {
+                // Speculatively wake forwarding-gated loads behind this
+                // store so their SQ read chases its SQ write.
+                self.events
+                    .push(Reverse((self.cycle + 1, EvKind::StoreWake, my_ssn.0, inc)));
+            }
+
+            // Wakeup broadcast for register consumers, timed so a
+            // back-to-back dependent executes exactly when the value is
+            // predicted to be ready.
+            let rec = &self.trace.records()[seq as usize];
+            if rec.dst.is_some() {
+                let pred_latency = self.predicted_latency(rec, seq);
+                let broadcast_at = (exec_at + pred_latency)
+                    .saturating_sub(self.cfg.issue_to_exec)
+                    .max(self.cycle + 1);
+                self.wake_time[seq as usize] = broadcast_at;
+                self.events
+                    .push(Reverse((broadcast_at, EvKind::Broadcast, seq, inc)));
+            }
+        }
+    }
+
+    /// The latency the scheduler assumes for this instruction's value —
+    /// loads defer to the policy's latency-speculation touch-point.
+    pub(crate) fn predicted_latency(&self, rec: &TraceRecord, seq: u64) -> u64 {
+        let l = self.cfg.latencies;
+        match rec.op.class() {
+            OpClass::IntAlu | OpClass::None => l.int_alu,
+            OpClass::IntMul => l.int_mul,
+            OpClass::FpAdd => l.fp_add,
+            OpClass::FpMul => l.fp_mul,
+            OpClass::FpDiv => l.fp_div,
+            OpClass::Branch => l.branch,
+            OpClass::Store => 1,
+            OpClass::Load => {
+                let cache = self.cfg.hierarchy.l1.hit_latency;
+                let predicts_forward = self.insts[&seq].ssn_fwd.is_some();
+                self.policy.wakeup_latency(predicts_forward, cache)
+            }
+        }
+    }
+
+    // ================================================================
+    // Events (execute, wakeup)
+    // ================================================================
+
+    pub(crate) fn process_events(&mut self) {
+        while let Some(&Reverse((at, kind, seq, inc))) = self.events.peek() {
+            if at > self.cycle {
+                break;
+            }
+            self.events.pop();
+            // Drop events addressed to squashed incarnations. Broadcasts
+            // are exempt: a producer may legitimately commit before its
+            // re-broadcast fires, and its registered consumers must still
+            // wake (wake_one itself guards against squashed consumers).
+            let alive = self.insts.get(&seq).is_some_and(|i| i.incarnation == inc);
+            match kind {
+                EvKind::Broadcast => self.do_broadcast(seq),
+                EvKind::Wake => {
+                    if alive {
+                        self.wake_one(seq, false);
+                    }
+                }
+                EvKind::StoreWake => {
+                    // `seq` carries the store's SSN, not a sequence number.
+                    if let Some(waiters) = self.wake_on_store_exec.remove(&seq) {
+                        for w in waiters {
+                            self.wake_one(w, false);
+                        }
+                    }
+                }
+                EvKind::Exec => {
+                    if alive {
+                        self.do_execute(Seq(seq));
+                    }
+                }
+            }
+        }
+    }
+
+    fn do_broadcast(&mut self, producer: u64) {
+        let Some(consumers) = self.wake_on_value.remove(&producer) else {
+            return;
+        };
+        for c in consumers {
+            self.wake_one(c, false);
+        }
+    }
+
+    pub(crate) fn wake_one(&mut self, seq: u64, is_delay_gate: bool) {
+        let Some(inst) = self.insts.get_mut(&seq) else {
+            return;
+        };
+        if inst.state != InstState::Waiting {
+            return;
+        }
+        if inst.release_gate(self.cycle, is_delay_gate) {
+            inst.state = InstState::Ready;
+            self.ready_q.insert(seq);
+        }
+    }
+
+    pub(crate) fn replay(&mut self, seq: Seq, unready: &[u64]) {
+        self.stats.replays += 1;
+        let now = self.cycle;
+        let issue_to_exec = self.cfg.issue_to_exec;
+        let mut wakes = Vec::new();
+        {
+            let inst = self
+                .insts
+                .get_mut(&seq.0)
+                .expect("replaying inst in flight");
+            inst.state = InstState::Waiting;
+            inst.replays += 1;
+            inst.gates = unready.len() as u32;
+        }
+        for &p in unready {
+            let vr = self.value_ready[p as usize];
+            if vr == NOT_READY {
+                // Producer hasn't executed; it will re-broadcast.
+                self.wake_on_value.entry(p).or_default().push(seq.0);
+            } else {
+                wakes.push(vr.saturating_sub(issue_to_exec).max(now + 1));
+            }
+        }
+        self.iq_count += 1;
+        let inc = self.insts[&seq.0].incarnation;
+        for at in wakes {
+            self.events.push(Reverse((at, EvKind::Wake, seq.0, inc)));
+        }
+    }
+}

@@ -1,0 +1,574 @@
+//! Pipeline unit tests (moved from the pre-split `processor.rs`).
+
+use sqip_isa::Trace;
+
+use crate::config::{SimConfig, SqDesign};
+use crate::pipeline::Processor;
+use crate::stats::SimStats;
+
+mod behaviour {
+    use super::*;
+    use sqip_isa::{trace_program, ProgramBuilder, Reg};
+    use sqip_types::DataSize;
+
+    fn run_design(design: SqDesign, trace: &Trace) -> SimStats {
+        Processor::new(SimConfig::with_design(design), trace).run()
+    }
+
+    /// st/ld to the same address every iteration: classic forwarding.
+    fn forwarding_loop(iters: i64) -> Trace {
+        let mut b = ProgramBuilder::new();
+        let (ctr, v, t) = (Reg::new(1), Reg::new(2), Reg::new(3));
+        b.load_imm(ctr, iters);
+        b.load_imm(v, 7);
+        let top = b.label("top");
+        b.add_imm(v, v, 3);
+        b.store(DataSize::Quad, v, Reg::ZERO, 0x100);
+        b.load(DataSize::Quad, t, Reg::ZERO, 0x100);
+        b.add(t, t, v); // consume the loaded value
+        b.add_imm(ctr, ctr, -1);
+        b.branch_nz(ctr, top);
+        b.halt();
+        trace_program(&b.build().unwrap(), 1_000_000).unwrap()
+    }
+
+    /// The paper's not-most-recent pathology: X[i] = A * X[i-2].
+    fn not_most_recent_loop(iters: i64) -> Trace {
+        let mut b = ProgramBuilder::new();
+        let (ctr, ptr, x, y) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
+        b.load_imm(ctr, iters);
+        b.load_imm(ptr, 0x1000);
+        // Seed X[0], X[1].
+        b.load_imm(x, 1);
+        b.store(DataSize::Quad, x, ptr, 0);
+        b.store(DataSize::Quad, x, ptr, 8);
+        let top = b.label("top");
+        b.load(DataSize::Quad, y, ptr, 0); // X[i-2]
+        b.mul_imm(y, y, 3); // A * X[i-2]
+        b.store(DataSize::Quad, y, ptr, 16); // X[i]
+        b.add_imm(ptr, ptr, 8);
+        b.add_imm(ctr, ctr, -1);
+        b.branch_nz(ctr, top);
+        b.halt();
+        trace_program(&b.build().unwrap(), 1_000_000).unwrap()
+    }
+
+    /// Pointer-chase over a large ring: cache misses, no forwarding.
+    fn pointer_chase(iters: i64) -> Trace {
+        let mut b = ProgramBuilder::new();
+        let (ctr, p) = (Reg::new(1), Reg::new(2));
+        // Build a ring of 4096 nodes, stride 1 page to defeat the L1/TLB.
+        let nodes = 512i64;
+        b.load_imm(ctr, nodes);
+        b.load_imm(p, 0x10_0000);
+        let init = b.label("init");
+        {
+            let (nxt,) = (Reg::new(3),);
+            b.add_imm(nxt, p, 4096);
+            b.store(DataSize::Quad, nxt, p, 0);
+            b.add_imm(p, p, 4096);
+            b.add_imm(ctr, ctr, -1);
+            b.branch_nz(ctr, init);
+        }
+        // Close the ring.
+        let last = 0x10_0000 + (nodes - 1) * 4096;
+        let (head,) = (Reg::new(3),);
+        b.load_imm(head, 0x10_0000);
+        b.load_imm(p, last);
+        b.store(DataSize::Quad, head, p, 0);
+        // Chase.
+        b.load_imm(ctr, iters);
+        b.load_imm(p, 0x10_0000);
+        let top = b.label("chase");
+        b.load(DataSize::Quad, p, p, 0);
+        b.add_imm(ctr, ctr, -1);
+        b.branch_nz(ctr, top);
+        b.halt();
+        trace_program(&b.build().unwrap(), 10_000_000).unwrap()
+    }
+
+    #[test]
+    fn all_designs_complete_a_forwarding_loop() {
+        let trace = forwarding_loop(200);
+        for design in SqDesign::ALL {
+            let stats = run_design(design, &trace);
+            assert_eq!(
+                stats.committed,
+                trace.len() as u64,
+                "{design} must commit the whole trace"
+            );
+            assert!(stats.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn ideal_oracle_never_flushes() {
+        let trace = not_most_recent_loop(300);
+        let stats = run_design(SqDesign::IdealOracle, &trace);
+        assert_eq!(stats.flushes, 0, "oracle scheduling never violates");
+        assert_eq!(stats.mis_forwards, 0);
+    }
+
+    #[test]
+    fn indexed_design_learns_to_forward() {
+        let trace = forwarding_loop(500);
+        let stats = run_design(SqDesign::Indexed3FwdDly, &trace);
+        // After the first training flush, every iteration's load forwards.
+        assert!(
+            stats.loads_forwarded > 400,
+            "expected most loads to forward, got {}",
+            stats.loads_forwarded
+        );
+        assert!(
+            stats.mis_forwards <= 3,
+            "steady-state forwarding should flush at most a couple of times, got {}",
+            stats.mis_forwards
+        );
+    }
+
+    #[test]
+    fn associative_designs_forward_without_training_flushes() {
+        let trace = forwarding_loop(300);
+        let stats = run_design(SqDesign::Associative3, &trace);
+        assert!(stats.loads_forwarded > 250);
+        // The associative SQ always finds the right store once scheduling
+        // is reasonable; a handful of early ordering violations may occur.
+        assert!(stats.mis_forwards <= 3, "got {}", stats.mis_forwards);
+    }
+
+    #[test]
+    fn delay_prediction_tames_not_most_recent_forwarding() {
+        let trace = not_most_recent_loop(800);
+        let fwd = run_design(SqDesign::Indexed3Fwd, &trace);
+        let dly = run_design(SqDesign::Indexed3FwdDly, &trace);
+        assert!(
+            fwd.mis_forwards > 5,
+            "raw indexed forwarding should flush repeatedly on X[i]=A*X[i-2], got {}",
+            fwd.mis_forwards
+        );
+        assert!(
+            dly.mis_forwards * 5 < fwd.mis_forwards,
+            "delay prediction should remove most flushes ({} vs {})",
+            dly.mis_forwards,
+            fwd.mis_forwards
+        );
+        assert!(dly.loads_delayed > 0, "delays must actually be applied");
+        // Delay converts the flush penalty into a (usually smaller, but per
+        // the paper not universally smaller — it degrades 6 of 47 programs)
+        // delay penalty; require it to stay in the same ballpark here and
+        // leave the aggregate comparison to the Figure 4 harness.
+        assert!(
+            (dly.cycles as f64) < fwd.cycles as f64 * 1.25,
+            "delay penalty must stay comparable to the flush penalty ({} vs {})",
+            dly.cycles,
+            fwd.cycles
+        );
+    }
+
+    #[test]
+    fn values_stay_architectural_across_designs() {
+        // The debug_assert in commit_store cross-checks every committed
+        // store against the golden trace; run a value-heavy program under
+        // every design to exercise it.
+        let trace = not_most_recent_loop(200);
+        for design in SqDesign::ALL {
+            let stats = run_design(design, &trace);
+            assert_eq!(stats.committed, trace.len() as u64, "{design}");
+        }
+    }
+
+    #[test]
+    fn cache_misses_trigger_replays() {
+        let trace = pointer_chase(2000);
+        let stats = run_design(SqDesign::Indexed3FwdDly, &trace);
+        assert!(
+            stats.l1.misses > 500,
+            "page-stride pointer chase must miss, got {:?}",
+            stats.l1
+        );
+        assert!(
+            stats.replays > 100,
+            "consumers of missing loads must replay, got {}",
+            stats.replays
+        );
+        assert_eq!(stats.mis_forwards, 0, "no forwarding in a pure chase");
+    }
+
+    /// acc round-trips through memory every iteration, so SQ forwarding
+    /// latency sits on the program's critical path; an independent fdiv
+    /// drip keeps the ROB head busy so stores linger in the SQ (otherwise
+    /// a lone two-instruction loop commits stores before adjacent loads
+    /// reach their SQ access and nothing ever forwards).
+    fn serial_forwarding_loop(iters: i64) -> Trace {
+        let mut b = ProgramBuilder::new();
+        let (ctr, acc, f) = (Reg::new(1), Reg::new(2), Reg::new(5));
+        b.load_imm(ctr, iters);
+        b.load_imm(acc, 1);
+        b.load_imm(f, 12345);
+        let top = b.label("top");
+        b.fdiv(f, f, f);
+        b.store(DataSize::Quad, acc, Reg::ZERO, 0x100);
+        b.load(DataSize::Quad, acc, Reg::ZERO, 0x100);
+        b.add_imm(acc, acc, 3);
+        b.add_imm(ctr, ctr, -1);
+        b.branch_nz(ctr, top);
+        b.halt();
+        trace_program(&b.build().unwrap(), 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn slow_associative_sq_is_slower_on_forwarding_code() {
+        let trace = serial_forwarding_loop(500);
+        let fast = run_design(SqDesign::Associative3, &trace);
+        let slow = run_design(SqDesign::Associative5Replay, &trace);
+        assert!(
+            slow.cycles > fast.cycles,
+            "5-cycle SQ must cost cycles on forwarding-heavy code ({} vs {})",
+            slow.cycles,
+            fast.cycles
+        );
+        assert!(
+            slow.replays > fast.replays,
+            "forwarded loads replay dependents"
+        );
+    }
+
+    #[test]
+    fn forward_latency_prediction_cuts_replays() {
+        let trace = serial_forwarding_loop(500);
+        let replay = run_design(SqDesign::Associative5Replay, &trace);
+        let fwdpred = run_design(SqDesign::Associative5FwdPred, &trace);
+        assert!(
+            fwdpred.replays < replay.replays,
+            "predicting forwarders avoids replays ({} vs {})",
+            fwdpred.replays,
+            replay.replays
+        );
+    }
+
+    /// The registry extension the closed enum could not express: the
+    /// indexed scheme at a 5-cycle SQ. It must behave like an indexed
+    /// design (forwarding via index prediction) while paying the slower
+    /// SQ on forwarding-critical code.
+    #[test]
+    fn registry_extension_indexed_5_behaves_like_a_slow_indexed_sq() {
+        let design: SqDesign = "indexed-5-fwd+dly".parse().expect("extension registered");
+        let trace = serial_forwarding_loop(500);
+        let fast = run_design(SqDesign::Indexed3FwdDly, &trace);
+        let slow = run_design(design, &trace);
+        assert_eq!(slow.committed, trace.len() as u64);
+        assert!(
+            slow.loads_forwarded > 100,
+            "the indexed-5 design still forwards, got {}",
+            slow.loads_forwarded
+        );
+        assert!(
+            slow.cycles > fast.cycles,
+            "a 5-cycle indexed SQ must cost cycles on forwarding-heavy code ({} vs {})",
+            slow.cycles,
+            fast.cycles
+        );
+    }
+
+    #[test]
+    fn branch_mispredicts_are_counted() {
+        // A data-dependent unpredictable-ish branch: alternating pattern is
+        // actually learnable by gshare, so use a short loop with a final
+        // fall-through that mispredicts once per run at most; just sanity
+        // check counters move.
+        let trace = forwarding_loop(100);
+        let stats = run_design(SqDesign::Indexed3FwdDly, &trace);
+        assert!(stats.branches > 90);
+        assert!(stats.branch_mispredicts <= stats.branches);
+    }
+
+    #[test]
+    fn svw_filter_limits_reexecution() {
+        let trace = forwarding_loop(500);
+        let stats = run_design(SqDesign::Indexed3FwdDly, &trace);
+        assert!(
+            stats.re_executions <= stats.naive_reexec_candidates + stats.mis_forwards,
+            "SVW must not re-execute more than the naive rule ({} vs {})",
+            stats.re_executions,
+            stats.naive_reexec_candidates
+        );
+    }
+
+    #[test]
+    fn ipc_ordering_matches_the_paper() {
+        // ideal >= indexed+dly, and every design completes with sane IPC.
+        let trace = forwarding_loop(1000);
+        let ideal = run_design(SqDesign::IdealOracle, &trace);
+        let dly = run_design(SqDesign::Indexed3FwdDly, &trace);
+        assert!(
+            ideal.cycles <= dly.cycles,
+            "oracle must be at least as fast ({} vs {})",
+            ideal.cycles,
+            dly.cycles
+        );
+        assert!(
+            ideal.ipc() > 0.5,
+            "8-wide machine should sustain decent IPC"
+        );
+    }
+
+    #[test]
+    fn ssn_wrap_drains_cleanly() {
+        let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+        cfg.ssn_bits = 8; // wrap every 256 stores
+        let trace = forwarding_loop(600); // 600 stores => 2 wraps
+        let stats = Processor::new(cfg, &trace).run();
+        assert_eq!(stats.committed, trace.len() as u64);
+        assert_eq!(stats.ssn_wraps, 2);
+    }
+
+    #[test]
+    fn partial_forwarding_stalls_associative_loads() {
+        // Word store, quad load overlapping it: partial hit.
+        let mut b = ProgramBuilder::new();
+        let (ctr, v, t) = (Reg::new(1), Reg::new(2), Reg::new(3));
+        b.load_imm(ctr, 50);
+        b.load_imm(v, 0xAB);
+        let top = b.label("top");
+        b.store(DataSize::Word, v, Reg::ZERO, 0x100);
+        b.load(DataSize::Quad, t, Reg::ZERO, 0x100);
+        b.add_imm(ctr, ctr, -1);
+        b.branch_nz(ctr, top);
+        b.halt();
+        let trace = trace_program(&b.build().unwrap(), 100_000).unwrap();
+        let stats = run_design(SqDesign::Associative3, &trace);
+        assert_eq!(stats.committed, trace.len() as u64);
+        assert!(stats.partial_stalls > 10, "got {}", stats.partial_stalls);
+        // The very first iteration may take an ordering violation before
+        // the FSP learns the dependence; after that, loads stall instead.
+        assert!(
+            stats.mis_forwards <= 2,
+            "stall, not mis-speculate: {}",
+            stats.mis_forwards
+        );
+    }
+
+    #[test]
+    fn empty_like_program_terminates() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let trace = trace_program(&b.build().unwrap(), 10).unwrap();
+        let stats = run_design(SqDesign::Indexed3FwdDly, &trace);
+        assert_eq!(stats.committed, 1);
+        assert_eq!(stats.loads, 0);
+    }
+}
+
+mod ordering_tests {
+    use super::*;
+    use crate::config::OrderingMode;
+    use sqip_isa::{trace_program, ProgramBuilder, Reg};
+    use sqip_types::DataSize;
+
+    /// A loop guaranteed to produce early-load ordering hazards: the store
+    /// data depends on a long fdiv chain, so unscheduled loads race it.
+    fn hazard_loop(iters: i64) -> Trace {
+        let mut b = ProgramBuilder::new();
+        let (ctr, f, t) = (Reg::new(1), Reg::new(2), Reg::new(3));
+        b.load_imm(ctr, iters);
+        b.load_imm(f, 12345);
+        let top = b.label("top");
+        b.fdiv(f, f, f); // slow producer
+        b.add_imm(f, f, 1); // keep the value nonzero and changing
+        b.store(DataSize::Quad, f, Reg::ZERO, 0x800);
+        b.load(DataSize::Quad, t, Reg::ZERO, 0x800);
+        b.xor(t, t, f);
+        b.add_imm(ctr, ctr, -1);
+        b.branch_nz(ctr, top);
+        b.halt();
+        trace_program(&b.build().unwrap(), 1_000_000).unwrap()
+    }
+
+    fn cam_config(design: SqDesign) -> SimConfig {
+        let mut cfg = SimConfig::with_design(design);
+        cfg.ordering = OrderingMode::LqCam;
+        cfg
+    }
+
+    #[test]
+    fn lq_cam_detects_and_recovers_from_violations() {
+        let trace = hazard_loop(300);
+        let stats = Processor::new(cam_config(SqDesign::Associative3), &trace).run();
+        // The debug assertions in commit_store verify every committed store
+        // against the golden trace, so completion here means the partial
+        // squash restored a consistent machine state every time.
+        assert_eq!(stats.committed, trace.len() as u64);
+        assert!(
+            stats.flushes > 0,
+            "the hazard loop must violate at least once"
+        );
+        assert_eq!(stats.re_executions, 0, "LQ CAM mode never re-executes");
+    }
+
+    #[test]
+    fn lq_cam_matches_svw_results_on_all_associative_designs() {
+        let trace = hazard_loop(300);
+        for design in [
+            SqDesign::IdealOracle,
+            SqDesign::Associative3StoreSets,
+            SqDesign::Associative3,
+            SqDesign::Associative5Replay,
+            SqDesign::Associative5FwdPred,
+        ] {
+            let cam = Processor::new(cam_config(design), &trace).run();
+            let svw = Processor::new(SimConfig::with_design(design), &trace).run();
+            assert_eq!(cam.committed, trace.len() as u64, "{design} (cam)");
+            assert_eq!(svw.committed, trace.len() as u64, "{design} (svw)");
+        }
+    }
+
+    #[test]
+    fn lq_cam_flushes_less_work_than_full_pipeline_flush() {
+        // A CAM violation squashes from the offending load, not the whole
+        // window, so it should squash less work per flush on average.
+        let trace = hazard_loop(400);
+        let cam = Processor::new(cam_config(SqDesign::Associative3), &trace).run();
+        let svw = Processor::new(SimConfig::with_design(SqDesign::Associative3), &trace).run();
+        if cam.flushes > 0 && svw.flushes > 0 {
+            let cam_per = cam.squashed as f64 / cam.flushes as f64;
+            let svw_per = svw.squashed as f64 / svw.flushes as f64;
+            assert!(
+                cam_per <= svw_per * 1.1,
+                "partial squash should not discard more than a commit-point flush ({cam_per:.0} vs {svw_per:.0})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong-entry forwarding")]
+    fn lq_cam_rejects_indexed_designs() {
+        let trace = hazard_loop(10);
+        let _ = Processor::new(cam_config(SqDesign::Indexed3FwdDly), &trace).run();
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong-entry forwarding")]
+    fn lq_cam_rejects_registry_extension_indexed_designs() {
+        // Config validation is capability-driven, so it rejects *any*
+        // registered indexed design — including ones added after the fact.
+        let design: SqDesign = "indexed-5-fwd+dly".parse().unwrap();
+        let trace = hazard_loop(10);
+        let _ = Processor::new(cam_config(design), &trace).run();
+    }
+
+    #[test]
+    fn original_store_sets_learns_to_schedule() {
+        let trace = hazard_loop(400);
+        let stats = Processor::new(
+            SimConfig::with_design(SqDesign::Associative3StoreSets),
+            &trace,
+        )
+        .run();
+        assert_eq!(stats.committed, trace.len() as u64);
+        // After the first few violations the SSIT/LFST pair gates the load
+        // behind the store and violations stop.
+        assert!(
+            stats.mis_forwards < 20,
+            "store sets must learn the dependence, got {} violations",
+            stats.mis_forwards
+        );
+        assert!(stats.loads_forwarded > 200, "and the load then forwards");
+    }
+
+    #[test]
+    fn original_and_reformulated_store_sets_are_comparable() {
+        // §4.4: "in many other cases our formulation slightly outperforms
+        // the original" — they should land within a few percent of each
+        // other on well-behaved code.
+        let trace = hazard_loop(400);
+        let orig = Processor::new(
+            SimConfig::with_design(SqDesign::Associative3StoreSets),
+            &trace,
+        )
+        .run();
+        let reform = Processor::new(SimConfig::with_design(SqDesign::Associative3), &trace).run();
+        let ratio = orig.cycles as f64 / reform.cycles as f64;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "formulations should be comparable, got ratio {ratio:.3}"
+        );
+    }
+}
+
+mod path_tests {
+    use super::*;
+    use sqip_isa::{trace_program, ProgramBuilder, Reg};
+    use sqip_types::DataSize;
+
+    /// One load fed by two static stores selected by an alternating branch:
+    /// a 1-way (direct-mapped) FSP thrashes between the two dependences,
+    /// but with path bits the two paths index different sets and each can
+    /// hold its own store.
+    fn branch_selected_producer(iters: i64) -> Trace {
+        let mut b = ProgramBuilder::new();
+        let (ctr, par, v, t) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
+        b.load_imm(ctr, iters);
+        b.load_imm(v, 5);
+        let top = b.label("top");
+        b.add_imm(v, v, 1);
+        b.and(par, ctr, Reg::new(5)); // parity selector (r5 = 1, prepended)
+        b.branch_nz_to(par, "odd");
+        b.store(DataSize::Quad, v, Reg::ZERO, 0xA80); // even-path store
+        b.jump_to("join");
+        b.place("odd");
+        b.store(DataSize::Quad, v, Reg::ZERO, 0xA80); // odd-path store
+        b.place("join");
+        b.load(DataSize::Quad, t, Reg::ZERO, 0xA80);
+        b.xor(t, t, v);
+        b.add_imm(ctr, ctr, -1);
+        b.branch_nz(ctr, top);
+        b.halt();
+        // Prepend mask setup by rebuilding: simplest to set r5 in a fresh builder.
+        let inner = b.build().unwrap();
+        let mut outer = ProgramBuilder::new();
+        outer.load_imm(Reg::new(5), 1);
+        for (_, inst) in inner.iter() {
+            let mut i = *inst;
+            // shift branch/jump targets by 1 for the prepended instruction
+            if i.op.is_branch() && !matches!(i.op, sqip_isa::Op::Ret) {
+                i.imm += 1;
+            }
+            outer.emit(i);
+        }
+        let p = outer.build().unwrap();
+        trace_program(&p, 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn path_bits_rescue_a_direct_mapped_fsp() {
+        let trace = branch_selected_producer(600);
+        let run = |path_bits: u32| {
+            let mut cfg = SimConfig::with_design(SqDesign::Indexed3Fwd);
+            cfg.fsp.ways = 1; // direct-mapped: one dependence per set
+            cfg.fsp.path_bits = path_bits;
+            Processor::new(cfg, &trace).run()
+        };
+        let flat = run(0);
+        let pathful = run(4);
+        assert_eq!(flat.committed, trace.len() as u64);
+        assert_eq!(pathful.committed, trace.len() as u64);
+        assert!(
+            pathful.loads_forwarded > flat.loads_forwarded,
+            "path-qualified FSP should separate the two producers: {} vs {}",
+            pathful.loads_forwarded,
+            flat.loads_forwarded
+        );
+    }
+
+    #[test]
+    fn path_bits_zero_is_the_default_design() {
+        // Sanity: path_bits = 0 must behave identically to the plain API.
+        let trace = branch_selected_producer(200);
+        let a = Processor::new(SimConfig::with_design(SqDesign::Indexed3FwdDly), &trace).run();
+        let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+        cfg.fsp.path_bits = 0;
+        let b = Processor::new(cfg, &trace).run();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.mis_forwards, b.mis_forwards);
+    }
+}

@@ -1,0 +1,368 @@
+//! The global design registry: name → capabilities + policy factory.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use crate::config::{SimConfig, SqDesign};
+use crate::policy::{BuiltinPolicy, DesignCaps, ForwardingPolicy};
+
+/// A shareable policy constructor: one fresh policy per simulation run.
+type PolicyFactory = Arc<dyn Fn(&SimConfig) -> Box<dyn ForwardingPolicy> + Send + Sync>;
+
+struct Entry {
+    design: SqDesign,
+    caps: DesignCaps,
+    factory: PolicyFactory,
+}
+
+/// A failure registering or resolving a design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// A design with this name is already registered.
+    Duplicate(String),
+    /// The name is a reserved legacy alias of a builtin design: name
+    /// resolution (`FromStr`, JSON, `--design`) rewrites it to the
+    /// builtin, so a design registered under it would be unreachable.
+    ReservedAlias(String),
+    /// No design with this name is registered.
+    Unknown(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::Duplicate(name) => {
+                write!(f, "design `{name}` is already registered")
+            }
+            RegistryError::ReservedAlias(name) => {
+                write!(
+                    f,
+                    "design name `{name}` is reserved as a legacy alias of a builtin design"
+                )
+            }
+            RegistryError::Unknown(name) => {
+                write!(f, "unknown store-queue design `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// The open roster of store-queue designs.
+///
+/// Every [`SqDesign`] name resolves here to a [`DesignCaps`] descriptor
+/// and a [`ForwardingPolicy`] factory. The [`DesignRegistry::global`]
+/// instance is pre-populated with the paper's seven builtin designs plus
+/// the `indexed-5-fwd+dly` extension (all registered through the same
+/// public [`DesignRegistry::register_builtin`] API any caller can use),
+/// and accepts custom registrations at any time.
+pub struct DesignRegistry {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<&'static str, Entry>,
+    /// Registration order, for stable `names()` listings.
+    order: Vec<&'static str>,
+}
+
+impl DesignRegistry {
+    /// An empty registry (no builtins). Most callers want
+    /// [`DesignRegistry::global`]; isolated registries exist for tests of
+    /// the registry itself.
+    #[must_use]
+    pub fn empty() -> DesignRegistry {
+        DesignRegistry {
+            inner: RwLock::new(Inner::default()),
+        }
+    }
+
+    /// The process-wide registry every [`SqDesign`] resolves through,
+    /// pre-populated with the builtin designs.
+    pub fn global() -> &'static DesignRegistry {
+        static GLOBAL: OnceLock<DesignRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let registry = DesignRegistry::empty();
+            for (name, caps) in BUILTIN_DESIGNS {
+                registry
+                    .register_builtin(name, caps)
+                    .expect("builtin design names are unique");
+            }
+            // The first design the closed enum could not express: the
+            // paper's indexed scheme at a 5-cycle SQ — added through the
+            // exact same public API a downstream crate would use.
+            registry
+                .register_builtin("indexed-5-fwd+dly", DesignCaps::indexed(5).with_delay())
+                .expect("extension design name is unique");
+            registry
+        })
+    }
+
+    /// Registers a design under `name` with an arbitrary policy factory.
+    /// Returns the (copyable) [`SqDesign`] handle naming it.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Duplicate`] if the name is taken;
+    /// [`RegistryError::ReservedAlias`] if it is a legacy spelling of a
+    /// builtin (those resolve to the builtin, so the new design would be
+    /// unreachable by name).
+    pub fn register(
+        &self,
+        name: &str,
+        caps: DesignCaps,
+        factory: impl Fn(&SimConfig) -> Box<dyn ForwardingPolicy> + Send + Sync + 'static,
+    ) -> Result<SqDesign, RegistryError> {
+        if crate::config::LEGACY_ALIASES
+            .iter()
+            .any(|(alias, _)| *alias == name)
+        {
+            return Err(RegistryError::ReservedAlias(name.to_string()));
+        }
+        let mut inner = self.inner.write().expect("registry lock poisoned");
+        if inner.entries.contains_key(name) {
+            return Err(RegistryError::Duplicate(name.to_string()));
+        }
+        // Design names are interned so `SqDesign` stays `Copy`; the
+        // registry is append-only and small, so the leak is bounded.
+        let interned: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let design = SqDesign::from_static(interned);
+        inner.entries.insert(
+            interned,
+            Entry {
+                design,
+                caps,
+                factory: Arc::new(factory),
+            },
+        );
+        inner.order.push(interned);
+        Ok(design)
+    }
+
+    /// Registers a design backed by the paper's [`BuiltinPolicy`]
+    /// machinery with the given capability combination — the one-liner
+    /// path for "Figure 4-style" design variants.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Duplicate`] if the name is taken;
+    /// [`RegistryError::ReservedAlias`] if it is a legacy spelling of a
+    /// builtin.
+    pub fn register_builtin(
+        &self,
+        name: &str,
+        caps: DesignCaps,
+    ) -> Result<SqDesign, RegistryError> {
+        self.register(name, caps, move |cfg| {
+            Box::new(BuiltinPolicy::new(caps, cfg))
+        })
+    }
+
+    /// Resolves a design name.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<SqDesign> {
+        let inner = self.inner.read().expect("registry lock poisoned");
+        inner.entries.get(name).map(|e| e.design)
+    }
+
+    /// The capabilities registered for `design`.
+    #[must_use]
+    pub fn caps(&self, design: SqDesign) -> Option<DesignCaps> {
+        let inner = self.inner.read().expect("registry lock poisoned");
+        inner.entries.get(design.name()).map(|e| e.caps)
+    }
+
+    /// Builds a fresh policy instance for one simulation run.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Unknown`] if the design is not registered.
+    pub fn instantiate(
+        &self,
+        design: SqDesign,
+        cfg: &SimConfig,
+    ) -> Result<Box<dyn ForwardingPolicy>, RegistryError> {
+        let factory = {
+            let inner = self.inner.read().expect("registry lock poisoned");
+            inner
+                .entries
+                .get(design.name())
+                .map(|e| Arc::clone(&e.factory))
+                .ok_or_else(|| RegistryError::Unknown(design.name().to_string()))?
+        };
+        Ok(factory(cfg))
+    }
+
+    /// All registered design names, in registration order (builtins
+    /// first).
+    #[must_use]
+    pub fn names(&self) -> Vec<&'static str> {
+        let inner = self.inner.read().expect("registry lock poisoned");
+        inner.order.clone()
+    }
+}
+
+impl std::fmt::Debug for DesignRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DesignRegistry")
+            .field("designs", &self.names())
+            .finish()
+    }
+}
+
+/// The paper's seven designs, in Figure 4's left-to-right order.
+const BUILTIN_DESIGNS: [(&str, DesignCaps); 7] = [
+    (
+        "ideal-oracle",
+        DesignCaps {
+            oracle: true,
+            indexed: false,
+            delay: false,
+            original_store_sets: false,
+            fwd_latency_pred: false,
+            sq_latency: 3,
+        },
+    ),
+    (
+        "associative-3-storesets",
+        DesignCaps {
+            oracle: false,
+            indexed: false,
+            delay: false,
+            original_store_sets: true,
+            fwd_latency_pred: false,
+            sq_latency: 3,
+        },
+    ),
+    (
+        "associative-3",
+        DesignCaps {
+            oracle: false,
+            indexed: false,
+            delay: false,
+            original_store_sets: false,
+            fwd_latency_pred: false,
+            sq_latency: 3,
+        },
+    ),
+    (
+        "associative-5-replay",
+        DesignCaps {
+            oracle: false,
+            indexed: false,
+            delay: false,
+            original_store_sets: false,
+            fwd_latency_pred: false,
+            sq_latency: 5,
+        },
+    ),
+    (
+        "associative-5-fwdpred",
+        DesignCaps {
+            oracle: false,
+            indexed: false,
+            delay: false,
+            original_store_sets: false,
+            fwd_latency_pred: true,
+            sq_latency: 5,
+        },
+    ),
+    (
+        "indexed-3-fwd",
+        DesignCaps {
+            oracle: false,
+            indexed: true,
+            delay: false,
+            original_store_sets: false,
+            fwd_latency_pred: false,
+            sq_latency: 3,
+        },
+    ),
+    (
+        "indexed-3-fwd+dly",
+        DesignCaps {
+            oracle: false,
+            indexed: true,
+            delay: true,
+            original_store_sets: false,
+            fwd_latency_pred: false,
+            sq_latency: 3,
+        },
+    ),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_knows_all_builtins_plus_the_extension() {
+        let names = DesignRegistry::global().names();
+        for (name, _) in BUILTIN_DESIGNS {
+            assert!(names.contains(&name), "missing builtin `{name}`");
+        }
+        assert!(names.contains(&"indexed-5-fwd+dly"));
+    }
+
+    #[test]
+    fn extension_design_caps_are_the_indexed_scheme_at_five_cycles() {
+        let d = DesignRegistry::global()
+            .lookup("indexed-5-fwd+dly")
+            .expect("extension registered");
+        assert!(d.is_indexed());
+        assert!(d.uses_delay());
+        assert_eq!(d.sq_latency(), 5);
+        assert!(!d.predicts_forward_latency());
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let r = DesignRegistry::empty();
+        let caps = DesignCaps::associative(3);
+        r.register_builtin("dup", caps).unwrap();
+        assert_eq!(
+            r.register_builtin("dup", caps).unwrap_err(),
+            RegistryError::Duplicate("dup".to_string())
+        );
+    }
+
+    #[test]
+    fn legacy_alias_names_are_reserved() {
+        // Name resolution rewrites legacy spellings to the builtins, so a
+        // design registered under one could never be reached by name.
+        let r = DesignRegistry::empty();
+        assert_eq!(
+            r.register_builtin("IdealOracle", DesignCaps::associative(3))
+                .unwrap_err(),
+            RegistryError::ReservedAlias("IdealOracle".to_string())
+        );
+        assert!(matches!(
+            DesignRegistry::global().register_builtin("Indexed3FwdDly", DesignCaps::indexed(3)),
+            Err(RegistryError::ReservedAlias(_))
+        ));
+    }
+
+    #[test]
+    fn instantiate_unknown_design_errors() {
+        let r = DesignRegistry::empty();
+        let d = DesignRegistry::global().lookup("associative-3").unwrap();
+        let cfg = SimConfig::with_design(d);
+        assert!(matches!(
+            r.instantiate(d, &cfg),
+            Err(RegistryError::Unknown(_))
+        ));
+    }
+
+    #[test]
+    fn registered_policies_report_their_caps() {
+        let r = DesignRegistry::empty();
+        let caps = DesignCaps::indexed(4).with_delay();
+        let d = r.register_builtin("custom-idx-4", caps).unwrap();
+        assert_eq!(r.caps(d), Some(caps));
+        let cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+        let policy = r.instantiate(d, &cfg).unwrap();
+        assert_eq!(policy.caps(), caps);
+    }
+}

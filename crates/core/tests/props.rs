@@ -5,9 +5,9 @@
 //! are active in test builds).
 
 use proptest::prelude::*;
-use sqip_core::{Processor, SimConfig, SqDesign};
+use sqip_core::{Processor, SimConfig, SqDesign, StepOutcome};
 use sqip_isa::{trace_program, ProgramBuilder, Reg, Trace};
-use sqip_types::DataSize;
+use sqip_types::{Addr, DataSize};
 
 #[derive(Debug, Clone)]
 enum Stmt {
@@ -84,6 +84,21 @@ fn build_trace(body: &[Stmt], iters: i64) -> Trace {
     trace_program(&b.build().unwrap(), 1_000_000).unwrap()
 }
 
+/// Runs `trace` under `design` to completion and captures the committed
+/// architectural state: instruction count, the whole register file, and
+/// the memory slots the random programs store to.
+fn arch_state(design: SqDesign, trace: &Trace) -> (u64, Vec<u64>, Vec<u64>) {
+    let mut p = Processor::new(SimConfig::with_design(design), trace);
+    while p.step().expect("no deadlock") == StepOutcome::Running {}
+    let regs = (0..sqip_isa::NUM_REGS as u8)
+        .map(|r| p.committed_reg(Reg::new(r)))
+        .collect();
+    let mem = (0..24u64)
+        .map(|slot| p.committed_mem(Addr::new(0x400 + 8 * slot), DataSize::Quad))
+        .collect();
+    (p.stats().committed, regs, mem)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -115,6 +130,25 @@ proptest! {
         let stats = Processor::new(SimConfig::with_design(SqDesign::IdealOracle), &trace).run();
         prop_assert_eq!(stats.flushes, 0);
         prop_assert_eq!(stats.mis_forwards, 0);
+    }
+
+    /// Timing policies must never change *values*: every design — the
+    /// seven builtins and the registry-added `indexed-5-fwd+dly` — commits
+    /// an identical architectural (register + memory) state on any
+    /// program, however differently it schedules, forwards and flushes.
+    #[test]
+    fn all_designs_commit_identical_architectural_state(
+        body in proptest::collection::vec(stmt_strategy(), 4..28),
+        iters in 20i64..60,
+    ) {
+        let trace = build_trace(&body, iters);
+        let mut designs: Vec<SqDesign> = SqDesign::ALL.to_vec();
+        designs.push("indexed-5-fwd+dly".parse().expect("extension registered"));
+        let reference = arch_state(designs[0], &trace);
+        for &design in &designs[1..] {
+            let got = arch_state(design, &trace);
+            prop_assert_eq!(&got, &reference, "{} diverges architecturally", design);
+        }
     }
 
     /// Wrap-around drains are transparent to correctness.

@@ -43,11 +43,35 @@ fn cache_stats_round_trip_through_json() {
 fn every_design_round_trips_through_json() {
     for design in SqDesign::ALL {
         let json = serde_json::to_string(&design).unwrap();
-        assert_eq!(json, format!("\"{design:?}\""));
+        // Designs serialize as their registry name (== Display label).
+        assert_eq!(json, format!("\"{design}\""));
         let back: SqDesign = serde_json::from_str(&json).unwrap();
         assert_eq!(back, design);
     }
+    // Registry extensions serialize the same way.
+    let ext: SqDesign = "indexed-5-fwd+dly".parse().unwrap();
+    let json = serde_json::to_string(&ext).unwrap();
+    assert_eq!(json, "\"indexed-5-fwd+dly\"");
+    assert_eq!(serde_json::from_str::<SqDesign>(&json).unwrap(), ext);
     assert!(serde_json::from_str::<SqDesign>("\"NotADesign\"").is_err());
+}
+
+#[test]
+fn legacy_enum_variant_json_still_deserializes() {
+    // Pre-registry results serialized designs as enum variant names;
+    // those JSON files must keep loading.
+    for (legacy, design) in [
+        ("\"IdealOracle\"", SqDesign::IdealOracle),
+        ("\"Associative3StoreSets\"", SqDesign::Associative3StoreSets),
+        ("\"Associative3\"", SqDesign::Associative3),
+        ("\"Associative5Replay\"", SqDesign::Associative5Replay),
+        ("\"Associative5FwdPred\"", SqDesign::Associative5FwdPred),
+        ("\"Indexed3Fwd\"", SqDesign::Indexed3Fwd),
+        ("\"Indexed3FwdDly\"", SqDesign::Indexed3FwdDly),
+    ] {
+        let back: SqDesign = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back, design, "{legacy}");
+    }
 }
 
 #[test]

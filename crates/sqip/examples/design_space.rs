@@ -84,5 +84,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             stats.mis_forwards_per_1000()
         );
     }
+
+    // The design axis is open: any name in the DesignRegistry sweeps like
+    // a builtin. `indexed-5-fwd+dly` is the registry's pre-loaded
+    // extension (the paper's indexed scheme at a 5-cycle SQ).
+    println!("\nSQ latency walk on the indexed design (registry names):");
+    let slow_indexed: SqDesign = "indexed-5-fwd+dly".parse()?;
+    let latency_walk = Experiment::new()
+        .workload(by_name("gzip").unwrap())
+        .designs([SqDesign::Indexed3FwdDly, slow_indexed])
+        .run()?;
+    for record in &latency_walk {
+        println!(
+            "  {:>18}: IPC {:.2}, {:.1}% loads forwarded",
+            record.design,
+            record.stats.ipc(),
+            record.stats.pct_loads_forwarding()
+        );
+    }
     Ok(())
 }

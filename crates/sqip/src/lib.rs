@@ -42,6 +42,34 @@
 //! assert_eq!(sqip::ResultSet::from_json(&json)?, results);
 //! # Ok::<(), sqip::SqipError>(())
 //! ```
+//!
+//! # Custom store-queue designs
+//!
+//! The design axis is open: register a new design by name in the
+//! [`DesignRegistry`] (either a capability combination of the builtin
+//! machinery, as below, or a from-scratch [`ForwardingPolicy`]
+//! implementation) and sweep it like any builtin — the [`SqDesign`]
+//! handle it returns works in [`Experiment::designs`], JSON results and
+//! the figure bins' `--design` flags alike.
+//!
+//! ```
+//! use sqip::{by_name, DesignCaps, DesignRegistry, Experiment, SqDesign};
+//!
+//! // The paper's indexed scheme with delay prediction, at a (hypothetical)
+//! // 2-cycle store queue.
+//! let fast_indexed = DesignRegistry::global()
+//!     .register_builtin("indexed-2-fwd+dly", DesignCaps::indexed(2).with_delay())?;
+//!
+//! let results = Experiment::new()
+//!     .workload(by_name("gzip").unwrap().with_iterations(100))
+//!     .designs([SqDesign::Indexed3FwdDly, fast_indexed])
+//!     .run()?;
+//! let faster = results.relative_runtime(
+//!     "gzip", sqip::BASE_VARIANT, fast_indexed, SqDesign::Indexed3FwdDly,
+//! ).unwrap();
+//! assert!(faster <= 1.0, "a faster SQ is no slower: {faster}");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -55,11 +83,13 @@ pub use error::SqipError;
 pub use experiment::{ConfigFn, Experiment, ObserverFn, Run, Workload, BASE_VARIANT};
 pub use results::{geomean, ResultSet, RunRecord};
 
-// The simulator core: configs, stats, the resumable processor and its
-// observation hooks.
+// The simulator core: configs, stats, the resumable processor, its
+// observation hooks, and the open design-policy API.
 pub use sqip_core::{
-    ObserverAction, OracleFwd, OracleInfo, OrderingMode, Processor, SimConfig, SimError,
-    SimObserver, SimStats, SqDesign, StepOutcome,
+    BuiltinPolicy, DesignCaps, DesignRegistry, ForwardingPolicy, LoadCommitInfo, LoadRename,
+    ObserverAction, OracleFwd, OracleHint, OracleInfo, OrderingMode, ParseDesignError,
+    PipelineView, Processor, RegistryError, SimConfig, SimError, SimObserver, SimStats, SqDesign,
+    SqProbe, StepOutcome,
 };
 // The workload roster.
 pub use sqip_workloads::{
