@@ -8,14 +8,21 @@
 //! cargo run --release -p sqip-bench --bin figure4 -- --csv  > figure4.csv
 //! cargo run --release -p sqip-bench --bin figure4 -- --list-designs
 //! cargo run --release -p sqip-bench --bin figure4 -- --design indexed-5-fwd+dly
+//! cargo run --release -p sqip-bench --bin figure4 -- --list-workloads
+//! cargo run --release -p sqip-bench --bin figure4 -- --workload stream-10m
+//! cargo run --release -p sqip-bench --bin figure4 -- --workload mix:0xbeef:1m
 //! ```
 //!
-//! The whole sweep is one [`Experiment`]: 47 workloads × the selected
-//! designs (Figure 4's five by default; any registry designs via
-//! `--design`), executed in parallel with deterministic results.
+//! The whole sweep is one [`Experiment`]: the selected workloads × the
+//! selected designs, executed in parallel with deterministic results.
+//! Both axes are open: `--design` names any registered store-queue
+//! design; `--workload` names any registered workload or generator point
+//! (streamed through the simulator in bounded memory — a 10M-instruction
+//! generator cell runs fine on a small machine). Defaults: the 47
+//! Table 3 workloads × Figure 4's five designs.
 
-use sqip::{all_workloads, geomean, Experiment, ResultSet, SqDesign, Suite};
-use sqip_bench::designs;
+use sqip::{all_workloads, geomean, Experiment, ResultSet, SqDesign, Suite, Workload};
+use sqip_bench::{designs, workloads};
 
 const BASELINE: SqDesign = SqDesign::IdealOracle;
 const DEFAULT_DESIGNS: [SqDesign; 5] = [
@@ -37,6 +44,7 @@ fn main() -> Result<(), sqip::SqipError> {
         eprintln!("error: --design selected only the {BASELINE} baseline; nothing to compare");
         std::process::exit(2);
     }
+    let parsed = workloads::parse_or_exit(parsed.rest);
     let json = parsed.rest.iter().any(|a| a == "--json");
     let csv = parsed.rest.iter().any(|a| a == "--csv");
     let filter: Vec<&String> = parsed
@@ -44,13 +52,27 @@ fn main() -> Result<(), sqip::SqipError> {
         .iter()
         .filter(|a| !a.starts_with("--"))
         .collect();
+    if !filter.is_empty() && !parsed.workloads.is_empty() {
+        eprintln!(
+            "error: positional benchmark filters and --workload are mutually exclusive; \
+             pass everything via repeated --workload flags"
+        );
+        std::process::exit(2);
+    }
+    let subset = !filter.is_empty() || !parsed.workloads.is_empty();
+
+    let selected: Vec<Workload> = if parsed.workloads.is_empty() {
+        all_workloads()
+            .into_iter()
+            .filter(|w| filter.is_empty() || filter.iter().any(|f| **f == w.name))
+            .map(Workload::from)
+            .collect()
+    } else {
+        parsed.workloads
+    };
 
     let results = Experiment::new()
-        .workloads(
-            all_workloads()
-                .into_iter()
-                .filter(|w| filter.is_empty() || filter.iter().any(|f| *f == w.name)),
-        )
+        .workloads(selected)
         .design(BASELINE)
         .designs(compared.iter().copied())
         .run()?;
@@ -67,18 +89,26 @@ fn main() -> Result<(), sqip::SqipError> {
     println!("Figure 4. Execution times relative to an ideal, 3-cycle");
     println!("associative store queue with oracle load scheduling.\n");
     let widths: Vec<usize> = compared.iter().map(|d| d.label().len().max(8)).collect();
-    print!("{:>10} {:>6} |", "", "IPC");
+    // Name column sized to the roster (generator names can be long).
+    let name_w = results
+        .workload_names()
+        .iter()
+        .map(|n| n.len())
+        .max()
+        .unwrap_or(0)
+        .max(10);
+    print!("{:>name_w$} {:>6} |", "", "IPC");
     for (design, w) in compared.iter().zip(&widths) {
         print!(" {:>w$}", design.label(), w = w);
     }
     println!();
-    // 19 = the "{:>10} {:>6} |" prefix; each design column adds " " + w.
-    let rule = 19 + widths.iter().map(|w| w + 1).sum::<usize>();
+    // name + " " + 6-wide IPC + " |"; each design column adds " " + w.
+    let rule = name_w + 9 + widths.iter().map(|w| w + 1).sum::<usize>();
     println!("{}", "-".repeat(rule));
 
     for name in results.workload_names() {
         let baseline = results.get(name, BASELINE).expect("baseline cell ran");
-        print!("{:>10} {:>6.2} |", name, baseline.stats.ipc());
+        print!("{name:>name_w$} {:>6.2} |", baseline.stats.ipc());
         for (&design, &w) in compared.iter().zip(&widths) {
             let rel = results
                 .relative_runtime(name, sqip::BASE_VARIANT, design, BASELINE)
@@ -88,7 +118,7 @@ fn main() -> Result<(), sqip::SqipError> {
         println!();
     }
 
-    if filter.is_empty() {
+    if !subset {
         println!("{}", "-".repeat(rule));
         for suite in [Suite::Media, Suite::Int, Suite::Fp] {
             print_gmean(

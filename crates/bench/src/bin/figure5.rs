@@ -9,15 +9,19 @@
 //! cargo run --release -p sqip-bench --bin figure5          # all three
 //! cargo run --release -p sqip-bench --bin figure5 -- --list-designs
 //! cargo run --release -p sqip-bench --bin figure5 -- --design indexed-5-fwd+dly capacity
+//! cargo run --release -p sqip-bench --bin figure5 -- --list-workloads
+//! cargo run --release -p sqip-bench --bin figure5 -- --workload mix:7:500k ratio
 //! ```
 //!
 //! Each panel is one [`Experiment`] whose `vary` axis is the swept knob;
 //! the oracle denominators come from a shared baseline experiment. The
 //! swept design defaults to the paper's `indexed-3-fwd+dly` and can be
-//! any registered design via `--design`.
+//! any registered design via `--design`; the workload roster defaults to
+//! the paper's nine and can be any registered workloads or generator
+//! points via `--workload` (streamed in bounded memory).
 
-use sqip::{by_name, Experiment, ResultSet, SqDesign, WorkloadSpec, FIGURE5_WORKLOADS};
-use sqip_bench::designs;
+use sqip::{by_name, Experiment, ResultSet, SqDesign, Workload, FIGURE5_WORKLOADS};
+use sqip_bench::{designs, workloads};
 use sqip_predictors::TrainRatio;
 
 fn main() -> Result<(), sqip::SqipError> {
@@ -29,16 +33,21 @@ fn main() -> Result<(), sqip::SqipError> {
             std::process::exit(2);
         }
     };
+    let parsed = workloads::parse_or_exit(parsed.rest);
     let which = parsed.rest;
     let all = which.is_empty();
-    let workloads: Vec<WorkloadSpec> = FIGURE5_WORKLOADS
-        .iter()
-        .map(|n| by_name(n).expect("figure 5 workload exists"))
-        .collect();
+    let roster: Vec<Workload> = if parsed.workloads.is_empty() {
+        FIGURE5_WORKLOADS
+            .iter()
+            .map(|n| Workload::from(by_name(n).expect("figure 5 workload exists")))
+            .collect()
+    } else {
+        parsed.workloads
+    };
 
     // Relative-time denominator: the ideal oracle baseline per workload.
     let baselines = Experiment::new()
-        .workloads(workloads.iter())
+        .workloads(roster.iter().cloned())
         .design(SqDesign::IdealOracle)
         .run()?;
 
@@ -46,7 +55,7 @@ fn main() -> Result<(), sqip::SqipError> {
         println!("Figure 5 (top): FSP/DDP capacity sweep (2-way), relative runtime\n");
         let sweep = [512usize, 1024, 2048, 4096, 8192]
             .into_iter()
-            .fold(panel(&workloads, swept), |e, cap| {
+            .fold(panel(&roster, swept), |e, cap| {
                 e.vary(format!("{cap}"), move |cfg| {
                     cfg.fsp.entries = cap;
                     cfg.ddp.entries = cap;
@@ -59,7 +68,7 @@ fn main() -> Result<(), sqip::SqipError> {
         println!("\nFigure 5 (middle): FSP associativity sweep (4K entries), relative runtime\n");
         let sweep = [1usize, 2, 4, 8, 32]
             .into_iter()
-            .fold(panel(&workloads, swept), |e, ways| {
+            .fold(panel(&roster, swept), |e, ways| {
                 e.vary(format!("{ways}"), move |cfg| cfg.fsp.ways = ways)
             })
             .run()?;
@@ -70,7 +79,7 @@ fn main() -> Result<(), sqip::SqipError> {
         let ratios = [(0u8, 1u8), (1, 1), (2, 1), (4, 1), (8, 1), (1, 0)];
         let sweep = ratios
             .into_iter()
-            .fold(panel(&workloads, swept), |e, (p, n)| {
+            .fold(panel(&roster, swept), |e, (p, n)| {
                 e.vary(format!("{p}:{n}"), move |cfg| {
                     cfg.ddp.ratio = TrainRatio::new(p, n);
                     cfg.ddp.threshold = p.max(1);
@@ -82,10 +91,12 @@ fn main() -> Result<(), sqip::SqipError> {
     Ok(())
 }
 
-/// The shared shape of every Figure 5 panel: the nine workloads under the
+/// The shared shape of every Figure 5 panel: the roster under the
 /// swept design; the panel's knob is added as `vary` points.
-fn panel(workloads: &[WorkloadSpec], swept: SqDesign) -> Experiment {
-    Experiment::new().workloads(workloads.iter()).design(swept)
+fn panel(roster: &[Workload], swept: SqDesign) -> Experiment {
+    Experiment::new()
+        .workloads(roster.iter().cloned())
+        .design(swept)
 }
 
 fn print_panel(sweep: &ResultSet, baselines: &ResultSet) {

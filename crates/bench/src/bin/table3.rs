@@ -9,15 +9,18 @@
 //! cargo run --release -p sqip-bench --bin table3 -- --list-designs
 //! cargo run --release -p sqip-bench --bin table3 -- \
 //!     --design indexed-5-fwd+dly --design indexed-3-fwd+dly
+//! cargo run --release -p sqip-bench --bin table3 -- --list-workloads
+//! cargo run --release -p sqip-bench --bin table3 -- --workload chase:4096:64:1m
 //! ```
 //!
-//! One [`Experiment`]: 47 workloads × a (raw, delay-predicted) design
-//! pair — the two indexed designs by default, or any two registered
-//! designs via `--design` (given twice: first the raw design, then the
-//! delayed one).
+//! One [`Experiment`]: the selected workloads (the 47 Table 3 models by
+//! default; any registered workload or generator point via `--workload`,
+//! streamed in bounded memory) × a (raw, delay-predicted) design pair —
+//! the two indexed designs by default, or any two registered designs via
+//! `--design` (given twice: first the raw design, then the delayed one).
 
-use sqip::{all_workloads, Experiment, RunRecord, SqDesign, Suite};
-use sqip_bench::designs;
+use sqip::{all_workloads, Experiment, RunRecord, SqDesign, Suite, Workload};
+use sqip_bench::{designs, workloads};
 
 const DEFAULT_PAIR: [SqDesign; 2] = [SqDesign::Indexed3Fwd, SqDesign::Indexed3FwdDly];
 
@@ -30,19 +33,34 @@ fn main() -> Result<(), sqip::SqipError> {
             std::process::exit(2);
         }
     };
+    let parsed = workloads::parse_or_exit(parsed.rest);
     let json = parsed.rest.iter().any(|a| a == "--json");
     let filter: Vec<&String> = parsed
         .rest
         .iter()
         .filter(|a| !a.starts_with("--"))
         .collect();
+    if !filter.is_empty() && !parsed.workloads.is_empty() {
+        eprintln!(
+            "error: positional benchmark filters and --workload are mutually exclusive; \
+             pass everything via repeated --workload flags"
+        );
+        std::process::exit(2);
+    }
+    let subset = !filter.is_empty() || !parsed.workloads.is_empty();
+
+    let selected: Vec<Workload> = if parsed.workloads.is_empty() {
+        all_workloads()
+            .into_iter()
+            .filter(|w| filter.is_empty() || filter.iter().any(|f| **f == w.name))
+            .map(Workload::from)
+            .collect()
+    } else {
+        parsed.workloads
+    };
 
     let results = Experiment::new()
-        .workloads(
-            all_workloads()
-                .into_iter()
-                .filter(|w| filter.is_empty() || filter.iter().any(|f| *f == w.name)),
-        )
+        .workloads(selected)
         .designs([raw_design, dly_design])
         .run()?;
 
@@ -54,15 +72,23 @@ fn main() -> Result<(), sqip::SqipError> {
     println!("Table 3. Store queue index prediction diagnostics.");
     println!("Load forwarding rates, raw prediction accuracy, and improved");
     println!("accuracy using delay prediction.\n");
+    // Name column sized to the roster (generator names can be long).
+    let name_w = results
+        .workload_names()
+        .iter()
+        .map(|n| n.len())
+        .max()
+        .unwrap_or(0)
+        .max(10);
     println!(
-        "{:>10} {:>8} | {:>9} | {:>9} {:>7} {:>9}",
+        "{:>name_w$} {:>8} | {:>9} | {:>9} {:>7} {:>9}",
         "", "%load", "Fwd", "Fwd+Dly", "", ""
     );
     println!(
-        "{:>10} {:>8} | {:>9} | {:>9} {:>7} {:>9}",
+        "{:>name_w$} {:>8} | {:>9} | {:>9} {:>7} {:>9}",
         "", "forward", "mis/1000", "mis/1000", "%delay", "avg.dly"
     );
-    println!("{}", "-".repeat(62));
+    println!("{}", "-".repeat(name_w + 52));
 
     let row = |name: &str| -> Option<[f64; 5]> {
         let fwd = results.get(name, raw_design)?;
@@ -72,21 +98,21 @@ fn main() -> Result<(), sqip::SqipError> {
 
     for name in results.workload_names() {
         let r = row(name).expect("both designs ran");
-        print_row(name, r);
+        print_row(name, name_w, r);
     }
 
-    if filter.is_empty() {
-        println!("{}", "-".repeat(62));
+    if !subset {
+        println!("{}", "-".repeat(name_w + 52));
         for suite in [Suite::Media, Suite::Int, Suite::Fp] {
             let names: Vec<&str> = results
                 .workload_names()
                 .into_iter()
                 .filter(|n| results.get(n, dly_design).and_then(|r| r.suite) == Some(suite))
                 .collect();
-            print_avg(&format!("{suite}.avg"), &names, &row);
+            print_avg(&format!("{suite}.avg"), name_w, &names, &row);
         }
         let all: Vec<&str> = results.workload_names();
-        print_avg("All.avg", &all, &row);
+        print_avg("All.avg", name_w, &all, &row);
     }
     Ok(())
 }
@@ -102,14 +128,14 @@ fn table3_row(fwd: &RunRecord, dly: &RunRecord) -> [f64; 5] {
     ]
 }
 
-fn print_row(name: &str, r: [f64; 5]) {
+fn print_row(name: &str, name_w: usize, r: [f64; 5]) {
     println!(
-        "{:>10} {:>8.1} | {:>9.1} | {:>9.1} {:>7.1} {:>9.1}",
-        name, r[0], r[1], r[2], r[3], r[4]
+        "{name:>name_w$} {:>8.1} | {:>9.1} | {:>9.1} {:>7.1} {:>9.1}",
+        r[0], r[1], r[2], r[3], r[4]
     );
 }
 
-fn print_avg(label: &str, names: &[&str], row: &dyn Fn(&str) -> Option<[f64; 5]>) {
+fn print_avg(label: &str, name_w: usize, names: &[&str], row: &dyn Fn(&str) -> Option<[f64; 5]>) {
     let rows: Vec<[f64; 5]> = names.iter().filter_map(|n| row(n)).collect();
     if rows.is_empty() {
         return;
@@ -121,5 +147,5 @@ fn print_avg(label: &str, names: &[&str], row: &dyn Fn(&str) -> Option<[f64; 5]>
             *a += v / n;
         }
     }
-    print_row(label, avg);
+    print_row(label, name_w, avg);
 }

@@ -120,6 +120,98 @@ pub mod designs {
     }
 }
 
+/// Shared `--workload <name>` / `--list-workloads` handling for the
+/// figure and table regenerator binaries — the workload-axis twin of
+/// [`designs`]: workloads are named through the open
+/// [`sqip::WorkloadRegistry`], so any registered workload (the 47 Table 3
+/// models, the generator catalogue, anything registered at runtime) *or*
+/// any `mix:`/`chase:`/`stride:` generator name can replace a binary's
+/// default roster from the command line, streamed through the simulator
+/// in bounded memory.
+pub mod workloads {
+    use sqip::{Workload, WorkloadRegistry};
+
+    /// Parsed workload-selection flags.
+    #[derive(Debug)]
+    pub struct WorkloadArgs {
+        /// Every `--workload <name>` in order, resolved through the
+        /// registry; empty when none was given (binaries then use their
+        /// default roster).
+        pub workloads: Vec<Workload>,
+        /// The remaining (non-workload) arguments, order preserved.
+        pub rest: Vec<String>,
+    }
+
+    /// Extracts `--workload <name>` (repeatable) and `--list-workloads`
+    /// from `args`.
+    ///
+    /// Returns `Ok(None)` after printing the registry roster when
+    /// `--list-workloads` is present (the binary should exit
+    /// successfully).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when `--workload` is missing its value or
+    /// names something neither registered nor in the generator grammar.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Option<WorkloadArgs>, String> {
+        let mut workloads = Vec::new();
+        let mut rest = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--list-workloads" => {
+                    print_roster();
+                    return Ok(None);
+                }
+                "--workload" => {
+                    let name = it
+                        .next()
+                        .ok_or_else(|| "--workload requires a workload name".to_string())?;
+                    workloads.push(Workload::from_registry(&name).map_err(|e| e.to_string())?);
+                }
+                _ => rest.push(arg),
+            }
+        }
+        Ok(Some(WorkloadArgs { workloads, rest }))
+    }
+
+    /// Prints every registered workload plus the generator grammar.
+    pub fn print_roster() {
+        let registry = WorkloadRegistry::global();
+        println!("registered workloads:");
+        for name in registry.names() {
+            let entry = registry.lookup(&name).expect("listed name resolves");
+            let suite = entry
+                .suite()
+                .map_or_else(|| "-".to_string(), |s| s.to_string());
+            println!("  {name:<24} {suite:<6} {}", entry.description());
+        }
+        println!("parameterized generators (usable directly as --workload names):");
+        println!("  mix:<seed>:<insts>        seeded random kernel mix        e.g. mix:0xbeef:10m");
+        println!(
+            "  chase:<nodes>:<stride>:<insts>  pointer chase             e.g. chase:4096:64:1m"
+        );
+        println!(
+            "  stride:<stride>:<insts>   strided load stream             e.g. stride:4096:500k"
+        );
+    }
+
+    /// Unwraps a [`parse`] outcome for a `main()`: prints errors to
+    /// stderr and exits (code 2 on bad flags, 0 after
+    /// `--list-workloads`).
+    #[must_use]
+    pub fn parse_or_exit(args: impl IntoIterator<Item = String>) -> WorkloadArgs {
+        match parse(args) {
+            Ok(Some(parsed)) => parsed,
+            Ok(None) => std::process::exit(0),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
 /// A minimal wall-clock micro-benchmark harness.
 ///
 /// Each case runs one warmup iteration plus `SQIP_BENCH_ITERS` timed

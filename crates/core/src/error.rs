@@ -22,6 +22,15 @@ pub enum SimError {
         /// Human-readable dump of the ROB head and front-end state.
         detail: String,
     },
+    /// The trace source failed mid-stream: an I/O error or corrupt
+    /// on-disk trace, or a streaming interpreter fault (non-halting
+    /// program, PC out of range).
+    TraceSource {
+        /// Records the source delivered before failing.
+        pulled: u64,
+        /// The underlying [`sqip_isa::IsaError`], rendered.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -36,6 +45,9 @@ impl std::fmt::Display for SimError {
                 f,
                 "pipeline deadlock at cycle {cycle} (committed {committed}): {detail}"
             ),
+            SimError::TraceSource { pulled, detail } => {
+                write!(f, "trace source failed after {pulled} records: {detail}")
+            }
         }
     }
 }

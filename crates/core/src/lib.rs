@@ -67,7 +67,7 @@ mod stats;
 pub use config::{IssueMix, OpLatencies, OrderingMode, ParseDesignError, SimConfig, SqDesign};
 pub use error::SimError;
 pub use observer::{ObserverAction, SimObserver};
-pub use oracle::{OracleFwd, OracleInfo};
+pub use oracle::{OracleBuilder, OracleFwd, OracleInfo};
 pub use pipeline::{Processor, StepOutcome};
 pub use policy::{
     BuiltinPolicy, DesignCaps, DesignRegistry, ForwardingPolicy, LoadCommitInfo, LoadRename,

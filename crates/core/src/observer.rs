@@ -64,8 +64,10 @@ pub trait SimObserver {
         100_000
     }
 
-    /// Fired once before the first cycle.
-    fn on_start(&mut self, _config: &SimConfig, _trace_len: usize) {}
+    /// Fired once before the first cycle. `trace_len` is the exact total
+    /// record count when the input declares one up front (materialized
+    /// traces); streaming sources of unknown length pass `None`.
+    fn on_start(&mut self, _config: &SimConfig, _trace_len: Option<usize>) {}
 
     /// Fired every [`SimObserver::interval`] cycles with a consistent
     /// statistics snapshot. Return [`ObserverAction::Abort`] to stop the

@@ -1,15 +1,20 @@
 //! Architectural (oracle) dependence analysis over a golden trace.
 //!
-//! A preprocessing pass computes, for every dynamic load, the youngest
-//! older store that wrote any of its bytes. The `IdealOracle` configuration
-//! schedules loads with this information (perfect, violation-free
-//! scheduling — the paper's idealised baseline), and the statistics use it
-//! to report the architectural load forwarding rate of Table 3's first
-//! column.
+//! [`OracleBuilder`] computes, for every dynamic load, the youngest older
+//! store that wrote any of its bytes. The analysis is a *streaming* pass:
+//! the byte map it maintains is forward-only, so each record's oracle info
+//! is complete the moment the record is ingested — the pipeline computes
+//! it on the fly as records arrive from a
+//! [`TraceSource`](sqip_isa::TraceSource), with no whole-trace
+//! preprocessing. The `IdealOracle` configuration schedules loads with
+//! this information (perfect, violation-free scheduling — the paper's
+//! idealised baseline), and the statistics use it to report the
+//! architectural load forwarding rate of Table 3's first column.
+//! [`OracleInfo`] is the batch form over a materialized [`Trace`].
 
 use std::collections::HashMap;
 
-use sqip_isa::Trace;
+use sqip_isa::{Trace, TraceRecord};
 use sqip_types::Seq;
 
 /// The architectural forwarding source of one dynamic load.
@@ -26,6 +31,94 @@ pub struct OracleFwd {
     pub store_dist: u64,
 }
 
+/// The incremental oracle: ingests records in fetch order and returns
+/// each one's [`OracleFwd`] info immediately.
+///
+/// Memory use scales with the program's *address footprint* (one byte-map
+/// entry per distinct byte written), not with run length — so arbitrarily
+/// long streams analyse in bounded space.
+///
+/// # Example
+///
+/// ```
+/// use sqip_core::OracleBuilder;
+/// use sqip_isa::{ProgramBuilder, ProgramSource, Reg, TraceSource};
+/// use sqip_types::DataSize;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.load_imm(Reg::new(1), 7);
+/// b.store(DataSize::Quad, Reg::new(1), Reg::ZERO, 0x100);
+/// b.load(DataSize::Quad, Reg::new(2), Reg::ZERO, 0x100);
+/// b.halt();
+///
+/// let mut source = ProgramSource::new(b.build()?, 100);
+/// let mut oracle = OracleBuilder::new();
+/// let mut fwd = None;
+/// while let Some(rec) = source.next_record()? {
+///     fwd = oracle.ingest(&rec).or(fwd);
+/// }
+/// let fwd = fwd.expect("the load forwards");
+/// assert!(fwd.covers);
+/// assert_eq!(fwd.store_dist, 0);
+/// # Ok::<(), sqip_isa::IsaError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OracleBuilder {
+    /// Byte address -> (store seq, store ordinal) of last writer.
+    last_writer: HashMap<u64, (Seq, u64)>,
+    store_count: u64,
+}
+
+impl OracleBuilder {
+    /// A fresh oracle with an empty byte map.
+    #[must_use]
+    pub fn new() -> OracleBuilder {
+        OracleBuilder::default()
+    }
+
+    /// Ingests the next record of the stream (records must arrive in
+    /// fetch order) and returns the oracle forwarding info for it —
+    /// `Some` only for loads whose bytes a previously ingested store
+    /// wrote.
+    pub fn ingest(&mut self, r: &TraceRecord) -> Option<OracleFwd> {
+        if r.is_store() {
+            self.store_count += 1;
+            for b in r.mem_addr().span(r.size).byte_addrs() {
+                self.last_writer.insert(b.0, (r.seq, self.store_count));
+            }
+            None
+        } else if r.is_load() {
+            let load_span = r.mem_addr().span(r.size);
+            let newest = load_span
+                .byte_addrs()
+                .filter_map(|b| self.last_writer.get(&b.0).copied())
+                .max_by_key(|&(_, ord)| ord);
+            newest.map(|(store_seq, ord)| {
+                // Covered iff the youngest overlapping store wrote every
+                // byte of the load.
+                let covers = load_span.byte_addrs().all(|b| {
+                    self.last_writer
+                        .get(&b.0)
+                        .is_some_and(|&(s, _)| s == store_seq)
+                });
+                OracleFwd {
+                    store_seq,
+                    covers,
+                    store_dist: self.store_count - ord,
+                }
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Dynamic stores ingested so far.
+    #[must_use]
+    pub fn stores_seen(&self) -> u64 {
+        self.store_count
+    }
+}
+
 /// Per-record oracle forwarding info (`None` for non-loads and for loads
 /// whose bytes were never written by a traced store).
 #[derive(Debug, Clone)]
@@ -34,42 +127,12 @@ pub struct OracleInfo {
 }
 
 impl OracleInfo {
-    /// Analyses a trace.
+    /// Analyses a materialized trace (the batch form of
+    /// [`OracleBuilder`]).
     #[must_use]
     pub fn analyze(trace: &Trace) -> OracleInfo {
-        // Byte address -> (store seq, store ordinal) of last writer.
-        let mut last_writer: HashMap<u64, (Seq, u64)> = HashMap::new();
-        let mut store_count: u64 = 0;
-        let mut per_record = Vec::with_capacity(trace.len());
-
-        for r in trace.records() {
-            let mut info = None;
-            if r.is_store() {
-                store_count += 1;
-                for b in r.mem_addr().span(r.size).byte_addrs() {
-                    last_writer.insert(b.0, (r.seq, store_count));
-                }
-            } else if r.is_load() {
-                let load_span = r.mem_addr().span(r.size);
-                let newest = load_span
-                    .byte_addrs()
-                    .filter_map(|b| last_writer.get(&b.0).copied())
-                    .max_by_key(|&(_, ord)| ord);
-                if let Some((store_seq, ord)) = newest {
-                    // Covered iff the youngest overlapping store wrote every
-                    // byte of the load.
-                    let covers = load_span
-                        .byte_addrs()
-                        .all(|b| last_writer.get(&b.0).is_some_and(|&(s, _)| s == store_seq));
-                    info = Some(OracleFwd {
-                        store_seq,
-                        covers,
-                        store_dist: store_count - ord,
-                    });
-                }
-            }
-            per_record.push(info);
-        }
+        let mut builder = OracleBuilder::new();
+        let per_record = trace.records().iter().map(|r| builder.ingest(r)).collect();
         OracleInfo { per_record }
     }
 

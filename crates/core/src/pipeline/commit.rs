@@ -6,7 +6,7 @@ use sqip_types::{Seq, Ssn};
 
 use crate::config::OrderingMode;
 use crate::dyninst::InstState;
-use crate::pipeline::{Processor, NOT_READY};
+use crate::pipeline::Processor;
 use crate::policy::LoadCommitInfo;
 
 impl Processor<'_> {
@@ -76,7 +76,7 @@ impl Processor<'_> {
                 self.stats.mis_forwards += 1;
                 let inst = self.insts.get_mut(&seq.0).expect("load in flight");
                 inst.value = correct;
-                self.spec_value[seq.0 as usize] = correct;
+                self.vals.set_spec_value(seq.0, correct);
                 flush = true;
             }
         }
@@ -101,7 +101,7 @@ impl Processor<'_> {
         // Per-load statistics.
         self.stats.loads += 1;
         self.stats.loads_forwarded += u64::from(fwd.is_some());
-        if let Some(f) = self.oracle.fwd(seq) {
+        if let Some(f) = self.window.fwd(seq) {
             if f.store_dist < self.cfg.sq_size as u64 {
                 self.stats.forwarding_relevant_loads += 1;
             }
@@ -160,6 +160,9 @@ impl Processor<'_> {
         self.policy.on_retire(seq);
         self.stats.committed += 1;
         self.last_commit_cycle = self.cycle;
+        // Commit is in-order, so the retiring instruction is always the
+        // record window's front: its record can never be re-fetched.
+        self.window.pop_front();
     }
 
     /// Mid-window squash (LQ CAM violation): everything at or younger than
@@ -168,6 +171,8 @@ impl Processor<'_> {
         self.stats.flushes += 1;
         self.incarnation += 1;
 
+        // (Value-ring slots of squashed instructions are not cleared here:
+        // nothing reads a squashed slot before its re-rename resets it.)
         let squashed: Vec<u64> = self
             .insts
             .keys()
@@ -177,8 +182,6 @@ impl Processor<'_> {
         self.stats.squashed += squashed.len() as u64;
         for &s in &squashed {
             self.insts.remove(&s);
-            self.value_ready[s as usize] = NOT_READY;
-            self.wake_time[s as usize] = NOT_READY;
         }
         let keep = self.rob.iter().take_while(|&&s| s < from).count();
         self.rob.truncate(keep);
@@ -227,10 +230,6 @@ impl Processor<'_> {
         self.stats.flushes += 1;
         self.incarnation += 1;
 
-        for &s in self.insts.keys() {
-            self.value_ready[s as usize] = NOT_READY;
-            self.wake_time[s as usize] = NOT_READY;
-        }
         self.stats.squashed += self.insts.len() as u64;
         self.insts.clear();
         self.rob.clear();

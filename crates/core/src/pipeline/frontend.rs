@@ -20,10 +20,14 @@ impl Processor<'_> {
         let mut budget = self.cfg.fetch_width;
         let mut taken_seen = false;
         let front_cap = self.cfg.fetch_width * 4;
-        while budget > 0 && self.fetch_idx < self.trace.len() && self.front_q.len() < front_cap {
+        while budget > 0 && self.front_q.len() < front_cap {
+            // Pulls from the trace source on first fetch; squash re-fetches
+            // replay out of the in-flight record window.
+            let Some(rec) = self.fetch_record() else {
+                break; // stream exhausted (or failed; step() surfaces it)
+            };
             let seq = Seq(self.fetch_idx as u64);
-            let rec = &self.trace.records()[self.fetch_idx];
-            let mispredicted = self.predict_branch(rec);
+            let mispredicted = self.predict_branch(&rec);
             self.front_q
                 .push_back((seq, self.cycle + self.cfg.front_latency, self.path_history));
             if rec.op.is_conditional() {
@@ -114,6 +118,10 @@ impl Processor<'_> {
     }
 
     fn rename_one(&mut self, seq: Seq, rec: &TraceRecord, path: u64) {
+        // Claim the sequence number's value-ring slot: clears leftovers
+        // both from a squashed incarnation of this seq and from the slot's
+        // previous (long-retired) tenant.
+        self.vals.reset(seq.0);
         let mut inst = DynInst::new(seq, self.incarnation, self.ssn_ren);
         inst.nondelay_ready = self.cycle;
         inst.path = path;
@@ -125,7 +133,7 @@ impl Processor<'_> {
                 None => Operand::None,
                 Some(r) => match self.rename_map[r.index()] {
                     Some(p) => {
-                        if self.wake_time[p.0 as usize] > self.cycle {
+                        if self.vals.wake_time(p.0) > self.cycle {
                             gates += 1;
                             self.wake_on_value.entry(p.0).or_default().push(seq.0);
                         }
@@ -193,7 +201,7 @@ impl Processor<'_> {
     /// for. Returns the number of gates added.
     fn attach_load_predictions(&mut self, inst: &mut DynInst, rec: &TraceRecord) -> u32 {
         let hint = if self.caps.oracle {
-            self.oracle.fwd(inst.seq).map(|f| OracleHint {
+            self.window.fwd(inst.seq).map(|f| OracleHint {
                 store_ssn: self.insts.get(&f.store_seq.0).map(|s| s.my_ssn),
                 covers: f.covers,
             })

@@ -23,7 +23,7 @@ impl Processor<'_> {
             let inst = &self.insts[&seq.0];
             for src in inst.srcs {
                 if let Operand::InFlight(p) = src {
-                    if self.value_ready[p.0 as usize] > self.cycle {
+                    if self.vals.value_ready(p.0) > self.cycle {
                         unready.push(p.0);
                     }
                 }
@@ -52,7 +52,7 @@ impl Processor<'_> {
         let get = |o: Operand| match o {
             Operand::None => 0,
             Operand::Value(v) => v,
-            Operand::InFlight(p) => self.spec_value[p.0 as usize],
+            Operand::InFlight(p) => self.vals.spec_value(p.0),
         };
         (get(inst.srcs[0]), get(inst.srcs[1]))
     }
@@ -60,8 +60,8 @@ impl Processor<'_> {
     /// Finishes execution: value known, completion scheduled.
     pub(crate) fn complete(&mut self, seq: Seq, value: u64, latency: u64) {
         let ready_at = self.cycle + latency;
-        self.spec_value[seq.0 as usize] = value;
-        self.value_ready[seq.0 as usize] = ready_at;
+        self.vals.set_spec_value(seq.0, value);
+        self.vals.set_value_ready(seq.0, ready_at);
         let post = self.cfg.post_exec_depth;
         {
             let inst = self

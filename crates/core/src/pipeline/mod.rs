@@ -1,7 +1,10 @@
 //! The cycle-level out-of-order processor model.
 //!
-//! A 19-stage, 8-way machine driven by a golden trace (oracle control-flow
-//! path, architectural addresses) that recomputes *values* speculatively
+//! A 19-stage, 8-way machine driven by a golden dynamic-instruction
+//! stream (oracle control-flow path, architectural addresses) pulled
+//! incrementally from a [`TraceSource`] — a materialized trace, a
+//! streaming program interpreter, a recorded trace file, a generator —
+//! that recomputes *values* speculatively
 //! through the modelled dataflow. Store-load forwarding — the subject of
 //! the paper — is simulated exactly: loads obtain values from the store
 //! queue or from committed memory as decided by the configured
@@ -29,11 +32,12 @@ mod lsq;
 mod schedule;
 #[cfg(test)]
 mod tests;
+mod window;
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
 
-use sqip_isa::{Trace, TraceRecord};
+use sqip_isa::{IsaError, Trace, TraceRecord, TraceSource};
 use sqip_mem::{Hierarchy, MemImage};
 use sqip_predictors::BranchPredictor;
 use sqip_queues::{LoadQueue, StoreQueue, Window};
@@ -43,7 +47,8 @@ use crate::config::SimConfig;
 use crate::dyninst::DynInst;
 use crate::error::SimError;
 use crate::observer::{ObserverAction, SimObserver};
-use crate::oracle::OracleInfo;
+use crate::oracle::OracleBuilder;
+use crate::pipeline::window::{RecordWindow, SeqRing};
 use crate::policy::{DesignCaps, DesignRegistry, ForwardingPolicy};
 use crate::stats::SimStats;
 
@@ -77,7 +82,13 @@ pub(crate) enum EvKind {
 
 /// The simulator.
 ///
-/// Build one per (configuration, trace) pair and call [`Processor::run`].
+/// Build one per (configuration, input) pair and call [`Processor::run`].
+/// The input is any [`TraceSource`] — a materialized [`Trace`] (via
+/// [`Processor::new`]), a streaming program interpreter, a recorded trace
+/// file, a generator — consumed incrementally through
+/// [`Processor::from_source`]: the processor buffers only the records
+/// between the commit point and the fetch frontier, so run length is
+/// unbounded by memory.
 ///
 /// # Example
 ///
@@ -98,11 +109,47 @@ pub(crate) enum EvKind {
 /// assert_eq!(stats.committed, trace.len() as u64);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
+///
+/// Streaming a program directly — no `Trace` is ever materialized, and
+/// the statistics are bit-identical to the materialized run:
+///
+/// ```
+/// use sqip_core::{Processor, SimConfig, SqDesign};
+/// use sqip_isa::{ProgramBuilder, ProgramSource, Reg};
+/// use sqip_types::DataSize;
+///
+/// let mut b = ProgramBuilder::new();
+/// let (ctr, v) = (Reg::new(1), Reg::new(2));
+/// b.load_imm(ctr, 1000);
+/// let top = b.label("top");
+/// b.store(DataSize::Quad, v, Reg::ZERO, 0x100);
+/// b.load(DataSize::Quad, v, Reg::ZERO, 0x100);
+/// b.add_imm(ctr, ctr, -1);
+/// b.branch_nz(ctr, top);
+/// b.halt();
+///
+/// let source = ProgramSource::new(b.build()?, 100_000);
+/// let cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+/// let stats = Processor::from_source(cfg, source).try_run()?;
+/// assert_eq!(stats.committed, 4 * 1000 + 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub struct Processor<'t> {
     pub(crate) cfg: SimConfig,
-    pub(crate) trace: &'t Trace,
-    pub(crate) oracle: OracleInfo,
+    /// The pull-based record stream driving the run.
+    source: Box<dyn TraceSource + 't>,
+    /// Records between the commit point and the fetch frontier, with
+    /// their oracle info (computed once at ingest).
+    pub(crate) window: RecordWindow,
+    /// The streaming oracle pass feeding `window`.
+    oracle: OracleBuilder,
+    /// Exact total record count: the source's up-front hint, or measured
+    /// at exhaustion.
+    total_records: Option<u64>,
+    /// Whether the source has returned `None`.
+    source_done: bool,
+    /// A source failure, held until [`Processor::step`] surfaces it.
+    source_error: Option<IsaError>,
 
     pub(crate) cycle: u64,
     pub(crate) incarnation: u64,
@@ -144,10 +191,9 @@ pub struct Processor<'t> {
     /// Store SSN -> loads waiting for it to commit (delay / partial hit).
     pub(crate) wake_on_store_commit: BTreeMap<u64, Vec<u64>>,
 
-    // ---- dense per-seq value state (survives commit, reset on squash) ----
-    pub(crate) spec_value: Vec<u64>,
-    pub(crate) value_ready: Vec<u64>,
-    pub(crate) wake_time: Vec<u64>,
+    // ---- dense per-seq value state (survives commit; slots reset as
+    // their sequence numbers re-enter rename) ----
+    pub(crate) vals: SeqRing,
 
     // ---- memory system ----
     pub(crate) sq: StoreQueue,
@@ -176,8 +222,7 @@ impl<'t> Processor<'t> {
     /// [`SimError::InvalidConfig`] if the configuration is inconsistent
     /// (see [`SimConfig::try_validate`]).
     pub fn try_new(cfg: SimConfig, trace: &'t Trace) -> Result<Processor<'t>, SimError> {
-        cfg.try_validate()?;
-        Ok(Processor::new_unchecked(cfg, trace))
+        Processor::try_from_source(cfg, trace.stream())
     }
 
     /// Builds a processor for one run over `trace`.
@@ -188,18 +233,52 @@ impl<'t> Processor<'t> {
     /// [`SimConfig::validate`]).
     #[must_use]
     pub fn new(cfg: SimConfig, trace: &'t Trace) -> Processor<'t> {
-        cfg.validate();
-        Processor::new_unchecked(cfg, trace)
+        Processor::from_source(cfg, trace.stream())
     }
 
-    fn new_unchecked(cfg: SimConfig, trace: &'t Trace) -> Processor<'t> {
-        let n = trace.len() + 1;
+    /// Builds a processor over any [`TraceSource`], validating the
+    /// configuration. Records are pulled on demand and only an
+    /// O(window)-sized span is ever buffered (see
+    /// [`Processor::buffered_records`]), so sources of unbounded length
+    /// simulate in bounded memory.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] if the configuration is inconsistent
+    /// (see [`SimConfig::try_validate`]).
+    pub fn try_from_source(
+        cfg: SimConfig,
+        source: impl TraceSource + 't,
+    ) -> Result<Processor<'t>, SimError> {
+        cfg.try_validate()?;
+        Ok(Processor::new_unchecked(cfg, source))
+    }
+
+    /// Builds a processor over any [`TraceSource`] (see
+    /// [`Processor::try_from_source`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent (see
+    /// [`SimConfig::validate`]).
+    #[must_use]
+    pub fn from_source(cfg: SimConfig, source: impl TraceSource + 't) -> Processor<'t> {
+        cfg.validate();
+        Processor::new_unchecked(cfg, source)
+    }
+
+    fn new_unchecked(cfg: SimConfig, source: impl TraceSource + 't) -> Processor<'t> {
         let policy = DesignRegistry::global()
             .instantiate(cfg.design, &cfg)
             .expect("design resolved during config validation");
         let caps = policy.caps();
         Processor {
-            oracle: OracleInfo::analyze(trace),
+            total_records: source.len_hint(),
+            source: Box::new(source),
+            window: RecordWindow::default(),
+            oracle: OracleBuilder::new(),
+            source_done: false,
+            source_error: None,
             cycle: 0,
             incarnation: 0,
             last_commit_cycle: 0,
@@ -221,9 +300,7 @@ impl<'t> Processor<'t> {
             wake_on_store_exec: HashMap::new(),
             wake_on_store_exec_strict: HashMap::new(),
             wake_on_store_commit: BTreeMap::new(),
-            spec_value: vec![0; n],
-            value_ready: vec![NOT_READY; n],
-            wake_time: vec![NOT_READY; n],
+            vals: SeqRing::new(cfg.rob_size, cfg.fetch_width),
             sq: StoreQueue::new(cfg.sq_size),
             lq: LoadQueue::new(cfg.lq_size),
             hierarchy: Hierarchy::new(cfg.hierarchy),
@@ -234,14 +311,25 @@ impl<'t> Processor<'t> {
             caps,
             stats: SimStats::default(),
             cfg,
-            trace,
         }
     }
 
-    /// Whether the whole trace has committed.
+    /// Whether the whole record stream has committed. Until the source is
+    /// exhausted (or declared an exact length up front) the total is
+    /// unknown and this is `false`.
     #[must_use]
     pub fn is_done(&self) -> bool {
-        (self.stats.committed as usize) >= self.trace.len()
+        self.total_records
+            .is_some_and(|total| self.stats.committed >= total)
+    }
+
+    /// Records currently buffered between the commit point and the fetch
+    /// frontier. Bounded by the machine's window (ROB + fetch-ahead), not
+    /// by the input length — the memory-boundedness guarantee of the
+    /// streaming input API, pinned by a regression test.
+    #[must_use]
+    pub fn buffered_records(&self) -> usize {
+        self.window.len()
     }
 
     /// The current cycle number.
@@ -290,7 +378,9 @@ impl<'t> Processor<'t> {
     /// # Errors
     ///
     /// [`SimError::Deadlock`] if no instruction has committed for an
-    /// implausibly long time — a simulator bug, not a program property.
+    /// implausibly long time — a simulator bug, not a program property —
+    /// and [`SimError::TraceSource`] if the trace source fails mid-stream
+    /// (I/O error, corrupt trace file, interpreter fault).
     pub fn step(&mut self) -> Result<StepOutcome, SimError> {
         if self.is_done() {
             self.sync_stats();
@@ -303,6 +393,12 @@ impl<'t> Processor<'t> {
         self.rename_stage();
         self.fetch_stage();
         self.sync_stats();
+        if let Some(source) = &self.source_error {
+            return Err(SimError::TraceSource {
+                pulled: self.window.end(),
+                detail: source.to_string(),
+            });
+        }
         if self.is_done() {
             return Ok(StepOutcome::Done);
         }
@@ -353,7 +449,8 @@ impl<'t> Processor<'t> {
         mut self,
         observer: &mut O,
     ) -> Result<SimStats, SimError> {
-        observer.on_start(&self.cfg, self.trace.len());
+        let len_hint = self.total_records.map(|n| n as usize);
+        observer.on_start(&self.cfg, len_hint);
         let interval = observer.interval().max(1);
         while self.step()? == StepOutcome::Running {
             if self.cycle.is_multiple_of(interval)
@@ -410,6 +507,49 @@ impl<'t> Processor<'t> {
     }
 
     pub(crate) fn rec(&self, seq: Seq) -> &TraceRecord {
-        &self.trace.records()[seq.0 as usize]
+        self.window.rec(seq)
+    }
+
+    /// The record at `fetch_idx`, pulling from the source as needed.
+    /// Returns `None` when the stream is exhausted (or has failed — the
+    /// error surfaces from [`Processor::step`]).
+    pub(crate) fn fetch_record(&mut self) -> Option<TraceRecord> {
+        let seq = self.fetch_idx as u64;
+        while seq >= self.window.end() {
+            if self.source_done || self.source_error.is_some() {
+                return None;
+            }
+            match self.source.next_record() {
+                Ok(Some(mut rec)) => {
+                    // Consumers own the numbering: records are sequential
+                    // in pull order whatever the source put in `seq`.
+                    rec.seq = Seq(self.window.end());
+                    let fwd = self.oracle.ingest(&rec);
+                    self.window.push(rec, fwd);
+                }
+                Ok(None) => {
+                    self.source_done = true;
+                    self.total_records = Some(self.window.end());
+                    return None;
+                }
+                Err(e) => {
+                    self.source_error = Some(e);
+                    return None;
+                }
+            }
+        }
+        Some(*self.window.rec(Seq(seq)))
+    }
+}
+
+impl std::fmt::Debug for Processor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Processor")
+            .field("design", &self.cfg.design)
+            .field("cycle", &self.cycle)
+            .field("committed", &self.stats.committed)
+            .field("pulled", &self.window.end())
+            .field("buffered", &self.window.len())
+            .finish_non_exhaustive()
     }
 }

@@ -20,7 +20,7 @@ impl Processor<'_> {
             if total == 0 {
                 break;
             }
-            let class = self.trace.records()[seq as usize].op.class();
+            let class = self.window.rec(Seq(seq)).op.class();
             let port = match class {
                 OpClass::IntAlu | OpClass::IntMul | OpClass::None => &mut int,
                 OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => &mut fp,
@@ -57,13 +57,13 @@ impl Processor<'_> {
             // Wakeup broadcast for register consumers, timed so a
             // back-to-back dependent executes exactly when the value is
             // predicted to be ready.
-            let rec = &self.trace.records()[seq as usize];
+            let rec = *self.window.rec(Seq(seq));
             if rec.dst.is_some() {
-                let pred_latency = self.predicted_latency(rec, seq);
+                let pred_latency = self.predicted_latency(&rec, seq);
                 let broadcast_at = (exec_at + pred_latency)
                     .saturating_sub(self.cfg.issue_to_exec)
                     .max(self.cycle + 1);
-                self.wake_time[seq as usize] = broadcast_at;
+                self.vals.set_wake_time(seq, broadcast_at);
                 self.events
                     .push(Reverse((broadcast_at, EvKind::Broadcast, seq, inc)));
             }
@@ -166,7 +166,7 @@ impl Processor<'_> {
             inst.gates = unready.len() as u32;
         }
         for &p in unready {
-            let vr = self.value_ready[p as usize];
+            let vr = self.vals.value_ready(p);
             if vr == NOT_READY {
                 // Producer hasn't executed; it will re-broadcast.
                 self.wake_on_value.entry(p).or_default().push(seq.0);

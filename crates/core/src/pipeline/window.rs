@@ -1,0 +1,191 @@
+//! Bounded sliding-window state: the in-flight record buffer and the
+//! per-sequence value ring.
+//!
+//! These two structures are what unbinds run length from memory: instead
+//! of per-trace-record side vectors (`trace.len() + 1` entries), the
+//! processor keeps
+//!
+//! * a [`RecordWindow`] holding exactly the records between the commit
+//!   point and the fetch frontier (plus their pre-computed oracle info),
+//!   popped as instructions retire, and
+//! * a [`SeqRing`] of per-sequence speculative value state sized to the
+//!   largest span the pipeline can ever reference (in-flight window +
+//!   producers a consumer captured before they retired + fetch-ahead).
+
+use std::collections::VecDeque;
+
+use sqip_isa::TraceRecord;
+use sqip_types::Seq;
+
+use crate::oracle::OracleFwd;
+use crate::pipeline::NOT_READY;
+
+/// The records currently needed by the pipeline: sequence numbers
+/// `[commit point, fetch frontier)`. Squashes rewind the fetch index but
+/// never discard buffered records (re-fetches replay from the buffer), so
+/// each record is pulled from the trace source exactly once.
+#[derive(Debug, Default)]
+pub(crate) struct RecordWindow {
+    /// Sequence number of `buf`'s front element.
+    base: u64,
+    buf: VecDeque<(TraceRecord, Option<OracleFwd>)>,
+}
+
+impl RecordWindow {
+    /// The next sequence number to be pulled (== total records pulled).
+    pub(crate) fn end(&self) -> u64 {
+        self.base + self.buf.len() as u64
+    }
+
+    /// Buffered record count (the memory-boundedness observable).
+    pub(crate) fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub(crate) fn push(&mut self, rec: TraceRecord, fwd: Option<OracleFwd>) {
+        self.buf.push_back((rec, fwd));
+    }
+
+    /// Drops the oldest record (its instruction committed).
+    pub(crate) fn pop_front(&mut self) {
+        debug_assert!(!self.buf.is_empty(), "popping an empty record window");
+        self.buf.pop_front();
+        self.base += 1;
+    }
+
+    fn index(&self, seq: Seq) -> usize {
+        debug_assert!(
+            seq.0 >= self.base && seq.0 < self.end(),
+            "seq {} outside the record window [{}, {})",
+            seq.0,
+            self.base,
+            self.end()
+        );
+        (seq.0 - self.base) as usize
+    }
+
+    /// The golden record for an in-window sequence number.
+    pub(crate) fn rec(&self, seq: Seq) -> &TraceRecord {
+        &self.buf[self.index(seq)].0
+    }
+
+    /// The oracle forwarding info for an in-window sequence number.
+    pub(crate) fn fwd(&self, seq: Seq) -> Option<OracleFwd> {
+        self.buf[self.index(seq)].1
+    }
+}
+
+/// Dense per-sequence value state (speculative value, readiness cycle,
+/// wakeup-broadcast cycle) in a fixed ring keyed by `seq % capacity`.
+///
+/// A slot is reset when its sequence number enters rename; it stays
+/// readable after the instruction retires, because an in-flight consumer
+/// may have captured the producer at rename and read its value only at
+/// execute. The capacity covers the worst-case readable span: a producer
+/// is always within `rob_size` of its consumer's rename point, and the
+/// fetch frontier leads the commit point by at most
+/// `rob_size + fetch-ahead`, so `2·rob_size + fetch-ahead (+ slack)`
+/// suffices for any run length.
+#[derive(Debug)]
+pub(crate) struct SeqRing {
+    cap: usize,
+    spec_value: Vec<u64>,
+    value_ready: Vec<u64>,
+    wake_time: Vec<u64>,
+}
+
+impl SeqRing {
+    pub(crate) fn new(rob_size: usize, fetch_width: usize) -> SeqRing {
+        let cap = 2 * rob_size + 4 * fetch_width + 64;
+        SeqRing {
+            cap,
+            spec_value: vec![0; cap],
+            value_ready: vec![NOT_READY; cap],
+            wake_time: vec![NOT_READY; cap],
+        }
+    }
+
+    fn slot(&self, seq: u64) -> usize {
+        (seq % self.cap as u64) as usize
+    }
+
+    /// Clears a sequence number's slot as it enters rename (covers both
+    /// ring reuse by a far-younger instruction and re-rename after a
+    /// squash).
+    pub(crate) fn reset(&mut self, seq: u64) {
+        let s = self.slot(seq);
+        self.spec_value[s] = 0;
+        self.value_ready[s] = NOT_READY;
+        self.wake_time[s] = NOT_READY;
+    }
+
+    pub(crate) fn spec_value(&self, seq: u64) -> u64 {
+        self.spec_value[self.slot(seq)]
+    }
+
+    pub(crate) fn set_spec_value(&mut self, seq: u64, v: u64) {
+        let s = self.slot(seq);
+        self.spec_value[s] = v;
+    }
+
+    pub(crate) fn value_ready(&self, seq: u64) -> u64 {
+        self.value_ready[self.slot(seq)]
+    }
+
+    pub(crate) fn set_value_ready(&mut self, seq: u64, cycle: u64) {
+        let s = self.slot(seq);
+        self.value_ready[s] = cycle;
+    }
+
+    pub(crate) fn wake_time(&self, seq: u64) -> u64 {
+        self.wake_time[self.slot(seq)]
+    }
+
+    pub(crate) fn set_wake_time(&mut self, seq: u64, cycle: u64) {
+        let s = self.slot(seq);
+        self.wake_time[s] = cycle;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_window_slides() {
+        let mut w = RecordWindow::default();
+        assert_eq!(w.end(), 0);
+        let rec = |seq: u64| {
+            let mut b = sqip_isa::ProgramBuilder::new();
+            b.halt();
+            let t = sqip_isa::trace_program(&b.build().unwrap(), 10).unwrap();
+            let mut r = t.records()[0];
+            r.seq = Seq(seq);
+            r
+        };
+        w.push(rec(0), None);
+        w.push(rec(1), None);
+        assert_eq!(w.end(), 2);
+        assert_eq!(w.rec(Seq(1)).seq, Seq(1));
+        w.pop_front();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.end(), 2, "end() is monotonic across pops");
+        assert_eq!(w.rec(Seq(1)).seq, Seq(1));
+    }
+
+    #[test]
+    fn seq_ring_isolates_distant_sequences() {
+        let mut r = SeqRing::new(4, 1);
+        let cap = r.cap as u64;
+        r.reset(3);
+        r.set_spec_value(3, 77);
+        r.set_value_ready(3, 10);
+        assert_eq!(r.spec_value(3), 77);
+        assert_eq!(r.value_ready(3), 10);
+        // The slot's next tenant starts clean after its rename-time reset.
+        r.reset(3 + cap);
+        assert_eq!(r.spec_value(3 + cap), 0);
+        assert_eq!(r.value_ready(3 + cap), NOT_READY);
+        assert_eq!(r.wake_time(3 + cap), NOT_READY);
+    }
+}

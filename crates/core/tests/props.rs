@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 use sqip_core::{Processor, SimConfig, SqDesign, StepOutcome};
-use sqip_isa::{trace_program, ProgramBuilder, Reg, Trace};
+use sqip_isa::{trace_program, Program, ProgramBuilder, ProgramSource, Reg, Trace};
 use sqip_types::{Addr, DataSize};
 
 #[derive(Debug, Clone)]
@@ -32,6 +32,10 @@ fn stmt_strategy() -> impl Strategy<Value = Stmt> {
 }
 
 fn build_trace(body: &[Stmt], iters: i64) -> Trace {
+    trace_program(&build_program(body, iters), 1_000_000).unwrap()
+}
+
+fn build_program(body: &[Stmt], iters: i64) -> Program {
     let sizes = [
         DataSize::Byte,
         DataSize::Half,
@@ -81,7 +85,7 @@ fn build_trace(body: &[Stmt], iters: i64) -> Trace {
     b.add_imm(ctr, ctr, -1);
     b.branch_nz(ctr, top);
     b.halt();
-    trace_program(&b.build().unwrap(), 1_000_000).unwrap()
+    b.build().unwrap()
 }
 
 /// Runs `trace` under `design` to completion and captures the committed
@@ -148,6 +152,27 @@ proptest! {
         for &design in &designs[1..] {
             let got = arch_state(design, &trace);
             prop_assert_eq!(&got, &reference, "{} diverges architecturally", design);
+        }
+    }
+
+    /// The streaming input path is not a different simulator: pulling the
+    /// same program through `ProgramSource` (no materialized trace, no
+    /// whole-trace oracle pass, O(window) memory) must produce
+    /// bit-identical `SimStats` to the materialized run, for every
+    /// builtin design, on any program.
+    #[test]
+    fn streamed_execution_is_bit_identical_to_materialized(
+        body in proptest::collection::vec(stmt_strategy(), 4..28),
+        iters in 20i64..60,
+    ) {
+        let program = build_program(&body, iters);
+        let trace = trace_program(&program, 1_000_000).unwrap();
+        for design in SqDesign::ALL {
+            let cfg = SimConfig::with_design(design);
+            let materialized = Processor::new(cfg.clone(), &trace).run();
+            let source = ProgramSource::new(program.clone(), 1_000_000);
+            let streamed = Processor::from_source(cfg, source).run();
+            prop_assert_eq!(&streamed, &materialized, "{} diverges when streamed", design);
         }
     }
 

@@ -26,6 +26,17 @@ pub enum IsaError {
     },
     /// The program is empty.
     EmptyProgram,
+    /// A trace file could not be read or written (underlying I/O failure).
+    TraceIo {
+        /// What was being done, and the I/O error text.
+        detail: String,
+    },
+    /// A trace file's contents are malformed: bad magic, unsupported
+    /// version, truncation, or an undecodable record.
+    TraceFormat {
+        /// What was wrong.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for IsaError {
@@ -50,6 +61,8 @@ impl std::fmt::Display for IsaError {
                 )
             }
             IsaError::EmptyProgram => write!(f, "program contains no instructions"),
+            IsaError::TraceIo { detail } => write!(f, "trace file I/O failed: {detail}"),
+            IsaError::TraceFormat { detail } => write!(f, "malformed trace file: {detail}"),
         }
     }
 }

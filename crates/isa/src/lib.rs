@@ -10,7 +10,11 @@
 //!
 //! Programs are built with [`ProgramBuilder`] (an assembler with labels),
 //! executed functionally by [`ArchState::step`], and lowered to a golden
-//! [`Trace`] that the cycle-level simulator in `sqip-core` replays. The
+//! dynamic-instruction stream that the cycle-level simulator in
+//! `sqip-core` replays — either materialized as a [`Trace`], or pulled
+//! record by record through the [`TraceSource`] trait ([`ProgramSource`]
+//! streams a program without materialization; [`tracefile`] records and
+//! replays streams on disk). The
 //! trace carries architectural addresses and values; the timing simulator
 //! recomputes *speculative* values through the modelled dataflow so that
 //! forwarding mistakes propagate and pre-commit re-execution performs a real
@@ -44,7 +48,9 @@ mod inst;
 mod op;
 mod program;
 mod reg;
+mod source;
 mod trace;
+pub mod tracefile;
 
 pub use error::IsaError;
 pub use exec::{ArchState, StepOutcome};
@@ -52,4 +58,6 @@ pub use inst::StaticInst;
 pub use op::{Op, OpClass};
 pub use program::{Label, Program, ProgramBuilder};
 pub use reg::{Reg, NUM_REGS};
+pub use source::{ProgramSource, TraceCursor, TraceSource};
 pub use trace::{trace_program, trace_program_with_state, Trace, TraceRecord};
+pub use tracefile::{record_trace, TraceReader, TraceWriter};

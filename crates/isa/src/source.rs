@@ -1,0 +1,250 @@
+//! Pull-based trace sources: the simulator's open input axis.
+//!
+//! A [`TraceSource`] yields [`TraceRecord`]s one at a time, so a consumer
+//! (the cycle-level simulator in `sqip-core`) only ever holds a bounded
+//! in-flight window of records — run length is no longer capped by memory.
+//! Three producers are built in:
+//!
+//! * a materialized [`Trace`] (via [`Trace::stream`] / [`TraceCursor`]),
+//! * a streaming functional interpreter over a [`Program`]
+//!   ([`ProgramSource`] — `trace_program` without the `Vec`),
+//! * the compact on-disk trace format
+//!   ([`TraceReader`](crate::TraceReader) in [`crate::tracefile`]).
+
+use crate::error::IsaError;
+use crate::exec::ArchState;
+use crate::program::Program;
+use crate::trace::{step_record, Trace, TraceRecord};
+
+/// A pull-based stream of dynamic [`TraceRecord`]s.
+///
+/// Implementations produce records in fetch order. Consumers renumber
+/// records sequentially as they pull (sources *should* emit correct
+/// [`TraceRecord::seq`] values, but a consumer never depends on it), and
+/// may buffer a bounded lookahead — a conforming source must therefore not
+/// assume its records are consumed immediately.
+///
+/// # Example
+///
+/// A source is anything that can produce records — here, a materialized
+/// trace and a streaming interpreter over the same program, yielding the
+/// identical record sequence without materializing it:
+///
+/// ```
+/// use sqip_isa::{trace_program, ProgramBuilder, ProgramSource, Reg, TraceSource};
+///
+/// let mut b = ProgramBuilder::new();
+/// let r1 = Reg::new(1);
+/// b.load_imm(r1, 3);
+/// let top = b.label("top");
+/// b.add_imm(r1, r1, -1);
+/// b.branch_nz(r1, top);
+/// b.halt();
+/// let program = b.build()?;
+///
+/// let trace = trace_program(&program, 1000)?;
+/// let mut streamed = ProgramSource::new(program, 1000);
+/// let mut cursor = trace.stream();
+/// while let Some(rec) = cursor.next_record()? {
+///     assert_eq!(streamed.next_record()?, Some(rec));
+/// }
+/// assert_eq!(streamed.next_record()?, None);
+/// # Ok::<(), sqip_isa::IsaError>(())
+/// ```
+pub trait TraceSource {
+    /// Pulls the next record, or `None` once the stream is exhausted.
+    ///
+    /// After `None` (or an error), further calls keep returning the same
+    /// outcome.
+    ///
+    /// # Errors
+    ///
+    /// Source-specific: interpreter faults ([`IsaError::PcOutOfRange`],
+    /// [`IsaError::InstructionBudgetExceeded`]), trace-file I/O or
+    /// corruption ([`IsaError::TraceIo`], [`IsaError::TraceFormat`]).
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, IsaError>;
+
+    /// The exact total record count, when cheaply known without running
+    /// the stream (materialized traces); `None` for generative sources.
+    fn len_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl<S: TraceSource + ?Sized> TraceSource for &mut S {
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, IsaError> {
+        (**self).next_record()
+    }
+    fn len_hint(&self) -> Option<u64> {
+        (**self).len_hint()
+    }
+}
+
+impl<S: TraceSource + ?Sized> TraceSource for Box<S> {
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, IsaError> {
+        (**self).next_record()
+    }
+    fn len_hint(&self) -> Option<u64> {
+        (**self).len_hint()
+    }
+}
+
+/// A [`TraceSource`] over a borrowed, fully materialized [`Trace`].
+#[derive(Debug, Clone)]
+pub struct TraceCursor<'a> {
+    records: &'a [TraceRecord],
+    pos: usize,
+}
+
+impl<'a> TraceCursor<'a> {
+    pub(crate) fn new(trace: &'a Trace) -> TraceCursor<'a> {
+        TraceCursor {
+            records: trace.records(),
+            pos: 0,
+        }
+    }
+}
+
+impl TraceSource for TraceCursor<'_> {
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, IsaError> {
+        let rec = self.records.get(self.pos).copied();
+        self.pos += rec.is_some() as usize;
+        Ok(rec)
+    }
+
+    fn len_hint(&self) -> Option<u64> {
+        Some(self.records.len() as u64)
+    }
+}
+
+/// A streaming functional interpreter: executes a [`Program`] and yields
+/// its golden trace record by record, without materializing it.
+///
+/// Semantically identical to [`crate::trace_program`] — same records, same
+/// budget handling — but in O(1) memory, so multi-million-instruction (or
+/// effectively unbounded) workloads can drive the simulator directly.
+#[derive(Debug, Clone)]
+pub struct ProgramSource {
+    program: Program,
+    state: ArchState,
+    budget: u64,
+    emitted: u64,
+    failed: bool,
+}
+
+impl ProgramSource {
+    /// Streams `program` from a fresh [`ArchState`], erroring (like
+    /// [`crate::trace_program`]) if it does not halt within `max_insts`
+    /// dynamic instructions.
+    #[must_use]
+    pub fn new(program: Program, max_insts: u64) -> ProgramSource {
+        ProgramSource::with_state(program, ArchState::new(), max_insts)
+    }
+
+    /// Like [`ProgramSource::new`] but starting from caller-provided
+    /// state (e.g. with a pre-initialised data section).
+    #[must_use]
+    pub fn with_state(program: Program, state: ArchState, max_insts: u64) -> ProgramSource {
+        ProgramSource {
+            program,
+            state,
+            budget: max_insts,
+            emitted: 0,
+            failed: false,
+        }
+    }
+
+    /// Records emitted so far.
+    #[must_use]
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+}
+
+impl TraceSource for ProgramSource {
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, IsaError> {
+        if self.failed {
+            return Err(IsaError::InstructionBudgetExceeded {
+                budget: self.budget,
+            });
+        }
+        if self.state.is_halted() {
+            return Ok(None);
+        }
+        if self.emitted >= self.budget {
+            self.failed = true;
+            return Err(IsaError::InstructionBudgetExceeded {
+                budget: self.budget,
+            });
+        }
+        let rec = step_record(&self.program, &mut self.state, self.emitted)?;
+        self.emitted += 1;
+        Ok(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+    use crate::reg::Reg;
+    use crate::trace::trace_program;
+    use sqip_types::DataSize;
+
+    fn looping_program(iters: i64) -> Program {
+        let mut b = ProgramBuilder::new();
+        let (ctr, v) = (Reg::new(1), Reg::new(2));
+        b.load_imm(ctr, iters);
+        let top = b.label("top");
+        b.store(DataSize::Quad, v, Reg::ZERO, 0x100);
+        b.load(DataSize::Quad, v, Reg::ZERO, 0x100);
+        b.add_imm(ctr, ctr, -1);
+        b.branch_nz(ctr, top);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    fn drain(mut s: impl TraceSource) -> Vec<TraceRecord> {
+        let mut v = Vec::new();
+        while let Some(r) = s.next_record().unwrap() {
+            v.push(r);
+        }
+        v
+    }
+
+    #[test]
+    fn cursor_replays_the_trace_exactly() {
+        let trace = trace_program(&looping_program(7), 10_000).unwrap();
+        let cursor = trace.stream();
+        assert_eq!(cursor.len_hint(), Some(trace.len() as u64));
+        assert_eq!(drain(cursor), trace.records());
+    }
+
+    #[test]
+    fn program_source_matches_trace_program() {
+        let trace = trace_program(&looping_program(9), 10_000).unwrap();
+        let streamed = drain(ProgramSource::new(looping_program(9), 10_000));
+        assert_eq!(streamed, trace.records());
+    }
+
+    #[test]
+    fn program_source_budget_error_is_sticky() {
+        let mut b = ProgramBuilder::new();
+        let _ = b.label("spin");
+        b.jump_to("spin");
+        let mut s = ProgramSource::new(b.build().unwrap(), 5);
+        for _ in 0..5 {
+            assert!(s.next_record().unwrap().is_some());
+        }
+        let err = s.next_record().unwrap_err();
+        assert_eq!(err, IsaError::InstructionBudgetExceeded { budget: 5 });
+        assert_eq!(s.next_record().unwrap_err(), err, "error repeats");
+    }
+
+    #[test]
+    fn exhausted_sources_keep_returning_none() {
+        let mut s = ProgramSource::new(looping_program(1), 100);
+        while s.next_record().unwrap().is_some() {}
+        assert_eq!(s.next_record().unwrap(), None);
+    }
+}

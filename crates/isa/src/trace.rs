@@ -83,6 +83,12 @@ impl Trace {
         &self.records
     }
 
+    /// A [`crate::TraceSource`] replaying this trace from the beginning.
+    #[must_use]
+    pub fn stream(&self) -> crate::TraceCursor<'_> {
+        crate::TraceCursor::new(self)
+    }
+
     /// Number of dynamic instructions.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -175,33 +181,12 @@ pub fn trace_program_with_state(
     let mut stores = 0u64;
 
     for n in 0..max_insts {
-        if state.is_halted() {
+        let Some(rec) = step_record(program, state, n)? else {
             break;
-        }
-        let pc = state.pc();
-        let inst: StaticInst = *program
-            .fetch(pc)
-            .ok_or(IsaError::PcOutOfRange { index: pc.index() })?;
-        let out = state.step(program)?;
-        if inst.op.is_load() {
-            loads += 1;
-        }
-        if inst.op.is_store() {
-            stores += 1;
-        }
-        records.push(TraceRecord {
-            seq: Seq(n),
-            pc,
-            op: inst.op,
-            dst: inst.dest(),
-            srcs: inst.sources(),
-            imm: inst.imm,
-            addr: out.addr,
-            size: inst.mem_size().unwrap_or_default(),
-            result: out.result,
-            taken: out.taken,
-            next_pc: out.next_pc,
-        });
+        };
+        loads += u64::from(rec.is_load());
+        stores += u64::from(rec.is_store());
+        records.push(rec);
     }
 
     if !state.is_halted() {
@@ -213,6 +198,38 @@ pub fn trace_program_with_state(
         dynamic_loads: loads,
         dynamic_stores: stores,
     })
+}
+
+/// Functionally executes one instruction and describes it as a
+/// [`TraceRecord`] with sequence number `seq`, or `None` if the program
+/// has halted. Shared by the materializing tracer above and the streaming
+/// [`crate::ProgramSource`].
+pub(crate) fn step_record(
+    program: &Program,
+    state: &mut ArchState,
+    seq: u64,
+) -> Result<Option<TraceRecord>, IsaError> {
+    if state.is_halted() {
+        return Ok(None);
+    }
+    let pc = state.pc();
+    let inst: StaticInst = *program
+        .fetch(pc)
+        .ok_or(IsaError::PcOutOfRange { index: pc.index() })?;
+    let out = state.step(program)?;
+    Ok(Some(TraceRecord {
+        seq: Seq(seq),
+        pc,
+        op: inst.op,
+        dst: inst.dest(),
+        srcs: inst.sources(),
+        imm: inst.imm,
+        addr: out.addr,
+        size: inst.mem_size().unwrap_or_default(),
+        result: out.result,
+        taken: out.taken,
+        next_pc: out.next_pc,
+    }))
 }
 
 #[cfg(test)]

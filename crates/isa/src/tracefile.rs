@@ -1,0 +1,527 @@
+//! The compact on-disk trace format: record a workload once, replay it
+//! forever — on any machine, without the generator that produced it.
+//!
+//! # Format
+//!
+//! A `SQTR` file is an 8-byte header (`b"SQTR"`, a `u16` little-endian
+//! version, two reserved bytes) followed by a sequence of
+//! variable-length records and a terminator:
+//!
+//! ```text
+//! record := op:u8  flags:u8  [dst:u8] [src0:u8] [src1:u8]
+//!           pc:uvarint  imm:svarint  [addr:uvarint]
+//!           result:uvarint  next_pc_delta:svarint
+//! end    := 0xFF  count:uvarint
+//! ```
+//!
+//! Sequence numbers are implicit (records are stored in fetch order),
+//! access widths ride in the opcode, and `next_pc` is encoded as a
+//! zig-zag delta from the fall-through PC — so straight-line code costs a
+//! single byte for its control-flow fields. The terminator carries the
+//! record count, letting the reader distinguish a complete file from a
+//! truncated one.
+//!
+//! # Example
+//!
+//! ```
+//! use sqip_isa::{trace_program, ProgramBuilder, Reg, TraceReader, TraceSource, TraceWriter};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.load_imm(Reg::new(1), 42);
+//! b.halt();
+//! let trace = trace_program(&b.build()?, 100)?;
+//!
+//! // Record...
+//! let mut file = Vec::new();
+//! let mut w = TraceWriter::new(&mut file)?;
+//! for r in trace.records() {
+//!     w.write_record(r)?;
+//! }
+//! w.finish()?;
+//!
+//! // ...replay.
+//! let mut r = TraceReader::new(file.as_slice())?;
+//! assert_eq!(r.next_record()?, Some(trace.records()[0]));
+//! # Ok::<(), sqip_isa::IsaError>(())
+//! ```
+
+use std::io::{Read, Write};
+
+use sqip_types::{Addr, DataSize, Pc, Seq};
+
+use crate::error::IsaError;
+use crate::op::Op;
+use crate::reg::Reg;
+use crate::source::TraceSource;
+use crate::trace::TraceRecord;
+
+/// The trace-file magic bytes.
+pub const TRACE_MAGIC: [u8; 4] = *b"SQTR";
+/// The trace-file format version this build reads and writes.
+pub const TRACE_VERSION: u16 = 1;
+
+const END_MARKER: u8 = 0xFF;
+
+const F_TAKEN: u8 = 1 << 0;
+const F_DST: u8 = 1 << 1;
+const F_SRC0: u8 = 1 << 2;
+const F_SRC1: u8 = 1 << 3;
+const F_ADDR: u8 = 1 << 4;
+
+fn io_err(context: &str, e: &std::io::Error) -> IsaError {
+    IsaError::TraceIo {
+        detail: format!("{context}: {e}"),
+    }
+}
+
+fn corrupt(detail: impl Into<String>) -> IsaError {
+    IsaError::TraceFormat {
+        detail: detail.into(),
+    }
+}
+
+// ---- opcode table ----
+
+const SIZES: [DataSize; 4] = [
+    DataSize::Byte,
+    DataSize::Half,
+    DataSize::Word,
+    DataSize::Quad,
+];
+
+fn size_code(s: DataSize) -> u8 {
+    match s {
+        DataSize::Byte => 0,
+        DataSize::Half => 1,
+        DataSize::Word => 2,
+        DataSize::Quad => 3,
+    }
+}
+
+fn op_code(op: Op) -> u8 {
+    match op {
+        Op::Add => 0,
+        Op::Sub => 1,
+        Op::Mul => 2,
+        Op::And => 3,
+        Op::Or => 4,
+        Op::Xor => 5,
+        Op::Shl => 6,
+        Op::Shr => 7,
+        Op::CmpLt => 8,
+        Op::CmpEq => 9,
+        Op::AddImm => 10,
+        Op::MulImm => 11,
+        Op::LoadImm => 12,
+        Op::FAdd => 13,
+        Op::FMul => 14,
+        Op::FDiv => 15,
+        Op::Load(s) => 16 + size_code(s),
+        Op::Store(s) => 20 + size_code(s),
+        Op::BranchZ => 24,
+        Op::BranchNZ => 25,
+        Op::Jump => 26,
+        Op::Call => 27,
+        Op::Ret => 28,
+        Op::Nop => 29,
+        Op::Halt => 30,
+    }
+}
+
+fn op_from_code(code: u8) -> Option<Op> {
+    Some(match code {
+        0 => Op::Add,
+        1 => Op::Sub,
+        2 => Op::Mul,
+        3 => Op::And,
+        4 => Op::Or,
+        5 => Op::Xor,
+        6 => Op::Shl,
+        7 => Op::Shr,
+        8 => Op::CmpLt,
+        9 => Op::CmpEq,
+        10 => Op::AddImm,
+        11 => Op::MulImm,
+        12 => Op::LoadImm,
+        13 => Op::FAdd,
+        14 => Op::FMul,
+        15 => Op::FDiv,
+        16..=19 => Op::Load(SIZES[(code - 16) as usize]),
+        20..=23 => Op::Store(SIZES[(code - 20) as usize]),
+        24 => Op::BranchZ,
+        25 => Op::BranchNZ,
+        26 => Op::Jump,
+        27 => Op::Call,
+        28 => Op::Ret,
+        29 => Op::Nop,
+        30 => Op::Halt,
+        _ => return None,
+    })
+}
+
+// ---- varints ----
+
+fn write_uv(w: &mut impl Write, mut v: u64) -> Result<(), IsaError> {
+    let mut buf = [0u8; 10];
+    let mut n = 0;
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        buf[n] = byte | if v == 0 { 0 } else { 0x80 };
+        n += 1;
+        if v == 0 {
+            break;
+        }
+    }
+    w.write_all(&buf[..n])
+        .map_err(|e| io_err("writing record", &e))
+}
+
+fn write_sv(w: &mut impl Write, v: i64) -> Result<(), IsaError> {
+    // Zig-zag: small magnitudes of either sign stay short.
+    write_uv(w, ((v << 1) ^ (v >> 63)) as u64)
+}
+
+fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// ---- writer ----
+
+/// Streams [`TraceRecord`]s into the compact binary format.
+///
+/// Call [`TraceWriter::finish`] when done — it writes the terminator the
+/// reader uses to tell a complete file from a truncated one.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    w: W,
+    count: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a trace file: writes the header.
+    ///
+    /// # Errors
+    ///
+    /// [`IsaError::TraceIo`] on write failure.
+    pub fn new(mut w: W) -> Result<TraceWriter<W>, IsaError> {
+        let mut header = [0u8; 8];
+        header[..4].copy_from_slice(&TRACE_MAGIC);
+        header[4..6].copy_from_slice(&TRACE_VERSION.to_le_bytes());
+        w.write_all(&header)
+            .map_err(|e| io_err("writing header", &e))?;
+        Ok(TraceWriter { w, count: 0 })
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// [`IsaError::TraceIo`] on write failure.
+    pub fn write_record(&mut self, rec: &TraceRecord) -> Result<(), IsaError> {
+        let mut flags = 0u8;
+        flags |= F_TAKEN * u8::from(rec.taken);
+        flags |= F_DST * u8::from(rec.dst.is_some());
+        flags |= F_SRC0 * u8::from(rec.srcs[0].is_some());
+        flags |= F_SRC1 * u8::from(rec.srcs[1].is_some());
+        flags |= F_ADDR * u8::from(rec.addr.is_some());
+        self.w
+            .write_all(&[op_code(rec.op), flags])
+            .map_err(|e| io_err("writing record", &e))?;
+        for reg in [rec.dst, rec.srcs[0], rec.srcs[1]].into_iter().flatten() {
+            self.w
+                .write_all(&[reg.index() as u8])
+                .map_err(|e| io_err("writing record", &e))?;
+        }
+        write_uv(&mut self.w, rec.pc.0)?;
+        write_sv(&mut self.w, rec.imm)?;
+        if let Some(addr) = rec.addr {
+            write_uv(&mut self.w, addr.0)?;
+        }
+        write_uv(&mut self.w, rec.result)?;
+        write_sv(
+            &mut self.w,
+            rec.next_pc.0.wrapping_sub(rec.pc.next().0) as i64,
+        )?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Writes the terminator (with the record count) and returns the
+    /// underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// [`IsaError::TraceIo`] on write or flush failure.
+    pub fn finish(mut self) -> Result<W, IsaError> {
+        self.w
+            .write_all(&[END_MARKER])
+            .map_err(|e| io_err("writing terminator", &e))?;
+        write_uv(&mut self.w, self.count)?;
+        self.w.flush().map_err(|e| io_err("flushing trace", &e))?;
+        Ok(self.w)
+    }
+}
+
+/// Drains `source` into `w`, returning the number of records written.
+///
+/// This is the "record once" half of record/replay: pair it with
+/// [`TraceReader`] to capture any source — a generator, an interpreter, a
+/// filtered stream — as a portable artifact.
+///
+/// # Errors
+///
+/// Propagates source errors and [`IsaError::TraceIo`] write failures.
+pub fn record_trace<S: TraceSource + ?Sized>(
+    source: &mut S,
+    w: impl Write,
+) -> Result<u64, IsaError> {
+    let mut writer = TraceWriter::new(w)?;
+    while let Some(rec) = source.next_record()? {
+        writer.write_record(&rec)?;
+    }
+    let n = writer.count();
+    writer.finish()?;
+    Ok(n)
+}
+
+// ---- reader ----
+
+/// Streams [`TraceRecord`]s out of the compact binary format.
+///
+/// Implements [`TraceSource`], so a recorded file drives the simulator
+/// exactly like a live generator — in O(1) memory.
+#[derive(Debug)]
+pub struct TraceReader<R: Read> {
+    r: R,
+    next_seq: u64,
+    done: bool,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Opens a trace stream: reads and validates the header.
+    ///
+    /// # Errors
+    ///
+    /// [`IsaError::TraceIo`] on read failure, [`IsaError::TraceFormat`]
+    /// on bad magic or an unsupported version.
+    pub fn new(mut r: R) -> Result<TraceReader<R>, IsaError> {
+        let mut header = [0u8; 8];
+        r.read_exact(&mut header).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                corrupt("file shorter than the 8-byte header")
+            } else {
+                io_err("reading header", &e)
+            }
+        })?;
+        if header[..4] != TRACE_MAGIC {
+            return Err(corrupt("bad magic (not a SQTR trace file)"));
+        }
+        let version = u16::from_le_bytes([header[4], header[5]]);
+        if version != TRACE_VERSION {
+            return Err(corrupt(format!(
+                "unsupported trace version {version} (this build reads {TRACE_VERSION})"
+            )));
+        }
+        Ok(TraceReader {
+            r,
+            next_seq: 0,
+            done: false,
+        })
+    }
+
+    fn read_byte(&mut self) -> Result<u8, IsaError> {
+        let mut b = [0u8; 1];
+        self.r.read_exact(&mut b).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                corrupt(format!(
+                    "truncated after {} records (no terminator)",
+                    self.next_seq
+                ))
+            } else {
+                io_err("reading record", &e)
+            }
+        })?;
+        Ok(b[0])
+    }
+
+    fn read_uv(&mut self) -> Result<u64, IsaError> {
+        let mut v = 0u64;
+        for shift in (0..70).step_by(7) {
+            let byte = self.read_byte()?;
+            if shift == 63 && byte > 1 {
+                return Err(corrupt("varint overflows 64 bits"));
+            }
+            v |= u64::from(byte & 0x7F) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(corrupt("varint longer than 10 bytes"))
+    }
+
+    fn read_sv(&mut self) -> Result<i64, IsaError> {
+        self.read_uv().map(zigzag_decode)
+    }
+
+    fn read_reg(&mut self) -> Result<Reg, IsaError> {
+        let idx = self.read_byte()?;
+        if usize::from(idx) >= crate::reg::NUM_REGS || idx == 0 {
+            return Err(corrupt(format!("invalid register index {idx}")));
+        }
+        Ok(Reg::new(idx))
+    }
+}
+
+impl<R: Read> TraceSource for TraceReader<R> {
+    fn next_record(&mut self) -> Result<Option<TraceRecord>, IsaError> {
+        if self.done {
+            return Ok(None);
+        }
+        let code = self.read_byte()?;
+        if code == END_MARKER {
+            let declared = self.read_uv()?;
+            if declared != self.next_seq {
+                return Err(corrupt(format!(
+                    "terminator declares {declared} records but {} were read",
+                    self.next_seq
+                )));
+            }
+            self.done = true;
+            return Ok(None);
+        }
+        let op =
+            op_from_code(code).ok_or_else(|| corrupt(format!("unknown opcode byte {code:#x}")))?;
+        let flags = self.read_byte()?;
+        let dst = (flags & F_DST != 0).then(|| self.read_reg()).transpose()?;
+        let src0 = (flags & F_SRC0 != 0).then(|| self.read_reg()).transpose()?;
+        let src1 = (flags & F_SRC1 != 0).then(|| self.read_reg()).transpose()?;
+        let pc = Pc::new(self.read_uv()?);
+        let imm = self.read_sv()?;
+        let addr = (flags & F_ADDR != 0)
+            .then(|| self.read_uv().map(Addr::new))
+            .transpose()?;
+        if op.mem_size().is_some() && addr.is_none() {
+            return Err(corrupt(format!("memory op `{op}` without an address")));
+        }
+        let result = self.read_uv()?;
+        let next_pc = Pc::new(pc.next().0.wrapping_add(self.read_sv()? as u64));
+        let rec = TraceRecord {
+            seq: Seq(self.next_seq),
+            pc,
+            op,
+            dst,
+            srcs: [src0, src1],
+            imm,
+            addr,
+            size: op.mem_size().unwrap_or_default(),
+            result,
+            taken: flags & F_TAKEN != 0,
+            next_pc,
+        };
+        self.next_seq += 1;
+        Ok(Some(rec))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+    use crate::trace::trace_program;
+
+    fn mixed_trace() -> crate::Trace {
+        let mut b = ProgramBuilder::new();
+        let (ctr, v, t) = (Reg::new(1), Reg::new(2), Reg::new(3));
+        b.load_imm(ctr, 20);
+        b.load_imm(v, -7);
+        let top = b.label("top");
+        b.store(DataSize::Half, v, Reg::ZERO, 0x104);
+        b.load(DataSize::Byte, t, Reg::ZERO, 0x105);
+        b.fmul(v, v, v);
+        b.add_imm(ctr, ctr, -1);
+        b.branch_nz(ctr, top);
+        b.halt();
+        trace_program(&b.build().unwrap(), 10_000).unwrap()
+    }
+
+    fn encode(trace: &crate::Trace) -> Vec<u8> {
+        let mut buf = Vec::new();
+        record_trace(&mut trace.stream(), &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn round_trip_preserves_every_record() {
+        let trace = mixed_trace();
+        let buf = encode(&trace);
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        let mut got = Vec::new();
+        while let Some(r) = reader.next_record().unwrap() {
+            got.push(r);
+        }
+        assert_eq!(got, trace.records());
+        assert_eq!(reader.next_record().unwrap(), None, "stays exhausted");
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        let trace = mixed_trace();
+        let buf = encode(&trace);
+        assert!(
+            buf.len() < trace.len() * 16,
+            "{} bytes for {} records",
+            buf.len(),
+            trace.len()
+        );
+    }
+
+    #[test]
+    fn truncated_file_is_reported() {
+        let trace = mixed_trace();
+        let buf = encode(&trace);
+        // Chop mid-stream: the reader must fail with a format error, not
+        // silently yield a short trace.
+        let mut reader = TraceReader::new(&buf[..buf.len() / 2]).unwrap();
+        let err = loop {
+            match reader.next_record() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("truncated file read to a clean end"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, IsaError::TraceFormat { .. }), "{err}");
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let err = TraceReader::new(&b"NOPE0000"[..]).unwrap_err();
+        assert!(matches!(err, IsaError::TraceFormat { .. }), "{err}");
+
+        let mut buf = encode(&mixed_trace());
+        buf[4] = 99; // version
+        let err = TraceReader::new(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+    }
+
+    #[test]
+    fn wrong_terminator_count_is_corrupt() {
+        let trace = mixed_trace();
+        let mut buf = Vec::new();
+        let mut w = TraceWriter::new(&mut buf).unwrap();
+        w.write_record(&trace.records()[0]).unwrap();
+        w.count = 2; // lie
+        w.finish().unwrap();
+        let mut reader = TraceReader::new(buf.as_slice()).unwrap();
+        assert!(reader.next_record().unwrap().is_some());
+        let err = reader.next_record().unwrap_err();
+        assert!(err.to_string().contains("terminator"), "{err}");
+    }
+}

@@ -28,6 +28,10 @@ pub enum SqipError {
     },
     /// The experiment itself is malformed (no workloads, no designs, ...).
     Config(String),
+    /// A workload name resolved to nothing: not in the
+    /// [`WorkloadRegistry`](sqip_workloads::WorkloadRegistry) and not a
+    /// generator-grammar name.
+    UnknownWorkload(String),
     /// A serialized result set failed to parse.
     Parse(serde::Error),
     /// An export could not be written.
@@ -42,6 +46,7 @@ impl std::fmt::Display for SqipError {
             }
             SqipError::Sim { cell, source } => write!(f, "cell `{cell}` failed: {source}"),
             SqipError::Config(msg) => write!(f, "malformed experiment: {msg}"),
+            SqipError::UnknownWorkload(msg) => f.write_str(msg),
             SqipError::Parse(e) => write!(f, "result set parse error: {e}"),
             SqipError::Io(e) => write!(f, "export failed: {e}"),
         }
@@ -55,7 +60,7 @@ impl std::error::Error for SqipError {
             SqipError::Sim { source, .. } => Some(source),
             SqipError::Parse(e) => Some(e),
             SqipError::Io(e) => Some(e),
-            SqipError::Config(_) => None,
+            SqipError::Config(_) | SqipError::UnknownWorkload(_) => None,
         }
     }
 }

@@ -7,7 +7,7 @@ use std::sync::Arc;
 
 use sqip_core::{Processor, SimConfig, SimObserver, SimStats, SqDesign};
 use sqip_isa::Trace;
-use sqip_workloads::{Suite, WorkloadSpec};
+use sqip_workloads::{RegisteredWorkload, Suite, WorkloadRegistry, WorkloadSpec};
 
 use crate::error::SqipError;
 use crate::parallel::{default_threads, parallel_map};
@@ -25,7 +25,8 @@ pub type ObserverFn = Arc<dyn Fn(&Run) -> Box<dyn SimObserver> + Send + Sync>;
 pub const BASE_VARIANT: &str = "base";
 
 /// One point on the experiment's workload axis: a synthetic benchmark
-/// model, or a pre-built custom trace.
+/// model, a pre-built custom trace, or a streaming source resolved from
+/// the [`WorkloadRegistry`].
 #[derive(Clone)]
 pub enum Workload {
     /// A synthetic Table 3 benchmark model (traced on demand, once per
@@ -38,6 +39,11 @@ pub enum Workload {
         /// The shared trace.
         trace: Arc<Trace>,
     },
+    /// A streaming workload: each cell opens a fresh record stream from
+    /// the entry's factory and pulls it through the simulator in
+    /// O(window) memory — nothing is materialized, so run length is
+    /// unbounded.
+    Source(RegisteredWorkload),
 }
 
 impl Workload {
@@ -50,12 +56,28 @@ impl Workload {
         }
     }
 
+    /// Resolves `name` in the global [`WorkloadRegistry`] — a registered
+    /// workload (Table 3 model, generator-catalogue entry, or anything
+    /// registered at runtime) or a `mix:`/`chase:`/`stride:` generator
+    /// name — as a streaming workload.
+    ///
+    /// # Errors
+    ///
+    /// [`SqipError::UnknownWorkload`] if the name resolves to nothing.
+    pub fn from_registry(name: &str) -> Result<Workload, SqipError> {
+        WorkloadRegistry::global()
+            .resolve(name)
+            .map(Workload::Source)
+            .map_err(|e| SqipError::UnknownWorkload(e.to_string()))
+    }
+
     /// The workload's display name.
     #[must_use]
     pub fn name(&self) -> &str {
         match self {
-            Workload::Spec(spec) => spec.name,
+            Workload::Spec(spec) => &spec.name,
             Workload::Trace { name, .. } => name,
+            Workload::Source(reg) => reg.name(),
         }
     }
 
@@ -65,21 +87,33 @@ impl Workload {
         match self {
             Workload::Spec(spec) => Some(spec.suite),
             Workload::Trace { .. } => None,
+            Workload::Source(reg) => reg.suite(),
         }
     }
 
-    /// Builds (or shares) the golden trace.
-    fn trace(&self) -> Result<Arc<Trace>, SqipError> {
+    /// Whether cells stream this workload per run instead of sharing a
+    /// materialized trace.
+    #[must_use]
+    pub fn is_streaming(&self) -> bool {
+        matches!(self, Workload::Source(_))
+    }
+
+    /// Builds (or shares) the golden trace, for workloads that
+    /// materialize; `None` for streaming workloads.
+    fn trace(&self) -> Option<Result<Arc<Trace>, SqipError>> {
         match self {
             Workload::Spec(spec) => {
-                spec.trace()
-                    .map(Arc::new)
-                    .map_err(|source| SqipError::Workload {
-                        name: spec.name.to_string(),
-                        source,
-                    })
+                Some(
+                    spec.trace()
+                        .map(Arc::new)
+                        .map_err(|source| SqipError::Workload {
+                            name: spec.name.clone(),
+                            source,
+                        }),
+                )
             }
-            Workload::Trace { trace, .. } => Ok(Arc::clone(trace)),
+            Workload::Trace { trace, .. } => Some(Ok(Arc::clone(trace))),
+            Workload::Source(_) => None,
         }
     }
 }
@@ -93,6 +127,7 @@ impl std::fmt::Debug for Workload {
                 .field("name", name)
                 .field("len", &trace.len())
                 .finish(),
+            Workload::Source(reg) => f.debug_tuple("Source").field(&reg.name()).finish(),
         }
     }
 }
@@ -106,6 +141,12 @@ impl From<WorkloadSpec> for Workload {
 impl From<&WorkloadSpec> for Workload {
     fn from(spec: &WorkloadSpec) -> Workload {
         Workload::Spec(spec.clone())
+    }
+}
+
+impl From<RegisteredWorkload> for Workload {
+    fn from(reg: RegisteredWorkload) -> Workload {
+        Workload::Source(reg)
     }
 }
 
@@ -137,13 +178,36 @@ impl Run {
         format!("{}/{}/{}", self.workload.name(), self.design, self.variant)
     }
 
-    /// Executes this cell against an already-built trace.
-    fn execute(&self, trace: &Trace, observer: Option<&ObserverFn>) -> Result<SimStats, SqipError> {
+    /// Executes this cell: against the shared materialized trace when one
+    /// is given, or by opening and streaming the workload's source.
+    fn execute(
+        &self,
+        trace: Option<&Trace>,
+        observer: Option<&ObserverFn>,
+    ) -> Result<SimStats, SqipError> {
         let sim = |source| SqipError::Sim {
             cell: self.label(),
             source,
         };
-        let processor = Processor::try_new(self.config.clone(), trace).map_err(sim)?;
+        let processor = match (&self.workload, trace) {
+            // Streaming workloads always open their own source — even if
+            // a same-named materialized trace exists, it is not theirs.
+            (Workload::Source(reg), _) => {
+                let source = reg.open().map_err(|source| SqipError::Workload {
+                    name: reg.name().to_string(),
+                    source,
+                })?;
+                Processor::try_from_source(self.config.clone(), source).map_err(sim)?
+            }
+            (_, Some(trace)) => Processor::try_new(self.config.clone(), trace).map_err(sim)?,
+            (workload, None) => {
+                // Unreachable through the public paths (the sweep always
+                // materializes non-streaming workloads), kept total for
+                // robustness.
+                let trace = workload.trace().expect("non-streaming workload")?;
+                return self.execute(Some(&trace), observer);
+            }
+        };
         match observer {
             None => processor.try_run().map_err(sim),
             Some(factory) => {
@@ -153,15 +217,17 @@ impl Run {
         }
     }
 
-    /// Builds the trace and executes this cell standalone (outside an
-    /// [`Experiment`] sweep).
+    /// Builds the trace (or opens the stream) and executes this cell
+    /// standalone (outside an [`Experiment`] sweep).
     ///
     /// # Errors
     ///
     /// Propagates workload-tracing and simulation errors.
     pub fn execute_standalone(&self) -> Result<SimStats, SqipError> {
-        let trace = self.workload.trace()?;
-        self.execute(&trace, None)
+        match self.workload.trace() {
+            Some(trace) => self.execute(Some(trace?.as_ref()), None),
+            None => self.execute(None, None),
+        }
     }
 }
 
@@ -392,23 +458,29 @@ impl Experiment {
     fn run_on(&self, threads: usize) -> Result<ResultSet, SqipError> {
         let cells = self.cells()?;
 
-        // Trace each distinct workload once, in parallel.
+        // Trace each distinct materializing workload once, in parallel.
+        // Streaming workloads skip this: every cell opens its own source,
+        // so nothing trace-shaped is ever held for them.
         let mut unique: Vec<&Workload> = Vec::new();
         for cell in &cells {
-            if !unique.iter().any(|w| w.name() == cell.workload.name()) {
+            if !cell.workload.is_streaming()
+                && !unique.iter().any(|w| w.name() == cell.workload.name())
+            {
                 unique.push(&cell.workload);
             }
         }
         let traces: HashMap<String, Arc<Trace>> = parallel_map(&unique, threads, |_, w| {
-            w.trace().map(|t| (w.name().to_string(), t))
+            w.trace()
+                .expect("only materializing workloads are pre-traced")
+                .map(|t| (w.name().to_string(), t))
         })
         .into_iter()
         .collect::<Result<_, _>>()?;
 
-        // Execute every cell against the shared traces.
+        // Execute every cell against the shared traces (or its stream).
         let observer = self.observer.as_ref();
         let outcomes = parallel_map(&cells, threads, |_, cell| {
-            let trace = &traces[cell.workload.name()];
+            let trace = traces.get(cell.workload.name()).map(Arc::as_ref);
             cell.execute(trace, observer)
         });
 

@@ -87,13 +87,20 @@ pub use results::{geomean, ResultSet, RunRecord};
 // observation hooks, and the open design-policy API.
 pub use sqip_core::{
     BuiltinPolicy, DesignCaps, DesignRegistry, ForwardingPolicy, LoadCommitInfo, LoadRename,
-    ObserverAction, OracleFwd, OracleHint, OracleInfo, OrderingMode, ParseDesignError,
-    PipelineView, Processor, RegistryError, SimConfig, SimError, SimObserver, SimStats, SqDesign,
-    SqProbe, StepOutcome,
+    ObserverAction, OracleBuilder, OracleFwd, OracleHint, OracleInfo, OrderingMode,
+    ParseDesignError, PipelineView, Processor, RegistryError, SimConfig, SimError, SimObserver,
+    SimStats, SqDesign, SqProbe, StepOutcome,
 };
-// The workload roster.
+// The streaming input axis: the trace-source trait and its built-in
+// producers (materialized-trace cursor, streaming program interpreter,
+// on-disk trace record/replay).
+pub use sqip_isa::{
+    record_trace, ProgramSource, TraceCursor, TraceReader, TraceSource, TraceWriter,
+};
+// The workload roster and its open registry.
 pub use sqip_workloads::{
-    all_workloads, by_name, mediabench, specfp, specint, Suite, WorkloadSpec, FIGURE5_WORKLOADS,
+    all_workloads, by_name, generator, mediabench, specfp, specint, RegisteredWorkload, Suite,
+    WorkloadRegistry, WorkloadRegistryError, WorkloadSpec, FIGURE5_WORKLOADS,
 };
 
 /// Runs one workload under one SQ design with the paper's configuration.

@@ -101,7 +101,7 @@ impl SimObserver for CountingObserver {
     fn interval(&self) -> u64 {
         self.interval
     }
-    fn on_start(&mut self, _cfg: &SimConfig, _trace_len: usize) {
+    fn on_start(&mut self, _cfg: &SimConfig, _trace_len: Option<usize>) {
         self.counts.starts.fetch_add(1, Ordering::Relaxed);
     }
     fn on_interval(&mut self, _cycle: u64, _stats: &SimStats) -> ObserverAction {

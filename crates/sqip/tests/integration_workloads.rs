@@ -9,7 +9,7 @@ fn the_full_table3_roster_exists() {
     assert_eq!(mediabench().len(), 18);
     assert_eq!(specint().len(), 16);
     assert_eq!(specfp().len(), 13);
-    let names: std::collections::HashSet<_> = all_workloads().iter().map(|w| w.name).collect();
+    let names: std::collections::HashSet<_> = all_workloads().into_iter().map(|w| w.name).collect();
     assert_eq!(names.len(), 47);
 }
 

@@ -26,23 +26,41 @@
 //! and pathology profile lands in the regime Table 3 reports for it (see
 //! DESIGN.md §3 for the substitution argument).
 //!
+//! The workload axis is *open*: beyond the fixed roster, the
+//! [`WorkloadRegistry`] maps names to streaming trace-source factories
+//! (mirroring `sqip-core`'s design registry), the [`generator`] module
+//! provides parameterized, scalable workload families (seeded random
+//! kernel mixes, pointer chases, stride streams), and
+//! [`WorkloadSpec::source`] streams any spec through the simulator
+//! without materializing its trace — so run length is bounded by patience,
+//! not memory.
+//!
 //! # Example
 //!
 //! ```
-//! use sqip_workloads::{all_workloads, by_name};
+//! use sqip_workloads::{all_workloads, by_name, WorkloadRegistry};
 //!
 //! assert_eq!(all_workloads().len(), 47);
 //! let w = by_name("vortex").expect("a Table 3 row");
 //! let trace = w.trace().expect("workloads always halt");
 //! assert!(trace.dynamic_loads() > 0);
+//!
+//! // The same workload, resolved by name and streamed instead:
+//! let streamed = WorkloadRegistry::global().resolve("vortex")?;
+//! let mut source = streamed.open()?;
+//! assert!(sqip_isa::TraceSource::next_record(&mut source)?.is_some());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod builder;
+pub mod generator;
+mod registry;
 mod spec;
 mod suite;
 
+pub use registry::{RegisteredWorkload, SourceFactory, WorkloadRegistry, WorkloadRegistryError};
 pub use spec::{Suite, WorkloadSpec};
 pub use suite::{all_workloads, by_name, mediabench, specfp, specint, FIGURE5_WORKLOADS};

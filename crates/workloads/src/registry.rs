@@ -1,0 +1,375 @@
+//! The global workload registry: name → streaming trace-source factory.
+//!
+//! The exact mirror of `sqip-core`'s `DesignRegistry` on the workload
+//! axis: every workload is a *name* that resolves to a factory producing
+//! a fresh [`TraceSource`] per run. The [`WorkloadRegistry::global`]
+//! instance is pre-populated with the 47 Table 3 benchmark models plus a
+//! catalogue of parameterized generator instances (including the
+//! `stream-10m` scale proof — a ten-million-instruction kernel mix no
+//! materialized trace could reasonably hold), and accepts custom
+//! registrations at any time. Names that are not registered but match the
+//! generator grammar (`mix:…`, `chase:…`, `stride:…` — see
+//! [`crate::generator`]) resolve on the fly, so the axis is open in both
+//! senses: register anything, or just *name* a point in generator space.
+
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+use sqip_isa::{IsaError, TraceSource};
+
+use crate::generator;
+use crate::spec::{Suite, WorkloadSpec};
+use crate::suite::all_workloads;
+
+/// A shareable trace-source constructor: one fresh stream per run.
+pub type SourceFactory =
+    Arc<dyn Fn() -> Result<Box<dyn TraceSource + Send>, IsaError> + Send + Sync>;
+
+/// A failure registering or resolving a workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadRegistryError {
+    /// A workload with this name is already registered.
+    Duplicate(String),
+    /// No workload with this name is registered, and the name is not in
+    /// the generator grammar.
+    Unknown(String),
+}
+
+impl std::fmt::Display for WorkloadRegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadRegistryError::Duplicate(name) => {
+                write!(f, "workload `{name}` is already registered")
+            }
+            WorkloadRegistryError::Unknown(name) => {
+                write!(
+                    f,
+                    "unknown workload `{name}` (not registered, and not a \
+                     `mix:`/`chase:`/`stride:` generator name)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadRegistryError {}
+
+/// A resolved registry entry: metadata plus the factory that opens a
+/// fresh record stream for each simulation run.
+#[derive(Clone)]
+pub struct RegisteredWorkload {
+    name: String,
+    suite: Option<Suite>,
+    description: String,
+    factory: SourceFactory,
+}
+
+impl RegisteredWorkload {
+    /// Wraps a [`WorkloadSpec`] as a registrable streaming workload.
+    #[must_use]
+    pub fn from_spec(spec: WorkloadSpec) -> RegisteredWorkload {
+        let description = format!(
+            "synthetic kernel mix, ~{} dynamic insts, target fwd rate {:.2}",
+            approx(u64::from(spec.iterations) * u64::from(spec.estimated_insts_per_iter())),
+            spec.target_forwarding_rate()
+        );
+        RegisteredWorkload {
+            name: spec.name.clone(),
+            suite: Some(spec.suite),
+            description,
+            factory: Arc::new(move || {
+                spec.source()
+                    .map(|s| Box::new(s) as Box<dyn TraceSource + Send>)
+            }),
+        }
+    }
+
+    /// Builds an entry from scratch: any factory that can produce a
+    /// record stream (a trace-file reader, a custom generator, a
+    /// synthesised pattern).
+    pub fn from_factory(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        factory: impl Fn() -> Result<Box<dyn TraceSource + Send>, IsaError> + Send + Sync + 'static,
+    ) -> RegisteredWorkload {
+        RegisteredWorkload {
+            name: name.into(),
+            suite: None,
+            description: description.into(),
+            factory: Arc::new(factory),
+        }
+    }
+
+    /// The workload's name (its registry key and result-record label).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The suite grouping, for workloads modelling a Table 3 row.
+    #[must_use]
+    pub fn suite(&self) -> Option<Suite> {
+        self.suite
+    }
+
+    /// A one-line description for roster listings.
+    #[must_use]
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// Opens a fresh record stream for one simulation run.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the factory reports (assembler errors, trace-file I/O).
+    pub fn open(&self) -> Result<Box<dyn TraceSource + Send>, IsaError> {
+        (self.factory)()
+    }
+}
+
+impl std::fmt::Debug for RegisteredWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RegisteredWorkload")
+            .field("name", &self.name)
+            .field("suite", &self.suite)
+            .field("description", &self.description)
+            .finish_non_exhaustive()
+    }
+}
+
+fn approx(n: u64) -> String {
+    match n {
+        0..=9_999 => n.to_string(),
+        10_000..=1_999_999 => format!("{}K", n / 1_000),
+        _ => format!("{}M", n.div_ceil(1_000_000)),
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<String, RegisteredWorkload>,
+    /// Registration order, for stable `names()` listings.
+    order: Vec<String>,
+}
+
+/// The open roster of workloads (see the module docs).
+///
+/// # Example
+///
+/// Registering a runtime-defined workload and streaming it — the same
+/// two-step flow `DesignRegistry` uses on the design axis:
+///
+/// ```
+/// use sqip_workloads::{generator, WorkloadRegistry};
+///
+/// let registry = WorkloadRegistry::global();
+/// let spec = generator::pointer_chase(512, 64, 50_000).with_name("my-chase");
+/// registry.register_spec(spec)?;
+///
+/// let workload = registry.resolve("my-chase")?;
+/// let mut stream = workload.open()?;
+/// assert!(sqip_isa::TraceSource::next_record(&mut stream)?.is_some());
+///
+/// // Generator-grammar names resolve without any registration:
+/// assert!(registry.resolve("mix:0x5eed:100k").is_ok());
+/// assert!(registry.resolve("no-such-workload").is_err());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct WorkloadRegistry {
+    inner: RwLock<Inner>,
+}
+
+impl WorkloadRegistry {
+    /// An empty registry (no builtins). Most callers want
+    /// [`WorkloadRegistry::global`]; isolated registries exist for tests
+    /// of the registry itself.
+    #[must_use]
+    pub fn empty() -> WorkloadRegistry {
+        WorkloadRegistry {
+            inner: RwLock::new(Inner::default()),
+        }
+    }
+
+    /// The process-wide registry, pre-populated with the 47 Table 3
+    /// benchmark models and the generator catalogue (all registered
+    /// through the same public API any caller can use).
+    pub fn global() -> &'static WorkloadRegistry {
+        static GLOBAL: OnceLock<WorkloadRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let registry = WorkloadRegistry::empty();
+            for spec in all_workloads() {
+                registry
+                    .register_spec(spec)
+                    .expect("table 3 workload names are unique");
+            }
+            // Generator-catalogue samples: one instance per family, so
+            // listings advertise the families; any other point in the
+            // space resolves dynamically by grammar.
+            for spec in [
+                generator::random_mix(0x5eed, 1_000_000),
+                generator::pointer_chase(4096, 4096, 1_000_000),
+                generator::stride_stream(4096, 1_000_000),
+            ] {
+                registry
+                    .register_spec(spec)
+                    .expect("catalogue names are unique");
+            }
+            // The scale proof: a workload inexpressible as a materialized
+            // trace on a laptop-class machine — ten million dynamic
+            // instructions, streamed through the simulator in O(window)
+            // memory. Registered through the exact same public API a
+            // downstream crate would use.
+            registry
+                .register_spec(
+                    generator::random_mix(0x10_000_000, 10_000_000).with_name("stream-10m"),
+                )
+                .expect("stream-10m name is unique");
+            registry
+        })
+    }
+
+    /// Registers a workload. Unlike designs, workloads are pure data
+    /// (there is no handle to mint), so this returns the entry's name.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadRegistryError::Duplicate`] if the name is taken.
+    pub fn register(&self, workload: RegisteredWorkload) -> Result<String, WorkloadRegistryError> {
+        let name = workload.name.clone();
+        let mut inner = self.inner.write().expect("registry lock poisoned");
+        if inner.entries.contains_key(&name) {
+            return Err(WorkloadRegistryError::Duplicate(name));
+        }
+        inner.order.push(name.clone());
+        inner.entries.insert(name.clone(), workload);
+        Ok(name)
+    }
+
+    /// Registers a [`WorkloadSpec`] as a streaming workload under its own
+    /// name — the one-liner path for spec-shaped workloads (Table 3
+    /// models, generator outputs, hand-built mixes).
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadRegistryError::Duplicate`] if the name is taken.
+    pub fn register_spec(&self, spec: WorkloadSpec) -> Result<String, WorkloadRegistryError> {
+        self.register(RegisteredWorkload::from_spec(spec))
+    }
+
+    /// Resolves a workload name: a registered entry, or — when the name
+    /// matches the generator grammar (`mix:…`, `chase:…`, `stride:…`) —
+    /// a generator instance built on the fly.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadRegistryError::Unknown`] if the name is neither.
+    pub fn resolve(&self, name: &str) -> Result<RegisteredWorkload, WorkloadRegistryError> {
+        if let Some(entry) = self.lookup(name) {
+            return Ok(entry);
+        }
+        generator::parse_generator(name)
+            .map(RegisteredWorkload::from_spec)
+            .ok_or_else(|| WorkloadRegistryError::Unknown(name.to_string()))
+    }
+
+    /// Looks up a *registered* workload (no generator-grammar fallback).
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<RegisteredWorkload> {
+        let inner = self.inner.read().expect("registry lock poisoned");
+        inner.entries.get(name).cloned()
+    }
+
+    /// All registered workload names, in registration order (the Table 3
+    /// roster first).
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        let inner = self.inner.read().expect("registry lock poisoned");
+        inner.order.clone()
+    }
+}
+
+impl std::fmt::Debug for WorkloadRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkloadRegistry")
+            .field("workloads", &self.names().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_has_the_table3_roster_and_the_catalogue() {
+        let names = WorkloadRegistry::global().names();
+        assert!(names.len() >= 47 + 4, "{} names", names.len());
+        for expect in ["gzip", "mesa.t", "wupwise", "stream-10m"] {
+            assert!(names.iter().any(|n| n == expect), "missing `{expect}`");
+        }
+        let gzip = WorkloadRegistry::global().lookup("gzip").unwrap();
+        assert_eq!(gzip.suite(), Some(Suite::Int));
+    }
+
+    #[test]
+    fn resolve_falls_back_to_the_generator_grammar() {
+        let r = WorkloadRegistry::empty();
+        let w = r.resolve("chase:128:64:10k").unwrap();
+        assert_eq!(w.name(), "chase:128:64:10k");
+        assert_eq!(
+            r.resolve("nope").unwrap_err(),
+            WorkloadRegistryError::Unknown("nope".to_string())
+        );
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let r = WorkloadRegistry::empty();
+        r.register_spec(WorkloadSpec::base("dup", Suite::Int))
+            .unwrap();
+        assert_eq!(
+            r.register_spec(WorkloadSpec::base("dup", Suite::Fp))
+                .unwrap_err(),
+            WorkloadRegistryError::Duplicate("dup".to_string())
+        );
+    }
+
+    #[test]
+    fn opened_streams_are_independent() {
+        use sqip_isa::TraceSource;
+        let r = WorkloadRegistry::empty();
+        r.register_spec(WorkloadSpec::base("w", Suite::Int).with_iterations(5))
+            .unwrap();
+        let entry = r.lookup("w").unwrap();
+        let mut a = entry.open().unwrap();
+        let mut b = entry.open().unwrap();
+        let first = a.next_record().unwrap();
+        for _ in 0..10 {
+            a.next_record().unwrap();
+        }
+        assert_eq!(
+            b.next_record().unwrap(),
+            first,
+            "streams do not share state"
+        );
+    }
+
+    #[test]
+    fn custom_factories_register() {
+        let r = WorkloadRegistry::empty();
+        let spec = WorkloadSpec::base("inner", Suite::Int).with_iterations(3);
+        r.register(RegisteredWorkload::from_factory(
+            "custom",
+            "a from-scratch factory",
+            move || {
+                spec.source()
+                    .map(|s| Box::new(s) as Box<dyn sqip_isa::TraceSource + Send>)
+            },
+        ))
+        .unwrap();
+        let w = r.resolve("custom").unwrap();
+        assert_eq!(w.suite(), None);
+        assert!(w.open().is_ok());
+    }
+}

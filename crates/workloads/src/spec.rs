@@ -1,6 +1,6 @@
 //! Workload specifications: the knobs that shape a synthetic benchmark.
 
-use sqip_isa::{trace_program, IsaError, Program, Trace};
+use sqip_isa::{trace_program, IsaError, Program, ProgramSource, Trace};
 
 use crate::builder::build_program;
 
@@ -34,8 +34,12 @@ impl std::fmt::Display for Suite {
 /// the program's static memory-dependence footprint.
 #[derive(Debug, Clone)]
 pub struct WorkloadSpec {
-    /// Benchmark name (a Table 3 row, e.g. `"mesa.t"`).
-    pub name: &'static str,
+    /// Benchmark name: a Table 3 row (e.g. `"mesa.t"`) or any
+    /// runtime-constructed name — owned, so generated and user-defined
+    /// workloads register in the
+    /// [`WorkloadRegistry`](crate::WorkloadRegistry) exactly like the
+    /// builtins.
+    pub name: String,
     /// Suite grouping.
     pub suite: Suite,
     /// Outer-loop iterations.
@@ -91,9 +95,9 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// A small neutral baseline spec; named workloads override fields.
     #[must_use]
-    pub fn base(name: &'static str, suite: Suite) -> WorkloadSpec {
+    pub fn base(name: impl Into<String>, suite: Suite) -> WorkloadSpec {
         WorkloadSpec {
-            name,
+            name: name.into(),
             suite,
             iterations: 3000,
             fwd_sites: 0,
@@ -124,6 +128,46 @@ impl WorkloadSpec {
     pub fn with_iterations(mut self, iterations: u32) -> WorkloadSpec {
         self.iterations = iterations;
         self
+    }
+
+    /// The same workload under a different name (for registering scaled
+    /// or tweaked variants alongside the original).
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> WorkloadSpec {
+        self.name = name.into();
+        self
+    }
+
+    /// Sizes the iteration count so the workload's dynamic length lands
+    /// near `target_insts` (same per-iteration estimator the Table 3
+    /// roster is normalised with, without its 20K-iteration clamp — this
+    /// is how multi-million-instruction streaming runs are dialled up).
+    #[must_use]
+    pub fn sized_for_insts(mut self, target_insts: u64) -> WorkloadSpec {
+        let est = u64::from(self.estimated_insts_per_iter());
+        self.iterations = (target_insts / est.max(1)).clamp(1, u64::from(u32::MAX)) as u32;
+        self
+    }
+
+    /// Estimated dynamic instructions per outer iteration, from the
+    /// kernel mix.
+    #[must_use]
+    pub fn estimated_insts_per_iter(&self) -> u32 {
+        3 * self.fwd_sites
+            + 3 * self.narrow_sites
+            + 3 * self.partial_sites
+            + 10 * self.alias_sites
+            + 8 * self.nmr_sites
+            + 7 * self.far_sites
+            + 2 * self.plain_loads
+            + self.plain_stores
+            + self.chase_loads
+            + 5 * self.random_branches
+            + 3 * self.pattern_branches
+            + self.fp_chain
+            + self.int_filler
+            + 2 * self.replicate.max(1) // phase-selection chain
+            + 7 // loop control + stream-pointer upkeep
     }
 
     /// Dynamic loads per outer iteration (exactly one phase body runs per
@@ -176,17 +220,37 @@ impl WorkloadSpec {
 
     /// Builds and functionally executes the program into a golden trace.
     ///
+    /// For long runs prefer [`WorkloadSpec::source`], which streams the
+    /// same records without materializing them.
+    ///
     /// # Errors
     ///
     /// Propagates assembler/executor errors.
     pub fn trace(&self) -> Result<Trace, IsaError> {
         let program = self.build()?;
-        // Generous budget: iterations × (a bound on per-iteration length)
-        // plus initialisation.
+        trace_program(&program, self.budget())
+    }
+
+    /// Builds the program and wraps it in a streaming interpreter: a
+    /// [`sqip_isa::TraceSource`] yielding exactly the records
+    /// [`WorkloadSpec::trace`] would materialize, in O(1) memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates assembler errors (a bug in the generator, not the
+    /// spec).
+    pub fn source(&self) -> Result<ProgramSource, IsaError> {
+        let program = self.build()?;
+        Ok(ProgramSource::new(program, self.budget()))
+    }
+
+    /// The dynamic-instruction budget used to bound execution — generous:
+    /// iterations × (a bound on per-iteration length) plus
+    /// initialisation.
+    #[must_use]
+    pub fn budget(&self) -> u64 {
         let per_iter = 16 * (self.loads_per_iter() + self.stores_per_iter()) as u64 + 64;
-        let budget =
-            u64::from(self.iterations) * per_iter + 16 * u64::from(self.chase_nodes) + 4096;
-        trace_program(&program, budget)
+        u64::from(self.iterations) * per_iter + 16 * u64::from(self.chase_nodes) + 4096
     }
 }
 

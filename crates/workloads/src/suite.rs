@@ -14,21 +14,7 @@ const TARGET_DYN_INSTS: u64 = 200_000;
 fn finalise(mut w: WorkloadSpec) -> WorkloadSpec {
     // Estimate instructions per outer iteration from the kernel mix and
     // size the iteration count to hit the target dynamic length.
-    let est = 3 * w.fwd_sites
-        + 3 * w.narrow_sites
-        + 3 * w.partial_sites
-        + 10 * w.alias_sites
-        + 8 * w.nmr_sites
-        + 7 * w.far_sites
-        + 2 * w.plain_loads
-        + w.plain_stores
-        + w.chase_loads
-        + 5 * w.random_branches
-        + 3 * w.pattern_branches
-        + w.fp_chain
-        + w.int_filler
-        + 2 * w.replicate.max(1) // phase-selection chain
-        + 7; // loop control + stream-pointer upkeep
+    let est = w.estimated_insts_per_iter();
     w.iterations = (TARGET_DYN_INSTS / u64::from(est.max(1))).clamp(100, 20_000) as u32;
     w
 }
@@ -390,7 +376,7 @@ mod tests {
     #[test]
     fn names_are_unique_and_findable() {
         let all = all_workloads();
-        let names: std::collections::HashSet<_> = all.iter().map(|w| w.name).collect();
+        let names: std::collections::HashSet<_> = all.iter().map(|w| w.name.as_str()).collect();
         assert_eq!(names.len(), 47);
         for f5 in FIGURE5_WORKLOADS {
             assert!(by_name(f5).is_some(), "figure 5 workload {f5} must exist");
