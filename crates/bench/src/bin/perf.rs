@@ -1,0 +1,254 @@
+//! `perf` — the simulator's performance-regression harness.
+//!
+//! Runs a fixed matrix — 3 store-queue designs × 3 workloads (two
+//! materialized SPEC models and one *streamed* generator) — under **both**
+//! simulation engines, and reports per cell:
+//!
+//! * simulated instructions per second (the headline number),
+//! * wall time (minimum over the timed iterations),
+//! * simulated cycles and instructions,
+//! * peak buffered trace records (the memory-boundedness observable).
+//!
+//! The JSON report (default `BENCH_PR4.json`) is the repo's perf
+//! trajectory: each PR that touches the hot path appends a new
+//! `BENCH_<PR>.json` snapshot, so regressions are diffs, not folklore.
+//! The summary includes the event/reference speedup per workload; the
+//! `mix` generator row at the paper's default configuration is the
+//! number the engine rework is accountable for (≥ 3×).
+//!
+//! ```text
+//! cargo run --release -p sqip-bench --bin perf             # full matrix
+//! cargo run --release -p sqip-bench --bin perf -- --quick  # CI smoke
+//! cargo run --release -p sqip-bench --bin perf -- --out my.json
+//! ```
+//!
+//! `SQIP_BENCH_ITERS` controls the timed iterations per cell (default 3;
+//! each cell also gets one untimed warmup). The minimum wall time is
+//! reported, the standard noise-rejection choice for throughput
+//! benchmarks.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use sqip::{
+    by_name, Engine, Processor, SimConfig, SimStats, SqDesign, StepOutcome, WorkloadRegistry,
+};
+use sqip_bench::geomean;
+use sqip_isa::Trace;
+
+/// One (workload, design, engine) measurement.
+#[derive(Debug, Clone, Serialize)]
+struct Cell {
+    workload: String,
+    design: SqDesign,
+    engine: Engine,
+    /// Committed instructions per simulated run.
+    insts: u64,
+    /// Simulated cycles (identical across engines — checked).
+    cycles: u64,
+    /// Simulated instructions per wall second (best iteration).
+    insts_per_sec: f64,
+    /// Minimum wall time over the timed iterations, seconds.
+    wall_s: f64,
+    /// Peak records buffered between commit point and fetch frontier.
+    peak_buffered: u64,
+}
+
+/// Event-over-reference throughput ratio for one (workload, design).
+#[derive(Debug, Clone, Serialize)]
+struct Speedup {
+    workload: String,
+    design: SqDesign,
+    speedup: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct Report {
+    /// Report schema / provenance marker.
+    bench: String,
+    /// Timed iterations per cell (minimum wall time is reported).
+    iters: u32,
+    cells: Vec<Cell>,
+    speedups: Vec<Speedup>,
+    /// The acceptance headline: event/reference on the mix generator at
+    /// the paper's default configuration (geomean over the designs run).
+    mix_speedup: f64,
+}
+
+fn timed_iters() -> u32 {
+    std::env::var("SQIP_BENCH_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(3)
+}
+
+/// A matrix workload: a materialized SPEC model trace (traced once,
+/// shared across every run so tracing cost stays out of the timings) or
+/// a named generator streamed anew each run (generation cost is inherent
+/// to streamed workloads and is charged identically to both engines).
+enum Input {
+    Materialized(String, Trace),
+    Streamed(String),
+}
+
+impl Input {
+    fn name(&self) -> &str {
+        match self {
+            Input::Materialized(name, _) | Input::Streamed(name) => name,
+        }
+    }
+}
+
+/// Runs one cell once, tracking peak buffered records.
+fn run_once(input: &Input, cfg: &SimConfig) -> (SimStats, u64, f64) {
+    let start = Instant::now();
+    let mut p = match input {
+        Input::Materialized(_, trace) => Processor::try_new(cfg.clone(), trace),
+        Input::Streamed(name) => {
+            let source = WorkloadRegistry::global()
+                .resolve(name)
+                .unwrap_or_else(|e| panic!("workload `{name}`: {e}"))
+                .open()
+                .unwrap_or_else(|e| panic!("workload `{name}` failed to open: {e}"));
+            Processor::try_from_source(cfg.clone(), source)
+        }
+    }
+    .unwrap_or_else(|e| panic!("config invalid: {e}"));
+    let mut peak = 0u64;
+    loop {
+        match p.step() {
+            Ok(StepOutcome::Running) => peak = peak.max(p.buffered_records() as u64),
+            Ok(StepOutcome::Done) => break,
+            Err(e) => panic!("{}/{}/{:?}: {e}", input.name(), cfg.design, cfg.engine),
+        }
+    }
+    let wall = start.elapsed().as_secs_f64();
+    (p.stats().clone(), peak, wall)
+}
+
+fn measure(input: &Input, design: SqDesign, engine: Engine, iters: u32) -> Cell {
+    let mut cfg = SimConfig::with_design(design);
+    cfg.engine = engine;
+    let (stats, peak, _) = run_once(input, &cfg); // warmup (and correctness)
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let (again, _, wall) = run_once(input, &cfg);
+        assert_eq!(again, stats, "non-deterministic simulation");
+        best = best.min(wall);
+    }
+    Cell {
+        workload: input.name().to_string(),
+        design,
+        engine,
+        insts: stats.committed,
+        cycles: stats.cycles,
+        insts_per_sec: stats.committed as f64 / best,
+        wall_s: best,
+        peak_buffered: peak,
+    }
+}
+
+/// A shrunk SPEC workload model, traced once.
+fn materialized(name: &str, iterations: u32) -> Input {
+    let spec = by_name(name)
+        .unwrap_or_else(|| panic!("workload model `{name}` exists"))
+        .with_iterations(iterations);
+    let trace = spec
+        .trace()
+        .unwrap_or_else(|e| panic!("tracing `{name}`: {e}"));
+    Input::Materialized(format!("{name}@{iterations}"), trace)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = "BENCH_PR4.json".to_string();
+    let mut quick = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = it.next().expect("--out requires a path"),
+            other => {
+                eprintln!("error: unknown flag `{other}` (expected --quick / --out <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // The fixed matrix: two materialized SPEC workload models and the
+    // streamed `mix` generator (pulled through the bounded record
+    // window, never materialized). `--quick` shrinks every cell for CI.
+    let workloads: Vec<Input> = if quick {
+        vec![
+            materialized("gzip", 40),
+            materialized("mcf", 30),
+            Input::Streamed("mix:0xbeef:50k".into()),
+        ]
+    } else {
+        vec![
+            materialized("gzip", 600),
+            materialized("mcf", 400),
+            Input::Streamed("mix:0xbeef:2m".into()),
+        ]
+    };
+    let designs = [
+        SqDesign::IdealOracle,
+        SqDesign::Associative3,
+        SqDesign::Indexed3FwdDly,
+    ];
+    let iters = timed_iters();
+
+    let mut cells = Vec::new();
+    let mut speedups = Vec::new();
+    println!(
+        "{:<16} {:<22} {:>12} {:>12} {:>9}  ({} timed iters, min wall)",
+        "workload", "design", "event i/s", "ref i/s", "speedup", iters
+    );
+    for workload in &workloads {
+        for design in designs {
+            let ev = measure(workload, design, Engine::Event, iters);
+            let rf = measure(workload, design, Engine::Reference, iters);
+            assert_eq!(
+                (ev.insts, ev.cycles),
+                (rf.insts, rf.cycles),
+                "engines disagree on simulated behaviour"
+            );
+            let speedup = ev.insts_per_sec / rf.insts_per_sec;
+            println!(
+                "{:<16} {:<22} {:>12.0} {:>12.0} {:>8.2}x",
+                workload.name(),
+                design.name(),
+                ev.insts_per_sec,
+                rf.insts_per_sec,
+                speedup
+            );
+            speedups.push(Speedup {
+                workload: workload.name().to_string(),
+                design,
+                speedup,
+            });
+            cells.push(ev);
+            cells.push(rf);
+        }
+    }
+
+    let mix_speedup = geomean(
+        speedups
+            .iter()
+            .filter(|s| s.workload.starts_with("mix:"))
+            .map(|s| s.speedup),
+    );
+    println!("\nmix-generator event/reference speedup (geomean): {mix_speedup:.2}x");
+
+    let report = Report {
+        bench: "sqip-perf/PR4".to_string(),
+        iters,
+        cells,
+        speedups,
+        mix_speedup,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("report written to {out}");
+}

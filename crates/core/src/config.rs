@@ -238,6 +238,59 @@ impl Deserialize for SqDesign {
     }
 }
 
+/// Which simulation engine drives the run.
+///
+/// Both engines implement the *same* machine — every design decision,
+/// latency and predictor update is identical — and are pinned to each
+/// other by differential tests (bit-identical [`SimStats`] on random
+/// programs × designs × configurations). They differ only in how the
+/// simulation loop finds work:
+///
+/// * [`Engine::Event`] (the default) is the production engine: in-flight
+///   state lives in ring-indexed slabs with free-list-backed waiter
+///   lists, wakeups and latencies sit in an event wheel
+///   ([`EventWheel`](crate::engine::EventWheel)), idle cycles (no
+///   wakeups due, frontend stalled, no commit-eligible head) are skipped
+///   in O(1), and derived statistics are flushed per *active* cycle
+///   rather than per simulated cycle.
+/// * [`Engine::Reference`] is the straightforward cycle stepper the
+///   event engine was derived from, kept alive as the differential
+///   -testing baseline and for perf comparisons (`perf` bin). It scans
+///   its structures every simulated cycle.
+///
+/// [`SimStats`]: crate::SimStats
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Engine {
+    /// Event-driven engine with idle-cycle skip-ahead (production).
+    #[default]
+    Event,
+    /// Straightforward per-cycle stepper (differential baseline).
+    Reference,
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Engine::Event => "event",
+            Engine::Reference => "reference",
+        })
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Engine, String> {
+        match s {
+            "event" | "Event" => Ok(Engine::Event),
+            "reference" | "Reference" => Ok(Engine::Reference),
+            other => Err(format!(
+                "unknown engine `{other}` (expected `event` or `reference`)"
+            )),
+        }
+    }
+}
+
 /// How memory-ordering violations (and forwarding mis-speculation) are
 /// detected — the two schemes §2 of the paper contrasts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -315,10 +368,17 @@ impl Default for IssueMix {
 }
 
 /// The full machine configuration (defaults reproduce §4.1).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// Deserialization is hand-written (rather than derived) so that the
+/// [`Engine`] field — added after the first serialized sweeps — defaults
+/// to [`Engine::Event`] when absent, keeping pre-existing JSON results
+/// loadable.
+#[derive(Debug, Clone, Serialize)]
 pub struct SimConfig {
     /// Store-queue design under test.
     pub design: SqDesign,
+    /// Simulation engine (identical results either way; see [`Engine`]).
+    pub engine: Engine,
     /// Memory-ordering detection scheme.
     pub ordering: OrderingMode,
     /// Reorder buffer entries (512).
@@ -380,6 +440,7 @@ impl SimConfig {
         };
         SimConfig {
             design,
+            engine: Engine::default(),
             ordering: OrderingMode::SvwReexecution,
             rob_size: 512,
             iq_size: 300,
@@ -462,6 +523,42 @@ impl SimConfig {
 impl Default for SimConfig {
     fn default() -> SimConfig {
         SimConfig::with_design(SqDesign::Indexed3FwdDly)
+    }
+}
+
+impl Deserialize for SimConfig {
+    fn deserialize(value: &serde::Value) -> Result<SimConfig, serde::Error> {
+        Ok(SimConfig {
+            design: serde::field(value, "design")?,
+            // Absent in JSON produced before the engine axis existed.
+            engine: match value.get("engine") {
+                Some(v) => Engine::deserialize(v)?,
+                None => Engine::default(),
+            },
+            ordering: serde::field(value, "ordering")?,
+            rob_size: serde::field(value, "rob_size")?,
+            iq_size: serde::field(value, "iq_size")?,
+            lq_size: serde::field(value, "lq_size")?,
+            sq_size: serde::field(value, "sq_size")?,
+            fetch_width: serde::field(value, "fetch_width")?,
+            rename_width: serde::field(value, "rename_width")?,
+            commit_width: serde::field(value, "commit_width")?,
+            issue: serde::field(value, "issue")?,
+            front_latency: serde::field(value, "front_latency")?,
+            issue_to_exec: serde::field(value, "issue_to_exec")?,
+            post_exec_depth: serde::field(value, "post_exec_depth")?,
+            reexec_ports: serde::field(value, "reexec_ports")?,
+            latencies: serde::field(value, "latencies")?,
+            hierarchy: serde::field(value, "hierarchy")?,
+            branch: serde::field(value, "branch")?,
+            fsp: serde::field(value, "fsp")?,
+            ddp: serde::field(value, "ddp")?,
+            store_sets: serde::field(value, "store_sets")?,
+            sat_entries: serde::field(value, "sat_entries")?,
+            ssbf_entries: serde::field(value, "ssbf_entries")?,
+            spct_entries: serde::field(value, "spct_entries")?,
+            ssn_bits: serde::field(value, "ssn_bits")?,
+        })
     }
 }
 

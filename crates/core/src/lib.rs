@@ -64,11 +64,26 @@ mod pipeline;
 pub mod policy;
 mod stats;
 
-pub use config::{IssueMix, OpLatencies, OrderingMode, ParseDesignError, SimConfig, SqDesign};
+pub use config::{
+    Engine, IssueMix, OpLatencies, OrderingMode, ParseDesignError, SimConfig, SqDesign,
+};
 pub use error::SimError;
 pub use observer::{ObserverAction, SimObserver};
 pub use oracle::{OracleBuilder, OracleFwd, OracleInfo};
-pub use pipeline::{Processor, StepOutcome};
+pub use pipeline::{EvKind, Processor, StepOutcome};
+
+/// Building blocks of the event-driven engine, exposed for
+/// documentation, benchmarking and reuse.
+///
+/// The central type is [`engine::EventWheel`] — the O(1) replacement for
+/// the reference engine's event heap; [`EvKind`] names the event kinds
+/// it carries. Engine selection is a configuration knob
+/// ([`SimConfig::engine`], an [`Engine`]), not a compile-time feature,
+/// so the differential tests and the `perf` harness can run both cores
+/// in one process.
+pub mod engine {
+    pub use crate::pipeline::event::{EventWheel, WheelEvent};
+}
 pub use policy::{
     BuiltinPolicy, DesignCaps, DesignRegistry, ForwardingPolicy, LoadCommitInfo, LoadRename,
     OracleHint, PipelineView, RegistryError, SqProbe,

@@ -12,9 +12,8 @@
 //! architectural load forwarding rate of Table 3's first column.
 //! [`OracleInfo`] is the batch form over a materialized [`Trace`].
 
-use std::collections::HashMap;
-
 use sqip_isa::{Trace, TraceRecord};
+use sqip_mem::PageTable;
 use sqip_types::Seq;
 
 /// The architectural forwarding source of one dynamic load.
@@ -62,18 +61,28 @@ pub struct OracleFwd {
 /// assert_eq!(fwd.store_dist, 0);
 /// # Ok::<(), sqip_isa::IsaError>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct OracleBuilder {
-    /// Byte address -> (store seq, store ordinal) of last writer.
-    last_writer: HashMap<u64, (Seq, u64)>,
+    /// Per-byte (store seq, store ordinal) last-writer entries, organised
+    /// as a [`PageTable`] so a memory access resolves one page (usually
+    /// via the table's one-entry cache) and then indexes. The per-byte
+    /// `HashMap` formulation this replaces hashed every byte of every
+    /// store and load — a measurable share of the whole simulator's
+    /// runtime. `ord == 0` means never written.
+    last_writer: PageTable<(Seq, u64)>,
     store_count: u64,
 }
+
+const ORACLE_PAGE_BYTES: u64 = sqip_mem::PAGE_ENTRIES as u64;
 
 impl OracleBuilder {
     /// A fresh oracle with an empty byte map.
     #[must_use]
     pub fn new() -> OracleBuilder {
-        OracleBuilder::default()
+        OracleBuilder {
+            last_writer: PageTable::new((Seq(0), 0)),
+            store_count: 0,
+        }
     }
 
     /// Ingests the next record of the stream (records must arrive in
@@ -83,29 +92,70 @@ impl OracleBuilder {
     pub fn ingest(&mut self, r: &TraceRecord) -> Option<OracleFwd> {
         if r.is_store() {
             self.store_count += 1;
-            for b in r.mem_addr().span(r.size).byte_addrs() {
-                self.last_writer.insert(b.0, (r.seq, self.store_count));
+            let span = r.mem_addr().span(r.size);
+            let base = span.base().0;
+            let n = u64::from(r.size.bytes());
+            let (seq, ord) = (r.seq, self.store_count);
+            if base / ORACLE_PAGE_BYTES == (base + n - 1) / ORACLE_PAGE_BYTES {
+                let page = self.last_writer.page_mut_or_alloc(base / ORACLE_PAGE_BYTES);
+                let off = (base % ORACLE_PAGE_BYTES) as usize;
+                for e in &mut page[off..off + n as usize] {
+                    *e = (seq, ord);
+                }
+            } else {
+                for b in span.byte_addrs() {
+                    let page = self.last_writer.page_mut_or_alloc(b.0 / ORACLE_PAGE_BYTES);
+                    page[(b.0 % ORACLE_PAGE_BYTES) as usize] = (seq, ord);
+                }
             }
             None
         } else if r.is_load() {
-            let load_span = r.mem_addr().span(r.size);
-            let newest = load_span
-                .byte_addrs()
-                .filter_map(|b| self.last_writer.get(&b.0).copied())
-                .max_by_key(|&(_, ord)| ord);
-            newest.map(|(store_seq, ord)| {
+            let span = r.mem_addr().span(r.size);
+            let base = span.base().0;
+            let n = u64::from(r.size.bytes());
+            // One pass: the youngest writer over the load's bytes, plus
+            // whether that writer covers every byte. The common
+            // non-straddling span resolves its page once.
+            let mut newest: Option<(Seq, u64)> = None;
+            let mut writers_agree = true;
+            let mut scan = |entry: Option<(Seq, u64)>| match (entry, newest) {
+                (None, _) => writers_agree = false,
+                (Some(e), None) => newest = Some(e),
+                (Some((s, ord)), Some((ns, nord))) => {
+                    if s != ns {
+                        writers_agree = false;
+                    }
+                    if ord > nord {
+                        newest = Some((s, ord));
+                    }
+                }
+            };
+            if base / ORACLE_PAGE_BYTES == (base + n - 1) / ORACLE_PAGE_BYTES {
+                match self.last_writer.page(base / ORACLE_PAGE_BYTES) {
+                    None => writers_agree = false,
+                    Some(page) => {
+                        let off = (base % ORACLE_PAGE_BYTES) as usize;
+                        for e in &page[off..off + n as usize] {
+                            scan(Some(*e).filter(|&(_, ord)| ord != 0));
+                        }
+                    }
+                }
+            } else {
+                for b in span.byte_addrs() {
+                    let entry = self
+                        .last_writer
+                        .page(b.0 / ORACLE_PAGE_BYTES)
+                        .map(|page| page[(b.0 % ORACLE_PAGE_BYTES) as usize])
+                        .filter(|&(_, ord)| ord != 0);
+                    scan(entry);
+                }
+            }
+            newest.map(|(store_seq, ord)| OracleFwd {
+                store_seq,
                 // Covered iff the youngest overlapping store wrote every
                 // byte of the load.
-                let covers = load_span.byte_addrs().all(|b| {
-                    self.last_writer
-                        .get(&b.0)
-                        .is_some_and(|&(s, _)| s == store_seq)
-                });
-                OracleFwd {
-                    store_seq,
-                    covers,
-                    store_dist: self.store_count - ord,
-                }
+                covers: writers_agree,
+                store_dist: self.store_count - ord,
             })
         } else {
             None
@@ -116,6 +166,12 @@ impl OracleBuilder {
     #[must_use]
     pub fn stores_seen(&self) -> u64 {
         self.store_count
+    }
+}
+
+impl Default for OracleBuilder {
+    fn default() -> OracleBuilder {
+        OracleBuilder::new()
     }
 }
 

@@ -1,37 +1,55 @@
 //! Commit: the SVW check, filtered re-execution, predictor training and
 //! flush repair (the policy's verify and repair touch-points).
+//!
+//! Squash repair differs from the reference engine only in *how* it
+//! finds the squashed set: the reference filters its `HashMap` keys, the
+//! event engine walks the ROB tail (the two are always the same set —
+//! the slab's live keys are exactly the ROB contents).
 
 use sqip_isa::TraceRecord;
 use sqip_types::{Seq, Ssn};
 
 use crate::config::OrderingMode;
 use crate::dyninst::InstState;
-use crate::pipeline::Processor;
+use crate::pipeline::event::{EventCore, RenameStop};
 use crate::policy::LoadCommitInfo;
 
-impl Processor<'_> {
+impl EventCore<'_> {
     pub(crate) fn commit_stage(&mut self) {
         let mut reexec_budget = self.cfg.reexec_ports;
         for _ in 0..self.cfg.commit_width {
             let Some(&seq) = self.rob.front() else { break };
-            let eligible = {
-                let inst = &self.insts[&seq.0];
-                inst.state == InstState::Done && inst.commit_eligible <= self.cycle
+            // One slab read answers eligibility and captures the retire
+            // value for the non-memory fast path.
+            let (eligible, value) = {
+                let inst = self.insts.get(seq.0).expect("ROB head in flight");
+                (
+                    inst.state == InstState::Done && inst.commit_eligible <= self.cycle,
+                    inst.value,
+                )
             };
             if !eligible {
                 break;
             }
-            let rec = *self.rec(seq);
-            if rec.is_load() && !self.commit_load(seq, &rec, &mut reexec_budget) {
-                break; // re-exec port stall or flush: stop committing
-            }
-            if rec.is_store() {
+            // Non-memory instructions need only two record fields; loads
+            // and stores take the full copy in their own paths.
+            let (op, dst) = {
+                let r = self.rec(seq);
+                (r.op, r.dst)
+            };
+            if op.is_load() {
+                let rec = *self.rec(seq);
+                if !self.commit_load(seq, &rec, &mut reexec_budget) {
+                    break; // re-exec port stall or flush: stop committing
+                }
+            } else if op.is_store() {
+                let rec = *self.rec(seq);
                 self.commit_store(seq, &rec);
             }
-            if rec.op.is_conditional() {
+            if op.is_conditional() {
                 self.stats.branches += 1;
             }
-            self.retire(seq, &rec);
+            self.retire(seq, dst, value);
         }
     }
 
@@ -39,13 +57,27 @@ impl Processor<'_> {
     /// flush was triggered — load already retired inside).
     fn commit_load(&mut self, seq: Seq, rec: &TraceRecord, reexec_budget: &mut usize) -> bool {
         let span = rec.mem_addr().span(rec.size);
-        let (svw, older_unknown, value, fwd) = {
-            let inst = &self.insts[&seq.0];
+        // One slab read covers the SVW check, the training record, and
+        // the per-load statistics below.
+        let (svw, older_unknown, value, fwd, info, delay_gated, delay) = {
+            let inst = self.insts.get(seq.0).expect("committing load in flight");
             (
                 inst.svw,
                 inst.older_unknown,
                 inst.value,
                 inst.forwarded_from,
+                LoadCommitInfo {
+                    pc: rec.pc,
+                    span,
+                    flushed: false, // patched below if the check flushes
+                    pred_store_pc: inst.pred_store_pc,
+                    ssn_fwd: inst.ssn_fwd,
+                    prev_store_ssn: inst.prev_store_ssn,
+                    was_delayed: inst.delay_gated,
+                    path: inst.path,
+                },
+                inst.delay_gated,
+                inst.ddp_delay(),
             )
         };
         self.stats.naive_reexec_candidates += u64::from(older_unknown);
@@ -74,7 +106,7 @@ impl Processor<'_> {
                 // Mis-forwarding (or ordering violation): fix the load's
                 // value from re-execution and flush everything younger.
                 self.stats.mis_forwards += 1;
-                let inst = self.insts.get_mut(&seq.0).expect("load in flight");
+                let inst = self.insts.get_mut(seq.0).expect("load in flight");
                 inst.value = correct;
                 self.vals.set_spec_value(seq.0, correct);
                 flush = true;
@@ -83,18 +115,9 @@ impl Processor<'_> {
 
         // Policy touch-point: commit-time training (FSP/DDP per Table 1
         // and §3.2–3.3, or original-Store-Sets violation merging).
-        let info = {
-            let inst = &self.insts[&seq.0];
-            LoadCommitInfo {
-                pc: rec.pc,
-                span,
-                flushed: flush,
-                pred_store_pc: inst.pred_store_pc,
-                ssn_fwd: inst.ssn_fwd,
-                prev_store_ssn: inst.prev_store_ssn,
-                was_delayed: inst.delay_gated,
-                path: inst.path,
-            }
+        let info = LoadCommitInfo {
+            flushed: flush,
+            ..info
         };
         self.policy.train_load_commit(&info);
 
@@ -106,16 +129,20 @@ impl Processor<'_> {
                 self.stats.forwarding_relevant_loads += 1;
             }
         }
-        let inst = &self.insts[&seq.0];
-        let delay = inst.ddp_delay();
-        if inst.delay_gated && delay > 0 {
+        if delay_gated && delay > 0 {
             self.stats.loads_delayed += 1;
             self.stats.delay_cycles += delay;
         }
 
         let _ = self.lq.commit_head();
         if flush {
-            self.retire(seq, rec);
+            // The load's value was just corrected from re-execution.
+            let corrected = self
+                .insts
+                .get(seq.0)
+                .expect("committing load in flight")
+                .value;
+            self.retire(seq, rec.dst, corrected);
             self.flush_younger(seq);
             return false;
         }
@@ -124,7 +151,10 @@ impl Processor<'_> {
 
     fn commit_store(&mut self, seq: Seq, rec: &TraceRecord) {
         let entry = self.sq.commit_head();
-        debug_assert_eq!(entry.ssn, self.insts[&seq.0].my_ssn);
+        debug_assert_eq!(
+            entry.ssn,
+            self.insts.get(seq.0).expect("committing store").my_ssn
+        );
         let span = rec.mem_addr().span(rec.size);
         debug_assert_eq!(
             entry.data, rec.result,
@@ -138,25 +168,38 @@ impl Processor<'_> {
         self.stats.stores += 1;
 
         // Release delay-gated and partial-stalled loads waiting on stores
-        // up to this SSN.
-        let mut released = self.wake_on_store_commit.split_off(&(entry.ssn.0 + 1));
-        std::mem::swap(&mut released, &mut self.wake_on_store_commit);
-        for (_, waiters) in released {
-            for w in waiters {
-                self.wake_one(w, true);
-            }
+        // up to this SSN. Commits are dense and in-order, so "up to" can
+        // only mean this store's own slot (older slots drained at their
+        // own commits) — an O(1) ring drain.
+        if !self.wake_on_store_commit.is_empty() {
+            self.wake_commit_waiters(entry.ssn.0);
         }
     }
 
-    fn retire(&mut self, seq: Seq, rec: &TraceRecord) {
-        if let Some(d) = rec.dst {
-            self.committed_regs[d.index()] = self.insts[&seq.0].value;
+    /// Drains `wake_on_store_commit[ssn]`, releasing each waiter's delay
+    /// gate.
+    fn wake_commit_waiters(&mut self, ssn: u64) {
+        let mut scratch = std::mem::take(&mut self.wake_scratch);
+        debug_assert!(scratch.is_empty());
+        self.wake_on_store_commit.remove_into(ssn, &mut scratch);
+        for w in scratch.drain(..) {
+            self.wake_one(w, true);
+        }
+        self.wake_scratch = scratch;
+    }
+
+    /// Retires the ROB head. `value` is the instruction's committed
+    /// result, captured by the caller's slab read (post-re-execution for
+    /// a flushing load).
+    fn retire(&mut self, seq: Seq, dst: Option<sqip_isa::Reg>, value: u64) {
+        if let Some(d) = dst {
+            self.committed_regs[d.index()] = value;
             if self.rename_map[d.index()] == Some(seq) {
                 self.rename_map[d.index()] = None;
             }
         }
         let _ = self.rob.pop_front();
-        self.insts.remove(&seq.0);
+        self.insts.remove(seq.0);
         self.policy.on_retire(seq);
         self.stats.committed += 1;
         self.last_commit_cycle = self.cycle;
@@ -173,31 +216,32 @@ impl Processor<'_> {
 
         // (Value-ring slots of squashed instructions are not cleared here:
         // nothing reads a squashed slot before its re-rename resets it.)
-        let squashed: Vec<u64> = self
-            .insts
-            .keys()
-            .copied()
-            .filter(|&s| s >= from.0)
-            .collect();
-        self.stats.squashed += squashed.len() as u64;
-        for &s in &squashed {
-            self.insts.remove(&s);
-        }
+        // The ROB tail at or younger than `from` is exactly the squashed
+        // set (slab keys mirror ROB contents).
         let keep = self.rob.iter().take_while(|&&s| s < from).count();
+        let squashed = self.rob.len() - keep;
+        self.stats.squashed += squashed as u64;
+        for i in keep..self.rob.len() {
+            let s = *self.rob.get(i).expect("ROB index in range");
+            self.insts.remove(s.0);
+        }
         self.rob.truncate(keep);
         self.ready_q.retain(|&s| s < from.0);
         self.iq_count = self
-            .insts
-            .values()
-            .filter(|i| matches!(i.state, InstState::Waiting | InstState::Ready))
+            .rob
+            .iter()
+            .filter(|&&s| {
+                let inst = self.insts.get(s.0).expect("surviving inst in flight");
+                matches!(inst.state, InstState::Waiting | InstState::Ready)
+            })
             .count();
         self.lq.squash_from(from);
 
         // SSNs roll back to the youngest surviving store.
         let keep_ssn = self
-            .insts
-            .values()
-            .map(|i| i.my_ssn)
+            .rob
+            .iter()
+            .map(|&s| self.insts.get(s.0).expect("surviving inst").my_ssn)
             .max()
             .unwrap_or(Ssn::NONE)
             .max(self.ssn_cmt);
@@ -208,14 +252,15 @@ impl Processor<'_> {
 
         // Rebuild the rename map from the surviving window, oldest first.
         self.rename_map = [None; sqip_isa::NUM_REGS];
-        let survivors: Vec<Seq> = self.rob.iter().copied().collect();
-        for s in survivors {
+        for i in 0..self.rob.len() {
+            let s = *self.rob.get(i).expect("ROB index in range");
             if let Some(d) = self.rec(s).dst {
                 self.rename_map[d.index()] = Some(s);
             }
         }
 
         self.front_q.clear();
+        self.rename_stop = RenameStop::Width;
         if self.pending_redirect.is_some_and(|s| s >= from) {
             self.pending_redirect = None;
         }
@@ -230,18 +275,19 @@ impl Processor<'_> {
         self.stats.flushes += 1;
         self.incarnation += 1;
 
-        self.stats.squashed += self.insts.len() as u64;
+        self.stats.squashed += self.rob.len() as u64;
         self.insts.clear();
         self.rob.clear();
         self.ready_q.clear();
         self.iq_count = 0;
         self.lq.clear();
         self.sq.clear();
-        self.wake_on_value.clear();
-        self.wake_on_store_exec.clear();
-        self.wake_on_store_exec_strict.clear();
-        self.wake_on_store_commit.clear();
+        self.wake_on_value.clear_all();
+        self.wake_on_store_exec.clear_all();
+        self.wake_on_store_exec_strict.clear_all();
+        self.wake_on_store_commit.clear_all();
         self.front_q.clear();
+        self.rename_stop = RenameStop::Width;
         self.rename_map = [None; sqip_isa::NUM_REGS];
 
         // All in-flight stores were squashed; the rename-time SSN counter

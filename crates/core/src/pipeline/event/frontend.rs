@@ -1,14 +1,18 @@
 //! Front-end stages: fetch (with branch prediction) and rename (the
 //! policy's dependence / index prediction touch-point).
+//!
+//! Identical decision-for-decision to the reference engine's frontend;
+//! the only additions are ring-backed waiter registration and the
+//! [`RenameStop`] record that feeds skip-ahead.
 
 use sqip_isa::{Op, TraceRecord};
 use sqip_types::Seq;
 
 use crate::dyninst::{DynInst, InstState, Operand};
-use crate::pipeline::Processor;
+use crate::pipeline::event::{EventCore, RenameStop};
 use crate::policy::{OracleHint, PipelineView};
 
-impl Processor<'_> {
+impl EventCore<'_> {
     // ================================================================
     // Fetch
     // ================================================================
@@ -19,19 +23,24 @@ impl Processor<'_> {
         }
         let mut budget = self.cfg.fetch_width;
         let mut taken_seen = false;
-        let front_cap = self.cfg.fetch_width * 4;
+        let front_cap = self.front_cap();
         while budget > 0 && self.front_q.len() < front_cap {
             // Pulls from the trace source on first fetch; squash re-fetches
-            // replay out of the in-flight record window.
-            let Some(rec) = self.fetch_record() else {
-                break; // stream exhausted (or failed; step() surfaces it)
-            };
+            // replay out of the in-flight record window. Only the four
+            // control-flow fields are read — no whole-record copy.
+            if self.fetch_record().is_none() {
+                break; // stream exhausted (or failed; the step surfaces it)
+            }
             let seq = Seq(self.fetch_idx as u64);
-            let mispredicted = self.predict_branch(&rec);
+            let (op, taken, pc, next_pc) = {
+                let r = self.window.rec(seq);
+                (r.op, r.taken, r.pc, r.next_pc)
+            };
+            let mispredicted = self.predict_branch(op, taken, pc, next_pc);
             self.front_q
                 .push_back((seq, self.cycle + self.cfg.front_latency, self.path_history));
-            if rec.op.is_conditional() {
-                self.path_history = (self.path_history << 1) | u64::from(rec.taken);
+            if op.is_conditional() {
+                self.path_history = (self.path_history << 1) | u64::from(taken);
             }
             self.fetch_idx += 1;
             budget -= 1;
@@ -39,7 +48,7 @@ impl Processor<'_> {
                 self.pending_redirect = Some(seq);
                 break;
             }
-            if rec.taken {
+            if taken {
                 if taken_seen {
                     break; // at most one taken branch per fetch cycle
                 }
@@ -56,23 +65,29 @@ impl Processor<'_> {
     /// fetch-time training makes predictor accuracy a pure function of the
     /// fetch sequence instead of execution timing, so store-queue designs
     /// are compared under identical front-end behaviour.
-    fn predict_branch(&mut self, rec: &TraceRecord) -> bool {
-        match rec.op {
+    fn predict_branch(
+        &mut self,
+        op: Op,
+        taken: bool,
+        pc: sqip_types::Pc,
+        next_pc: sqip_types::Pc,
+    ) -> bool {
+        match op {
             Op::BranchZ | Op::BranchNZ => {
-                let pred = self.bp.predict_conditional(rec.pc);
-                let mis = pred.taken != rec.taken; // direct targets resolve at decode
+                let pred = self.bp.predict_conditional(pc);
+                let mis = pred.taken != taken; // direct targets resolve at decode
                 self.stats.branch_mispredicts += u64::from(mis);
-                self.bp.update(rec.pc, true, rec.taken, rec.next_pc);
+                self.bp.update(pc, true, taken, next_pc);
                 mis
             }
             Op::Call => {
-                let _ = self.bp.predict_unconditional(rec.pc, true);
+                let _ = self.bp.predict_unconditional(pc, true);
                 false
             }
             Op::Jump => false,
             Op::Ret => {
-                let pred = self.bp.predict_return(rec.pc);
-                let mis = pred.target != Some(rec.next_pc);
+                let pred = self.bp.predict_return(pc);
+                let mis = pred.target != Some(next_pc);
                 self.stats.return_mispredicts += u64::from(mis);
                 mis
             }
@@ -85,19 +100,28 @@ impl Processor<'_> {
     // ================================================================
 
     pub(crate) fn rename_stage(&mut self) {
+        self.rename_stop = RenameStop::Width;
         for _ in 0..self.cfg.rename_width {
             let Some(&(seq, ready_at, path)) = self.front_q.front() else {
+                self.rename_stop = RenameStop::FrontEmpty;
                 break;
             };
-            if ready_at > self.cycle || self.rob.is_full() || self.iq_count >= self.cfg.iq_size {
+            if ready_at > self.cycle {
+                self.rename_stop = RenameStop::NotReady(ready_at);
+                break;
+            }
+            if self.rob.is_full() || self.iq_count >= self.cfg.iq_size {
+                self.rename_stop = RenameStop::Structural;
                 break;
             }
             let rec = *self.rec(seq);
             if rec.is_load() && self.lq.is_full() {
+                self.rename_stop = RenameStop::Structural;
                 break;
             }
             if rec.is_store() {
                 if self.sq.is_full() {
+                    self.rename_stop = RenameStop::Structural;
                     break;
                 }
                 // SSN wrap-around: drain the pipeline, then clear every
@@ -105,6 +129,7 @@ impl Processor<'_> {
                 if self.ssn_ren.next().low_bits(self.cfg.ssn_bits) == 0 || self.draining_for_wrap {
                     if !self.rob.is_empty() {
                         self.draining_for_wrap = true;
+                        self.rename_stop = RenameStop::Structural;
                         break;
                     }
                     self.draining_for_wrap = false;
@@ -135,7 +160,7 @@ impl Processor<'_> {
                     Some(p) => {
                         if self.vals.wake_time(p.0) > self.cycle {
                             gates += 1;
-                            self.wake_on_value.entry(p.0).or_default().push(seq.0);
+                            self.wake_on_value.push(p.0, seq.0);
                         }
                         Operand::InFlight(p)
                     }
@@ -160,10 +185,7 @@ impl Processor<'_> {
             if let Some(pred) = self.policy.rename_store(rec.pc, inst.my_ssn, seq, &view) {
                 if pred.is_in_flight(self.ssn_cmt) && !self.sq.is_executed(pred) {
                     gates += 1;
-                    self.wake_on_store_exec
-                        .entry(pred.0)
-                        .or_default()
-                        .push(seq.0);
+                    self.wake_on_store_exec.push(pred.0, seq.0);
                 }
             }
         }
@@ -202,7 +224,7 @@ impl Processor<'_> {
     fn attach_load_predictions(&mut self, inst: &mut DynInst, rec: &TraceRecord) -> u32 {
         let hint = if self.caps.oracle {
             self.window.fwd(inst.seq).map(|f| OracleHint {
-                store_ssn: self.insts.get(&f.store_seq.0).map(|s| s.my_ssn),
+                store_ssn: self.insts.get(f.store_seq.0).map(|s| s.my_ssn),
                 covers: f.covers,
             })
         } else {
@@ -227,19 +249,13 @@ impl Processor<'_> {
         if let Some(ssn) = decision.exec_gate {
             if ssn.is_in_flight(self.ssn_cmt) && !self.sq.is_executed(ssn) {
                 gates += 1;
-                self.wake_on_store_exec
-                    .entry(ssn.0)
-                    .or_default()
-                    .push(inst.seq.0);
+                self.wake_on_store_exec.push(ssn.0, inst.seq.0);
             }
         }
         if let Some(ssn) = decision.commit_gate {
             if ssn > self.ssn_cmt {
                 gates += 1;
-                self.wake_on_store_commit
-                    .entry(ssn.0)
-                    .or_default()
-                    .push(inst.seq.0);
+                self.wake_on_store_commit.push(ssn.0, inst.seq.0);
             }
         }
         gates

@@ -2,59 +2,73 @@
 //! touch-point (associative search vs indexed read), store execution and
 //! the LQ-CAM ordering check.
 
-use std::cmp::Reverse;
-
 use sqip_isa::{Op, OpClass, TraceRecord};
 use sqip_types::Seq;
 
 use crate::config::OrderingMode;
 use crate::dyninst::{InstState, Operand};
-use crate::pipeline::{EvKind, Processor};
+use crate::pipeline::event::{EventCore, WakeRing};
+use crate::pipeline::EvKind;
 use crate::policy::SqProbe;
 
-impl Processor<'_> {
+impl EventCore<'_> {
     pub(crate) fn do_execute(&mut self, seq: Seq) {
-        let rec = *self.rec(seq);
+        // Non-memory instructions need only the op and immediate; loads,
+        // stores and branches take the full record copy in their arms.
+        let (op, imm) = {
+            let r = self.rec(seq);
+            (r.op, r.imm)
+        };
+
+        // One slab lookup serves both the replay check and operand reads.
+        let srcs = self
+            .insts
+            .get(seq.0)
+            .expect("executing inst in flight")
+            .srcs;
 
         // Selective replay: operands whose producers are not actually ready
         // (scheduler latency mis-speculation) force a replay.
-        let mut unready: Vec<u64> = Vec::new();
-        {
-            let inst = &self.insts[&seq.0];
-            for src in inst.srcs {
-                if let Operand::InFlight(p) = src {
-                    if self.vals.value_ready(p.0) > self.cycle {
-                        unready.push(p.0);
-                    }
+        let mut unready = [0u64; 2];
+        let mut n_unready = 0;
+        for src in srcs {
+            if let Operand::InFlight(p) = src {
+                if self.vals.value_ready(p.0) > self.cycle {
+                    unready[n_unready] = p.0;
+                    n_unready += 1;
                 }
             }
         }
-        if !unready.is_empty() {
-            self.replay(seq, &unready);
+        if n_unready > 0 {
+            self.replay(seq, &unready[..n_unready]);
             return;
         }
 
-        let (s1, s2) = self.operand_values(seq);
-        match rec.op.class() {
-            OpClass::Load => self.execute_load(seq, &rec),
-            OpClass::Store => self.execute_store(seq, &rec, s2),
-            OpClass::Branch => self.execute_branch(seq, &rec),
-            _ => {
-                let value = rec.op.eval(s1, s2, rec.imm);
-                let latency = self.predicted_latency(&rec, seq.0);
-                self.complete(seq, value, latency);
-            }
-        }
-    }
-
-    fn operand_values(&self, seq: Seq) -> (u64, u64) {
-        let inst = &self.insts[&seq.0];
         let get = |o: Operand| match o {
             Operand::None => 0,
             Operand::Value(v) => v,
             Operand::InFlight(p) => self.vals.spec_value(p.0),
         };
-        (get(inst.srcs[0]), get(inst.srcs[1]))
+        let (s1, s2) = (get(srcs[0]), get(srcs[1]));
+        match op.class() {
+            OpClass::Load => {
+                let rec = *self.rec(seq);
+                self.execute_load(seq, &rec);
+            }
+            OpClass::Store => {
+                let rec = *self.rec(seq);
+                self.execute_store(seq, &rec, s2);
+            }
+            OpClass::Branch => {
+                let rec = *self.rec(seq);
+                self.execute_branch(seq, &rec);
+            }
+            class => {
+                let value = op.eval(s1, s2, imm);
+                let latency = self.latency_for(class, false);
+                self.complete(seq, value, latency);
+            }
+        }
     }
 
     /// Finishes execution: value known, completion scheduled.
@@ -63,34 +77,38 @@ impl Processor<'_> {
         self.vals.set_spec_value(seq.0, value);
         self.vals.set_value_ready(seq.0, ready_at);
         let post = self.cfg.post_exec_depth;
-        {
+        let inc = {
             let inst = self
                 .insts
-                .get_mut(&seq.0)
+                .get_mut(seq.0)
                 .expect("completing inst in flight");
             inst.state = InstState::Done;
             inst.value = value;
             inst.complete_cycle = ready_at;
             inst.commit_eligible = ready_at + post;
-        }
+            inst.incarnation
+        };
         // Consumers that replayed while this instruction was mid-flight
         // (its issue-time broadcast already fired) re-registered on the
         // wait list; a successful execution is the last broadcast they can
         // get. Time it so their execute lines up with value readiness.
-        if self.wake_on_value.contains_key(&seq.0) {
-            let inc = self.insts[&seq.0].incarnation;
+        if self.wake_on_value.contains(seq.0) {
             let at = ready_at
                 .saturating_sub(self.cfg.issue_to_exec)
                 .max(self.cycle + 1);
-            self.events
-                .push(Reverse((at, EvKind::Broadcast, seq.0, inc)));
+            self.wheel
+                .schedule(self.cycle, at, EvKind::Broadcast, seq.0, inc);
         }
     }
 
     fn execute_store(&mut self, seq: Seq, rec: &TraceRecord, data_operand: u64) {
         let span = rec.mem_addr().span(rec.size);
         let data = rec.size.truncate(data_operand);
-        let ssn = self.insts[&seq.0].my_ssn;
+        let ssn = self
+            .insts
+            .get(seq.0)
+            .expect("executing store in flight")
+            .my_ssn;
         self.sq.write(ssn, span, data);
         // Policy touch-point: store execution (LFST update under original
         // Store Sets).
@@ -114,16 +132,8 @@ impl Processor<'_> {
         }
         self.complete(seq, data, 1);
         // Wake loads waiting on this store's execution (forwarding gate).
-        if let Some(waiters) = self.wake_on_store_exec.remove(&ssn.0) {
-            for w in waiters {
-                self.wake_one(w, false);
-            }
-        }
-        if let Some(waiters) = self.wake_on_store_exec_strict.remove(&ssn.0) {
-            for w in waiters {
-                self.wake_one(w, false);
-            }
-        }
+        self.wake_all(WakeRing::StoreExec, ssn.0);
+        self.wake_all(WakeRing::StoreExecStrict, ssn.0);
     }
 
     fn execute_branch(&mut self, seq: Seq, rec: &TraceRecord) {
@@ -145,7 +155,7 @@ impl Processor<'_> {
     fn execute_load(&mut self, seq: Seq, rec: &TraceRecord) {
         let span = rec.mem_addr().span(rec.size);
         let (prev_store_ssn, ssn_fwd, wait_exec) = {
-            let inst = &self.insts[&seq.0];
+            let inst = self.insts.get(seq.0).expect("executing load in flight");
             (inst.prev_store_ssn, inst.ssn_fwd, inst.wait_exec_ssn)
         };
 
@@ -154,15 +164,12 @@ impl Processor<'_> {
         if let Some(gate) = wait_exec {
             if gate.is_in_flight(self.ssn_cmt) && !self.sq.is_executed(gate) {
                 self.stats.replays += 1;
-                let inst = self.insts.get_mut(&seq.0).expect("load in flight");
+                let inst = self.insts.get_mut(seq.0).expect("load in flight");
                 inst.state = InstState::Waiting;
                 inst.gates = 1;
                 inst.replays += 1;
                 self.iq_count += 1;
-                self.wake_on_store_exec_strict
-                    .entry(gate.0)
-                    .or_default()
-                    .push(seq.0);
+                self.wake_on_store_exec_strict.push(gate.0, seq.0);
                 return;
             }
         }
@@ -192,21 +199,18 @@ impl Processor<'_> {
                 // No single entry can supply the value: stall until the
                 // store commits, then retry (reads the cache).
                 self.stats.partial_stalls += 1;
-                let inst = self.insts.get_mut(&seq.0).expect("load in flight");
+                let inst = self.insts.get_mut(seq.0).expect("load in flight");
                 inst.state = InstState::Waiting;
                 inst.gates = 1;
                 inst.partial_stalled = true;
                 self.iq_count += 1;
                 if ssn > self.ssn_cmt {
-                    self.wake_on_store_commit
-                        .entry(ssn.0)
-                        .or_default()
-                        .push(seq.0);
+                    self.wake_on_store_commit.push(ssn.0, seq.0);
                 } else {
                     // Committed in the meantime: retry immediately.
-                    let inc = self.insts[&seq.0].incarnation;
-                    self.events
-                        .push(Reverse((self.cycle + 1, EvKind::Wake, seq.0, inc)));
+                    let inc = self.insts.get(seq.0).expect("load in flight").incarnation;
+                    self.wheel
+                        .schedule(self.cycle, self.cycle + 1, EvKind::Wake, seq.0, inc);
                 }
                 return;
             }
@@ -221,7 +225,7 @@ impl Processor<'_> {
         self.lq
             .record_execution(seq, span, value, svw, older_unknown);
         {
-            let inst = self.insts.get_mut(&seq.0).expect("load in flight");
+            let inst = self.insts.get_mut(seq.0).expect("load in flight");
             inst.forwarded_from = forwarded;
             inst.svw = svw;
             inst.older_unknown = older_unknown;

@@ -1,0 +1,437 @@
+//! The **event engine**: the production simulation core.
+//!
+//! Semantically identical to the reference stepper
+//! ([`RefCore`](crate::pipeline::reference::RefCore)) — same stages, same
+//! policy touch-points, bit-identical [`SimStats`](crate::SimStats),
+//! pinned by differential proptests — but the loop no longer does
+//! O(structures) work per simulated cycle:
+//!
+//! * in-flight instructions live in a ring-indexed [`InstSlab`] instead
+//!   of a `HashMap` (no hashing on the hot path);
+//! * wake/waiter lists live in [`WaiterRing`]s whose slot `Vec`s are
+//!   recycled (free-list-backed, allocation-free in steady state);
+//! * wakeups, latencies and replays sit in an [`EventWheel`]
+//!   (O(1) schedule, bucket drain instead of heap sift);
+//! * the ready set is a sorted vector scanned as a slice;
+//! * **idle cycles are skipped**: after each active cycle the engine
+//!   computes the next cycle at which *any* stage could do work (next
+//!   wheel event, commit eligibility of the ROB head, rename readiness,
+//!   fetch stall end) and jumps straight to it — the invariant being
+//!   that running the stages on a skipped cycle would have been a no-op,
+//!   so the jump is unobservable in the statistics;
+//! * derived statistics (cycle count, cache counters) are flushed once
+//!   per *active* cycle rather than per simulated cycle.
+
+mod structs;
+pub(crate) mod wheel;
+
+use sqip_isa::{IsaError, TraceRecord, TraceSource};
+use sqip_mem::{Hierarchy, MemImage};
+use sqip_predictors::BranchPredictor;
+use sqip_queues::{LoadQueue, StoreQueue, Window};
+use sqip_types::{Addr, DataSize, Seq, Ssn};
+
+use crate::config::SimConfig;
+use crate::error::SimError;
+use crate::oracle::OracleBuilder;
+use crate::pipeline::window::{RecordWindow, SeqRing};
+use crate::pipeline::{StepOutcome, WATCHDOG_CYCLES};
+use crate::policy::{DesignCaps, DesignRegistry, ForwardingPolicy};
+use crate::stats::SimStats;
+
+pub(crate) use structs::{InstSlab, ReadySet, WaiterRing};
+pub use wheel::{EventWheel, WheelEvent};
+
+mod commit;
+mod frontend;
+mod lsq;
+mod schedule;
+
+/// Why the rename stage stopped in the last active cycle — the engine's
+/// skip-ahead oracle for the rename/fetch front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RenameStop {
+    /// Nothing fetched ahead of rename.
+    FrontEmpty,
+    /// The front instruction becomes rename-eligible at this cycle.
+    NotReady(u64),
+    /// Blocked on a structural resource (ROB/IQ/LQ/SQ space, SSN drain)
+    /// that only a commit, an issue or a flush can free — all of which
+    /// have their own skip-ahead candidates.
+    Structural,
+    /// Consumed its full width (or ran before ever being invoked); more
+    /// work is possible on the very next cycle.
+    Width,
+}
+
+/// The event-driven core. See the module docs; the public entry point is
+/// [`Processor`](crate::Processor), which dispatches between this and the
+/// reference engine on [`SimConfig::engine`].
+pub(crate) struct EventCore<'t> {
+    pub(crate) cfg: SimConfig,
+    /// The pull-based record stream driving the run.
+    source: Box<dyn TraceSource + 't>,
+    /// Records between the commit point and the fetch frontier, with
+    /// their oracle info (computed once at ingest).
+    pub(crate) window: RecordWindow,
+    /// The streaming oracle pass feeding `window`.
+    oracle: OracleBuilder,
+    /// Exact total record count: the source's up-front hint, or measured
+    /// at exhaustion.
+    total_records: Option<u64>,
+    /// Whether the source has returned `None`.
+    source_done: bool,
+    /// A source failure, held until the next step surfaces it.
+    source_error: Option<IsaError>,
+
+    pub(crate) cycle: u64,
+    pub(crate) incarnation: u64,
+    pub(crate) last_commit_cycle: u64,
+
+    // ---- front end ----
+    pub(crate) fetch_idx: usize,
+    pub(crate) fetch_stall_until: u64,
+    /// Mispredicted branch whose resolution fetch is waiting for.
+    pub(crate) pending_redirect: Option<Seq>,
+    /// Fetched instructions awaiting rename: (seq, rename-eligible cycle,
+    /// fetch-time path history snapshot).
+    pub(crate) front_q: std::collections::VecDeque<(Seq, u64, u64)>,
+    /// Branch-outcome path history at fetch (for path-qualified FSP).
+    pub(crate) path_history: u64,
+    /// Skip-ahead record of why rename stopped last cycle.
+    pub(crate) rename_stop: RenameStop,
+
+    // ---- rename ----
+    pub(crate) ssn_ren: Ssn,
+    pub(crate) rename_map: [Option<Seq>; sqip_isa::NUM_REGS],
+    pub(crate) committed_regs: [u64; sqip_isa::NUM_REGS],
+    /// Waiting for the ROB to drain before wrapping the SSN space.
+    pub(crate) draining_for_wrap: bool,
+
+    // ---- backend ----
+    pub(crate) rob: Window<Seq>,
+    pub(crate) insts: InstSlab,
+    pub(crate) iq_count: usize,
+    pub(crate) ready_q: ReadySet,
+    pub(crate) wheel: EventWheel,
+    /// Producer seq -> consumers waiting for its wakeup broadcast.
+    pub(crate) wake_on_value: WaiterRing,
+    /// Store SSN -> loads waiting for it to execute (forwarding
+    /// dependence). Drained speculatively when the store issues
+    /// (StoreWake).
+    pub(crate) wake_on_store_exec: WaiterRing,
+    /// Store SSN -> loads that already replayed once chasing this store;
+    /// drained only when the store actually executes (no more speculative
+    /// wakes, breaking replay cascades).
+    pub(crate) wake_on_store_exec_strict: WaiterRing,
+    /// Store SSN -> loads waiting for it to commit (delay / partial
+    /// hit). A ring suffices where the reference engine uses an ordered
+    /// map: SSNs commit densely and in order, so a committing store can
+    /// only ever release waiters registered under its *own* SSN (any
+    /// smaller key was drained at that store's earlier commit).
+    pub(crate) wake_on_store_commit: WaiterRing,
+    /// Recycled buffer for draining waiter lists.
+    wake_scratch: Vec<u64>,
+    /// Recycled buffer for issue selection (no per-cycle allocation).
+    pub(crate) issue_scratch: Vec<u64>,
+
+    // ---- dense per-seq value state (survives commit; slots reset as
+    // their sequence numbers re-enter rename) ----
+    pub(crate) vals: SeqRing,
+
+    // ---- memory system ----
+    pub(crate) sq: StoreQueue,
+    pub(crate) lq: LoadQueue,
+    pub(crate) hierarchy: Hierarchy,
+    pub(crate) commit_mem: MemImage,
+    pub(crate) ssn_cmt: Ssn,
+
+    // ---- design policy + design-independent branch prediction ----
+    /// The store-queue design under test: predictor state + decisions at
+    /// the five pipeline touch-points.
+    pub(crate) policy: Box<dyn ForwardingPolicy>,
+    /// The policy's capabilities, cached at construction for hot paths.
+    pub(crate) caps: DesignCaps,
+    pub(crate) bp: BranchPredictor,
+
+    pub(crate) stats: SimStats,
+}
+
+impl<'t> EventCore<'t> {
+    pub(crate) fn new_unchecked(cfg: SimConfig, source: impl TraceSource + 't) -> EventCore<'t> {
+        let policy = DesignRegistry::global()
+            .instantiate(cfg.design, &cfg)
+            .expect("design resolved during config validation");
+        let caps = policy.caps();
+        EventCore {
+            total_records: source.len_hint(),
+            source: Box::new(source),
+            window: RecordWindow::new(cfg.rob_size, cfg.fetch_width),
+            oracle: OracleBuilder::new(),
+            source_done: false,
+            source_error: None,
+            cycle: 0,
+            incarnation: 0,
+            last_commit_cycle: 0,
+            fetch_idx: 0,
+            fetch_stall_until: 0,
+            pending_redirect: None,
+            front_q: std::collections::VecDeque::new(),
+            path_history: 0,
+            rename_stop: RenameStop::Width,
+            ssn_ren: Ssn::NONE,
+            rename_map: [None; sqip_isa::NUM_REGS],
+            committed_regs: [0; sqip_isa::NUM_REGS],
+            draining_for_wrap: false,
+            rob: Window::new(cfg.rob_size),
+            insts: InstSlab::new(cfg.rob_size, cfg.fetch_width),
+            iq_count: 0,
+            ready_q: ReadySet::default(),
+            wheel: EventWheel::new(),
+            wake_on_value: WaiterRing::new(2 * cfg.rob_size + 4 * cfg.fetch_width + 64),
+            wake_on_store_exec: WaiterRing::new(2 * cfg.sq_size + 64),
+            wake_on_store_exec_strict: WaiterRing::new(2 * cfg.sq_size + 64),
+            wake_on_store_commit: WaiterRing::new(2 * cfg.sq_size + 64),
+            wake_scratch: Vec::new(),
+            issue_scratch: Vec::new(),
+            vals: SeqRing::new(cfg.rob_size, cfg.fetch_width),
+            sq: StoreQueue::new(cfg.sq_size),
+            lq: LoadQueue::new(cfg.lq_size),
+            hierarchy: Hierarchy::new(cfg.hierarchy),
+            commit_mem: MemImage::new(),
+            ssn_cmt: Ssn::NONE,
+            bp: BranchPredictor::new(cfg.branch),
+            policy,
+            caps,
+            stats: SimStats::default(),
+            cfg,
+        }
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.total_records
+            .is_some_and(|total| self.stats.committed >= total)
+    }
+
+    pub(crate) fn total_records(&self) -> Option<u64> {
+        self.total_records
+    }
+
+    pub(crate) fn buffered_records(&self) -> usize {
+        self.window.len()
+    }
+
+    pub(crate) fn committed_reg(&self, r: sqip_isa::Reg) -> u64 {
+        self.committed_regs[r.index()]
+    }
+
+    pub(crate) fn committed_mem(&self, addr: Addr, size: DataSize) -> u64 {
+        self.commit_mem.read(addr, size)
+    }
+
+    /// Folds the hierarchy counters and cycle count into `stats`. Called
+    /// once per *active* cycle (the skip-ahead batching of derived
+    /// statistics), so the public snapshot is always consistent.
+    fn sync_stats(&mut self) {
+        self.stats.cycles = self.cycle;
+        self.stats.l1 = self.hierarchy.l1_stats();
+        self.stats.l2 = self.hierarchy.l2_stats();
+        self.stats.tlb = self.hierarchy.tlb_stats();
+    }
+
+    /// Advances to the next cycle with work, capped at `limit`, and
+    /// simulates it.
+    ///
+    /// The engine's one step = the reference engine's `1 + k` steps,
+    /// where `k` is the number of provably idle cycles jumped over. The
+    /// cap lets callers land exactly on observer interval boundaries or
+    /// `run_until` limits; it never affects results, because a capped
+    /// landing cycle is by construction idle.
+    pub(crate) fn step_bounded(&mut self, limit: u64) -> Result<StepOutcome, SimError> {
+        if self.is_done() {
+            self.sync_stats();
+            return Ok(StepOutcome::Done);
+        }
+        let watchdog = self.last_commit_cycle + WATCHDOG_CYCLES;
+        let target = self.next_active_cycle().min(limit).min(watchdog);
+        self.cycle = target.max(self.cycle + 1);
+
+        self.commit_stage();
+        self.process_events();
+        self.issue_stage();
+        self.rename_stage();
+        self.fetch_stage();
+        self.sync_stats();
+        if let Some(source) = &self.source_error {
+            return Err(SimError::TraceSource {
+                pulled: self.window.end(),
+                detail: source.to_string(),
+            });
+        }
+        if self.is_done() {
+            return Ok(StepOutcome::Done);
+        }
+        if self.cycle - self.last_commit_cycle >= WATCHDOG_CYCLES {
+            return Err(self.deadlock_error());
+        }
+        Ok(StepOutcome::Running)
+    }
+
+    /// The earliest future cycle at which any stage could possibly do
+    /// work, assuming no stage acts before it (self-consistent: machine
+    /// state only changes inside stages).
+    ///
+    /// Candidates may be conservative (waking early onto a cycle where a
+    /// stage then does nothing is harmless); they must never be late.
+    fn next_active_cycle(&self) -> u64 {
+        let floor = self.cycle + 1;
+        // Issue: leftover ready instructions select again immediately.
+        if !self.ready_q.is_empty() {
+            return floor;
+        }
+        let mut next = u64::MAX;
+        // Events: wakeups, latencies, execute-stage entries.
+        if let Some(at) = self.wheel.next_at() {
+            next = next.min(at.max(floor));
+        }
+        // Commit: a completed ROB head commits at its eligibility cycle.
+        // (A non-completed head progresses via events, covered above.)
+        if let Some(&head) = self.rob.front() {
+            if let Some(inst) = self.insts.get(head.0) {
+                if inst.state == crate::dyninst::InstState::Done {
+                    next = next.min(inst.commit_eligible.max(floor));
+                }
+            }
+        }
+        // Rename: keyed off why it stopped last cycle. Structural stalls
+        // are freed only by commits/issues/flushes, which have their own
+        // candidates and run before rename within a step. A `FrontEmpty`
+        // stop is refreshed against the live queue, because fetch runs
+        // *after* rename within a step and may have refilled it.
+        match self.rename_stop {
+            RenameStop::Width => next = next.min(floor),
+            RenameStop::NotReady(at) => next = next.min(at.max(floor)),
+            RenameStop::FrontEmpty => {
+                if let Some(&(_, ready_at, _)) = self.front_q.front() {
+                    next = next.min(ready_at.max(floor));
+                }
+            }
+            RenameStop::Structural => {}
+        }
+        // Fetch: works every cycle it is neither stalled, redirected,
+        // out of records, nor out of frontend space.
+        let has_records = (self.fetch_idx as u64) < self.window.end()
+            || (!self.source_done && self.source_error.is_none());
+        if has_records && self.pending_redirect.is_none() && self.front_q.len() < self.front_cap() {
+            next = next.min(self.fetch_stall_until.max(floor));
+        }
+        next
+    }
+
+    /// Frontend queue capacity. One definition serves both the fetch
+    /// stage and the skip-ahead fetch predicate — they must agree, or
+    /// skip-ahead would jump over cycles where fetch has work.
+    #[inline]
+    pub(crate) fn front_cap(&self) -> usize {
+        self.cfg.fetch_width * 4
+    }
+
+    fn deadlock_error(&self) -> SimError {
+        let head = self.rob.front().map(|&s| {
+            let i = self.insts.get(s.0).expect("ROB head in flight");
+            format!(
+                "head {} op={} state={:?} gates={} fwd={} dly={} wait_exec={:?} prev={} ssn_cmt={}",
+                s.0,
+                self.rec(s).op,
+                i.state,
+                i.gates,
+                i.ssn_fwd,
+                i.ssn_dly,
+                i.wait_exec_ssn,
+                i.prev_store_ssn,
+                self.ssn_cmt
+            )
+        });
+        SimError::Deadlock {
+            cycle: self.cycle,
+            committed: self.stats.committed,
+            detail: format!(
+                "fetch_idx {}, rob {}, iq {}, head {:?}",
+                self.fetch_idx,
+                self.rob.len(),
+                self.iq_count,
+                head
+            ),
+        }
+    }
+
+    pub(crate) fn rec(&self, seq: Seq) -> &TraceRecord {
+        self.window.rec(seq)
+    }
+
+    /// Drains `ring`'s waiters for `key` and wakes each one. The scratch
+    /// buffer is recycled across calls, so the drain is allocation-free.
+    pub(crate) fn wake_all(&mut self, ring: WakeRing, key: u64) {
+        let table = match ring {
+            WakeRing::Value => &mut self.wake_on_value,
+            WakeRing::StoreExec => &mut self.wake_on_store_exec,
+            WakeRing::StoreExecStrict => &mut self.wake_on_store_exec_strict,
+        };
+        if !table.contains(key) {
+            return; // nobody registered — the common case
+        }
+        let mut scratch = std::mem::take(&mut self.wake_scratch);
+        debug_assert!(scratch.is_empty());
+        match ring {
+            WakeRing::Value => self.wake_on_value.remove_into(key, &mut scratch),
+            WakeRing::StoreExec => self.wake_on_store_exec.remove_into(key, &mut scratch),
+            WakeRing::StoreExecStrict => self
+                .wake_on_store_exec_strict
+                .remove_into(key, &mut scratch),
+        }
+        for w in scratch.drain(..) {
+            self.wake_one(w, false);
+        }
+        self.wake_scratch = scratch;
+    }
+
+    /// Ensures the record at `fetch_idx` is in the window, pulling from
+    /// the source as needed. Returns `None` when the stream is exhausted
+    /// (or has failed — the error surfaces from the step); the caller
+    /// reads the record through the window, copy-free.
+    pub(crate) fn fetch_record(&mut self) -> Option<()> {
+        let seq = self.fetch_idx as u64;
+        while seq >= self.window.end() {
+            if self.source_done || self.source_error.is_some() {
+                return None;
+            }
+            match self.source.next_record() {
+                Ok(Some(mut rec)) => {
+                    // Consumers own the numbering: records are sequential
+                    // in pull order whatever the source put in `seq`.
+                    rec.seq = Seq(self.window.end());
+                    let fwd = self.oracle.ingest(&rec);
+                    self.window.push(rec, fwd);
+                }
+                Ok(None) => {
+                    self.source_done = true;
+                    self.total_records = Some(self.window.end());
+                    return None;
+                }
+                Err(e) => {
+                    self.source_error = Some(e);
+                    return None;
+                }
+            }
+        }
+        Some(())
+    }
+}
+
+/// Which waiter ring [`EventCore::wake_all`] drains.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum WakeRing {
+    Value,
+    StoreExec,
+    StoreExecStrict,
+}

@@ -1,26 +1,28 @@
-//! Scheduling: issue selection, the event queue (wakeups, replays) and
-//! load-latency speculation (the policy's scheduling touch-point).
+//! Scheduling: issue selection, event-wheel processing (wakeups, replays)
+//! and load-latency speculation (the policy's scheduling touch-point).
 
-use std::cmp::Reverse;
-
-use sqip_isa::{OpClass, TraceRecord};
+use sqip_isa::OpClass;
 use sqip_types::Seq;
 
 use crate::dyninst::InstState;
-use crate::pipeline::{EvKind, Processor, NOT_READY};
+use crate::pipeline::event::{EventCore, WakeRing, WheelEvent};
+use crate::pipeline::{EvKind, NOT_READY};
 
-impl Processor<'_> {
+impl EventCore<'_> {
     pub(crate) fn issue_stage(&mut self) {
         let mix = self.cfg.issue;
         let (mut total, mut int, mut fp, mut br, mut ld, mut st) =
             (mix.total, mix.int, mix.fp, mix.branch, mix.load, mix.store);
-        let mut issued = Vec::new();
+        let mut issued = std::mem::take(&mut self.issue_scratch);
+        debug_assert!(issued.is_empty());
 
-        for &seq in &self.ready_q {
+        // Selection and removal in one oldest-first compaction pass.
+        let window = &self.window;
+        self.ready_q.take_selected(|seq| {
             if total == 0 {
-                break;
+                return false;
             }
-            let class = self.window.rec(Seq(seq)).op.class();
+            let class = window.rec(Seq(seq)).op.class();
             let port = match class {
                 OpClass::IntAlu | OpClass::IntMul | OpClass::None => &mut int,
                 OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => &mut fp,
@@ -29,52 +31,61 @@ impl Processor<'_> {
                 OpClass::Store => &mut st,
             };
             if *port == 0 {
-                continue; // port conflict: skip, stay ready
+                return false; // port conflict: skip, stay ready
             }
             *port -= 1;
             total -= 1;
             issued.push(seq);
-        }
+            true
+        });
 
-        for seq in issued {
-            self.ready_q.remove(&seq);
+        for &seq in &issued {
             self.iq_count -= 1;
-            let (inc, my_ssn) = {
-                let inst = self.insts.get_mut(&seq).expect("ready inst in flight");
+            let (inc, my_ssn, fwd_predicted) = {
+                let inst = self.insts.get_mut(seq).expect("ready inst in flight");
                 debug_assert_eq!(inst.state, InstState::Ready);
                 inst.state = InstState::Issued;
-                (inst.incarnation, inst.my_ssn)
+                (inst.incarnation, inst.my_ssn, inst.ssn_fwd.is_some())
             };
             let exec_at = self.cycle + self.cfg.issue_to_exec;
-            self.events.push(Reverse((exec_at, EvKind::Exec, seq, inc)));
+            self.wheel
+                .schedule(self.cycle, exec_at, EvKind::Exec, seq, inc);
             if my_ssn.is_some() {
                 // Speculatively wake forwarding-gated loads behind this
                 // store so their SQ read chases its SQ write.
-                self.events
-                    .push(Reverse((self.cycle + 1, EvKind::StoreWake, my_ssn.0, inc)));
+                self.wheel
+                    .schedule(self.cycle, self.cycle + 1, EvKind::StoreWake, my_ssn.0, inc);
             }
 
             // Wakeup broadcast for register consumers, timed so a
             // back-to-back dependent executes exactly when the value is
-            // predicted to be ready.
-            let rec = *self.window.rec(Seq(seq));
-            if rec.dst.is_some() {
-                let pred_latency = self.predicted_latency(&rec, seq);
+            // predicted to be ready. (Only two record fields are needed;
+            // no 72-byte copy here.)
+            let (has_dst, class) = {
+                let r = self.window.rec(Seq(seq));
+                (r.dst.is_some(), r.op.class())
+            };
+            if has_dst {
+                let pred_latency = self.latency_for(class, fwd_predicted);
                 let broadcast_at = (exec_at + pred_latency)
                     .saturating_sub(self.cfg.issue_to_exec)
                     .max(self.cycle + 1);
                 self.vals.set_wake_time(seq, broadcast_at);
-                self.events
-                    .push(Reverse((broadcast_at, EvKind::Broadcast, seq, inc)));
+                self.wheel
+                    .schedule(self.cycle, broadcast_at, EvKind::Broadcast, seq, inc);
             }
         }
+        issued.clear();
+        self.issue_scratch = issued;
     }
 
-    /// The latency the scheduler assumes for this instruction's value —
-    /// loads defer to the policy's latency-speculation touch-point.
-    pub(crate) fn predicted_latency(&self, rec: &TraceRecord, seq: u64) -> u64 {
+    /// The latency the scheduler assumes for an instruction's value —
+    /// loads defer to the policy's latency-speculation touch-point
+    /// (`fwd_predicted` is the load's forwarding prediction, captured by
+    /// the caller so no extra slab lookup is needed here).
+    pub(crate) fn latency_for(&self, class: OpClass, fwd_predicted: bool) -> u64 {
         let l = self.cfg.latencies;
-        match rec.op.class() {
+        match class {
             OpClass::IntAlu | OpClass::None => l.int_alu,
             OpClass::IntMul => l.int_mul,
             OpClass::FpAdd => l.fp_add,
@@ -84,8 +95,7 @@ impl Processor<'_> {
             OpClass::Store => 1,
             OpClass::Load => {
                 let cache = self.cfg.hierarchy.l1.hit_latency;
-                let predicts_forward = self.insts[&seq].ssn_fwd.is_some();
-                self.policy.wakeup_latency(predicts_forward, cache)
+                self.policy.wakeup_latency(fwd_predicted, cache)
             }
         }
     }
@@ -95,33 +105,29 @@ impl Processor<'_> {
     // ================================================================
 
     pub(crate) fn process_events(&mut self) {
-        while let Some(&Reverse((at, kind, seq, inc))) = self.events.peek() {
-            if at > self.cycle {
-                break;
-            }
-            self.events.pop();
-            // Drop events addressed to squashed incarnations. Broadcasts
-            // are exempt: a producer may legitimately commit before its
-            // re-broadcast fires, and its registered consumers must still
-            // wake (wake_one itself guards against squashed consumers).
-            let alive = self.insts.get(&seq).is_some_and(|i| i.incarnation == inc);
+        while let Some(ev) = self.wheel.pop_due(self.cycle) {
+            let WheelEvent { kind, seq, inc, .. } = ev;
+            // Squashed-incarnation events are dropped (the liveness check
+            // lives in the arms that need it). Broadcasts are exempt: a
+            // producer may legitimately commit before its re-broadcast
+            // fires, and its registered consumers must still wake
+            // (wake_one itself guards against squashed consumers).
+            let alive = |insts: &super::InstSlab| -> bool {
+                insts.get(seq).is_some_and(|i| i.incarnation == inc)
+            };
             match kind {
                 EvKind::Broadcast => self.do_broadcast(seq),
                 EvKind::Wake => {
-                    if alive {
+                    if alive(&self.insts) {
                         self.wake_one(seq, false);
                     }
                 }
                 EvKind::StoreWake => {
                     // `seq` carries the store's SSN, not a sequence number.
-                    if let Some(waiters) = self.wake_on_store_exec.remove(&seq) {
-                        for w in waiters {
-                            self.wake_one(w, false);
-                        }
-                    }
+                    self.wake_all(WakeRing::StoreExec, seq);
                 }
                 EvKind::Exec => {
-                    if alive {
+                    if alive(&self.insts) {
                         self.do_execute(Seq(seq));
                     }
                 }
@@ -130,16 +136,11 @@ impl Processor<'_> {
     }
 
     fn do_broadcast(&mut self, producer: u64) {
-        let Some(consumers) = self.wake_on_value.remove(&producer) else {
-            return;
-        };
-        for c in consumers {
-            self.wake_one(c, false);
-        }
+        self.wake_all(WakeRing::Value, producer);
     }
 
     pub(crate) fn wake_one(&mut self, seq: u64, is_delay_gate: bool) {
-        let Some(inst) = self.insts.get_mut(&seq) else {
+        let Some(inst) = self.insts.get_mut(seq) else {
             return;
         };
         if inst.state != InstState::Waiting {
@@ -155,12 +156,10 @@ impl Processor<'_> {
         self.stats.replays += 1;
         let now = self.cycle;
         let issue_to_exec = self.cfg.issue_to_exec;
-        let mut wakes = Vec::new();
+        let mut wakes = [0u64; 2];
+        let mut n_wakes = 0;
         {
-            let inst = self
-                .insts
-                .get_mut(&seq.0)
-                .expect("replaying inst in flight");
+            let inst = self.insts.get_mut(seq.0).expect("replaying inst in flight");
             inst.state = InstState::Waiting;
             inst.replays += 1;
             inst.gates = unready.len() as u32;
@@ -169,15 +168,20 @@ impl Processor<'_> {
             let vr = self.vals.value_ready(p);
             if vr == NOT_READY {
                 // Producer hasn't executed; it will re-broadcast.
-                self.wake_on_value.entry(p).or_default().push(seq.0);
+                self.wake_on_value.push(p, seq.0);
             } else {
-                wakes.push(vr.saturating_sub(issue_to_exec).max(now + 1));
+                wakes[n_wakes] = vr.saturating_sub(issue_to_exec).max(now + 1);
+                n_wakes += 1;
             }
         }
         self.iq_count += 1;
-        let inc = self.insts[&seq.0].incarnation;
-        for at in wakes {
-            self.events.push(Reverse((at, EvKind::Wake, seq.0, inc)));
+        let inc = self
+            .insts
+            .get(seq.0)
+            .expect("replaying inst in flight")
+            .incarnation;
+        for &at in &wakes[..n_wakes] {
+            self.wheel.schedule(now, at, EvKind::Wake, seq.0, inc);
         }
     }
 }

@@ -1,0 +1,296 @@
+//! Ring-indexed, allocation-free backing stores for the event engine's
+//! in-flight state.
+//!
+//! The reference engine keeps per-instruction state in `HashMap`s and the
+//! ready set in a `BTreeSet`; every access hashes or rebalances. The
+//! event engine exploits the same windowing argument as
+//! [`SeqRing`](crate::pipeline::window::SeqRing): live sequence numbers
+//! (and live store SSNs) are dense and span less than the machine window,
+//! so `key % capacity` is collision-free for any two simultaneously live
+//! keys, and a fixed ring of slots replaces the map. Lists of waiters are
+//! owned by their slot and only ever `clear()`ed, never dropped, so after
+//! warm-up the engine performs no per-instruction allocation — the slots
+//! and their `Vec`s form the free list.
+
+use crate::dyninst::DynInst;
+use sqip_types::{Seq, Ssn};
+
+/// In-flight instruction state in a ring keyed by `seq % capacity`.
+///
+/// Drop-in replacement for the reference engine's `HashMap<u64, DynInst>`:
+/// the set of live keys is exactly the ROB contents, whose sequence
+/// numbers are consecutive, so a ring sized past the ROB never sees two
+/// live keys in one slot (checked by a tag compare on every access).
+pub(crate) struct InstSlab {
+    /// Capacity mask (power-of-two ring, like
+    /// [`SeqRing`](crate::pipeline::window::SeqRing): a mask, not a
+    /// division, on every access).
+    /// Liveness is encoded in each slot's own `seq` tag: an empty slot
+    /// holds [`InstSlab::EMPTY`] (not a reachable sequence number), so a
+    /// lookup touches exactly one array. Indexing masks with
+    /// `slots.len() - 1` (power-of-two length), a pattern the optimiser
+    /// recognises as in-bounds.
+    slots: Vec<DynInst>,
+}
+
+impl InstSlab {
+    /// Tag of an unoccupied slot; real sequence numbers are trace
+    /// indices and can never reach `u64::MAX`.
+    const EMPTY: u64 = u64::MAX;
+
+    pub(crate) fn new(rob_size: usize, fetch_width: usize) -> InstSlab {
+        let cap = crate::pipeline::window::seq_ring_capacity(rob_size, fetch_width);
+        InstSlab {
+            slots: vec![DynInst::new(Seq(InstSlab::EMPTY), 0, Ssn::NONE); cap],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, seq: u64) -> usize {
+        (seq as usize) & (self.slots.len() - 1)
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, seq: u64) -> Option<&DynInst> {
+        let i = self.idx(seq);
+        if self.slots[i].seq.0 == seq {
+            Some(&self.slots[i])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get_mut(&mut self, seq: u64) -> Option<&mut DynInst> {
+        let i = self.idx(seq);
+        if self.slots[i].seq.0 == seq {
+            Some(&mut self.slots[i])
+        } else {
+            None
+        }
+    }
+
+    /// Inserts (or replaces, after a squash re-rename) the instruction.
+    #[inline]
+    pub(crate) fn insert(&mut self, seq: u64, inst: DynInst) {
+        debug_assert_eq!(inst.seq.0, seq, "slab key must match the instruction");
+        let i = self.idx(seq);
+        debug_assert!(
+            self.slots[i].seq.0 == InstSlab::EMPTY || self.slots[i].seq.0 == seq,
+            "instruction slab slot collision: {} vs live {}",
+            seq,
+            self.slots[i].seq.0
+        );
+        self.slots[i] = inst;
+    }
+
+    #[inline]
+    pub(crate) fn remove(&mut self, seq: u64) {
+        let i = self.idx(seq);
+        if self.slots[i].seq.0 == seq {
+            self.slots[i].seq = Seq(InstSlab::EMPTY);
+        }
+    }
+
+    /// Drops everything (full pipeline flush).
+    pub(crate) fn clear(&mut self) {
+        for s in &mut self.slots {
+            s.seq = Seq(InstSlab::EMPTY);
+        }
+    }
+}
+
+/// The scheduler's ready set: a sorted `Vec` standing in for the
+/// reference engine's `BTreeSet<u64>`.
+///
+/// Issue selection scans oldest-first; the set rarely holds more than a
+/// few dozen entries, so binary-search-plus-memmove beats tree
+/// rebalancing and keeps iteration a contiguous slice scan.
+#[derive(Default)]
+pub(crate) struct ReadySet {
+    seqs: Vec<u64>,
+}
+
+impl ReadySet {
+    #[inline]
+    pub(crate) fn insert(&mut self, seq: u64) {
+        if let Err(pos) = self.seqs.binary_search(&seq) {
+            self.seqs.insert(pos, seq);
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn remove(&mut self, seq: u64) {
+        if let Ok(pos) = self.seqs.binary_search(&seq) {
+            self.seqs.remove(pos);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// Ascending sequence-number order, like `BTreeSet` iteration.
+    #[cfg(test)]
+    pub(crate) fn iter(&self) -> std::slice::Iter<'_, u64> {
+        self.seqs.iter()
+    }
+
+    pub(crate) fn retain(&mut self, f: impl FnMut(&u64) -> bool) {
+        self.seqs.retain(f);
+    }
+
+    /// One-pass issue selection: visits entries oldest-first, removes
+    /// those `select` claims (returns `true` for), keeps the rest —
+    /// fusing the reference engine's scan-then-remove into a single
+    /// compaction.
+    pub(crate) fn take_selected(&mut self, mut select: impl FnMut(u64) -> bool) {
+        self.seqs.retain(|&s| !select(s));
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.seqs.clear();
+    }
+}
+
+/// Waiter lists in a ring keyed by `key % capacity` — the event engine's
+/// replacement for `HashMap<u64, Vec<u64>>` wake tables.
+///
+/// A slot is occupied while its list is non-empty; its `Vec` is never
+/// dropped, so steady-state pushes are allocation-free. The windowing
+/// argument that makes the ring sound: keys are either in-flight sequence
+/// numbers (producers with a pending wakeup broadcast) or in-flight store
+/// SSNs (stores with registered dependents), both of which are removed —
+/// by the broadcast, the store's execution, or its speculative
+/// `StoreWake` — before the key space can wrap back onto the slot. A
+/// debug assertion checks for collisions on every push.
+pub(crate) struct WaiterRing {
+    /// Capacity mask (power-of-two ring).
+    mask: u64,
+    keys: Vec<u64>,
+    lists: Vec<Vec<u64>>,
+    /// Total waiters across all slots (cheap emptiness check).
+    len: usize,
+}
+
+impl WaiterRing {
+    pub(crate) fn new(cap: usize) -> WaiterRing {
+        let cap = cap.next_power_of_two();
+        WaiterRing {
+            mask: cap as u64 - 1,
+            keys: vec![0; cap],
+            lists: vec![Vec::new(); cap],
+            len: 0,
+        }
+    }
+
+    /// Whether any waiter is registered under any key.
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn idx(&self, key: u64) -> usize {
+        (key & self.mask) as usize
+    }
+
+    /// Appends `waiter` to `key`'s list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a *different* live key already occupies `key`'s slot.
+    /// The engine's windowing invariants make this unreachable for its
+    /// own keys; the one externally influenced key space is a custom
+    /// [`ForwardingPolicy`](crate::ForwardingPolicy) returning a
+    /// commit-gate SSN more than a ring capacity ahead of the commit
+    /// point — better a loud panic (with the reference engine as the
+    /// workaround) than a silently lost wakeup. The check is a compare
+    /// the hot path performs anyway.
+    #[inline]
+    pub(crate) fn push(&mut self, key: u64, waiter: u64) {
+        let i = self.idx(key);
+        if self.lists[i].is_empty() {
+            self.keys[i] = key;
+        } else {
+            assert_eq!(
+                self.keys[i], key,
+                "waiter ring slot collision: two live keys share a slot                  (a policy scheduled a wake implausibly far ahead; run                  this design under Engine::Reference)"
+            );
+        }
+        self.lists[i].push(waiter);
+        self.len += 1;
+    }
+
+    /// Whether `key` has any registered waiters.
+    #[inline]
+    pub(crate) fn contains(&self, key: u64) -> bool {
+        let i = self.idx(key);
+        !self.lists[i].is_empty() && self.keys[i] == key
+    }
+
+    /// Moves `key`'s waiters into `out` (the slot's allocation is kept).
+    #[inline]
+    pub(crate) fn remove_into(&mut self, key: u64, out: &mut Vec<u64>) {
+        let i = self.idx(key);
+        if !self.lists[i].is_empty() && self.keys[i] == key {
+            self.len -= self.lists[i].len();
+            out.append(&mut self.lists[i]);
+        }
+    }
+
+    /// Empties every slot (full pipeline flush), keeping allocations.
+    pub(crate) fn clear_all(&mut self) {
+        for l in &mut self.lists {
+            l.clear();
+        }
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inst_slab_tags_distinguish_ring_tenants() {
+        let mut slab = InstSlab::new(4, 1);
+        let cap = (2 * 4 + 4 + 64u64).next_power_of_two();
+        slab.insert(3, DynInst::new(Seq(3), 0, Ssn::NONE));
+        assert!(slab.get(3).is_some());
+        assert!(slab.get(3 + cap).is_none(), "same slot, different tenant");
+        slab.remove(3 + cap); // no-op: tag mismatch
+        assert!(slab.get(3).is_some());
+        slab.remove(3);
+        assert!(slab.get(3).is_none());
+    }
+
+    #[test]
+    fn ready_set_is_ordered_and_dedup() {
+        let mut r = ReadySet::default();
+        for s in [9, 3, 7, 3] {
+            r.insert(s);
+        }
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![3, 7, 9]);
+        r.remove(7);
+        r.retain(|&s| s < 9);
+        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn waiter_ring_drains_into_scratch_and_keeps_capacity() {
+        let mut w = WaiterRing::new(8);
+        w.push(5, 100);
+        w.push(5, 101);
+        assert!(w.contains(5));
+        assert!(!w.contains(13), "slot shared, key differs");
+        let mut out = Vec::new();
+        w.remove_into(5, &mut out);
+        assert_eq!(out, vec![100, 101]);
+        assert!(!w.contains(5));
+        // The freed slot is immediately reusable by the wrapped key.
+        w.push(13, 7);
+        assert!(w.contains(13));
+    }
+}

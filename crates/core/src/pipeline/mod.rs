@@ -8,53 +8,42 @@
 //! through the modelled dataflow. Store-load forwarding — the subject of
 //! the paper — is simulated exactly: loads obtain values from the store
 //! queue or from committed memory as decided by the configured
-//! [`ForwardingPolicy`], wrong values propagate to dependents, and
-//! SVW-filtered pre-commit re-execution catches mis-speculations and
-//! flushes.
+//! [`ForwardingPolicy`](crate::ForwardingPolicy), wrong values propagate
+//! to dependents, and SVW-filtered pre-commit re-execution catches
+//! mis-speculations and flushes.
 //!
-//! The pipeline itself is design-agnostic: every design-specific decision
-//! is a call into the policy object resolved from
-//! [`SimConfig::design`](crate::SimConfig) via the
-//! [`DesignRegistry`](crate::DesignRegistry). The stages live in focused
-//! submodules:
+//! The model is implemented **twice**, behind one façade:
 //!
-//! * [`frontend`](self) — fetch, branch prediction, rename (policy
-//!   touch-point 1: dependence / index prediction);
-//! * [`schedule`](self) — issue selection, wakeup events, latency
-//!   speculation (touch-point 2);
-//! * [`lsq`](self) — execution, the SQ probe, the LQ (touch-point 3);
-//! * [`commit`](self) — SVW-filtered re-execution, training, flush
-//!   repair (touch-points 4 and 5).
+//! * [`event`] — the production engine: event wheel, ring-indexed slabs,
+//!   idle-cycle skip-ahead (see [`crate::Engine::Event`]);
+//! * [`reference`] — the straightforward per-cycle stepper it was
+//!   derived from, kept as the differential-testing baseline (see
+//!   [`crate::Engine::Reference`]).
+//!
+//! [`Processor`] dispatches between them on [`SimConfig::engine`]; the
+//! two are pinned to bit-identical [`SimStats`] by differential
+//! proptests and the golden design fixture.
 
-mod commit;
-mod frontend;
-mod lsq;
-mod schedule;
+pub(crate) mod event;
+pub(crate) mod reference;
 #[cfg(test)]
 mod tests;
 mod window;
 
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap};
+use sqip_isa::{Trace, TraceSource};
+use sqip_types::{Addr, DataSize};
 
-use sqip_isa::{IsaError, Trace, TraceRecord, TraceSource};
-use sqip_mem::{Hierarchy, MemImage};
-use sqip_predictors::BranchPredictor;
-use sqip_queues::{LoadQueue, StoreQueue, Window};
-use sqip_types::{Addr, DataSize, Seq, Ssn};
-
-use crate::config::SimConfig;
-use crate::dyninst::DynInst;
+use crate::config::{Engine, SimConfig};
 use crate::error::SimError;
 use crate::observer::{ObserverAction, SimObserver};
-use crate::oracle::OracleBuilder;
-use crate::pipeline::window::{RecordWindow, SeqRing};
-use crate::policy::{DesignCaps, DesignRegistry, ForwardingPolicy};
 use crate::stats::SimStats;
+
+use event::EventCore;
+use reference::RefCore;
 
 pub(crate) const NOT_READY: u64 = u64::MAX;
 /// Cycles without a commit after which the simulator declares deadlock.
-const WATCHDOG_CYCLES: u64 = 500_000;
+pub(crate) const WATCHDOG_CYCLES: u64 = 500_000;
 
 /// What a [`Processor::step`] (or [`Processor::run_until`]) left behind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,19 +54,26 @@ pub enum StepOutcome {
     Done,
 }
 
+/// Kinds of scheduled pipeline events, in their within-cycle delivery
+/// order (the second-rank sort key after the cycle itself).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub(crate) enum EvKind {
+pub enum EvKind {
     /// Wakeup broadcast: consumers of this producer may now issue.
     Broadcast,
     /// Targeted wake of one waiting instruction (replay re-wake).
     Wake,
-    /// Speculative wake of loads gated on a store's execution (key is the
-    /// store's SSN). Fired one cycle after the store issues, so that a
-    /// dependent load's SQ access lines up right behind the store's SQ
+    /// Speculative wake of loads gated on a store's execution (the key is
+    /// the store's SSN). Fired one cycle after the store issues, so that
+    /// a dependent load's SQ access lines up right behind the store's SQ
     /// write; loads that arrive early (the store replayed) replay too.
     StoreWake,
     /// The instruction reaches its execute stage.
     Exec,
+}
+
+enum Core<'t> {
+    Event(Box<EventCore<'t>>),
+    Reference(Box<RefCore<'t>>),
 }
 
 /// The simulator.
@@ -89,6 +85,10 @@ pub(crate) enum EvKind {
 /// [`Processor::from_source`]: the processor buffers only the records
 /// between the commit point and the fetch frontier, so run length is
 /// unbounded by memory.
+///
+/// [`SimConfig::engine`] selects the simulation core: the event-driven
+/// engine (default) or the per-cycle reference stepper. The two produce
+/// bit-identical statistics; see [`crate::Engine`].
 ///
 /// # Example
 ///
@@ -135,82 +135,7 @@ pub(crate) enum EvKind {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct Processor<'t> {
-    pub(crate) cfg: SimConfig,
-    /// The pull-based record stream driving the run.
-    source: Box<dyn TraceSource + 't>,
-    /// Records between the commit point and the fetch frontier, with
-    /// their oracle info (computed once at ingest).
-    pub(crate) window: RecordWindow,
-    /// The streaming oracle pass feeding `window`.
-    oracle: OracleBuilder,
-    /// Exact total record count: the source's up-front hint, or measured
-    /// at exhaustion.
-    total_records: Option<u64>,
-    /// Whether the source has returned `None`.
-    source_done: bool,
-    /// A source failure, held until [`Processor::step`] surfaces it.
-    source_error: Option<IsaError>,
-
-    pub(crate) cycle: u64,
-    pub(crate) incarnation: u64,
-    pub(crate) last_commit_cycle: u64,
-
-    // ---- front end ----
-    pub(crate) fetch_idx: usize,
-    pub(crate) fetch_stall_until: u64,
-    /// Mispredicted branch whose resolution fetch is waiting for.
-    pub(crate) pending_redirect: Option<Seq>,
-    /// Fetched instructions awaiting rename: (seq, rename-eligible cycle,
-    /// fetch-time path history snapshot).
-    pub(crate) front_q: std::collections::VecDeque<(Seq, u64, u64)>,
-    /// Branch-outcome path history at fetch (for path-qualified FSP).
-    pub(crate) path_history: u64,
-
-    // ---- rename ----
-    pub(crate) ssn_ren: Ssn,
-    pub(crate) rename_map: [Option<Seq>; sqip_isa::NUM_REGS],
-    pub(crate) committed_regs: [u64; sqip_isa::NUM_REGS],
-    /// Waiting for the ROB to drain before wrapping the SSN space.
-    pub(crate) draining_for_wrap: bool,
-
-    // ---- backend ----
-    pub(crate) rob: Window<Seq>,
-    pub(crate) insts: HashMap<u64, DynInst>,
-    pub(crate) iq_count: usize,
-    pub(crate) ready_q: BTreeSet<u64>,
-    pub(crate) events: BinaryHeap<Reverse<(u64, EvKind, u64, u64)>>,
-    /// Producer seq -> consumers waiting for its wakeup broadcast.
-    pub(crate) wake_on_value: HashMap<u64, Vec<u64>>,
-    /// Store SSN -> loads waiting for it to execute (forwarding dependence).
-    /// Drained speculatively when the store issues (StoreWake).
-    pub(crate) wake_on_store_exec: HashMap<u64, Vec<u64>>,
-    /// Store SSN -> loads that already replayed once chasing this store;
-    /// drained only when the store actually executes (no more speculative
-    /// wakes, breaking replay cascades).
-    pub(crate) wake_on_store_exec_strict: HashMap<u64, Vec<u64>>,
-    /// Store SSN -> loads waiting for it to commit (delay / partial hit).
-    pub(crate) wake_on_store_commit: BTreeMap<u64, Vec<u64>>,
-
-    // ---- dense per-seq value state (survives commit; slots reset as
-    // their sequence numbers re-enter rename) ----
-    pub(crate) vals: SeqRing,
-
-    // ---- memory system ----
-    pub(crate) sq: StoreQueue,
-    pub(crate) lq: LoadQueue,
-    pub(crate) hierarchy: Hierarchy,
-    pub(crate) commit_mem: MemImage,
-    pub(crate) ssn_cmt: Ssn,
-
-    // ---- design policy + design-independent branch prediction ----
-    /// The store-queue design under test: predictor state + decisions at
-    /// the five pipeline touch-points.
-    pub(crate) policy: Box<dyn ForwardingPolicy>,
-    /// The policy's capabilities, cached at construction for hot paths.
-    pub(crate) caps: DesignCaps,
-    pub(crate) bp: BranchPredictor,
-
-    pub(crate) stats: SimStats,
+    core: Core<'t>,
 }
 
 impl<'t> Processor<'t> {
@@ -268,50 +193,11 @@ impl<'t> Processor<'t> {
     }
 
     fn new_unchecked(cfg: SimConfig, source: impl TraceSource + 't) -> Processor<'t> {
-        let policy = DesignRegistry::global()
-            .instantiate(cfg.design, &cfg)
-            .expect("design resolved during config validation");
-        let caps = policy.caps();
-        Processor {
-            total_records: source.len_hint(),
-            source: Box::new(source),
-            window: RecordWindow::default(),
-            oracle: OracleBuilder::new(),
-            source_done: false,
-            source_error: None,
-            cycle: 0,
-            incarnation: 0,
-            last_commit_cycle: 0,
-            fetch_idx: 0,
-            fetch_stall_until: 0,
-            pending_redirect: None,
-            front_q: std::collections::VecDeque::new(),
-            path_history: 0,
-            ssn_ren: Ssn::NONE,
-            rename_map: [None; sqip_isa::NUM_REGS],
-            committed_regs: [0; sqip_isa::NUM_REGS],
-            draining_for_wrap: false,
-            rob: Window::new(cfg.rob_size),
-            insts: HashMap::new(),
-            iq_count: 0,
-            ready_q: BTreeSet::new(),
-            events: BinaryHeap::new(),
-            wake_on_value: HashMap::new(),
-            wake_on_store_exec: HashMap::new(),
-            wake_on_store_exec_strict: HashMap::new(),
-            wake_on_store_commit: BTreeMap::new(),
-            vals: SeqRing::new(cfg.rob_size, cfg.fetch_width),
-            sq: StoreQueue::new(cfg.sq_size),
-            lq: LoadQueue::new(cfg.lq_size),
-            hierarchy: Hierarchy::new(cfg.hierarchy),
-            commit_mem: MemImage::new(),
-            ssn_cmt: Ssn::NONE,
-            bp: BranchPredictor::new(cfg.branch),
-            policy,
-            caps,
-            stats: SimStats::default(),
-            cfg,
-        }
+        let core = match cfg.engine {
+            Engine::Event => Core::Event(Box::new(EventCore::new_unchecked(cfg, source))),
+            Engine::Reference => Core::Reference(Box::new(RefCore::new_unchecked(cfg, source))),
+        };
+        Processor { core }
     }
 
     /// Whether the whole record stream has committed. Until the source is
@@ -319,8 +205,10 @@ impl<'t> Processor<'t> {
     /// unknown and this is `false`.
     #[must_use]
     pub fn is_done(&self) -> bool {
-        self.total_records
-            .is_some_and(|total| self.stats.committed >= total)
+        match &self.core {
+            Core::Event(c) => c.is_done(),
+            Core::Reference(c) => c.is_done(),
+        }
     }
 
     /// Records currently buffered between the commit point and the fetch
@@ -329,21 +217,33 @@ impl<'t> Processor<'t> {
     /// streaming input API, pinned by a regression test.
     #[must_use]
     pub fn buffered_records(&self) -> usize {
-        self.window.len()
+        match &self.core {
+            Core::Event(c) => c.buffered_records(),
+            Core::Reference(c) => c.buffered_records(),
+        }
     }
 
     /// The current cycle number.
+    ///
+    /// Under the event engine this advances by more than one per
+    /// [`Processor::step`] whenever idle cycles were skipped.
     #[must_use]
     pub fn cycle(&self) -> u64 {
-        self.cycle
+        match &self.core {
+            Core::Event(c) => c.cycle,
+            Core::Reference(c) => c.cycle(),
+        }
     }
 
-    /// The statistics accumulated so far. [`Processor::step`] folds the
-    /// cycle count and cache counters in after every cycle, so the view
-    /// is consistent mid-run.
+    /// The statistics accumulated so far. Both engines fold the cycle
+    /// count and cache counters in after every step, so the view is
+    /// consistent mid-run.
     #[must_use]
     pub fn stats(&self) -> &SimStats {
-        &self.stats
+        match &self.core {
+            Core::Event(c) => &c.stats,
+            Core::Reference(c) => c.stats(),
+        }
     }
 
     /// The committed architectural value of register `r` (used by
@@ -351,26 +251,31 @@ impl<'t> Processor<'t> {
     /// same architectural state).
     #[must_use]
     pub fn committed_reg(&self, r: sqip_isa::Reg) -> u64 {
-        self.committed_regs[r.index()]
+        match &self.core {
+            Core::Event(c) => c.committed_reg(r),
+            Core::Reference(c) => c.committed_reg(r),
+        }
     }
 
     /// Reads the committed memory image — the architectural memory state
     /// built by retired stores.
     #[must_use]
     pub fn committed_mem(&self, addr: Addr, size: DataSize) -> u64 {
-        self.commit_mem.read(addr, size)
+        match &self.core {
+            Core::Event(c) => c.committed_mem(addr, size),
+            Core::Reference(c) => c.committed_mem(addr, size),
+        }
     }
 
-    /// Folds the hierarchy counters and cycle count into `stats` so the
-    /// snapshot is consistent at any point of the run. Idempotent.
-    fn sync_stats(&mut self) {
-        self.stats.cycles = self.cycle;
-        self.stats.l1 = self.hierarchy.l1_stats();
-        self.stats.l2 = self.hierarchy.l2_stats();
-        self.stats.tlb = self.hierarchy.tlb_stats();
-    }
-
-    /// Simulates one cycle.
+    /// Advances the simulation by one *step*.
+    ///
+    /// Under the reference engine a step is exactly one cycle. Under the
+    /// event engine a step is one **active** cycle: the engine first
+    /// jumps over any provably idle cycles (no wakeup due, frontend
+    /// stalled, no commit-eligible head) and then simulates the cycle it
+    /// lands on, so [`Processor::cycle`] may advance by more than one.
+    /// The sequence of active cycles — and every statistic — is identical
+    /// between the engines.
     ///
     /// Returns [`StepOutcome::Done`] once the whole trace has committed
     /// (further calls are no-ops that keep returning `Done`).
@@ -382,41 +287,26 @@ impl<'t> Processor<'t> {
     /// and [`SimError::TraceSource`] if the trace source fails mid-stream
     /// (I/O error, corrupt trace file, interpreter fault).
     pub fn step(&mut self) -> Result<StepOutcome, SimError> {
-        if self.is_done() {
-            self.sync_stats();
-            return Ok(StepOutcome::Done);
+        match &mut self.core {
+            Core::Event(c) => c.step_bounded(u64::MAX),
+            Core::Reference(c) => c.step(),
         }
-        self.cycle += 1;
-        self.commit_stage();
-        self.process_events();
-        self.issue_stage();
-        self.rename_stage();
-        self.fetch_stage();
-        self.sync_stats();
-        if let Some(source) = &self.source_error {
-            return Err(SimError::TraceSource {
-                pulled: self.window.end(),
-                detail: source.to_string(),
-            });
-        }
-        if self.is_done() {
-            return Ok(StepOutcome::Done);
-        }
-        if self.cycle - self.last_commit_cycle >= WATCHDOG_CYCLES {
-            return Err(self.deadlock_error());
-        }
-        Ok(StepOutcome::Running)
     }
 
     /// Runs until the trace commits fully or `cycle_limit` is reached,
-    /// whichever comes first.
+    /// whichever comes first. The event engine lands exactly on
+    /// `cycle_limit` when the trace outlives it.
     ///
     /// # Errors
     ///
     /// Propagates [`SimError::Deadlock`] from [`Processor::step`].
     pub fn run_until(&mut self, cycle_limit: u64) -> Result<StepOutcome, SimError> {
-        while self.cycle < cycle_limit {
-            if self.step()? == StepOutcome::Done {
+        while self.cycle() < cycle_limit {
+            let outcome = match &mut self.core {
+                Core::Event(c) => c.step_bounded(cycle_limit)?,
+                Core::Reference(c) => c.step()?,
+            };
+            if outcome == StepOutcome::Done {
                 return Ok(StepOutcome::Done);
             }
         }
@@ -434,13 +324,18 @@ impl<'t> Processor<'t> {
     /// [`SimError::Deadlock`] if the pipeline stops committing.
     pub fn try_run(mut self) -> Result<SimStats, SimError> {
         while self.step()? == StepOutcome::Running {}
-        Ok(self.stats)
+        Ok(self.stats().clone())
     }
 
     /// Runs to completion with observation hooks: `observer` is started
     /// before the first cycle, called every [`SimObserver::interval`]
     /// cycles, and may abort the run early (the partial statistics are
     /// returned, with `committed < trace.len()`).
+    ///
+    /// Interval boundaries are honoured exactly under both engines: when
+    /// the event engine's skip-ahead would jump over a boundary, it is
+    /// capped to land on it, so observers see the same per-interval
+    /// snapshots the reference engine produces.
     ///
     /// # Errors
     ///
@@ -449,18 +344,31 @@ impl<'t> Processor<'t> {
         mut self,
         observer: &mut O,
     ) -> Result<SimStats, SimError> {
-        let len_hint = self.total_records.map(|n| n as usize);
-        observer.on_start(&self.cfg, len_hint);
+        let len_hint = match &self.core {
+            Core::Event(c) => c.total_records(),
+            Core::Reference(c) => c.total_records(),
+        };
+        let cfg = self.config().clone();
+        observer.on_start(&cfg, len_hint.map(|n| n as usize));
         let interval = observer.interval().max(1);
-        while self.step()? == StepOutcome::Running {
-            if self.cycle.is_multiple_of(interval)
-                && observer.on_interval(self.cycle, &self.stats) == ObserverAction::Abort
+        loop {
+            // The next interval boundary strictly after the current cycle.
+            let boundary = (self.cycle() / interval + 1) * interval;
+            let outcome = match &mut self.core {
+                Core::Event(c) => c.step_bounded(boundary)?,
+                Core::Reference(c) => c.step()?,
+            };
+            if outcome == StepOutcome::Done {
+                break;
+            }
+            if self.cycle().is_multiple_of(interval)
+                && observer.on_interval(self.cycle(), self.stats()) == ObserverAction::Abort
             {
-                return Ok(self.stats);
+                return Ok(self.stats().clone());
             }
         }
-        observer.on_finish(&self.stats);
-        Ok(self.stats)
+        observer.on_finish(self.stats());
+        Ok(self.stats().clone())
     }
 
     /// Runs the trace to completion and returns the statistics.
@@ -477,79 +385,22 @@ impl<'t> Processor<'t> {
         self.try_run().unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn deadlock_error(&self) -> SimError {
-        let head = self.rob.front().map(|&s| {
-            let i = &self.insts[&s.0];
-            format!(
-                "head {} op={} state={:?} gates={} fwd={} dly={} wait_exec={:?} prev={} ssn_cmt={}",
-                s.0,
-                self.rec(s).op,
-                i.state,
-                i.gates,
-                i.ssn_fwd,
-                i.ssn_dly,
-                i.wait_exec_ssn,
-                i.prev_store_ssn,
-                self.ssn_cmt
-            )
-        });
-        SimError::Deadlock {
-            cycle: self.cycle,
-            committed: self.stats.committed,
-            detail: format!(
-                "fetch_idx {}, rob {}, iq {}, head {:?}",
-                self.fetch_idx,
-                self.rob.len(),
-                self.iq_count,
-                head
-            ),
+    fn config(&self) -> &SimConfig {
+        match &self.core {
+            Core::Event(c) => &c.cfg,
+            Core::Reference(c) => &c.cfg,
         }
-    }
-
-    pub(crate) fn rec(&self, seq: Seq) -> &TraceRecord {
-        self.window.rec(seq)
-    }
-
-    /// The record at `fetch_idx`, pulling from the source as needed.
-    /// Returns `None` when the stream is exhausted (or has failed — the
-    /// error surfaces from [`Processor::step`]).
-    pub(crate) fn fetch_record(&mut self) -> Option<TraceRecord> {
-        let seq = self.fetch_idx as u64;
-        while seq >= self.window.end() {
-            if self.source_done || self.source_error.is_some() {
-                return None;
-            }
-            match self.source.next_record() {
-                Ok(Some(mut rec)) => {
-                    // Consumers own the numbering: records are sequential
-                    // in pull order whatever the source put in `seq`.
-                    rec.seq = Seq(self.window.end());
-                    let fwd = self.oracle.ingest(&rec);
-                    self.window.push(rec, fwd);
-                }
-                Ok(None) => {
-                    self.source_done = true;
-                    self.total_records = Some(self.window.end());
-                    return None;
-                }
-                Err(e) => {
-                    self.source_error = Some(e);
-                    return None;
-                }
-            }
-        }
-        Some(*self.window.rec(Seq(seq)))
     }
 }
 
 impl std::fmt::Debug for Processor<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Processor")
-            .field("design", &self.cfg.design)
-            .field("cycle", &self.cycle)
-            .field("committed", &self.stats.committed)
-            .field("pulled", &self.window.end())
-            .field("buffered", &self.window.len())
+            .field("design", &self.config().design)
+            .field("engine", &self.config().engine)
+            .field("cycle", &self.cycle())
+            .field("committed", &self.stats().committed)
+            .field("buffered", &self.buffered_records())
             .finish_non_exhaustive()
     }
 }

@@ -572,3 +572,141 @@ mod path_tests {
         assert_eq!(a.mis_forwards, b.mis_forwards);
     }
 }
+
+mod engine_tests {
+    use super::*;
+    use crate::config::Engine;
+    use crate::observer::{ObserverAction, SimObserver};
+    use sqip_isa::{trace_program, ProgramBuilder, Reg};
+    use sqip_types::DataSize;
+
+    /// A forwarding loop with enough cache-missing work for the event
+    /// engine to actually skip cycles.
+    fn observed_workload() -> Trace {
+        let mut b = ProgramBuilder::new();
+        let (ctr, v, t, p) = (Reg::new(1), Reg::new(2), Reg::new(3), Reg::new(4));
+        b.load_imm(ctr, 400);
+        b.load_imm(p, 0x10_0000);
+        let top = b.label("top");
+        b.store(DataSize::Quad, v, Reg::ZERO, 0x100);
+        b.load(DataSize::Quad, t, Reg::ZERO, 0x100);
+        b.load(DataSize::Quad, v, p, 0); // cold, page-strided: misses
+        b.add_imm(p, p, 4096);
+        b.add_imm(ctr, ctr, -1);
+        b.branch_nz(ctr, top);
+        b.halt();
+        trace_program(&b.build().unwrap(), 1_000_000).unwrap()
+    }
+
+    /// Records every interval callback: (cycle, cycles-stat, committed).
+    struct Recorder {
+        interval: u64,
+        samples: Vec<(u64, u64, u64)>,
+        abort_after: Option<usize>,
+    }
+
+    impl SimObserver for Recorder {
+        fn interval(&self) -> u64 {
+            self.interval
+        }
+        fn on_interval(&mut self, cycle: u64, stats: &SimStats) -> ObserverAction {
+            self.samples.push((cycle, stats.cycles, stats.committed));
+            if self.abort_after.is_some_and(|n| self.samples.len() >= n) {
+                ObserverAction::Abort
+            } else {
+                ObserverAction::Continue
+            }
+        }
+    }
+
+    fn observe(engine: Engine, interval: u64, abort_after: Option<usize>) -> (Recorder, SimStats) {
+        let trace = observed_workload();
+        let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+        cfg.engine = engine;
+        let mut rec = Recorder {
+            interval,
+            samples: Vec::new(),
+            abort_after,
+        };
+        let stats = Processor::new(cfg, &trace)
+            .run_observed(&mut rec)
+            .expect("run completes");
+        (rec, stats)
+    }
+
+    /// Negative path for skip-ahead: interval boundaries land *between*
+    /// active cycles, so the event engine must cap its jumps to stop on
+    /// each boundary exactly — observers see the same cycle numbers and
+    /// the same per-interval statistics as under the reference stepper,
+    /// including boundaries falling inside long idle stretches.
+    #[test]
+    fn skip_ahead_lands_exactly_on_observer_interval_boundaries() {
+        for interval in [1, 7, 100, 1000] {
+            let (ev, ev_stats) = observe(Engine::Event, interval, None);
+            let (rf, rf_stats) = observe(Engine::Reference, interval, None);
+            assert_eq!(ev_stats, rf_stats, "final stats diverge @{interval}");
+            assert_eq!(
+                ev.samples, rf.samples,
+                "per-interval observer snapshots diverge @{interval}"
+            );
+            for &(cycle, cycles_stat, _) in &ev.samples {
+                assert_eq!(cycle % interval, 0, "callback off the boundary");
+                assert_eq!(cycle, cycles_stat, "stats snapshot inconsistent");
+            }
+        }
+    }
+
+    /// Early abort from an observer stops both engines at the same
+    /// boundary with identical partial statistics.
+    #[test]
+    fn observer_abort_is_engine_invariant() {
+        let (ev, ev_stats) = observe(Engine::Event, 50, Some(3));
+        let (rf, rf_stats) = observe(Engine::Reference, 50, Some(3));
+        assert_eq!(ev.samples.len(), 3);
+        assert_eq!(ev.samples, rf.samples);
+        assert_eq!(ev_stats, rf_stats);
+        assert!(
+            ev_stats.committed < observed_workload().len() as u64,
+            "abort really cut the run short"
+        );
+    }
+
+    /// Negative path for the event wheel, end to end: a zero-cycle
+    /// issue-to-execute stage makes the pipeline request execute events
+    /// for the *current* cycle — "in the past" by the time the wheel sees
+    /// them. The wheel clamps them to the next cycle in reference-heap
+    /// order; both engines must agree bit-for-bit.
+    #[test]
+    fn zero_latency_schedule_events_in_the_past_match_reference() {
+        let trace = observed_workload();
+        let run = |engine: Engine| {
+            let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+            cfg.issue_to_exec = 0;
+            cfg.engine = engine;
+            Processor::new(cfg, &trace)
+                .try_run()
+                .expect("run completes")
+        };
+        assert_eq!(run(Engine::Event), run(Engine::Reference));
+    }
+
+    /// `run_until` is cycle-exact under skip-ahead: the event engine
+    /// lands on the requested cycle even when it falls mid-idle-stretch.
+    #[test]
+    fn run_until_lands_on_the_requested_cycle() {
+        let trace = observed_workload();
+        let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+        cfg.engine = Engine::Event;
+        let mut p = Processor::new(cfg, &trace);
+        let mut rcfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+        rcfg.engine = Engine::Reference;
+        let mut r = Processor::new(rcfg, &trace);
+        for limit in [13, 500, 501, 2_000] {
+            let a = p.run_until(limit).expect("no deadlock");
+            let b = r.run_until(limit).expect("no deadlock");
+            assert_eq!(a, b);
+            assert_eq!(p.cycle(), r.cycle(), "cycle mismatch at limit {limit}");
+            assert_eq!(p.stats(), r.stats(), "stats mismatch at limit {limit}");
+        }
+    }
+}

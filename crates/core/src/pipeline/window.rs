@@ -12,8 +12,6 @@
 //!   largest span the pipeline can ever reference (in-flight window +
 //!   producers a consumer captured before they retired + fetch-ahead).
 
-use std::collections::VecDeque;
-
 use sqip_isa::TraceRecord;
 use sqip_types::Seq;
 
@@ -24,35 +22,68 @@ use crate::pipeline::NOT_READY;
 /// `[commit point, fetch frontier)`. Squashes rewind the fetch index but
 /// never discard buffered records (re-fetches replay from the buffer), so
 /// each record is pulled from the trace source exactly once.
-#[derive(Debug, Default)]
+///
+/// Stored as a power-of-two ring keyed by `seq & mask` (records and
+/// oracle info in separate arrays, since most lookups want only the
+/// record): `rec()` is the single hottest accessor in the simulator, so
+/// indexing is one mask and one load, with the in-window check a debug
+/// assertion. The occupancy bound is structural — commit trails the fetch
+/// frontier by at most ROB + frontend queue + one fetch group — and is
+/// enforced by an assertion on `push`.
+#[derive(Debug)]
 pub(crate) struct RecordWindow {
-    /// Sequence number of `buf`'s front element.
+    /// Sequence number of the oldest buffered record.
     base: u64,
-    buf: VecDeque<(TraceRecord, Option<OracleFwd>)>,
+    len: usize,
+    mask: u64,
+    recs: Vec<TraceRecord>,
+    fwds: Vec<Option<OracleFwd>>,
 }
 
 impl RecordWindow {
+    pub(crate) fn new(rob_size: usize, fetch_width: usize) -> RecordWindow {
+        // ROB + frontend queue (4 fetch groups) + one in-progress fetch
+        // group + slack.
+        let cap = (rob_size + 5 * fetch_width + 64).next_power_of_two();
+        RecordWindow {
+            base: 0,
+            len: 0,
+            mask: cap as u64 - 1,
+            recs: vec![TraceRecord::default(); cap],
+            fwds: vec![None; cap],
+        }
+    }
+
     /// The next sequence number to be pulled (== total records pulled).
     pub(crate) fn end(&self) -> u64 {
-        self.base + self.buf.len() as u64
+        self.base + self.len as u64
     }
 
     /// Buffered record count (the memory-boundedness observable).
     pub(crate) fn len(&self) -> usize {
-        self.buf.len()
+        self.len
     }
 
     pub(crate) fn push(&mut self, rec: TraceRecord, fwd: Option<OracleFwd>) {
-        self.buf.push_back((rec, fwd));
+        assert!(
+            self.len as u64 <= self.mask,
+            "record window overflow: the pipeline buffered more records \
+             than the machine window can reference"
+        );
+        let slot = (self.end() & self.mask) as usize;
+        self.recs[slot] = rec;
+        self.fwds[slot] = fwd;
+        self.len += 1;
     }
 
     /// Drops the oldest record (its instruction committed).
     pub(crate) fn pop_front(&mut self) {
-        debug_assert!(!self.buf.is_empty(), "popping an empty record window");
-        self.buf.pop_front();
+        debug_assert!(self.len > 0, "popping an empty record window");
+        self.len -= 1;
         self.base += 1;
     }
 
+    #[inline]
     fn index(&self, seq: Seq) -> usize {
         debug_assert!(
             seq.0 >= self.base && seq.0 < self.end(),
@@ -61,17 +92,19 @@ impl RecordWindow {
             self.base,
             self.end()
         );
-        (seq.0 - self.base) as usize
+        (seq.0 & self.mask) as usize
     }
 
     /// The golden record for an in-window sequence number.
+    #[inline]
     pub(crate) fn rec(&self, seq: Seq) -> &TraceRecord {
-        &self.buf[self.index(seq)].0
+        &self.recs[self.index(seq)]
     }
 
     /// The oracle forwarding info for an in-window sequence number.
+    #[inline]
     pub(crate) fn fwd(&self, seq: Seq) -> Option<OracleFwd> {
-        self.buf[self.index(seq)].1
+        self.fwds[self.index(seq)]
     }
 }
 
@@ -88,25 +121,46 @@ impl RecordWindow {
 /// suffices for any run length.
 #[derive(Debug)]
 pub(crate) struct SeqRing {
-    cap: usize,
-    spec_value: Vec<u64>,
-    value_ready: Vec<u64>,
-    wake_time: Vec<u64>,
+    /// One record per slot: consumers that read a producer's readiness
+    /// usually read its value in the same breath, so the three fields
+    /// share a cache line instead of living in three parallel arrays.
+    /// The power-of-two length makes slot indexing a `len - 1` mask (a
+    /// pattern the optimiser proves in-bounds); the ring is indexed a
+    /// dozen times per instruction.
+    slots: Vec<SeqSlot>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SeqSlot {
+    spec_value: u64,
+    value_ready: u64,
+    wake_time: u64,
+}
+
+const EMPTY_SLOT: SeqSlot = SeqSlot {
+    spec_value: 0,
+    value_ready: NOT_READY,
+    wake_time: NOT_READY,
+};
+
+/// Ring capacity covering every sequence number the pipeline can still
+/// reference: in-flight window + retired producers a consumer captured +
+/// fetch-ahead, rounded to a power of two for mask indexing.
+pub(crate) fn seq_ring_capacity(rob_size: usize, fetch_width: usize) -> usize {
+    (2 * rob_size + 4 * fetch_width + 64).next_power_of_two()
 }
 
 impl SeqRing {
     pub(crate) fn new(rob_size: usize, fetch_width: usize) -> SeqRing {
-        let cap = 2 * rob_size + 4 * fetch_width + 64;
+        let cap = seq_ring_capacity(rob_size, fetch_width);
         SeqRing {
-            cap,
-            spec_value: vec![0; cap],
-            value_ready: vec![NOT_READY; cap],
-            wake_time: vec![NOT_READY; cap],
+            slots: vec![EMPTY_SLOT; cap],
         }
     }
 
+    #[inline]
     fn slot(&self, seq: u64) -> usize {
-        (seq % self.cap as u64) as usize
+        (seq as usize) & (self.slots.len() - 1)
     }
 
     /// Clears a sequence number's slot as it enters rename (covers both
@@ -114,36 +168,34 @@ impl SeqRing {
     /// squash).
     pub(crate) fn reset(&mut self, seq: u64) {
         let s = self.slot(seq);
-        self.spec_value[s] = 0;
-        self.value_ready[s] = NOT_READY;
-        self.wake_time[s] = NOT_READY;
+        self.slots[s] = EMPTY_SLOT;
     }
 
     pub(crate) fn spec_value(&self, seq: u64) -> u64 {
-        self.spec_value[self.slot(seq)]
+        self.slots[self.slot(seq)].spec_value
     }
 
     pub(crate) fn set_spec_value(&mut self, seq: u64, v: u64) {
         let s = self.slot(seq);
-        self.spec_value[s] = v;
+        self.slots[s].spec_value = v;
     }
 
     pub(crate) fn value_ready(&self, seq: u64) -> u64 {
-        self.value_ready[self.slot(seq)]
+        self.slots[self.slot(seq)].value_ready
     }
 
     pub(crate) fn set_value_ready(&mut self, seq: u64, cycle: u64) {
         let s = self.slot(seq);
-        self.value_ready[s] = cycle;
+        self.slots[s].value_ready = cycle;
     }
 
     pub(crate) fn wake_time(&self, seq: u64) -> u64 {
-        self.wake_time[self.slot(seq)]
+        self.slots[self.slot(seq)].wake_time
     }
 
     pub(crate) fn set_wake_time(&mut self, seq: u64, cycle: u64) {
         let s = self.slot(seq);
-        self.wake_time[s] = cycle;
+        self.slots[s].wake_time = cycle;
     }
 }
 
@@ -153,7 +205,7 @@ mod tests {
 
     #[test]
     fn record_window_slides() {
-        let mut w = RecordWindow::default();
+        let mut w = RecordWindow::new(4, 1);
         assert_eq!(w.end(), 0);
         let rec = |seq: u64| {
             let mut b = sqip_isa::ProgramBuilder::new();
@@ -174,9 +226,110 @@ mod tests {
     }
 
     #[test]
+    fn record_window_pops_each_record_exactly_once() {
+        // A squash rewinds the *fetch index*, never the window: re-fetches
+        // replay buffered records, and only in-order commit pops. The
+        // exactly-once invariant is that `pop_front` retires seq `base`,
+        // `base` is monotonic, and a record stays readable (for re-fetch)
+        // from push until its own pop — no earlier, no later.
+        let mut w = RecordWindow::new(4, 1);
+        let rec = |seq: u64| {
+            let mut b = sqip_isa::ProgramBuilder::new();
+            b.halt();
+            let t = sqip_isa::trace_program(&b.build().unwrap(), 10).unwrap();
+            let mut r = t.records()[0];
+            r.seq = Seq(seq);
+            r
+        };
+        for s in 0..6 {
+            w.push(rec(s), None);
+        }
+        // Squash-style re-read: every buffered record is still addressable
+        // (a rewound fetch index replays from the buffer, not the source).
+        for s in 0..6 {
+            assert_eq!(w.rec(Seq(s)).seq, Seq(s));
+        }
+        // Commit pops 0..3; their slots leave the readable window while
+        // the survivors stay re-fetchable.
+        for s in 0..3 {
+            assert_eq!(w.rec(Seq(s)).seq, Seq(s), "readable until popped");
+            w.pop_front();
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.end(), 6, "end() never rewinds");
+        for s in 3..6 {
+            assert_eq!(w.rec(Seq(s)).seq, Seq(s), "survivors re-fetchable");
+        }
+        // Ring reuse after pops: new pushes land in freed slots and the
+        // window keeps sliding — 6 pushed + 6 more = 12 total, 3 popped.
+        for s in 6..12 {
+            w.push(rec(s), None);
+        }
+        assert_eq!(w.end(), 12);
+        assert_eq!(w.len(), 9);
+        assert_eq!(w.rec(Seq(11)).seq, Seq(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "record window overflow")]
+    fn record_window_rejects_overflow() {
+        let mut w = RecordWindow::new(1, 1);
+        let mut b = sqip_isa::ProgramBuilder::new();
+        b.halt();
+        let t = sqip_isa::trace_program(&b.build().unwrap(), 10).unwrap();
+        let r = t.records()[0];
+        // Capacity is (rob + 5*fetch + 64).next_power_of_two() = 128 for
+        // this geometry; the 129th un-popped push must be refused loudly
+        // rather than silently overwrite the commit point.
+        for s in 0..200 {
+            let mut rec = r;
+            rec.seq = Seq(s);
+            w.push(rec, None);
+        }
+    }
+
+    #[test]
+    fn seq_ring_reset_clears_stale_incarnation_at_squash_refetch() {
+        // A squash leaves the squashed sequence numbers' slots dirty (by
+        // design — nothing reads them before re-rename); the re-fetch of
+        // the *same* sequence number must start from a clean slot the
+        // moment rename resets it, or the re-fetched incarnation would
+        // see its predecessor's value/readiness.
+        let mut r = SeqRing::new(8, 2);
+        r.reset(5);
+        r.set_spec_value(5, 0xDEAD);
+        r.set_value_ready(5, 42);
+        r.set_wake_time(5, 40);
+        // Squash: seq 5's in-flight state is abandoned mid-execution.
+        // Re-fetch re-renames the same seq; rename's reset must clear all
+        // three fields.
+        r.reset(5);
+        assert_eq!(r.spec_value(5), 0);
+        assert_eq!(r.value_ready(5), NOT_READY);
+        assert_eq!(r.wake_time(5), NOT_READY);
+    }
+
+    #[test]
+    fn seq_ring_wraparound_across_many_laps() {
+        // Long streamed runs lap the ring many times; each lap's tenant
+        // must be isolated by its rename-time reset alone.
+        let mut r = SeqRing::new(4, 1);
+        let cap = r.slots.len() as u64;
+        for lap in 0..5u64 {
+            let seq = 3 + lap * cap; // same slot every lap
+            r.reset(seq);
+            assert_eq!(r.spec_value(seq), 0, "lap {lap} starts clean");
+            r.set_spec_value(seq, lap + 1);
+            r.set_value_ready(seq, 10 * (lap + 1));
+            assert_eq!(r.spec_value(seq), lap + 1);
+            assert_eq!(r.value_ready(seq), 10 * (lap + 1));
+        }
+    }
+
+    #[test]
     fn seq_ring_isolates_distant_sequences() {
         let mut r = SeqRing::new(4, 1);
-        let cap = r.cap as u64;
+        let cap = r.slots.len() as u64;
         r.reset(3);
         r.set_spec_value(3, 77);
         r.set_value_ready(3, 10);

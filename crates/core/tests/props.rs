@@ -5,7 +5,7 @@
 //! are active in test builds).
 
 use proptest::prelude::*;
-use sqip_core::{Processor, SimConfig, SqDesign, StepOutcome};
+use sqip_core::{Engine, OrderingMode, Processor, SimConfig, SqDesign, StepOutcome};
 use sqip_isa::{trace_program, Program, ProgramBuilder, ProgramSource, Reg, Trace};
 use sqip_types::{Addr, DataSize};
 
@@ -86,6 +86,81 @@ fn build_program(body: &[Stmt], iters: i64) -> Program {
     b.branch_nz(ctr, top);
     b.halt();
     b.build().unwrap()
+}
+
+/// Random machine-geometry knobs for the engine-differential properties.
+/// Kept structurally valid by construction (`SimConfig::try_validate`
+/// cross-checks are re-asserted in the tests): the DDP distance bound
+/// tracks the SQ size, and widths stay non-zero.
+#[derive(Debug, Clone, Copy)]
+struct ConfigKnobs {
+    rob_size: usize,
+    iq_size: usize,
+    lq_size: usize,
+    sq_size: usize,
+    fetch_width: usize,
+    rename_width: usize,
+    commit_width: usize,
+    front_latency: u64,
+    /// Zero exercises events scheduled "in the past" (wheel clamping).
+    issue_to_exec: u64,
+    post_exec_depth: u64,
+    reexec_ports: usize,
+    ssn_bits: u32,
+    /// Ranges across the event wheel's 512-cycle span so the overflow
+    /// heap (far-event migration) is exercised end-to-end.
+    memory_latency: u64,
+}
+
+impl ConfigKnobs {
+    fn apply(self, mut cfg: SimConfig) -> SimConfig {
+        cfg.rob_size = self.rob_size;
+        cfg.iq_size = self.iq_size;
+        cfg.lq_size = self.lq_size;
+        cfg.sq_size = self.sq_size;
+        cfg.ddp.max_distance = self.sq_size as u64;
+        cfg.fetch_width = self.fetch_width;
+        cfg.rename_width = self.rename_width;
+        cfg.commit_width = self.commit_width;
+        cfg.front_latency = self.front_latency;
+        cfg.issue_to_exec = self.issue_to_exec;
+        cfg.post_exec_depth = self.post_exec_depth;
+        cfg.reexec_ports = self.reexec_ports;
+        cfg.ssn_bits = self.ssn_bits;
+        cfg.hierarchy.memory_latency = self.memory_latency;
+        cfg
+    }
+}
+
+fn config_knobs_strategy() -> impl Strategy<Value = ConfigKnobs> {
+    (
+        (8usize..64, 8usize..64, 8usize..32, 8usize..32),
+        (1usize..8, 1usize..8, 1usize..8),
+        (0u64..8, 0u64..6, 0u64..6, 1usize..3, 8u32..12),
+        100u64..1000,
+    )
+        .prop_map(
+            |(
+                (rob_size, iq_size, lq_size, sq_size),
+                (fetch_width, rename_width, commit_width),
+                (front_latency, issue_to_exec, post_exec_depth, reexec_ports, ssn_bits),
+                memory_latency,
+            )| ConfigKnobs {
+                rob_size,
+                iq_size,
+                lq_size,
+                sq_size,
+                fetch_width,
+                rename_width,
+                commit_width,
+                front_latency,
+                issue_to_exec,
+                post_exec_depth,
+                reexec_ports,
+                ssn_bits,
+                memory_latency,
+            },
+        )
 }
 
 /// Runs `trace` under `design` to completion and captures the committed
@@ -173,6 +248,77 @@ proptest! {
             let source = ProgramSource::new(program.clone(), 1_000_000);
             let streamed = Processor::from_source(cfg, source).run();
             prop_assert_eq!(&streamed, &materialized, "{} diverges when streamed", design);
+        }
+    }
+
+    /// **The differential property pinning the event engine.** The
+    /// event-driven engine (ring slabs, event wheel, idle-cycle
+    /// skip-ahead) and the frozen per-cycle reference stepper are two
+    /// implementations of the same machine: on any random program, under
+    /// every builtin design (plus the registry extension) and a random
+    /// machine geometry, their `SimStats` must be **bit-identical** —
+    /// cycle counts included, skip-ahead notwithstanding.
+    #[test]
+    fn event_engine_matches_reference_engine_bit_for_bit(
+        body in proptest::collection::vec(stmt_strategy(), 4..28),
+        iters in 20i64..60,
+        knobs in config_knobs_strategy(),
+    ) {
+        let trace = build_trace(&body, iters);
+        let mut designs: Vec<SqDesign> = SqDesign::ALL.to_vec();
+        designs.push("indexed-5-fwd+dly".parse().expect("extension registered"));
+        for design in designs {
+            let cfg = knobs.apply(SimConfig::with_design(design));
+            cfg.try_validate().expect("generated config is valid");
+            let event = {
+                let mut c = cfg.clone();
+                c.engine = Engine::Event;
+                Processor::new(c, &trace).try_run().expect("event engine runs")
+            };
+            let reference = {
+                let mut c = cfg.clone();
+                c.engine = Engine::Reference;
+                Processor::new(c, &trace).try_run().expect("reference engine runs")
+            };
+            prop_assert_eq!(
+                &event, &reference,
+                "engines diverge under {} with {:?}", design, knobs
+            );
+        }
+    }
+
+    /// The same differential property under the LQ-CAM ordering scheme
+    /// (mid-window squashes instead of full flushes), for the
+    /// associative designs that support it.
+    #[test]
+    fn event_engine_matches_reference_engine_under_lq_cam(
+        body in proptest::collection::vec(stmt_strategy(), 4..28),
+        iters in 20i64..60,
+        knobs in config_knobs_strategy(),
+    ) {
+        let trace = build_trace(&body, iters);
+        for design in [
+            SqDesign::IdealOracle,
+            SqDesign::Associative3StoreSets,
+            SqDesign::Associative3,
+        ] {
+            let mut cfg = knobs.apply(SimConfig::with_design(design));
+            cfg.ordering = OrderingMode::LqCam;
+            cfg.try_validate().expect("generated config is valid");
+            let event = {
+                let mut c = cfg.clone();
+                c.engine = Engine::Event;
+                Processor::new(c, &trace).try_run().expect("event engine runs")
+            };
+            let reference = {
+                let mut c = cfg.clone();
+                c.engine = Engine::Reference;
+                Processor::new(c, &trace).try_run().expect("reference engine runs")
+            };
+            prop_assert_eq!(
+                &event, &reference,
+                "engines diverge under {}/cam with {:?}", design, knobs
+            );
         }
     }
 

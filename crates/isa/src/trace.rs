@@ -43,6 +43,26 @@ pub struct TraceRecord {
     pub next_pc: Pc,
 }
 
+impl Default for TraceRecord {
+    /// A neutral filler record (a no-op `Add` with no operands), used to
+    /// pre-size fixed record rings before any real record arrives.
+    fn default() -> TraceRecord {
+        TraceRecord {
+            seq: Seq(0),
+            pc: Pc::new(0),
+            op: Op::Add,
+            dst: None,
+            srcs: [None, None],
+            imm: 0,
+            addr: None,
+            size: DataSize::Quad,
+            result: 0,
+            taken: false,
+            next_pc: Pc::new(0),
+        }
+    }
+}
+
 impl TraceRecord {
     /// Whether this record is a load.
     #[must_use]

@@ -74,13 +74,9 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    valid: bool,
-    tag: u64,
-    /// Higher = more recently used.
-    lru: u64,
-}
+/// Tag value of an invalid line. Real tags are `line >> set_shift` of
+/// 64-bit addresses and cannot reach it.
+const INVALID_TAG: u64 = u64::MAX;
 
 /// A set-associative tag array with true-LRU replacement.
 ///
@@ -88,12 +84,23 @@ struct Line {
 /// [`MemImage`](crate::MemImage). `access` performs lookup-and-fill: a miss
 /// immediately installs the line (an atomic-fill simplification standard in
 /// trace-driven models).
+///
+/// Layout note: tags and LRU stamps live in two parallel arrays rather
+/// than an array of line structs, so the hit path — executed for every
+/// simulated memory access — scans one cache line of packed tags and
+/// touches the LRU array only on the hit way.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    lines: Vec<Line>,
+    tags: Vec<u64>,
+    lru: Vec<u64>,
     stats: CacheStats,
     tick: u64,
+    /// `sets - 1`; the power-of-two set count is asserted at
+    /// construction, so slicing is a mask + shift, not a division (the
+    /// cache is probed on every simulated memory access).
+    set_mask: u64,
+    set_shift: u32,
 }
 
 impl Cache {
@@ -118,9 +125,12 @@ impl Cache {
         );
         Cache {
             config,
-            lines: vec![Line::default(); sets * config.ways],
+            tags: vec![INVALID_TAG; sets * config.ways],
+            lru: vec![0; sets * config.ways],
             stats: CacheStats::default(),
             tick: 0,
+            set_mask: sets as u64 - 1,
+            set_shift: sets.trailing_zeros(),
         }
     }
 
@@ -141,22 +151,31 @@ impl Cache {
         self.tick += 1;
         let (set, tag) = self.slice(addr);
         let base = set * self.config.ways;
-        let ways = &mut self.lines[base..base + self.config.ways];
+        let ways = &self.tags[base..base + self.config.ways];
 
-        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.lru = self.tick;
+        if let Some(way) = ways.iter().position(|&t| t == tag) {
+            self.lru[base + way] = self.tick;
             self.stats.hits += 1;
             return true;
         }
 
-        // Miss: fill into the invalid or least-recently-used way.
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru } else { 0 })
-            .expect("at least one way");
-        victim.valid = true;
-        victim.tag = tag;
-        victim.lru = self.tick;
+        // Miss: fill into the invalid or least-recently-used way (first
+        // minimal way wins ties, matching the pre-split line scan).
+        let mut victim = 0;
+        let mut victim_key = u64::MAX;
+        for way in 0..self.config.ways {
+            let key = if self.tags[base + way] == INVALID_TAG {
+                0
+            } else {
+                self.lru[base + way]
+            };
+            if key < victim_key {
+                victim_key = key;
+                victim = way;
+            }
+        }
+        self.tags[base + victim] = tag;
+        self.lru[base + victim] = self.tick;
         self.stats.misses += 1;
         false
     }
@@ -166,23 +185,18 @@ impl Cache {
     pub fn probe(&self, addr: Addr) -> bool {
         let (set, tag) = self.slice(addr);
         let base = set * self.config.ways;
-        self.lines[base..base + self.config.ways]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        self.tags[base..base + self.config.ways].contains(&tag)
     }
 
     /// Invalidates everything (used at SSN wrap-around drains only if
     /// configured; caches normally survive pipeline flushes).
     pub fn invalidate_all(&mut self) {
-        for l in &mut self.lines {
-            l.valid = false;
-        }
+        self.tags.fill(INVALID_TAG);
     }
 
     fn slice(&self, addr: Addr) -> (usize, u64) {
         let line = addr.line(self.config.line_bytes as u64);
-        let sets = self.config.sets() as u64;
-        ((line % sets) as usize, line / sets)
+        ((line & self.set_mask) as usize, line >> self.set_shift)
     }
 }
 

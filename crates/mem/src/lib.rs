@@ -31,9 +31,11 @@
 mod cache;
 mod hierarchy;
 mod image;
+mod pagetable;
 mod tlb;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use hierarchy::{AccessOutcome, Hierarchy, HierarchyConfig, MemLevel};
 pub use image::MemImage;
+pub use pagetable::{PageTable, PAGE_ENTRIES};
 pub use tlb::{Tlb, TlbConfig};

@@ -1,0 +1,112 @@
+//! A generic sparse page table with a one-entry page cache — the shared
+//! mechanism behind [`MemImage`](crate::MemImage) and the simulator's
+//! streaming dependence oracle.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+
+/// Entries per page (4KB pages for byte-granular tables).
+pub const PAGE_ENTRIES: usize = 4096;
+
+/// A sparse array of `T` organised as [`PAGE_ENTRIES`]-entry pages
+/// allocated on first write.
+///
+/// Two properties make it fit the simulator's per-memory-access hot
+/// path:
+///
+/// * callers resolve a page **once per span** (via [`PageTable::page`] /
+///   [`PageTable::page_mut_or_alloc`]) and then index the returned
+///   array directly, instead of paying a map lookup per entry;
+/// * a one-entry most-recently-resolved cache short-circuits the hash
+///   lookup for the common case of repeated traffic to one page. Pages
+///   are never deallocated, so the cached slot stays valid for the
+///   table's lifetime. (`u64::MAX` is not a reachable page number —
+///   page numbers are addresses divided by the page size — so it
+///   doubles as the empty sentinel.)
+#[derive(Debug, Clone)]
+pub struct PageTable<T> {
+    /// The value unwritten entries read as (pages are born filled with
+    /// it).
+    empty: T,
+    /// Page number -> slot in `pages`.
+    index: HashMap<u64, u32>,
+    pages: Vec<Box<[T; PAGE_ENTRIES]>>,
+    /// Most recently resolved (page number, slot).
+    last: Cell<(u64, u32)>,
+}
+
+impl<T: Copy> PageTable<T> {
+    /// An empty table whose entries read as `empty`.
+    pub fn new(empty: T) -> PageTable<T> {
+        PageTable {
+            empty,
+            index: HashMap::new(),
+            pages: Vec::new(),
+            last: Cell::new((u64::MAX, 0)),
+        }
+    }
+
+    /// Number of pages that have been touched by writes.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The page `page_no`, if resident (reads never allocate).
+    #[inline]
+    #[must_use]
+    pub fn page(&self, page_no: u64) -> Option<&[T; PAGE_ENTRIES]> {
+        let (lp, li) = self.last.get();
+        if lp == page_no {
+            return Some(&self.pages[li as usize]);
+        }
+        let i = *self.index.get(&page_no)?;
+        self.last.set((page_no, i));
+        Some(&self.pages[i as usize])
+    }
+
+    /// The page `page_no`, allocated (filled with the empty value) on
+    /// first touch.
+    #[inline]
+    pub fn page_mut_or_alloc(&mut self, page_no: u64) -> &mut [T; PAGE_ENTRIES] {
+        let (lp, li) = self.last.get();
+        if lp == page_no {
+            return &mut self.pages[li as usize];
+        }
+        let next = self.pages.len() as u32;
+        let i = *self.index.entry(page_no).or_insert(next);
+        if i == next {
+            self.pages.push(Box::new([self.empty; PAGE_ENTRIES]));
+        }
+        self.last.set((page_no, i));
+        &mut self.pages[i as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_never_allocate_and_writes_do() {
+        let mut t: PageTable<u32> = PageTable::new(7);
+        assert!(t.page(3).is_none());
+        assert_eq!(t.resident_pages(), 0);
+        t.page_mut_or_alloc(3)[17] = 99;
+        assert_eq!(t.resident_pages(), 1);
+        assert_eq!(t.page(3).unwrap()[17], 99);
+        assert_eq!(t.page(3).unwrap()[18], 7, "untouched entries read empty");
+    }
+
+    #[test]
+    fn page_cache_survives_interleaving_and_growth() {
+        let mut t: PageTable<u8> = PageTable::new(0);
+        for p in 0..32u64 {
+            t.page_mut_or_alloc(p)[0] = p as u8;
+        }
+        for p in (0..32u64).rev() {
+            assert_eq!(t.page(p).unwrap()[0], p as u8);
+        }
+        assert_eq!(t.resident_pages(), 32);
+    }
+}

@@ -32,21 +32,26 @@ impl Default for TlbConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct TlbEntry {
-    valid: bool,
-    vpn: u64,
-    lru: u64,
-}
+/// VPN tag of an invalid entry (no 64-bit address shifts down to it).
+const INVALID_VPN: u64 = u64::MAX;
 
 /// A set-associative TLB that reports hit/miss; translation is identity in
 /// the flat simulated address space, so only timing is modelled.
+///
+/// Like [`Cache`](crate::Cache), tags (VPNs) and LRU stamps live in
+/// parallel arrays so the per-access hit scan touches one packed line.
 #[derive(Debug, Clone)]
 pub struct Tlb {
     config: TlbConfig,
-    entries: Vec<TlbEntry>,
+    vpns: Vec<u64>,
+    lru: Vec<u64>,
     stats: CacheStats,
     tick: u64,
+    /// Precomputed page shift and set mask (power-of-two geometry is
+    /// asserted at construction): translation happens on every simulated
+    /// memory access, so no division on that path.
+    page_shift: u32,
+    set_mask: u64,
 }
 
 impl Tlb {
@@ -70,9 +75,12 @@ impl Tlb {
         );
         Tlb {
             config,
-            entries: vec![TlbEntry::default(); config.entries],
+            vpns: vec![INVALID_VPN; config.entries],
+            lru: vec![0; config.entries],
             stats: CacheStats::default(),
             tick: 0,
+            page_shift: config.page_bytes.trailing_zeros(),
+            set_mask: sets as u64 - 1,
         }
     }
 
@@ -86,24 +94,31 @@ impl Tlb {
     /// `miss_latency` on a walk).
     pub fn translate(&mut self, addr: Addr) -> u64 {
         self.tick += 1;
-        let vpn = addr.0 / self.config.page_bytes;
-        let sets = (self.config.entries / self.config.ways) as u64;
-        let set = (vpn % sets) as usize;
+        let vpn = addr.0 >> self.page_shift;
+        let set = (vpn & self.set_mask) as usize;
         let base = set * self.config.ways;
-        let ways = &mut self.entries[base..base + self.config.ways];
+        let ways = &self.vpns[base..base + self.config.ways];
 
-        if let Some(e) = ways.iter_mut().find(|e| e.valid && e.vpn == vpn) {
-            e.lru = self.tick;
+        if let Some(way) = ways.iter().position(|&v| v == vpn) {
+            self.lru[base + way] = self.tick;
             self.stats.hits += 1;
             return 0;
         }
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|e| if e.valid { e.lru } else { 0 })
-            .expect("at least one way");
-        victim.valid = true;
-        victim.vpn = vpn;
-        victim.lru = self.tick;
+        let mut victim = 0;
+        let mut victim_key = u64::MAX;
+        for way in 0..self.config.ways {
+            let key = if self.vpns[base + way] == INVALID_VPN {
+                0
+            } else {
+                self.lru[base + way]
+            };
+            if key < victim_key {
+                victim_key = key;
+                victim = way;
+            }
+        }
+        self.vpns[base + victim] = vpn;
+        self.lru[base + victim] = self.tick;
         self.stats.misses += 1;
         self.config.miss_latency
     }

@@ -1,5 +1,7 @@
 //! The Store Alias Table (SAT), §3.2.
 
+use std::collections::VecDeque;
+
 use sqip_types::{Seq, Ssn};
 
 /// A checkpoint of the full SAT contents (the paper's SAT supports 4
@@ -35,7 +37,10 @@ pub struct SatCheckpoint {
 pub struct Sat {
     entries: Vec<Ssn>,
     /// Write log for flush repair: (sequence of writer, index, old value).
-    log: Vec<(Seq, usize, Ssn)>,
+    /// Kept in writer order (appends at rename, rollback pops the back),
+    /// so commit-time pruning is an O(1)-per-call front check rather than
+    /// a scan — `prune_log` runs for every retiring instruction.
+    log: VecDeque<(Seq, usize, Ssn)>,
 }
 
 impl Sat {
@@ -50,7 +55,7 @@ impl Sat {
         assert!(entries.is_power_of_two(), "SAT size must be a power of two");
         Sat {
             entries: vec![Ssn::NONE; entries],
-            log: Vec::new(),
+            log: VecDeque::new(),
         }
     }
 
@@ -70,7 +75,7 @@ impl Sat {
     /// fetch sequence recorded for flush repair).
     pub fn update(&mut self, partial_pc: u64, ssn: Ssn, writer: Seq) {
         let idx = self.index(partial_pc);
-        self.log.push((writer, idx, self.entries[idx]));
+        self.log.push_back((writer, idx, self.entries[idx]));
         self.entries[idx] = ssn;
     }
 
@@ -84,12 +89,12 @@ impl Sat {
     /// Undoes, youngest-first, every write made by instructions with
     /// sequence `>= squash_from` (mis-forwarding flush repair).
     pub fn rollback_younger(&mut self, squash_from: Seq) {
-        while let Some(&(seq, idx, old)) = self.log.last() {
+        while let Some(&(seq, idx, old)) = self.log.back() {
             if seq.is_older_than(squash_from) {
                 break;
             }
             self.entries[idx] = old;
-            self.log.pop();
+            self.log.pop_back();
         }
     }
 
@@ -97,8 +102,13 @@ impl Sat {
     /// writes can no longer be squashed. Call periodically (e.g. at commit)
     /// to keep the log bounded.
     pub fn prune_log(&mut self, committed: Seq) {
-        self.log
-            .retain(|(seq, _, _)| !seq.is_older_than(committed.next()));
+        while self
+            .log
+            .front()
+            .is_some_and(|(seq, _, _)| seq.is_older_than(committed.next()))
+        {
+            self.log.pop_front();
+        }
     }
 
     /// Takes a full-contents checkpoint.

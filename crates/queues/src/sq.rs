@@ -57,6 +57,11 @@ pub enum SqSearch {
 pub struct StoreQueue {
     entries: VecDeque<SqEntry>,
     capacity: usize,
+    /// In-flight stores whose address is still unknown. Maintained so the
+    /// per-load "any older store with an unknown address?" question — the
+    /// unfiltered re-execution trigger, asked on every load execution —
+    /// answers `false` in O(1) in the common all-executed case.
+    unexecuted: usize,
 }
 
 impl StoreQueue {
@@ -71,6 +76,7 @@ impl StoreQueue {
         StoreQueue {
             entries: VecDeque::with_capacity(capacity),
             capacity,
+            unexecuted: 0,
         }
     }
 
@@ -125,6 +131,7 @@ impl StoreQueue {
             span: None,
             data: 0,
         });
+        self.unexecuted += 1;
         Ok(())
     }
 
@@ -134,9 +141,18 @@ impl StoreQueue {
     ///
     /// Panics if `ssn` is not in flight.
     pub fn write(&mut self, ssn: Ssn, span: AddrSpan, data: u64) {
-        let e = self.entry_mut(ssn).expect("store not in flight");
-        e.span = Some(span);
-        e.data = data;
+        let first_write = {
+            let e = self.entry_mut(ssn).expect("store not in flight");
+            let first = e.span.is_none();
+            e.span = Some(span);
+            e.data = data;
+            first
+        };
+        // (Guarded so a re-executed store does not double-count.)
+        if first_write {
+            debug_assert!(self.unexecuted > 0);
+            self.unexecuted -= 1;
+        }
     }
 
     /// The in-flight entry named by `ssn`, if present.
@@ -170,7 +186,10 @@ impl StoreQueue {
     /// Removes all stores with `ssn >= from` (mis-forwarding flush).
     pub fn squash_from(&mut self, from: Ssn) {
         while self.entries.back().is_some_and(|e| e.ssn >= from) {
-            self.entries.pop_back();
+            let e = self.entries.pop_back().expect("back checked above");
+            if !e.is_executed() {
+                self.unexecuted -= 1;
+            }
         }
     }
 
@@ -232,9 +251,16 @@ impl StoreQueue {
     /// re-execution in the Cain–Lipasti scheme.
     #[must_use]
     pub fn has_unexecuted_older(&self, older_than: Ssn) -> bool {
+        if self.unexecuted == 0 {
+            return false; // O(1) fast path: everything has executed
+        }
+        // Age order means the first unexecuted entry carries the minimum
+        // unexecuted SSN; younger entries can only have larger SSNs, so
+        // the scan stops there.
         self.entries
             .iter()
-            .any(|e| e.ssn <= older_than && !e.is_executed())
+            .find(|e| !e.is_executed())
+            .is_some_and(|e| e.ssn <= older_than)
     }
 
     /// Iterates over in-flight stores, oldest first.
@@ -246,6 +272,7 @@ impl StoreQueue {
     /// have committed, which the drain protocol guarantees).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.unexecuted = 0;
     }
 
     fn entry_mut(&mut self, ssn: Ssn) -> Option<&mut SqEntry> {

@@ -86,8 +86,8 @@ pub use results::{geomean, ResultSet, RunRecord};
 // The simulator core: configs, stats, the resumable processor, its
 // observation hooks, and the open design-policy API.
 pub use sqip_core::{
-    BuiltinPolicy, DesignCaps, DesignRegistry, ForwardingPolicy, LoadCommitInfo, LoadRename,
-    ObserverAction, OracleBuilder, OracleFwd, OracleHint, OracleInfo, OrderingMode,
+    BuiltinPolicy, DesignCaps, DesignRegistry, Engine, ForwardingPolicy, LoadCommitInfo,
+    LoadRename, ObserverAction, OracleBuilder, OracleFwd, OracleHint, OracleInfo, OrderingMode,
     ParseDesignError, PipelineView, Processor, RegistryError, SimConfig, SimError, SimObserver,
     SimStats, SqDesign, SqProbe, StepOutcome,
 };

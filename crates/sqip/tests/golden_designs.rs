@@ -13,7 +13,9 @@
 //! ```
 
 use serde::{Deserialize, Serialize};
-use sqip::{by_name, simulate_with, OrderingMode, SimConfig, SimStats, SqDesign};
+use sqip::{
+    by_name, simulate_with, Engine, OrderingMode, Processor, SimConfig, SimStats, SqDesign,
+};
 
 const FIXTURE: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
@@ -62,6 +64,52 @@ fn current_cells() -> Vec<GoldenCell> {
         });
     }
     cells
+}
+
+/// The golden matrix again, but through the **reference engine** and
+/// through **streamed** (`TraceSource`) inputs: neither the engine choice
+/// nor the input path may move a single bit of any fixture cell. The
+/// fixture bytes themselves are unchanged since the pre-refactor enum
+/// dispatch — three generations of rework (policy objects, streaming
+/// inputs, the event engine) all pin to the same numbers.
+#[test]
+fn golden_matrix_is_engine_and_input_path_invariant() {
+    if std::env::var("SQIP_UPDATE_GOLDEN").is_ok() {
+        return; // regeneration handled by the fixture test below
+    }
+    let raw = std::fs::read_to_string(FIXTURE)
+        .expect("fixture exists (regenerate with SQIP_UPDATE_GOLDEN=1)");
+    let golden: Vec<GoldenCell> = serde_json::from_str(&raw).expect("fixture parses");
+    let mut idx = 0;
+    for (name, iters) in WORKLOADS {
+        let spec = by_name(name)
+            .expect("golden workload exists")
+            .with_iterations(iters);
+        for design in SqDesign::ALL {
+            let then = &golden[idx];
+            assert_eq!(then.cell, format!("{name}/{design}/svw"), "cell order");
+            idx += 1;
+
+            let mut cfg = SimConfig::with_design(design);
+            cfg.engine = Engine::Reference;
+            let reference = simulate_with(&spec, cfg).expect("reference cell simulates");
+            assert_eq!(
+                reference, then.stats,
+                "{}: reference engine diverged from the golden fixture",
+                then.cell
+            );
+
+            let source = spec.source().expect("golden workload streams");
+            let streamed = Processor::try_from_source(SimConfig::with_design(design), source)
+                .and_then(Processor::try_run)
+                .expect("streamed cell simulates");
+            assert_eq!(
+                streamed, then.stats,
+                "{}: streamed event-engine run diverged from the golden fixture",
+                then.cell
+            );
+        }
+    }
 }
 
 #[test]

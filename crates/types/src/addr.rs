@@ -41,7 +41,10 @@ impl Addr {
     #[must_use]
     pub fn line(self, line_bytes: u64) -> u64 {
         debug_assert!(line_bytes.is_power_of_two());
-        self.0 / line_bytes
+        // A shift, not a division: `line_bytes` is a runtime value (cache
+        // geometry), so the compiler cannot strength-reduce this itself,
+        // and it sits on the per-memory-access simulation path.
+        self.0 >> line_bytes.trailing_zeros()
     }
 
     /// The byte span `[self, self+size)` occupied by an access of `size`.
