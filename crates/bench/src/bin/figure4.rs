@@ -22,7 +22,7 @@
 //! Table 3 workloads × Figure 4's five designs.
 
 use sqip::{all_workloads, geomean, Experiment, ResultSet, SqDesign, Suite, Workload};
-use sqip_bench::{designs, workloads};
+use sqip_bench::{designs, sweep_flags, workloads};
 
 const BASELINE: SqDesign = SqDesign::IdealOracle;
 const DEFAULT_DESIGNS: [SqDesign; 5] = [
@@ -34,7 +34,8 @@ const DEFAULT_DESIGNS: [SqDesign; 5] = [
 ];
 
 fn main() -> Result<(), sqip::SqipError> {
-    let parsed = designs::parse_or_exit(std::env::args().skip(1), &DEFAULT_DESIGNS);
+    let (sweep, rest) = sweep_flags::parse_or_exit(std::env::args().skip(1));
+    let parsed = designs::parse_or_exit(rest, &DEFAULT_DESIGNS);
     let compared: Vec<SqDesign> = parsed
         .designs
         .into_iter()
@@ -71,11 +72,11 @@ fn main() -> Result<(), sqip::SqipError> {
         parsed.workloads
     };
 
-    let results = Experiment::new()
+    let experiment = Experiment::new()
         .workloads(selected)
         .design(BASELINE)
-        .designs(compared.iter().copied())
-        .run()?;
+        .designs(compared.iter().copied());
+    let results = sweep.run(&experiment)?;
 
     if json {
         println!("{}", results.to_json_pretty());

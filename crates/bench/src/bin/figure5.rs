@@ -21,11 +21,12 @@
 //! points via `--workload` (streamed in bounded memory).
 
 use sqip::{by_name, Experiment, ResultSet, SqDesign, Workload, FIGURE5_WORKLOADS};
-use sqip_bench::{designs, workloads};
+use sqip_bench::{designs, sweep_flags, workloads};
 use sqip_predictors::TrainRatio;
 
 fn main() -> Result<(), sqip::SqipError> {
-    let parsed = designs::parse_or_exit(std::env::args().skip(1), &[SqDesign::Indexed3FwdDly]);
+    let (sweep_args, rest) = sweep_flags::parse_or_exit(std::env::args().skip(1));
+    let parsed = designs::parse_or_exit(rest, &[SqDesign::Indexed3FwdDly]);
     let [swept]: [SqDesign; 1] = match parsed.designs.try_into() {
         Ok(one) => one,
         Err(_) => {
@@ -46,22 +47,24 @@ fn main() -> Result<(), sqip::SqipError> {
     };
 
     // Relative-time denominator: the ideal oracle baseline per workload.
-    let baselines = Experiment::new()
-        .workloads(roster.iter().cloned())
-        .design(SqDesign::IdealOracle)
-        .run()?;
+    let baselines = sweep_args.run(
+        &Experiment::new()
+            .workloads(roster.iter().cloned())
+            .design(SqDesign::IdealOracle),
+    )?;
 
     if all || which.iter().any(|a| a == "capacity") {
         println!("Figure 5 (top): FSP/DDP capacity sweep (2-way), relative runtime\n");
-        let sweep = [512usize, 1024, 2048, 4096, 8192]
-            .into_iter()
-            .fold(panel(&roster, swept), |e, cap| {
-                e.vary(format!("{cap}"), move |cfg| {
-                    cfg.fsp.entries = cap;
-                    cfg.ddp.entries = cap;
-                })
-            })
-            .run()?;
+        let sweep =
+            [512usize, 1024, 2048, 4096, 8192]
+                .into_iter()
+                .fold(panel(&roster, swept), |e, cap| {
+                    e.vary(format!("{cap}"), move |cfg| {
+                        cfg.fsp.entries = cap;
+                        cfg.ddp.entries = cap;
+                    })
+                });
+        let sweep = sweep_args.run(&sweep)?;
         print_panel(&sweep, &baselines);
     }
     if all || which.iter().any(|a| a == "associativity") {
@@ -70,22 +73,20 @@ fn main() -> Result<(), sqip::SqipError> {
             .into_iter()
             .fold(panel(&roster, swept), |e, ways| {
                 e.vary(format!("{ways}"), move |cfg| cfg.fsp.ways = ways)
-            })
-            .run()?;
+            });
+        let sweep = sweep_args.run(&sweep)?;
         print_panel(&sweep, &baselines);
     }
     if all || which.iter().any(|a| a == "ratio") {
         println!("\nFigure 5 (bottom): DDP training ratio sweep, relative runtime\n");
         let ratios = [(0u8, 1u8), (1, 1), (2, 1), (4, 1), (8, 1), (1, 0)];
-        let sweep = ratios
-            .into_iter()
-            .fold(panel(&roster, swept), |e, (p, n)| {
-                e.vary(format!("{p}:{n}"), move |cfg| {
-                    cfg.ddp.ratio = TrainRatio::new(p, n);
-                    cfg.ddp.threshold = p.max(1);
-                })
+        let sweep = ratios.into_iter().fold(panel(&roster, swept), |e, (p, n)| {
+            e.vary(format!("{p}:{n}"), move |cfg| {
+                cfg.ddp.ratio = TrainRatio::new(p, n);
+                cfg.ddp.threshold = p.max(1);
             })
-            .run()?;
+        });
+        let sweep = sweep_args.run(&sweep)?;
         print_panel(&sweep, &baselines);
     }
     Ok(())

@@ -1,25 +1,39 @@
 //! `perf` — the simulator's performance-regression harness.
 //!
-//! Runs a fixed matrix — 3 store-queue designs × 3 workloads (two
-//! materialized SPEC models and one *streamed* generator) — under **both**
-//! simulation engines, and reports per cell:
+//! Two sections:
 //!
-//! * simulated instructions per second (the headline number),
-//! * wall time (minimum over the timed iterations),
-//! * simulated cycles and instructions,
-//! * peak buffered trace records (the memory-boundedness observable).
+//! * **Per-cell matrix** — 3 store-queue designs × 3 workloads (two
+//!   materialized SPEC models and one *streamed* generator) under both
+//!   simulation engines: insts/sec, wall time (min-of-N), cycles, and
+//!   peak buffered records per cell.
+//! * **Sweep section** — the paper-shaped sweep: every registered design
+//!   over one streamed `mix` workload, run through the
+//!   [`sqip::SweepEngine`] in both modes. Per-cell mode re-runs the
+//!   generator and dependence oracle once per design; shared-pass mode
+//!   pulls the stream once and drives all cells in lock-step, so the
+//!   section also reports the shared-ring high-water mark and each
+//!   consumer's peak window/lag (the memory observables), alongside the
+//!   wall-clock speedup. Results are asserted bit-identical across
+//!   modes on every iteration.
 //!
-//! The JSON report (default `BENCH_PR4.json`) is the repo's perf
+//! The JSON report (default `BENCH_PR5.json`) is the repo's perf
 //! trajectory: each PR that touches the hot path appends a new
 //! `BENCH_<PR>.json` snapshot, so regressions are diffs, not folklore.
-//! The summary includes the event/reference speedup per workload; the
-//! `mix` generator row at the paper's default configuration is the
-//! number the engine rework is accountable for (≥ 3×).
+//!
+//! **Regression gate:** `--baseline <json>` compares this run's per-cell
+//! matrix against a committed report (PR4-schema or later): any matched
+//! (workload, design, engine) cell whose insts/sec drops more than the
+//! 15% noise floor fails the run (exit 1). `--baseline-ratios-only`
+//! restricts the comparison to the event/reference speedup *ratios*,
+//! which survive hardware changes — the mode CI uses, since absolute
+//! insts/sec only transfer between same-class machines.
 //!
 //! ```text
 //! cargo run --release -p sqip-bench --bin perf             # full matrix
 //! cargo run --release -p sqip-bench --bin perf -- --quick  # CI smoke
 //! cargo run --release -p sqip-bench --bin perf -- --out my.json
+//! cargo run --release -p sqip-bench --bin perf -- --quick \
+//!     --baseline BENCH_PR4.json --baseline-ratios-only
 //! ```
 //!
 //! `SQIP_BENCH_ITERS` controls the timed iterations per cell (default 3;
@@ -29,12 +43,20 @@
 
 use std::time::Instant;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use sqip::{
-    by_name, Engine, Processor, SimConfig, SimStats, SqDesign, StepOutcome, WorkloadRegistry,
+    by_name, DesignRegistry, Engine, Experiment, Processor, SimConfig, SimStats, SqDesign,
+    StepOutcome, SweepEngine, SweepMode, Workload, WorkloadRegistry,
 };
 use sqip_bench::geomean;
 use sqip_isa::Trace;
+
+/// Relative insts/sec drop tolerated before `--baseline` fails a cell.
+const NOISE_FLOOR: f64 = 0.15;
+
+/// Wider floor for event/reference *ratio* comparisons: a ratio divides
+/// two independently noisy measurements, roughly doubling the variance.
+const RATIO_FLOOR: f64 = 0.20;
 
 /// One (workload, design, engine) measurement.
 #[derive(Debug, Clone, Serialize)]
@@ -62,6 +84,40 @@ struct Speedup {
     speedup: f64,
 }
 
+/// The sweep section: every registered design over one streamed `mix`
+/// workload, per-cell vs shared-pass.
+#[derive(Debug, Clone, Serialize)]
+struct Sweep {
+    workload: String,
+    designs: Vec<String>,
+    /// Worker threads (1: the comparison is pure engine work).
+    threads: usize,
+    /// Committed instructions summed over every cell.
+    total_insts: u64,
+    /// Records the workload stream yields once.
+    stream_records: u64,
+    /// Upstream passes paid by each mode (the redundancy being removed).
+    per_cell_passes: u64,
+    shared_passes: u64,
+    /// Minimum wall seconds over the timed iterations, per mode.
+    per_cell_wall_s: f64,
+    shared_wall_s: f64,
+    /// Wall-clock ratio per-cell / shared (same binary, same iteration
+    /// count) — the honest like-for-like sweep speedup.
+    speedup: f64,
+    /// Aggregate throughput (total_insts / wall), per mode.
+    per_cell_insts_per_sec: f64,
+    shared_insts_per_sec: f64,
+    /// Shared-ring memory observables (reported separately from each
+    /// cell's own window peak, below).
+    ring_capacity: u64,
+    ring_high_water: u64,
+    /// Per cell: peak records in the cell's own commit→fetch window.
+    consumer_peak_buffered: Vec<u64>,
+    /// Per cell: peak lag behind the shared pull frontier.
+    consumer_peak_lag: Vec<u64>,
+}
+
 #[derive(Debug, Clone, Serialize)]
 struct Report {
     /// Report schema / provenance marker.
@@ -70,9 +126,36 @@ struct Report {
     iters: u32,
     cells: Vec<Cell>,
     speedups: Vec<Speedup>,
-    /// The acceptance headline: event/reference on the mix generator at
-    /// the paper's default configuration (geomean over the designs run).
+    /// The PR4 acceptance headline: event/reference on the mix generator
+    /// at the paper's default configuration (geomean over designs run).
     mix_speedup: f64,
+    /// The PR5 sweep section (always present: the bin aborts if the
+    /// sweep fails to build or run).
+    sweep: Sweep,
+}
+
+/// The subset of a committed report `--baseline` reads (works against
+/// PR4-schema reports and later).
+#[derive(Debug, Deserialize)]
+struct BaselineReport {
+    bench: String,
+    cells: Vec<BaselineCell>,
+    speedups: Vec<BaselineSpeedup>,
+}
+
+#[derive(Debug, Deserialize)]
+struct BaselineCell {
+    workload: String,
+    design: String,
+    engine: String,
+    insts_per_sec: f64,
+}
+
+#[derive(Debug, Deserialize)]
+struct BaselineSpeedup {
+    workload: String,
+    design: String,
+    speedup: f64,
 }
 
 fn timed_iters() -> u32 {
@@ -160,17 +243,172 @@ fn materialized(name: &str, iterations: u32) -> Input {
     Input::Materialized(format!("{name}@{iterations}"), trace)
 }
 
+/// Measures the sweep section: every registered design over one streamed
+/// workload, per-cell vs shared-pass, min wall over `iters`.
+fn measure_sweep(workload: &str, iters: u32) -> Sweep {
+    let designs: Vec<SqDesign> = DesignRegistry::global()
+        .names()
+        .iter()
+        .map(|n| n.parse().expect("registered design name parses"))
+        .collect();
+    let experiment = Experiment::new()
+        .workload(Workload::from_registry(workload).unwrap_or_else(|e| panic!("{e}")))
+        .designs(designs.iter().copied())
+        .threads(1);
+
+    let run = |mode: SweepMode| {
+        SweepEngine::new()
+            .threads(1)
+            .mode(mode)
+            .run_with_telemetry(&experiment)
+            .unwrap_or_else(|e| panic!("sweep ({mode:?}): {e}"))
+    };
+    // Warmup both modes and pin equality once up front.
+    let (shared_results, telemetry) = run(SweepMode::SharedPass);
+    let (per_cell_results, _) = run(SweepMode::PerCell);
+    assert_eq!(
+        shared_results, per_cell_results,
+        "sweep modes must be bit-identical"
+    );
+
+    let mut shared_wall = f64::INFINITY;
+    let mut per_cell_wall = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let (again, _) = run(SweepMode::SharedPass);
+        shared_wall = shared_wall.min(t.elapsed().as_secs_f64());
+        assert_eq!(again, shared_results, "non-deterministic shared sweep");
+        let t = Instant::now();
+        let (again, _) = run(SweepMode::PerCell);
+        per_cell_wall = per_cell_wall.min(t.elapsed().as_secs_f64());
+        assert_eq!(again, per_cell_results, "non-deterministic per-cell sweep");
+    }
+
+    let total_insts: u64 = shared_results.iter().map(|r| r.stats.committed).sum();
+    let group = telemetry
+        .groups
+        .first()
+        .expect("one workload, one shared group");
+    Sweep {
+        workload: workload.to_string(),
+        designs: designs.iter().map(|d| d.name().to_string()).collect(),
+        threads: 1,
+        total_insts,
+        stream_records: group.records_pulled,
+        per_cell_passes: designs.len() as u64,
+        shared_passes: 1,
+        per_cell_wall_s: per_cell_wall,
+        shared_wall_s: shared_wall,
+        speedup: per_cell_wall / shared_wall,
+        per_cell_insts_per_sec: total_insts as f64 / per_cell_wall,
+        shared_insts_per_sec: total_insts as f64 / shared_wall,
+        ring_capacity: group.ring_capacity,
+        ring_high_water: group.ring_high_water,
+        consumer_peak_buffered: group.peak_buffered.clone(),
+        consumer_peak_lag: group.peak_lag.clone(),
+    }
+}
+
+/// Applies the `--baseline` gate. Returns the number of failures.
+fn compare_baseline(report: &Report, path: &str, ratios_only: bool) -> usize {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("reading baseline {path}: {e}"));
+    let baseline: BaselineReport =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("parsing baseline {path}: {e}"));
+    println!("\nbaseline gate vs {path} ({}):", baseline.bench);
+    let mut failures = 0;
+    let mut matched = 0;
+
+    if !ratios_only {
+        for cell in &report.cells {
+            let Some(base) = baseline.cells.iter().find(|b| {
+                b.workload == cell.workload
+                    && b.design == cell.design.name()
+                    && b.engine == format!("{:?}", cell.engine)
+            }) else {
+                continue;
+            };
+            matched += 1;
+            let ratio = cell.insts_per_sec / base.insts_per_sec;
+            let ok = ratio >= 1.0 - NOISE_FLOOR;
+            if !ok {
+                failures += 1;
+            }
+            println!(
+                "  {} {}/{}/{:?}: {:.2}M/s vs {:.2}M/s ({:+.1}%)",
+                if ok { "ok  " } else { "FAIL" },
+                cell.workload,
+                cell.design,
+                cell.engine,
+                cell.insts_per_sec / 1e6,
+                base.insts_per_sec / 1e6,
+                (ratio - 1.0) * 100.0
+            );
+        }
+    }
+    // Event/reference ratios are hardware-portable: gate them always —
+    // on the *geomean* over matched cells, which averages out the
+    // per-cell jitter of the tiny `--quick` workloads (individual cells
+    // are printed for diagnosis but do not fail the gate alone).
+    let mut ratios = Vec::new();
+    for s in &report.speedups {
+        let Some(base) = baseline
+            .speedups
+            .iter()
+            .find(|b| b.workload == s.workload && b.design == s.design.name())
+        else {
+            continue;
+        };
+        matched += 1;
+        let ratio = s.speedup / base.speedup;
+        ratios.push(ratio);
+        println!(
+            "  {}/{} event/ref ratio: {:.2}x vs {:.2}x ({:+.1}%)",
+            s.workload,
+            s.design,
+            s.speedup,
+            base.speedup,
+            (ratio - 1.0) * 100.0
+        );
+    }
+    if !ratios.is_empty() {
+        let gm = geomean(ratios.iter().copied());
+        let ok = gm >= 1.0 - RATIO_FLOOR;
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "  {} event/ref ratio geomean over {} cells: {:+.1}%",
+            if ok { "ok  " } else { "FAIL" },
+            ratios.len(),
+            (gm - 1.0) * 100.0
+        );
+    }
+    assert!(
+        matched > 0,
+        "baseline {path} shares no (workload, design, engine) cells with this run"
+    );
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out = "BENCH_PR4.json".to_string();
+    let mut out = "BENCH_PR5.json".to_string();
     let mut quick = false;
+    let mut baseline: Option<String> = None;
+    let mut ratios_only = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--out" => out = it.next().expect("--out requires a path"),
+            "--baseline" => baseline = Some(it.next().expect("--baseline requires a path")),
+            "--baseline-ratios-only" => ratios_only = true,
             other => {
-                eprintln!("error: unknown flag `{other}` (expected --quick / --out <path>)");
+                eprintln!(
+                    "error: unknown flag `{other}` (expected --quick / --out <path> / \
+                     --baseline <json> / --baseline-ratios-only)"
+                );
                 std::process::exit(2);
             }
         }
@@ -241,14 +479,45 @@ fn main() {
     );
     println!("\nmix-generator event/reference speedup (geomean): {mix_speedup:.2}x");
 
+    // Sweep section: all registered designs, one streamed mix workload.
+    let sweep_workload = if quick {
+        "mix:0xbeef:50k"
+    } else {
+        "mix:0xbeef:2m"
+    };
+    let sweep = measure_sweep(sweep_workload, iters);
+    println!(
+        "sweep {} x {} designs: per-cell {:.2}s, shared-pass {:.2}s ({:.2}x; \
+         {} upstream pass instead of {}; ring high-water {} of {})",
+        sweep.workload,
+        sweep.designs.len(),
+        sweep.per_cell_wall_s,
+        sweep.shared_wall_s,
+        sweep.speedup,
+        sweep.shared_passes,
+        sweep.per_cell_passes,
+        sweep.ring_high_water,
+        sweep.ring_capacity,
+    );
+
     let report = Report {
-        bench: "sqip-perf/PR4".to_string(),
+        bench: "sqip-perf/PR5".to_string(),
         iters,
         cells,
         speedups,
         mix_speedup,
+        sweep,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, json + "\n").unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("report written to {out}");
+
+    if let Some(path) = baseline {
+        let failures = compare_baseline(&report, &path, ratios_only);
+        if failures > 0 {
+            eprintln!("error: {failures} comparison(s) regressed past the noise floor");
+            std::process::exit(1);
+        }
+        println!("baseline gate passed");
+    }
 }

@@ -20,12 +20,13 @@
 //! `--design` (given twice: first the raw design, then the delayed one).
 
 use sqip::{all_workloads, Experiment, RunRecord, SqDesign, Suite, Workload};
-use sqip_bench::{designs, workloads};
+use sqip_bench::{designs, sweep_flags, workloads};
 
 const DEFAULT_PAIR: [SqDesign; 2] = [SqDesign::Indexed3Fwd, SqDesign::Indexed3FwdDly];
 
 fn main() -> Result<(), sqip::SqipError> {
-    let parsed = designs::parse_or_exit(std::env::args().skip(1), &DEFAULT_PAIR);
+    let (sweep, rest) = sweep_flags::parse_or_exit(std::env::args().skip(1));
+    let parsed = designs::parse_or_exit(rest, &DEFAULT_PAIR);
     let [raw_design, dly_design]: [SqDesign; 2] = match parsed.designs.try_into() {
         Ok(pair) => pair,
         Err(_) => {
@@ -59,10 +60,10 @@ fn main() -> Result<(), sqip::SqipError> {
         parsed.workloads
     };
 
-    let results = Experiment::new()
+    let experiment = Experiment::new()
         .workloads(selected)
-        .designs([raw_design, dly_design])
-        .run()?;
+        .designs([raw_design, dly_design]);
+    let results = sweep.run(&experiment)?;
 
     if json {
         println!("{}", results.to_json_pretty());

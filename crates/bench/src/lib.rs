@@ -180,7 +180,7 @@ pub mod workloads {
         let registry = WorkloadRegistry::global();
         println!("registered workloads:");
         for name in registry.names() {
-            let entry = registry.lookup(&name).expect("listed name resolves");
+            let entry = registry.lookup(name).expect("listed name resolves");
             let suite = entry
                 .suite()
                 .map_or_else(|| "-".to_string(), |s| s.to_string());
@@ -204,6 +204,101 @@ pub mod workloads {
         match parse(args) {
             Ok(Some(parsed)) => parsed,
             Ok(None) => std::process::exit(0),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// Shared `--sweep-mode <shared|per-cell>` / `--threads <n>` handling for
+/// the figure and table regenerator binaries: every sweep they run goes
+/// through the [`sqip::SweepEngine`], so the execution strategy (one
+/// shared pass per workload group — the default — or one independent
+/// pass per cell) and the worker-thread count are command-line knobs.
+/// Results are bit-identical across modes and thread counts; the flags
+/// exist for benchmarking and for debugging one mode against the other.
+pub mod sweep_flags {
+    use sqip::{Experiment, ResultSet, SqipError, SweepEngine, SweepMode};
+
+    /// Parsed sweep-execution flags.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SweepArgs {
+        /// Worker threads (`None`: one per core).
+        pub threads: Option<usize>,
+        /// Execution mode (default: shared-pass).
+        pub mode: SweepMode,
+    }
+
+    impl SweepArgs {
+        /// Runs `experiment` under the selected mode and thread count.
+        ///
+        /// # Errors
+        ///
+        /// Propagates the experiment's first failure, in cell order.
+        pub fn run(&self, experiment: &Experiment) -> Result<ResultSet, SqipError> {
+            let mut engine = SweepEngine::new().mode(self.mode);
+            if let Some(threads) = self.threads {
+                engine = engine.threads(threads);
+            }
+            engine.run(experiment)
+        }
+    }
+
+    /// Extracts `--sweep-mode <shared|per-cell>` and `--threads <n>` from
+    /// `args`, returning the parsed knobs and the remaining arguments.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for a missing or unrecognized value.
+    pub fn parse(
+        args: impl IntoIterator<Item = String>,
+    ) -> Result<(SweepArgs, Vec<String>), String> {
+        let mut parsed = SweepArgs {
+            threads: None,
+            mode: SweepMode::SharedPass,
+        };
+        let mut rest = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--threads" => {
+                    let n = it
+                        .next()
+                        .ok_or_else(|| "--threads requires a count".to_string())?;
+                    parsed.threads = Some(
+                        n.parse::<usize>()
+                            .map_err(|_| format!("--threads: `{n}` is not a count"))?
+                            .max(1),
+                    );
+                }
+                "--sweep-mode" => {
+                    let mode = it.next().ok_or_else(|| {
+                        "--sweep-mode requires `shared` or `per-cell`".to_string()
+                    })?;
+                    parsed.mode = match mode.as_str() {
+                        "shared" | "shared-pass" => SweepMode::SharedPass,
+                        "per-cell" | "percell" => SweepMode::PerCell,
+                        other => {
+                            return Err(format!(
+                                "--sweep-mode: `{other}` is neither `shared` nor `per-cell`"
+                            ))
+                        }
+                    };
+                }
+                _ => rest.push(arg),
+            }
+        }
+        Ok((parsed, rest))
+    }
+
+    /// Unwraps a [`parse`] outcome for a `main()`: prints errors to
+    /// stderr and exits with code 2 on bad flags.
+    #[must_use]
+    pub fn parse_or_exit(args: impl IntoIterator<Item = String>) -> (SweepArgs, Vec<String>) {
+        match parse(args) {
+            Ok(parsed) => parsed,
             Err(msg) => {
                 eprintln!("error: {msg}");
                 std::process::exit(2);

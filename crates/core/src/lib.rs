@@ -62,6 +62,7 @@ mod observer;
 mod oracle;
 mod pipeline;
 pub mod policy;
+mod shared;
 mod stats;
 
 pub use config::{
@@ -71,6 +72,7 @@ pub use error::SimError;
 pub use observer::{ObserverAction, SimObserver};
 pub use oracle::{OracleBuilder, OracleFwd, OracleInfo};
 pub use pipeline::{EvKind, Processor, StepOutcome};
+pub use shared::{oracle_tap, OracleFeed, OracleTap};
 
 /// Building blocks of the event-driven engine, exposed for
 /// documentation, benchmarking and reuse.

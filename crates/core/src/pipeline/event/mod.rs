@@ -36,7 +36,8 @@ use crate::error::SimError;
 use crate::oracle::OracleBuilder;
 use crate::pipeline::window::{RecordWindow, SeqRing};
 use crate::pipeline::{StepOutcome, WATCHDOG_CYCLES};
-use crate::policy::{DesignCaps, DesignRegistry, ForwardingPolicy};
+use crate::policy::{DesignCaps, PolicyHost};
+use crate::shared::Analysis;
 use crate::stats::SimStats;
 
 pub(crate) use structs::{InstSlab, ReadySet, WaiterRing};
@@ -74,8 +75,9 @@ pub(crate) struct EventCore<'t> {
     /// Records between the commit point and the fetch frontier, with
     /// their oracle info (computed once at ingest).
     pub(crate) window: RecordWindow,
-    /// The streaming oracle pass feeding `window`.
-    oracle: OracleBuilder,
+    /// The dependence analysis feeding `window`: an owned incremental
+    /// oracle, or a shared sweep pass's feed.
+    analysis: Analysis,
     /// Exact total record count: the source's up-front hint, or measured
     /// at exhaustion.
     total_records: Option<u64>,
@@ -148,8 +150,9 @@ pub(crate) struct EventCore<'t> {
 
     // ---- design policy + design-independent branch prediction ----
     /// The store-queue design under test: predictor state + decisions at
-    /// the five pipeline touch-points.
-    pub(crate) policy: Box<dyn ForwardingPolicy>,
+    /// the five pipeline touch-points (statically dispatched for builtin
+    /// designs).
+    pub(crate) policy: PolicyHost,
     /// The policy's capabilities, cached at construction for hot paths.
     pub(crate) caps: DesignCaps,
     pub(crate) bp: BranchPredictor,
@@ -159,15 +162,21 @@ pub(crate) struct EventCore<'t> {
 
 impl<'t> EventCore<'t> {
     pub(crate) fn new_unchecked(cfg: SimConfig, source: impl TraceSource + 't) -> EventCore<'t> {
-        let policy = DesignRegistry::global()
-            .instantiate(cfg.design, &cfg)
-            .expect("design resolved during config validation");
+        EventCore::with_analysis(cfg, source, Analysis::Own(OracleBuilder::new()))
+    }
+
+    pub(crate) fn with_analysis(
+        cfg: SimConfig,
+        source: impl TraceSource + 't,
+        analysis: Analysis,
+    ) -> EventCore<'t> {
+        let policy = PolicyHost::instantiate(&cfg);
         let caps = policy.caps();
         EventCore {
             total_records: source.len_hint(),
             source: Box::new(source),
             window: RecordWindow::new(cfg.rob_size, cfg.fetch_width),
-            oracle: OracleBuilder::new(),
+            analysis,
             source_done: false,
             source_error: None,
             cycle: 0,
@@ -410,7 +419,7 @@ impl<'t> EventCore<'t> {
                     // Consumers own the numbering: records are sequential
                     // in pull order whatever the source put in `seq`.
                     rec.seq = Seq(self.window.end());
-                    let fwd = self.oracle.ingest(&rec);
+                    let fwd = self.analysis.fwd_for(&rec);
                     self.window.push(rec, fwd);
                 }
                 Ok(None) => {

@@ -36,6 +36,7 @@ use sqip_types::{Addr, DataSize};
 use crate::config::{Engine, SimConfig};
 use crate::error::SimError;
 use crate::observer::{ObserverAction, SimObserver};
+use crate::shared::{Analysis, OracleFeed};
 use crate::stats::SimStats;
 
 use event::EventCore;
@@ -198,6 +199,34 @@ impl<'t> Processor<'t> {
             Engine::Reference => Core::Reference(Box::new(RefCore::new_unchecked(cfg, source))),
         };
         Processor { core }
+    }
+
+    /// Builds a processor that reads a **shared** dependence-analysis
+    /// pass instead of running its own: `source` is typically a
+    /// [`sqip_isa::TeeCursor`] over a stream wrapped by
+    /// [`crate::oracle_tap`], and `feed` the matching [`OracleFeed`] —
+    /// the shared-pass sweep configuration, where one workload pass
+    /// drives many design cells. Statistics are bit-identical to a
+    /// per-cell run over the same stream.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] if the configuration is inconsistent
+    /// (see [`SimConfig::try_validate`]).
+    pub fn try_from_shared(
+        cfg: SimConfig,
+        source: impl TraceSource + 't,
+        feed: OracleFeed,
+    ) -> Result<Processor<'t>, SimError> {
+        cfg.try_validate()?;
+        let analysis = Analysis::Shared(feed);
+        let core = match cfg.engine {
+            Engine::Event => Core::Event(Box::new(EventCore::with_analysis(cfg, source, analysis))),
+            Engine::Reference => {
+                Core::Reference(Box::new(RefCore::with_analysis(cfg, source, analysis)))
+            }
+        };
+        Ok(Processor { core })
     }
 
     /// Whether the whole record stream has committed. Until the source is

@@ -31,9 +31,8 @@ use crate::error::SimError;
 use crate::oracle::OracleBuilder;
 use crate::pipeline::window::{RecordWindow, SeqRing};
 use crate::pipeline::{EvKind, StepOutcome, NOT_READY, WATCHDOG_CYCLES};
-use crate::policy::{
-    DesignCaps, DesignRegistry, ForwardingPolicy, LoadCommitInfo, OracleHint, PipelineView, SqProbe,
-};
+use crate::policy::{DesignCaps, LoadCommitInfo, OracleHint, PipelineView, PolicyHost, SqProbe};
+use crate::shared::Analysis;
 use crate::stats::SimStats;
 
 pub(crate) struct RefCore<'t> {
@@ -43,8 +42,9 @@ pub(crate) struct RefCore<'t> {
     /// Records between the commit point and the fetch frontier, with
     /// their oracle info (computed once at ingest).
     pub(crate) window: RecordWindow,
-    /// The streaming oracle pass feeding `window`.
-    oracle: OracleBuilder,
+    /// The dependence analysis feeding `window`: an owned incremental
+    /// oracle, or a shared sweep pass's feed.
+    analysis: Analysis,
     /// Exact total record count: the source's up-front hint, or measured
     /// at exhaustion.
     total_records: Option<u64>,
@@ -106,8 +106,9 @@ pub(crate) struct RefCore<'t> {
 
     // ---- design policy + design-independent branch prediction ----
     /// The store-queue design under test: predictor state + decisions at
-    /// the five pipeline touch-points.
-    pub(crate) policy: Box<dyn ForwardingPolicy>,
+    /// the five pipeline touch-points (statically dispatched for builtin
+    /// designs).
+    pub(crate) policy: PolicyHost,
     /// The policy's capabilities, cached at construction for hot paths.
     pub(crate) caps: DesignCaps,
     pub(crate) bp: BranchPredictor,
@@ -117,15 +118,21 @@ pub(crate) struct RefCore<'t> {
 
 impl<'t> RefCore<'t> {
     pub(crate) fn new_unchecked(cfg: SimConfig, source: impl TraceSource + 't) -> RefCore<'t> {
-        let policy = DesignRegistry::global()
-            .instantiate(cfg.design, &cfg)
-            .expect("design resolved during config validation");
+        RefCore::with_analysis(cfg, source, Analysis::Own(OracleBuilder::new()))
+    }
+
+    pub(crate) fn with_analysis(
+        cfg: SimConfig,
+        source: impl TraceSource + 't,
+        analysis: Analysis,
+    ) -> RefCore<'t> {
+        let policy = PolicyHost::instantiate(&cfg);
         let caps = policy.caps();
         RefCore {
             total_records: source.len_hint(),
             source: Box::new(source),
             window: RecordWindow::new(cfg.rob_size, cfg.fetch_width),
-            oracle: OracleBuilder::new(),
+            analysis,
             source_done: false,
             source_error: None,
             cycle: 0,
@@ -308,7 +315,7 @@ impl<'t> RefCore<'t> {
                     // Consumers own the numbering: records are sequential
                     // in pull order whatever the source put in `seq`.
                     rec.seq = Seq(self.window.end());
-                    let fwd = self.oracle.ingest(&rec);
+                    let fwd = self.analysis.fwd_for(&rec);
                     self.window.push(rec, fwd);
                 }
                 Ok(None) => {

@@ -401,3 +401,133 @@ pub trait ForwardingPolicy: Send + std::fmt::Debug {
     /// drained and every SSN-holding structure must clear.
     fn on_ssn_wrap(&mut self) {}
 }
+
+/// The engines' policy handle: **statically dispatched** to the builtin
+/// machinery when the design was registered through
+/// [`DesignRegistry::register_builtin`] (every figure-sweep design — the
+/// hot path, where the per-memory-op virtual calls and their lost
+/// inlining are measurable), and dynamically to the registered factory's
+/// [`ForwardingPolicy`] otherwise. The two arms behave identically; the
+/// enum only recovers the concrete type the registry's `Box<dyn>` erases.
+pub(crate) enum PolicyHost {
+    /// A builtin-capability design, dispatched without a vtable.
+    Builtin(Box<BuiltinPolicy>),
+    /// A custom registered policy, dispatched through the trait object.
+    Custom(Box<dyn ForwardingPolicy>),
+}
+
+macro_rules! host_dispatch {
+    ($self:ident, $p:ident => $call:expr) => {
+        match $self {
+            PolicyHost::Builtin($p) => $call,
+            PolicyHost::Custom($p) => $call,
+        }
+    };
+}
+
+impl PolicyHost {
+    /// Builds the policy for `cfg.design`, recovering static dispatch for
+    /// builtin-capability designs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the design is unregistered (callers validate the
+    /// configuration first, which resolves the design).
+    pub(crate) fn instantiate(cfg: &crate::config::SimConfig) -> PolicyHost {
+        let registry = DesignRegistry::global();
+        if let Some(caps) = registry.builtin_caps(cfg.design) {
+            PolicyHost::Builtin(Box::new(BuiltinPolicy::new(caps, cfg)))
+        } else {
+            PolicyHost::Custom(
+                registry
+                    .instantiate(cfg.design, cfg)
+                    .expect("design resolved during config validation"),
+            )
+        }
+    }
+
+    #[inline]
+    pub(crate) fn caps(&self) -> DesignCaps {
+        host_dispatch!(self, p => p.caps())
+    }
+
+    #[inline]
+    pub(crate) fn rename_store(
+        &mut self,
+        pc: Pc,
+        ssn: Ssn,
+        seq: Seq,
+        view: &PipelineView<'_>,
+    ) -> Option<Ssn> {
+        host_dispatch!(self, p => p.rename_store(pc, ssn, seq, view))
+    }
+
+    #[inline]
+    pub(crate) fn rename_load(
+        &mut self,
+        pc: Pc,
+        path: u64,
+        oracle: Option<OracleHint>,
+        view: &PipelineView<'_>,
+    ) -> LoadRename {
+        host_dispatch!(self, p => p.rename_load(pc, path, oracle, view))
+    }
+
+    #[inline]
+    pub(crate) fn wakeup_latency(&self, predicts_forward: bool, cache_latency: u64) -> u64 {
+        host_dispatch!(self, p => p.wakeup_latency(predicts_forward, cache_latency))
+    }
+
+    #[inline]
+    pub(crate) fn probe_sq(
+        &self,
+        sq: &StoreQueue,
+        prev_store_ssn: Ssn,
+        ssn_fwd: Ssn,
+        ssn_cmt: Ssn,
+        span: AddrSpan,
+        size: DataSize,
+    ) -> SqProbe {
+        host_dispatch!(self, p => p.probe_sq(sq, prev_store_ssn, ssn_fwd, ssn_cmt, span, size))
+    }
+
+    #[inline]
+    pub(crate) fn store_executed(&mut self, pc: Pc, ssn: Ssn) {
+        host_dispatch!(self, p => p.store_executed(pc, ssn));
+    }
+
+    #[inline]
+    pub(crate) fn cam_violation(&mut self, load_pc: Pc, store_pc: Pc) {
+        host_dispatch!(self, p => p.cam_violation(load_pc, store_pc));
+    }
+
+    #[inline]
+    pub(crate) fn svw_newest(&self, span: AddrSpan) -> Ssn {
+        host_dispatch!(self, p => p.svw_newest(span))
+    }
+
+    #[inline]
+    pub(crate) fn train_load_commit(&mut self, load: &LoadCommitInfo) {
+        host_dispatch!(self, p => p.train_load_commit(load));
+    }
+
+    #[inline]
+    pub(crate) fn store_committed(&mut self, pc: Pc, span: AddrSpan, ssn: Ssn) {
+        host_dispatch!(self, p => p.store_committed(pc, span, ssn));
+    }
+
+    #[inline]
+    pub(crate) fn on_retire(&mut self, seq: Seq) {
+        host_dispatch!(self, p => p.on_retire(seq));
+    }
+
+    #[inline]
+    pub(crate) fn on_flush(&mut self, from: Seq) {
+        host_dispatch!(self, p => p.on_flush(from));
+    }
+
+    #[inline]
+    pub(crate) fn on_ssn_wrap(&mut self) {
+        host_dispatch!(self, p => p.on_ssn_wrap());
+    }
+}

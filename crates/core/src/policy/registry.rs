@@ -13,6 +13,9 @@ struct Entry {
     design: SqDesign,
     caps: DesignCaps,
     factory: PolicyFactory,
+    /// `Some` iff registered through [`DesignRegistry::register_builtin`]
+    /// — lets the engines dispatch the builtin machinery statically.
+    builtin_caps: Option<DesignCaps>,
 }
 
 /// A failure registering or resolving a design.
@@ -115,6 +118,16 @@ impl DesignRegistry {
         caps: DesignCaps,
         factory: impl Fn(&SimConfig) -> Box<dyn ForwardingPolicy> + Send + Sync + 'static,
     ) -> Result<SqDesign, RegistryError> {
+        self.register_inner(name, caps, factory, None)
+    }
+
+    fn register_inner(
+        &self,
+        name: &str,
+        caps: DesignCaps,
+        factory: impl Fn(&SimConfig) -> Box<dyn ForwardingPolicy> + Send + Sync + 'static,
+        builtin_caps: Option<DesignCaps>,
+    ) -> Result<SqDesign, RegistryError> {
         if crate::config::LEGACY_ALIASES
             .iter()
             .any(|(alias, _)| *alias == name)
@@ -135,6 +148,7 @@ impl DesignRegistry {
                 design,
                 caps,
                 factory: Arc::new(factory),
+                builtin_caps,
             },
         );
         inner.order.push(interned);
@@ -155,9 +169,15 @@ impl DesignRegistry {
         name: &str,
         caps: DesignCaps,
     ) -> Result<SqDesign, RegistryError> {
-        self.register(name, caps, move |cfg| {
-            Box::new(BuiltinPolicy::new(caps, cfg))
-        })
+        // Registered in one lock acquisition, so a concurrent resolve can
+        // never observe the entry without its builtin marker (which would
+        // silently fall back to dynamic dispatch).
+        self.register_inner(
+            name,
+            caps,
+            move |cfg| Box::new(BuiltinPolicy::new(caps, cfg)),
+            Some(caps),
+        )
     }
 
     /// Resolves a design name.
@@ -172,6 +192,18 @@ impl DesignRegistry {
     pub fn caps(&self, design: SqDesign) -> Option<DesignCaps> {
         let inner = self.inner.read().expect("registry lock poisoned");
         inner.entries.get(design.name()).map(|e| e.caps)
+    }
+
+    /// The capability descriptor of a design registered through
+    /// [`DesignRegistry::register_builtin`]; `None` for custom policies.
+    /// Engines use this to recover static dispatch onto the builtin
+    /// machinery.
+    pub(crate) fn builtin_caps(&self, design: SqDesign) -> Option<DesignCaps> {
+        let inner = self.inner.read().expect("registry lock poisoned");
+        inner
+            .entries
+            .get(design.name())
+            .and_then(|e| e.builtin_caps)
     }
 
     /// Builds a fresh policy instance for one simulation run.

@@ -49,6 +49,7 @@ mod op;
 mod program;
 mod reg;
 mod source;
+mod tee;
 mod trace;
 pub mod tracefile;
 
@@ -59,5 +60,6 @@ pub use op::{Op, OpClass};
 pub use program::{Label, Program, ProgramBuilder};
 pub use reg::{Reg, NUM_REGS};
 pub use source::{ProgramSource, TraceCursor, TraceSource};
+pub use tee::{TeeCursor, TeePoll, TraceTee};
 pub use trace::{trace_program, trace_program_with_state, Trace, TraceRecord};
 pub use tracefile::{record_trace, TraceReader, TraceWriter};

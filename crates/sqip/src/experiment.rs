@@ -100,7 +100,7 @@ impl Workload {
 
     /// Builds (or shares) the golden trace, for workloads that
     /// materialize; `None` for streaming workloads.
-    fn trace(&self) -> Option<Result<Arc<Trace>, SqipError>> {
+    pub(crate) fn trace(&self) -> Option<Result<Arc<Trace>, SqipError>> {
         match self {
             Workload::Spec(spec) => {
                 Some(
@@ -429,58 +429,89 @@ impl Experiment {
         Ok(cells)
     }
 
-    /// Executes the sweep across the configured number of worker threads
-    /// and collects the results in cell order.
+    /// Executes the sweep and collects the results in cell order.
     ///
-    /// Each distinct workload is traced exactly once (in parallel), then
-    /// every cell simulates against the shared trace. Because the
-    /// simulator is deterministic and results are collected by cell index,
-    /// the returned [`ResultSet`] is bit-identical for any thread count.
+    /// Cells are grouped by workload and each group's record stream is
+    /// pulled **once**, driving all of the group's processors in
+    /// lock-step off the shared pass (see [`crate::SweepEngine`]); groups
+    /// are distributed over worker threads by a work-stealing queue.
+    /// Because the simulator is deterministic and results are collected
+    /// by cell index, the returned [`ResultSet`] is bit-identical for any
+    /// thread count — and bit-identical to the per-cell path
+    /// ([`Experiment::run_per_cell`]), pinned by proptest.
+    ///
+    /// Experiments with an observer run per-cell (the observer watches
+    /// one cell's own run loop).
     ///
     /// # Errors
     ///
     /// The first workload or cell failure, in cell order.
     pub fn run(&self) -> Result<ResultSet, SqipError> {
-        self.run_on(self.threads.unwrap_or_else(default_threads))
+        crate::sweep::SweepEngine::new().run(self)
     }
 
-    /// Executes the sweep serially on the calling thread. Exists so tests
-    /// and debugging sessions can pin the execution mode explicitly;
-    /// results are identical to [`Experiment::run`].
+    /// Executes the sweep serially on the calling thread, one independent
+    /// pass per cell. Exists so tests and debugging sessions can pin the
+    /// execution mode explicitly; results are identical to
+    /// [`Experiment::run`].
     ///
     /// # Errors
     ///
     /// See [`Experiment::run`].
     pub fn run_serial(&self) -> Result<ResultSet, SqipError> {
-        self.run_on(1)
+        self.run_per_cell_on(1)
     }
 
-    fn run_on(&self, threads: usize) -> Result<ResultSet, SqipError> {
+    /// Executes every cell independently (its own stream, its own oracle
+    /// pass) across the configured worker threads — the pre-sweep-engine
+    /// behaviour, kept as the shared-pass path's differential baseline.
+    ///
+    /// # Errors
+    ///
+    /// See [`Experiment::run`].
+    pub fn run_per_cell(&self) -> Result<ResultSet, SqipError> {
+        self.run_per_cell_on(self.threads.unwrap_or_else(default_threads))
+    }
+
+    /// The observer factory, if one was installed.
+    pub(crate) fn observer_fn(&self) -> Option<&ObserverFn> {
+        self.observer.as_ref()
+    }
+
+    /// The experiment's own thread-count setting, if one was configured.
+    pub(crate) fn threads_setting(&self) -> Option<usize> {
+        self.threads
+    }
+
+    pub(crate) fn run_per_cell_on(&self, threads: usize) -> Result<ResultSet, SqipError> {
         let cells = self.cells()?;
 
         // Trace each distinct materializing workload once, in parallel.
         // Streaming workloads skip this: every cell opens its own source,
-        // so nothing trace-shaped is ever held for them.
-        let mut unique: Vec<&Workload> = Vec::new();
+        // so nothing trace-shaped is ever held for them. The cache is
+        // keyed by the workload's interned identity, so the per-cell
+        // dispatch below is a pointer-stable map probe with no `String`
+        // clones.
+        let mut unique: Vec<(&'static str, &Workload)> = Vec::new();
         for cell in &cells {
-            if !cell.workload.is_streaming()
-                && !unique.iter().any(|w| w.name() == cell.workload.name())
-            {
-                unique.push(&cell.workload);
+            let key = cell.workload.key();
+            if !cell.workload.is_streaming() && !unique.iter().any(|&(k, _)| std::ptr::eq(k, key)) {
+                unique.push((key, &cell.workload));
             }
         }
-        let traces: HashMap<String, Arc<Trace>> = parallel_map(&unique, threads, |_, w| {
-            w.trace()
-                .expect("only materializing workloads are pre-traced")
-                .map(|t| (w.name().to_string(), t))
-        })
-        .into_iter()
-        .collect::<Result<_, _>>()?;
+        let traces: HashMap<&'static str, Arc<Trace>> =
+            parallel_map(&unique, threads, |_, (key, w)| {
+                w.trace()
+                    .expect("only materializing workloads are pre-traced")
+                    .map(|t| (*key, t))
+            })
+            .into_iter()
+            .collect::<Result<_, _>>()?;
 
         // Execute every cell against the shared traces (or its stream).
         let observer = self.observer.as_ref();
         let outcomes = parallel_map(&cells, threads, |_, cell| {
-            let trace = traces.get(cell.workload.name()).map(Arc::as_ref);
+            let trace = traces.get(cell.workload.key()).map(Arc::as_ref);
             cell.execute(trace, observer)
         });
 

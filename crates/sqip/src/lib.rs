@@ -78,24 +78,27 @@ mod error;
 mod experiment;
 mod parallel;
 mod results;
+mod sweep;
 
 pub use error::SqipError;
 pub use experiment::{ConfigFn, Experiment, ObserverFn, Run, Workload, BASE_VARIANT};
 pub use results::{geomean, ResultSet, RunRecord};
+pub use sweep::{GroupTelemetry, SweepEngine, SweepMode, SweepTelemetry};
 
 // The simulator core: configs, stats, the resumable processor, its
 // observation hooks, and the open design-policy API.
 pub use sqip_core::{
-    BuiltinPolicy, DesignCaps, DesignRegistry, Engine, ForwardingPolicy, LoadCommitInfo,
-    LoadRename, ObserverAction, OracleBuilder, OracleFwd, OracleHint, OracleInfo, OrderingMode,
-    ParseDesignError, PipelineView, Processor, RegistryError, SimConfig, SimError, SimObserver,
-    SimStats, SqDesign, SqProbe, StepOutcome,
+    oracle_tap, BuiltinPolicy, DesignCaps, DesignRegistry, Engine, ForwardingPolicy,
+    LoadCommitInfo, LoadRename, ObserverAction, OracleBuilder, OracleFeed, OracleFwd, OracleHint,
+    OracleInfo, OracleTap, OrderingMode, ParseDesignError, PipelineView, Processor, RegistryError,
+    SimConfig, SimError, SimObserver, SimStats, SqDesign, SqProbe, StepOutcome,
 };
 // The streaming input axis: the trace-source trait and its built-in
 // producers (materialized-trace cursor, streaming program interpreter,
 // on-disk trace record/replay).
 pub use sqip_isa::{
-    record_trace, ProgramSource, TraceCursor, TraceReader, TraceSource, TraceWriter,
+    record_trace, ProgramSource, TeeCursor, TeePoll, TraceCursor, TraceReader, TraceSource,
+    TraceTee, TraceWriter,
 };
 // The workload roster and its open registry.
 pub use sqip_workloads::{

@@ -53,6 +53,88 @@ pub(crate) fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
+/// Applies `f` to every item using up to `threads` workers pulling from a
+/// **work-stealing queue**, returning results in input order.
+///
+/// Where [`parallel_map`] hands out items round-robin from one shared
+/// counter (fine for many small uniform cells), sweep *groups* are few
+/// and lopsided — one `mix:…:50m` group can outweigh ten SPEC-model
+/// groups. Each worker is seeded with a deque of items (dealt
+/// round-robin by index) and pops from its own back; an idle worker
+/// steals from the *front* of the busiest remaining deque, so big groups
+/// migrate to free cores instead of serializing behind whichever worker
+/// happened to draw them.
+///
+/// Output order is a pure function of input order (slot table indexed by
+/// input position), so results are bit-identical for any thread count —
+/// the same guarantee `parallel_map` gives.
+pub(crate) fn work_steal_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = threads.min(items.len());
+    // Deques hold item indices; stealing moves indices, never results.
+    let deques: Vec<Mutex<std::collections::VecDeque<usize>>> = (0..workers)
+        .map(|w| {
+            Mutex::new(
+                (0..items.len())
+                    .filter(|i| i % workers == w)
+                    .collect::<std::collections::VecDeque<usize>>(),
+            )
+        })
+        .collect();
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move || loop {
+                // Own work first (back of own deque)…
+                let mine = deques[w].lock().expect("deque poisoned").pop_back();
+                let i = match mine {
+                    Some(i) => i,
+                    None => {
+                        // …then steal from the front of the fullest deque,
+                        // retrying across victims (a racing thief may drain
+                        // the chosen one) until every deque is empty.
+                        let mut stolen = None;
+                        let mut victims: Vec<usize> = (0..workers).filter(|&v| v != w).collect();
+                        victims.sort_by_key(|&v| {
+                            std::cmp::Reverse(deques[v].lock().expect("deque poisoned").len())
+                        });
+                        for v in victims {
+                            if let Some(i) = deques[v].lock().expect("deque poisoned").pop_front() {
+                                stolen = Some(i);
+                                break;
+                            }
+                        }
+                        match stolen {
+                            Some(i) => i,
+                            None => break, // every deque is empty: done
+                        }
+                    }
+                };
+                let result = f(i, &items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot filled by a worker")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,404 @@
+//! The shared-pass sweep engine: trace each workload **once**, drive
+//! every design cell that wants it in lock-step off that single pass.
+//!
+//! [`Experiment::run`] used to hand every cell to a worker independently;
+//! a streamed cell then re-ran the generator/interpreter and re-built the
+//! dependence oracle from scratch, so an 8-design sweep paid the workload
+//! axis 8×. [`SweepEngine`] instead groups cells by workload and, per
+//! group:
+//!
+//! * opens the workload's record stream once, wrapped in a shared
+//!   dependence-analysis pass ([`sqip_core::oracle_tap`]),
+//! * tees it through a bounded ring ([`sqip_isa::TraceTee`]) to one
+//!   cursor per cell,
+//! * builds each cell's [`Processor`] over its cursor
+//!   ([`Processor::try_from_shared`]), and
+//! * round-robins [`Processor::step`] across the group in bounded
+//!   quanta, skipping any consumer about to outrun the ring window —
+//!   the slowest consumer is always eligible, so the group always makes
+//!   progress and the ring (not the workload length) bounds memory.
+//!
+//! Groups are distributed over worker threads by a work-stealing queue
+//! (groups are few and lopsided; see
+//! [`work_steal_map`](crate::parallel::work_steal_map)). Results are
+//! **bit-identical** to the per-cell path for any thread count — pinned
+//! by a proptest — because every cell still simulates the exact record
+//! stream and oracle info it would have computed for itself.
+
+use std::sync::Arc;
+
+use sqip_core::{oracle_tap, Processor, SimStats, StepOutcome};
+use sqip_isa::{IsaError, Trace, TraceSource, TraceTee};
+use sqip_workloads::intern_name;
+
+use crate::error::SqipError;
+use crate::experiment::{Experiment, Run, Workload};
+use crate::parallel::{default_threads, work_steal_map};
+use crate::results::{ResultSet, RunRecord};
+
+/// How [`SweepEngine`] executes a sweep's cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepMode {
+    /// One workload pass per group, consumers in lock-step (the default).
+    #[default]
+    SharedPass,
+    /// One independent pass per cell (the pre-sweep-engine behaviour;
+    /// kept as the differential baseline and observer fallback).
+    PerCell,
+}
+
+/// Shared-ring capacity in records. Bounds both the tee ring and the
+/// spread between the fastest and slowest consumer of a group; at ~72
+/// bytes a record this is ~300KB of shared buffer per in-flight group.
+const RING_CAPACITY: usize = 32768;
+
+/// Lock-step quantum: `step()` calls a consumer may take per turn before
+/// the scheduler rotates (large enough to amortize warming the cell's
+/// simulator state back into cache, small enough to keep the group in
+/// lock-step when one design is much slower than the rest).
+const QUANTUM: usize = 2048;
+
+/// Per-group telemetry from a shared pass (the sweep-mode half of the
+/// memory-boundedness story: the *shared ring's* high-water mark and each
+/// consumer's lag are reported separately from each cell's own
+/// [`Processor::buffered_records`] peak).
+#[derive(Debug, Clone)]
+pub struct GroupTelemetry {
+    /// The group's workload name.
+    pub workload: String,
+    /// Cell labels in group order.
+    pub cells: Vec<String>,
+    /// Records pulled from the upstream source (exactly once each).
+    pub records_pulled: u64,
+    /// The shared tee ring's capacity in records.
+    pub ring_capacity: u64,
+    /// Peak occupancy of the shared tee ring.
+    pub ring_high_water: u64,
+    /// Per cell: peak records buffered in the cell's own window
+    /// (commit point to fetch frontier — the PR 3 observable).
+    pub peak_buffered: Vec<u64>,
+    /// Per cell: peak lag behind the shared pull frontier, in records.
+    pub peak_lag: Vec<u64>,
+}
+
+/// Telemetry for a whole shared-pass sweep (empty under
+/// [`SweepMode::PerCell`] and for single-cell groups, which run the
+/// per-cell path).
+#[derive(Debug, Clone, Default)]
+pub struct SweepTelemetry {
+    /// One entry per multi-cell workload group.
+    pub groups: Vec<GroupTelemetry>,
+}
+
+/// Executes [`Experiment`]s with workload-grouped shared passes: one
+/// record pass and one dependence-analysis pass per workload, however
+/// many design cells consume it (see the module-level documentation).
+///
+/// # Example
+///
+/// ```
+/// use sqip::{Experiment, SqDesign, SweepEngine, SweepMode};
+///
+/// let experiment = Experiment::new()
+///     .workload(sqip::Workload::from_registry("mix:0xfeed:20k")?)
+///     .designs([SqDesign::IdealOracle, SqDesign::Indexed3FwdDly]);
+///
+/// // The generator runs once; both design cells consume the same pass.
+/// let shared = SweepEngine::new().run(&experiment)?;
+/// // Bit-identical to the per-cell path (pinned by proptest, shown here).
+/// let per_cell = SweepEngine::new().mode(SweepMode::PerCell).run(&experiment)?;
+/// assert_eq!(shared, per_cell);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SweepEngine {
+    threads: Option<usize>,
+    mode: SweepMode,
+}
+
+impl SweepEngine {
+    /// A shared-pass engine with one worker per available core.
+    #[must_use]
+    pub fn new() -> SweepEngine {
+        SweepEngine::default()
+    }
+
+    /// Caps the worker-thread count (`1` forces a serial run; results are
+    /// identical either way).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> SweepEngine {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Selects the execution mode.
+    #[must_use]
+    pub fn mode(mut self, mode: SweepMode) -> SweepEngine {
+        self.mode = mode;
+        self
+    }
+
+    /// Runs the experiment's sweep. See [`SweepEngine::run_with_telemetry`].
+    ///
+    /// # Errors
+    ///
+    /// The first workload or cell failure, in cell order.
+    pub fn run(&self, experiment: &Experiment) -> Result<ResultSet, SqipError> {
+        self.run_with_telemetry(experiment).map(|(set, _)| set)
+    }
+
+    /// Runs the experiment's sweep and returns the shared-pass telemetry
+    /// alongside the results.
+    ///
+    /// Experiments with an observer always take the per-cell path (an
+    /// observer watches one cell's own run loop, which a lock-step
+    /// scheduler would preempt).
+    ///
+    /// # Errors
+    ///
+    /// The first workload or cell failure, in cell order.
+    pub fn run_with_telemetry(
+        &self,
+        experiment: &Experiment,
+    ) -> Result<(ResultSet, SweepTelemetry), SqipError> {
+        // Engine-level threads win; otherwise the experiment's own
+        // setting; otherwise one worker per core.
+        let threads = self
+            .threads
+            .or_else(|| experiment.threads_setting())
+            .unwrap_or_else(default_threads);
+        if self.mode == SweepMode::PerCell || experiment.observer_fn().is_some() {
+            return experiment
+                .run_per_cell_on(threads)
+                .map(|set| (set, SweepTelemetry::default()));
+        }
+        let cells = experiment.cells()?;
+
+        // Group cell indices by workload identity (interned name), in
+        // first-appearance order; cell order within a group is cell
+        // order. Keying by name is sound because `Experiment::cells`
+        // rejects two distinct workloads under one name up front — every
+        // same-key cell provably shares one `Workload` definition.
+        let mut groups: Vec<(&'static str, Vec<usize>)> = Vec::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let key = cell.workload.key();
+            match groups.iter_mut().find(|(k, _)| std::ptr::eq(*k, key)) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((key, vec![i])),
+            }
+        }
+
+        // Work-stealing over workload groups: few items, lopsided sizes.
+        let outcomes = work_steal_map(&groups, threads, |_, (_, idxs)| run_group(&cells, idxs));
+
+        let mut slots: Vec<Option<Result<SimStats, SqipError>>> =
+            cells.iter().map(|_| None).collect();
+        let mut telemetry = SweepTelemetry::default();
+        for outcome in outcomes {
+            for (idx, result) in outcome.results {
+                slots[idx] = Some(result);
+            }
+            if let Some(group) = outcome.telemetry {
+                telemetry.groups.push(group);
+            }
+        }
+        // (`work_steal_map` returns outcomes in input order, so the
+        // telemetry groups are already in first-appearance order.)
+
+        let mut records = Vec::with_capacity(cells.len());
+        for (cell, slot) in cells.iter().zip(slots) {
+            let stats = slot.expect("every cell produced an outcome")?;
+            records.push(RunRecord {
+                workload: cell.workload.name().to_string(),
+                suite: cell.workload.suite(),
+                design: cell.design,
+                variant: cell.variant.clone(),
+                stats,
+            });
+        }
+        Ok((ResultSet::new(records), telemetry))
+    }
+}
+
+struct GroupOutcome {
+    results: Vec<(usize, Result<SimStats, SqipError>)>,
+    telemetry: Option<GroupTelemetry>,
+}
+
+/// Runs one workload group on the calling worker thread.
+fn run_group(cells: &[Run], idxs: &[usize]) -> GroupOutcome {
+    if let [only] = idxs {
+        // Single-cell groups take the plain per-cell path: a tee over one
+        // consumer is pure overhead.
+        return GroupOutcome {
+            results: vec![(*only, cells[*only].execute_standalone())],
+            telemetry: None,
+        };
+    }
+    let workload = &cells[idxs[0]].workload;
+
+    // Open the group's single upstream pass. A failure here is what every
+    // cell would have hit opening its own pass: report it per cell.
+    let fail_all = |source: IsaError| GroupOutcome {
+        results: idxs
+            .iter()
+            .map(|&i| {
+                (
+                    i,
+                    Err(SqipError::Workload {
+                        name: workload.name().to_string(),
+                        source: source.clone(),
+                    }),
+                )
+            })
+            .collect(),
+        telemetry: None,
+    };
+    // Materialized workloads trace once per group and stream from the
+    // trace; streaming workloads open their registered source.
+    let trace: Option<Arc<Trace>> = match workload.trace() {
+        None => None,
+        Some(Ok(trace)) => Some(trace),
+        Some(Err(SqipError::Workload { source, .. })) => return fail_all(source),
+        Some(Err(_)) => unreachable!("Workload::trace reports SqipError::Workload"),
+    };
+    let upstream: Box<dyn TraceSource + '_> = match (&trace, workload) {
+        (Some(trace), _) => Box::new(trace.stream()),
+        (None, Workload::Source(reg)) => match reg.open() {
+            Ok(source) => source,
+            Err(e) => return fail_all(e),
+        },
+        (None, _) => unreachable!("non-streaming workloads always materialize"),
+    };
+
+    drive_group(cells, idxs, workload, upstream)
+}
+
+/// The lock-step scheduler: one shared pass, one processor per cell,
+/// round-robin quanta bounded by the ring window.
+fn drive_group(
+    cells: &[Run],
+    idxs: &[usize],
+    workload: &Workload,
+    upstream: Box<dyn TraceSource + '_>,
+) -> GroupOutcome {
+    let n = idxs.len();
+    let (tap, feed) = oracle_tap(upstream, RING_CAPACITY);
+    let (tee, cursors) = TraceTee::new(tap, n, RING_CAPACITY);
+    let cap = tee.capacity() as u64;
+
+    let sim_err = |i: usize| {
+        let cell = cells[i].label();
+        move |source| SqipError::Sim {
+            cell: cell.clone(),
+            source,
+        }
+    };
+
+    let mut procs: Vec<Option<Processor<'_>>> = Vec::with_capacity(n);
+    let mut results: Vec<Option<Result<SimStats, SqipError>>> = (0..n).map(|_| None).collect();
+    for (cursor, &i) in cursors.into_iter().zip(idxs) {
+        match Processor::try_from_shared(cells[i].config.clone(), cursor, feed.clone()) {
+            Ok(p) => procs.push(Some(p)),
+            Err(e) => {
+                // Unreachable through `Experiment` (cells are validated up
+                // front), kept total for direct `SweepEngine` users.
+                results[procs.len()] = Some(Err(sim_err(i)(e)));
+                procs.push(None);
+            }
+        }
+    }
+
+    let fw: Vec<u64> = idxs
+        .iter()
+        .map(|&i| cells[i].config.fetch_width as u64)
+        .collect();
+    let mut peak_buffered = vec![0u64; n];
+    let mut peak_lag = vec![0u64; n];
+
+    loop {
+        let mut any_live = false;
+        let mut progressed = false;
+        for c in 0..n {
+            let Some(p) = procs[c].as_mut() else { continue };
+            any_live = true;
+            // A consumer still pulling may not run more than a ring ahead
+            // of the slowest; one that has drained the stream (the tee is
+            // done and it is at the frontier) holds no ring slots hostage
+            // and is always eligible.
+            let may_pull = !(tee.is_done() && tee.position(c) == tee.pulled());
+            if may_pull && tee.position(c) + fw[c] > tee.base() + cap {
+                continue;
+            }
+            progressed = true;
+            let mut outcome = None;
+            for _ in 0..QUANTUM {
+                match p.step() {
+                    Ok(StepOutcome::Running) => {
+                        peak_buffered[c] = peak_buffered[c].max(p.buffered_records() as u64);
+                        if may_pull && tee.position(c) + fw[c] > tee.base() + cap {
+                            break; // about to outrun the ring: rotate
+                        }
+                    }
+                    Ok(StepOutcome::Done) => {
+                        outcome = Some(Ok(p.stats().clone()));
+                        break;
+                    }
+                    Err(e) => {
+                        outcome = Some(Err(sim_err(idxs[c])(e)));
+                        break;
+                    }
+                }
+            }
+            peak_lag[c] = peak_lag[c].max(tee.pulled().saturating_sub(tee.position(c)));
+            if let Some(result) = outcome {
+                results[c] = Some(result);
+                // Dropping the processor drops its tee cursor, releasing
+                // its ring holds so the group never waits on a finished
+                // (or failed) cell.
+                procs[c] = None;
+            }
+        }
+        if !any_live {
+            break;
+        }
+        assert!(
+            progressed,
+            "lock-step sweep wedged: no consumer was eligible to run \
+             (scheduler invariant violation)"
+        );
+    }
+
+    let telemetry = GroupTelemetry {
+        workload: workload.name().to_string(),
+        cells: idxs.iter().map(|&i| cells[i].label()).collect(),
+        records_pulled: tee.pulled(),
+        ring_capacity: tee.capacity() as u64,
+        ring_high_water: tee.high_water() as u64,
+        peak_buffered,
+        peak_lag,
+    };
+    GroupOutcome {
+        results: idxs
+            .iter()
+            .zip(results)
+            .map(|(&i, r)| (i, r.expect("every live cell ran to an outcome")))
+            .collect(),
+        telemetry: Some(telemetry),
+    }
+}
+
+// `Workload::key` lives here to keep the interning dependency local to
+// the sweep path.
+impl Workload {
+    /// The workload's interned identity: sweep groups and trace caches
+    /// key on this (`'static`, pointer-stable) handle instead of cloning
+    /// name `String`s per cell.
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            Workload::Source(reg) => reg.name(),
+            other => intern_name(other.name()),
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Shared-pass sweep pinning: the [`SweepEngine`]'s lock-step shared
+//! pass must be **bit-identical** to the per-cell path — for random
+//! programs, every registered design, and any thread count — while
+//! pulling each workload's record stream exactly once.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sqip::{
+    oracle_tap, DesignRegistry, Experiment, OrderingMode, Processor, RegisteredWorkload, SimConfig,
+    SqDesign, SweepEngine, SweepMode, TraceSource, TraceTee, Workload,
+};
+use sqip_isa::{Program, ProgramBuilder, ProgramSource, Reg};
+use sqip_types::DataSize;
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    Alu(u8, u8, u8),
+    Mul(u8, u8, u8),
+    Store(u8, u16, u8),
+    Load(u8, u16, u8),
+    Fp(u8, u8),
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let reg = 1u8..20;
+    prop_oneof![
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(a, b, c)| Stmt::Alu(a, b, c)),
+        (reg.clone(), reg.clone(), reg.clone()).prop_map(|(a, b, c)| Stmt::Mul(a, b, c)),
+        (reg.clone(), 0u16..24, 0u8..4).prop_map(|(d, s, z)| Stmt::Store(d, s, z)),
+        (reg.clone(), 0u16..24, 0u8..4).prop_map(|(d, s, z)| Stmt::Load(d, s, z)),
+        (reg.clone(), reg).prop_map(|(a, b)| Stmt::Fp(a, b)),
+    ]
+}
+
+fn build_program(body: &[Stmt], iters: i64) -> Program {
+    let sizes = [
+        DataSize::Byte,
+        DataSize::Half,
+        DataSize::Word,
+        DataSize::Quad,
+    ];
+    let mut b = ProgramBuilder::new();
+    let ctr = Reg::new(62);
+    b.load_imm(ctr, iters);
+    for r in 1..20 {
+        b.load_imm(Reg::new(r), i64::from(r) * 77 + 1);
+    }
+    let top = b.label("top");
+    for s in body {
+        match *s {
+            Stmt::Alu(a, x, y) => {
+                b.xor(Reg::new(a), Reg::new(x), Reg::new(y));
+            }
+            Stmt::Mul(a, x, y) => {
+                b.mul(Reg::new(a), Reg::new(x), Reg::new(y));
+            }
+            Stmt::Store(d, slot, z) => {
+                b.store(
+                    sizes[z as usize],
+                    Reg::new(d),
+                    Reg::ZERO,
+                    0x400 + 8 * i64::from(slot),
+                );
+            }
+            Stmt::Load(d, slot, z) => {
+                b.load(
+                    sizes[z as usize],
+                    Reg::new(d),
+                    Reg::ZERO,
+                    0x400 + 8 * i64::from(slot),
+                );
+            }
+            Stmt::Fp(a, x) => {
+                b.fmul(Reg::new(a), Reg::new(a), Reg::new(x));
+            }
+        }
+    }
+    b.add_imm(ctr, ctr, -1);
+    b.branch_nz(ctr, top);
+    b.halt();
+    b.build().unwrap()
+}
+
+fn program_workload(name: &str, program: Program, budget: u64) -> Workload {
+    Workload::from(RegisteredWorkload::from_factory(
+        name,
+        "sweep-proptest program",
+        move || Ok(Box::new(ProgramSource::new(program.clone(), budget)) as Box<_>),
+    ))
+}
+
+fn all_designs() -> Vec<SqDesign> {
+    DesignRegistry::global()
+        .names()
+        .iter()
+        .map(|n| n.parse().expect("registered design name parses"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    /// The acceptance pin: shared-pass `ResultSet` ≡ per-cell `ResultSet`,
+    /// bit for bit, across random programs × every registered design (all
+    /// 8) × random thread counts — including the serialized bytes.
+    #[test]
+    fn shared_pass_sweep_is_bit_identical_to_per_cell(
+        body_a in proptest::collection::vec(stmt_strategy(), 1..14),
+        body_b in proptest::collection::vec(stmt_strategy(), 1..14),
+        iters in 3i64..40,
+        threads in 1usize..5,
+    ) {
+        let experiment = Experiment::new()
+            .workload(program_workload("sweep-prop-a", build_program(&body_a, iters), 1_000_000))
+            .workload(program_workload("sweep-prop-b", build_program(&body_b, iters), 1_000_000))
+            .designs(all_designs())
+            .threads(threads);
+
+        let per_cell = experiment.run_per_cell().expect("per-cell sweep runs");
+        let shared = SweepEngine::new()
+            .threads(threads)
+            .run(&experiment)
+            .expect("shared-pass sweep runs");
+        prop_assert_eq!(&shared, &per_cell, "stats diverge (threads={})", threads);
+        prop_assert_eq!(shared.to_json(), per_cell.to_json(), "serialized bytes diverge");
+
+        // And the default entry point (`Experiment::run`) is the shared
+        // path, also pinned.
+        let default_run = experiment.run().expect("default run");
+        prop_assert_eq!(&default_run, &per_cell);
+    }
+}
+
+/// A `TraceSource` that counts upstream pulls, so a test can prove the
+/// tee pulled the generator exactly once however consumers squash.
+struct CountingSource {
+    inner: ProgramSource,
+    pulls: Arc<AtomicU64>,
+}
+
+impl TraceSource for CountingSource {
+    fn next_record(&mut self) -> Result<Option<sqip_isa::TraceRecord>, sqip_isa::IsaError> {
+        let rec = self.inner.next_record()?;
+        if rec.is_some() {
+            self.pulls.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(rec)
+    }
+}
+
+/// A program whose stores are data-delayed behind a multiply chain while
+/// a younger load reads the same address: under the conventional LQ-CAM
+/// ordering the load executes early, the store's execution catches it,
+/// and the pipeline squashes from the load — which then **re-fetches**.
+fn squashy_program(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let (ctr, data, probe) = (Reg::new(60), Reg::new(1), Reg::new(2));
+    b.load_imm(ctr, iters);
+    b.load_imm(data, 3);
+    let top = b.label("top");
+    // Delay the store's data far past the load's issue.
+    for _ in 0..6 {
+        b.mul(data, data, data);
+    }
+    b.store(DataSize::Quad, data, Reg::ZERO, 0x100);
+    b.load(DataSize::Quad, probe, Reg::ZERO, 0x100);
+    b.add_imm(ctr, ctr, -1);
+    b.branch_nz(ctr, top);
+    b.halt();
+    b.build().unwrap()
+}
+
+/// Exactly-once delivery under squash/re-fetch: squashed consumers replay
+/// records out of their own windows, never re-pulling through the tee —
+/// the upstream pull count equals the stream length exactly, and the
+/// shared-pass stats still match a per-cell run of the same cell.
+#[test]
+fn squashing_consumers_do_not_repull_the_shared_stream() {
+    let budget = 100_000u64;
+    let mut cam = SimConfig::with_design(SqDesign::Associative3);
+    cam.ordering = OrderingMode::LqCam;
+    let cfgs = [cam.clone(), SimConfig::with_design(SqDesign::IdealOracle)];
+
+    // Reference: each cell on its own pass.
+    let solo: Vec<_> = cfgs
+        .iter()
+        .map(|cfg| {
+            Processor::try_from_source(cfg.clone(), ProgramSource::new(squashy_program(40), budget))
+                .unwrap()
+                .try_run()
+                .unwrap()
+        })
+        .collect();
+    assert!(solo[0].flushes > 0, "the CAM cell must actually squash");
+    let len = solo[0].committed;
+
+    // Shared pass over a counting upstream.
+    let pulls = Arc::new(AtomicU64::new(0));
+    let counting = CountingSource {
+        inner: ProgramSource::new(squashy_program(40), budget),
+        pulls: Arc::clone(&pulls),
+    };
+    let (tap, feed) = oracle_tap(counting, 512);
+    let (tee, cursors) = TraceTee::new(tap, 2, 512);
+    let mut procs: Vec<_> = cursors
+        .into_iter()
+        .zip(&cfgs)
+        .map(|(cursor, cfg)| {
+            Some(Processor::try_from_shared(cfg.clone(), cursor, feed.clone()).unwrap())
+        })
+        .collect();
+    // A deliberately tiny lock-step quantum, to interleave squashes with
+    // the other consumer's progress as unfavourably as possible.
+    let mut stats: [Option<sqip::SimStats>; 2] = [None, None];
+    while stats.iter().any(Option::is_none) {
+        for (i, slot) in procs.iter_mut().enumerate() {
+            let Some(p) = slot.as_mut() else { continue };
+            let may_pull = !(tee.is_done() && tee.position(i) == tee.pulled());
+            if may_pull && tee.position(i) + 8 > tee.base() + tee.capacity() as u64 {
+                continue;
+            }
+            for _ in 0..16 {
+                match p.step().expect("lock-step cell steps") {
+                    sqip::StepOutcome::Running => {}
+                    sqip::StepOutcome::Done => {
+                        stats[i] = Some(p.stats().clone());
+                        *slot = None;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    assert_eq!(stats[0].as_ref().unwrap(), &solo[0], "CAM cell diverged");
+    assert_eq!(stats[1].as_ref().unwrap(), &solo[1], "oracle cell diverged");
+    assert_eq!(
+        pulls.load(Ordering::Relaxed),
+        len,
+        "squash re-fetches must replay from consumer windows, not the tee"
+    );
+    assert_eq!(tee.pulled(), len);
+}
+
+/// Sweep telemetry reports the shared-ring high-water mark and per-cell
+/// buffering separately, and both stay within their structural bounds
+/// (the PR 3 memory-boundedness story, extended to shared passes).
+#[test]
+fn sweep_telemetry_reports_bounded_buffering() {
+    let experiment = Experiment::new()
+        .workload(Workload::from_registry("mix:0xabc:60k").unwrap())
+        .designs([
+            SqDesign::IdealOracle,
+            SqDesign::Associative3,
+            SqDesign::Indexed3FwdDly,
+        ])
+        .threads(1);
+    let (results, telemetry) = SweepEngine::new()
+        .threads(1)
+        .run_with_telemetry(&experiment)
+        .unwrap();
+    assert_eq!(results.len(), 3);
+    assert_eq!(telemetry.groups.len(), 1, "one workload, one group");
+    let group = &telemetry.groups[0];
+    assert_eq!(group.cells.len(), 3);
+    assert!(group.records_pulled > 0);
+    assert!(group.ring_high_water > 0);
+
+    // Each cell's own window obeys the PR 3 bound; the shared ring obeys
+    // its capacity. The two observables are reported separately.
+    let cfg = SimConfig::with_design(SqDesign::IdealOracle);
+    let window_bound = (cfg.rob_size + 5 * cfg.fetch_width + 64) as u64;
+    for (&peak, lag) in group.peak_buffered.iter().zip(&group.peak_lag) {
+        assert!(peak > 0 && peak <= window_bound, "peak {peak}");
+        assert!(*lag <= group.records_pulled);
+    }
+}
+
+/// Per-cell fallback: observers force the per-cell path (documented), and
+/// `SweepMode::PerCell` is available explicitly; both match the shared
+/// results.
+#[test]
+fn per_cell_mode_and_observer_fallback_match_shared_results() {
+    let experiment = Experiment::new()
+        .workload(Workload::from_registry("chase:128:64:20k").unwrap())
+        .designs([SqDesign::IdealOracle, SqDesign::Indexed3FwdDly])
+        .threads(2);
+    let shared = experiment.run().unwrap();
+    let per_cell = SweepEngine::new()
+        .mode(SweepMode::PerCell)
+        .threads(2)
+        .run(&experiment)
+        .unwrap();
+    assert_eq!(shared, per_cell);
+
+    struct Noop;
+    impl sqip::SimObserver for Noop {}
+    let observed = experiment
+        .clone()
+        .observe(|_| Box::new(Noop))
+        .run()
+        .unwrap();
+    assert_eq!(observed, shared);
+}

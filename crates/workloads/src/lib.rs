@@ -61,6 +61,8 @@ mod registry;
 mod spec;
 mod suite;
 
-pub use registry::{RegisteredWorkload, SourceFactory, WorkloadRegistry, WorkloadRegistryError};
+pub use registry::{
+    intern_name, RegisteredWorkload, SourceFactory, WorkloadRegistry, WorkloadRegistryError,
+};
 pub use spec::{Suite, WorkloadSpec};
 pub use suite::{all_workloads, by_name, mediabench, specfp, specint, FIGURE5_WORKLOADS};

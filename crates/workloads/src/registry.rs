@@ -12,8 +12,8 @@
 //! [`crate::generator`]) resolve on the fly, so the axis is open in both
 //! senses: register anything, or just *name* a point in generator space.
 
-use std::collections::HashMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use sqip_isa::{IsaError, TraceSource};
 
@@ -24,6 +24,29 @@ use crate::suite::all_workloads;
 /// A shareable trace-source constructor: one fresh stream per run.
 pub type SourceFactory =
     Arc<dyn Fn() -> Result<Box<dyn TraceSource + Send>, IsaError> + Send + Sync>;
+
+/// Interns a workload name, returning a `'static` handle that is pointer-
+/// and value-stable for the life of the process — the same scheme the
+/// design registry uses for `SqDesign` names. Two resolutions of the same
+/// name (registered entry or generator-grammar point) intern to the same
+/// handle, which is what lets a sweep engine group same-workload cells
+/// without string churn on the dispatch path. The pool is append-only and
+/// deduplicated, so the leak is bounded by the set of distinct names ever
+/// used.
+#[must_use]
+pub fn intern_name(name: &str) -> &'static str {
+    static POOL: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut pool = POOL
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("intern pool poisoned");
+    if let Some(&interned) = pool.get(name) {
+        return interned;
+    }
+    let interned: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    pool.insert(interned);
+    interned
+}
 
 /// A failure registering or resolving a workload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,7 +81,7 @@ impl std::error::Error for WorkloadRegistryError {}
 /// fresh record stream for each simulation run.
 #[derive(Clone)]
 pub struct RegisteredWorkload {
-    name: String,
+    name: &'static str,
     suite: Option<Suite>,
     description: String,
     factory: SourceFactory,
@@ -74,7 +97,7 @@ impl RegisteredWorkload {
             spec.target_forwarding_rate()
         );
         RegisteredWorkload {
-            name: spec.name.clone(),
+            name: intern_name(&spec.name),
             suite: Some(spec.suite),
             description,
             factory: Arc::new(move || {
@@ -93,17 +116,19 @@ impl RegisteredWorkload {
         factory: impl Fn() -> Result<Box<dyn TraceSource + Send>, IsaError> + Send + Sync + 'static,
     ) -> RegisteredWorkload {
         RegisteredWorkload {
-            name: name.into(),
+            name: intern_name(&name.into()),
             suite: None,
             description: description.into(),
             factory: Arc::new(factory),
         }
     }
 
-    /// The workload's name (its registry key and result-record label).
+    /// The workload's name (its registry key and result-record label),
+    /// interned for the life of the process — pointer-stable, so sweep
+    /// grouping and trace-cache keys need no per-cell `String` clones.
     #[must_use]
-    pub fn name(&self) -> &str {
-        &self.name
+    pub fn name(&self) -> &'static str {
+        self.name
     }
 
     /// The suite grouping, for workloads modelling a Table 3 row.
@@ -148,9 +173,9 @@ fn approx(n: u64) -> String {
 
 #[derive(Default)]
 struct Inner {
-    entries: HashMap<String, RegisteredWorkload>,
+    entries: HashMap<&'static str, RegisteredWorkload>,
     /// Registration order, for stable `names()` listings.
-    order: Vec<String>,
+    order: Vec<&'static str>,
 }
 
 /// The open roster of workloads (see the module docs).
@@ -236,14 +261,14 @@ impl WorkloadRegistry {
     ///
     /// [`WorkloadRegistryError::Duplicate`] if the name is taken.
     pub fn register(&self, workload: RegisteredWorkload) -> Result<String, WorkloadRegistryError> {
-        let name = workload.name.clone();
+        let name = workload.name;
         let mut inner = self.inner.write().expect("registry lock poisoned");
-        if inner.entries.contains_key(&name) {
-            return Err(WorkloadRegistryError::Duplicate(name));
+        if inner.entries.contains_key(name) {
+            return Err(WorkloadRegistryError::Duplicate(name.to_string()));
         }
-        inner.order.push(name.clone());
-        inner.entries.insert(name.clone(), workload);
-        Ok(name)
+        inner.order.push(name);
+        inner.entries.insert(name, workload);
+        Ok(name.to_string())
     }
 
     /// Registers a [`WorkloadSpec`] as a streaming workload under its own
@@ -283,7 +308,7 @@ impl WorkloadRegistry {
     /// All registered workload names, in registration order (the Table 3
     /// roster first).
     #[must_use]
-    pub fn names(&self) -> Vec<String> {
+    pub fn names(&self) -> Vec<&'static str> {
         let inner = self.inner.read().expect("registry lock poisoned");
         inner.order.clone()
     }
@@ -306,7 +331,7 @@ mod tests {
         let names = WorkloadRegistry::global().names();
         assert!(names.len() >= 47 + 4, "{} names", names.len());
         for expect in ["gzip", "mesa.t", "wupwise", "stream-10m"] {
-            assert!(names.iter().any(|n| n == expect), "missing `{expect}`");
+            assert!(names.contains(&expect), "missing `{expect}`");
         }
         let gzip = WorkloadRegistry::global().lookup("gzip").unwrap();
         assert_eq!(gzip.suite(), Some(Suite::Int));
