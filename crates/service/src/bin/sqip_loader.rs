@@ -1,0 +1,118 @@
+//! `sqip-loader` — the load-generation and SLO-verification harness for
+//! a running `sqipd` (see `sqip_service::loader` for the phases).
+//!
+//! ```text
+//! # CI soak: 8 clients, burst + repeatability phases, JSON artifact
+//! cargo run --release -p sqip-service --bin sqip-loader -- \
+//!     --addr 127.0.0.1:4771 --quick --out soak-report.json --shutdown
+//! ```
+//!
+//! Exits 0 when every SLO passes, 1 when any fails, 2 on usage errors.
+
+use sqip_service::{run_load, LoaderConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sqip-loader [--addr HOST:PORT] [--clients N] [--jobs N] [--seed N] \
+         [--max-insts N] [--p99-ms N] [--timeout-ms N] [--quick] [--burst|--no-burst] \
+         [--repeat] [--shutdown] [--out PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(value) = value else {
+        eprintln!("error: {flag} requires a value");
+        usage();
+    };
+    match value.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("error: invalid value `{value}` for {flag}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut cfg = LoaderConfig::default();
+    let mut out: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => cfg.addr = parse(&arg, it.next()),
+            "--clients" => cfg.clients = parse(&arg, it.next()),
+            "--jobs" => cfg.jobs_per_client = parse(&arg, it.next()),
+            "--seed" => cfg.seed = parse(&arg, it.next()),
+            "--max-insts" => cfg.max_insts = parse(&arg, it.next()),
+            "--p99-ms" => cfg.p99_ms = parse(&arg, it.next()),
+            "--timeout-ms" => cfg.timeout_ms = Some(parse(&arg, it.next())),
+            "--quick" => {
+                let addr = cfg.addr.clone();
+                cfg = LoaderConfig {
+                    shutdown_after: cfg.shutdown_after,
+                    ..LoaderConfig::quick(addr)
+                };
+            }
+            "--burst" => cfg.burst = true,
+            "--no-burst" => cfg.burst = false,
+            "--repeat" => cfg.repeat = true,
+            "--shutdown" => cfg.shutdown_after = true,
+            "--out" => out = Some(parse(&arg, it.next())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+
+    println!(
+        "sqip-loader: {} clients x {} jobs against {} (seed {:#x}, burst={}, repeat={})",
+        cfg.clients, cfg.jobs_per_client, cfg.addr, cfg.seed, cfg.burst, cfg.repeat
+    );
+    let report = match run_load(&cfg) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("error: load run failed: {err}");
+            std::process::exit(1);
+        }
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    match &out {
+        Some(path) => {
+            std::fs::write(path, json.clone() + "\n")
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("report written to {path}");
+        }
+        None => println!("{json}"),
+    }
+
+    println!(
+        "completed {}/{} jobs, {} rows, p99 {:.0} ms, {:.0} rows/s, digest {}{}",
+        report.jobs_completed,
+        report.clients * report.jobs_per_client,
+        report.rows_received,
+        report.latency.p99_ms,
+        report.rows_per_sec,
+        report.digest,
+        report
+            .repeat_digest
+            .as_ref()
+            .map_or_else(String::new, |d| format!(" (repeat {d})")),
+    );
+    if report.slo.pass {
+        println!("all SLOs passed");
+    } else {
+        eprintln!(
+            "SLO FAILURE: p99_ok={} rows_ok={} burst_ok={} repeat_ok={} queue_bounded_ok={}",
+            report.slo.p99_ok,
+            report.slo.rows_ok,
+            report.slo.burst_ok,
+            report.slo.repeat_ok,
+            report.slo.queue_bounded_ok
+        );
+        std::process::exit(1);
+    }
+}

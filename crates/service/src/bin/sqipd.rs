@@ -1,0 +1,77 @@
+//! `sqipd` — the sweep server.
+//!
+//! Binds a TCP listener and serves `sqip` experiment jobs over the
+//! JSON-lines protocol until a client sends a `shutdown` request (see
+//! `sqip_service::protocol`).
+//!
+//! ```text
+//! cargo run --release -p sqip-service --bin sqipd -- \
+//!     --addr 127.0.0.1:4771 --queue-cap 16 --workers 2
+//! ```
+
+use sqip_service::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sqipd [--addr HOST:PORT] [--queue-cap N] [--workers N] \
+         [--job-threads N] [--max-cells N] [--default-timeout-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    let Some(value) = value else {
+        eprintln!("error: {flag} requires a value");
+        usage();
+    };
+    match value.parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("error: invalid value `{value}` for {flag}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:4771".to_string();
+    let mut cfg = ServerConfig::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = parse(&arg, it.next()),
+            "--queue-cap" => cfg.queue_capacity = parse(&arg, it.next()),
+            "--workers" => cfg.workers = parse(&arg, it.next()),
+            "--job-threads" => cfg.threads_per_job = parse(&arg, it.next()),
+            "--max-cells" => cfg.max_cells_per_job = parse(&arg, it.next()),
+            "--default-timeout-ms" => cfg.default_timeout_ms = parse(&arg, it.next()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                usage();
+            }
+        }
+    }
+
+    let server = match Server::bind(&addr, cfg.clone()) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("error: cannot bind {addr}: {err}");
+            std::process::exit(1);
+        }
+    };
+    let bound = server
+        .local_addr()
+        .map_or_else(|_| addr.clone(), |a| a.to_string());
+    println!(
+        "sqipd listening on {bound} (workers={}, job-threads={}, queue-cap={}, \
+         max-cells={}, default-timeout-ms={})",
+        cfg.workers,
+        cfg.threads_per_job,
+        cfg.queue_capacity,
+        cfg.max_cells_per_job,
+        cfg.default_timeout_ms
+    );
+    server.run();
+    println!("sqipd: shutdown complete");
+}

@@ -1,0 +1,276 @@
+//! A bounded, client-fair job queue.
+//!
+//! [`FairQueue`] is the server's admission boundary: it holds at most
+//! `capacity` queued items **total** (the memory bound), refuses pushes
+//! beyond that with [`PushError::Full`] (the admission decision), and
+//! hands items to workers in **per-client round-robin** order — a client
+//! that floods the queue gets its jobs interleaved with everyone else's
+//! rather than starving them.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue already holds `capacity` items; admission control says
+    /// come back later.
+    Full {
+        /// The queue's capacity.
+        capacity: usize,
+    },
+    /// The queue was closed (server shutting down).
+    Closed,
+}
+
+impl fmt::Display for PushError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PushError::Full { capacity } => {
+                write!(f, "queue full ({capacity} jobs queued); retry later")
+            }
+            PushError::Closed => f.write_str("server is shutting down"),
+        }
+    }
+}
+
+struct QState<T> {
+    /// One FIFO per client, in registration order. The round-robin
+    /// cursor walks this vector.
+    clients: Vec<(u64, VecDeque<T>)>,
+    /// Index of the next client to serve.
+    rr: usize,
+    /// Total queued items across all clients.
+    len: usize,
+    /// Peak of `len` since construction.
+    high_water: usize,
+    closed: bool,
+}
+
+/// A bounded multi-producer blocking queue with per-client round-robin
+/// service order. See the module docs.
+pub struct FairQueue<T> {
+    state: Mutex<QState<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> fmt::Debug for FairQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FairQueue")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl<T> FairQueue<T> {
+    /// Creates a queue admitting at most `capacity` items in total.
+    /// A zero capacity is promoted to 1 (a queue that can never admit
+    /// anything is useless).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        FairQueue {
+            state: Mutex::new(QState {
+                clients: Vec::new(),
+                rr: 0,
+                len: 0,
+                high_water: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The admission bound.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items queued right now.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").len
+    }
+
+    /// Whether nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Peak occupancy since construction — structurally bounded by
+    /// [`capacity`](Self::capacity).
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.state.lock().expect("queue lock").high_water
+    }
+
+    /// Registers `client` with an empty FIFO so the round-robin cursor
+    /// knows about it before its first push (connection setup calls
+    /// this; [`push`](Self::push) also registers lazily). Idempotent.
+    pub fn register(&self, client: u64) {
+        let mut st = self.state.lock().expect("queue lock");
+        if !st.clients.iter().any(|(id, _)| *id == client) {
+            st.clients.push((client, VecDeque::new()));
+        }
+    }
+
+    /// Enqueues `item` for `client` (registering the client on first
+    /// use).
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] when the queue is at capacity,
+    /// [`PushError::Closed`] after [`close`](Self::close).
+    pub fn push(&self, client: u64, item: T) -> Result<(), PushError> {
+        let mut st = self.state.lock().expect("queue lock");
+        if st.closed {
+            return Err(PushError::Closed);
+        }
+        if st.len >= self.capacity {
+            return Err(PushError::Full {
+                capacity: self.capacity,
+            });
+        }
+        match st.clients.iter_mut().find(|(id, _)| *id == client) {
+            Some((_, fifo)) => fifo.push_back(item),
+            None => {
+                let mut fifo = VecDeque::new();
+                fifo.push_back(item);
+                st.clients.push((client, fifo));
+            }
+        }
+        st.len += 1;
+        st.high_water = st.high_water.max(st.len);
+        drop(st);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available and returns it, serving clients
+    /// round-robin: after serving client *i*, the next pop starts its
+    /// scan at client *i*+1. Returns `None` once the queue is closed
+    /// **and** drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if st.len > 0 {
+                let n = st.clients.len();
+                let start = if n == 0 { 0 } else { st.rr % n };
+                for off in 0..n {
+                    let at = (start + off) % n;
+                    if let Some(item) = st.clients[at].1.pop_front() {
+                        st.rr = (at + 1) % n;
+                        st.len -= 1;
+                        return Some(item);
+                    }
+                }
+                unreachable!("len > 0 but every client FIFO was empty");
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).expect("queue lock");
+        }
+    }
+
+    /// Removes `client` and returns its still-queued items (the caller
+    /// settles them — e.g. reports them cancelled). Idle clients
+    /// disappear without effect.
+    pub fn remove_client(&self, client: u64) -> Vec<T> {
+        let mut st = self.state.lock().expect("queue lock");
+        let Some(at) = st.clients.iter().position(|(id, _)| *id == client) else {
+            return Vec::new();
+        };
+        let (_, fifo) = st.clients.remove(at);
+        if at < st.rr {
+            st.rr -= 1;
+        }
+        if !st.clients.is_empty() {
+            st.rr %= st.clients.len();
+        } else {
+            st.rr = 0;
+        }
+        st.len -= fifo.len();
+        fifo.into()
+    }
+
+    /// Closes the queue: pending and future pushes fail with
+    /// [`PushError::Closed`]; blocked poppers drain what is left and
+    /// then receive `None`.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_interleaves_clients() {
+        let q = FairQueue::new(16);
+        // Client 1 floods; client 2 submits one job afterwards.
+        q.push(1, "a1").unwrap();
+        q.push(1, "a2").unwrap();
+        q.push(1, "a3").unwrap();
+        q.push(2, "b1").unwrap();
+        // First pop serves client 1 (registration order), second serves
+        // client 2 — b1 does not wait behind the flood.
+        assert_eq!(q.pop(), Some("a1"));
+        assert_eq!(q.pop(), Some("b1"));
+        assert_eq!(q.pop(), Some("a2"));
+        assert_eq!(q.pop(), Some("a3"));
+    }
+
+    #[test]
+    fn capacity_is_a_hard_total_bound() {
+        let q = FairQueue::new(2);
+        q.push(1, 0).unwrap();
+        q.push(2, 1).unwrap();
+        assert_eq!(q.push(3, 2), Err(PushError::Full { capacity: 2 }));
+        assert_eq!(q.high_water(), 2);
+        q.pop();
+        q.push(3, 2).unwrap();
+        assert_eq!(q.high_water(), 2);
+    }
+
+    #[test]
+    fn remove_client_drops_its_backlog_and_fixes_the_cursor() {
+        let q = FairQueue::new(8);
+        q.push(1, "a1").unwrap();
+        q.push(2, "b1").unwrap();
+        q.push(2, "b2").unwrap();
+        q.push(3, "c1").unwrap();
+        assert_eq!(q.pop(), Some("a1")); // rr now at client 2
+        assert_eq!(q.remove_client(2), vec!["b1", "b2"]);
+        assert_eq!(q.pop(), Some("c1"));
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = FairQueue::new(4);
+        q.push(1, 7).unwrap();
+        q.close();
+        assert_eq!(q.push(1, 8), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        use std::sync::Arc;
+        let q = Arc::new(FairQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(1, 42).unwrap();
+        assert_eq!(popper.join().unwrap(), Some(42));
+    }
+}

@@ -1,0 +1,751 @@
+//! The `sqipd` server: accept loop, per-connection reader/writer
+//! threads, a worker pool draining the [`FairQueue`], and a deadline
+//! monitor enforcing per-job timeouts.
+//!
+//! # Threading model
+//!
+//! One thread accepts connections. Each connection gets a **reader**
+//! (parses request lines, performs admission) and a **writer** (drains a
+//! bounded response channel onto the socket). `workers` threads pop jobs
+//! from the shared queue and run them on a [`SweepEngine`], streaming
+//! each finished cell as a [`Response::Row`] through the owning
+//! connection's channel. A monitor thread flips the [`CancelToken`] of
+//! any job past its deadline.
+//!
+//! # Backpressure
+//!
+//! Memory is bounded at every stage: the job queue admits at most
+//! `queue_capacity` jobs (pushes beyond that are *rejected*, not
+//! buffered), and each connection's response channel holds at most
+//! [`RESPONSE_CHANNEL_DEPTH`] messages. A worker streaming rows to a
+//! client that has stopped reading blocks on that bounded channel,
+//! polling its cancel token — so a stalled client wedges only its own
+//! jobs until their timeout fires, never the server.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use sqip::{CancelToken, CellEvent, Experiment, SqipError, SweepEngine};
+
+use crate::protocol::{from_line, to_line, Request, Response, StatsSnapshot};
+use crate::queue::{FairQueue, PushError};
+
+/// Per-connection response channel depth. Small on purpose: rows are
+/// produced by workers and consumed at socket speed, and the channel is
+/// the only per-connection buffering.
+pub const RESPONSE_CHANNEL_DEPTH: usize = 256;
+
+/// How the server is sized and guarded.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Jobs admitted to the queue at once (beyond the ones running).
+    pub queue_capacity: usize,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Threads each worker hands to its [`SweepEngine`] (per-job
+    /// parallelism; total simulation threads ≈ `workers × threads_per_job`).
+    pub threads_per_job: usize,
+    /// Default per-job wall-clock budget in milliseconds when a submit
+    /// names none; `0` disables the default timeout.
+    pub default_timeout_ms: u64,
+    /// Largest cell count a single job may expand to.
+    pub max_cells_per_job: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_capacity: 16,
+            workers: 2,
+            threads_per_job: 1,
+            default_timeout_ms: 300_000,
+            max_cells_per_job: 256,
+        }
+    }
+}
+
+/// A job sitting in the queue: the validated experiment plus everything
+/// needed to stream its results back.
+struct Job {
+    key: JobKey,
+    display_id: String,
+    experiment: Experiment,
+    cells: usize,
+    accepted_at: Instant,
+    reply: SyncSender<Response>,
+}
+
+type JobKey = (u64, String);
+
+/// Control block for a registered (queued or running) job.
+struct JobCtl {
+    token: CancelToken,
+    deadline: Option<Instant>,
+    /// Set by whoever cancels, read by the worker when reporting.
+    reason: Mutex<Option<&'static str>>,
+}
+
+impl JobCtl {
+    fn cancel(&self, reason: &'static str) {
+        let mut slot = self.reason.lock().expect("job reason lock");
+        if slot.is_none() {
+            *slot = Some(reason);
+        }
+        drop(slot);
+        self.token.cancel();
+    }
+
+    fn reason(&self) -> &'static str {
+        self.reason
+            .lock()
+            .expect("job reason lock")
+            .unwrap_or("cancelled")
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+    running: AtomicU64,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    queue: FairQueue<Job>,
+    jobs: Mutex<HashMap<JobKey, Arc<JobCtl>>>,
+    shutdown: AtomicBool,
+    /// Global completion sequence — stamps `Done.seq` so tests and
+    /// clients can observe scheduling order.
+    seq: AtomicU64,
+    next_client: AtomicU64,
+    counters: Counters,
+}
+
+impl Shared {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            accepted: self.counters.accepted.load(Ordering::Relaxed),
+            rejected: self.counters.rejected.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            cancelled: self.counters.cancelled.load(Ordering::Relaxed),
+            failed: self.counters.failed.load(Ordering::Relaxed),
+            queue_len: self.queue.len() as u64,
+            queue_capacity: self.queue.capacity() as u64,
+            queue_high_water: self.queue.high_water() as u64,
+            running: self.counters.running.load(Ordering::Relaxed),
+            workers: self.cfg.workers as u64,
+        }
+    }
+
+    fn register(&self, key: JobKey, ctl: Arc<JobCtl>) {
+        self.jobs.lock().expect("job table lock").insert(key, ctl);
+    }
+
+    fn unregister(&self, key: &JobKey) -> Option<Arc<JobCtl>> {
+        self.jobs.lock().expect("job table lock").remove(key)
+    }
+
+    fn cancel_job(&self, key: &JobKey, reason: &'static str) -> bool {
+        match self.jobs.lock().expect("job table lock").get(key) {
+            Some(ctl) => {
+                ctl.cancel(reason);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Cancels every registered job belonging to `client` (used on
+    /// disconnect and shutdown).
+    fn cancel_client(&self, client: u64, reason: &'static str) {
+        let table = self.jobs.lock().expect("job table lock");
+        for (key, ctl) in table.iter() {
+            if key.0 == client {
+                ctl.cancel(reason);
+            }
+        }
+    }
+
+    fn cancel_all(&self, reason: &'static str) {
+        let table = self.jobs.lock().expect("job table lock");
+        for ctl in table.values() {
+            ctl.cancel(reason);
+        }
+    }
+}
+
+/// A bound-but-not-yet-running server. Call [`run`](Server::run) (or
+/// [`spawn`](Server::spawn) for tests) to serve.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// A cloneable remote control for a running server: shutdown and
+/// statistics, usable from any thread (tests drive assertions with it).
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// The address the server listens on.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A point-in-time statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.snapshot()
+    }
+
+    /// Initiates shutdown: closes the queue, cancels every job, and
+    /// unblocks the accept loop. Idempotent.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared, Some(self.addr));
+    }
+}
+
+impl Server {
+    /// Binds to `addr` (`"127.0.0.1:0"` picks an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let queue = FairQueue::new(cfg.queue_capacity);
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                cfg,
+                queue,
+                jobs: Mutex::new(HashMap::new()),
+                shutdown: AtomicBool::new(false),
+                seq: AtomicU64::new(0),
+                next_client: AtomicU64::new(1),
+                counters: Counters::default(),
+            }),
+        })
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket query failure.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A control handle (clone freely; valid before and during `run`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket address query failure.
+    pub fn handle(&self) -> io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            shared: Arc::clone(&self.shared),
+            addr: self.local_addr()?,
+        })
+    }
+
+    /// Binds, then serves on a background thread — the in-process form
+    /// used by tests and embedders. Returns the control handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn spawn(addr: impl ToSocketAddrs, cfg: ServerConfig) -> io::Result<ServerHandle> {
+        let server = Server::bind(addr, cfg)?;
+        let handle = server.handle()?;
+        thread::Builder::new()
+            .name("sqipd-accept".into())
+            .spawn(move || server.run())
+            .expect("spawn server thread");
+        Ok(handle)
+    }
+
+    /// Serves until [`ServerHandle::shutdown`] is called: spawns the
+    /// worker pool and deadline monitor, then accepts connections.
+    pub fn run(self) {
+        let shared = &self.shared;
+        thread::scope(|scope| {
+            for w in 0..shared.cfg.workers.max(1) {
+                let shared = Arc::clone(shared);
+                thread::Builder::new()
+                    .name(format!("sqipd-worker-{w}"))
+                    .spawn_scoped(scope, move || worker_loop(&shared))
+                    .expect("spawn worker");
+            }
+            {
+                let shared = Arc::clone(shared);
+                thread::Builder::new()
+                    .name("sqipd-deadline".into())
+                    .spawn_scoped(scope, move || deadline_loop(&shared))
+                    .expect("spawn deadline monitor");
+            }
+
+            for stream in self.listener.incoming() {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let shared = Arc::clone(shared);
+                let client = shared.next_client.fetch_add(1, Ordering::Relaxed);
+                // Connection threads are detached: they end when the
+                // peer disconnects, and shutdown cancels their jobs.
+                let _ = thread::Builder::new()
+                    .name(format!("sqipd-conn-{client}"))
+                    .spawn(move || serve_connection(&shared, client, stream));
+            }
+        });
+    }
+}
+
+/// Flips the shutdown flag once: closes the queue, cancels every job,
+/// and (when the listen address is known) nudges the accept loop awake.
+fn initiate_shutdown(shared: &Shared, addr: Option<SocketAddr>) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.queue.close();
+    shared.cancel_all("server shutdown");
+    if let Some(addr) = addr {
+        let _ = TcpStream::connect(addr);
+    }
+}
+
+/// Enforces per-job deadlines with a coarse (10 ms) tick — timeouts are
+/// budgets, not precision timers.
+fn deadline_loop(shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        {
+            let table = shared.jobs.lock().expect("job table lock");
+            let now = Instant::now();
+            for ctl in table.values() {
+                if let Some(deadline) = ctl.deadline {
+                    if now >= deadline && !ctl.token.is_cancelled() {
+                        ctl.cancel("timeout");
+                    }
+                }
+            }
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Sends a response, blocking on the bounded channel but giving up if
+/// `token` (when present) cancels or the connection is gone. Returns
+/// `false` once the connection is gone.
+fn send_response(
+    reply: &SyncSender<Response>,
+    token: Option<&CancelToken>,
+    message: Response,
+) -> bool {
+    let mut message = message;
+    loop {
+        match reply.try_send(message) {
+            Ok(()) => return true,
+            Err(TrySendError::Disconnected(_)) => return false,
+            Err(TrySendError::Full(back)) => {
+                if token.is_some_and(CancelToken::is_cancelled) {
+                    return false;
+                }
+                message = back;
+                thread::sleep(Duration::from_micros(500));
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        // The job STAYS registered while it runs — that is what lets
+        // cancel requests, the deadline monitor, and disconnect cleanup
+        // reach its token. `run_job` unregisters it as it settles.
+        let ctl = shared
+            .jobs
+            .lock()
+            .expect("job table lock")
+            .get(&job.key)
+            .cloned()
+            .unwrap_or_else(|| {
+                // The reader raced a disconnect and already dropped the
+                // entry — settle as cancelled without running.
+                let token = CancelToken::new();
+                token.cancel();
+                Arc::new(JobCtl {
+                    token,
+                    deadline: None,
+                    reason: Mutex::new(Some("client disconnected")),
+                })
+            });
+        shared.counters.running.fetch_add(1, Ordering::Relaxed);
+        run_job(shared, &job, &ctl);
+        shared.counters.running.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+fn run_job(shared: &Shared, job: &Job, ctl: &JobCtl) {
+    let id = job.display_id.clone();
+    if ctl.token.is_cancelled() {
+        shared.unregister(&job.key);
+        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        send_response(
+            &job.reply,
+            None,
+            Response::Cancelled {
+                id,
+                reason: ctl.reason().to_string(),
+            },
+        );
+        return;
+    }
+
+    let reply = job.reply.clone();
+    let row_id = job.display_id.clone();
+    let row_token = ctl.token.clone();
+    let engine = SweepEngine::new()
+        .threads(shared.cfg.threads_per_job.max(1))
+        .cancel_token(ctl.token.clone())
+        .on_cell(move |event| match event {
+            CellEvent::Finished { index, record } => {
+                send_response(
+                    &reply,
+                    Some(&row_token),
+                    Response::Row {
+                        id: row_id.clone(),
+                        index,
+                        record,
+                    },
+                );
+            }
+            // Cell failures surface through the sweep result below.
+            CellEvent::Failed { .. } => {}
+        });
+
+    let result = engine.run(&job.experiment);
+    // Unregister before answering, so the client can reuse the id the
+    // moment it sees the terminal response.
+    shared.unregister(&job.key);
+    match result {
+        Ok(results) => {
+            shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            let seq = shared.seq.fetch_add(1, Ordering::SeqCst);
+            send_response(
+                &job.reply,
+                None,
+                Response::Done {
+                    id,
+                    rows: results.len(),
+                    seq,
+                    wall_ms: job.accepted_at.elapsed().as_millis() as u64,
+                },
+            );
+        }
+        Err(SqipError::Cancelled { .. }) => {
+            shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            send_response(
+                &job.reply,
+                None,
+                Response::Cancelled {
+                    id,
+                    reason: ctl.reason().to_string(),
+                },
+            );
+        }
+        Err(err) => {
+            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            send_response(
+                &job.reply,
+                None,
+                Response::Error {
+                    id,
+                    reason: err.to_string(),
+                },
+            );
+        }
+    }
+}
+
+/// Handles one client: spawns the writer, then reads request lines until
+/// EOF, shutdown, or a socket error. On exit, cancels the client's
+/// running jobs and drops its queued ones.
+fn serve_connection(shared: &Arc<Shared>, client: u64, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    // Register up front so round-robin interleaves this client fairly
+    // from its very first job.
+    shared.queue.register(client);
+    let (tx, rx) = sync_channel::<Response>(RESPONSE_CHANNEL_DEPTH);
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    // A client that stops reading must not wedge the writer (and through
+    // the bounded channel, a worker) forever: a stalled write eventually
+    // errors, the writer goes into drain mode, and the channel empties.
+    let _ = writer_stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let writer = thread::Builder::new()
+        .name(format!("sqipd-write-{client}"))
+        .spawn(move || writer_loop(writer_stream, &rx))
+        .expect("spawn connection writer");
+
+    reader_loop(shared, client, &stream, &tx);
+
+    // Reader is done (disconnect or shutdown): settle this client.
+    shared.cancel_client(client, "client disconnected");
+    for job in shared.queue.remove_client(client) {
+        if let Some(ctl) = shared.unregister(&job.key) {
+            ctl.cancel("client disconnected");
+        }
+        shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+    drop(tx);
+    let _ = writer.join();
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Drains the response channel onto the socket, one line per message.
+/// After a write error it keeps draining (so workers never block on a
+/// dead connection) without writing.
+fn writer_loop(stream: TcpStream, rx: &Receiver<Response>) {
+    let mut out = BufWriter::new(stream);
+    let mut dead = false;
+    while let Ok(message) = rx.recv() {
+        if dead {
+            continue;
+        }
+        let line = to_line(&message);
+        if out
+            .write_all(line.as_bytes())
+            .and_then(|()| out.write_all(b"\n"))
+            .and_then(|()| out.flush())
+            .is_err()
+        {
+            dead = true;
+        }
+    }
+}
+
+fn reader_loop(shared: &Arc<Shared>, client: u64, stream: &TcpStream, tx: &SyncSender<Response>) {
+    let Ok(read_stream) = stream.try_clone() else {
+        return;
+    };
+    let mut lines = BufReader::new(read_stream);
+    let mut line = String::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        line.clear();
+        match lines.read_line(&mut line) {
+            Ok(0) | Err(_) => return,
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match from_line::<Request>(&line) {
+            Ok(req) => req,
+            Err(err) => {
+                send_response(
+                    tx,
+                    None,
+                    Response::Error {
+                        id: String::new(),
+                        reason: format!("bad request line: {err}"),
+                    },
+                );
+                continue;
+            }
+        };
+        match request {
+            Request::Submit {
+                id,
+                spec,
+                timeout_ms,
+            } => handle_submit(shared, client, tx, id, &spec, timeout_ms),
+            Request::Cancel { id } => {
+                let key = (client, id.clone());
+                if shared.cancel_job(&key, "cancel requested") {
+                    // The worker reports `cancelled` when it settles the
+                    // job; nothing to say yet.
+                } else {
+                    send_response(
+                        tx,
+                        None,
+                        Response::Error {
+                            id,
+                            reason: "no such job on this connection".into(),
+                        },
+                    );
+                }
+            }
+            Request::Ping => {
+                send_response(tx, None, Response::Pong);
+            }
+            Request::Stats => {
+                send_response(tx, None, Response::Stats(shared.snapshot()));
+            }
+            Request::Shutdown => {
+                send_response(tx, None, Response::ShuttingDown);
+                // The accepted socket's local address shares the
+                // listener's port, so it doubles as the nudge target.
+                initiate_shutdown(shared, stream.local_addr().ok());
+                return;
+            }
+        }
+    }
+}
+
+fn handle_submit(
+    shared: &Shared,
+    client: u64,
+    tx: &SyncSender<Response>,
+    id: String,
+    spec: &sqip::ExperimentSpec,
+    timeout_ms: Option<u64>,
+) {
+    shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+    if shared.shutdown.load(Ordering::SeqCst) {
+        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        send_response(
+            tx,
+            None,
+            Response::Rejected {
+                id,
+                reason: "server is shutting down".into(),
+            },
+        );
+        return;
+    }
+
+    // Validate before admission: a spec that cannot build an experiment
+    // never occupies a queue slot.
+    let experiment = match spec.to_experiment() {
+        Ok(e) => e,
+        Err(err) => {
+            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            send_response(
+                tx,
+                None,
+                Response::Error {
+                    id,
+                    reason: err.to_string(),
+                },
+            );
+            return;
+        }
+    };
+    let cells = match experiment.cells() {
+        Ok(cells) => cells.len(),
+        Err(err) => {
+            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            send_response(
+                tx,
+                None,
+                Response::Error {
+                    id,
+                    reason: err.to_string(),
+                },
+            );
+            return;
+        }
+    };
+    if cells > shared.cfg.max_cells_per_job {
+        shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        send_response(
+            tx,
+            None,
+            Response::Rejected {
+                id,
+                reason: format!(
+                    "job expands to {cells} cells; this server admits at most {}",
+                    shared.cfg.max_cells_per_job
+                ),
+            },
+        );
+        return;
+    }
+
+    let key = (client, id.clone());
+    if shared
+        .jobs
+        .lock()
+        .expect("job table lock")
+        .contains_key(&key)
+    {
+        shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+        send_response(
+            tx,
+            None,
+            Response::Error {
+                id,
+                reason: "a job with this id is already queued or running on this connection".into(),
+            },
+        );
+        return;
+    }
+
+    let timeout = match timeout_ms {
+        Some(ms) => ms,
+        None => shared.cfg.default_timeout_ms,
+    };
+    let ctl = Arc::new(JobCtl {
+        token: CancelToken::new(),
+        deadline: (timeout > 0).then(|| Instant::now() + Duration::from_millis(timeout)),
+        reason: Mutex::new(None),
+    });
+    shared.register(key.clone(), Arc::clone(&ctl));
+    let job = Job {
+        key: key.clone(),
+        display_id: id.clone(),
+        experiment,
+        cells,
+        accepted_at: Instant::now(),
+        reply: tx.clone(),
+    };
+    let cells = job.cells;
+    match shared.queue.push(client, job) {
+        Ok(()) => {
+            shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+            send_response(tx, None, Response::Accepted { id, cells });
+        }
+        Err(err @ (PushError::Full { .. } | PushError::Closed)) => {
+            shared.unregister(&key);
+            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            send_response(
+                tx,
+                None,
+                Response::Rejected {
+                    id,
+                    reason: err.to_string(),
+                },
+            );
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! End-to-end tests for the `sqipd` service, run in-process against
+//! ephemeral-port servers: streamed rows must reassemble into the exact
+//! batch artifact, admission control must reject (not drop) overflow,
+//! scheduling must be client-fair, and cancellation (explicit, timeout,
+//! disconnect) must settle every job.
+
+use std::time::{Duration, Instant};
+
+use sqip::{ExperimentSpec, ResultSet};
+use sqip_service::{Connection, JobStatus, Request, Response, Server, ServerConfig, ServerHandle};
+
+fn spawn(cfg: ServerConfig) -> ServerHandle {
+    Server::spawn("127.0.0.1:0", cfg).expect("bind an ephemeral port")
+}
+
+/// A spec sized to finish quickly: 2 workloads × 2 designs = 4 cells.
+fn small_spec() -> ExperimentSpec {
+    ExperimentSpec::new(
+        ["mix:0xfeed:30k", "chase:128:64:20k"],
+        ["ideal-oracle", "indexed-3-fwd+dly"],
+    )
+}
+
+/// A one-cell spec that runs long enough to still be in flight while a
+/// test stages other jobs around it.
+fn long_spec(seed: u64) -> ExperimentSpec {
+    ExperimentSpec::new([format!("mix:{seed:#x}:4m")], ["ideal-oracle"])
+}
+
+/// Tentpole acceptance: rows streamed over the wire, reassembled in cell
+/// order, are **byte-identical** to the batch `ResultSet` artifact the
+/// same experiment produces in-process — JSON and CSV both.
+#[test]
+fn streamed_rows_reassemble_into_the_batch_artifact() {
+    let server = spawn(ServerConfig::default());
+    let mut conn = Connection::connect(server.addr()).unwrap();
+    let spec = small_spec();
+
+    let outcome = conn.run_job("job-1", &spec, None).unwrap();
+    assert_eq!(outcome.status, Some(JobStatus::Done), "{outcome:?}");
+    assert!(outcome.is_complete(), "{outcome:?}");
+    assert_eq!(outcome.cells, Some(4));
+
+    let mut rows = outcome.rows.clone();
+    rows.sort_by_key(|(index, _)| *index);
+    let streamed_json = format!(
+        "[{}]",
+        rows.iter()
+            .map(|(_, r)| r.to_json())
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let streamed_csv: String = std::iter::once(format!("{}\n", ResultSet::csv_header()))
+        .chain(rows.iter().map(|(_, r)| format!("{}\n", r.to_csv_row())))
+        .collect();
+
+    let batch = spec.to_experiment().unwrap().run().unwrap();
+    assert_eq!(streamed_json, batch.to_json(), "JSON bytes diverge");
+    assert_eq!(streamed_csv, batch.to_csv(), "CSV bytes diverge");
+
+    server.shutdown();
+}
+
+/// Queue overflow is *rejected* with a reason on a live connection — the
+/// connection keeps working and a later submit succeeds.
+#[test]
+fn queue_full_rejects_cleanly_and_connection_survives() {
+    let server = spawn(ServerConfig {
+        queue_capacity: 1,
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let mut conn = Connection::connect(server.addr()).unwrap();
+
+    // j0 occupies the single worker...
+    conn.send(&Request::Submit {
+        id: "j0".into(),
+        spec: long_spec(0xA),
+        timeout_ms: None,
+    })
+    .unwrap();
+    assert!(matches!(conn.recv().unwrap(), Response::Accepted { .. }));
+    // ...wait for the worker to pop it so the queue slot frees...
+    let popped = Instant::now();
+    while server.stats().queue_len > 0 {
+        assert!(
+            popped.elapsed() < Duration::from_secs(10),
+            "worker never popped j0"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // ...j1 takes the only queue slot...
+    conn.send(&Request::Submit {
+        id: "j1".into(),
+        spec: long_spec(0xB),
+        timeout_ms: None,
+    })
+    .unwrap();
+    assert!(matches!(conn.recv().unwrap(), Response::Accepted { .. }));
+    // ...and j2 must be rejected, with the capacity in the reason.
+    conn.send(&Request::Submit {
+        id: "j2".into(),
+        spec: small_spec(),
+        timeout_ms: None,
+    })
+    .unwrap();
+    match conn.recv().unwrap() {
+        Response::Rejected { id, reason } => {
+            assert_eq!(id, "j2");
+            assert!(reason.contains("full"), "reason: {reason}");
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+
+    // The connection is still healthy: ping works, and the stats counter
+    // recorded the rejection.
+    conn.send(&Request::Ping).unwrap();
+    assert!(matches!(conn.recv().unwrap(), Response::Pong));
+    assert_eq!(server.stats().rejected, 1);
+
+    // Drain j0/j1 (rows interleave; count both terminal responses), then
+    // a fresh job sails through.
+    let mut done = 0;
+    while done < 2 {
+        if matches!(conn.recv().unwrap(), Response::Done { .. }) {
+            done += 1;
+        }
+    }
+    let outcome = conn.run_job("j3", &small_spec(), None).unwrap();
+    assert!(outcome.is_complete(), "{outcome:?}");
+
+    server.shutdown();
+}
+
+/// Per-client round-robin: while client A's flood occupies the queue, a
+/// single job from client B is served before A's backlog.
+#[test]
+fn scheduling_is_client_fair() {
+    let server = spawn(ServerConfig {
+        queue_capacity: 8,
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    let mut a = Connection::connect(server.addr()).unwrap();
+    let mut b = Connection::connect(server.addr()).unwrap();
+
+    // a0 occupies the single worker; wait until it is actually running.
+    a.send(&Request::Submit {
+        id: "a0".into(),
+        spec: long_spec(0xC),
+        timeout_ms: None,
+    })
+    .unwrap();
+    assert!(matches!(a.recv().unwrap(), Response::Accepted { .. }));
+    let popped = Instant::now();
+    while server.stats().running == 0 {
+        assert!(popped.elapsed() < Duration::from_secs(10), "a0 never ran");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // A floods its backlog, then B submits one job.
+    for (id, seed) in [("a1", 0xD0u64), ("a2", 0xD1)] {
+        a.send(&Request::Submit {
+            id: id.into(),
+            spec: long_spec(seed),
+            timeout_ms: None,
+        })
+        .unwrap();
+        assert!(matches!(a.recv().unwrap(), Response::Accepted { .. }));
+    }
+    b.send(&Request::Submit {
+        id: "b0".into(),
+        spec: small_spec(),
+        timeout_ms: None,
+    })
+    .unwrap();
+    assert!(matches!(b.recv().unwrap(), Response::Accepted { .. }));
+
+    // Completion order (the server's global `seq`): a0 first, then b0 —
+    // B's job does not wait behind A's whole backlog.
+    let seq_of = |conn: &mut Connection| loop {
+        if let Response::Done { seq, .. } = conn.recv().unwrap() {
+            return seq;
+        }
+    };
+    let b0 = seq_of(&mut b);
+    let a_first = seq_of(&mut a);
+    assert!(
+        a_first < b0 && b0 < a_first + 2,
+        "b0 (seq {b0}) should run immediately after a0 (seq {a_first})"
+    );
+
+    server.shutdown();
+}
+
+/// A per-job timeout cancels a long job promptly, reporting `timeout`.
+#[test]
+fn timeouts_cancel_with_reason() {
+    let server = spawn(ServerConfig::default());
+    let mut conn = Connection::connect(server.addr()).unwrap();
+    let outcome = conn
+        .run_job(
+            "slow",
+            &ExperimentSpec::new(["mix:0xE:400m"], ["ideal-oracle"]),
+            Some(100),
+        )
+        .unwrap();
+    match outcome.status {
+        Some(JobStatus::Cancelled(reason)) => assert_eq!(reason, "timeout"),
+        other => panic!("expected timeout cancellation, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// An explicit cancel request settles the job as cancelled.
+#[test]
+fn explicit_cancel_settles_the_job() {
+    let server = spawn(ServerConfig::default());
+    let mut conn = Connection::connect(server.addr()).unwrap();
+    conn.send(&Request::Submit {
+        id: "victim".into(),
+        spec: ExperimentSpec::new(["mix:0xF:400m"], ["ideal-oracle"]),
+        timeout_ms: None,
+    })
+    .unwrap();
+    assert!(matches!(conn.recv().unwrap(), Response::Accepted { .. }));
+    conn.send(&Request::Cancel {
+        id: "victim".into(),
+    })
+    .unwrap();
+    loop {
+        match conn.recv().unwrap() {
+            Response::Cancelled { id, reason } => {
+                assert_eq!(id, "victim");
+                assert_eq!(reason, "cancel requested");
+                break;
+            }
+            Response::Row { .. } => {}
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+/// Dropping a connection cancels its running jobs server-side.
+#[test]
+fn disconnect_cancels_running_jobs() {
+    let server = spawn(ServerConfig::default());
+    {
+        let mut conn = Connection::connect(server.addr()).unwrap();
+        conn.send(&Request::Submit {
+            id: "orphan".into(),
+            spec: ExperimentSpec::new(["mix:0x10:400m"], ["ideal-oracle"]),
+            timeout_ms: None,
+        })
+        .unwrap();
+        assert!(matches!(conn.recv().unwrap(), Response::Accepted { .. }));
+        // conn drops here.
+    }
+    let waited = Instant::now();
+    while server.stats().cancelled == 0 {
+        assert!(
+            waited.elapsed() < Duration::from_secs(20),
+            "orphaned job was never cancelled: {:?}",
+            server.stats()
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server.shutdown();
+}
+
+/// Protocol-level garbage gets an error response and the connection
+/// keeps working; invalid specs report per-job errors without costing a
+/// queue slot.
+#[test]
+fn bad_input_is_reported_without_killing_the_connection() {
+    let server = spawn(ServerConfig::default());
+    let conn = Connection::connect(server.addr()).unwrap();
+
+    // Raw garbage line.
+    use std::io::Write;
+    let mut raw = std::net::TcpStream::connect(server.addr()).unwrap();
+    raw.write_all(b"this is not json\n").unwrap();
+    let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut line).unwrap();
+    assert!(line.contains("\"error\""), "got: {line}");
+
+    // Structured requests with invalid content on a protocol connection.
+    let mut conn = conn;
+    let unknown_workload = conn.run_job(
+        "bad-wl",
+        &ExperimentSpec::new(["nope"], ["ideal-oracle"]),
+        None,
+    );
+    match unknown_workload.unwrap().status {
+        Some(JobStatus::Failed(reason)) => assert!(reason.contains("nope"), "{reason}"),
+        other => panic!("expected failure, got {other:?}"),
+    }
+    let unknown_design = conn.run_job(
+        "bad-d",
+        &ExperimentSpec::new(["mix:1:10k"], ["no-such-design"]),
+        None,
+    );
+    assert!(matches!(
+        unknown_design.unwrap().status,
+        Some(JobStatus::Failed(_))
+    ));
+    conn.send(&Request::Cancel { id: "ghost".into() }).unwrap();
+    assert!(matches!(conn.recv().unwrap(), Response::Error { .. }));
+
+    // Nothing above occupied the queue, and the connection still serves
+    // real work.
+    assert_eq!(server.stats().accepted, 0);
+    let outcome = conn.run_job("good", &small_spec(), None).unwrap();
+    assert!(outcome.is_complete());
+
+    server.shutdown();
+}
+
+/// The stats surface exposes the bounded-queue observables the soak
+/// harness asserts on: capacity, high-water ≤ capacity, worker count.
+#[test]
+fn stats_expose_bounded_queue_observables() {
+    let server = spawn(ServerConfig {
+        queue_capacity: 3,
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let mut conn = Connection::connect(server.addr()).unwrap();
+    let outcome = conn.run_job("one", &small_spec(), None).unwrap();
+    assert!(outcome.is_complete());
+
+    conn.send(&Request::Stats).unwrap();
+    let stats = loop {
+        if let Response::Stats(s) = conn.recv().unwrap() {
+            break s;
+        }
+    };
+    assert_eq!(stats.queue_capacity, 3);
+    assert_eq!(stats.workers, 2);
+    assert!(stats.queue_high_water <= stats.queue_capacity);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.submitted, 1);
+
+    server.shutdown();
+}
+
+/// Shutdown via the protocol: acknowledged, queued work cancelled, and
+/// subsequent submits rejected (server may also stop accepting
+/// entirely — both are clean outcomes).
+#[test]
+fn protocol_shutdown_is_acknowledged() {
+    let server = spawn(ServerConfig::default());
+    let mut conn = Connection::connect(server.addr()).unwrap();
+    conn.send(&Request::Shutdown).unwrap();
+    assert!(matches!(conn.recv().unwrap(), Response::ShuttingDown));
+    // Idempotent from the handle side too.
+    server.shutdown();
+}

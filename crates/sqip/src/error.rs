@@ -32,6 +32,15 @@ pub enum SqipError {
     /// [`WorkloadRegistry`](sqip_workloads::WorkloadRegistry) and not a
     /// generator-grammar name.
     UnknownWorkload(String),
+    /// A design name resolved to nothing in the
+    /// [`DesignRegistry`](sqip_core::DesignRegistry).
+    UnknownDesign(String),
+    /// The sweep was cancelled through its
+    /// [`CancelToken`](crate::CancelToken) before this cell finished.
+    Cancelled {
+        /// The cell's `workload/design/variant` label.
+        cell: String,
+    },
     /// A serialized result set failed to parse.
     Parse(serde::Error),
     /// An export could not be written.
@@ -47,6 +56,8 @@ impl std::fmt::Display for SqipError {
             SqipError::Sim { cell, source } => write!(f, "cell `{cell}` failed: {source}"),
             SqipError::Config(msg) => write!(f, "malformed experiment: {msg}"),
             SqipError::UnknownWorkload(msg) => f.write_str(msg),
+            SqipError::UnknownDesign(msg) => f.write_str(msg),
+            SqipError::Cancelled { cell } => write!(f, "cell `{cell}` cancelled"),
             SqipError::Parse(e) => write!(f, "result set parse error: {e}"),
             SqipError::Io(e) => write!(f, "export failed: {e}"),
         }
@@ -60,7 +71,10 @@ impl std::error::Error for SqipError {
             SqipError::Sim { source, .. } => Some(source),
             SqipError::Parse(e) => Some(e),
             SqipError::Io(e) => Some(e),
-            SqipError::Config(_) | SqipError::UnknownWorkload(_) => None,
+            SqipError::Config(_)
+            | SqipError::UnknownWorkload(_)
+            | SqipError::UnknownDesign(_)
+            | SqipError::Cancelled { .. } => None,
         }
     }
 }

@@ -9,9 +9,12 @@ use sqip_core::{Processor, SimConfig, SimObserver, SimStats, SqDesign};
 use sqip_isa::Trace;
 use sqip_workloads::{RegisteredWorkload, Suite, WorkloadRegistry, WorkloadSpec};
 
+use sqip_core::ObserverAction;
+
 use crate::error::SqipError;
 use crate::parallel::{default_threads, parallel_map};
 use crate::results::{ResultSet, RunRecord};
+use crate::sweep::{emit_cell_event, CancelToken, CellEventFn};
 
 /// A config mutation shared across sweep cells.
 pub type ConfigFn = Arc<dyn Fn(&mut SimConfig) + Send + Sync>;
@@ -180,15 +183,25 @@ impl Run {
 
     /// Executes this cell: against the shared materialized trace when one
     /// is given, or by opening and streaming the workload's source.
+    ///
+    /// A `token` makes the run cooperative: without an observer it is
+    /// checked at every [`Processor::step`] boundary; with one, at each
+    /// observer interval (the exact-boundary [`Processor::run_observed`]
+    /// loop drives the run). Either way a cancelled cell reports
+    /// [`SqipError::Cancelled`].
     fn execute(
         &self,
         trace: Option<&Trace>,
         observer: Option<&ObserverFn>,
+        token: Option<&CancelToken>,
     ) -> Result<SimStats, SqipError> {
         let sim = |source| SqipError::Sim {
             cell: self.label(),
             source,
         };
+        if token.is_some_and(CancelToken::is_cancelled) {
+            return Err(SqipError::Cancelled { cell: self.label() });
+        }
         let processor = match (&self.workload, trace) {
             // Streaming workloads always open their own source — even if
             // a same-named materialized trace exists, it is not theirs.
@@ -197,22 +210,48 @@ impl Run {
                     name: reg.name().to_string(),
                     source,
                 })?;
-                Processor::try_from_source(self.config.clone(), source).map_err(sim)?
+                Processor::try_from_source(self.config.clone(), source).map_err(&sim)?
             }
-            (_, Some(trace)) => Processor::try_new(self.config.clone(), trace).map_err(sim)?,
+            (_, Some(trace)) => Processor::try_new(self.config.clone(), trace).map_err(&sim)?,
             (workload, None) => {
                 // Unreachable through the public paths (the sweep always
                 // materializes non-streaming workloads), kept total for
                 // robustness.
                 let trace = workload.trace().expect("non-streaming workload")?;
-                return self.execute(Some(&trace), observer);
+                return self.execute(Some(&trace), observer, token);
             }
         };
-        match observer {
-            None => processor.try_run().map_err(sim),
-            Some(factory) => {
+        match (observer, token) {
+            (None, None) => processor.try_run().map_err(&sim),
+            (None, Some(token)) => {
+                let mut p = processor;
+                loop {
+                    if token.is_cancelled() {
+                        return Err(SqipError::Cancelled { cell: self.label() });
+                    }
+                    match p.step().map_err(&sim)? {
+                        sqip_core::StepOutcome::Running => {}
+                        sqip_core::StepOutcome::Done => return Ok(p.stats().clone()),
+                    }
+                }
+            }
+            (Some(factory), token) => {
                 let mut obs = factory(self);
-                processor.run_observed(obs.as_mut()).map_err(sim)
+                let stats = match token {
+                    None => processor.run_observed(obs.as_mut()).map_err(&sim)?,
+                    Some(token) => {
+                        let mut cancelling = CancellingObserver {
+                            inner: obs.as_mut(),
+                            token,
+                        };
+                        let stats = processor.run_observed(&mut cancelling).map_err(&sim)?;
+                        if token.is_cancelled() {
+                            return Err(SqipError::Cancelled { cell: self.label() });
+                        }
+                        stats
+                    }
+                };
+                Ok(stats)
             }
         }
     }
@@ -224,10 +263,48 @@ impl Run {
     ///
     /// Propagates workload-tracing and simulation errors.
     pub fn execute_standalone(&self) -> Result<SimStats, SqipError> {
+        self.execute_controlled(None, None)
+    }
+
+    /// [`Run::execute_standalone`] with an optional observer factory and
+    /// cancellation token (the sweep engine's single-cell-group path).
+    pub(crate) fn execute_controlled(
+        &self,
+        observer: Option<&ObserverFn>,
+        token: Option<&CancelToken>,
+    ) -> Result<SimStats, SqipError> {
         match self.workload.trace() {
-            Some(trace) => self.execute(Some(trace?.as_ref()), None),
-            None => self.execute(None, None),
+            Some(trace) => self.execute(Some(trace?.as_ref()), observer, token),
+            None => self.execute(None, observer, token),
         }
+    }
+}
+
+/// Wraps a cell's observer so a [`CancelToken`] can abort the exact-
+/// boundary [`Processor::run_observed`] loop at its next interval.
+struct CancellingObserver<'a> {
+    inner: &'a mut dyn SimObserver,
+    token: &'a CancelToken,
+}
+
+impl SimObserver for CancellingObserver<'_> {
+    fn interval(&self) -> u64 {
+        self.inner.interval()
+    }
+
+    fn on_start(&mut self, config: &SimConfig, trace_len: Option<usize>) {
+        self.inner.on_start(config, trace_len);
+    }
+
+    fn on_interval(&mut self, cycle: u64, stats: &SimStats) -> ObserverAction {
+        if self.token.is_cancelled() {
+            return ObserverAction::Abort;
+        }
+        self.inner.on_interval(cycle, stats)
+    }
+
+    fn on_finish(&mut self, stats: &SimStats) {
+        self.inner.on_finish(stats);
     }
 }
 
@@ -440,8 +517,11 @@ impl Experiment {
     /// thread count — and bit-identical to the per-cell path
     /// ([`Experiment::run_per_cell`]), pinned by proptest.
     ///
-    /// Experiments with an observer run per-cell (the observer watches
-    /// one cell's own run loop).
+    /// Experiments with an observer also run shared-pass: observers are
+    /// driven from the lock-step scheduler, with `on_interval` fired at
+    /// the first step boundary at or past each interval (see
+    /// [`crate::SweepEngine::run_with_telemetry`]; use
+    /// [`Experiment::run_per_cell`] for exact-boundary sampling).
     ///
     /// # Errors
     ///
@@ -484,6 +564,15 @@ impl Experiment {
     }
 
     pub(crate) fn run_per_cell_on(&self, threads: usize) -> Result<ResultSet, SqipError> {
+        self.run_per_cell_inner(threads, None, None)
+    }
+
+    pub(crate) fn run_per_cell_inner(
+        &self,
+        threads: usize,
+        token: Option<&CancelToken>,
+        events: Option<&CellEventFn>,
+    ) -> Result<ResultSet, SqipError> {
         let cells = self.cells()?;
 
         // Trace each distinct materializing workload once, in parallel.
@@ -510,9 +599,11 @@ impl Experiment {
 
         // Execute every cell against the shared traces (or its stream).
         let observer = self.observer.as_ref();
-        let outcomes = parallel_map(&cells, threads, |_, cell| {
+        let outcomes = parallel_map(&cells, threads, |index, cell| {
             let trace = traces.get(cell.workload.key()).map(Arc::as_ref);
-            cell.execute(trace, observer)
+            let outcome = cell.execute(trace, observer, token);
+            emit_cell_event(events, cell, index, &outcome);
+            outcome
         });
 
         let mut records = Vec::with_capacity(cells.len());

@@ -78,12 +78,16 @@ mod error;
 mod experiment;
 mod parallel;
 mod results;
+mod spec;
 mod sweep;
 
 pub use error::SqipError;
 pub use experiment::{ConfigFn, Experiment, ObserverFn, Run, Workload, BASE_VARIANT};
 pub use results::{geomean, ResultSet, RunRecord};
-pub use sweep::{GroupTelemetry, SweepEngine, SweepMode, SweepTelemetry};
+pub use spec::{ExperimentSpec, VariantSpec, KNOBS, SPEC_VERSION};
+pub use sweep::{
+    CancelToken, CellEvent, CellEventFn, GroupTelemetry, SweepEngine, SweepMode, SweepTelemetry,
+};
 
 // The simulator core: configs, stats, the resumable processor, its
 // observation hooks, and the open design-policy API.

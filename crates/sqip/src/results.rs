@@ -50,6 +50,51 @@ impl RunRecord {
     pub fn label(&self) -> String {
         format!("{}/{}/{}", self.workload, self.design, self.variant)
     }
+
+    /// Serializes this record to compact JSON — the exact bytes the
+    /// record occupies inside [`ResultSet::to_json`], so streamed rows
+    /// concatenate back into the batch serialization.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("run records contain only finite numbers")
+    }
+
+    /// Parses a record serialized by [`RunRecord::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// [`SqipError::Parse`] on malformed JSON or a shape mismatch.
+    pub fn from_json(text: &str) -> Result<RunRecord, SqipError> {
+        Ok(serde_json::from_str(text)?)
+    }
+
+    /// Renders this record as one CSV row (no trailing newline), in the
+    /// column order of [`ResultSet::csv_header`].
+    #[must_use]
+    pub fn to_csv_row(&self) -> String {
+        let suite = self.suite.map_or_else(String::new, |s| s.to_string());
+        let s = &self.stats;
+        format!(
+            "{},{},{},{},{},{},{:.6},{},{},{},{},{},{},{},{},{},{}",
+            self.workload,
+            suite,
+            self.design,
+            self.variant,
+            s.cycles,
+            s.committed,
+            s.ipc(),
+            s.loads,
+            s.stores,
+            s.loads_forwarded,
+            s.mis_forwards,
+            s.flushes,
+            s.replays,
+            s.re_executions,
+            s.loads_delayed,
+            s.delay_cycles,
+            s.partial_stalls,
+        )
+    }
 }
 
 /// The ordered collection of records an [`crate::Experiment`] produced.
@@ -220,38 +265,26 @@ impl ResultSet {
         Ok(serde_json::from_str(text)?)
     }
 
-    /// Renders the set as CSV with a header row: identity columns, the
-    /// headline counters, and the derived per-run metrics.
+    /// The CSV header row (no trailing newline): identity columns, the
+    /// headline counters, and the derived per-run metrics, matching
+    /// [`RunRecord::to_csv_row`]'s column order.
+    #[must_use]
+    pub fn csv_header() -> &'static str {
+        "workload,suite,design,variant,cycles,committed,ipc,loads,stores,\
+         loads_forwarded,mis_forwards,flushes,replays,re_executions,\
+         loads_delayed,delay_cycles,partial_stalls"
+    }
+
+    /// Renders the set as CSV: [`ResultSet::csv_header`] then one
+    /// [`RunRecord::to_csv_row`] per record, each line `\n`-terminated —
+    /// so rows streamed cell-by-cell concatenate into the same bytes.
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "workload,suite,design,variant,cycles,committed,ipc,loads,stores,\
-             loads_forwarded,mis_forwards,flushes,replays,re_executions,\
-             loads_delayed,delay_cycles,partial_stalls\n",
-        );
+        let mut out = String::from(Self::csv_header());
+        out.push('\n');
         for r in &self.records {
-            let suite = r.suite.map_or_else(String::new, |s| s.to_string());
-            let s = &r.stats;
-            out.push_str(&format!(
-                "{},{},{},{},{},{},{:.6},{},{},{},{},{},{},{},{},{},{}\n",
-                r.workload,
-                suite,
-                r.design,
-                r.variant,
-                s.cycles,
-                s.committed,
-                s.ipc(),
-                s.loads,
-                s.stores,
-                s.loads_forwarded,
-                s.mis_forwards,
-                s.flushes,
-                s.replays,
-                s.re_executions,
-                s.loads_delayed,
-                s.delay_cycles,
-                s.partial_stalls,
-            ));
+            out.push_str(&r.to_csv_row());
+            out.push('\n');
         }
         out
     }

@@ -25,16 +25,120 @@
 //! by a proptest — because every cell still simulates the exact record
 //! stream and oracle info it would have computed for itself.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use sqip_core::{oracle_tap, Processor, SimStats, StepOutcome};
+use sqip_core::{oracle_tap, ObserverAction, Processor, SimObserver, SimStats, StepOutcome};
 use sqip_isa::{IsaError, Trace, TraceSource, TraceTee};
 use sqip_workloads::intern_name;
 
 use crate::error::SqipError;
-use crate::experiment::{Experiment, Run, Workload};
+use crate::experiment::{Experiment, ObserverFn, Run, Workload};
 use crate::parallel::{default_threads, work_steal_map};
 use crate::results::{ResultSet, RunRecord};
+
+/// A shared abort switch for cooperative sweep cancellation.
+///
+/// Clone the token, hand one clone to [`SweepEngine::cancel_token`], keep
+/// the other, and flip it from any thread ([`CancelToken::cancel`]); the
+/// engine checks it at every [`Processor::step`] boundary, so a cancelled
+/// sweep stops within one lock-step turn — unfinished cells report
+/// [`SqipError::Cancelled`] and every shared-ring cursor is dropped with
+/// its processor (nothing leaks, nothing keeps pulling the workload).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Flips the token; every sweep holding a clone stops at its next
+    /// step boundary. Idempotent, callable from any thread.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A per-cell completion notification streamed while a sweep is still
+/// running (see [`SweepEngine::on_cell`]). Fired on the worker thread
+/// that finished the cell, in that group's completion order.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // one event per finished cell, far off the hot path; boxing would ripple through the streaming API
+pub enum CellEvent {
+    /// A cell ran to completion (or an observer aborted it early, in
+    /// which case the record holds the partial statistics).
+    Finished {
+        /// The cell's index in [`Experiment::cells`] order.
+        index: usize,
+        /// The finished cell's result row — exactly the [`RunRecord`]
+        /// that will appear at `index` in the final [`ResultSet`].
+        record: RunRecord,
+    },
+    /// A cell failed; the sweep's own `Result` carries the first failure
+    /// in cell order, this event reports them as they happen.
+    Failed {
+        /// The cell's index in [`Experiment::cells`] order.
+        index: usize,
+        /// The cell's `workload/design/variant` label.
+        cell: String,
+        /// The rendered failure.
+        error: String,
+    },
+}
+
+impl CellEvent {
+    /// The cell's index in [`Experiment::cells`] order.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        match self {
+            CellEvent::Finished { index, .. } | CellEvent::Failed { index, .. } => *index,
+        }
+    }
+}
+
+/// A sink for [`CellEvent`]s ([`SweepEngine::on_cell`]). Called from
+/// worker threads, hence `Send + Sync`.
+pub type CellEventFn = Arc<dyn Fn(CellEvent) + Send + Sync>;
+
+/// Builds the event for a finished/failed cell and hands it to the sink,
+/// if one is installed. (Cancelled cells fire no event: the caller that
+/// cancelled the sweep already knows.)
+pub(crate) fn emit_cell_event(
+    events: Option<&CellEventFn>,
+    cell: &Run,
+    index: usize,
+    result: &Result<SimStats, SqipError>,
+) {
+    let Some(sink) = events else { return };
+    let event = match result {
+        Ok(stats) => CellEvent::Finished {
+            index,
+            record: RunRecord {
+                workload: cell.workload.name().to_string(),
+                suite: cell.workload.suite(),
+                design: cell.design,
+                variant: cell.variant.clone(),
+                stats: stats.clone(),
+            },
+        },
+        Err(SqipError::Cancelled { .. }) => return,
+        Err(e) => CellEvent::Failed {
+            index,
+            cell: cell.label(),
+            error: e.to_string(),
+        },
+    };
+    sink(event);
+}
 
 /// How [`SweepEngine`] executes a sweep's cells.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,7 +147,7 @@ pub enum SweepMode {
     #[default]
     SharedPass,
     /// One independent pass per cell (the pre-sweep-engine behaviour;
-    /// kept as the differential baseline and observer fallback).
+    /// kept as the differential baseline).
     PerCell,
 }
 
@@ -110,13 +214,32 @@ pub struct SweepTelemetry {
 /// assert_eq!(shared, per_cell);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct SweepEngine {
     threads: Option<usize>,
     mode: SweepMode,
+    token: Option<CancelToken>,
+    events: Option<CellEventFn>,
+}
+
+impl std::fmt::Debug for SweepEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepEngine")
+            .field("threads", &self.threads)
+            .field("mode", &self.mode)
+            .field("cancellable", &self.token.is_some())
+            .field("streams_events", &self.events.is_some())
+            .finish()
+    }
 }
 
 impl SweepEngine {
+    /// The shared tee ring's capacity in records — the bound on how far a
+    /// cancelled sweep can still advance (cancellation is checked at
+    /// every step, and no consumer runs more than a ring window ahead of
+    /// the shared pull frontier).
+    pub const RING_CAPACITY: usize = RING_CAPACITY;
+
     /// A shared-pass engine with one worker per available core.
     #[must_use]
     pub fn new() -> SweepEngine {
@@ -138,6 +261,29 @@ impl SweepEngine {
         self
     }
 
+    /// Installs a cooperative cancellation token. The engine checks it at
+    /// every [`Processor::step`] boundary; once cancelled, unfinished
+    /// cells report [`SqipError::Cancelled`] (the sweep's `Result` is the
+    /// first failure in cell order) and every in-flight processor — with
+    /// its shared-ring cursor — is dropped promptly.
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> SweepEngine {
+        self.token = Some(token);
+        self
+    }
+
+    /// Installs a per-cell completion sink: as each cell finishes (in
+    /// either mode, on whichever worker thread ran it), `sink` receives a
+    /// [`CellEvent`] carrying the cell's final [`RunRecord`] — the same
+    /// row, bit for bit, that the returned [`ResultSet`] will hold at
+    /// that index. This is how long sweeps stream incremental results
+    /// (e.g. over the wire) without waiting for the slowest cell.
+    #[must_use]
+    pub fn on_cell(mut self, sink: impl Fn(CellEvent) + Send + Sync + 'static) -> SweepEngine {
+        self.events = Some(Arc::new(sink));
+        self
+    }
+
     /// Runs the experiment's sweep. See [`SweepEngine::run_with_telemetry`].
     ///
     /// # Errors
@@ -150,9 +296,15 @@ impl SweepEngine {
     /// Runs the experiment's sweep and returns the shared-pass telemetry
     /// alongside the results.
     ///
-    /// Experiments with an observer always take the per-cell path (an
-    /// observer watches one cell's own run loop, which a lock-step
-    /// scheduler would preempt).
+    /// Experiments with an observer stay on the shared-pass path: each
+    /// cell's observer is driven from the lock-step scheduler, with
+    /// `on_interval` fired at the first step boundary **at or past** each
+    /// interval (the event core's step can jump several cycles, and the
+    /// scheduler rotates cells in quanta, so boundaries are not landed on
+    /// exactly — use [`Experiment::run_per_cell`] /
+    /// [`Processor::run_observed`] for exact-boundary sampling).
+    /// `Abort` is honoured per cell: the aborted cell records its partial
+    /// statistics while the rest of the group keeps running.
     ///
     /// # Errors
     ///
@@ -167,9 +319,9 @@ impl SweepEngine {
             .threads
             .or_else(|| experiment.threads_setting())
             .unwrap_or_else(default_threads);
-        if self.mode == SweepMode::PerCell || experiment.observer_fn().is_some() {
+        if self.mode == SweepMode::PerCell {
             return experiment
-                .run_per_cell_on(threads)
+                .run_per_cell_inner(threads, self.token.as_ref(), self.events.as_ref())
                 .map(|set| (set, SweepTelemetry::default()));
         }
         let cells = experiment.cells()?;
@@ -189,7 +341,14 @@ impl SweepEngine {
         }
 
         // Work-stealing over workload groups: few items, lopsided sizes.
-        let outcomes = work_steal_map(&groups, threads, |_, (_, idxs)| run_group(&cells, idxs));
+        let ctx = GroupCtx {
+            token: self.token.as_ref(),
+            events: self.events.as_ref(),
+            observer: experiment.observer_fn(),
+        };
+        let outcomes = work_steal_map(&groups, threads, |_, (_, idxs)| {
+            run_group(&cells, idxs, &ctx)
+        });
 
         let mut slots: Vec<Option<Result<SimStats, SqipError>>> =
             cells.iter().map(|_| None).collect();
@@ -225,13 +384,28 @@ struct GroupOutcome {
     telemetry: Option<GroupTelemetry>,
 }
 
+/// The sweep-wide controls threaded into each group's scheduler.
+struct GroupCtx<'a> {
+    token: Option<&'a CancelToken>,
+    events: Option<&'a CellEventFn>,
+    observer: Option<&'a ObserverFn>,
+}
+
+impl GroupCtx<'_> {
+    fn cancelled(&self) -> bool {
+        self.token.is_some_and(CancelToken::is_cancelled)
+    }
+}
+
 /// Runs one workload group on the calling worker thread.
-fn run_group(cells: &[Run], idxs: &[usize]) -> GroupOutcome {
+fn run_group(cells: &[Run], idxs: &[usize], ctx: &GroupCtx<'_>) -> GroupOutcome {
     if let [only] = idxs {
         // Single-cell groups take the plain per-cell path: a tee over one
         // consumer is pure overhead.
+        let result = cells[*only].execute_controlled(ctx.observer, ctx.token);
+        emit_cell_event(ctx.events, &cells[*only], *only, &result);
         return GroupOutcome {
-            results: vec![(*only, cells[*only].execute_standalone())],
+            results: vec![(*only, result)],
             telemetry: None,
         };
     }
@@ -271,7 +445,7 @@ fn run_group(cells: &[Run], idxs: &[usize]) -> GroupOutcome {
         (None, _) => unreachable!("non-streaming workloads always materialize"),
     };
 
-    drive_group(cells, idxs, workload, upstream)
+    drive_group(cells, idxs, workload, upstream, ctx)
 }
 
 /// The lock-step scheduler: one shared pass, one processor per cell,
@@ -281,6 +455,7 @@ fn drive_group(
     idxs: &[usize],
     workload: &Workload,
     upstream: Box<dyn TraceSource + '_>,
+    ctx: &GroupCtx<'_>,
 ) -> GroupOutcome {
     let n = idxs.len();
     let (tap, feed) = oracle_tap(upstream, RING_CAPACITY);
@@ -309,14 +484,31 @@ fn drive_group(
         }
     }
 
+    // Observers ride the lock-step loop: `on_interval` fires at the
+    // first step boundary at or past each interval (see
+    // `SweepEngine::run_with_telemetry`).
+    let mut observers: Vec<Option<Box<dyn SimObserver>>> = (0..n).map(|_| None).collect();
+    let mut boundaries = vec![u64::MAX; n];
+    if let Some(factory) = ctx.observer {
+        for (c, &i) in idxs.iter().enumerate() {
+            if procs[c].is_some() {
+                let mut obs = factory(&cells[i]);
+                obs.on_start(&cells[i].config, None);
+                boundaries[c] = obs.interval().max(1);
+                observers[c] = Some(obs);
+            }
+        }
+    }
+
     let fw: Vec<u64> = idxs
         .iter()
         .map(|&i| cells[i].config.fetch_width as u64)
         .collect();
     let mut peak_buffered = vec![0u64; n];
     let mut peak_lag = vec![0u64; n];
+    let mut cancelled = false;
 
-    loop {
+    'sweep: loop {
         let mut any_live = false;
         let mut progressed = false;
         for c in 0..n {
@@ -333,14 +525,30 @@ fn drive_group(
             progressed = true;
             let mut outcome = None;
             for _ in 0..QUANTUM {
+                if ctx.cancelled() {
+                    cancelled = true;
+                    break 'sweep;
+                }
                 match p.step() {
                     Ok(StepOutcome::Running) => {
                         peak_buffered[c] = peak_buffered[c].max(p.buffered_records() as u64);
+                        if p.cycle() >= boundaries[c] {
+                            let obs = observers[c].as_mut().expect("boundary set with observer");
+                            let interval = obs.interval().max(1);
+                            boundaries[c] = (p.cycle() / interval + 1) * interval;
+                            if obs.on_interval(p.cycle(), p.stats()) == ObserverAction::Abort {
+                                outcome = Some(Ok(p.stats().clone()));
+                                break;
+                            }
+                        }
                         if may_pull && tee.position(c) + fw[c] > tee.base() + cap {
                             break; // about to outrun the ring: rotate
                         }
                     }
                     Ok(StepOutcome::Done) => {
+                        if let Some(obs) = observers[c].as_mut() {
+                            obs.on_finish(p.stats());
+                        }
                         outcome = Some(Ok(p.stats().clone()));
                         break;
                     }
@@ -352,11 +560,13 @@ fn drive_group(
             }
             peak_lag[c] = peak_lag[c].max(tee.pulled().saturating_sub(tee.position(c)));
             if let Some(result) = outcome {
+                emit_cell_event(ctx.events, &cells[idxs[c]], idxs[c], &result);
                 results[c] = Some(result);
                 // Dropping the processor drops its tee cursor, releasing
                 // its ring holds so the group never waits on a finished
                 // (or failed) cell.
                 procs[c] = None;
+                observers[c] = None;
             }
         }
         if !any_live {
@@ -367,6 +577,18 @@ fn drive_group(
             "lock-step sweep wedged: no consumer was eligible to run \
              (scheduler invariant violation)"
         );
+    }
+    if cancelled {
+        // Unfinished cells report the cancellation; dropping their
+        // processors (with `procs`, below) drops their tee cursors.
+        for (c, slot) in results.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(Err(SqipError::Cancelled {
+                    cell: cells[idxs[c]].label(),
+                }));
+            }
+        }
+        drop(procs);
     }
 
     let telemetry = GroupTelemetry {

@@ -1,0 +1,137 @@
+//! The versioned `ExperimentSpec` wire schema: canonical round-trips,
+//! registry-name resolution, and strict rejection of anything the schema
+//! does not know (unknown fields, unknown names, unknown knobs, foreign
+//! versions).
+
+use sqip::{DesignRegistry, ExperimentSpec, SqipError, WorkloadRegistry, SPEC_VERSION};
+
+const CANONICAL: &str = r#"{"version":1,"workloads":["mix:0xfeed:20k","gzip"],"designs":["ideal-oracle","indexed-3-fwd+dly"],"variants":[{"name":"small-fsp","set":{"fsp_entries":512}}]}"#;
+
+#[test]
+fn canonical_json_round_trips_byte_identically() {
+    let spec = ExperimentSpec::from_json(CANONICAL).unwrap();
+    assert_eq!(spec.to_json(), CANONICAL);
+    // And the pretty form parses back to the same spec.
+    assert_eq!(
+        ExperimentSpec::from_json(&spec.to_json_pretty()).unwrap(),
+        spec
+    );
+    // A spec built through the API serializes to the same canonical form.
+    let built = ExperimentSpec::new(
+        ["mix:0xfeed:20k", "gzip"],
+        ["ideal-oracle", "indexed-3-fwd+dly"],
+    )
+    .variant("small-fsp", vec![("fsp_entries".to_string(), 512)]);
+    assert_eq!(built.to_json(), CANONICAL);
+}
+
+#[test]
+fn variants_field_is_optional_and_canonicalized() {
+    let spec = ExperimentSpec::from_json(
+        r#"{"version":1,"workloads":["gzip"],"designs":["ideal-oracle"]}"#,
+    )
+    .unwrap();
+    assert!(spec.variants.is_empty());
+    // `to_json` always emits the field: one canonical form.
+    assert_eq!(
+        spec.to_json(),
+        r#"{"version":1,"workloads":["gzip"],"designs":["ideal-oracle"],"variants":[]}"#
+    );
+}
+
+#[test]
+fn to_experiment_resolves_every_registry_name() {
+    // Every registered workload name and every registered design name is
+    // accepted — the spec surface covers the full registries.
+    let workloads: Vec<String> = WorkloadRegistry::global()
+        .names()
+        .iter()
+        .take(6)
+        .map(|n| n.to_string())
+        .collect();
+    let designs: Vec<String> = DesignRegistry::global()
+        .names()
+        .iter()
+        .map(|n| n.to_string())
+        .collect();
+    let n_cells = workloads.len() * designs.len();
+    let spec = ExperimentSpec::new(workloads, designs);
+    let experiment = spec.to_experiment().unwrap();
+    assert_eq!(experiment.cells().unwrap().len(), n_cells);
+}
+
+#[test]
+fn variant_knobs_reach_the_cell_configs() {
+    let spec = ExperimentSpec::new(["mix:1:10k"], ["indexed-3-fwd+dly"]).variant(
+        "tiny",
+        vec![
+            ("fsp_entries".to_string(), 512),
+            ("sq_size".to_string(), 32),
+        ],
+    );
+    let cells = spec.to_experiment().unwrap().cells().unwrap();
+    assert_eq!(cells.len(), 1);
+    assert_eq!(cells[0].config.fsp.entries, 512);
+    assert_eq!(cells[0].config.sq_size, 32);
+    // The coupled invariant: sq_size drags ddp.max_distance along, so the
+    // cell still validates.
+    assert_eq!(cells[0].config.ddp.max_distance, 32);
+}
+
+#[test]
+fn unknown_fields_are_rejected_at_parse_time() {
+    let err = ExperimentSpec::from_json(
+        r#"{"version":1,"workloads":["gzip"],"designs":["ideal-oracle"],"bogus":1}"#,
+    )
+    .unwrap_err();
+    assert!(matches!(err, SqipError::Parse(_)), "{err}");
+    assert!(err.to_string().contains("unknown field `bogus`"), "{err}");
+
+    let err = ExperimentSpec::from_json(
+        r#"{"version":1,"workloads":["gzip"],"designs":["ideal-oracle"],"variants":[{"name":"v","extra":true}]}"#,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("unknown field `extra`"), "{err}");
+}
+
+#[test]
+fn unknown_names_and_knobs_error_with_context() {
+    let spec = ExperimentSpec::new(["no-such-workload"], ["ideal-oracle"]);
+    let err = spec.to_experiment().unwrap_err();
+    assert!(matches!(err, SqipError::UnknownWorkload(_)), "{err}");
+
+    let spec = ExperimentSpec::new(["gzip"], ["no-such-design"]);
+    let err = spec.to_experiment().unwrap_err();
+    assert!(matches!(err, SqipError::UnknownDesign(_)), "{err}");
+    assert!(err.to_string().contains("no-such-design"), "{err}");
+
+    let spec = ExperimentSpec::new(["gzip"], ["ideal-oracle"])
+        .variant("v", vec![("warp_factor".to_string(), 9)]);
+    let err = spec.to_experiment().unwrap_err();
+    assert!(matches!(err, SqipError::Config(_)), "{err}");
+    assert!(
+        err.to_string().contains("unknown knob `warp_factor`"),
+        "{err}"
+    );
+}
+
+#[test]
+fn foreign_versions_are_rejected() {
+    let spec = ExperimentSpec {
+        version: SPEC_VERSION + 1,
+        ..ExperimentSpec::new(["gzip"], ["ideal-oracle"])
+    };
+    let err = spec.to_experiment().unwrap_err();
+    assert!(
+        err.to_string().contains("unsupported spec version"),
+        "{err}"
+    );
+}
+
+#[test]
+fn specs_run_end_to_end() {
+    let spec = ExperimentSpec::new(["mix:0xfeed:10k"], ["ideal-oracle", "indexed-3-fwd+dly"]);
+    let results = spec.to_experiment().unwrap().run().unwrap();
+    assert_eq!(results.len(), 2);
+    assert!(results.records().iter().all(|r| r.stats.committed > 0));
+}

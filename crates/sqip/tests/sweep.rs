@@ -278,11 +278,11 @@ fn sweep_telemetry_reports_bounded_buffering() {
     }
 }
 
-/// Per-cell fallback: observers force the per-cell path (documented), and
-/// `SweepMode::PerCell` is available explicitly; both match the shared
-/// results.
+/// `SweepMode::PerCell` is available explicitly, and observed
+/// experiments stay on the shared pass (the PR 5 fallback is gone);
+/// both match the shared results bit for bit.
 #[test]
-fn per_cell_mode_and_observer_fallback_match_shared_results() {
+fn per_cell_mode_and_observed_runs_match_shared_results() {
     let experiment = Experiment::new()
         .workload(Workload::from_registry("chase:128:64:20k").unwrap())
         .designs([SqDesign::IdealOracle, SqDesign::Indexed3FwdDly])
