@@ -1,0 +1,13 @@
+//! Fixture: seeded randomness — reproducible from the recorded seed.
+
+use rand::{Rng, SeedableRng, SmallRng};
+
+pub fn shuffle_seed(root_seed: u64, stream: u64) -> u64 {
+    // Splitmix-style per-stream derivation, as the loader does it.
+    let mut rng = SmallRng::seed_from_u64(root_seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    rng.gen()
+}
+
+pub fn from_fixed(seed: [u8; 32]) -> SmallRng {
+    SmallRng::from_seed(seed)
+}

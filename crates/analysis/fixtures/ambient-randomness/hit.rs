@@ -1,0 +1,20 @@
+//! Fixture: ambient randomness that can never be replayed. Mentions in
+//! comments ("thread_rng") and strings must NOT be flagged.
+
+use rand::thread_rng; // HIT
+
+pub fn shuffle_seed() -> u64 {
+    // thread_rng in this comment is fine.
+    let mut rng = thread_rng(); // HIT
+    let _doc = "rand::random is fine in a string";
+    rng.gen()
+}
+
+pub fn lucky() -> u64 {
+    rand::random::<u64>() // HIT
+}
+
+pub fn entropy() -> u64 {
+    let rng = SmallRng::from_entropy(); // HIT
+    rng.gen()
+}

@@ -1,0 +1,9 @@
+//! Fixture: a crate root carrying the attribute (position and company
+//! of other attributes do not matter).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+fn main() {
+    println!("safe crate root");
+}

@@ -1,0 +1,9 @@
+//! Fixture: a crate root (lint runs this file with `is_crate_root`
+//! set) missing `#![forbid(unsafe_code)]`. Other inner attributes do
+//! not satisfy the rule; the finding anchors to line 1.
+
+#![warn(missing_docs)]
+
+fn main() {
+    println!("a bin crate root without forbid(unsafe_code)");
+}

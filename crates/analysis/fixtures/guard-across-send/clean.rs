@@ -1,0 +1,25 @@
+//! Fixture: the same communication patterns with the guard released
+//! before anything can block.
+
+pub fn broadcast(state: &std::sync::Mutex<Vec<u64>>, tx: &std::sync::mpsc::SyncSender<u64>) {
+    // Copy out, drop, then send: a blocked consumer never holds the lock.
+    let (first, second) = {
+        let guard = state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        (guard[0], guard[1])
+    };
+    tx.send(first).ok();
+    tx.try_send(second).ok();
+}
+
+pub fn flush_stats(state: &std::sync::Mutex<String>, out: &mut impl std::io::Write) {
+    let stats = state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let bytes = stats.clone().into_bytes();
+    drop(stats);
+    out.write_all(&bytes).ok();
+    out.flush().ok();
+}
+
+pub fn send_without_any_lock(tx: &std::sync::mpsc::SyncSender<u64>) {
+    let value = 42;
+    tx.send(value).ok();
+}

@@ -1,0 +1,26 @@
+//! Fixture: a lock guard held across blocking channel/socket calls —
+//! the stalled-client hazard. Sends *after* the guard's block ends, or
+//! after an explicit `drop(guard)`, must NOT be flagged (see clean.rs).
+
+pub fn broadcast(state: &std::sync::Mutex<Vec<u64>>, tx: &std::sync::mpsc::SyncSender<u64>) {
+    let guard = state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    // The channel is bounded: this can block while the lock is held.
+    tx.send(guard[0]).ok(); // HIT
+    tx.try_send(guard[1]).ok(); // HIT
+}
+
+pub fn flush_stats(state: &std::sync::Mutex<String>, out: &mut impl std::io::Write) {
+    let stats = state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    out.write_all(stats.as_bytes()).ok(); // HIT
+    out.flush().ok(); // HIT
+}
+
+pub fn nested_block_still_counts(
+    state: &std::sync::Mutex<u64>,
+    tx: &std::sync::mpsc::SyncSender<u64>,
+) {
+    let guard = state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if *guard > 0 {
+        tx.send(*guard).ok(); // HIT
+    }
+}

@@ -1,0 +1,21 @@
+//! Fixture: the same handler degrading gracefully — every failure
+//! becomes an error value or a recovered default, never a panic.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the data if a previous holder panicked.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub fn handle(line: &str, table: &Mutex<u32>) -> Result<u32, String> {
+    let parsed: u32 = line
+        .parse()
+        .map_err(|e| format!("bad job id `{line}`: {e}"))?;
+    let guard = lock_unpoisoned(table);
+    match parsed {
+        0 => Err("zero is not a job id".to_string()),
+        n if n < 4 => Err(format!("job class {n} is not supported")),
+        _ => Ok(*guard + parsed),
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: panicking constructs in service code. Recovery combinators
+//! (`unwrap_or_else`), comments and strings must NOT be flagged, nor
+//! may anything inside `#[cfg(test)]` / `#[test]` items.
+
+pub fn handle(line: &str, table: &std::sync::Mutex<u32>) -> u32 {
+    // .unwrap() in this comment is fine.
+    let parsed: u32 = line.parse().unwrap(); // HIT
+    let guard = table.lock().expect("table lock"); // HIT
+    let _msg = "calling .unwrap() in a string is fine";
+    let fallback = line.parse().unwrap_or_else(|_| 0); // recovery: not flagged
+    match parsed {
+        0 => panic!("zero is not a job id"), // HIT
+        1 => unreachable!(), // HIT
+        2 => todo!("job class 2"), // HIT
+        3 => unimplemented!(), // HIT
+        _ => *guard + fallback,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: u32 = "7".parse().unwrap();
+        assert_eq!(v, 7);
+    }
+}

@@ -1,0 +1,26 @@
+//! Fixture: the same serialization path on ordered containers — the
+//! emitted artifact is a pure function of the data.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn emit_rows(stats: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (name, value) in stats {
+        out.push_str(&format!("{name},{value}\n"));
+    }
+    out
+}
+
+pub fn seen_designs() -> BTreeSet<String> {
+    BTreeSet::new()
+}
+
+/// An explicitly sorted Vec is equally fine.
+pub fn emit_sorted(mut rows: Vec<(String, u64)>) -> String {
+    rows.sort();
+    let mut out = String::new();
+    for (name, value) in rows {
+        out.push_str(&format!("{name},{value}\n"));
+    }
+    out
+}

@@ -1,0 +1,19 @@
+//! Fixture: hash containers on a result-serialization path. "HashMap"
+//! in doc comments and strings must NOT be flagged.
+
+use std::collections::HashMap; // HIT
+use std::collections::HashSet; // HIT
+
+/// Mentions of HashMap in docs are fine.
+pub fn emit_rows(stats: &HashMap<String, u64>) -> String { // HIT
+    // Iteration order leaks straight into the artifact.
+    let mut out = String::from("HashMap header is fine in a string\n");
+    for (name, value) in stats {
+        out.push_str(&format!("{name},{value}\n"));
+    }
+    out
+}
+
+pub fn seen_designs() -> HashSet<String> { // HIT
+    HashSet::new() // HIT
+}

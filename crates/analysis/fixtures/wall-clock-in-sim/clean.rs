@@ -1,0 +1,18 @@
+//! Fixture: the same stage timer, expressed in simulated cycles — the
+//! only notion of time simulation code may use.
+
+pub struct StageTimer {
+    started_cycle: u64,
+}
+
+impl StageTimer {
+    pub fn start(now_cycle: u64) -> Self {
+        StageTimer {
+            started_cycle: now_cycle,
+        }
+    }
+
+    pub fn elapsed_cycles(&self, now_cycle: u64) -> u64 {
+        now_cycle - self.started_cycle
+    }
+}

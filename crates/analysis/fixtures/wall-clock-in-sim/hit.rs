@@ -1,0 +1,29 @@
+//! Fixture: a simulation module that reaches for host time. Each line
+//! expected to fire carries a trailing hit marker; `Instant::now` in a
+//! doc comment or string must NOT be flagged.
+
+use std::time::Instant; // HIT
+
+/// Doc text mentioning Instant::now() is fine.
+pub struct StageTimer {
+    started: Instant, // HIT
+}
+
+impl StageTimer {
+    pub fn start() -> Self {
+        // A comment mentioning SystemTime is fine.
+        let started = Instant::now(); // HIT
+        let _label = "Instant::now() in a string is fine";
+        StageTimer { started }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_in_tests_is_allowed() {
+        let _t = std::time::Instant::now(); // not flagged: test code
+    }
+}

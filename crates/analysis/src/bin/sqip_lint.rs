@@ -1,0 +1,125 @@
+//! `sqip-lint` — run the workspace determinism & robustness pass.
+//!
+//! ```text
+//! # From anywhere inside the workspace:
+//! cargo run -p sqip-analysis --bin sqip-lint
+//!
+//! # Elsewhere, point it at the workspace / a config explicitly:
+//! sqip-lint --root /path/to/repo [--config /path/to/lint.toml]
+//!
+//! # The catalogue:
+//! sqip-lint --list-rules
+//! ```
+//!
+//! Exits 0 when no error-severity findings remain, 1 on findings, 2 on
+//! usage/configuration errors. Warnings are reported but do not fail
+//! the run.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sqip_analysis::{config::Config, engine, find_workspace_root, rules};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: sqip-lint [--root PATH] [--config PATH] [--quiet] [--list-rules]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--config" => match args.next() {
+                Some(v) => config = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--list-rules" => {
+                for rule in rules::all() {
+                    println!("{:<22} {}", rule.name, rule.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                let _ = usage();
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                return usage();
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let start = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match find_workspace_root(&start) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "error: no lint.toml found in {} or any ancestor (pass --root)",
+                        start.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let config_path = config.unwrap_or_else(|| root.join("lint.toml"));
+    let cfg = match Config::load(&config_path) {
+        Ok(cfg) => cfg,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match engine::run(&root, &cfg) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("error: {err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if !quiet {
+        for finding in &report.findings {
+            println!("{finding}");
+        }
+    }
+    let errors = report.errors();
+    println!(
+        "sqip-lint: {} files checked, {} error{}, {} warning{}, {} suppression{} honoured",
+        report.files,
+        errors,
+        plural(errors),
+        report.warnings(),
+        plural(report.warnings()),
+        report.suppressed,
+        plural(report.suppressed),
+    );
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}

@@ -1,0 +1,414 @@
+//! `lint.toml` — the root configuration scoping each rule to crates.
+//!
+//! No TOML crate is vendored, so this is a strict parser for the small
+//! subset the config actually uses: `[section]` headers, `key = value`
+//! with string / boolean / single-line string-array values, and `#`
+//! comments. Anything outside that subset is a hard error — a typo in
+//! `lint.toml` should fail the lint run, not silently widen or narrow a
+//! rule's scope.
+//!
+//! ```toml
+//! [lint]
+//! roots = ["crates"]
+//! exclude = ["crates/analysis/fixtures"]
+//!
+//! [rules.panic-in-service]
+//! severity = "error"
+//! paths = ["crates/service/src"]
+//! # exempt = ["crates/foo: why this crate cannot satisfy the rule"]
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// How a finding from a rule is reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported, but does not fail the run.
+    Warn,
+    /// Fails the run (exit code 1 / test failure).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warn => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// A per-file exemption from a rule, with a mandatory reason (the
+/// config-level analogue of an inline suppression).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Exemption {
+    /// Workspace-relative path prefix the exemption covers.
+    pub path: String,
+    /// Why the exemption exists. Never empty.
+    pub reason: String,
+}
+
+/// Configuration of one rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleConfig {
+    /// Severity of the rule's findings.
+    pub severity: Severity,
+    /// Workspace-relative path prefixes the rule applies to. A rule
+    /// with no `paths` entry never runs — scope is always explicit.
+    pub paths: Vec<String>,
+    /// Path prefixes excused from the rule, each with a reason
+    /// (written `"path: reason"` in the TOML).
+    pub exempt: Vec<Exemption>,
+}
+
+impl Default for RuleConfig {
+    fn default() -> Self {
+        RuleConfig {
+            severity: Severity::Error,
+            paths: Vec::new(),
+            exempt: Vec::new(),
+        }
+    }
+}
+
+/// The parsed `lint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Config {
+    /// Directories (workspace-relative) walked for `.rs` sources.
+    pub roots: Vec<String>,
+    /// Path prefixes never walked (fixtures, generated code).
+    pub exclude: Vec<String>,
+    /// Per-rule configuration, keyed by rule name. A `BTreeMap` on
+    /// purpose: iteration order feeds the (deterministic) report.
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            roots: vec!["crates".to_string()],
+            exclude: Vec::new(),
+            rules: BTreeMap::new(),
+        }
+    }
+}
+
+/// One parsed right-hand-side value.
+enum Value {
+    Str(String),
+    Array(Vec<String>),
+}
+
+impl Config {
+    /// Reads and parses `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the I/O or parse failure.
+    pub fn load(path: &Path) -> Result<Config, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Config::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Parses the `lint.toml` subset described in the module docs.
+    ///
+    /// # Errors
+    ///
+    /// Returns `"line N: …"` for the first malformed line — unknown
+    /// sections and keys are errors, not warnings.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        for (n, line) in logical_lines(text)? {
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(format!("line {n}: unterminated section header"));
+                };
+                let name = name.trim();
+                if name != "lint" && !name.starts_with("rules.") {
+                    return Err(format!(
+                        "line {n}: unknown section `[{name}]` (expected `[lint]` or `[rules.<name>]`)"
+                    ));
+                }
+                if let Some(rule) = name.strip_prefix("rules.") {
+                    if rule.is_empty() {
+                        return Err(format!("line {n}: empty rule name in section header"));
+                    }
+                }
+                section = name.to_string();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {n}: expected `key = value`"));
+            };
+            let key = key.trim();
+            let value = parse_value(value.trim()).map_err(|e| format!("line {n}: {e}"))?;
+            match (section.as_str(), key) {
+                ("lint", "roots") => cfg.roots = expect_array(value, n)?,
+                ("lint", "exclude") => cfg.exclude = expect_array(value, n)?,
+                ("lint", other) => {
+                    return Err(format!("line {n}: unknown key `{other}` in [lint]"));
+                }
+                ("", _) => {
+                    return Err(format!("line {n}: key before any section header"));
+                }
+                (sec, key) => {
+                    let rule = sec
+                        .strip_prefix("rules.")
+                        .map_or_else(String::new, str::to_string);
+                    let rc = cfg.rules.entry(rule).or_default();
+                    match key {
+                        "severity" => {
+                            rc.severity = match expect_str(value, n)?.as_str() {
+                                "error" => Severity::Error,
+                                "warn" => Severity::Warn,
+                                other => {
+                                    return Err(format!(
+                                        "line {n}: severity must be \"error\" or \"warn\", got \"{other}\""
+                                    ));
+                                }
+                            };
+                        }
+                        "paths" => rc.paths = expect_array(value, n)?,
+                        "exempt" => {
+                            for entry in expect_array(value, n)? {
+                                let Some((path, reason)) = entry.split_once(':') else {
+                                    return Err(format!(
+                                        "line {n}: exemption `{entry}` must be \"path: reason\""
+                                    ));
+                                };
+                                let reason = reason.trim();
+                                if reason.is_empty() {
+                                    return Err(format!(
+                                        "line {n}: exemption for `{path}` has an empty reason"
+                                    ));
+                                }
+                                rc.exempt.push(Exemption {
+                                    path: path.trim().to_string(),
+                                    reason: reason.to_string(),
+                                });
+                            }
+                        }
+                        other => {
+                            return Err(format!("line {n}: unknown key `{other}` in [{sec}]"));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Strips comments and joins multi-line arrays into single logical
+/// lines; returns `(first line number, text)` pairs.
+fn logical_lines(text: &str) -> Result<Vec<(usize, String)>, String> {
+    let mut out: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String, i64)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let n = idx + 1;
+        let stripped = strip_comment(raw).trim().to_string();
+        if stripped.is_empty() {
+            continue;
+        }
+        let bal = bracket_balance(&stripped);
+        let (start, acc, depth) = match pending.take() {
+            None => (n, stripped, bal),
+            Some((start, mut acc, depth)) => {
+                acc.push(' ');
+                acc.push_str(&stripped);
+                (start, acc, depth + bal)
+            }
+        };
+        if depth > 0 {
+            pending = Some((start, acc, depth));
+        } else if depth < 0 {
+            return Err(format!("line {n}: unbalanced `]`"));
+        } else {
+            out.push((start, acc));
+        }
+    }
+    if let Some((start, _, _)) = pending {
+        return Err(format!("line {start}: unterminated array"));
+    }
+    Ok(out)
+}
+
+/// Net `[`/`]` balance outside quoted strings.
+fn bracket_balance(line: &str) -> i64 {
+    let mut bal = 0i64;
+    let mut in_str = false;
+    for c in line.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => bal += 1,
+            ']' if !in_str => bal -= 1,
+            _ => {}
+        }
+    }
+    bal
+}
+
+/// Cuts a `#` comment, respecting `"`-quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(v: &str) -> Result<Value, String> {
+    if let Some(rest) = v.strip_prefix('[') {
+        let Some(inner) = rest.strip_suffix(']') else {
+            return Err("arrays must open and close on one line".to_string());
+        };
+        let mut items = Vec::new();
+        let mut rest = inner.trim();
+        while !rest.is_empty() {
+            let (item, tail) = take_string(rest)?;
+            items.push(item);
+            rest = tail.trim();
+            if let Some(after) = rest.strip_prefix(',') {
+                rest = after.trim();
+            } else if !rest.is_empty() {
+                return Err(format!("expected `,` between array items, found `{rest}`"));
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    if v.starts_with('"') {
+        let (s, tail) = take_string(v)?;
+        if !tail.trim().is_empty() {
+            return Err(format!("trailing input after string: `{tail}`"));
+        }
+        return Ok(Value::Str(s));
+    }
+    Err(format!(
+        "unsupported value `{v}` (strings and string arrays only)"
+    ))
+}
+
+/// Takes one `"…"` string off the front of `v`; no escape support (the
+/// config never needs it). Returns the content and the remaining input.
+fn take_string(v: &str) -> Result<(String, &str), String> {
+    let Some(rest) = v.strip_prefix('"') else {
+        return Err(format!("expected a quoted string, found `{v}`"));
+    };
+    let Some(end) = rest.find('"') else {
+        return Err("unterminated string".to_string());
+    };
+    Ok((rest[..end].to_string(), &rest[end + 1..]))
+}
+
+fn expect_array(v: Value, n: usize) -> Result<Vec<String>, String> {
+    match v {
+        Value::Array(a) => Ok(a),
+        Value::Str(_) => Err(format!("line {n}: expected an array of strings")),
+    }
+}
+
+fn expect_str(v: Value, n: usize) -> Result<String, String> {
+    match v {
+        Value::Str(s) => Ok(s),
+        Value::Array(_) => Err(format!("line {n}: expected a string")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let cfg = Config::parse(
+            r#"
+# top comment
+[lint]
+roots = ["crates"]            # inline comment
+exclude = ["crates/analysis/fixtures", "target"]
+
+[rules.panic-in-service]
+severity = "error"
+paths = ["crates/service/src"]
+
+[rules.forbid-unsafe]
+severity = "warn"
+paths = ["crates"]
+exempt = ["crates/ffi: links against a C library"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.roots, vec!["crates"]);
+        assert_eq!(cfg.exclude, vec!["crates/analysis/fixtures", "target"]);
+        let panic = &cfg.rules["panic-in-service"];
+        assert_eq!(panic.severity, Severity::Error);
+        assert_eq!(panic.paths, vec!["crates/service/src"]);
+        let unsafe_rule = &cfg.rules["forbid-unsafe"];
+        assert_eq!(unsafe_rule.severity, Severity::Warn);
+        assert_eq!(
+            unsafe_rule.exempt,
+            vec![Exemption {
+                path: "crates/ffi".to_string(),
+                reason: "links against a C library".to_string(),
+            }]
+        );
+    }
+
+    #[test]
+    fn multi_line_arrays_join() {
+        let cfg = Config::parse(
+            "[rules.wall-clock-in-sim]\npaths = [\n    \"crates/core\",  # sim core\n    \"crates/isa\",\n]\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.rules["wall-clock-in-sim"].paths,
+            vec!["crates/core", "crates/isa"]
+        );
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let cfg = Config::parse("[lint]\nroots = [\"with#hash\"]\n").unwrap();
+        assert_eq!(cfg.roots, vec!["with#hash"]);
+    }
+
+    #[test]
+    fn unknown_sections_and_keys_are_errors() {
+        assert!(Config::parse("[wat]\n")
+            .unwrap_err()
+            .contains("unknown section"));
+        assert!(Config::parse("[lint]\nwat = \"x\"\n")
+            .unwrap_err()
+            .contains("unknown key"));
+        assert!(Config::parse("[rules.x]\nwat = \"x\"\n")
+            .unwrap_err()
+            .contains("unknown key"));
+        assert!(Config::parse("x = \"y\"\n")
+            .unwrap_err()
+            .contains("before any section"));
+    }
+
+    #[test]
+    fn malformed_values_are_errors() {
+        assert!(Config::parse("[lint]\nroots = [\"a\"\n").is_err());
+        assert!(Config::parse("[lint]\nroots = 5\n").is_err());
+        assert!(Config::parse("[rules.x]\nseverity = \"fatal\"\n").is_err());
+        assert!(Config::parse("[rules.x]\nexempt = [\"no reason given\"]\n").is_err());
+        assert!(Config::parse("[rules.x]\nexempt = [\"path:  \"]\n").is_err());
+    }
+
+    #[test]
+    fn empty_config_gets_defaults() {
+        let cfg = Config::parse("").unwrap();
+        assert_eq!(cfg.roots, vec!["crates"]);
+        assert!(cfg.rules.is_empty());
+    }
+}

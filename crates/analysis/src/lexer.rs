@@ -1,0 +1,568 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! `sqip-lint` needs just enough lexical structure to tell *code* apart
+//! from comments and string literals, with correct line numbers — no
+//! `syn` is vendored, so the lexer is in-tree and self-tested. It
+//! handles the parts of Rust's lexical grammar that trip up regex-based
+//! scanners:
+//!
+//! - line, block (nested!) and doc comments,
+//! - string, byte-string and **raw** string literals (`r#"…"#`),
+//! - raw identifiers (`r#match`),
+//! - the `'a` lifetime vs `'x'` char-literal ambiguity,
+//! - numeric literals (enough to not split `1_000.5` oddly).
+//!
+//! It is *not* a full lexer: tokens it does not recognise fall back to
+//! single-character [`TokKind::Punct`] tokens, which is always safe for
+//! the pattern matching the rules do.
+
+/// The kind of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`foo`, `fn`, `r#match`).
+    Ident,
+    /// A lifetime (`'a`, `'static`) — note: no closing quote.
+    Lifetime,
+    /// A character or byte literal (`'x'`, `'\n'`, `b'a'`).
+    Char,
+    /// A string or byte-string literal with escapes (`"…"`, `b"…"`).
+    Str,
+    /// A raw string or raw byte-string literal (`r"…"`, `br#"…"#`).
+    RawStr,
+    /// A numeric literal.
+    Num,
+    /// A `// …` comment (to end of line).
+    LineComment,
+    /// A `/* … */` comment; nesting is handled.
+    BlockComment,
+    /// A doc comment (`///`, `//!`, `/** … */`, `/*! … */`).
+    DocComment,
+    /// Any other single character (`{`, `.`, `#`, …).
+    Punct,
+}
+
+impl TokKind {
+    /// Whether this token is any flavour of comment.
+    #[must_use]
+    pub fn is_comment(self) -> bool {
+        matches!(
+            self,
+            TokKind::LineComment | TokKind::BlockComment | TokKind::DocComment
+        )
+    }
+}
+
+/// One lexed token: its kind, the exact source slice, and the 1-based
+/// line its first character sits on.
+#[derive(Debug, Clone, Copy)]
+pub struct Token<'src> {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The exact source text of the token.
+    pub text: &'src str,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+impl Token<'_> {
+    /// Whether this is a [`TokKind::Punct`] equal to `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.starts_with(c)
+    }
+
+    /// Whether this is an [`TokKind::Ident`] equal to `name`.
+    #[must_use]
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: malformed input
+/// degrades to [`TokKind::Punct`] tokens rather than erroring, so the
+/// linter stays usable on work-in-progress code.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    while i < b.len() {
+        let start = i;
+        let start_line = line;
+        let c = b[i];
+
+        // Whitespace (line counting happens here and inside multi-line
+        // literals/comments only; every other arm stays on one line or
+        // counts its own newlines).
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            let text = &src[start..i];
+            let kind = if (text.starts_with("///") && !text.starts_with("////"))
+                || text.starts_with("//!")
+            {
+                TokKind::DocComment
+            } else {
+                TokKind::LineComment
+            };
+            out.push(Token {
+                kind,
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let mut depth = 1u32;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'\n' {
+                    line += 1;
+                    i += 1;
+                } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            let text = &src[start..i];
+            let kind = if (text.starts_with("/**") && text != "/**/" && !text.starts_with("/***"))
+                || text.starts_with("/*!")
+            {
+                TokKind::DocComment
+            } else {
+                TokKind::BlockComment
+            };
+            out.push(Token {
+                kind,
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Plain string literal.
+        if c == b'"' {
+            i = scan_string(src, i, &mut line);
+            out.push(Token {
+                kind: TokKind::Str,
+                text: &src[start..i],
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            let (end, kind) = scan_quote(src, i);
+            i = end;
+            out.push(Token {
+                kind,
+                text: &src[start..i],
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                j += 1;
+            }
+            if j + 1 < b.len() && b[j] == b'.' && b[j + 1].is_ascii_digit() {
+                j += 1;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+            }
+            i = j;
+            out.push(Token {
+                kind: TokKind::Num,
+                text: &src[start..i],
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Identifiers, keywords, and the literal prefixes r / b / br.
+        if c == b'_' || c.is_ascii_alphabetic() {
+            let mut j = i + 1;
+            while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                j += 1;
+            }
+            let ident = &src[i..j];
+
+            // Raw string (`r"…"`, `r#"…"#`, `br#"…"#`) or raw ident.
+            if (ident == "r" || ident == "br") && j < b.len() && (b[j] == b'"' || b[j] == b'#') {
+                let mut k = j;
+                let mut hashes = 0usize;
+                while k < b.len() && b[k] == b'#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < b.len() && b[k] == b'"' {
+                    k += 1;
+                    loop {
+                        if k >= b.len() {
+                            break;
+                        }
+                        if b[k] == b'\n' {
+                            line += 1;
+                            k += 1;
+                            continue;
+                        }
+                        if b[k] == b'"'
+                            && b.len() - (k + 1) >= hashes
+                            && b[k + 1..=k + hashes].iter().all(|&h| h == b'#')
+                        {
+                            k += 1 + hashes;
+                            break;
+                        }
+                        k += 1;
+                    }
+                    i = k;
+                    out.push(Token {
+                        kind: TokKind::RawStr,
+                        text: &src[start..i],
+                        line: start_line,
+                    });
+                    continue;
+                }
+                if ident == "r"
+                    && hashes == 1
+                    && k < b.len()
+                    && (b[k] == b'_' || b[k].is_ascii_alphabetic())
+                {
+                    // Raw identifier `r#match`.
+                    let mut m = k;
+                    while m < b.len() && (b[m].is_ascii_alphanumeric() || b[m] == b'_') {
+                        m += 1;
+                    }
+                    i = m;
+                    out.push(Token {
+                        kind: TokKind::Ident,
+                        text: &src[start..i],
+                        line: start_line,
+                    });
+                    continue;
+                }
+            }
+
+            // Byte string `b"…"` / byte char `b'a'`.
+            if ident == "b" && j < b.len() && b[j] == b'"' {
+                i = scan_string(src, j, &mut line);
+                out.push(Token {
+                    kind: TokKind::Str,
+                    text: &src[start..i],
+                    line: start_line,
+                });
+                continue;
+            }
+            if ident == "b" && j < b.len() && b[j] == b'\'' {
+                i = scan_char_body(src, j);
+                out.push(Token {
+                    kind: TokKind::Char,
+                    text: &src[start..i],
+                    line: start_line,
+                });
+                continue;
+            }
+
+            i = j;
+            out.push(Token {
+                kind: TokKind::Ident,
+                text: ident,
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Anything else: one (possibly multi-byte) character of
+        // punctuation.
+        let ch_len = src[i..].chars().next().map_or(1, char::len_utf8);
+        i += ch_len;
+        out.push(Token {
+            kind: TokKind::Punct,
+            text: &src[start..i],
+            line: start_line,
+        });
+    }
+
+    out
+}
+
+/// Scans a `"`-delimited (byte-)string starting at the opening quote
+/// `open`; returns the index one past the closing quote and counts
+/// embedded newlines into `line`.
+fn scan_string(src: &str, open: usize, line: &mut u32) -> usize {
+    let b = src.as_bytes();
+    let mut i = open + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => {
+                // An escaped newline (line continuation) still advances
+                // the line counter.
+                if i + 1 < b.len() && b[i + 1] == b'\n' {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+/// Scans the body of a char literal whose opening `'` is at `open`;
+/// returns the index one past the closing quote (or end of input).
+fn scan_char_body(src: &str, open: usize) -> usize {
+    let b = src.as_bytes();
+    let mut i = open + 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+/// Disambiguates `'` at index `open`: char literal (`'x'`, `'\n'`) vs
+/// lifetime (`'a`, `'static`). Returns the end index and token kind.
+fn scan_quote(src: &str, open: usize) -> (usize, TokKind) {
+    let rest = &src[open + 1..];
+    let Some(c1) = rest.chars().next() else {
+        return (open + 1, TokKind::Punct);
+    };
+    if c1 == '\\' {
+        // Escaped char literal.
+        return (scan_char_body(src, open), TokKind::Char);
+    }
+    let c1_len = c1.len_utf8();
+    if c1 != '\'' && rest[c1_len..].starts_with('\'') {
+        // Exactly one character then a closing quote: `'x'`, `'_'`.
+        return (open + 1 + c1_len + 1, TokKind::Char);
+    }
+    if c1 == '_' || c1.is_alphabetic() {
+        // A lifetime: consume the identifier, no closing quote.
+        let b = src.as_bytes();
+        let mut j = open + 1 + c1_len;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        return (j, TokKind::Lifetime);
+    }
+    // A stray quote; treat as punctuation.
+    (open + 1, TokKind::Punct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        assert_eq!(
+            kinds("let x = 42;"),
+            vec![
+                (TokKind::Ident, "let"),
+                (TokKind::Ident, "x"),
+                (TokKind::Punct, "="),
+                (TokKind::Num, "42"),
+                (TokKind::Punct, ";"),
+            ]
+        );
+        assert_eq!(
+            kinds("1_000.5f64 0..10"),
+            vec![
+                (TokKind::Num, "1_000.5f64"),
+                (TokKind::Num, "0"),
+                (TokKind::Punct, "."),
+                (TokKind::Punct, "."),
+                (TokKind::Num, "10"),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_comments_vs_doc_comments() {
+        assert_eq!(
+            kinds("// plain\n/// doc\n//! inner\n//// not doc"),
+            vec![
+                (TokKind::LineComment, "// plain"),
+                (TokKind::DocComment, "/// doc"),
+                (TokKind::DocComment, "//! inner"),
+                (TokKind::LineComment, "//// not doc"),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still outer */ b";
+        assert_eq!(
+            kinds(src),
+            vec![
+                (TokKind::Ident, "a"),
+                (TokKind::BlockComment, "/* outer /* inner */ still outer */"),
+                (TokKind::Ident, "b"),
+            ]
+        );
+    }
+
+    #[test]
+    fn block_doc_comments() {
+        assert_eq!(kinds("/** d */")[0].0, TokKind::DocComment);
+        assert_eq!(kinds("/*! d */")[0].0, TokKind::DocComment);
+        assert_eq!(kinds("/**/")[0].0, TokKind::BlockComment);
+        assert_eq!(kinds("/*** deco ***/")[0].0, TokKind::BlockComment);
+    }
+
+    #[test]
+    fn strings_hide_code_and_count_lines() {
+        let toks = lex("\"Instant::now() // not code\" after");
+        assert_eq!(toks[0].kind, TokKind::Str);
+        assert_eq!(toks[1].text, "after");
+
+        let toks = lex("let s = \"two\nlines\";\nnext");
+        let next = toks.iter().find(|t| t.text == "next").unwrap();
+        assert_eq!(next.line, 3);
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        assert_eq!(
+            kinds(r#""with \" escaped" x"#),
+            vec![
+                (TokKind::Str, r#""with \" escaped""#),
+                (TokKind::Ident, "x"),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r####"r#"contains "quotes" and \ no escapes"# x"####;
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokKind::RawStr);
+        assert_eq!(toks[1], (TokKind::Ident, "x"));
+
+        let src = r####"r##"one "# inside"## y"####;
+        let toks = kinds(src);
+        assert_eq!(toks[0].0, TokKind::RawStr);
+        assert_eq!(toks[1], (TokKind::Ident, "y"));
+
+        // Unadorned and byte-raw forms.
+        assert_eq!(kinds(r#"r"plain""#)[0].0, TokKind::RawStr);
+        assert_eq!(kinds(r##"br#"bytes"#"##)[0].0, TokKind::RawStr);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(
+            kinds("r#match r#try x"),
+            vec![
+                (TokKind::Ident, "r#match"),
+                (TokKind::Ident, "r#try"),
+                (TokKind::Ident, "x"),
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        assert_eq!(
+            kinds("&'a str"),
+            vec![
+                (TokKind::Punct, "&"),
+                (TokKind::Lifetime, "'a"),
+                (TokKind::Ident, "str"),
+            ]
+        );
+        assert_eq!(kinds("'x'"), vec![(TokKind::Char, "'x'")]);
+        assert_eq!(kinds("'_'"), vec![(TokKind::Char, "'_'")]);
+        assert_eq!(kinds("'static")[0].0, TokKind::Lifetime);
+        assert_eq!(
+            kinds("'\\n' '\\u{1F600}' '\\''"),
+            vec![
+                (TokKind::Char, "'\\n'"),
+                (TokKind::Char, "'\\u{1F600}'"),
+                (TokKind::Char, "'\\''"),
+            ]
+        );
+        // Lifetime immediately followed by more tokens.
+        assert_eq!(
+            kinds("fn f<'a>(x: &'a u8) {}")
+                .iter()
+                .filter(|(k, _)| *k == TokKind::Lifetime)
+                .count(),
+            2
+        );
+        // Byte char.
+        assert_eq!(kinds("b'a'"), vec![(TokKind::Char, "b'a'")]);
+    }
+
+    #[test]
+    fn char_literal_inside_generics_is_not_a_lifetime() {
+        // `Some('x')` — the `'x'` must lex as a char, keeping the
+        // closing paren as punctuation.
+        assert_eq!(
+            kinds("Some('x')"),
+            vec![
+                (TokKind::Ident, "Some"),
+                (TokKind::Punct, "("),
+                (TokKind::Char, "'x'"),
+                (TokKind::Punct, ")"),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_across_comments_and_raw_strings() {
+        let src = "one\n/* a\nb */ two\nr#\"x\ny\"# three";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.text == name).unwrap().line;
+        assert_eq!(find("one"), 1);
+        assert_eq!(find("two"), 3);
+        assert_eq!(find("three"), 5);
+    }
+
+    #[test]
+    fn unterminated_input_degrades_gracefully() {
+        // No panics, no infinite loops.
+        assert!(!lex("\"unterminated").is_empty());
+        assert!(!lex("/* unterminated").is_empty());
+        assert!(!lex("r#\"unterminated").is_empty());
+        assert!(!lex("'").is_empty());
+    }
+}

@@ -1,0 +1,45 @@
+//! `sqip-analysis` — first-party static analysis for the sqip
+//! workspace.
+//!
+//! Every pin this repo ships — golden fixture bytes, shared≡per-cell
+//! sweep identity, the loader's bit-identical repeat digest — rests on
+//! invariants that dynamic tests can only spot-check: no ambient time
+//! or randomness in simulation crates, no unordered-map iteration
+//! feeding serialized results, no panics or lock-held socket writes in
+//! the `sqipd` hot path. This crate turns those invariants into a
+//! **static** pass, `sqip-lint`, that runs three ways:
+//!
+//! - `cargo run -p sqip-analysis --bin sqip-lint` for humans,
+//! - the `tests/workspace_lint.rs` wrapper, so `cargo test` gates it,
+//! - the CI `conformance` job.
+//!
+//! The pass is dependency-free: a small hand-rolled Rust [`lexer`]
+//! (comments, raw strings, char-vs-lifetime disambiguation), a
+//! workspace [`walker`], a strict `lint.toml` [`config`] parser, and a
+//! rule [`engine`] with per-rule severity, crate scoping, and inline
+//! suppressions that *require* a reason. The [`rules`] module is the
+//! catalogue and documents how to add a rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod walker;
+
+pub use config::{Config, Severity};
+pub use engine::{lint_source, lint_source_with_rule, run, Finding, Report};
+
+use std::path::{Path, PathBuf};
+
+/// Ascends from `start` looking for the directory holding `lint.toml`
+/// (the workspace root). Returns `None` if no ancestor has one.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    start
+        .ancestors()
+        .find(|dir| dir.join("lint.toml").is_file())
+        .map(Path::to_path_buf)
+}

@@ -1,0 +1,62 @@
+//! The rule catalogue.
+//!
+//! Each rule is a pure function over a lexed [`FileCtx`]: no type
+//! information, no macro expansion — these are *lexical* rules, chosen
+//! so that the pattern they match is a reliable signal at the paths
+//! `lint.toml` scopes them to. Where a rule is a heuristic (see
+//! [`guard_send`]) its module documents exactly what it can and cannot
+//! see.
+//!
+//! Adding a rule:
+//!
+//! 1. add a module with a `RULE` static and a `check` function,
+//! 2. list it in [`all`],
+//! 3. give it `hit.rs`/`clean.rs` fixtures under `fixtures/<rule>/`
+//!    and a case in `tests/fixtures.rs`,
+//! 4. scope it in the root `lint.toml`,
+//! 5. document it in the README's rule catalogue.
+
+pub mod forbid_unsafe;
+pub mod guard_send;
+pub mod panic_service;
+pub mod randomness;
+pub mod unordered;
+pub mod wall_clock;
+
+use crate::engine::FileCtx;
+
+/// Callback rules use to report: `(line, message)`.
+pub type Emit<'e> = dyn FnMut(u32, String) + 'e;
+
+/// One registered rule.
+pub struct Rule {
+    /// Rule name as used in `lint.toml` and suppressions.
+    pub name: &'static str,
+    /// One-line description for `--list-rules` and the README.
+    pub summary: &'static str,
+    /// When set, the rule only runs on crate-root files.
+    pub crate_root_only: bool,
+    /// The check itself.
+    pub check: fn(&FileCtx<'_>, &mut Emit<'_>),
+}
+
+static ALL: [Rule; 6] = [
+    wall_clock::RULE,
+    randomness::RULE,
+    unordered::RULE,
+    panic_service::RULE,
+    guard_send::RULE,
+    forbid_unsafe::RULE,
+];
+
+/// Every rule, in report order.
+#[must_use]
+pub fn all() -> &'static [Rule] {
+    &ALL
+}
+
+/// Looks a rule up by name.
+#[must_use]
+pub fn by_name(name: &str) -> Option<&'static Rule> {
+    all().iter().find(|r| r.name == name)
+}

@@ -1,0 +1,48 @@
+//! `unordered-iteration` — no `HashMap`/`HashSet` on result or
+//! serialization paths.
+//!
+//! Iterating a hash container feeds `RandomState`-dependent order into
+//! whatever consumes the iteration; on a path that produces result
+//! rows, JSON, CSV, or wire messages, that is a silent determinism
+//! bug of exactly the kind the golden fixtures and the loader's repeat
+//! digest exist to catch.
+//!
+//! Iteration cannot be proven absent lexically, so on the scoped paths
+//! the rule is deliberately conservative: it flags **every** mention of
+//! the two types and demands `BTreeMap`/`BTreeSet` (or an explicit sort
+//! before emitting). A genuinely probe-only map on a scoped path can
+//! carry an inline suppression with its reason.
+
+use crate::engine::FileCtx;
+use crate::lexer::TokKind;
+use crate::rules::{Emit, Rule};
+
+/// The rule value registered in [`crate::rules::all`].
+pub const RULE: Rule = Rule {
+    name: "unordered-iteration",
+    summary: "no HashMap/HashSet on result/serialization paths; use BTree* or sort",
+    crate_root_only: false,
+    check,
+};
+
+fn check(ctx: &FileCtx<'_>, emit: &mut Emit<'_>) {
+    for &i in &ctx.code_indices() {
+        let t = &ctx.tokens[i];
+        if t.kind == TokKind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            let ordered = if t.text == "HashMap" {
+                "BTreeMap"
+            } else {
+                "BTreeSet"
+            };
+            emit(
+                t.line,
+                format!(
+                    "`{}` iteration order is randomized and this path feeds \
+                     results/serialization; use `{ordered}` or sort explicitly \
+                     before emitting",
+                    t.text
+                ),
+            );
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Finds the workspace's Rust sources.
+//!
+//! Walks the configured roots (default `crates/`) recursively, in
+//! sorted order so the report is deterministic, and classifies each
+//! `.rs` file:
+//!
+//! - **crate roots** (`src/lib.rs`, `src/main.rs`, `src/bin/*.rs`,
+//!   `examples/*.rs`) — the files the `forbid-unsafe` rule applies to;
+//!   every one of them starts a distinct crate as far as `#![…]` inner
+//!   attributes are concerned,
+//! - **test files** (any path containing a `tests/` component) —
+//!   skipped by every rule: `sqip-lint` lints production code.
+//!
+//! `vendor/` is not walked at all (third-party stand-ins), and
+//! `lint.toml`'s `exclude` list drops further prefixes — notably the
+//! lint's own rule fixtures, which *deliberately* violate the rules.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::config::Config;
+
+/// One source file the linter will scan.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (stable across
+    /// platforms; all reporting uses this).
+    pub rel: String,
+    /// Absolute path for reading.
+    pub path: PathBuf,
+    /// Whether this file is a crate root (see module docs).
+    pub is_crate_root: bool,
+    /// Whether this file is test-only code.
+    pub is_test_file: bool,
+}
+
+/// Walks `root` per `cfg` and returns the sources, sorted by relative
+/// path.
+///
+/// # Errors
+///
+/// Propagates directory-read failures; a configured root that does not
+/// exist is an error (a silently-skipped root would quietly disable
+/// whole rule scopes).
+pub fn walk(root: &Path, cfg: &Config) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    for walk_root in &cfg.roots {
+        let dir = root.join(walk_root);
+        if !dir.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!(
+                    "configured root `{walk_root}` is not a directory under {}",
+                    root.display()
+                ),
+            ));
+        }
+        walk_dir(&dir, walk_root, cfg, &mut out)?;
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn excluded(rel: &str, cfg: &Config) -> bool {
+    cfg.exclude.iter().any(|p| path_has_prefix(rel, p))
+}
+
+/// Whether `rel` equals `prefix` or starts with it at a `/` boundary.
+#[must_use]
+pub fn path_has_prefix(rel: &str, prefix: &str) -> bool {
+    rel == prefix
+        || (rel.len() > prefix.len()
+            && rel.starts_with(prefix)
+            && rel.as_bytes()[prefix.len()] == b'/')
+}
+
+fn walk_dir(dir: &Path, rel: &str, cfg: &Config, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let child_rel = format!("{rel}/{name}");
+        if path.is_dir() {
+            // Build output and VCS metadata are never sources.
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            if excluded(&child_rel, cfg) {
+                continue;
+            }
+            walk_dir(&path, &child_rel, cfg, out)?;
+        } else if name.ends_with(".rs") && !excluded(&child_rel, cfg) {
+            out.push(SourceFile {
+                is_crate_root: classify_crate_root(&child_rel),
+                is_test_file: child_rel.split('/').any(|c| c == "tests"),
+                rel: child_rel,
+                path,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn classify_crate_root(rel: &str) -> bool {
+    let comps: Vec<&str> = rel.split('/').collect();
+    let n = comps.len();
+    if n < 2 {
+        return false;
+    }
+    let file = comps[n - 1];
+    let parent = comps[n - 2];
+    (parent == "src" && (file == "lib.rs" || file == "main.rs"))
+        || (parent == "bin" && n >= 3 && comps[n - 3] == "src")
+        || parent == "examples"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_root_classification() {
+        assert!(classify_crate_root("crates/core/src/lib.rs"));
+        assert!(classify_crate_root("crates/bench/src/main.rs"));
+        assert!(classify_crate_root("crates/bench/src/bin/figure4.rs"));
+        assert!(classify_crate_root("crates/sqip/examples/quickstart.rs"));
+        assert!(!classify_crate_root("crates/core/src/pipeline/mod.rs"));
+        assert!(!classify_crate_root("crates/sqip/tests/sweep.rs"));
+        assert!(!classify_crate_root("lib.rs"));
+    }
+
+    #[test]
+    fn prefix_matching_respects_component_boundaries() {
+        assert!(path_has_prefix("crates/core/src/lib.rs", "crates/core"));
+        assert!(path_has_prefix("crates/core", "crates/core"));
+        assert!(!path_has_prefix("crates/core2/src/lib.rs", "crates/core"));
+    }
+
+    #[test]
+    fn walks_this_crate() {
+        // The analysis crate's own sources are a stable walk target.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .unwrap();
+        let cfg = Config {
+            roots: vec!["crates/analysis".to_string()],
+            exclude: vec!["crates/analysis/fixtures".to_string()],
+            ..Config::default()
+        };
+        let files = walk(root, &cfg).unwrap();
+        let lib = files
+            .iter()
+            .find(|f| f.rel == "crates/analysis/src/lib.rs")
+            .expect("walker must find its own lib.rs");
+        assert!(lib.is_crate_root);
+        assert!(!lib.is_test_file);
+        assert!(files
+            .iter()
+            .all(|f| !path_has_prefix(&f.rel, "crates/analysis/fixtures")));
+        let test_file = files
+            .iter()
+            .find(|f| f.rel.starts_with("crates/analysis/tests/"))
+            .expect("walker must find the integration tests");
+        assert!(test_file.is_test_file);
+        // Sorted output: determinism of the report depends on it.
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+
+    #[test]
+    fn missing_root_is_an_error() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let cfg = Config {
+            roots: vec!["no-such-dir".to_string()],
+            ..Config::default()
+        };
+        assert!(walk(root, &cfg).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+//! The `cargo test` gate: runs the full configured `sqip-lint` pass
+//! over the real workspace and fails on any error-severity finding —
+//! the same pass the `sqip-lint` binary and the CI `conformance` job
+//! run.
+
+use std::path::Path;
+
+use sqip_analysis::{engine, Config};
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/analysis sits two levels below the workspace root")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let cfg = Config::load(&root.join("lint.toml")).expect("lint.toml parses");
+    let report = engine::run(root, &cfg).expect("lint pass runs");
+
+    // The walker must actually be walking the workspace: every
+    // first-party crate root plus module files. A collapse of this
+    // number would mean the gate silently stopped gating.
+    assert!(
+        report.files > 50,
+        "suspiciously few files walked: {}",
+        report.files
+    );
+
+    let errors: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == sqip_analysis::Severity::Error)
+        .map(ToString::to_string)
+        .collect();
+    assert!(
+        errors.is_empty(),
+        "sqip-lint found {} error(s) in the workspace:\n{}",
+        errors.len(),
+        errors.join("\n")
+    );
+}
+
+#[test]
+fn the_pass_is_deterministic() {
+    let root = workspace_root();
+    let cfg = Config::load(&root.join("lint.toml")).expect("lint.toml parses");
+    let a = engine::run(root, &cfg).expect("first run");
+    let b = engine::run(root, &cfg).expect("second run");
+    assert_eq!(a.findings, b.findings);
+    assert_eq!(a.files, b.files);
+    assert_eq!(a.suppressed, b.suppressed);
+}
+
+#[test]
+fn every_configured_rule_scope_resolves() {
+    // Each rule in lint.toml must point at at least one walked file;
+    // a stale path would silently disable the rule.
+    let root = workspace_root();
+    let cfg = Config::load(&root.join("lint.toml")).expect("lint.toml parses");
+    let files = sqip_analysis::walker::walk(root, &cfg).expect("walk");
+    for (rule, rc) in &cfg.rules {
+        let covered = files.iter().any(|f| {
+            rc.paths
+                .iter()
+                .any(|p| sqip_analysis::walker::path_has_prefix(&f.rel, p))
+        });
+        assert!(covered, "rule `{rule}` scopes no existing files");
+    }
+}

@@ -21,6 +21,8 @@
 //! generator cell runs fine on a small machine). Defaults: the 47
 //! Table 3 workloads × Figure 4's five designs.
 
+#![forbid(unsafe_code)]
+
 use sqip::{all_workloads, geomean, Experiment, ResultSet, SqDesign, Suite, Workload};
 use sqip_bench::{designs, sweep_flags, workloads};
 

@@ -20,6 +20,8 @@
 //! the paper's nine and can be any registered workloads or generator
 //! points via `--workload` (streamed in bounded memory).
 
+#![forbid(unsafe_code)]
+
 use sqip::{by_name, Experiment, ResultSet, SqDesign, Workload, FIGURE5_WORKLOADS};
 use sqip_bench::{designs, sweep_flags, workloads};
 use sqip_predictors::TrainRatio;

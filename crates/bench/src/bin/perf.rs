@@ -41,6 +41,8 @@
 //! reported, the standard noise-rejection choice for throughput
 //! benchmarks.
 
+#![forbid(unsafe_code)]
+
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};

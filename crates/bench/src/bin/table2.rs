@@ -6,6 +6,8 @@
 //! cargo run -p sqip-bench --bin table2 [-- --energy]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use sqip_cacti::{
     sq_energy_pj, table2_sq_rows, CacheBankGeometry, SqGeometry, TechParams, TlbGeometry,
 };

@@ -19,6 +19,8 @@
 //! the two indexed designs by default, or any two registered designs via
 //! `--design` (given twice: first the raw design, then the delayed one).
 
+#![forbid(unsafe_code)]
+
 use sqip::{all_workloads, Experiment, RunRecord, SqDesign, Suite, Workload};
 use sqip_bench::{designs, sweep_flags, workloads};
 

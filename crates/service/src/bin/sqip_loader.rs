@@ -9,6 +9,8 @@
 //!
 //! Exits 0 when every SLO passes, 1 when any fails, 2 on usage errors.
 
+#![forbid(unsafe_code)]
+
 use sqip_service::{run_load, LoaderConfig};
 
 fn usage() -> ! {
@@ -79,11 +81,19 @@ fn main() {
         }
     };
 
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let json = match serde_json::to_string_pretty(&report) {
+        Ok(json) => json,
+        Err(err) => {
+            eprintln!("error: report does not serialize: {err}");
+            std::process::exit(1);
+        }
+    };
     match &out {
         Some(path) => {
-            std::fs::write(path, json.clone() + "\n")
-                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            if let Err(err) = std::fs::write(path, json.clone() + "\n") {
+                eprintln!("error: writing {path}: {err}");
+                std::process::exit(1);
+            }
             println!("report written to {path}");
         }
         None => println!("{json}"),

@@ -9,6 +9,8 @@
 //!     --addr 127.0.0.1:4771 --queue-cap 16 --workers 2
 //! ```
 
+#![forbid(unsafe_code)]
+
 use sqip_service::{Server, ServerConfig};
 
 fn usage() -> ! {

@@ -29,6 +29,16 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 
+/// Locks `m`, recovering the guard if another thread panicked while
+/// holding it. The service never trusts cross-thread invariants enough
+/// for poisoning to add safety — every structure behind these locks is
+/// resynchronized defensively by its readers — so propagating a poison
+/// panic would only convert one thread's failure into a server-wide
+/// outage.
+pub(crate) fn lock_unpoisoned<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 pub use client::{Connection, JobOutcome, JobStatus};
 pub use loader::{run_load, BurstReport, LatencySummary, LoadReport, LoaderConfig, SloReport};
 pub use protocol::{Request, Response, StatsSnapshot};

@@ -349,7 +349,11 @@ fn steady_phase(cfg: &LoaderConfig) -> io::Result<SteadyResult> {
             }));
         }
         for handle in handles {
-            per_client.push(handle.join().expect("steady-state client panicked"));
+            per_client.push(
+                handle.join().unwrap_or_else(|_| {
+                    Err(io::Error::other("steady-state client thread panicked"))
+                }),
+            );
         }
     });
 

@@ -277,11 +277,10 @@ impl Serialize for Response {
             ]),
             Response::Pong => obj(vec![("type", s("pong"))]),
             Response::Stats(snapshot) => {
-                let Value::Object(mut fields) = snapshot.serialize() else {
-                    unreachable!("StatsSnapshot serializes as an object");
-                };
                 let mut all = vec![("type".to_string(), s("stats"))];
-                all.append(&mut fields);
+                if let Value::Object(mut fields) = snapshot.serialize() {
+                    all.append(&mut fields);
+                }
                 Value::Object(all)
             }
             Response::ShuttingDown => obj(vec![("type", s("shutting-down"))]),
@@ -332,7 +331,13 @@ impl Deserialize for Response {
 /// Renders a message as one protocol line (no trailing newline; compact
 /// JSON never contains one).
 pub fn to_line<T: Serialize>(message: &T) -> String {
-    serde_json::to_string(message).expect("protocol messages contain no non-finite floats")
+    serde_json::to_string(message).unwrap_or_else(|_| {
+        // Only non-finite floats can fail serialization. Emit a
+        // well-formed error line instead of panicking the writer
+        // thread mid-connection.
+        "{\"type\":\"error\",\"id\":\"\",\"reason\":\"internal: unserializable message\"}"
+            .to_string()
+    })
 }
 
 /// Parses one protocol line.

@@ -9,7 +9,9 @@
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
+
+use crate::lock_unpoisoned;
 
 /// Why a push was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,7 +95,7 @@ impl<T> FairQueue<T> {
     /// Items queued right now.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock").len
+        lock_unpoisoned(&self.state).len
     }
 
     /// Whether nothing is queued.
@@ -106,14 +108,14 @@ impl<T> FairQueue<T> {
     /// [`capacity`](Self::capacity).
     #[must_use]
     pub fn high_water(&self) -> usize {
-        self.state.lock().expect("queue lock").high_water
+        lock_unpoisoned(&self.state).high_water
     }
 
     /// Registers `client` with an empty FIFO so the round-robin cursor
     /// knows about it before its first push (connection setup calls
     /// this; [`push`](Self::push) also registers lazily). Idempotent.
     pub fn register(&self, client: u64) {
-        let mut st = self.state.lock().expect("queue lock");
+        let mut st = lock_unpoisoned(&self.state);
         if !st.clients.iter().any(|(id, _)| *id == client) {
             st.clients.push((client, VecDeque::new()));
         }
@@ -127,7 +129,7 @@ impl<T> FairQueue<T> {
     /// [`PushError::Full`] when the queue is at capacity,
     /// [`PushError::Closed`] after [`close`](Self::close).
     pub fn push(&self, client: u64, item: T) -> Result<(), PushError> {
-        let mut st = self.state.lock().expect("queue lock");
+        let mut st = lock_unpoisoned(&self.state);
         if st.closed {
             return Err(PushError::Closed);
         }
@@ -156,25 +158,35 @@ impl<T> FairQueue<T> {
     /// scan at client *i*+1. Returns `None` once the queue is closed
     /// **and** drained.
     pub fn pop(&self) -> Option<T> {
-        let mut st = self.state.lock().expect("queue lock");
+        let mut st = lock_unpoisoned(&self.state);
         loop {
             if st.len > 0 {
                 let n = st.clients.len();
                 let start = if n == 0 { 0 } else { st.rr % n };
+                let mut served = None;
                 for off in 0..n {
                     let at = (start + off) % n;
                     if let Some(item) = st.clients[at].1.pop_front() {
                         st.rr = (at + 1) % n;
                         st.len -= 1;
-                        return Some(item);
+                        served = Some(item);
+                        break;
                     }
                 }
-                unreachable!("len > 0 but every client FIFO was empty");
+                if served.is_some() {
+                    return served;
+                }
+                // `len` claimed items but every FIFO was empty — the
+                // bookkeeping desynchronized (e.g. a thread panicked
+                // mid-update and we recovered its poisoned guard).
+                // Resync and fall through to wait rather than take the
+                // whole server down.
+                st.len = 0;
             }
             if st.closed {
                 return None;
             }
-            st = self.ready.wait(st).expect("queue lock");
+            st = self.ready.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -182,7 +194,7 @@ impl<T> FairQueue<T> {
     /// settles them — e.g. reports them cancelled). Idle clients
     /// disappear without effect.
     pub fn remove_client(&self, client: u64) -> Vec<T> {
-        let mut st = self.state.lock().expect("queue lock");
+        let mut st = lock_unpoisoned(&self.state);
         let Some(at) = st.clients.iter().position(|(id, _)| *id == client) else {
             return Vec::new();
         };
@@ -203,7 +215,7 @@ impl<T> FairQueue<T> {
     /// [`PushError::Closed`]; blocked poppers drain what is left and
     /// then receive `None`.
     pub fn close(&self) {
-        self.state.lock().expect("queue lock").closed = true;
+        lock_unpoisoned(&self.state).closed = true;
         self.ready.notify_all();
     }
 }

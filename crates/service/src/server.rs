@@ -22,7 +22,7 @@
 //! polling its cancel token — so a stalled client wedges only its own
 //! jobs until their timeout fires, never the server.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -33,6 +33,7 @@ use std::time::{Duration, Instant};
 
 use sqip::{CancelToken, CellEvent, Experiment, SqipError, SweepEngine};
 
+use crate::lock_unpoisoned;
 use crate::protocol::{from_line, to_line, Request, Response, StatsSnapshot};
 use crate::queue::{FairQueue, PushError};
 
@@ -93,7 +94,7 @@ struct JobCtl {
 
 impl JobCtl {
     fn cancel(&self, reason: &'static str) {
-        let mut slot = self.reason.lock().expect("job reason lock");
+        let mut slot = lock_unpoisoned(&self.reason);
         if slot.is_none() {
             *slot = Some(reason);
         }
@@ -102,10 +103,7 @@ impl JobCtl {
     }
 
     fn reason(&self) -> &'static str {
-        self.reason
-            .lock()
-            .expect("job reason lock")
-            .unwrap_or("cancelled")
+        lock_unpoisoned(&self.reason).unwrap_or("cancelled")
     }
 }
 
@@ -123,7 +121,7 @@ struct Counters {
 struct Shared {
     cfg: ServerConfig,
     queue: FairQueue<Job>,
-    jobs: Mutex<HashMap<JobKey, Arc<JobCtl>>>,
+    jobs: Mutex<BTreeMap<JobKey, Arc<JobCtl>>>,
     shutdown: AtomicBool,
     /// Global completion sequence — stamps `Done.seq` so tests and
     /// clients can observe scheduling order.
@@ -150,15 +148,15 @@ impl Shared {
     }
 
     fn register(&self, key: JobKey, ctl: Arc<JobCtl>) {
-        self.jobs.lock().expect("job table lock").insert(key, ctl);
+        lock_unpoisoned(&self.jobs).insert(key, ctl);
     }
 
     fn unregister(&self, key: &JobKey) -> Option<Arc<JobCtl>> {
-        self.jobs.lock().expect("job table lock").remove(key)
+        lock_unpoisoned(&self.jobs).remove(key)
     }
 
     fn cancel_job(&self, key: &JobKey, reason: &'static str) -> bool {
-        match self.jobs.lock().expect("job table lock").get(key) {
+        match lock_unpoisoned(&self.jobs).get(key) {
             Some(ctl) => {
                 ctl.cancel(reason);
                 true
@@ -170,7 +168,7 @@ impl Shared {
     /// Cancels every registered job belonging to `client` (used on
     /// disconnect and shutdown).
     fn cancel_client(&self, client: u64, reason: &'static str) {
-        let table = self.jobs.lock().expect("job table lock");
+        let table = lock_unpoisoned(&self.jobs);
         for (key, ctl) in table.iter() {
             if key.0 == client {
                 ctl.cancel(reason);
@@ -179,7 +177,7 @@ impl Shared {
     }
 
     fn cancel_all(&self, reason: &'static str) {
-        let table = self.jobs.lock().expect("job table lock");
+        let table = lock_unpoisoned(&self.jobs);
         for ctl in table.values() {
             ctl.cancel(reason);
         }
@@ -243,7 +241,7 @@ impl Server {
             shared: Arc::new(Shared {
                 cfg,
                 queue,
-                jobs: Mutex::new(HashMap::new()),
+                jobs: Mutex::new(BTreeMap::new()),
                 shutdown: AtomicBool::new(false),
                 seq: AtomicU64::new(0),
                 next_client: AtomicU64::new(1),
@@ -284,8 +282,7 @@ impl Server {
         let handle = server.handle()?;
         thread::Builder::new()
             .name("sqipd-accept".into())
-            .spawn(move || server.run())
-            .expect("spawn server thread");
+            .spawn(move || server.run())?;
         Ok(handle)
     }
 
@@ -294,19 +291,35 @@ impl Server {
     pub fn run(self) {
         let shared = &self.shared;
         thread::scope(|scope| {
+            // Thread-spawn failures (fd/memory exhaustion) degrade the
+            // pool instead of aborting the server; with zero workers the
+            // queue would wedge, so that one case refuses to serve.
+            let mut workers = 0usize;
             for w in 0..shared.cfg.workers.max(1) {
                 let shared = Arc::clone(shared);
-                thread::Builder::new()
+                match thread::Builder::new()
                     .name(format!("sqipd-worker-{w}"))
                     .spawn_scoped(scope, move || worker_loop(&shared))
-                    .expect("spawn worker");
+                {
+                    Ok(_) => workers += 1,
+                    Err(err) => eprintln!("sqipd: failed to spawn worker {w}: {err}"),
+                }
+            }
+            if workers == 0 {
+                eprintln!("sqipd: no workers could be spawned; shutting down");
+                initiate_shutdown(shared, self.listener.local_addr().ok());
+                return;
             }
             {
                 let shared = Arc::clone(shared);
-                thread::Builder::new()
+                if let Err(err) = thread::Builder::new()
                     .name("sqipd-deadline".into())
                     .spawn_scoped(scope, move || deadline_loop(&shared))
-                    .expect("spawn deadline monitor");
+                {
+                    // Degraded mode: jobs run without timeout
+                    // enforcement but cancel/disconnect still work.
+                    eprintln!("sqipd: failed to spawn deadline monitor: {err}");
+                }
             }
 
             for stream in self.listener.incoming() {
@@ -316,6 +329,10 @@ impl Server {
                 let Ok(stream) = stream else { continue };
                 let shared = Arc::clone(shared);
                 let client = shared.next_client.fetch_add(1, Ordering::Relaxed);
+                // Register here, not in the connection thread: the
+                // round-robin cursor must know clients in accept order
+                // before any of them can race a submit in.
+                shared.queue.register(client);
                 // Connection threads are detached: they end when the
                 // peer disconnects, and shutdown cancels their jobs.
                 let _ = thread::Builder::new()
@@ -344,7 +361,7 @@ fn initiate_shutdown(shared: &Shared, addr: Option<SocketAddr>) {
 fn deadline_loop(shared: &Shared) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         {
-            let table = shared.jobs.lock().expect("job table lock");
+            let table = lock_unpoisoned(&shared.jobs);
             let now = Instant::now();
             for ctl in table.values() {
                 if let Some(deadline) = ctl.deadline {
@@ -387,10 +404,7 @@ fn worker_loop(shared: &Shared) {
         // The job STAYS registered while it runs — that is what lets
         // cancel requests, the deadline monitor, and disconnect cleanup
         // reach its token. `run_job` unregisters it as it settles.
-        let ctl = shared
-            .jobs
-            .lock()
-            .expect("job table lock")
+        let ctl = lock_unpoisoned(&shared.jobs)
             .get(&job.key)
             .cloned()
             .unwrap_or_else(|| {
@@ -497,8 +511,8 @@ fn run_job(shared: &Shared, job: &Job, ctl: &JobCtl) {
 /// running jobs and drops its queued ones.
 fn serve_connection(shared: &Arc<Shared>, client: u64, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
-    // Register up front so round-robin interleaves this client fairly
-    // from its very first job.
+    // The accept loop already registered this client; re-registering is
+    // an idempotent no-op kept for embedders that call this directly.
     shared.queue.register(client);
     let (tx, rx) = sync_channel::<Response>(RESPONSE_CHANNEL_DEPTH);
     let writer_stream = match stream.try_clone() {
@@ -509,10 +523,19 @@ fn serve_connection(shared: &Arc<Shared>, client: u64, stream: TcpStream) {
     // the bounded channel, a worker) forever: a stalled write eventually
     // errors, the writer goes into drain mode, and the channel empties.
     let _ = writer_stream.set_write_timeout(Some(Duration::from_secs(30)));
-    let writer = thread::Builder::new()
+    let writer = match thread::Builder::new()
         .name(format!("sqipd-write-{client}"))
         .spawn(move || writer_loop(writer_stream, &rx))
-        .expect("spawn connection writer");
+    {
+        Ok(handle) => handle,
+        Err(err) => {
+            // No writer means no way to answer; drop the connection
+            // before it can submit anything.
+            eprintln!("sqipd: failed to spawn writer for client {client}: {err}");
+            shared.queue.remove_client(client);
+            return;
+        }
+    };
 
     reader_loop(shared, client, &stream, &tx);
 
@@ -693,12 +716,7 @@ fn handle_submit(
     }
 
     let key = (client, id.clone());
-    if shared
-        .jobs
-        .lock()
-        .expect("job table lock")
-        .contains_key(&key)
-    {
+    if lock_unpoisoned(&shared.jobs).contains_key(&key) {
         shared.counters.failed.fetch_add(1, Ordering::Relaxed);
         send_response(
             tx,

@@ -143,6 +143,11 @@ fn scheduling_is_client_fair() {
     });
     let mut a = Connection::connect(server.addr()).unwrap();
     let mut b = Connection::connect(server.addr()).unwrap();
+    // A pong proves the server accepted (and so queue-registered) B —
+    // registration order, not connect order, drives the round-robin
+    // cursor, and B must be known to it before A's flood is served.
+    b.send(&Request::Ping).unwrap();
+    assert!(matches!(b.recv().unwrap(), Response::Pong));
 
     // a0 occupies the single worker; wait until it is actually running.
     a.send(&Request::Submit {

@@ -12,6 +12,8 @@
 //! cargo run --release -p sqip --example design_space
 //! ```
 
+#![forbid(unsafe_code)]
+
 use sqip::{by_name, Experiment, SqDesign};
 use sqip_cacti::{SqGeometry, TechParams};
 

@@ -15,6 +15,8 @@
 //! cargo run --release -p sqip --example forwarding_microscope
 //! ```
 
+#![forbid(unsafe_code)]
+
 use sqip::{Experiment, SqDesign, Workload};
 use sqip_isa::{trace_program, ProgramBuilder, Reg};
 use sqip_types::DataSize;

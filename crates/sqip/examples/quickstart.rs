@@ -5,6 +5,8 @@
 //! cargo run --release -p sqip --example quickstart
 //! ```
 
+#![forbid(unsafe_code)]
+
 use sqip::{by_name, Experiment, SqDesign};
 
 fn main() -> Result<(), sqip::SqipError> {

@@ -5,6 +5,8 @@
 //! cargo run --release -p sqip --example workload_explorer [-- vortex mesa.t ...]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use sqip::{all_workloads, by_name, OracleInfo};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

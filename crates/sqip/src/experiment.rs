@@ -2,7 +2,7 @@
 //! designs × config variants, executed in parallel with deterministic
 //! results.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use sqip_core::{Processor, SimConfig, SimObserver, SimStats, SqDesign};
@@ -588,7 +588,7 @@ impl Experiment {
                 unique.push((key, &cell.workload));
             }
         }
-        let traces: HashMap<&'static str, Arc<Trace>> =
+        let traces: BTreeMap<&'static str, Arc<Trace>> =
             parallel_map(&unique, threads, |_, (key, w)| {
                 w.trace()
                     .expect("only materializing workloads are pre-traced")
