@@ -11,6 +11,7 @@
 //! cargo run --release -p sqip-bench --bin figure4 -- --list-workloads
 //! cargo run --release -p sqip-bench --bin figure4 -- --workload stream-10m
 //! cargo run --release -p sqip-bench --bin figure4 -- --workload mix:0xbeef:1m
+//! cargo run --release -p sqip-bench --bin figure4 -- --shard 0/2 --shard-out s0.json
 //! ```
 //!
 //! The whole sweep is one [`Experiment`]: the selected workloads × the
@@ -78,7 +79,11 @@ fn main() -> Result<(), sqip::SqipError> {
         .workloads(selected)
         .design(BASELINE)
         .designs(compared.iter().copied());
-    let results = sweep.run(&experiment)?;
+    // `--shard i/n` runs this bin's slice of the sweep and emits a
+    // `sqip-merge` artifact instead of the figure.
+    let Some(results) = sweep.run_or_emit_shard(&experiment)? else {
+        return Ok(());
+    };
 
     if json {
         println!("{}", results.to_json_pretty());

@@ -11,6 +11,7 @@
 //!     --design indexed-5-fwd+dly --design indexed-3-fwd+dly
 //! cargo run --release -p sqip-bench --bin table3 -- --list-workloads
 //! cargo run --release -p sqip-bench --bin table3 -- --workload chase:4096:64:1m
+//! cargo run --release -p sqip-bench --bin table3 -- --shard 1/2 --shard-out s1.json
 //! ```
 //!
 //! One [`Experiment`]: the selected workloads (the 47 Table 3 models by
@@ -65,7 +66,11 @@ fn main() -> Result<(), sqip::SqipError> {
     let experiment = Experiment::new()
         .workloads(selected)
         .designs([raw_design, dly_design]);
-    let results = sweep.run(&experiment)?;
+    // `--shard i/n` runs this bin's slice of the sweep and emits a
+    // `sqip-merge` artifact instead of the table.
+    let Some(results) = sweep.run_or_emit_shard(&experiment)? else {
+        return Ok(());
+    };
 
     if json {
         println!("{}", results.to_json_pretty());

@@ -220,15 +220,21 @@ pub mod workloads {
 /// Results are bit-identical across modes and thread counts; the flags
 /// exist for benchmarking and for debugging one mode against the other.
 pub mod sweep_flags {
-    use sqip::{Experiment, ResultSet, SqipError, SweepEngine, SweepMode};
+    use sqip::{Experiment, ResultSet, ShardSpec, SqipError, SweepEngine, SweepMode};
 
     /// Parsed sweep-execution flags.
-    #[derive(Debug, Clone, Copy)]
+    #[derive(Debug, Clone)]
     pub struct SweepArgs {
         /// Worker threads (`None`: one per core).
         pub threads: Option<usize>,
         /// Execution mode (default: shared-pass).
         pub mode: SweepMode,
+        /// Run only this slice of the sweep and emit a shard artifact
+        /// instead of the figure/table (`--shard i/n`).
+        pub shard: Option<ShardSpec>,
+        /// Where the shard artifact goes (`--shard-out FILE`; default
+        /// stdout).
+        pub shard_out: Option<String>,
     }
 
     impl SweepArgs {
@@ -236,18 +242,59 @@ pub mod sweep_flags {
         ///
         /// # Errors
         ///
-        /// Propagates the experiment's first failure, in cell order.
+        /// Propagates the experiment's first failure, in cell order — or
+        /// reports that `--shard` was passed to a sweep that cannot be
+        /// sharded (binaries composing several sweeps into one artifact
+        /// use this path).
         pub fn run(&self, experiment: &Experiment) -> Result<ResultSet, SqipError> {
+            if let Some(shard) = self.shard {
+                return Err(SqipError::Config(format!(
+                    "this sweep cannot run as shard {shard}: the binary composes \
+                     several sweeps; run it unsharded"
+                )));
+            }
             let mut engine = SweepEngine::new().mode(self.mode);
             if let Some(threads) = self.threads {
                 engine = engine.threads(threads);
             }
             engine.run(experiment)
         }
+
+        /// Single-experiment binaries' entry point: without `--shard`,
+        /// runs the sweep and returns its results; with `--shard i/n`,
+        /// runs only the owned cells, writes the [`sqip::ShardResult`]
+        /// artifact (to `--shard-out`, or stdout) for `sqip-merge`, and
+        /// returns `None` — the binary should exit successfully without
+        /// rendering anything.
+        ///
+        /// # Errors
+        ///
+        /// Propagates sweep failures and artifact-write failures.
+        pub fn run_or_emit_shard(
+            &self,
+            experiment: &Experiment,
+        ) -> Result<Option<ResultSet>, SqipError> {
+            let Some(shard) = self.shard else {
+                return Ok(Some(self.run(experiment)?));
+            };
+            let mut experiment = experiment.clone();
+            if let Some(threads) = self.threads {
+                experiment = experiment.threads(threads);
+            }
+            let artifact = experiment.run_shard(shard)?;
+            let mut text = artifact.to_json();
+            text.push('\n');
+            match &self.shard_out {
+                Some(path) => std::fs::write(path, text)?,
+                None => print!("{text}"),
+            }
+            Ok(None)
+        }
     }
 
-    /// Extracts `--sweep-mode <shared|per-cell>` and `--threads <n>` from
-    /// `args`, returning the parsed knobs and the remaining arguments.
+    /// Extracts `--sweep-mode <shared|per-cell>`, `--threads <n>`,
+    /// `--shard i/n` and `--shard-out FILE` from `args`, returning the
+    /// parsed knobs and the remaining arguments.
     ///
     /// # Errors
     ///
@@ -258,6 +305,8 @@ pub mod sweep_flags {
         let mut parsed = SweepArgs {
             threads: None,
             mode: SweepMode::SharedPass,
+            shard: None,
+            shard_out: None,
         };
         let mut rest = Vec::new();
         let mut it = args.into_iter();
@@ -286,6 +335,18 @@ pub mod sweep_flags {
                             ))
                         }
                     };
+                }
+                "--shard" => {
+                    let spec = it
+                        .next()
+                        .ok_or_else(|| "--shard requires `i/n` (e.g. 0/4)".to_string())?;
+                    parsed.shard = Some(spec.parse::<ShardSpec>().map_err(|e| e.to_string())?);
+                }
+                "--shard-out" => {
+                    parsed.shard_out = Some(
+                        it.next()
+                            .ok_or_else(|| "--shard-out requires a file path".to_string())?,
+                    );
                 }
                 _ => rest.push(arg),
             }

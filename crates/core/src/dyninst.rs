@@ -142,6 +142,82 @@ impl DynInst {
     }
 }
 
+impl sqip_snapshot::Snapshot for InstState {
+    fn save(&self, w: &mut sqip_snapshot::SnapWriter) -> Result<(), sqip_snapshot::SnapError> {
+        w.put_u8(match self {
+            InstState::Waiting => 0,
+            InstState::Ready => 1,
+            InstState::Issued => 2,
+            InstState::Done => 3,
+        });
+        Ok(())
+    }
+    fn load(r: &mut sqip_snapshot::SnapReader) -> Result<InstState, sqip_snapshot::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(InstState::Waiting),
+            1 => Ok(InstState::Ready),
+            2 => Ok(InstState::Issued),
+            3 => Ok(InstState::Done),
+            t => Err(sqip_snapshot::SnapError::Corrupt(format!(
+                "instruction state tag {t}"
+            ))),
+        }
+    }
+}
+
+impl sqip_snapshot::Snapshot for Operand {
+    fn save(&self, w: &mut sqip_snapshot::SnapWriter) -> Result<(), sqip_snapshot::SnapError> {
+        match self {
+            Operand::None => w.put_u8(0),
+            Operand::InFlight(seq) => {
+                w.put_u8(1);
+                w.put_u64(seq.0);
+            }
+            Operand::Value(v) => {
+                w.put_u8(2);
+                w.put_u64(*v);
+            }
+        }
+        Ok(())
+    }
+    fn load(r: &mut sqip_snapshot::SnapReader) -> Result<Operand, sqip_snapshot::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(Operand::None),
+            1 => Ok(Operand::InFlight(Seq(r.get_u64()?))),
+            2 => Ok(Operand::Value(r.get_u64()?)),
+            t => Err(sqip_snapshot::SnapError::Corrupt(format!(
+                "operand tag {t}"
+            ))),
+        }
+    }
+}
+
+sqip_snapshot::snapshot_struct!(DynInst {
+    seq,
+    incarnation,
+    state,
+    gates,
+    srcs,
+    prev_store_ssn,
+    my_ssn,
+    pred_store_pc,
+    ssn_fwd,
+    ssn_dly,
+    wait_exec_ssn,
+    path,
+    nondelay_ready,
+    delay_released,
+    delay_gated,
+    value,
+    complete_cycle,
+    commit_eligible,
+    forwarded_from,
+    svw,
+    older_unknown,
+    replays,
+    partial_stalled,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -175,6 +175,16 @@ impl Default for OracleBuilder {
     }
 }
 
+sqip_snapshot::snapshot_struct!(OracleFwd {
+    store_seq,
+    covers,
+    store_dist,
+});
+sqip_snapshot::snapshot_struct!(OracleBuilder {
+    last_writer,
+    store_count,
+});
+
 /// Per-record oracle forwarding info (`None` for non-loads and for loads
 /// whose bytes were never written by a traced store).
 #[derive(Debug, Clone)]

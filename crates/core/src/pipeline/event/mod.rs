@@ -444,3 +444,140 @@ pub(crate) enum WakeRing {
     StoreExec,
     StoreExecStrict,
 }
+
+impl EventCore<'_> {
+    /// Records ever pulled from the trace source (the resume position).
+    pub(crate) fn records_pulled(&self) -> u64 {
+        self.window.end()
+    }
+
+    /// Serialises the engine state (everything except `cfg` and the
+    /// source, which the checkpoint container carries separately).
+    pub(crate) fn save_state(
+        &self,
+        w: &mut sqip_snapshot::SnapWriter,
+    ) -> Result<(), sqip_snapshot::SnapError> {
+        use sqip_snapshot::Snapshot as _;
+        if let Some(e) = &self.source_error {
+            return Err(sqip_snapshot::SnapError::Unsupported(format!(
+                "cannot checkpoint with a pending trace-source error: {e}"
+            )));
+        }
+        let Analysis::Own(oracle) = &self.analysis else {
+            return Err(sqip_snapshot::SnapError::Unsupported(
+                "shared-analysis processors cannot be checkpointed (the \
+                 oracle feed belongs to the sweep pass)"
+                    .into(),
+            ));
+        };
+        self.window.save(w)?;
+        oracle.save(w)?;
+        self.total_records.save(w)?;
+        self.source_done.save(w)?;
+        self.cycle.save(w)?;
+        self.incarnation.save(w)?;
+        self.last_commit_cycle.save(w)?;
+        self.fetch_idx.save(w)?;
+        self.fetch_stall_until.save(w)?;
+        self.pending_redirect.save(w)?;
+        self.front_q.save(w)?;
+        self.path_history.save(w)?;
+        self.rename_stop.save(w)?;
+        self.ssn_ren.save(w)?;
+        self.rename_map.save(w)?;
+        self.committed_regs.save(w)?;
+        self.draining_for_wrap.save(w)?;
+        self.rob.save(w)?;
+        self.insts.save(w)?;
+        self.iq_count.save(w)?;
+        self.ready_q.save(w)?;
+        self.wheel.save(w)?;
+        self.wake_on_value.save(w)?;
+        self.wake_on_store_exec.save(w)?;
+        self.wake_on_store_exec_strict.save(w)?;
+        self.wake_on_store_commit.save(w)?;
+        self.vals.save(w)?;
+        self.sq.save(w)?;
+        self.lq.save(w)?;
+        self.hierarchy.save(w)?;
+        self.commit_mem.save(w)?;
+        self.ssn_cmt.save(w)?;
+        self.policy.save_snapshot(w)?;
+        self.bp.save(w)?;
+        self.stats.save(w)
+    }
+
+    /// Overwrites a freshly constructed engine with checkpointed state
+    /// (the mirror of [`EventCore::save_state`]).
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut sqip_snapshot::SnapReader,
+    ) -> Result<(), sqip_snapshot::SnapError> {
+        use sqip_snapshot::Snapshot as _;
+        self.window = RecordWindow::load(r)?;
+        self.analysis = Analysis::Own(OracleBuilder::load(r)?);
+        self.total_records = Option::<u64>::load(r)?;
+        self.source_done = bool::load(r)?;
+        self.cycle = u64::load(r)?;
+        self.incarnation = u64::load(r)?;
+        self.last_commit_cycle = u64::load(r)?;
+        self.fetch_idx = usize::load(r)?;
+        self.fetch_stall_until = u64::load(r)?;
+        self.pending_redirect = Option::<Seq>::load(r)?;
+        self.front_q = std::collections::VecDeque::<(Seq, u64, u64)>::load(r)?;
+        self.path_history = u64::load(r)?;
+        self.rename_stop = RenameStop::load(r)?;
+        self.ssn_ren = Ssn::load(r)?;
+        self.rename_map = <[Option<Seq>; sqip_isa::NUM_REGS]>::load(r)?;
+        self.committed_regs = <[u64; sqip_isa::NUM_REGS]>::load(r)?;
+        self.draining_for_wrap = bool::load(r)?;
+        self.rob = Window::<Seq>::load(r)?;
+        self.insts = InstSlab::load(r)?;
+        self.iq_count = usize::load(r)?;
+        self.ready_q = ReadySet::load(r)?;
+        self.wheel = EventWheel::load(r)?;
+        self.wake_on_value = WaiterRing::load(r)?;
+        self.wake_on_store_exec = WaiterRing::load(r)?;
+        self.wake_on_store_exec_strict = WaiterRing::load(r)?;
+        self.wake_on_store_commit = WaiterRing::load(r)?;
+        self.vals = SeqRing::load(r)?;
+        self.sq = StoreQueue::load(r)?;
+        self.lq = LoadQueue::load(r)?;
+        self.hierarchy = Hierarchy::load(r)?;
+        self.commit_mem = MemImage::load(r)?;
+        self.ssn_cmt = Ssn::load(r)?;
+        self.policy = PolicyHost::load_snapshot(r, &self.cfg)?;
+        self.caps = self.policy.caps();
+        self.bp = BranchPredictor::load(r)?;
+        self.stats = SimStats::load(r)?;
+        self.wake_scratch.clear();
+        self.issue_scratch.clear();
+        Ok(())
+    }
+}
+
+impl sqip_snapshot::Snapshot for RenameStop {
+    fn save(&self, w: &mut sqip_snapshot::SnapWriter) -> Result<(), sqip_snapshot::SnapError> {
+        match self {
+            RenameStop::FrontEmpty => w.put_u8(0),
+            RenameStop::NotReady(cy) => {
+                w.put_u8(1);
+                w.put_u64(*cy);
+            }
+            RenameStop::Structural => w.put_u8(2),
+            RenameStop::Width => w.put_u8(3),
+        }
+        Ok(())
+    }
+    fn load(r: &mut sqip_snapshot::SnapReader) -> Result<RenameStop, sqip_snapshot::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(RenameStop::FrontEmpty),
+            1 => Ok(RenameStop::NotReady(r.get_u64()?)),
+            2 => Ok(RenameStop::Structural),
+            3 => Ok(RenameStop::Width),
+            t => Err(sqip_snapshot::SnapError::Corrupt(format!(
+                "rename-stop tag {t}"
+            ))),
+        }
+    }
+}

@@ -249,6 +249,71 @@ impl WaiterRing {
     }
 }
 
+impl sqip_snapshot::Snapshot for InstSlab {
+    fn save(&self, w: &mut sqip_snapshot::SnapWriter) -> Result<(), sqip_snapshot::SnapError> {
+        self.slots.save(w)
+    }
+    fn load(r: &mut sqip_snapshot::SnapReader) -> Result<InstSlab, sqip_snapshot::SnapError> {
+        let slots = Vec::<DynInst>::load(r)?;
+        if !slots.len().is_power_of_two() {
+            return Err(sqip_snapshot::SnapError::Corrupt(format!(
+                "instruction slab of {} slots (want a power of two)",
+                slots.len()
+            )));
+        }
+        Ok(InstSlab { slots })
+    }
+}
+
+impl sqip_snapshot::Snapshot for ReadySet {
+    fn save(&self, w: &mut sqip_snapshot::SnapWriter) -> Result<(), sqip_snapshot::SnapError> {
+        self.seqs.save(w)
+    }
+    fn load(r: &mut sqip_snapshot::SnapReader) -> Result<ReadySet, sqip_snapshot::SnapError> {
+        let seqs = Vec::<u64>::load(r)?;
+        if !seqs.windows(2).all(|p| p[0] < p[1]) {
+            return Err(sqip_snapshot::SnapError::Corrupt(
+                "ready set is not sorted and deduplicated".into(),
+            ));
+        }
+        Ok(ReadySet { seqs })
+    }
+}
+
+impl sqip_snapshot::Snapshot for WaiterRing {
+    fn save(&self, w: &mut sqip_snapshot::SnapWriter) -> Result<(), sqip_snapshot::SnapError> {
+        self.mask.save(w)?;
+        self.keys.save(w)?;
+        self.lists.save(w)?;
+        self.len.save(w)
+    }
+    fn load(r: &mut sqip_snapshot::SnapReader) -> Result<WaiterRing, sqip_snapshot::SnapError> {
+        let mask = u64::load(r)?;
+        let keys = Vec::<u64>::load(r)?;
+        let lists = Vec::<Vec<u64>>::load(r)?;
+        let len = usize::load(r)?;
+        let cap = mask.wrapping_add(1);
+        let waiters: usize = lists.iter().map(Vec::len).sum();
+        if !cap.is_power_of_two()
+            || keys.len() as u64 != cap
+            || lists.len() as u64 != cap
+            || waiters != len
+        {
+            return Err(sqip_snapshot::SnapError::Corrupt(format!(
+                "waiter ring: mask {mask:#x}, {} keys, {} lists, len {len} vs {waiters} waiters",
+                keys.len(),
+                lists.len()
+            )));
+        }
+        Ok(WaiterRing {
+            mask,
+            keys,
+            lists,
+            len,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -192,6 +192,53 @@ impl EventWheel {
     }
 }
 
+sqip_snapshot::snapshot_struct!(WheelEvent { at, kind, seq, inc });
+
+impl sqip_snapshot::Snapshot for EventWheel {
+    fn save(&self, w: &mut sqip_snapshot::SnapWriter) -> Result<(), sqip_snapshot::SnapError> {
+        self.buckets.save(w)?;
+        // The overflow heap's internal layout is insertion-order dependent;
+        // serialise its *contents* sorted so equal wheels snapshot to equal
+        // bytes.
+        let mut far: Vec<(u64, WheelEvent)> = self.far.iter().map(|Reverse(e)| *e).collect();
+        far.sort_unstable();
+        far.save(w)?;
+        self.drained.save(w)?;
+        self.earliest.save(w)?;
+        self.ring_len.save(w)?;
+        self.current.save(w)
+    }
+    fn load(r: &mut sqip_snapshot::SnapReader) -> Result<EventWheel, sqip_snapshot::SnapError> {
+        let buckets = Vec::<Vec<WheelEvent>>::load(r)?;
+        let far_items = Vec::<(u64, WheelEvent)>::load(r)?;
+        let drained = u64::load(r)?;
+        let earliest = u64::load(r)?;
+        let ring_len = usize::load(r)?;
+        let current = Vec::<WheelEvent>::load(r)?;
+        if buckets.len() as u64 != SPAN {
+            return Err(sqip_snapshot::SnapError::Corrupt(format!(
+                "event wheel with {} buckets (want {SPAN})",
+                buckets.len()
+            )));
+        }
+        if buckets.iter().map(Vec::len).sum::<usize>() != ring_len {
+            return Err(sqip_snapshot::SnapError::Corrupt(
+                "event wheel ring occupancy disagrees with its buckets".into(),
+            ));
+        }
+        let far = far_items.into_iter().map(Reverse).collect();
+        Ok(EventWheel {
+            buckets,
+            far,
+            drained,
+            earliest,
+            ring_len,
+            current,
+            spare: Vec::new(),
+        })
+    }
+}
+
 impl Default for EventWheel {
     fn default() -> EventWheel {
         EventWheel::new()

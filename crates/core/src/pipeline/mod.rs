@@ -31,6 +31,7 @@ mod tests;
 mod window;
 
 use sqip_isa::{Trace, TraceSource};
+use sqip_snapshot::SnapError;
 use sqip_types::{Addr, DataSize};
 
 use crate::config::{Engine, SimConfig};
@@ -70,6 +71,29 @@ pub enum EvKind {
     StoreWake,
     /// The instruction reaches its execute stage.
     Exec,
+}
+
+impl sqip_snapshot::Snapshot for EvKind {
+    fn save(&self, w: &mut sqip_snapshot::SnapWriter) -> Result<(), sqip_snapshot::SnapError> {
+        w.put_u8(match self {
+            EvKind::Broadcast => 0,
+            EvKind::Wake => 1,
+            EvKind::StoreWake => 2,
+            EvKind::Exec => 3,
+        });
+        Ok(())
+    }
+    fn load(r: &mut sqip_snapshot::SnapReader) -> Result<EvKind, sqip_snapshot::SnapError> {
+        match r.get_u8()? {
+            0 => Ok(EvKind::Broadcast),
+            1 => Ok(EvKind::Wake),
+            2 => Ok(EvKind::StoreWake),
+            3 => Ok(EvKind::Exec),
+            t => Err(sqip_snapshot::SnapError::Corrupt(format!(
+                "event kind tag {t}"
+            ))),
+        }
+    }
 }
 
 enum Core<'t> {
@@ -419,6 +443,136 @@ impl<'t> Processor<'t> {
             Core::Event(c) => &c.cfg,
             Core::Reference(c) => &c.cfg,
         }
+    }
+
+    /// Serialises the complete simulation state into `out` as a
+    /// self-describing checkpoint: configuration, pipeline, predictors,
+    /// committed architectural state, and the trace-source position.
+    /// [`Processor::restore`] over a fresh source resumes the run with
+    /// **bit-identical** statistics to never having stopped.
+    ///
+    /// # Errors
+    ///
+    /// [`sqip_snapshot::SnapError::Unsupported`] when the state is not
+    /// checkpointable — a custom [`ForwardingPolicy`](crate::ForwardingPolicy)
+    /// design, a shared-analysis processor (built by
+    /// [`Processor::try_from_shared`]), or a pending trace-source error —
+    /// and [`sqip_snapshot::SnapError::Io`] when writing `out` fails.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sqip_core::{Processor, SimConfig, SqDesign, StepOutcome};
+    /// use sqip_isa::{trace_program, ProgramBuilder, ProgramSource, Reg};
+    /// use sqip_types::DataSize;
+    ///
+    /// let mut b = ProgramBuilder::new();
+    /// let (ctr, v) = (Reg::new(1), Reg::new(2));
+    /// b.load_imm(ctr, 100);
+    /// let top = b.label("top");
+    /// b.store(DataSize::Quad, v, Reg::ZERO, 0x100);
+    /// b.load(DataSize::Quad, v, Reg::ZERO, 0x100);
+    /// b.add_imm(ctr, ctr, -1);
+    /// b.branch_nz(ctr, top);
+    /// b.halt();
+    /// let program = b.build()?;
+    ///
+    /// let cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+    /// let mut p = Processor::from_source(cfg.clone(), ProgramSource::new(program.clone(), 10_000));
+    /// p.run_until(500)?;
+    ///
+    /// // Checkpoint mid-run, then resume in a fresh processor over a
+    /// // fresh source.
+    /// let mut snap = Vec::new();
+    /// p.checkpoint(&mut snap)?;
+    /// let mut resumed =
+    ///     Processor::restore(&mut snap.as_slice(), ProgramSource::new(program, 10_000))?;
+    ///
+    /// let straight = p.try_run()?;
+    /// let stitched = resumed.try_run()?;
+    /// assert_eq!(straight, stitched, "resume is bit-identical");
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn checkpoint(&self, out: &mut impl std::io::Write) -> Result<(), SnapError> {
+        use sqip_snapshot::Snapshot as _;
+        let mut w = sqip_snapshot::SnapWriter::new();
+        let cfg_json = serde_json::to_string(self.config())
+            .map_err(|e| SnapError::Corrupt(format!("configuration did not serialise: {e}")))?;
+        cfg_json.save(&mut w)?;
+        match &self.core {
+            Core::Event(c) => {
+                c.records_pulled().save(&mut w)?;
+                c.save_state(&mut w)?;
+            }
+            Core::Reference(c) => {
+                c.records_pulled().save(&mut w)?;
+                c.save_state(&mut w)?;
+            }
+        }
+        w.finish(out)
+    }
+
+    /// Rebuilds a checkpointed processor, resuming over `source` — a
+    /// fresh instance of the **same** trace source the checkpointed run
+    /// consumed. The already-simulated prefix is skipped by pulling (and
+    /// discarding) the records the checkpoint had pulled; simulation then
+    /// continues bit-identically from the checkpointed cycle. See
+    /// [`Processor::checkpoint`] for an example.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapError`] for a truncated, corrupt, foreign-version or
+    /// inconsistent checkpoint; [`SnapError::Source`] when `source` fails
+    /// or ends before the checkpointed position;
+    /// [`SnapError::Unsupported`] when the checkpointed design is not a
+    /// builtin-capability design in this process's registry.
+    pub fn restore(
+        input: &mut impl std::io::Read,
+        source: impl TraceSource + 't,
+    ) -> Result<Processor<'t>, SnapError> {
+        use sqip_snapshot::Snapshot as _;
+        let mut r = sqip_snapshot::SnapReader::new(input)?;
+        let cfg_json = String::load(&mut r)?;
+        let cfg: SimConfig = serde_json::from_str(&cfg_json)
+            .map_err(|e| SnapError::Corrupt(format!("configuration did not parse: {e}")))?;
+        cfg.try_validate()
+            .map_err(|e| SnapError::Corrupt(format!("checkpointed configuration invalid: {e}")))?;
+        let pulls = u64::load(&mut r)?;
+        let mut source = source;
+        for i in 0..pulls {
+            match source.next_record() {
+                Ok(Some(_)) => {}
+                Ok(None) => {
+                    return Err(SnapError::Source(format!(
+                        "trace source exhausted at record {i} of the {pulls} \
+                         the checkpoint had consumed"
+                    )))
+                }
+                Err(e) => return Err(SnapError::Source(e.to_string())),
+            }
+        }
+        let core = match cfg.engine {
+            Engine::Event => {
+                let mut c = Box::new(EventCore::with_analysis(
+                    cfg,
+                    source,
+                    Analysis::Own(crate::oracle::OracleBuilder::new()),
+                ));
+                c.load_state(&mut r)?;
+                Core::Event(c)
+            }
+            Engine::Reference => {
+                let mut c = Box::new(RefCore::with_analysis(
+                    cfg,
+                    source,
+                    Analysis::Own(crate::oracle::OracleBuilder::new()),
+                ));
+                c.load_state(&mut r)?;
+                Core::Reference(c)
+            }
+        };
+        r.finish()?;
+        Ok(Processor { core })
     }
 }
 

@@ -1209,3 +1209,131 @@ impl RefCore<'_> {
         self.fetch_stall_until = self.cycle + 1;
     }
 }
+
+impl RefCore<'_> {
+    /// Records ever pulled from the trace source (the resume position).
+    pub(crate) fn records_pulled(&self) -> u64 {
+        self.window.end()
+    }
+
+    /// Serialises the engine state (everything except `cfg` and the
+    /// source, which the checkpoint container carries separately).
+    ///
+    /// The unordered collections are serialised in sorted-key order so
+    /// equal states snapshot to equal bytes.
+    pub(crate) fn save_state(
+        &self,
+        w: &mut sqip_snapshot::SnapWriter,
+    ) -> Result<(), sqip_snapshot::SnapError> {
+        use sqip_snapshot::Snapshot as _;
+        if let Some(e) = &self.source_error {
+            return Err(sqip_snapshot::SnapError::Unsupported(format!(
+                "cannot checkpoint with a pending trace-source error: {e}"
+            )));
+        }
+        let Analysis::Own(oracle) = &self.analysis else {
+            return Err(sqip_snapshot::SnapError::Unsupported(
+                "shared-analysis processors cannot be checkpointed (the \
+                 oracle feed belongs to the sweep pass)"
+                    .into(),
+            ));
+        };
+        self.window.save(w)?;
+        oracle.save(w)?;
+        self.total_records.save(w)?;
+        self.source_done.save(w)?;
+        self.cycle.save(w)?;
+        self.incarnation.save(w)?;
+        self.last_commit_cycle.save(w)?;
+        self.fetch_idx.save(w)?;
+        self.fetch_stall_until.save(w)?;
+        self.pending_redirect.save(w)?;
+        self.front_q.save(w)?;
+        self.path_history.save(w)?;
+        self.ssn_ren.save(w)?;
+        self.rename_map.save(w)?;
+        self.committed_regs.save(w)?;
+        self.draining_for_wrap.save(w)?;
+        self.rob.save(w)?;
+        sorted_pairs(&self.insts).save(w)?;
+        self.iq_count.save(w)?;
+        self.ready_q.iter().copied().collect::<Vec<u64>>().save(w)?;
+        let mut events: Vec<(u64, EvKind, u64, u64)> =
+            self.events.iter().map(|Reverse(e)| *e).collect();
+        events.sort_unstable();
+        events.save(w)?;
+        sorted_pairs(&self.wake_on_value).save(w)?;
+        sorted_pairs(&self.wake_on_store_exec).save(w)?;
+        sorted_pairs(&self.wake_on_store_exec_strict).save(w)?;
+        self.wake_on_store_commit
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect::<Vec<(u64, Vec<u64>)>>()
+            .save(w)?;
+        self.vals.save(w)?;
+        self.sq.save(w)?;
+        self.lq.save(w)?;
+        self.hierarchy.save(w)?;
+        self.commit_mem.save(w)?;
+        self.ssn_cmt.save(w)?;
+        self.policy.save_snapshot(w)?;
+        self.bp.save(w)?;
+        self.stats.save(w)
+    }
+
+    /// Overwrites a freshly constructed engine with checkpointed state
+    /// (the mirror of [`RefCore::save_state`]).
+    pub(crate) fn load_state(
+        &mut self,
+        r: &mut sqip_snapshot::SnapReader,
+    ) -> Result<(), sqip_snapshot::SnapError> {
+        use sqip_snapshot::Snapshot as _;
+        self.window = RecordWindow::load(r)?;
+        self.analysis = Analysis::Own(OracleBuilder::load(r)?);
+        self.total_records = Option::<u64>::load(r)?;
+        self.source_done = bool::load(r)?;
+        self.cycle = u64::load(r)?;
+        self.incarnation = u64::load(r)?;
+        self.last_commit_cycle = u64::load(r)?;
+        self.fetch_idx = usize::load(r)?;
+        self.fetch_stall_until = u64::load(r)?;
+        self.pending_redirect = Option::<Seq>::load(r)?;
+        self.front_q = std::collections::VecDeque::<(Seq, u64, u64)>::load(r)?;
+        self.path_history = u64::load(r)?;
+        self.ssn_ren = Ssn::load(r)?;
+        self.rename_map = <[Option<Seq>; sqip_isa::NUM_REGS]>::load(r)?;
+        self.committed_regs = <[u64; sqip_isa::NUM_REGS]>::load(r)?;
+        self.draining_for_wrap = bool::load(r)?;
+        self.rob = Window::<Seq>::load(r)?;
+        self.insts = Vec::<(u64, DynInst)>::load(r)?.into_iter().collect();
+        self.iq_count = usize::load(r)?;
+        self.ready_q = Vec::<u64>::load(r)?.into_iter().collect();
+        self.events = Vec::<(u64, EvKind, u64, u64)>::load(r)?
+            .into_iter()
+            .map(Reverse)
+            .collect();
+        self.wake_on_value = Vec::<(u64, Vec<u64>)>::load(r)?.into_iter().collect();
+        self.wake_on_store_exec = Vec::<(u64, Vec<u64>)>::load(r)?.into_iter().collect();
+        self.wake_on_store_exec_strict = Vec::<(u64, Vec<u64>)>::load(r)?.into_iter().collect();
+        self.wake_on_store_commit = Vec::<(u64, Vec<u64>)>::load(r)?.into_iter().collect();
+        self.vals = SeqRing::load(r)?;
+        self.sq = StoreQueue::load(r)?;
+        self.lq = LoadQueue::load(r)?;
+        self.hierarchy = Hierarchy::load(r)?;
+        self.commit_mem = MemImage::load(r)?;
+        self.ssn_cmt = Ssn::load(r)?;
+        self.policy = PolicyHost::load_snapshot(r, &self.cfg)?;
+        self.caps = self.policy.caps();
+        self.bp = BranchPredictor::load(r)?;
+        self.stats = SimStats::load(r)?;
+        Ok(())
+    }
+}
+
+/// A `HashMap`'s contents as a key-sorted pair vector (deterministic
+/// serialisation order regardless of hash-iteration order).
+fn sorted_pairs<V: Clone>(map: &HashMap<u64, V>) -> Vec<(u64, V)> {
+    let mut pairs: Vec<(u64, V)> = map.iter().map(|(k, v)| (*k, v.clone())).collect();
+    pairs.sort_unstable_by_key(|(k, _)| *k);
+    pairs
+}

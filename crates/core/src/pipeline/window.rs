@@ -199,6 +199,64 @@ impl SeqRing {
     }
 }
 
+sqip_snapshot::snapshot_struct!(SeqSlot {
+    spec_value,
+    value_ready,
+    wake_time,
+});
+
+impl sqip_snapshot::Snapshot for RecordWindow {
+    fn save(&self, w: &mut sqip_snapshot::SnapWriter) -> Result<(), sqip_snapshot::SnapError> {
+        self.base.save(w)?;
+        self.len.save(w)?;
+        self.mask.save(w)?;
+        self.recs.save(w)?;
+        self.fwds.save(w)
+    }
+    fn load(r: &mut sqip_snapshot::SnapReader) -> Result<RecordWindow, sqip_snapshot::SnapError> {
+        let base = u64::load(r)?;
+        let len = usize::load(r)?;
+        let mask = u64::load(r)?;
+        let recs = Vec::<TraceRecord>::load(r)?;
+        let fwds = Vec::<Option<OracleFwd>>::load(r)?;
+        let cap = mask.wrapping_add(1);
+        if !cap.is_power_of_two()
+            || recs.len() as u64 != cap
+            || fwds.len() as u64 != cap
+            || len as u64 > cap
+        {
+            return Err(sqip_snapshot::SnapError::Corrupt(format!(
+                "record window: mask {mask:#x}, {} records, {} oracle slots, len {len}",
+                recs.len(),
+                fwds.len()
+            )));
+        }
+        Ok(RecordWindow {
+            base,
+            len,
+            mask,
+            recs,
+            fwds,
+        })
+    }
+}
+
+impl sqip_snapshot::Snapshot for SeqRing {
+    fn save(&self, w: &mut sqip_snapshot::SnapWriter) -> Result<(), sqip_snapshot::SnapError> {
+        self.slots.save(w)
+    }
+    fn load(r: &mut sqip_snapshot::SnapReader) -> Result<SeqRing, sqip_snapshot::SnapError> {
+        let slots = Vec::<SeqSlot>::load(r)?;
+        if !slots.len().is_power_of_two() {
+            return Err(sqip_snapshot::SnapError::Corrupt(format!(
+                "sequence ring of {} slots (want a power of two)",
+                slots.len()
+            )));
+        }
+        Ok(SeqRing { slots })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

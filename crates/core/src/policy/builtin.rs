@@ -348,3 +348,14 @@ impl ForwardingPolicy for BuiltinPolicy {
         self.sat.clear();
     }
 }
+
+sqip_snapshot::snapshot_struct!(BuiltinPolicy {
+    caps,
+    sq_size,
+    fsp,
+    sat,
+    ddp,
+    ssbf,
+    spct,
+    store_sets,
+});

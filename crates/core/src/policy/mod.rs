@@ -192,6 +192,15 @@ impl DesignCaps {
     }
 }
 
+sqip_snapshot::snapshot_struct!(DesignCaps {
+    oracle,
+    indexed,
+    delay,
+    original_store_sets,
+    fwd_latency_pred,
+    sq_latency,
+});
+
 /// The slice of pipeline state a policy may consult when deciding.
 #[derive(Debug)]
 pub struct PipelineView<'a> {
@@ -449,6 +458,42 @@ impl PolicyHost {
     #[inline]
     pub(crate) fn caps(&self) -> DesignCaps {
         host_dispatch!(self, p => p.caps())
+    }
+
+    /// Serialises the policy's predictor state into a checkpoint.
+    ///
+    /// Only builtin designs are checkpointable: a custom
+    /// [`ForwardingPolicy`] is an opaque trait object whose state the
+    /// snapshot layer cannot see.
+    pub(crate) fn save_snapshot(
+        &self,
+        w: &mut sqip_snapshot::SnapWriter,
+    ) -> Result<(), sqip_snapshot::SnapError> {
+        match self {
+            PolicyHost::Builtin(p) => {
+                use sqip_snapshot::Snapshot as _;
+                p.save(w)
+            }
+            PolicyHost::Custom(p) => Err(sqip_snapshot::SnapError::Unsupported(format!(
+                "custom forwarding policies cannot be checkpointed: {p:?}"
+            ))),
+        }
+    }
+
+    /// Restores a checkpointed builtin policy for `cfg.design`.
+    pub(crate) fn load_snapshot(
+        r: &mut sqip_snapshot::SnapReader,
+        cfg: &crate::config::SimConfig,
+    ) -> Result<PolicyHost, sqip_snapshot::SnapError> {
+        if DesignRegistry::global().builtin_caps(cfg.design).is_none() {
+            return Err(sqip_snapshot::SnapError::Unsupported(format!(
+                "design {} is not a builtin-capability design; custom \
+                 policies cannot be restored from a checkpoint",
+                cfg.design
+            )));
+        }
+        use sqip_snapshot::Snapshot as _;
+        Ok(PolicyHost::Builtin(Box::new(BuiltinPolicy::load(r)?)))
     }
 
     #[inline]

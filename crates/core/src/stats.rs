@@ -132,6 +132,32 @@ impl SimStats {
     }
 }
 
+sqip_snapshot::snapshot_struct!(SimStats {
+    cycles,
+    committed,
+    loads,
+    stores,
+    branches,
+    branch_mispredicts,
+    return_mispredicts,
+    forwarding_relevant_loads,
+    loads_forwarded,
+    mis_forwards,
+    flushes,
+    squashed,
+    loads_delayed,
+    delay_cycles,
+    partial_stalls,
+    re_executions,
+    naive_reexec_candidates,
+    reexec_port_stalls,
+    replays,
+    ssn_wraps,
+    l1,
+    l2,
+    tlb,
+});
+
 fn percent(num: u64, den: u64) -> f64 {
     if den == 0 {
         0.0

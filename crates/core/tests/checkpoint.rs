@@ -1,0 +1,212 @@
+//! Checkpoint/resume: container robustness (truncation, corruption,
+//! foreign versions — typed errors, never panics) and the bit-identity
+//! property — running straight through equals checkpointing at an
+//! arbitrary point and resuming, for every design under both engines.
+
+use proptest::prelude::*;
+use sqip_core::{Engine, Processor, SimConfig, SimStats, SqDesign, StepOutcome};
+use sqip_isa::{Program, ProgramBuilder, ProgramSource, Reg};
+use sqip_snapshot::SnapError;
+use sqip_types::DataSize;
+
+/// A store/load-heavy loop long enough to checkpoint mid-flight.
+fn workload(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let (ctr, v, w) = (Reg::new(1), Reg::new(2), Reg::new(3));
+    b.load_imm(ctr, iters);
+    b.load_imm(v, 7);
+    let top = b.label("top");
+    b.store(DataSize::Quad, v, Reg::ZERO, 0x100);
+    b.load(DataSize::Quad, w, Reg::ZERO, 0x100);
+    b.add_imm(v, w, 3);
+    b.store(DataSize::Word, v, Reg::ZERO, 0x208);
+    b.load(DataSize::Word, w, Reg::ZERO, 0x208);
+    b.add_imm(ctr, ctr, -1);
+    b.branch_nz(ctr, top);
+    b.halt();
+    b.build().unwrap()
+}
+
+fn source(program: &Program) -> ProgramSource {
+    ProgramSource::new(program.clone(), 1_000_000)
+}
+
+/// Runs `steps` processor steps (or to completion), then checkpoints.
+fn checkpoint_after(cfg: &SimConfig, program: &Program, steps: usize) -> Vec<u8> {
+    let mut p = Processor::from_source(cfg.clone(), source(program));
+    for _ in 0..steps {
+        if p.step().unwrap() == StepOutcome::Done {
+            break;
+        }
+    }
+    let mut snap = Vec::new();
+    p.checkpoint(&mut snap).unwrap();
+    snap
+}
+
+fn finish(mut p: Processor<'_>) -> SimStats {
+    while p.step().unwrap() == StepOutcome::Running {}
+    p.stats().clone()
+}
+
+#[test]
+fn truncated_checkpoints_are_rejected_not_panicked() {
+    let program = workload(50);
+    let cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+    let snap = checkpoint_after(&cfg, &program, 40);
+    // Every proper prefix must fail with a typed error; sample densely at
+    // the container boundaries and sparsely through the payload.
+    let cuts: Vec<usize> = (0..32.min(snap.len()))
+        .chain((32..snap.len()).step_by(97))
+        .collect();
+    for cut in cuts {
+        let err = Processor::restore(&mut &snap[..cut], source(&program))
+            .err()
+            .unwrap_or_else(|| panic!("truncation at {cut} must not restore"));
+        assert!(
+            matches!(err, SnapError::Truncated { .. } | SnapError::Corrupt(_)),
+            "cut at {cut}: unexpected error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn corrupt_payload_bytes_are_rejected() {
+    let program = workload(50);
+    let cfg = SimConfig::with_design(SqDesign::Associative3);
+    let snap = checkpoint_after(&cfg, &program, 40);
+    // Flip one byte in the payload (past the 24-byte header): the
+    // checksum must catch it.
+    for &at in &[24usize, snap.len() / 2, snap.len() - 1] {
+        let mut bad = snap.clone();
+        bad[at] ^= 0x40;
+        let err = Processor::restore(&mut bad.as_slice(), source(&program))
+            .expect_err("corruption must not restore");
+        assert!(
+            matches!(err, SnapError::ChecksumMismatch { .. }),
+            "flip at {at}: unexpected error {err:?}"
+        );
+    }
+}
+
+#[test]
+fn foreign_version_and_magic_are_rejected() {
+    let program = workload(50);
+    let cfg = SimConfig::with_design(SqDesign::Indexed3Fwd);
+    let snap = checkpoint_after(&cfg, &program, 40);
+
+    let mut future = snap.clone();
+    future[4] = 0xEE; // format version field (little-endian u32 at 4..8)
+    let err = Processor::restore(&mut future.as_slice(), source(&program))
+        .expect_err("foreign version must not restore");
+    assert!(
+        matches!(err, SnapError::UnsupportedVersion { .. }),
+        "unexpected error {err:?}"
+    );
+
+    let mut alien = snap;
+    alien[0..4].copy_from_slice(b"NOPE");
+    let err = Processor::restore(&mut alien.as_slice(), source(&program))
+        .expect_err("bad magic must not restore");
+    assert!(
+        matches!(err, SnapError::BadMagic { .. }),
+        "unexpected {err:?}"
+    );
+}
+
+#[test]
+fn short_source_on_restore_is_a_source_error() {
+    let program = workload(200);
+    let cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+    let snap = checkpoint_after(&cfg, &program, 300);
+    // Resuming over a much shorter instance of "the same" workload: the
+    // fast-forward must run out of records and say so.
+    let err = Processor::restore(&mut snap.as_slice(), source(&workload(2)))
+        .expect_err("short source must not restore");
+    assert!(matches!(err, SnapError::Source(_)), "unexpected {err:?}");
+}
+
+#[test]
+fn shared_analysis_processors_refuse_to_checkpoint() {
+    let program = workload(20);
+    let (tap, feed) = sqip_core::oracle_tap(source(&program), 4096);
+    let (_tee, cursors) = sqip_isa::TraceTee::new(tap, 1, 4096);
+    let cfg = SimConfig::with_design(SqDesign::Associative3);
+    let cursor = cursors.into_iter().next().unwrap();
+    let mut p = Processor::try_from_shared(cfg, cursor, feed).unwrap();
+    p.step().unwrap();
+    let mut out = Vec::new();
+    let err = p.checkpoint(&mut out).expect_err("must refuse");
+    assert!(
+        matches!(err, SnapError::Unsupported(_)),
+        "unexpected {err:?}"
+    );
+}
+
+#[test]
+fn checkpoint_bytes_are_deterministic_and_restore_round_trips() {
+    let program = workload(120);
+    for engine in [Engine::Event, Engine::Reference] {
+        let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+        cfg.engine = engine;
+        let a = checkpoint_after(&cfg, &program, 250);
+        let b = checkpoint_after(&cfg, &program, 250);
+        assert_eq!(a, b, "{engine:?}: equal states, equal bytes");
+
+        // Restore, immediately re-checkpoint: full-fidelity round trip.
+        let p = Processor::restore(&mut a.as_slice(), source(&program)).unwrap();
+        let mut again = Vec::new();
+        p.checkpoint(&mut again).unwrap();
+        assert_eq!(a, again, "{engine:?}: restore→checkpoint round trip");
+    }
+}
+
+#[test]
+fn checkpoint_at_completion_resumes_done() {
+    let program = workload(30);
+    let cfg = SimConfig::with_design(SqDesign::Associative3);
+    let straight = Processor::from_source(cfg.clone(), source(&program))
+        .try_run()
+        .unwrap();
+    let snap = checkpoint_after(&cfg, &program, usize::MAX);
+    let p = Processor::restore(&mut snap.as_slice(), source(&program)).unwrap();
+    assert!(p.is_done(), "a finished run restores finished");
+    assert_eq!(finish(p), straight);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// **The resume bit-identity property.** For every design (the seven
+    /// paper builtins plus the registry extension), under both engines:
+    /// checkpointing after an arbitrary number of steps and resuming in a
+    /// fresh processor over a fresh source yields `SimStats`
+    /// bit-identical to never having stopped.
+    #[test]
+    fn resume_is_bit_identical_to_running_straight(
+        iters in 10i64..60,
+        steps in 0usize..600,
+    ) {
+        let program = workload(iters);
+        let mut designs: Vec<SqDesign> = SqDesign::ALL.to_vec();
+        designs.push("indexed-5-fwd+dly".parse().expect("extension registered"));
+        for design in designs {
+            for engine in [Engine::Event, Engine::Reference] {
+                let mut cfg = SimConfig::with_design(design);
+                cfg.engine = engine;
+                let straight = Processor::from_source(cfg.clone(), source(&program))
+                    .try_run()
+                    .unwrap();
+                let snap = checkpoint_after(&cfg, &program, steps);
+                let resumed = Processor::restore(&mut snap.as_slice(), source(&program))
+                    .expect("restore");
+                let stitched = finish(resumed);
+                prop_assert_eq!(
+                    &stitched, &straight,
+                    "{} / {:?} diverges after resume at step {}",
+                    design, engine, steps
+                );
+            }
+        }
+    }
+}

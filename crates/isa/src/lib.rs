@@ -48,6 +48,7 @@ mod inst;
 mod op;
 mod program;
 mod reg;
+mod snapshot;
 mod source;
 mod tee;
 mod trace;

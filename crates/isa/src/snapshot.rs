@@ -1,0 +1,188 @@
+//! [`Snapshot`] impls for the ISA-level types that appear inside
+//! checkpointed simulator state (trace records buffered in the core's
+//! record window).
+
+use sqip_snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
+use sqip_types::DataSize;
+
+use crate::op::Op;
+use crate::reg::{Reg, NUM_REGS};
+use crate::trace::TraceRecord;
+
+impl Snapshot for Reg {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        w.put_u8(self.index() as u8);
+        Ok(())
+    }
+    fn load(r: &mut SnapReader) -> Result<Reg, SnapError> {
+        let idx = r.get_u8()?;
+        if (idx as usize) >= NUM_REGS {
+            return Err(SnapError::Corrupt(format!("register index {idx}")));
+        }
+        Ok(Reg::new(idx))
+    }
+}
+
+impl Snapshot for Op {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        let tag: u8 = match self {
+            Op::Add => 0,
+            Op::Sub => 1,
+            Op::Mul => 2,
+            Op::And => 3,
+            Op::Or => 4,
+            Op::Xor => 5,
+            Op::Shl => 6,
+            Op::Shr => 7,
+            Op::CmpLt => 8,
+            Op::CmpEq => 9,
+            Op::AddImm => 10,
+            Op::MulImm => 11,
+            Op::LoadImm => 12,
+            Op::FAdd => 13,
+            Op::FMul => 14,
+            Op::FDiv => 15,
+            Op::Load(_) => 16,
+            Op::Store(_) => 17,
+            Op::BranchZ => 18,
+            Op::BranchNZ => 19,
+            Op::Jump => 20,
+            Op::Call => 21,
+            Op::Ret => 22,
+            Op::Nop => 23,
+            Op::Halt => 24,
+        };
+        w.put_u8(tag);
+        if let Op::Load(s) | Op::Store(s) = self {
+            s.save(w)?;
+        }
+        Ok(())
+    }
+    fn load(r: &mut SnapReader) -> Result<Op, SnapError> {
+        Ok(match r.get_u8()? {
+            0 => Op::Add,
+            1 => Op::Sub,
+            2 => Op::Mul,
+            3 => Op::And,
+            4 => Op::Or,
+            5 => Op::Xor,
+            6 => Op::Shl,
+            7 => Op::Shr,
+            8 => Op::CmpLt,
+            9 => Op::CmpEq,
+            10 => Op::AddImm,
+            11 => Op::MulImm,
+            12 => Op::LoadImm,
+            13 => Op::FAdd,
+            14 => Op::FMul,
+            15 => Op::FDiv,
+            16 => Op::Load(DataSize::load(r)?),
+            17 => Op::Store(DataSize::load(r)?),
+            18 => Op::BranchZ,
+            19 => Op::BranchNZ,
+            20 => Op::Jump,
+            21 => Op::Call,
+            22 => Op::Ret,
+            23 => Op::Nop,
+            24 => Op::Halt,
+            t => return Err(SnapError::Corrupt(format!("Op tag {t}"))),
+        })
+    }
+}
+
+sqip_snapshot::snapshot_struct!(TraceRecord {
+    seq,
+    pc,
+    op,
+    dst,
+    srcs,
+    imm,
+    addr,
+    size,
+    result,
+    taken,
+    next_pc,
+});
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqip_types::{Addr, Pc, Seq};
+
+    fn roundtrip<T: Snapshot>(v: &T) -> T {
+        let mut w = SnapWriter::new();
+        v.save(&mut w).unwrap();
+        let mut bytes = Vec::new();
+        w.finish(&mut bytes).unwrap();
+        let mut r = SnapReader::new(&mut bytes.as_slice()).unwrap();
+        let out = T::load(&mut r).unwrap();
+        r.finish().unwrap();
+        out
+    }
+
+    #[test]
+    fn record_roundtrips() {
+        let rec = TraceRecord {
+            seq: Seq(7),
+            pc: Pc::new(0x40),
+            op: Op::Store(DataSize::Half),
+            dst: None,
+            srcs: [Some(Reg::new(3)), Some(Reg::new(63))],
+            imm: -128,
+            addr: Some(Addr::new(0x2000)),
+            size: DataSize::Half,
+            result: 0xBEEF,
+            taken: false,
+            next_pc: Pc::new(0x48),
+        };
+        assert_eq!(roundtrip(&rec), rec);
+        assert_eq!(roundtrip(&TraceRecord::default()), TraceRecord::default());
+    }
+
+    #[test]
+    fn all_ops_roundtrip() {
+        let ops = [
+            Op::Add,
+            Op::Sub,
+            Op::Mul,
+            Op::And,
+            Op::Or,
+            Op::Xor,
+            Op::Shl,
+            Op::Shr,
+            Op::CmpLt,
+            Op::CmpEq,
+            Op::AddImm,
+            Op::MulImm,
+            Op::LoadImm,
+            Op::FAdd,
+            Op::FMul,
+            Op::FDiv,
+            Op::Load(DataSize::Byte),
+            Op::Store(DataSize::Quad),
+            Op::BranchZ,
+            Op::BranchNZ,
+            Op::Jump,
+            Op::Call,
+            Op::Ret,
+            Op::Nop,
+            Op::Halt,
+        ];
+        for op in ops {
+            assert_eq!(roundtrip(&op), op);
+        }
+    }
+
+    #[test]
+    fn bad_register_index_is_corrupt_not_panic() {
+        let mut w = SnapWriter::new();
+        w.put_u8(NUM_REGS as u8);
+        let mut bytes = Vec::new();
+        w.finish(&mut bytes).unwrap();
+        let mut r = SnapReader::new(&mut bytes.as_slice()).unwrap();
+        match Reg::load(&mut r) {
+            Err(SnapError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+}

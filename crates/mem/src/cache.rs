@@ -200,6 +200,23 @@ impl Cache {
     }
 }
 
+sqip_snapshot::snapshot_struct!(CacheConfig {
+    capacity_bytes,
+    ways,
+    line_bytes,
+    hit_latency,
+});
+sqip_snapshot::snapshot_struct!(CacheStats { hits, misses });
+sqip_snapshot::snapshot_struct!(Cache {
+    config,
+    tags,
+    lru,
+    stats,
+    tick,
+    set_mask,
+    set_shift,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

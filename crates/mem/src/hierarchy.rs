@@ -152,6 +152,19 @@ impl Hierarchy {
     }
 }
 
+sqip_snapshot::snapshot_struct!(HierarchyConfig {
+    l1,
+    l2,
+    tlb,
+    memory_latency,
+});
+sqip_snapshot::snapshot_struct!(Hierarchy {
+    config,
+    l1,
+    l2,
+    tlb
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -108,6 +108,8 @@ fn split(addr: Addr) -> (u64, usize) {
     )
 }
 
+sqip_snapshot::snapshot_struct!(MemImage { pages });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -5,6 +5,8 @@
 use std::cell::Cell;
 use std::collections::HashMap;
 
+use sqip_snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
+
 /// Entries per page (4KB pages for byte-granular tables).
 pub const PAGE_ENTRIES: usize = 4096;
 
@@ -80,6 +82,64 @@ impl<T: Copy> PageTable<T> {
         }
         self.last.set((page_no, i));
         &mut self.pages[i as usize]
+    }
+}
+
+impl<T: Snapshot + Copy> Snapshot for PageTable<T> {
+    fn save(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        self.empty.save(w)?;
+        // Pages in slot order (slot numbering must survive, the index
+        // maps into it), then the index as sorted pairs so the encoding
+        // is independent of HashMap iteration order.
+        w.put_u64(self.pages.len() as u64);
+        for page in &self.pages {
+            for entry in page.iter() {
+                entry.save(w)?;
+            }
+        }
+        let mut pairs: Vec<(u64, u32)> = self.index.iter().map(|(&p, &s)| (p, s)).collect();
+        pairs.sort_unstable();
+        pairs.save(w)
+    }
+    fn load(r: &mut SnapReader) -> Result<PageTable<T>, SnapError> {
+        let empty = T::load(r)?;
+        let n_pages = usize::load(r)?;
+        let mut pages = Vec::with_capacity(n_pages.min(64));
+        for _ in 0..n_pages {
+            let mut page = Vec::with_capacity(PAGE_ENTRIES);
+            for _ in 0..PAGE_ENTRIES {
+                page.push(T::load(r)?);
+            }
+            let boxed: Box<[T; PAGE_ENTRIES]> = page
+                .into_boxed_slice()
+                .try_into()
+                .map_err(|_| SnapError::Corrupt("page size mismatch".into()))?;
+            pages.push(boxed);
+        }
+        let pairs = Vec::<(u64, u32)>::load(r)?;
+        if pairs.len() != n_pages {
+            return Err(SnapError::Corrupt(format!(
+                "page index has {} entries for {} pages",
+                pairs.len(),
+                n_pages
+            )));
+        }
+        let mut index = HashMap::with_capacity(n_pages);
+        for (page_no, slot) in pairs {
+            if slot as usize >= n_pages || index.insert(page_no, slot).is_some() {
+                return Err(SnapError::Corrupt(format!(
+                    "page index entry ({page_no}, {slot}) invalid"
+                )));
+            }
+        }
+        Ok(PageTable {
+            empty,
+            index,
+            pages,
+            // The one-entry lookup cache is a pure accelerator; restore
+            // it to the empty sentinel.
+            last: Cell::new((u64::MAX, 0)),
+        })
     }
 }
 

@@ -124,6 +124,22 @@ impl Tlb {
     }
 }
 
+sqip_snapshot::snapshot_struct!(TlbConfig {
+    entries,
+    ways,
+    page_bytes,
+    miss_latency,
+});
+sqip_snapshot::snapshot_struct!(Tlb {
+    config,
+    vpns,
+    lru,
+    stats,
+    tick,
+    page_shift,
+    set_mask,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -334,3 +334,27 @@ mod tests {
         );
     }
 }
+
+sqip_snapshot::snapshot_struct!(BranchConfig {
+    direction_entries,
+    btb_entries,
+    btb_ways,
+    ras_depth,
+    history_bits,
+});
+sqip_snapshot::snapshot_struct!(BtbEntry {
+    valid,
+    tag,
+    target,
+    lru,
+});
+sqip_snapshot::snapshot_struct!(BranchPredictor {
+    config,
+    gshare,
+    bimodal,
+    chooser,
+    btb,
+    ras,
+    history,
+    tick,
+});

@@ -125,3 +125,9 @@ mod tests {
         let _ = SatCounter::new(3, 4);
     }
 }
+
+sqip_snapshot::snapshot_struct!(SatCounter {
+    value,
+    max,
+    threshold,
+});

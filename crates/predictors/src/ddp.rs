@@ -373,3 +373,23 @@ mod tests {
         assert_eq!(ddp.occupancy(), 0);
     }
 }
+
+sqip_snapshot::snapshot_struct!(DdpConfig {
+    entries,
+    ways,
+    tag_bits,
+    ratio,
+    threshold,
+    max_distance,
+    swap_period,
+});
+sqip_snapshot::snapshot_struct!(DdpEntry {
+    valid,
+    tag,
+    counter,
+    dist_current,
+    dist_future,
+    events,
+    lru,
+});
+sqip_snapshot::snapshot_struct!(Ddp { config, sets, tick });

@@ -385,3 +385,21 @@ mod tests {
         );
     }
 }
+
+sqip_snapshot::snapshot_struct!(FspConfig {
+    entries,
+    ways,
+    tag_bits,
+    store_pc_bits,
+    ratio,
+    threshold,
+    path_bits,
+});
+sqip_snapshot::snapshot_struct!(FspEntry {
+    valid,
+    tag,
+    store_pc,
+    counter,
+    lru,
+});
+sqip_snapshot::snapshot_struct!(Fsp { config, sets, tick });

@@ -97,3 +97,5 @@ mod tests {
         assert!(!TrainRatio::new(1, 0).unlearns());
     }
 }
+
+sqip_snapshot::snapshot_struct!(TrainRatio { positive, negative });

@@ -243,3 +243,5 @@ mod tests {
         let _ = Sat::new(100);
     }
 }
+
+sqip_snapshot::snapshot_struct!(Sat { entries, log });

@@ -100,3 +100,5 @@ mod tests {
         assert_eq!(spct.lookup_byte(Addr::new(0)), None);
     }
 }
+
+sqip_snapshot::snapshot_struct!(Spct { entries });

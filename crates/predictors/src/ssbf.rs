@@ -142,3 +142,5 @@ mod tests {
         let _ = Ssbf::new(100);
     }
 }
+
+sqip_snapshot::snapshot_struct!(Ssbf { entries });

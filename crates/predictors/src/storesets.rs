@@ -247,3 +247,14 @@ mod tests {
         );
     }
 }
+
+sqip_snapshot::snapshot_struct!(StoreSetsConfig {
+    ssit_entries,
+    lfst_entries,
+});
+sqip_snapshot::snapshot_struct!(StoreSets {
+    config,
+    ssit,
+    lfst,
+    next_ssid,
+});

@@ -179,6 +179,16 @@ impl LoadQueue {
     }
 }
 
+sqip_snapshot::snapshot_struct!(LqEntry {
+    seq,
+    pc,
+    span,
+    value,
+    svw,
+    older_store_unknown,
+});
+sqip_snapshot::snapshot_struct!(LoadQueue { entries, capacity });
+
 #[cfg(test)]
 mod tests {
     use super::*;

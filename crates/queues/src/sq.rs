@@ -285,6 +285,18 @@ impl StoreQueue {
     }
 }
 
+sqip_snapshot::snapshot_struct!(SqEntry {
+    ssn,
+    pc,
+    span,
+    data
+});
+sqip_snapshot::snapshot_struct!(StoreQueue {
+    entries,
+    capacity,
+    unexecuted,
+});
+
 /// Extracts the load's bytes from a covering store's data.
 fn extract(store_span: AddrSpan, store_data: u64, load_span: AddrSpan, load_size: DataSize) -> u64 {
     debug_assert!(store_span.contains(load_span));

@@ -125,6 +125,24 @@ impl<T> Window<T> {
     }
 }
 
+impl<T: sqip_snapshot::Snapshot> sqip_snapshot::Snapshot for Window<T> {
+    fn save(&self, w: &mut sqip_snapshot::SnapWriter) -> Result<(), sqip_snapshot::SnapError> {
+        self.items.save(w)?;
+        self.capacity.save(w)
+    }
+    fn load(r: &mut sqip_snapshot::SnapReader) -> Result<Window<T>, sqip_snapshot::SnapError> {
+        let items = VecDeque::<T>::load(r)?;
+        let capacity = usize::load(r)?;
+        if capacity == 0 || items.len() > capacity {
+            return Err(sqip_snapshot::SnapError::Corrupt(format!(
+                "window of {} items with capacity {capacity}",
+                items.len()
+            )));
+        }
+        Ok(Window { items, capacity })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,7 +16,8 @@ use sqip_service::{Server, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: sqipd [--addr HOST:PORT] [--queue-cap N] [--workers N] \
-         [--job-threads N] [--max-cells N] [--default-timeout-ms N]"
+         [--job-threads N] [--max-cells N] [--default-timeout-ms N] \
+         [--journal PATH]"
     );
     std::process::exit(2);
 }
@@ -47,6 +48,7 @@ fn main() {
             "--job-threads" => cfg.threads_per_job = parse(&arg, it.next()),
             "--max-cells" => cfg.max_cells_per_job = parse(&arg, it.next()),
             "--default-timeout-ms" => cfg.default_timeout_ms = parse(&arg, it.next()),
+            "--journal" => cfg.journal = Some(parse::<std::path::PathBuf>(&arg, it.next())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown flag `{other}`");

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod journal;
 pub mod loader;
 pub mod protocol;
 pub mod queue;
@@ -40,6 +41,7 @@ pub(crate) fn lock_unpoisoned<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGua
 }
 
 pub use client::{Connection, JobOutcome, JobStatus};
+pub use journal::{Journal, PendingJob};
 pub use loader::{run_load, BurstReport, LatencySummary, LoadReport, LoaderConfig, SloReport};
 pub use protocol::{Request, Response, StatsSnapshot};
 pub use queue::{FairQueue, PushError};

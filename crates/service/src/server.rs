@@ -33,6 +33,7 @@ use std::time::{Duration, Instant};
 
 use sqip::{CancelToken, CellEvent, Experiment, SqipError, SweepEngine};
 
+use crate::journal::{Journal, PendingJob};
 use crate::lock_unpoisoned;
 use crate::protocol::{from_line, to_line, Request, Response, StatsSnapshot};
 use crate::queue::{FairQueue, PushError};
@@ -41,6 +42,15 @@ use crate::queue::{FairQueue, PushError};
 /// produced by workers and consumed at socket speed, and the channel is
 /// the only per-connection buffering.
 pub const RESPONSE_CHANNEL_DEPTH: usize = 256;
+
+/// The cancel reason that marks shutdown — the one way a job may stop
+/// *without* settling its journal entry, so a restarted server re-runs
+/// it.
+const SHUTDOWN_REASON: &str = "server shutdown";
+
+/// The reserved queue-client id recovered jobs run under (real
+/// connections are numbered from 1).
+const RECOVERY_CLIENT: u64 = 0;
 
 /// How the server is sized and guarded.
 #[derive(Debug, Clone)]
@@ -57,6 +67,11 @@ pub struct ServerConfig {
     pub default_timeout_ms: u64,
     /// Largest cell count a single job may expand to.
     pub max_cells_per_job: usize,
+    /// Path of the persistent job journal; `None` (the default) serves
+    /// from memory only. With a journal, admitted jobs that never
+    /// settle — the process was killed, or shut down with work queued
+    /// or running — are re-queued by the next server that opens it.
+    pub journal: Option<std::path::PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -67,6 +82,7 @@ impl Default for ServerConfig {
             threads_per_job: 1,
             default_timeout_ms: 300_000,
             max_cells_per_job: 256,
+            journal: None,
         }
     }
 }
@@ -80,6 +96,9 @@ struct Job {
     cells: usize,
     accepted_at: Instant,
     reply: SyncSender<Response>,
+    /// The job's journal admission, settled when the job finishes for
+    /// any reason other than server shutdown.
+    journal_seq: Option<u64>,
 }
 
 type JobKey = (u64, String);
@@ -120,6 +139,7 @@ struct Counters {
 
 struct Shared {
     cfg: ServerConfig,
+    journal: Option<Journal>,
     queue: FairQueue<Job>,
     jobs: Mutex<BTreeMap<JobKey, Arc<JobCtl>>>,
     shutdown: AtomicBool,
@@ -182,6 +202,13 @@ impl Shared {
             ctl.cancel(reason);
         }
     }
+
+    /// Marks a job's journal admission settled, when both exist.
+    fn settle_journal(&self, seq: Option<u64>) {
+        if let (Some(journal), Some(seq)) = (&self.journal, seq) {
+            journal.settle(seq);
+        }
+    }
 }
 
 /// A bound-but-not-yet-running server. Call [`run`](Server::run) (or
@@ -189,6 +216,9 @@ impl Shared {
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
+    /// Unsettled jobs replayed from the journal, re-queued when the
+    /// server starts serving.
+    recovered: Vec<PendingJob>,
 }
 
 /// A cloneable remote control for a running server: shutdown and
@@ -236,10 +266,18 @@ impl Server {
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let queue = FairQueue::new(cfg.queue_capacity);
+        let (journal, recovered) = match &cfg.journal {
+            Some(path) => {
+                let (journal, pending) = Journal::open(path)?;
+                (Some(journal), pending)
+            }
+            None => (None, Vec::new()),
+        };
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
                 cfg,
+                journal,
                 queue,
                 jobs: Mutex::new(BTreeMap::new()),
                 shutdown: AtomicBool::new(false),
@@ -247,6 +285,7 @@ impl Server {
                 next_client: AtomicU64::new(1),
                 counters: Counters::default(),
             }),
+            recovered,
         })
     }
 
@@ -287,9 +326,15 @@ impl Server {
     }
 
     /// Serves until [`ServerHandle::shutdown`] is called: spawns the
-    /// worker pool and deadline monitor, then accepts connections.
+    /// worker pool and deadline monitor, re-queues journal-recovered
+    /// jobs, then accepts connections.
     pub fn run(self) {
-        let shared = &self.shared;
+        let Server {
+            listener,
+            shared,
+            recovered,
+        } = self;
+        let shared = &shared;
         thread::scope(|scope| {
             // Thread-spawn failures (fd/memory exhaustion) degrade the
             // pool instead of aborting the server; with zero workers the
@@ -307,7 +352,7 @@ impl Server {
             }
             if workers == 0 {
                 eprintln!("sqipd: no workers could be spawned; shutting down");
-                initiate_shutdown(shared, self.listener.local_addr().ok());
+                initiate_shutdown(shared, listener.local_addr().ok());
                 return;
             }
             {
@@ -322,7 +367,11 @@ impl Server {
                 }
             }
 
-            for stream in self.listener.incoming() {
+            // Owed work first: journal-recovered jobs enter the queue
+            // before any new connection can race a submit in.
+            requeue_recovered(shared, recovered);
+
+            for stream in listener.incoming() {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
@@ -345,14 +394,83 @@ impl Server {
 
 /// Flips the shutdown flag once: closes the queue, cancels every job,
 /// and (when the listen address is known) nudges the accept loop awake.
+///
+/// Jobs stopped here are cancelled with [`SHUTDOWN_REASON`] and their
+/// journal admissions stay unsettled — the next server to open the
+/// journal re-runs them.
 fn initiate_shutdown(shared: &Shared, addr: Option<SocketAddr>) {
     if shared.shutdown.swap(true, Ordering::SeqCst) {
         return;
     }
     shared.queue.close();
-    shared.cancel_all("server shutdown");
+    shared.cancel_all(SHUTDOWN_REASON);
     if let Some(addr) = addr {
         let _ = TcpStream::connect(addr);
+    }
+}
+
+/// Re-admits journal-recovered jobs under the reserved
+/// [`RECOVERY_CLIENT`]. Their original clients are gone, so results
+/// stream into a closed channel — the work (and the journal settling
+/// that records it) is the point. A job whose spec no longer builds
+/// (say, a runtime-registered design that was not re-registered) is
+/// settled as failed rather than recovered forever.
+fn requeue_recovered(shared: &Shared, recovered: Vec<PendingJob>) {
+    if recovered.is_empty() {
+        return;
+    }
+    shared.queue.register(RECOVERY_CLIENT);
+    for pending in recovered {
+        shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let built = pending
+            .spec
+            .to_experiment()
+            .and_then(|e| e.cells().map(|cells| (cells.len(), e)));
+        let (cells, experiment) = match built {
+            Ok(built) => built,
+            Err(err) => {
+                eprintln!(
+                    "sqipd: journal job `{}` no longer builds ({err}); settling as failed",
+                    pending.id
+                );
+                shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+                shared.settle_journal(Some(pending.seq));
+                continue;
+            }
+        };
+        let job = Job {
+            key: (RECOVERY_CLIENT, format!("r{}:{}", pending.seq, pending.id)),
+            display_id: pending.id.clone(),
+            experiment,
+            cells,
+            accepted_at: Instant::now(),
+            // A fresh channel whose receiver is dropped immediately:
+            // sends fail fast instead of buffering.
+            reply: sync_channel::<Response>(1).0,
+            journal_seq: Some(pending.seq),
+        };
+        let timeout = pending.timeout_ms.unwrap_or(shared.cfg.default_timeout_ms);
+        let ctl = Arc::new(JobCtl {
+            token: CancelToken::new(),
+            deadline: (timeout > 0).then(|| Instant::now() + Duration::from_millis(timeout)),
+            reason: Mutex::new(None),
+        });
+        let key = job.key.clone();
+        shared.register(key.clone(), Arc::clone(&ctl));
+        match shared.queue.push(RECOVERY_CLIENT, job) {
+            Ok(()) => {
+                shared.counters.accepted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(err) => {
+                // Left unsettled on purpose: the next restart retries.
+                shared.unregister(&key);
+                shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                eprintln!(
+                    "sqipd: could not re-queue journal job `{}`: {err}",
+                    pending.id
+                );
+            }
+        }
     }
 }
 
@@ -429,6 +547,9 @@ fn run_job(shared: &Shared, job: &Job, ctl: &JobCtl) {
     if ctl.token.is_cancelled() {
         shared.unregister(&job.key);
         shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        if ctl.reason() != SHUTDOWN_REASON {
+            shared.settle_journal(job.journal_seq);
+        }
         send_response(
             &job.reply,
             None,
@@ -469,6 +590,7 @@ fn run_job(shared: &Shared, job: &Job, ctl: &JobCtl) {
     match result {
         Ok(results) => {
             shared.counters.completed.fetch_add(1, Ordering::Relaxed);
+            shared.settle_journal(job.journal_seq);
             let seq = shared.seq.fetch_add(1, Ordering::SeqCst);
             send_response(
                 &job.reply,
@@ -483,6 +605,11 @@ fn run_job(shared: &Shared, job: &Job, ctl: &JobCtl) {
         }
         Err(SqipError::Cancelled { .. }) => {
             shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+            // A shutdown cancellation is the one unsettled exit: the
+            // journal still owes this job, and the next boot re-runs it.
+            if ctl.reason() != SHUTDOWN_REASON {
+                shared.settle_journal(job.journal_seq);
+            }
             send_response(
                 &job.reply,
                 None,
@@ -494,6 +621,7 @@ fn run_job(shared: &Shared, job: &Job, ctl: &JobCtl) {
         }
         Err(err) => {
             shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            shared.settle_journal(job.journal_seq);
             send_response(
                 &job.reply,
                 None,
@@ -544,6 +672,13 @@ fn serve_connection(shared: &Arc<Shared>, client: u64, stream: TcpStream) {
     for job in shared.queue.remove_client(client) {
         if let Some(ctl) = shared.unregister(&job.key) {
             ctl.cancel("client disconnected");
+        }
+        // Orphaned queued jobs settle here — nobody will ever run them,
+        // and nobody is owed their results. Unless the disconnect *is*
+        // the shutdown: then the journal still owes them to the next
+        // boot.
+        if !shared.shutdown.load(Ordering::SeqCst) {
+            shared.settle_journal(job.journal_seq);
         }
         shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
     }
@@ -739,6 +874,13 @@ fn handle_submit(
         reason: Mutex::new(None),
     });
     shared.register(key.clone(), Arc::clone(&ctl));
+    // Journal before the push: once the job is in the queue a worker may
+    // finish (and settle) it at any moment, and a settle must never
+    // precede its admission.
+    let journal_seq = shared
+        .journal
+        .as_ref()
+        .map(|journal| journal.admit(&id, spec, timeout_ms));
     let job = Job {
         key: key.clone(),
         display_id: id.clone(),
@@ -746,6 +888,7 @@ fn handle_submit(
         cells,
         accepted_at: Instant::now(),
         reply: tx.clone(),
+        journal_seq,
     };
     let cells = job.cells;
     match shared.queue.push(client, job) {
@@ -755,6 +898,8 @@ fn handle_submit(
         }
         Err(err @ (PushError::Full { .. } | PushError::Closed)) => {
             shared.unregister(&key);
+            // Never admitted, nothing owed.
+            shared.settle_journal(journal_seq);
             shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
             send_response(
                 tx,

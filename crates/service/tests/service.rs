@@ -363,3 +363,100 @@ fn protocol_shutdown_is_acknowledged() {
     // Idempotent from the handle side too.
     server.shutdown();
 }
+
+/// **The journal recovery property.** A server killed with work queued
+/// and running owes that work: rebooting on the same journal re-queues
+/// every unsettled job and runs it to completion — while work that
+/// settled before the kill (completed, client-cancelled) is NOT re-run.
+#[test]
+fn journal_recovers_jobs_killed_mid_queue() {
+    let path = std::env::temp_dir().join(format!("sqipd-journal-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let cfg = ServerConfig {
+        queue_capacity: 8,
+        workers: 1,
+        journal: Some(path.clone()),
+        ..ServerConfig::default()
+    };
+
+    // Boot 1: complete one job (settles), then stage a kill: a long job
+    // occupying the single worker plus two queued behind it.
+    let server = spawn(cfg.clone());
+    let mut conn = Connection::connect(server.addr()).unwrap();
+    let done = conn.run_job("paid-off", &small_spec(), None).unwrap();
+    assert_eq!(done.status, Some(JobStatus::Done));
+
+    conn.send(&Request::Submit {
+        id: "in-flight".into(),
+        spec: ExperimentSpec::new(["mix:0x11:2m"], ["ideal-oracle"]),
+        timeout_ms: None,
+    })
+    .unwrap();
+    assert!(matches!(conn.recv().unwrap(), Response::Accepted { .. }));
+    let popped = Instant::now();
+    while server.stats().queue_len > 0 {
+        assert!(
+            popped.elapsed() < Duration::from_secs(10),
+            "worker never popped"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    for id in ["queued-1", "queued-2"] {
+        conn.send(&Request::Submit {
+            id: id.into(),
+            spec: small_spec(),
+            timeout_ms: None,
+        })
+        .unwrap();
+        assert!(matches!(conn.recv().unwrap(), Response::Accepted { .. }));
+    }
+
+    // "Kill" the server mid-queue: shutdown cancels without settling.
+    server.shutdown();
+    let drained = Instant::now();
+    while server.stats().running > 0 || server.stats().queue_len > 0 {
+        assert!(
+            drained.elapsed() < Duration::from_secs(20),
+            "shutdown never drained"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    drop(conn);
+
+    // The journal owes exactly the three unfinished jobs.
+    let (_, pending) = sqip_service::Journal::open(&path).unwrap();
+    let mut owed: Vec<&str> = pending.iter().map(|p| p.id.as_str()).collect();
+    owed.sort_unstable();
+    assert_eq!(owed, ["in-flight", "queued-1", "queued-2"]);
+
+    // Boot 2 on the same journal: the debt is re-queued and completed
+    // with no client attached.
+    let server2 = spawn(cfg);
+    let recovering = Instant::now();
+    while server2.stats().completed < 3 {
+        assert!(
+            recovering.elapsed() < Duration::from_secs(120),
+            "recovery never completed: {:?}",
+            server2.stats()
+        );
+        assert_eq!(server2.stats().failed, 0, "recovered jobs must not fail");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Once recovered work settles, the journal owes nothing — boot 3
+    // would re-run zero jobs.
+    let settled = Instant::now();
+    loop {
+        let (_, pending) = sqip_service::Journal::open(&path).unwrap();
+        if pending.is_empty() {
+            break;
+        }
+        assert!(
+            settled.elapsed() < Duration::from_secs(10),
+            "journal still owes {pending:?}"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    server2.shutdown();
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,61 @@
+//! Checkpoint a streamed run mid-flight, restore it from the bytes on
+//! disk, and verify the stitched run is **bit-identical** to never
+//! having stopped. CI's `shard-resume` job runs this as the
+//! checkpoint/resume smoke.
+//!
+//! ```text
+//! cargo run --release -p sqip --example checkpoint_resume [SNAPSHOT_FILE]
+//! ```
+
+#![forbid(unsafe_code)]
+
+use sqip::{by_name, Processor, SimConfig, SqDesign, StepOutcome};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = by_name("gzip").expect("a Table 3 row");
+    let cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+
+    // The reference: one uninterrupted run over the streamed workload.
+    let straight = Processor::from_source(cfg.clone(), spec.source()?).try_run()?;
+
+    // The interrupted run: step partway, then freeze the whole machine
+    // (predictors, queues, memory image, event wheel) into a file.
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "checkpoint.sqsn".to_string());
+    let mut partial = Processor::from_source(cfg, spec.source()?);
+    for _ in 0..5_000 {
+        if partial.step()? == StepOutcome::Done {
+            break;
+        }
+    }
+    let at = partial.stats().cycles;
+    let mut snapshot = Vec::new();
+    partial.checkpoint(&mut snapshot)?;
+    std::fs::write(&path, &snapshot)?;
+    drop(partial);
+    println!(
+        "checkpointed at cycle {at}: {} bytes -> {path}",
+        snapshot.len()
+    );
+
+    // Resume in a fresh processor, over a fresh instance of the same
+    // streamed source — as a new process would after a crash.
+    let bytes = std::fs::read(&path)?;
+    let mut resumed = Processor::restore(&mut bytes.as_slice(), spec.source()?)?;
+    while resumed.step()? == StepOutcome::Running {}
+    let stitched = resumed.stats().clone();
+
+    println!(
+        "straight: {} cycles, IPC {:.3}; resumed: {} cycles, IPC {:.3}",
+        straight.cycles,
+        straight.ipc(),
+        stitched.cycles,
+        stitched.ipc()
+    );
+    if stitched != straight {
+        return Err("resumed run diverged from the uninterrupted run".into());
+    }
+    println!("resume is bit-identical to running straight through");
+    Ok(())
+}

@@ -1,0 +1,106 @@
+//! `sqip-merge` — joins shard artifacts back into the full sweep.
+//!
+//! Each sharded invocation of an experiment (`Experiment::run_shard`, or
+//! a regenerator binary's `--shard i/n` flag) writes one JSON artifact.
+//! This tool validates that a set of artifacts forms a complete,
+//! consistent split and emits the merged [`ResultSet`](sqip::ResultSet)
+//! — byte-identical to the unsharded run's output, which CI diffs to
+//! pin.
+//!
+//! ```text
+//! usage: sqip-merge [--csv] [--pretty] [--out FILE] <shard.json>...
+//!
+//!   --csv     emit CSV (with header) instead of compact JSON
+//!   --pretty  emit human-readable JSON
+//!   --out     write to FILE instead of stdout
+//! ```
+//!
+//! Exit codes: 0 on success, 1 on inconsistent or incomplete artifacts,
+//! 2 on bad flags.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use sqip::{merge_shards, ShardResult};
+
+struct Args {
+    csv: bool,
+    pretty: bool,
+    out: Option<String>,
+    inputs: Vec<String>,
+}
+
+fn parse(args: impl IntoIterator<Item = String>) -> Result<Args, String> {
+    let mut parsed = Args {
+        csv: false,
+        pretty: false,
+        out: None,
+        inputs: Vec::new(),
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--csv" => parsed.csv = true,
+            "--pretty" => parsed.pretty = true,
+            "--out" => {
+                parsed.out = Some(it.next().ok_or("--out requires a file path")?);
+            }
+            "--help" | "-h" => {
+                println!("usage: sqip-merge [--csv] [--pretty] [--out FILE] <shard.json>...");
+                std::process::exit(0);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag `{other}`")),
+            _ => parsed.inputs.push(arg),
+        }
+    }
+    if parsed.csv && parsed.pretty {
+        return Err("--csv and --pretty are mutually exclusive".to_string());
+    }
+    if parsed.inputs.is_empty() {
+        return Err("no shard artifacts given".to_string());
+    }
+    Ok(parsed)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let mut shards = Vec::with_capacity(args.inputs.len());
+    for path in &args.inputs {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        shards.push(ShardResult::from_json(&text).map_err(|e| format!("{path}: {e}"))?);
+    }
+    let merged = merge_shards(shards).map_err(|e| e.to_string())?;
+    let rendered = if args.csv {
+        merged.to_csv()
+    } else if args.pretty {
+        let mut text = merged.to_json_pretty();
+        text.push('\n');
+        text
+    } else {
+        let mut text = merged.to_json();
+        text.push('\n');
+        text
+    };
+    match &args.out {
+        Some(path) => std::fs::write(path, rendered).map_err(|e| format!("{path}: {e}"))?,
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

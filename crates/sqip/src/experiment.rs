@@ -11,9 +11,11 @@ use sqip_workloads::{RegisteredWorkload, Suite, WorkloadRegistry, WorkloadSpec};
 
 use sqip_core::ObserverAction;
 
+use crate::cache::{CacheDir, CacheOutcome};
 use crate::error::SqipError;
 use crate::parallel::{default_threads, parallel_map};
 use crate::results::{ResultSet, RunRecord};
+use crate::shard::{ShardResult, ShardSpec};
 use crate::sweep::{emit_cell_event, CancelToken, CellEventFn};
 
 /// A config mutation shared across sweep cells.
@@ -179,6 +181,17 @@ impl Run {
     #[must_use]
     pub fn label(&self) -> String {
         format!("{}/{}/{}", self.workload.name(), self.design, self.variant)
+    }
+
+    /// Packages finished statistics as this cell's [`RunRecord`].
+    pub(crate) fn record(&self, stats: SimStats) -> RunRecord {
+        RunRecord {
+            workload: self.workload.name().to_string(),
+            suite: self.workload.suite(),
+            design: self.design,
+            variant: self.variant.clone(),
+            stats,
+        }
     }
 
     /// Executes this cell: against the shared materialized trace when one
@@ -574,28 +587,7 @@ impl Experiment {
         events: Option<&CellEventFn>,
     ) -> Result<ResultSet, SqipError> {
         let cells = self.cells()?;
-
-        // Trace each distinct materializing workload once, in parallel.
-        // Streaming workloads skip this: every cell opens its own source,
-        // so nothing trace-shaped is ever held for them. The cache is
-        // keyed by the workload's interned identity, so the per-cell
-        // dispatch below is a pointer-stable map probe with no `String`
-        // clones.
-        let mut unique: Vec<(&'static str, &Workload)> = Vec::new();
-        for cell in &cells {
-            let key = cell.workload.key();
-            if !cell.workload.is_streaming() && !unique.iter().any(|&(k, _)| std::ptr::eq(k, key)) {
-                unique.push((key, &cell.workload));
-            }
-        }
-        let traces: BTreeMap<&'static str, Arc<Trace>> =
-            parallel_map(&unique, threads, |_, (key, w)| {
-                w.trace()
-                    .expect("only materializing workloads are pre-traced")
-                    .map(|t| (*key, t))
-            })
-            .into_iter()
-            .collect::<Result<_, _>>()?;
+        let traces = trace_shared(&cells, threads)?;
 
         // Execute every cell against the shared traces (or its stream).
         let observer = self.observer.as_ref();
@@ -608,16 +600,121 @@ impl Experiment {
 
         let mut records = Vec::with_capacity(cells.len());
         for (cell, outcome) in cells.iter().zip(outcomes) {
-            records.push(RunRecord {
-                workload: cell.workload.name().to_string(),
-                suite: cell.workload.suite(),
-                design: cell.design,
-                variant: cell.variant.clone(),
-                stats: outcome?,
-            });
+            records.push(cell.record(outcome?));
         }
         Ok(ResultSet::new(records))
     }
+
+    /// Runs the sweep through a content-addressed result cache: cells
+    /// whose results are already cached are answered without simulating,
+    /// the rest execute (per-cell, across the configured threads) and are
+    /// persisted for the next run.
+    ///
+    /// The returned [`ResultSet`] is bit-identical to [`Experiment::run`]
+    /// — cached or not — because the simulator is deterministic and
+    /// [`RunRecord`]s round-trip losslessly through the cache's JSON (see
+    /// [`CacheDir`] for the worked example). Observers are not consulted
+    /// for cached cells, so experiments with an observer should use
+    /// [`Experiment::run`] instead.
+    ///
+    /// # Errors
+    ///
+    /// The first workload, cell, or cache-write failure, in cell order.
+    pub fn run_cached(&self, cache: &CacheDir) -> Result<(ResultSet, CacheOutcome), SqipError> {
+        let cells = self.cells()?;
+        let threads = self.threads.unwrap_or_else(default_threads);
+        let mut slots: Vec<Option<RunRecord>> = cells.iter().map(|c| cache.load(c)).collect();
+        let misses: Vec<(usize, &Run)> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_none())
+            .map(|(i, _)| (i, &cells[i]))
+            .collect();
+        let outcome = CacheOutcome {
+            executed: misses.len(),
+            cached: cells.len() - misses.len(),
+        };
+        let traces = trace_shared(misses.iter().map(|&(_, c)| c), threads)?;
+        let stats = parallel_map(&misses, threads, |_, &(_, cell)| {
+            let trace = traces.get(cell.workload.key()).map(Arc::as_ref);
+            cell.execute(trace, None, None)
+        });
+        for (&(index, cell), stats) in misses.iter().zip(stats) {
+            let record = cell.record(stats?);
+            cache.store(cell, &record)?;
+            slots[index] = Some(record);
+        }
+        let records = slots
+            .into_iter()
+            .map(|slot| slot.expect("every cell was cached or executed"))
+            .collect();
+        Ok((ResultSet::new(records), outcome))
+    }
+
+    /// Runs only the cells owned by `shard` (see [`ShardSpec::owns`]),
+    /// producing the artifact [`merge_shards`](crate::merge_shards) (or
+    /// the `sqip-merge` binary) reassembles into the full sweep.
+    ///
+    /// Ownership is decided per cell from its label digest, so the `n`
+    /// shards of a split partition the sweep exactly, whatever machines
+    /// or thread counts run them, and the merged results are
+    /// byte-identical to an unsharded [`Experiment::run`].
+    ///
+    /// # Errors
+    ///
+    /// The first workload or owned-cell failure, in cell order.
+    pub fn run_shard(&self, shard: ShardSpec) -> Result<ShardResult, SqipError> {
+        let cells = self.cells()?;
+        let threads = self.threads.unwrap_or_else(default_threads);
+        let owned: Vec<(usize, &Run)> = cells
+            .iter()
+            .enumerate()
+            .filter(|(_, cell)| shard.owns(&cell.label()))
+            .collect();
+        let traces = trace_shared(owned.iter().map(|&(_, c)| c), threads)?;
+        let stats = parallel_map(&owned, threads, |_, &(_, cell)| {
+            let trace = traces.get(cell.workload.key()).map(Arc::as_ref);
+            cell.execute(trace, None, None)
+        });
+        let mut indices = Vec::with_capacity(owned.len());
+        let mut records = Vec::with_capacity(owned.len());
+        for (&(index, cell), stats) in owned.iter().zip(stats) {
+            indices.push(index);
+            records.push(cell.record(stats?));
+        }
+        Ok(ShardResult {
+            shard: shard.index,
+            of: shard.of,
+            total_cells: cells.len(),
+            indices,
+            records,
+        })
+    }
+}
+
+/// Traces each distinct materializing workload among `cells` once, in
+/// parallel. Streaming workloads skip this: every cell opens its own
+/// source, so nothing trace-shaped is ever held for them. The map is
+/// keyed by the workload's interned identity, so per-cell dispatch is a
+/// pointer-stable probe with no `String` clones.
+fn trace_shared<'a>(
+    cells: impl IntoIterator<Item = &'a Run>,
+    threads: usize,
+) -> Result<BTreeMap<&'static str, Arc<Trace>>, SqipError> {
+    let mut unique: Vec<(&'static str, &Workload)> = Vec::new();
+    for cell in cells {
+        let key = cell.workload.key();
+        if !cell.workload.is_streaming() && !unique.iter().any(|&(k, _)| std::ptr::eq(k, key)) {
+            unique.push((key, &cell.workload));
+        }
+    }
+    parallel_map(&unique, threads, |_, (key, w)| {
+        w.trace()
+            .expect("only materializing workloads are pre-traced")
+            .map(|t| (*key, t))
+    })
+    .into_iter()
+    .collect()
 }
 
 impl std::fmt::Debug for Experiment {

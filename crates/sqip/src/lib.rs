@@ -74,16 +74,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod error;
 mod experiment;
 mod parallel;
 mod results;
+mod shard;
 mod spec;
 mod sweep;
 
+pub use cache::{CacheDir, CacheOutcome};
 pub use error::SqipError;
 pub use experiment::{ConfigFn, Experiment, ObserverFn, Run, Workload, BASE_VARIANT};
 pub use results::{geomean, ResultSet, RunRecord};
+pub use shard::{merge_shards, ShardResult, ShardSpec};
 pub use spec::{ExperimentSpec, VariantSpec, KNOBS, SPEC_VERSION};
 pub use sweep::{
     CancelToken, CellEvent, CellEventFn, GroupTelemetry, SweepEngine, SweepMode, SweepTelemetry,
@@ -97,6 +101,9 @@ pub use sqip_core::{
     OracleInfo, OracleTap, OrderingMode, ParseDesignError, PipelineView, Processor, RegistryError,
     SimConfig, SimError, SimObserver, SimStats, SqDesign, SqProbe, StepOutcome,
 };
+// The checkpoint container: [`Processor::checkpoint`]/[`Processor::restore`]
+// speak this format, and the result cache addresses entries by [`Fnv`].
+pub use sqip_snapshot::{Fnv, SnapError, SnapReader, SnapWriter, Snapshot};
 // The streaming input axis: the trace-source trait and its built-in
 // producers (materialized-trace cursor, streaming program interpreter,
 // on-disk trace record/replay).

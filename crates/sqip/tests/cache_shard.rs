@@ -1,0 +1,107 @@
+//! Result caching and sweep sharding: a warm cache answers the whole
+//! sweep without simulating and reproduces the cold run's JSON
+//! byte-for-byte; sharded runs merge to exactly the unsharded sweep.
+
+use std::path::PathBuf;
+
+use sqip::{by_name, merge_shards, CacheDir, Experiment, ShardSpec, SqDesign};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sqip-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A small but non-trivial sweep: two workloads (one streaming) × three
+/// designs × two variants = 12 cells.
+fn experiment() -> Experiment {
+    Experiment::new()
+        .workload(by_name("gzip").unwrap().with_iterations(120))
+        .workload(sqip::Workload::from_registry("mix:0xbeef:10k").unwrap())
+        .designs([
+            SqDesign::IdealOracle,
+            SqDesign::Associative3,
+            SqDesign::Indexed3FwdDly,
+        ])
+        .vary("base", |_| {})
+        .vary("fsp512", |cfg| cfg.fsp.entries = 512)
+}
+
+#[test]
+fn warm_cache_reruns_byte_identical_with_zero_executions() {
+    let dir = scratch("warm-cache");
+    let cache = CacheDir::open(&dir).unwrap();
+    let exp = experiment();
+    let baseline = exp.run().unwrap();
+
+    let (cold, first) = exp.run_cached(&cache).unwrap();
+    assert_eq!(first.executed, 12, "cold cache simulates every cell");
+    assert_eq!(first.cached, 0);
+    assert_eq!(cold.to_json(), baseline.to_json(), "cached ≡ uncached run");
+
+    let (warm, second) = exp.run_cached(&cache).unwrap();
+    assert_eq!(second.executed, 0, "warm cache simulates nothing");
+    assert_eq!(second.cached, 12);
+    assert_eq!(
+        warm.to_json(),
+        baseline.to_json(),
+        "warm rerun byte-identical"
+    );
+    assert_eq!(warm.to_csv(), baseline.to_csv());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn cache_is_keyed_by_full_identity_not_labels() {
+    let dir = scratch("identity");
+    let cache = CacheDir::open(&dir).unwrap();
+    let exp = experiment();
+    let (_, first) = exp.run_cached(&cache).unwrap();
+    assert_eq!(first.executed, 12);
+
+    // Same labels, different machine configuration: every cell misses.
+    let reconfigured = experiment().configure(|cfg| cfg.rob_size = 256);
+    let (results, second) = reconfigured.run_cached(&cache).unwrap();
+    assert_eq!(second.executed, 12, "config changes invalidate by key");
+    assert_eq!(results.to_json(), reconfigured.run().unwrap().to_json());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn shard_union_is_byte_identical_to_the_unsharded_sweep() {
+    let exp = experiment();
+    let baseline = exp.run().unwrap();
+    for of in [2usize, 3] {
+        let shards: Vec<_> = (0..of)
+            .map(|i| exp.run_shard(ShardSpec::new(i, of).unwrap()).unwrap())
+            .collect();
+        let covered: usize = shards.iter().map(|s| s.records.len()).sum();
+        assert_eq!(covered, 12, "{of} shards cover every cell exactly once");
+
+        // Round-trip each artifact through its JSON form, as the CLI
+        // (`sqip-merge`) would see it, then merge.
+        let merged = merge_shards(
+            shards
+                .iter()
+                .map(|s| sqip::ShardResult::from_json(&s.to_json()).unwrap()),
+        )
+        .unwrap();
+        assert_eq!(
+            merged.to_json(),
+            baseline.to_json(),
+            "{of}-way shard union ≡ unsharded"
+        );
+        assert_eq!(merged.to_csv(), baseline.to_csv());
+    }
+}
+
+#[test]
+fn merging_an_incomplete_split_is_an_error_not_a_partial_result() {
+    let exp = experiment();
+    let half = exp.run_shard("0/2".parse::<ShardSpec>().unwrap()).unwrap();
+    let err = merge_shards([half]).unwrap_err();
+    assert!(
+        err.to_string().contains("covered by no shard"),
+        "unexpected: {err}"
+    );
+}
