@@ -1,0 +1,50 @@
+//! Profiling driver: runs the event engine over the streamed mix
+//! generator repeatedly, so a sampling profiler sees only the hot
+//! simulation path (no reference engine, no SPEC models). Prints
+//! per-repetition throughput, which doubles as a quick steady-state
+//! check on noisy boxes (take the max of many reps).
+//!
+//! The per-cycle stage entries carry `#[inline(never)]` so profiles
+//! attribute time to stages instead of one fused `step_bounded` frame:
+//!
+//! ```sh
+//! gprofng collect app -p high -o /tmp/prof.er \
+//!     target/release/examples/profile_mix 10
+//! gprofng display text -functions /tmp/prof.er | head -40
+//! ```
+#![forbid(unsafe_code)]
+
+use sqip_core::{Engine, Processor, SimConfig, SqDesign, StepOutcome};
+use sqip_workloads::WorkloadRegistry;
+
+fn main() {
+    let reps: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+    cfg.engine = Engine::Event;
+    for _ in 0..reps {
+        let source = WorkloadRegistry::global()
+            .resolve("mix:0xbeef:2m")
+            .unwrap()
+            .open()
+            .unwrap();
+        let mut p = Processor::try_from_source(cfg.clone(), source).unwrap();
+        let t0 = std::time::Instant::now();
+        loop {
+            match p.step() {
+                Ok(StepOutcome::Running) => {}
+                Ok(StepOutcome::Done) => break,
+                Err(e) => panic!("{e}"),
+            }
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        println!(
+            "committed {} in {} cycles  {:.2} M insts/s",
+            p.stats().committed,
+            p.stats().cycles,
+            p.stats().committed as f64 / dt / 1e6
+        );
+    }
+}

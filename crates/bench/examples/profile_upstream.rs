@@ -1,0 +1,101 @@
+//! Upstream component-cost probe: per-record cost of trace-file decode,
+//! decode + shared oracle, and pure generation, measured in isolation.
+//!
+//! These are the `d` terms in the sweep sections' `N(d+s)/(d+Ns)`
+//! shared-pass model (see README, *The shared-pass sweep engine*);
+//! `profile_mix` measures the `s` term. Run both when the sweep
+//! speedups in `BENCH_*.json` move and you want to know which side did
+//! it:
+//!
+//! ```text
+//! cargo build --release --examples -p sqip-bench
+//! ./target/release/examples/profile_upstream
+//! ```
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+use sqip::WorkloadRegistry;
+use sqip_core::oracle_tap;
+use sqip_isa::tracefile::{record_trace, TraceReader};
+use sqip_isa::TraceSource;
+
+fn main() {
+    let workload = "mix:0xbeef:2m";
+    let path = std::env::temp_dir().join("profile-upstream.sqtr");
+
+    let mut src = WorkloadRegistry::global()
+        .resolve(workload)
+        .unwrap()
+        .open()
+        .unwrap();
+    let t = Instant::now();
+    let n = record_trace(
+        src.as_mut(),
+        std::io::BufWriter::new(std::fs::File::create(&path).unwrap()),
+    )
+    .unwrap();
+    println!(
+        "record: {n} records in {:.3}s ({:.1} ns/rec)",
+        t.elapsed().as_secs_f64(),
+        t.elapsed().as_secs_f64() * 1e9 / n as f64
+    );
+    println!(
+        "file size: {} bytes ({:.1} B/rec)",
+        std::fs::metadata(&path).unwrap().len(),
+        std::fs::metadata(&path).unwrap().len() as f64 / n as f64
+    );
+
+    for _ in 0..3 {
+        // Decode only.
+        let mut r =
+            TraceReader::new(std::io::BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
+        let t = Instant::now();
+        let mut cnt = 0u64;
+        let mut buf = [sqip_isa::TraceRecord::default(); 64];
+        loop {
+            let got = r.next_block(&mut buf).unwrap();
+            if got == 0 {
+                break;
+            }
+            cnt += got as u64;
+        }
+        let d = t.elapsed().as_secs_f64();
+        println!("decode:        {cnt} in {:.3}s ({:.1} ns/rec)", d, d * 1e9 / cnt as f64);
+
+        // Decode + oracle tap.
+        let r =
+            TraceReader::new(std::io::BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
+        let (mut tap, _feed) = oracle_tap(r, 1 << 15);
+        let t = Instant::now();
+        let mut cnt = 0u64;
+        loop {
+            let got = tap.next_block(&mut buf).unwrap();
+            if got == 0 {
+                break;
+            }
+            cnt += got as u64;
+        }
+        let d = t.elapsed().as_secs_f64();
+        println!("decode+oracle: {cnt} in {:.3}s ({:.1} ns/rec)", d, d * 1e9 / cnt as f64);
+
+        // Generator only (the mix stream the sweep section uses today).
+        let mut src = WorkloadRegistry::global()
+            .resolve(workload)
+            .unwrap()
+            .open()
+            .unwrap();
+        let t = Instant::now();
+        let mut cnt = 0u64;
+        loop {
+            let got = src.next_block(&mut buf).unwrap();
+            if got == 0 {
+                break;
+            }
+            cnt += got as u64;
+        }
+        let d = t.elapsed().as_secs_f64();
+        println!("generate:      {cnt} in {:.3}s ({:.1} ns/rec)", d, d * 1e9 / cnt as f64);
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,6 +1,6 @@
 //! `perf` — the simulator's performance-regression harness.
 //!
-//! Two sections:
+//! Three sections:
 //!
 //! * **Per-cell matrix** — 3 store-queue designs × 3 workloads (two
 //!   materialized SPEC models and one *streamed* generator) under both
@@ -15,8 +15,13 @@
 //!   consumer's peak window/lag (the memory observables), alongside the
 //!   wall-clock speedup. Results are asserted bit-identical across
 //!   modes on every iteration.
+//! * **Trace-file sweep section** — the same sweep over an on-disk SQTR
+//!   trace (`tracefile:` workload; the mix stream recorded once at
+//!   startup). Replay pays a per-byte varint decode on every record, so
+//!   the upstream pass genuinely dominates and the shared-pass win is
+//!   the paper-shaped one: N designs, one decode.
 //!
-//! The JSON report (default `BENCH_PR5.json`) is the repo's perf
+//! The JSON report (default `BENCH_PR9.json`) is the repo's perf
 //! trajectory: each PR that touches the hot path appends a new
 //! `BENCH_<PR>.json` snapshot, so regressions are diffs, not folklore.
 //!
@@ -26,7 +31,10 @@
 //! 15% noise floor fails the run (exit 1). `--baseline-ratios-only`
 //! restricts the comparison to the event/reference speedup *ratios*,
 //! which survive hardware changes — the mode CI uses, since absolute
-//! insts/sec only transfer between same-class machines.
+//! insts/sec only transfer between same-class machines. Sweep
+//! mode-speedups (per-cell wall / shared-pass wall) are also ratios of
+//! two runs of the same binary, so they are gated in both modes when
+//! the baseline carries them (PR9-schema and later).
 //!
 //! ```text
 //! cargo run --release -p sqip-bench --bin perf             # full matrix
@@ -39,7 +47,9 @@
 //! `SQIP_BENCH_ITERS` controls the timed iterations per cell (default 3;
 //! each cell also gets one untimed warmup). The minimum wall time is
 //! reported, the standard noise-rejection choice for throughput
-//! benchmarks.
+//! benchmarks. An unparsable or zero value aborts the run — a silent
+//! fallback here would time a different number of iterations than the
+//! caller believes.
 
 #![forbid(unsafe_code)]
 
@@ -134,6 +144,10 @@ struct Report {
     /// The PR5 sweep section (always present: the bin aborts if the
     /// sweep fails to build or run).
     sweep: Sweep,
+    /// The PR9 trace-file sweep: the same mix stream recorded to an
+    /// on-disk SQTR trace and replayed through `tracefile:`, so the
+    /// upstream pass carries a real per-record decode cost.
+    trace_sweep: Sweep,
 }
 
 /// The subset of a committed report `--baseline` reads (works against
@@ -143,6 +157,9 @@ struct BaselineReport {
     bench: String,
     cells: Vec<BaselineCell>,
     speedups: Vec<BaselineSpeedup>,
+    /// Absent in pre-PR9 baselines; the sweep gates simply don't run.
+    sweep: Option<BaselineSweep>,
+    trace_sweep: Option<BaselineSweep>,
 }
 
 #[derive(Debug, Deserialize)]
@@ -160,12 +177,29 @@ struct BaselineSpeedup {
     speedup: f64,
 }
 
+#[derive(Debug, Deserialize)]
+struct BaselineSweep {
+    workload: String,
+    speedup: f64,
+}
+
+/// Sweep workloads are compared by their trailing path component so a
+/// `tracefile:` workload recorded under a different temp directory
+/// still matches: the file *name* is deterministic, its directory is
+/// not. Plain generator names contain no `/` and compare whole.
+fn sweep_key(workload: &str) -> &str {
+    workload.rsplit('/').next().unwrap_or(workload)
+}
+
 fn timed_iters() -> u32 {
-    std::env::var("SQIP_BENCH_ITERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or(3)
+    let Ok(v) = std::env::var("SQIP_BENCH_ITERS") else {
+        return 3;
+    };
+    let iters: u32 = v.parse().unwrap_or_else(|_| {
+        panic!("SQIP_BENCH_ITERS=`{v}` is not a positive integer (unset it for the default of 3)")
+    });
+    assert!(iters >= 1, "SQIP_BENCH_ITERS must be >= 1, got {iters}");
+    iters
 }
 
 /// A matrix workload: a materialized SPEC model trace (traced once,
@@ -311,6 +345,23 @@ fn measure_sweep(workload: &str, iters: u32) -> Sweep {
     }
 }
 
+/// Records a streamed workload to an on-disk SQTR trace so the
+/// trace-file sweep replays it with a real per-record decode cost.
+/// Returns the number of records written.
+fn record_trace_file(workload: &str, path: &std::path::Path) -> u64 {
+    let mut source = WorkloadRegistry::global()
+        .resolve(workload)
+        .unwrap_or_else(|e| panic!("workload `{workload}`: {e}"))
+        .open()
+        .unwrap_or_else(|e| panic!("workload `{workload}` failed to open: {e}"));
+    let file = std::fs::File::create(path)
+        .unwrap_or_else(|e| panic!("creating {}: {e}", path.display()));
+    // `record_trace` finishes with an explicit flush, so the BufWriter
+    // never drops unwritten bytes.
+    sqip_isa::tracefile::record_trace(source.as_mut(), std::io::BufWriter::new(file))
+        .unwrap_or_else(|e| panic!("recording `{workload}` to {}: {e}", path.display()))
+}
+
 /// Applies the `--baseline` gate. Returns the number of failures.
 fn compare_baseline(report: &Report, path: &str, ratios_only: bool) -> usize {
     let text =
@@ -386,6 +437,31 @@ fn compare_baseline(report: &Report, path: &str, ratios_only: bool) -> usize {
             (gm - 1.0) * 100.0
         );
     }
+    // Sweep mode-speedups are wall-clock ratios of the same binary, so
+    // like the engine ratios they transfer across machines and are
+    // gated in ratios-only mode too.
+    for (label, ours, base) in [
+        ("sweep", &report.sweep, &baseline.sweep),
+        ("trace sweep", &report.trace_sweep, &baseline.trace_sweep),
+    ] {
+        let Some(base) = base else { continue };
+        if sweep_key(&base.workload) != sweep_key(&ours.workload) {
+            continue;
+        }
+        matched += 1;
+        let ratio = ours.speedup / base.speedup;
+        let ok = ratio >= 1.0 - RATIO_FLOOR;
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "  {} {label} shared-pass speedup: {:.2}x vs {:.2}x ({:+.1}%)",
+            if ok { "ok  " } else { "FAIL" },
+            ours.speedup,
+            base.speedup,
+            (ratio - 1.0) * 100.0
+        );
+    }
     assert!(
         matched > 0,
         "baseline {path} shares no (workload, design, engine) cells with this run"
@@ -395,7 +471,7 @@ fn compare_baseline(report: &Report, path: &str, ratios_only: bool) -> usize {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out = "BENCH_PR5.json".to_string();
+    let mut out = "BENCH_PR9.json".to_string();
     let mut quick = false;
     let mut baseline: Option<String> = None;
     let mut ratios_only = false;
@@ -502,13 +578,37 @@ fn main() {
         sweep.ring_capacity,
     );
 
+    // Trace-file sweep section: the same mix stream, recorded once to
+    // an on-disk SQTR trace and replayed through `tracefile:`. The file
+    // name is deterministic (only the temp directory varies) so the
+    // workload string stays baseline-matchable across machines.
+    let trace_path = std::env::temp_dir().join(if quick {
+        "sqip-perf-mix-50k.sqtr"
+    } else {
+        "sqip-perf-mix-2m.sqtr"
+    });
+    let recorded = record_trace_file(sweep_workload, &trace_path);
+    let trace_sweep = measure_sweep(&format!("tracefile:{}", trace_path.display()), iters);
+    let _ = std::fs::remove_file(&trace_path);
+    println!(
+        "trace sweep ({recorded} records on disk) x {} designs: per-cell {:.2}s, \
+         shared-pass {:.2}s ({:.2}x; decode paid {} time(s) instead of {})",
+        trace_sweep.designs.len(),
+        trace_sweep.per_cell_wall_s,
+        trace_sweep.shared_wall_s,
+        trace_sweep.speedup,
+        trace_sweep.shared_passes,
+        trace_sweep.per_cell_passes,
+    );
+
     let report = Report {
-        bench: "sqip-perf/PR5".to_string(),
+        bench: "sqip-perf/PR9".to_string(),
         iters,
         cells,
         speedups,
         mix_speedup,
         sweep,
+        trace_sweep,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&out, json + "\n").unwrap_or_else(|e| panic!("writing {out}: {e}"));

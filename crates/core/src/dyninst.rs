@@ -1,5 +1,6 @@
 //! Per-dynamic-instruction in-flight state.
 
+use sqip_isa::OpClass;
 use sqip_types::{Seq, Ssn};
 
 /// Where an in-flight instruction is in its lifecycle.
@@ -38,6 +39,14 @@ pub(crate) struct DynInst {
     pub seq: Seq,
     pub incarnation: u64,
     pub state: InstState,
+
+    /// Cached `rec.op.class()` — saves the scheduler a record-window
+    /// load on every wake and issue. Derived state: not serialised,
+    /// rebuilt from the window on snapshot load. Stable across squash
+    /// re-fetch (the same seq replays the same golden record).
+    pub op_class: OpClass,
+    /// Cached `rec.dst.is_some()` (same contract as `op_class`).
+    pub has_dst: bool,
 
     /// Outstanding wake conditions (register producers + forwarding-store
     /// execution + delay-store commit). Ready when zero.
@@ -95,6 +104,8 @@ impl DynInst {
             seq,
             incarnation,
             state: InstState::Waiting,
+            op_class: OpClass::None,
+            has_dst: false,
             gates: 0,
             srcs: [Operand::None, Operand::None],
             prev_store_ssn,
@@ -216,6 +227,10 @@ sqip_snapshot::snapshot_struct!(DynInst {
     older_unknown,
     replays,
     partial_stalled,
+} derived {
+    // Rebuilt from the record window by `InstSlab::rebuild_record_cache`.
+    op_class: OpClass::None,
+    has_dst: false,
 });
 
 #[cfg(test)]

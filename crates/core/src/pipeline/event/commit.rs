@@ -15,6 +15,7 @@ use crate::pipeline::event::{EventCore, RenameStop};
 use crate::policy::LoadCommitInfo;
 
 impl EventCore<'_> {
+    #[inline(never)] // per-cycle stage entry: keep a distinct frame for profiles/codegen audits
     pub(crate) fn commit_stage(&mut self) {
         let mut reexec_budget = self.cfg.reexec_ports;
         for _ in 0..self.cfg.commit_width {

@@ -17,6 +17,7 @@ impl EventCore<'_> {
     // Fetch
     // ================================================================
 
+    #[inline(never)] // per-cycle stage entry: keep a distinct frame for profiles/codegen audits
     pub(crate) fn fetch_stage(&mut self) {
         if self.cycle < self.fetch_stall_until || self.pending_redirect.is_some() {
             return;
@@ -99,6 +100,7 @@ impl EventCore<'_> {
     // Rename
     // ================================================================
 
+    #[inline(never)] // per-cycle stage entry: keep a distinct frame for profiles/codegen audits
     pub(crate) fn rename_stage(&mut self) {
         self.rename_stop = RenameStop::Width;
         for _ in 0..self.cfg.rename_width {
@@ -150,6 +152,8 @@ impl EventCore<'_> {
         let mut inst = DynInst::new(seq, self.incarnation, self.ssn_ren);
         inst.nondelay_ready = self.cycle;
         inst.path = path;
+        inst.op_class = rec.op.class();
+        inst.has_dst = rec.dst.is_some();
 
         // Resolve source operands against the rename map.
         let mut gates = 0u32;
@@ -208,7 +212,7 @@ impl EventCore<'_> {
             InstState::Waiting
         };
         if gates == 0 {
-            self.ready_q.insert(seq.0);
+            self.ready_q.insert(seq.0, rec.op.class());
         }
         self.iq_count += 1;
         self.rob

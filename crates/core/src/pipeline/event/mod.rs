@@ -65,6 +65,13 @@ pub(crate) enum RenameStop {
     Width,
 }
 
+/// Records pulled from the trace source per block fetch: one virtual
+/// source call (and one tee/oracle-ring crossing behind it) amortised
+/// over up to this many records. Sized to the [`RecordWindow`]'s slack
+/// past the structural pipeline bound, so pulling a full block ahead of
+/// the fetch frontier can never overflow the window.
+pub const FETCH_BLOCK: usize = 64;
+
 /// The event-driven core. See the module docs; the public entry point is
 /// [`Processor`](crate::Processor), which dispatches between this and the
 /// reference engine on [`SimConfig::engine`].
@@ -85,6 +92,9 @@ pub(crate) struct EventCore<'t> {
     source_done: bool,
     /// A source failure, held until the next step surfaces it.
     source_error: Option<IsaError>,
+    /// Scratch for block fetches (transient: dead between
+    /// [`EventCore::fetch_record`] calls, so not checkpointed).
+    fetch_buf: Vec<TraceRecord>,
 
     pub(crate) cycle: u64,
     pub(crate) incarnation: u64,
@@ -179,6 +189,7 @@ impl<'t> EventCore<'t> {
             analysis,
             source_done: false,
             source_error: None,
+            fetch_buf: vec![TraceRecord::default(); FETCH_BLOCK],
             cycle: 0,
             incarnation: 0,
             last_commit_cycle: 0,
@@ -414,18 +425,30 @@ impl<'t> EventCore<'t> {
             if self.source_done || self.source_error.is_some() {
                 return None;
             }
-            match self.source.next_record() {
-                Ok(Some(mut rec)) => {
-                    // Consumers own the numbering: records are sequential
-                    // in pull order whatever the source put in `seq`.
-                    rec.seq = Seq(self.window.end());
-                    let fwd = self.analysis.fwd_for(&rec);
-                    self.window.push(rec, fwd);
-                }
-                Ok(None) => {
+            // Pull a whole block ahead of the frontier: one virtual source
+            // call — and one tee/oracle-feed ring crossing behind it —
+            // amortised over up to FETCH_BLOCK records. Capped to the
+            // window's free slots so the pull-ahead can never overflow it;
+            // free is nonzero here because the frontier record itself
+            // fits within the structural bound.
+            let want = self.window.free().min(FETCH_BLOCK);
+            debug_assert!(want > 0, "window full at the fetch frontier");
+            match self.source.next_block(&mut self.fetch_buf[..want]) {
+                Ok(0) => {
                     self.source_done = true;
                     self.total_records = Some(self.window.end());
                     return None;
+                }
+                Ok(n) => {
+                    for i in 0..n {
+                        let mut rec = self.fetch_buf[i];
+                        // Consumers own the numbering: records are
+                        // sequential in pull order whatever the source
+                        // put in `seq`.
+                        rec.seq = Seq(self.window.end());
+                        let fwd = self.analysis.fwd_for(&rec);
+                        self.window.push(rec, fwd);
+                    }
                 }
                 Err(e) => {
                     self.source_error = Some(e);
@@ -533,8 +556,10 @@ impl EventCore<'_> {
         self.draining_for_wrap = bool::load(r)?;
         self.rob = Window::<Seq>::load(r)?;
         self.insts = InstSlab::load(r)?;
+        self.insts.rebuild_record_cache(&self.window);
         self.iq_count = usize::load(r)?;
         self.ready_q = ReadySet::load(r)?;
+        self.ready_q.rebuild_classes(&self.window);
         self.wheel = EventWheel::load(r)?;
         self.wake_on_value = WaiterRing::load(r)?;
         self.wake_on_store_exec = WaiterRing::load(r)?;

@@ -8,28 +8,37 @@ use crate::dyninst::InstState;
 use crate::pipeline::event::{EventCore, WakeRing, WheelEvent};
 use crate::pipeline::{EvKind, NOT_READY};
 
+/// The issue-port index an op class contends for (the order of
+/// `issue_stage`'s port-budget array).
+const fn port_of(class: OpClass) -> usize {
+    match class {
+        OpClass::IntAlu | OpClass::IntMul | OpClass::None => 0,
+        OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => 1,
+        OpClass::Branch => 2,
+        OpClass::Load => 3,
+        OpClass::Store => 4,
+    }
+}
+
 impl EventCore<'_> {
+    #[inline(never)] // per-cycle stage entry: keep a distinct frame for profiles/codegen audits
     pub(crate) fn issue_stage(&mut self) {
         let mix = self.cfg.issue;
-        let (mut total, mut int, mut fp, mut br, mut ld, mut st) =
-            (mix.total, mix.int, mix.fp, mix.branch, mix.load, mix.store);
+        let mut total = mix.total;
+        // Port budgets in a dense array indexed by `port_of` — a table
+        // lookup and an array index per candidate instead of a
+        // five-way branch, and no record-window load (the ready set
+        // carries each entry's class).
+        let mut ports = [mix.int, mix.fp, mix.branch, mix.load, mix.store];
         let mut issued = std::mem::take(&mut self.issue_scratch);
         debug_assert!(issued.is_empty());
 
         // Selection and removal in one oldest-first compaction pass.
-        let window = &self.window;
-        self.ready_q.take_selected(|seq| {
+        self.ready_q.take_selected(|seq, class| {
             if total == 0 {
                 return false;
             }
-            let class = window.rec(Seq(seq)).op.class();
-            let port = match class {
-                OpClass::IntAlu | OpClass::IntMul | OpClass::None => &mut int,
-                OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => &mut fp,
-                OpClass::Branch => &mut br,
-                OpClass::Load => &mut ld,
-                OpClass::Store => &mut st,
-            };
+            let port = &mut ports[port_of(class)];
             if *port == 0 {
                 return false; // port conflict: skip, stay ready
             }
@@ -41,11 +50,17 @@ impl EventCore<'_> {
 
         for &seq in &issued {
             self.iq_count -= 1;
-            let (inc, my_ssn, fwd_predicted) = {
+            let (inc, my_ssn, fwd_predicted, has_dst, class) = {
                 let inst = self.insts.get_mut(seq).expect("ready inst in flight");
                 debug_assert_eq!(inst.state, InstState::Ready);
                 inst.state = InstState::Issued;
-                (inst.incarnation, inst.my_ssn, inst.ssn_fwd.is_some())
+                (
+                    inst.incarnation,
+                    inst.my_ssn,
+                    inst.ssn_fwd.is_some(),
+                    inst.has_dst,
+                    inst.op_class,
+                )
             };
             let exec_at = self.cycle + self.cfg.issue_to_exec;
             self.wheel
@@ -59,12 +74,8 @@ impl EventCore<'_> {
 
             // Wakeup broadcast for register consumers, timed so a
             // back-to-back dependent executes exactly when the value is
-            // predicted to be ready. (Only two record fields are needed;
-            // no 72-byte copy here.)
-            let (has_dst, class) = {
-                let r = self.window.rec(Seq(seq));
-                (r.dst.is_some(), r.op.class())
-            };
+            // predicted to be ready. (The slab read above already
+            // captured both record facts this needs; no window load.)
             if has_dst {
                 let pred_latency = self.latency_for(class, fwd_predicted);
                 let broadcast_at = (exec_at + pred_latency)
@@ -104,6 +115,7 @@ impl EventCore<'_> {
     // Events (execute, wakeup)
     // ================================================================
 
+    #[inline(never)] // per-cycle stage entry: keep a distinct frame for profiles/codegen audits
     pub(crate) fn process_events(&mut self) {
         while let Some(ev) = self.wheel.pop_due(self.cycle) {
             let WheelEvent { kind, seq, inc, .. } = ev;
@@ -148,7 +160,8 @@ impl EventCore<'_> {
         }
         if inst.release_gate(self.cycle, is_delay_gate) {
             inst.state = InstState::Ready;
-            self.ready_q.insert(seq);
+            let class = inst.op_class;
+            self.ready_q.insert(seq, class);
         }
     }
 

@@ -13,6 +13,7 @@
 //! and their `Vec`s form the free list.
 
 use crate::dyninst::DynInst;
+use sqip_isa::OpClass;
 use sqip_types::{Seq, Ssn};
 
 /// In-flight instruction state in a ring keyed by `seq % capacity`.
@@ -98,24 +99,45 @@ impl InstSlab {
             s.seq = Seq(InstSlab::EMPTY);
         }
     }
+
+    /// Recomputes every live instruction's cached record facts
+    /// (`op_class`, `has_dst`) from the record window. Used after
+    /// snapshot load: the cache is derived state and is not serialised.
+    pub(crate) fn rebuild_record_cache(&mut self, window: &crate::pipeline::window::RecordWindow) {
+        for slot in &mut self.slots {
+            if slot.seq.0 != InstSlab::EMPTY {
+                let rec = window.rec(slot.seq);
+                slot.op_class = rec.op.class();
+                slot.has_dst = rec.dst.is_some();
+            }
+        }
+    }
 }
 
 /// The scheduler's ready set: a sorted `Vec` standing in for the
-/// reference engine's `BTreeSet<u64>`.
+/// reference engine's `BTreeSet<u64>`, in SoA form — sequence numbers in
+/// one array, each entry's [`OpClass`] (captured at insert) in a
+/// parallel one.
 ///
 /// Issue selection scans oldest-first; the set rarely holds more than a
 /// few dozen entries, so binary-search-plus-memmove beats tree
-/// rebalancing and keeps iteration a contiguous slice scan.
+/// rebalancing and keeps iteration a contiguous slice scan. Caching the
+/// class means the per-cycle issue scan indexes two small dense arrays
+/// instead of loading a 72-byte trace record per entry; the class is
+/// stable across squash re-fetch (the same sequence number replays the
+/// same golden record), so the cache can never go stale.
 #[derive(Default)]
 pub(crate) struct ReadySet {
     seqs: Vec<u64>,
+    classes: Vec<OpClass>,
 }
 
 impl ReadySet {
     #[inline]
-    pub(crate) fn insert(&mut self, seq: u64) {
+    pub(crate) fn insert(&mut self, seq: u64, class: OpClass) {
         if let Err(pos) = self.seqs.binary_search(&seq) {
             self.seqs.insert(pos, seq);
+            self.classes.insert(pos, class);
         }
     }
 
@@ -123,6 +145,7 @@ impl ReadySet {
     pub(crate) fn remove(&mut self, seq: u64) {
         if let Ok(pos) = self.seqs.binary_search(&seq) {
             self.seqs.remove(pos);
+            self.classes.remove(pos);
         }
     }
 
@@ -137,20 +160,51 @@ impl ReadySet {
         self.seqs.iter()
     }
 
-    pub(crate) fn retain(&mut self, f: impl FnMut(&u64) -> bool) {
-        self.seqs.retain(f);
+    pub(crate) fn retain(&mut self, mut f: impl FnMut(&u64) -> bool) {
+        let mut w = 0;
+        for r in 0..self.seqs.len() {
+            if f(&self.seqs[r]) {
+                self.seqs[w] = self.seqs[r];
+                self.classes[w] = self.classes[r];
+                w += 1;
+            }
+        }
+        self.seqs.truncate(w);
+        self.classes.truncate(w);
     }
 
     /// One-pass issue selection: visits entries oldest-first, removes
     /// those `select` claims (returns `true` for), keeps the rest —
     /// fusing the reference engine's scan-then-remove into a single
     /// compaction.
-    pub(crate) fn take_selected(&mut self, mut select: impl FnMut(u64) -> bool) {
-        self.seqs.retain(|&s| !select(s));
+    pub(crate) fn take_selected(&mut self, mut select: impl FnMut(u64, OpClass) -> bool) {
+        let mut w = 0;
+        for r in 0..self.seqs.len() {
+            let (s, c) = (self.seqs[r], self.classes[r]);
+            if !select(s, c) {
+                self.seqs[w] = s;
+                self.classes[w] = c;
+                w += 1;
+            }
+        }
+        self.seqs.truncate(w);
+        self.classes.truncate(w);
     }
 
     pub(crate) fn clear(&mut self) {
         self.seqs.clear();
+        self.classes.clear();
+    }
+
+    /// Recomputes the cached classes from the record window (used after
+    /// checkpoint restore, where only the sequence numbers are
+    /// serialised — the classes are derived state).
+    pub(crate) fn rebuild_classes(&mut self, window: &crate::pipeline::window::RecordWindow) {
+        self.classes = self
+            .seqs
+            .iter()
+            .map(|&s| window.rec(Seq(s)).op.class())
+            .collect();
     }
 }
 
@@ -276,7 +330,10 @@ impl sqip_snapshot::Snapshot for ReadySet {
                 "ready set is not sorted and deduplicated".into(),
             ));
         }
-        Ok(ReadySet { seqs })
+        // Placeholder classes: derived state, recomputed by the engine's
+        // `rebuild_classes` once the record window is restored.
+        let classes = vec![OpClass::None; seqs.len()];
+        Ok(ReadySet { seqs, classes })
     }
 }
 
@@ -335,7 +392,7 @@ mod tests {
     fn ready_set_is_ordered_and_dedup() {
         let mut r = ReadySet::default();
         for s in [9, 3, 7, 3] {
-            r.insert(s);
+            r.insert(s, OpClass::IntAlu);
         }
         assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![3, 7, 9]);
         r.remove(7);

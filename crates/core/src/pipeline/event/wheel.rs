@@ -28,6 +28,9 @@ use crate::pipeline::EvKind;
 /// overflow heap and migrate in as the wheel turns.
 const SPAN: u64 = 512;
 
+/// Words in the bucket-occupancy bitmap (one bit per bucket).
+const OCC_WORDS: usize = SPAN as usize / 64;
+
 /// One scheduled event: what kind, for which sequence number (or store
 /// SSN, for [`EvKind::StoreWake`]), and under which squash incarnation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -55,6 +58,11 @@ pub struct EventWheel {
     /// `buckets[c % SPAN]` holds the events delivered at cycle `c`, for
     /// `c` in `(drained, drained + SPAN]`.
     buckets: Vec<Vec<WheelEvent>>,
+    /// Bucket-occupancy bitmap (bit `i` set iff `buckets[i]` is
+    /// non-empty): turns the earliest-bucket rescan from an O(SPAN) walk
+    /// over bucket headers into a handful of word tests. Derived state —
+    /// rebuilt from the buckets on snapshot load, never serialised.
+    occ: [u64; OCC_WORDS],
     /// Events beyond the wheel span, keyed by delivery cycle.
     far: BinaryHeap<Reverse<(u64, WheelEvent)>>,
     /// Every bucket at or before this cycle has been drained.
@@ -77,6 +85,7 @@ impl EventWheel {
     pub fn new() -> EventWheel {
         EventWheel {
             buckets: (0..SPAN).map(|_| Vec::new()).collect(),
+            occ: [0; OCC_WORDS],
             far: BinaryHeap::new(),
             drained: 0,
             earliest: u64::MAX,
@@ -99,7 +108,9 @@ impl EventWheel {
         if place > self.drained + SPAN {
             self.far.push(Reverse((place, ev)));
         } else {
-            self.buckets[(place % SPAN) as usize].push(ev);
+            let idx = (place % SPAN) as usize;
+            self.buckets[idx].push(ev);
+            self.occ[idx / 64] |= 1 << (idx % 64);
             self.ring_len += 1;
             self.earliest = self.earliest.min(place);
         }
@@ -143,7 +154,9 @@ impl EventWheel {
                     break;
                 }
                 self.far.pop();
-                self.buckets[(at % SPAN) as usize].push(ev);
+                let idx = (at % SPAN) as usize;
+                self.buckets[idx].push(ev);
+                self.occ[idx / 64] |= 1 << (idx % 64);
                 self.ring_len += 1;
                 self.earliest = self.earliest.min(at);
             }
@@ -155,6 +168,7 @@ impl EventWheel {
             let idx = (cy % SPAN) as usize;
             std::mem::swap(&mut self.buckets[idx], &mut self.spare);
             std::mem::swap(&mut self.current, &mut self.spare);
+            self.occ[idx / 64] &= !(1 << (idx % 64));
             self.ring_len -= self.current.len();
             if self.current.len() > 1 {
                 self.current.sort_unstable_by(|a, b| b.cmp(a));
@@ -164,15 +178,31 @@ impl EventWheel {
         }
     }
 
-    /// Recomputes `earliest` after its bucket was taken.
+    /// Recomputes `earliest` after its bucket was taken: a circular
+    /// first-set-bit scan over the occupancy bitmap, starting at the
+    /// bucket for cycle `drained + 1` — at most `OCC_WORDS + 1` word
+    /// tests and one `trailing_zeros` instead of up to SPAN bucket loads.
     fn rescan_earliest(&mut self) {
         self.earliest = u64::MAX;
         if self.ring_len == 0 {
             return;
         }
-        for cy in (self.drained + 1)..=(self.drained + SPAN) {
-            if !self.buckets[(cy % SPAN) as usize].is_empty() {
-                self.earliest = cy;
+        let start = ((self.drained + 1) % SPAN) as usize;
+        let (w0, b0) = (start / 64, start % 64);
+        for step in 0..=OCC_WORDS {
+            let wi = (w0 + step) % OCC_WORDS;
+            let mut word = self.occ[wi];
+            if step == 0 {
+                word &= !0u64 << b0;
+            } else if step == OCC_WORDS {
+                // Back at the start word: only the bits below `start`
+                // (the wrapped-around tail of the window) remain.
+                word &= (1u64 << b0) - 1;
+            }
+            if word != 0 {
+                let idx = wi * 64 + word.trailing_zeros() as usize;
+                let delta = (idx + SPAN as usize - start) % SPAN as usize;
+                self.earliest = self.drained + 1 + delta as u64;
                 return;
             }
         }
@@ -227,8 +257,17 @@ impl sqip_snapshot::Snapshot for EventWheel {
             ));
         }
         let far = far_items.into_iter().map(Reverse).collect();
+        // The occupancy bitmap is derived state: rebuild it from the
+        // buckets so the snapshot format is unchanged.
+        let mut occ = [0u64; OCC_WORDS];
+        for (idx, b) in buckets.iter().enumerate() {
+            if !b.is_empty() {
+                occ[idx / 64] |= 1 << (idx % 64);
+            }
+        }
         Ok(EventWheel {
             buckets,
+            occ,
             far,
             drained,
             earliest,

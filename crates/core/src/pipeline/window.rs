@@ -64,6 +64,12 @@ impl RecordWindow {
         self.len
     }
 
+    /// Slots still free before [`RecordWindow::push`] would overflow —
+    /// the bound on how far a block fetch may pull ahead of the frontier.
+    pub(crate) fn free(&self) -> usize {
+        (self.mask as usize + 1) - self.len
+    }
+
     pub(crate) fn push(&mut self, rec: TraceRecord, fwd: Option<OracleFwd>) {
         assert!(
             self.len as u64 <= self.mask,

@@ -117,6 +117,25 @@ impl TraceSource for OracleTap<'_> {
         Ok(Some(rec))
     }
 
+    /// Block pull: one upstream block pull and one feed-ring borrow
+    /// amortised over the whole span; renumbering and analysis are
+    /// record-by-record identical to the scalar path.
+    fn next_block(&mut self, out: &mut [TraceRecord]) -> Result<usize, IsaError> {
+        let n = self.source.next_block(out)?;
+        if n == 0 {
+            return Ok(0);
+        }
+        let mut buf = self.buf.borrow_mut();
+        let buf = &mut *buf;
+        for rec in &mut out[..n] {
+            rec.seq = Seq(buf.pushed);
+            let fwd = self.oracle.ingest(rec);
+            buf.ring[(buf.pushed & buf.mask) as usize] = fwd;
+            buf.pushed += 1;
+        }
+        Ok(n)
+    }
+
     fn len_hint(&self) -> Option<u64> {
         self.source.len_hint()
     }

@@ -1,6 +1,6 @@
 //! Programs and the label-resolving builder ("assembler").
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use sqip_types::{DataSize, Pc};
 
@@ -68,7 +68,7 @@ impl Program {
 #[derive(Debug, Default)]
 pub struct ProgramBuilder {
     insts: Vec<StaticInst>,
-    labels: HashMap<String, usize>,
+    labels: BTreeMap<String, usize>,
     /// (instruction index, label name) pairs awaiting resolution.
     fixups: Vec<(usize, String)>,
     duplicate: Option<String>,

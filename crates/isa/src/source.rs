@@ -64,6 +64,44 @@ pub trait TraceSource {
     /// corruption ([`IsaError::TraceIo`], [`IsaError::TraceFormat`]).
     fn next_record(&mut self) -> Result<Option<TraceRecord>, IsaError>;
 
+    /// Pulls up to `out.len()` records into the front of `out`, returning
+    /// how many were written. The block-pull fast path: one virtual call
+    /// amortised over a whole block, letting sources decode runs of
+    /// records without per-record dispatch.
+    ///
+    /// Semantics are exactly those of calling [`TraceSource::next_record`]
+    /// `out.len()` times and stopping at the first `None` or error:
+    ///
+    /// * `Ok(n)` with `n < out.len()` means the stream ended (`n` may be
+    ///   0) **or** the source failed after producing `n > 0` records — in
+    ///   the latter case the error is sticky and resurfaces on the next
+    ///   call, exactly where the scalar path would have raised it.
+    /// * `Err(e)` is returned only when *no* record could be produced.
+    ///
+    /// The default implementation loops the scalar path, so every
+    /// existing source conforms automatically.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TraceSource::next_record`].
+    fn next_block(&mut self, out: &mut [TraceRecord]) -> Result<usize, IsaError> {
+        let mut n = 0;
+        while n < out.len() {
+            match self.next_record() {
+                Ok(Some(rec)) => {
+                    out[n] = rec;
+                    n += 1;
+                }
+                Ok(None) => break,
+                // Sticky-error contract: the same error resurfaces on the
+                // next pull, so a partial block loses nothing.
+                Err(e) if n == 0 => return Err(e),
+                Err(_) => break,
+            }
+        }
+        Ok(n)
+    }
+
     /// The exact total record count, when cheaply known without running
     /// the stream (materialized traces); `None` for generative sources.
     fn len_hint(&self) -> Option<u64> {
@@ -75,6 +113,9 @@ impl<S: TraceSource + ?Sized> TraceSource for &mut S {
     fn next_record(&mut self) -> Result<Option<TraceRecord>, IsaError> {
         (**self).next_record()
     }
+    fn next_block(&mut self, out: &mut [TraceRecord]) -> Result<usize, IsaError> {
+        (**self).next_block(out)
+    }
     fn len_hint(&self) -> Option<u64> {
         (**self).len_hint()
     }
@@ -83,6 +124,9 @@ impl<S: TraceSource + ?Sized> TraceSource for &mut S {
 impl<S: TraceSource + ?Sized> TraceSource for Box<S> {
     fn next_record(&mut self) -> Result<Option<TraceRecord>, IsaError> {
         (**self).next_record()
+    }
+    fn next_block(&mut self, out: &mut [TraceRecord]) -> Result<usize, IsaError> {
+        (**self).next_block(out)
     }
     fn len_hint(&self) -> Option<u64> {
         (**self).len_hint()
@@ -110,6 +154,14 @@ impl TraceSource for TraceCursor<'_> {
         let rec = self.records.get(self.pos).copied();
         self.pos += rec.is_some() as usize;
         Ok(rec)
+    }
+
+    fn next_block(&mut self, out: &mut [TraceRecord]) -> Result<usize, IsaError> {
+        let rest = &self.records[self.pos.min(self.records.len())..];
+        let n = rest.len().min(out.len());
+        out[..n].copy_from_slice(&rest[..n]);
+        self.pos += n;
+        Ok(n)
     }
 
     fn len_hint(&self) -> Option<u64> {
@@ -246,5 +298,55 @@ mod tests {
         let mut s = ProgramSource::new(looping_program(1), 100);
         while s.next_record().unwrap().is_some() {}
         assert_eq!(s.next_record().unwrap(), None);
+    }
+
+    fn drain_blocks(s: &mut impl TraceSource, block: usize) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        let mut buf = vec![TraceRecord::default(); block];
+        loop {
+            let n = s.next_block(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            out.extend_from_slice(&buf[..n]);
+        }
+        out
+    }
+
+    #[test]
+    fn block_pull_matches_scalar_pull_across_block_sizes() {
+        let golden = trace_program(&looping_program(9), 10_000).unwrap();
+        for block in [1usize, 3, 7, 64, 257] {
+            // The overriding impl (TraceCursor's memcpy fast path)…
+            assert_eq!(
+                drain_blocks(&mut golden.stream(), block),
+                golden.records(),
+                "TraceCursor, block {block}"
+            );
+            // …and the default trait impl (ProgramSource loops the
+            // scalar path) both conform bit for bit.
+            assert_eq!(
+                drain_blocks(&mut ProgramSource::new(looping_program(9), 10_000), block),
+                golden.records(),
+                "ProgramSource, block {block}"
+            );
+        }
+    }
+
+    #[test]
+    fn block_pull_surfaces_errors_after_the_partial_block() {
+        let mut b = ProgramBuilder::new();
+        let _ = b.label("spin");
+        b.jump_to("spin");
+        // Budget 5, blocks of 4: one full block, then a partial block of
+        // 1 — the error is withheld so the record is not lost — then the
+        // sticky error itself, exactly where the scalar path raises it.
+        let mut s = ProgramSource::new(b.build().unwrap(), 5);
+        let mut buf = [TraceRecord::default(); 4];
+        assert_eq!(s.next_block(&mut buf).unwrap(), 4);
+        assert_eq!(s.next_block(&mut buf).unwrap(), 1);
+        let err = s.next_block(&mut buf).unwrap_err();
+        assert_eq!(err, IsaError::InstructionBudgetExceeded { budget: 5 });
+        assert_eq!(s.next_block(&mut buf).unwrap_err(), err, "sticky");
     }
 }

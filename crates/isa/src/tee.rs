@@ -40,6 +40,19 @@ pub enum TeePoll {
     End,
 }
 
+/// Outcome of a non-blocking **block** poll ([`TeeCursor::poll_block`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TeeBlockPoll {
+    /// `out[..n]` holds the next `n` records (`n > 0`), delivered exactly
+    /// once to this cursor.
+    Records(usize),
+    /// As [`TeePoll::Blocked`]: no buffered record for this cursor and no
+    /// free ring slot to pull one into.
+    Blocked,
+    /// As [`TeePoll::End`].
+    End,
+}
+
 struct TeeState<'s> {
     source: Box<dyn TraceSource + 's>,
     len_hint: Option<u64>,
@@ -116,6 +129,109 @@ impl TeeState<'_> {
         self.positions[id] = pos + 1;
         self.release(slot);
         Ok(TeePoll::Record(rec))
+    }
+
+    /// Block variant of [`TeeState::poll`]: delivers up to `out.len()`
+    /// records in one call, topping the ring up from upstream in
+    /// contiguous spans first. Observable behaviour (delivery order,
+    /// error positions, backpressure) is identical to looping `poll`.
+    fn poll_block(&mut self, id: usize, out: &mut [TraceRecord]) -> Result<TeeBlockPoll, IsaError> {
+        debug_assert!(self.alive[id], "polling a dropped cursor");
+        if out.is_empty() {
+            return Ok(TeeBlockPoll::Records(0));
+        }
+        let pos = self.positions[id];
+        let mut avail = (self.pulled - pos) as usize;
+        if avail < out.len() && !self.done && self.error.is_none() {
+            let cap = self.mask as usize + 1;
+            let free = cap - (self.pulled - self.base) as usize;
+            if free > 0 {
+                self.pull_upstream((out.len() - avail).min(free));
+                avail = (self.pulled - pos) as usize;
+            }
+        }
+        if avail == 0 {
+            // Same precedence as the scalar path: a stored upstream error
+            // replays immediately at the frontier — before backpressure —
+            // so a blocked-looking cursor is never starved behind a
+            // failure that no amount of draining will clear.
+            if let Some(e) = &self.error {
+                return Err(e.clone());
+            }
+            if self.done {
+                return Ok(TeeBlockPoll::End);
+            }
+            return Ok(TeeBlockPoll::Blocked);
+        }
+        let n = avail.min(out.len());
+        let cap = self.mask as usize + 1;
+        let start = (pos & self.mask) as usize;
+        let first = n.min(cap - start);
+        out[..first].copy_from_slice(&self.recs[start..start + first]);
+        if n > first {
+            out[first..n].copy_from_slice(&self.recs[..n - first]);
+        }
+        self.positions[id] = pos + n as u64;
+        self.release_span(pos, n);
+        Ok(TeeBlockPoll::Records(n))
+    }
+
+    /// Pulls up to `want` records from upstream into the ring's free
+    /// span(s), renumbering and reference-counting each. Stops early at
+    /// end-of-stream or on an upstream error (stored for replay).
+    fn pull_upstream(&mut self, want: usize) {
+        let cap = self.mask as usize + 1;
+        let mut remaining = want;
+        while remaining > 0 && !self.done && self.error.is_none() {
+            let start = (self.pulled & self.mask) as usize;
+            let span = remaining.min(cap - start);
+            let dst = &mut self.recs[start..start + span];
+            match self.source.next_block(dst) {
+                Ok(0) => self.done = true,
+                Ok(n) => {
+                    for (i, rec) in dst[..n].iter_mut().enumerate() {
+                        rec.seq = Seq(self.pulled + i as u64);
+                    }
+                    self.refs[start..start + n].fill(self.active);
+                    self.pulled += n as u64;
+                    remaining -= n;
+                    // A short block means the source ended *or* holds a
+                    // sticky error; one scalar pull tells us which, so the
+                    // outcome is recorded at the exact failure position.
+                    if n < span {
+                        match self.source.next_record() {
+                            Ok(Some(mut rec)) => {
+                                // A conforming source never does this, but
+                                // tolerate it: keep the record.
+                                rec.seq = Seq(self.pulled);
+                                let slot = (self.pulled & self.mask) as usize;
+                                self.recs[slot] = rec;
+                                self.refs[slot] = self.active;
+                                self.pulled += 1;
+                                remaining = remaining.saturating_sub(1);
+                            }
+                            Ok(None) => self.done = true,
+                            Err(e) => self.error = Some(e),
+                        }
+                    }
+                }
+                Err(e) => self.error = Some(e),
+            }
+        }
+        self.high_water = self.high_water.max((self.pulled - self.base) as usize);
+    }
+
+    /// Releases `n` consecutive slots starting at sequence `from`,
+    /// advancing the base once at the end (batched [`TeeState::release`]).
+    fn release_span(&mut self, from: u64, n: usize) {
+        for seq in from..from + n as u64 {
+            let slot = (seq & self.mask) as usize;
+            debug_assert!(self.refs[slot] > 0, "slot released more times than held");
+            self.refs[slot] -= 1;
+        }
+        while self.base < self.pulled && self.refs[(self.base & self.mask) as usize] == 0 {
+            self.base += 1;
+        }
     }
 
     fn detach(&mut self, id: usize) {
@@ -248,6 +364,16 @@ impl<'s> TraceTee<'s> {
     pub fn is_done(&self) -> bool {
         self.shared.borrow().done
     }
+
+    /// Whether the upstream source has failed. The stored error replays
+    /// for every cursor at the recorded position — a scheduler should
+    /// treat a failed tee like a finished one and keep driving cursors
+    /// (ignoring ring backpressure at the frontier) so each observes the
+    /// error immediately rather than after the ring drains.
+    #[must_use]
+    pub fn is_failed(&self) -> bool {
+        self.shared.borrow().error.is_some()
+    }
 }
 
 impl std::fmt::Debug for TraceTee<'_> {
@@ -286,6 +412,19 @@ impl TeeCursor<'_> {
         self.shared.borrow_mut().poll(self.id)
     }
 
+    /// Non-blocking block pull: up to `out.len()` records in one call —
+    /// one `RefCell` borrow and one upstream (block) pull amortised over
+    /// the whole span. Delivery order, error positions and backpressure
+    /// are bit-identical to looping [`TeeCursor::poll_record`].
+    ///
+    /// # Errors
+    ///
+    /// The upstream source's error, once this cursor reaches the position
+    /// where it occurred (every cursor observes the same failure point).
+    pub fn poll_block(&mut self, out: &mut [TraceRecord]) -> Result<TeeBlockPoll, IsaError> {
+        self.shared.borrow_mut().poll_block(self.id, out)
+    }
+
     /// The next sequence number this cursor will consume.
     #[must_use]
     pub fn position(&self) -> u64 {
@@ -321,6 +460,25 @@ impl TraceSource for TeeCursor<'_> {
             TeePoll::Record(rec) => Ok(Some(rec)),
             TeePoll::End => Ok(None),
             TeePoll::Blocked => Err(IsaError::TraceIo {
+                detail: format!(
+                    "tee cursor {} outran the shared ring (capacity {}); \
+                     the scheduler must respect cursor budgets",
+                    self.id,
+                    self.shared.borrow().mask + 1
+                ),
+            }),
+        }
+    }
+
+    /// Like [`TeeCursor::poll_block`], with [`TeeBlockPoll::Blocked`]
+    /// mapped to [`IsaError::TraceIo`] (see
+    /// [`next_record`](TeeCursor::next_record) for why a well-scheduled
+    /// cursor never observes it).
+    fn next_block(&mut self, out: &mut [TraceRecord]) -> Result<usize, IsaError> {
+        match self.poll_block(out)? {
+            TeeBlockPoll::Records(n) => Ok(n),
+            TeeBlockPoll::End => Ok(0),
+            TeeBlockPoll::Blocked => Err(IsaError::TraceIo {
                 detail: format!(
                     "tee cursor {} outran the shared ring (capacity {}); \
                      the scheduler must respect cursor budgets",
@@ -471,6 +629,113 @@ mod tests {
             assert!(b_cursor.next_record().unwrap().is_some());
         }
         assert_eq!(b_cursor.next_record().unwrap_err(), err);
+    }
+
+    #[test]
+    fn failed_tee_reports_failure_and_errors_at_the_frontier_immediately() {
+        let mut b = ProgramBuilder::new();
+        let _ = b.label("spin");
+        b.jump_to("spin");
+        // Budget of 12 against a ring of 8: the failure lands while a
+        // laggard still holds ring slots, so a frontier cursor must get
+        // the error from the failure flag, not from ring drain.
+        let (tee, mut cursors) = TraceTee::new(ProgramSource::new(b.build().unwrap(), 12), 2, 8);
+        let mut b_cursor = cursors.pop().unwrap();
+        let mut a_cursor = cursors.pop().unwrap();
+        for _ in 0..8 {
+            assert!(matches!(a_cursor.poll_record().unwrap(), TeePoll::Record(_)));
+        }
+        assert_eq!(a_cursor.poll_record().unwrap(), TeePoll::Blocked);
+        assert!(!tee.is_failed(), "backpressure is not failure");
+        for _ in 0..5 {
+            assert!(matches!(b_cursor.poll_record().unwrap(), TeePoll::Record(_)));
+        }
+        // A consumes the remaining budget and trips the upstream error.
+        for _ in 8..12 {
+            assert!(matches!(a_cursor.poll_record().unwrap(), TeePoll::Record(_)));
+        }
+        let err = a_cursor.poll_record().unwrap_err();
+        assert_eq!(err, IsaError::InstructionBudgetExceeded { budget: 12 });
+        assert!(tee.is_failed());
+        assert!(!tee.is_done(), "failure and completion are distinct ends");
+        // Sticky: polling again re-surfaces the same error even though B
+        // still holds ring slots 5..12.
+        assert_eq!(a_cursor.poll_record().unwrap_err(), err);
+        // The laggard replays the buffered tail, then hits the same error.
+        for _ in 5..12 {
+            assert!(matches!(b_cursor.poll_record().unwrap(), TeePoll::Record(_)));
+        }
+        assert_eq!(b_cursor.poll_record().unwrap_err(), err);
+    }
+
+    #[test]
+    fn block_pulls_match_scalar_pulls_bit_identically() {
+        // Block sizes straddling every boundary of the 8-slot ring:
+        // degenerate (1), partial, exactly the ring, and far past it.
+        for block in [1usize, 3, 8, 16, 64] {
+            let golden = trace_program(&looping_program(40), 10_000).unwrap();
+            let (_tee, mut cursors) =
+                TraceTee::new(ProgramSource::new(looping_program(40), 10_000), 2, 8);
+            let mut blk = cursors.pop().unwrap();
+            let mut sca = cursors.pop().unwrap();
+            let mut got_blk = Vec::new();
+            let mut got_sca = Vec::new();
+            let mut buf = vec![TraceRecord::default(); block];
+            let (mut end_blk, mut end_sca) = (false, false);
+            while !(end_blk && end_sca) {
+                let before = (got_blk.len(), got_sca.len());
+                if !end_blk {
+                    match blk.poll_block(&mut buf).unwrap() {
+                        TeeBlockPoll::Records(n) => got_blk.extend_from_slice(&buf[..n]),
+                        TeeBlockPoll::Blocked => {}
+                        TeeBlockPoll::End => end_blk = true,
+                    }
+                }
+                if !end_sca {
+                    for _ in 0..block {
+                        match sca.poll_record().unwrap() {
+                            TeePoll::Record(r) => got_sca.push(r),
+                            TeePoll::Blocked => break,
+                            TeePoll::End => {
+                                end_sca = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                assert!(
+                    end_blk || end_sca || (got_blk.len(), got_sca.len()) != before,
+                    "lock-step block/scalar consumers deadlocked at {before:?} (block {block})"
+                );
+            }
+            assert_eq!(got_blk, golden.records(), "block pull (size {block})");
+            assert_eq!(got_sca, golden.records(), "scalar pull against block peer");
+        }
+    }
+
+    #[test]
+    fn upstream_error_straddling_a_block_edge_surfaces_after_the_partial_block() {
+        let mut b = ProgramBuilder::new();
+        let _ = b.label("spin");
+        b.jump_to("spin");
+        // Budget 11, blocks of 8: the second block is cut short at 3
+        // records, and the error surfaces on the *next* pull — exactly
+        // where a scalar puller would have raised it.
+        let (tee, mut cursors) = TraceTee::new(ProgramSource::new(b.build().unwrap(), 11), 1, 32);
+        let mut c = cursors.pop().unwrap();
+        let mut buf = [TraceRecord::default(); 8];
+        assert!(matches!(
+            c.poll_block(&mut buf).unwrap(),
+            TeeBlockPoll::Records(8)
+        ));
+        assert!(matches!(
+            c.poll_block(&mut buf).unwrap(),
+            TeeBlockPoll::Records(3)
+        ));
+        let err = c.poll_block(&mut buf).unwrap_err();
+        assert_eq!(err, IsaError::InstructionBudgetExceeded { budget: 11 });
+        assert!(tee.is_failed());
+        assert_eq!(c.poll_block(&mut buf).unwrap_err(), err, "sticky");
     }
 
     #[test]

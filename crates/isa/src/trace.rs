@@ -145,7 +145,7 @@ impl Trace {
         }
         // Byte-granular map from address to the index (in dynamic stores) of
         // the last store writing it.
-        let mut last_store: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        let mut last_store: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
         let mut store_count: u64 = 0;
         let mut forwarding_loads: u64 = 0;
         for r in &self.records {

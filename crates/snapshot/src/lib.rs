@@ -436,9 +436,18 @@ pub trait Snapshot: Sized {
 /// Generates a field-by-field [`Snapshot`] impl for a named-field
 /// struct. Expand it in the module that owns the struct so private
 /// fields are in scope; fields save and load in the listed order.
+///
+/// The optional `derived { field: expr, ... }` block names fields that
+/// are *not* serialised: they load as the given placeholder expression
+/// and the owner is expected to rebuild them from other state after
+/// load. Adding a derived field never changes the snapshot format.
 #[macro_export]
 macro_rules! snapshot_struct {
     ($ty:ty { $($field:ident),+ $(,)? }) => {
+        $crate::snapshot_struct!($ty { $($field),+ } derived {});
+    };
+    ($ty:ty { $($field:ident),+ $(,)? }
+     derived { $($dfield:ident: $dval:expr),* $(,)? }) => {
         impl $crate::Snapshot for $ty {
             fn save(
                 &self,
@@ -450,6 +459,7 @@ macro_rules! snapshot_struct {
             fn load(r: &mut $crate::SnapReader) -> Result<Self, $crate::SnapError> {
                 Ok(Self {
                     $($field: $crate::Snapshot::load(r)?,)+
+                    $($dfield: $dval,)*
                 })
             }
         }

@@ -516,9 +516,15 @@ fn drive_group(
             any_live = true;
             // A consumer still pulling may not run more than a ring ahead
             // of the slowest; one that has drained the stream (the tee is
-            // done and it is at the frontier) holds no ring slots hostage
-            // and is always eligible.
-            let may_pull = !(tee.is_done() && tee.position(c) == tee.pulled());
+            // done — or failed, which ends it just as surely — and it is
+            // at the frontier) holds no ring slots hostage and is always
+            // eligible. Without the failed case a frontier cursor would
+            // sit gated on ring capacity waiting for records that can
+            // never arrive, surfacing the upstream error only after every
+            // slower cell drained — or never, if it was itself the
+            // slowest.
+            let ended = tee.is_done() || tee.is_failed();
+            let may_pull = !(ended && tee.position(c) == tee.pulled());
             if may_pull && tee.position(c) + fw[c] > tee.base() + cap {
                 continue;
             }

@@ -172,6 +172,28 @@ fn squashy_program(iters: i64) -> Program {
     b.build().unwrap()
 }
 
+/// Squash re-fetches replay records whose positions straddle the event
+/// engine's fetch-block edges (the block-pull tentpole's nastiest
+/// corner): both sweep modes must stay bit-identical through them, for
+/// every registered design.
+#[test]
+fn squash_straddling_fetch_block_edges_is_mode_invariant() {
+    // ~11 records per iteration: 100 iterations crosses many
+    // FETCH_BLOCK-record fetch edges while forwarding squashes are in
+    // flight on the mispredicting designs.
+    let experiment = Experiment::new()
+        .workload(program_workload(
+            "squashy-block-edges",
+            squashy_program(100),
+            1_000_000,
+        ))
+        .designs(all_designs())
+        .threads(1);
+    let shared = experiment.run().expect("shared sweep runs");
+    let per_cell = experiment.run_per_cell().expect("per-cell sweep runs");
+    assert_eq!(shared, per_cell, "squash across block edges diverged");
+}
+
 /// Exactly-once delivery under squash/re-fetch: squashed consumers replay
 /// records out of their own windows, never re-pulling through the tee —
 /// the upstream pull count equals the stream length exactly, and the
@@ -269,9 +291,12 @@ fn sweep_telemetry_reports_bounded_buffering() {
     assert!(group.ring_high_water > 0);
 
     // Each cell's own window obeys the PR 3 bound; the shared ring obeys
-    // its capacity. The two observables are reported separately.
+    // its capacity. The two observables are reported separately. The
+    // event engine's batched fetch front may run up to one fetch block
+    // ahead of the scalar frontier, hence the FETCH_BLOCK slack term.
     let cfg = SimConfig::with_design(SqDesign::IdealOracle);
-    let window_bound = (cfg.rob_size + 5 * cfg.fetch_width + 64) as u64;
+    let window_bound =
+        (cfg.rob_size + 5 * cfg.fetch_width) as u64 + sqip_core::engine::FETCH_BLOCK as u64;
     for (&peak, lag) in group.peak_buffered.iter().zip(&group.peak_lag) {
         assert!(peak > 0 && peak <= window_bound, "peak {peak}");
         assert!(*lag <= group.records_pulled);

@@ -115,48 +115,103 @@ fn fmt_insts(n: u64) -> String {
     }
 }
 
-/// Parses a generator name (`mix:…`, `chase:…`, `stride:…` — see the
-/// module docs for the grammar) into its spec. Returns `None` for names
-/// that are not in the generator grammar; malformed parameters inside a
-/// recognised family are also `None` (the registry then reports the name
-/// as unknown).
-#[must_use]
-pub fn parse_generator(name: &str) -> Option<WorkloadSpec> {
-    let mut parts = name.split(':');
-    let family = parts.next()?;
-    let args: Vec<&str> = parts.collect();
-    let spec = match (family, args.as_slice()) {
-        ("mix", [seed, insts]) => random_mix(parse_seed(seed)?, parse_insts(insts)?),
-        ("chase", [nodes, stride, insts]) => pointer_chase(
-            nodes.parse().ok()?,
-            stride.parse().ok()?,
-            parse_insts(insts)?,
-        ),
-        ("stride", [stride, insts]) => stride_stream(stride.parse().ok()?, parse_insts(insts)?),
-        _ => return None,
-    };
-    // Canonical naming aside, keep exactly what the user asked for so
-    // registry listings and result records match the CLI spelling.
-    Some(spec.with_name(name))
+/// A name that matched a generator family but whose parameters are
+/// malformed — distinct from a name outside the grammar entirely, so
+/// `mix:1:0` reports *why* it is invalid instead of masquerading as an
+/// unknown workload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratorError {
+    /// The family whose grammar matched (`mix`, `chase`, `stride`).
+    pub family: &'static str,
+    /// What was wrong, human-readable.
+    pub detail: String,
 }
 
-fn parse_seed(s: &str) -> Option<u64> {
-    if let Some(hex) = s.strip_prefix("0x") {
-        u64::from_str_radix(hex, 16).ok()
-    } else {
-        s.parse().ok()
+impl std::fmt::Display for GeneratorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid `{}:` generator parameters: {}", self.family, self.detail)
     }
 }
 
-fn parse_insts(s: &str) -> Option<u64> {
-    let (digits, mult) = match s.as_bytes().last()? {
+impl std::error::Error for GeneratorError {}
+
+/// Parses a generator name (`mix:…`, `chase:…`, `stride:…` — see the
+/// module docs for the grammar) into its spec.
+///
+/// `Ok(None)` means the name is not in the generator grammar at all (the
+/// registry then reports it as unknown); `Err` means a family matched
+/// but its parameters are malformed — wrong arity, unparsable numbers, a
+/// zero instruction count, or a count whose suffix overflows `u64`.
+///
+/// # Errors
+///
+/// [`GeneratorError`] describing the offending parameter.
+pub fn parse_generator(name: &str) -> Result<Option<WorkloadSpec>, GeneratorError> {
+    let mut parts = name.split(':');
+    let Some(family) = parts.next() else {
+        return Ok(None);
+    };
+    let args: Vec<&str> = parts.collect();
+    let (family, grammar): (&'static str, &str) = match family {
+        "mix" => ("mix", "mix:<seed>:<insts>"),
+        "chase" => ("chase", "chase:<nodes>:<stride>:<insts>"),
+        "stride" => ("stride", "stride:<stride>:<insts>"),
+        _ => return Ok(None),
+    };
+    let bad = |detail: String| GeneratorError { family, detail };
+    let num = |what: &str, s: &str| -> Result<u32, GeneratorError> {
+        s.parse()
+            .map_err(|_| bad(format!("{what} `{s}` is not a number")))
+    };
+    let spec = match (family, args.as_slice()) {
+        ("mix", [seed, insts]) => random_mix(
+            parse_seed(seed).map_err(&bad)?,
+            parse_insts(insts).map_err(&bad)?,
+        ),
+        ("chase", [nodes, stride, insts]) => pointer_chase(
+            num("node count", nodes)?,
+            num("stride", stride)?,
+            parse_insts(insts).map_err(&bad)?,
+        ),
+        ("stride", [stride, insts]) => {
+            stride_stream(num("stride", stride)?, parse_insts(insts).map_err(&bad)?)
+        }
+        _ => return Err(bad(format!("`{name}` does not match `{grammar}`"))),
+    };
+    // Canonical naming aside, keep exactly what the user asked for so
+    // registry listings and result records match the CLI spelling.
+    Ok(Some(spec.with_name(name)))
+}
+
+fn parse_seed(s: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| format!("seed `{s}` is not a decimal or 0x-hex u64"))
+}
+
+fn parse_insts(s: &str) -> Result<u64, String> {
+    let Some(last) = s.as_bytes().last() else {
+        return Err("instruction count is empty".to_string());
+    };
+    let (digits, mult) = match last {
         b'k' | b'K' => (&s[..s.len() - 1], 1_000),
         b'm' | b'M' => (&s[..s.len() - 1], 1_000_000),
         b'b' | b'B' => (&s[..s.len() - 1], 1_000_000_000),
         _ => (s, 1),
     };
-    let n: u64 = digits.parse().ok()?;
-    n.checked_mul(mult).filter(|&v| v > 0)
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("instruction count `{s}` is not a number"))?;
+    let scaled = n
+        .checked_mul(mult)
+        .ok_or_else(|| format!("instruction count `{s}` overflows u64"))?;
+    if scaled == 0 {
+        return Err(format!("instruction count `{s}` must be nonzero"));
+    }
+    Ok(scaled)
 }
 
 #[cfg(test)]
@@ -195,36 +250,55 @@ mod tests {
     #[test]
     fn name_grammar_round_trips() {
         for name in ["mix:0xbeef:10m", "chase:4096:64:1m", "stride:4096:500k"] {
-            let spec = parse_generator(name).unwrap_or_else(|| panic!("{name} parses"));
+            let spec = parse_generator(name)
+                .unwrap()
+                .unwrap_or_else(|| panic!("{name} parses"));
             assert_eq!(spec.name, name);
         }
         // Canonical constructor names re-parse to equivalent specs.
         let spec = random_mix(0xbeef, 10_000_000);
-        let reparsed = parse_generator(&spec.name).unwrap();
+        let reparsed = parse_generator(&spec.name).unwrap().unwrap();
         assert_eq!(reparsed.iterations, spec.iterations);
         assert_eq!(reparsed.plain_loads, spec.plain_loads);
     }
 
     #[test]
-    fn malformed_generator_names_are_rejected() {
-        for bad in [
-            "mix:0xbeef",  // missing length
-            "chase:64:1m", // missing stride
-            "stride:x:1m", // junk number
-            "mix:1:0",     // zero length
-            "gzip",        // not a generator family
-            "warp:10:1m",  // unknown family
+    fn names_outside_the_grammar_are_not_errors() {
+        for other in ["gzip", "warp:10:1m", ""] {
+            assert!(
+                matches!(parse_generator(other), Ok(None)),
+                "`{other}` is just unknown"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_generator_parameters_are_described() {
+        for (bad, expect) in [
+            ("mix:0xbeef", "does not match"),      // missing length
+            ("chase:64:1m", "does not match"),     // missing stride
+            ("stride:x:1m", "is not a number"),    // junk number
+            ("mix:zz:1m", "not a decimal"),        // junk seed
+            ("mix:1:0", "must be nonzero"),        // zero length
+            ("mix:1:20000000000b", "overflows"),   // 2e10 × 1e9 wraps u64
+            ("stride:4096:", "is empty"),          // empty count
         ] {
-            assert!(parse_generator(bad).is_none(), "{bad} must not parse");
+            let err = parse_generator(bad).unwrap_err();
+            assert!(
+                err.to_string().contains(expect),
+                "`{bad}` → `{err}` (wanted `{expect}`)"
+            );
         }
     }
 
     #[test]
     fn insts_suffixes_scale() {
-        assert_eq!(parse_insts("500"), Some(500));
-        assert_eq!(parse_insts("500k"), Some(500_000));
-        assert_eq!(parse_insts("10m"), Some(10_000_000));
-        assert_eq!(parse_insts("2B"), Some(2_000_000_000));
-        assert_eq!(parse_insts(""), None);
+        assert_eq!(parse_insts("500"), Ok(500));
+        assert_eq!(parse_insts("500k"), Ok(500_000));
+        assert_eq!(parse_insts("10m"), Ok(10_000_000));
+        assert_eq!(parse_insts("2B"), Ok(2_000_000_000));
+        assert!(parse_insts("").is_err());
+        assert!(parse_insts("18446744073709551615").is_ok());
+        assert!(parse_insts("18446744073709551615k").is_err());
     }
 }

@@ -56,6 +56,17 @@ pub enum WorkloadRegistryError {
     /// No workload with this name is registered, and the name is not in
     /// the generator grammar.
     Unknown(String),
+    /// The name matched a generator family (`mix:…`, `chase:…`,
+    /// `stride:…`) but its parameters are malformed — reported
+    /// separately from [`WorkloadRegistryError::Unknown`] so a typo'd
+    /// parameter explains itself instead of claiming the whole name is
+    /// unrecognised.
+    InvalidGenerator {
+        /// The name as given.
+        name: String,
+        /// What was wrong with its parameters.
+        cause: crate::generator::GeneratorError,
+    },
 }
 
 impl std::fmt::Display for WorkloadRegistryError {
@@ -68,8 +79,11 @@ impl std::fmt::Display for WorkloadRegistryError {
                 write!(
                     f,
                     "unknown workload `{name}` (not registered, and not a \
-                     `mix:`/`chase:`/`stride:` generator name)"
+                     `mix:`/`chase:`/`stride:`/`tracefile:` name)"
                 )
+            }
+            WorkloadRegistryError::InvalidGenerator { name, cause } => {
+                write!(f, "workload `{name}`: {cause}")
             }
         }
     }
@@ -161,6 +175,24 @@ impl std::fmt::Debug for RegisteredWorkload {
             .field("description", &self.description)
             .finish_non_exhaustive()
     }
+}
+
+/// Builds the `tracefile:<path>` workload: each open streams the SQTR
+/// file from the start through a fresh buffered [`TraceReader`] — the
+/// decode-dominant workload family (per-byte varint decode on every
+/// pull), where a shared-decode sweep pass pays off most.
+///
+/// [`TraceReader`]: sqip_isa::tracefile::TraceReader
+fn trace_file_workload(name: &str, path: &str) -> RegisteredWorkload {
+    let path = std::path::PathBuf::from(path);
+    let description = format!("on-disk SQTR trace `{}`", path.display());
+    RegisteredWorkload::from_factory(name, description, move || {
+        let file = std::fs::File::open(&path).map_err(|e| IsaError::TraceIo {
+            detail: format!("opening trace file `{}`: {e}", path.display()),
+        })?;
+        let reader = sqip_isa::tracefile::TraceReader::new(std::io::BufReader::new(file))?;
+        Ok(Box::new(reader) as Box<dyn TraceSource + Send>)
+    })
 }
 
 fn approx(n: u64) -> String {
@@ -282,20 +314,33 @@ impl WorkloadRegistry {
         self.register(RegisteredWorkload::from_spec(spec))
     }
 
-    /// Resolves a workload name: a registered entry, or — when the name
-    /// matches the generator grammar (`mix:…`, `chase:…`, `stride:…`) —
-    /// a generator instance built on the fly.
+    /// Resolves a workload name: a registered entry; a generator-grammar
+    /// point (`mix:…`, `chase:…`, `stride:…`) built on the fly; or an
+    /// on-disk trace file (`tracefile:<path>`, SQTR format) streamed
+    /// through [`sqip_isa::tracefile::TraceReader`].
     ///
     /// # Errors
     ///
-    /// [`WorkloadRegistryError::Unknown`] if the name is neither.
+    /// [`WorkloadRegistryError::Unknown`] if the name is none of those;
+    /// [`WorkloadRegistryError::InvalidGenerator`] if a generator family
+    /// matched but its parameters are malformed. A `tracefile:` path is
+    /// not opened here — a missing or corrupt file surfaces as an
+    /// [`IsaError`] from [`RegisteredWorkload::open`].
     pub fn resolve(&self, name: &str) -> Result<RegisteredWorkload, WorkloadRegistryError> {
         if let Some(entry) = self.lookup(name) {
             return Ok(entry);
         }
-        generator::parse_generator(name)
-            .map(RegisteredWorkload::from_spec)
-            .ok_or_else(|| WorkloadRegistryError::Unknown(name.to_string()))
+        if let Some(path) = name.strip_prefix("tracefile:") {
+            return Ok(trace_file_workload(name, path));
+        }
+        match generator::parse_generator(name) {
+            Ok(Some(spec)) => Ok(RegisteredWorkload::from_spec(spec)),
+            Ok(None) => Err(WorkloadRegistryError::Unknown(name.to_string())),
+            Err(cause) => Err(WorkloadRegistryError::InvalidGenerator {
+                name: name.to_string(),
+                cause,
+            }),
+        }
     }
 
     /// Looks up a *registered* workload (no generator-grammar fallback).
@@ -378,6 +423,74 @@ mod tests {
             first,
             "streams do not share state"
         );
+    }
+
+    #[test]
+    fn invalid_generator_parameters_explain_themselves() {
+        let r = WorkloadRegistry::empty();
+        match r.resolve("mix:1:20000000000b").unwrap_err() {
+            WorkloadRegistryError::InvalidGenerator { name, cause } => {
+                assert_eq!(name, "mix:1:20000000000b");
+                assert!(cause.detail.contains("overflows"), "{cause}");
+            }
+            other => panic!("expected InvalidGenerator, got: {other}"),
+        }
+        for bad in ["mix:1:0", "stride:x:1m", "chase:64:1m"] {
+            assert!(
+                matches!(
+                    r.resolve(bad).unwrap_err(),
+                    WorkloadRegistryError::InvalidGenerator { .. }
+                ),
+                "`{bad}` is malformed, not unknown"
+            );
+        }
+        // Names outside every grammar stay plain Unknown.
+        assert!(matches!(
+            r.resolve("warp:10:1m").unwrap_err(),
+            WorkloadRegistryError::Unknown(_)
+        ));
+    }
+
+    #[test]
+    fn tracefile_workloads_resolve_and_stream() {
+        use sqip_isa::TraceSource;
+
+        // Record a small stream to disk, then resolve it back by name.
+        let spec = WorkloadSpec::base("inner", Suite::Int).with_iterations(3);
+        let golden: Vec<_> = {
+            let mut s = spec.source().unwrap();
+            let mut v = Vec::new();
+            while let Some(rec) = s.next_record().unwrap() {
+                v.push(rec);
+            }
+            v
+        };
+        let path = std::env::temp_dir().join(format!(
+            "sqip-registry-tracefile-{}.sqtr",
+            std::process::id()
+        ));
+        let mut file = std::fs::File::create(&path).unwrap();
+        sqip_isa::tracefile::record_trace(&mut spec.source().unwrap(), &mut file).unwrap();
+        drop(file);
+
+        let r = WorkloadRegistry::empty();
+        let name = format!("tracefile:{}", path.display());
+        let w = r.resolve(&name).unwrap();
+        assert_eq!(w.name(), name.as_str());
+        assert_eq!(w.suite(), None);
+        let mut replay = w.open().unwrap();
+        let mut n = 0usize;
+        while let Some(rec) = replay.next_record().unwrap() {
+            assert_eq!(rec, golden[n], "record {n} replays bit-identically");
+            n += 1;
+        }
+        assert_eq!(n, golden.len());
+        std::fs::remove_file(&path).ok();
+
+        // A missing file resolves (the name is well-formed) but fails to
+        // open, like any other workload whose backing store is broken.
+        let missing = r.resolve("tracefile:/no/such/file.sqtr").unwrap();
+        assert!(missing.open().is_err());
     }
 
     #[test]
