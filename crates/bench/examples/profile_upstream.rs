@@ -61,7 +61,11 @@ fn main() {
             cnt += got as u64;
         }
         let d = t.elapsed().as_secs_f64();
-        println!("decode:        {cnt} in {:.3}s ({:.1} ns/rec)", d, d * 1e9 / cnt as f64);
+        println!(
+            "decode:        {cnt} in {:.3}s ({:.1} ns/rec)",
+            d,
+            d * 1e9 / cnt as f64
+        );
 
         // Decode + oracle tap.
         let r =
@@ -77,7 +81,11 @@ fn main() {
             cnt += got as u64;
         }
         let d = t.elapsed().as_secs_f64();
-        println!("decode+oracle: {cnt} in {:.3}s ({:.1} ns/rec)", d, d * 1e9 / cnt as f64);
+        println!(
+            "decode+oracle: {cnt} in {:.3}s ({:.1} ns/rec)",
+            d,
+            d * 1e9 / cnt as f64
+        );
 
         // Generator only (the mix stream the sweep section uses today).
         let mut src = WorkloadRegistry::global()
@@ -95,7 +103,11 @@ fn main() {
             cnt += got as u64;
         }
         let d = t.elapsed().as_secs_f64();
-        println!("generate:      {cnt} in {:.3}s ({:.1} ns/rec)", d, d * 1e9 / cnt as f64);
+        println!(
+            "generate:      {cnt} in {:.3}s ({:.1} ns/rec)",
+            d,
+            d * 1e9 / cnt as f64
+        );
     }
     let _ = std::fs::remove_file(&path);
 }

@@ -21,9 +21,20 @@
 //!   the upstream pass genuinely dominates and the shared-pass win is
 //!   the paper-shaped one: N designs, one decode.
 //!
-//! The JSON report (default `BENCH_PR9.json`) is the repo's perf
+//! The JSON report (default `BENCH_PR10.json`) is the repo's perf
 //! trajectory: each PR that touches the hot path appends a new
 //! `BENCH_<PR>.json` snapshot, so regressions are diffs, not folklore.
+//!
+//! Every event-engine cell also carries the engine's **scheduling-cost
+//! counters** (wheel ops, off-wheel near ops, broadcasts delivered and
+//! ready-lane touches, each per committed instruction). The counters are
+//! deterministic per (workload, design) and independent of the host, so
+//! they are the hardware-portable face of the PR 10 scheduler overhaul:
+//! `pr9_wheel_ops_per_inst` reconstructs what the same run cost when
+//! every broadcast and speculative store wake also rode the wheel
+//! (`wheel + near` — each off-wheel op was a wheel op then), and the
+//! run itself fails unless the fused scheduler cuts wheel ops/inst by
+//! at least 2x against that figure on every event cell.
 //!
 //! **Regression gate:** `--baseline <json>` compares this run's per-cell
 //! matrix against a committed report (PR4-schema or later): any matched
@@ -34,7 +45,9 @@
 //! insts/sec only transfer between same-class machines. Sweep
 //! mode-speedups (per-cell wall / shared-pass wall) are also ratios of
 //! two runs of the same binary, so they are gated in both modes when
-//! the baseline carries them (PR9-schema and later).
+//! the baseline carries them (PR9-schema and later), as are the
+//! scheduling counters (PR10-schema and later) — those are exact, so
+//! their drift tolerance is a rounding allowance, not a noise floor.
 //!
 //! ```text
 //! cargo run --release -p sqip-bench --bin perf             # full matrix
@@ -57,8 +70,8 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 use sqip::{
-    by_name, DesignRegistry, Engine, Experiment, Processor, SimConfig, SimStats, SqDesign,
-    StepOutcome, SweepEngine, SweepMode, Workload, WorkloadRegistry,
+    by_name, DesignRegistry, Engine, Experiment, Processor, SchedCounters, SimConfig, SimStats,
+    SqDesign, StepOutcome, SweepEngine, SweepMode, Workload, WorkloadRegistry,
 };
 use sqip_bench::geomean;
 use sqip_isa::Trace;
@@ -69,6 +82,18 @@ const NOISE_FLOOR: f64 = 0.15;
 /// Wider floor for event/reference *ratio* comparisons: a ratio divides
 /// two independently noisy measurements, roughly doubling the variance.
 const RATIO_FLOOR: f64 = 0.20;
+
+/// Allowed upward drift in the scheduling counters before `--baseline`
+/// fails a cell. The counters are deterministic (asserted across
+/// iterations), so this covers only float rounding of the per-inst
+/// division — not measurement noise.
+const COUNTER_FLOOR: f64 = 0.01;
+
+/// The PR 10 acceptance headline: minimum factor by which the fused
+/// scheduler must cut wheel ops/inst versus the PR 9 shape (`wheel +
+/// near`, since each off-wheel op was a wheel op then) on every event
+/// cell.
+const FUSE_FACTOR: f64 = 2.0;
 
 /// One (workload, design, engine) measurement.
 #[derive(Debug, Clone, Serialize)]
@@ -86,6 +111,25 @@ struct Cell {
     wall_s: f64,
     /// Peak records buffered between commit point and fetch frontier.
     peak_buffered: u64,
+    /// Scheduling-cost counters (event engine only, `null` on reference
+    /// cells; deterministic and hardware-portable, unlike the wall-clock
+    /// figures above).
+    sched: Option<SchedCost>,
+}
+
+/// Per-instruction scheduling costs of one event-engine cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SchedCost {
+    /// Event-wheel schedules per committed instruction.
+    wheel_ops_per_inst: f64,
+    /// What the same run cost under PR 9's scheduling shape, where every
+    /// broadcast and speculative store wake also rode the wheel: wheel
+    /// ops plus off-wheel near ops, per instruction.
+    pr9_wheel_ops_per_inst: f64,
+    /// Value broadcasts delivered per instruction.
+    broadcasts_per_inst: f64,
+    /// Ready-lane tail peeks per instruction during issue selection.
+    ready_touches_per_inst: f64,
 }
 
 /// Event-over-reference throughput ratio for one (workload, design).
@@ -168,6 +212,9 @@ struct BaselineCell {
     design: String,
     engine: String,
     insts_per_sec: f64,
+    /// `null` on reference-engine cells (and in any baseline predating
+    /// the counters); the counter gates simply don't run for those.
+    sched: Option<SchedCost>,
 }
 
 #[derive(Debug, Deserialize)]
@@ -219,8 +266,9 @@ impl Input {
     }
 }
 
-/// Runs one cell once, tracking peak buffered records.
-fn run_once(input: &Input, cfg: &SimConfig) -> (SimStats, u64, f64) {
+/// Runs one cell once, tracking peak buffered records and (on the event
+/// engine) the scheduling-cost counters.
+fn run_once(input: &Input, cfg: &SimConfig) -> (SimStats, u64, f64, Option<SchedCounters>) {
     let start = Instant::now();
     let mut p = match input {
         Input::Materialized(_, trace) => Processor::try_new(cfg.clone(), trace),
@@ -243,19 +291,24 @@ fn run_once(input: &Input, cfg: &SimConfig) -> (SimStats, u64, f64) {
         }
     }
     let wall = start.elapsed().as_secs_f64();
-    (p.stats().clone(), peak, wall)
+    (p.stats().clone(), peak, wall, p.sched_counters())
 }
 
 fn measure(input: &Input, design: SqDesign, engine: Engine, iters: u32) -> Cell {
     let mut cfg = SimConfig::with_design(design);
     cfg.engine = engine;
-    let (stats, peak, _) = run_once(input, &cfg); // warmup (and correctness)
+    let (stats, peak, _, counters) = run_once(input, &cfg); // warmup (and correctness)
     let mut best = f64::INFINITY;
     for _ in 0..iters {
-        let (again, _, wall) = run_once(input, &cfg);
+        let (again, _, wall, again_counters) = run_once(input, &cfg);
         assert_eq!(again, stats, "non-deterministic simulation");
+        assert_eq!(
+            again_counters, counters,
+            "non-deterministic scheduling counters"
+        );
         best = best.min(wall);
     }
+    let per_inst = |v: u64| v as f64 / stats.committed as f64;
     Cell {
         workload: input.name().to_string(),
         design,
@@ -265,6 +318,12 @@ fn measure(input: &Input, design: SqDesign, engine: Engine, iters: u32) -> Cell 
         insts_per_sec: stats.committed as f64 / best,
         wall_s: best,
         peak_buffered: peak,
+        sched: counters.map(|c| SchedCost {
+            wheel_ops_per_inst: per_inst(c.wheel_ops),
+            pr9_wheel_ops_per_inst: per_inst(c.wheel_ops + c.near_ops),
+            broadcasts_per_inst: per_inst(c.broadcasts),
+            ready_touches_per_inst: per_inst(c.ready_touches),
+        }),
     }
 }
 
@@ -354,8 +413,8 @@ fn record_trace_file(workload: &str, path: &std::path::Path) -> u64 {
         .unwrap_or_else(|e| panic!("workload `{workload}`: {e}"))
         .open()
         .unwrap_or_else(|e| panic!("workload `{workload}` failed to open: {e}"));
-    let file = std::fs::File::create(path)
-        .unwrap_or_else(|e| panic!("creating {}: {e}", path.display()));
+    let file =
+        std::fs::File::create(path).unwrap_or_else(|e| panic!("creating {}: {e}", path.display()));
     // `record_trace` finishes with an explicit flush, so the BufWriter
     // never drops unwritten bytes.
     sqip_isa::tracefile::record_trace(source.as_mut(), std::io::BufWriter::new(file))
@@ -437,6 +496,51 @@ fn compare_baseline(report: &Report, path: &str, ratios_only: bool) -> usize {
             (gm - 1.0) * 100.0
         );
     }
+    // The scheduling counters are deterministic and hardware-portable,
+    // so they are gated in both modes — one-sided (dropping below the
+    // baseline is an improvement) and with only a rounding allowance.
+    for cell in &report.cells {
+        let Some(sched) = &cell.sched else { continue };
+        let Some(base) = baseline
+            .cells
+            .iter()
+            .filter(|b| b.sched.is_some())
+            .find(|b| {
+                b.workload == cell.workload
+                    && b.design == cell.design.name()
+                    && b.engine == format!("{:?}", cell.engine)
+            })
+        else {
+            continue;
+        };
+        let base_sched = base.sched.as_ref().expect("filtered to cells with sched");
+        matched += 1;
+        for (label, ours, base_v) in [
+            (
+                "wheel ops",
+                sched.wheel_ops_per_inst,
+                base_sched.wheel_ops_per_inst,
+            ),
+            (
+                "broadcasts",
+                sched.broadcasts_per_inst,
+                base_sched.broadcasts_per_inst,
+            ),
+        ] {
+            let ok = ours <= base_v * (1.0 + COUNTER_FLOOR);
+            if !ok {
+                failures += 1;
+            }
+            println!(
+                "  {} {}/{} {label}/inst: {:.4} vs {:.4}",
+                if ok { "ok  " } else { "FAIL" },
+                cell.workload,
+                cell.design,
+                ours,
+                base_v,
+            );
+        }
+    }
     // Sweep mode-speedups are wall-clock ratios of the same binary, so
     // like the engine ratios they transfer across machines and are
     // gated in ratios-only mode too.
@@ -469,9 +573,39 @@ fn compare_baseline(report: &Report, path: &str, ratios_only: bool) -> usize {
     failures
 }
 
+/// The PR 10 headline gate, self-contained in every run: on each event
+/// cell the fused scheduler must cut wheel ops/inst by at least
+/// [`FUSE_FACTOR`] against the PR 9 shape reconstructed from the same
+/// run's counters. Returns the number of failing cells.
+fn fuse_gate(cells: &[Cell]) -> usize {
+    let mut failures = 0;
+    println!("\nfused-scheduler gate (wheel ops/inst vs the PR9 shape, >= {FUSE_FACTOR:.0}x):");
+    for cell in cells {
+        let Some(sched) = &cell.sched else { continue };
+        let reduction = sched.pr9_wheel_ops_per_inst / sched.wheel_ops_per_inst;
+        let ok = reduction >= FUSE_FACTOR;
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "  {} {}/{}: {:.3} -> {:.3} wheel ops/inst ({:.2}x; {:.3} broadcasts/inst, \
+             {:.2} ready touches/inst)",
+            if ok { "ok  " } else { "FAIL" },
+            cell.workload,
+            cell.design,
+            sched.pr9_wheel_ops_per_inst,
+            sched.wheel_ops_per_inst,
+            reduction,
+            sched.broadcasts_per_inst,
+            sched.ready_touches_per_inst,
+        );
+    }
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out = "BENCH_PR9.json".to_string();
+    let mut out = "BENCH_PR10.json".to_string();
     let mut quick = false;
     let mut baseline: Option<String> = None;
     let mut ratios_only = false;
@@ -557,6 +691,8 @@ fn main() {
     );
     println!("\nmix-generator event/reference speedup (geomean): {mix_speedup:.2}x");
 
+    let fuse_failures = fuse_gate(&cells);
+
     // Sweep section: all registered designs, one streamed mix workload.
     let sweep_workload = if quick {
         "mix:0xbeef:50k"
@@ -602,7 +738,7 @@ fn main() {
     );
 
     let report = Report {
-        bench: "sqip-perf/PR9".to_string(),
+        bench: "sqip-perf/PR10".to_string(),
         iters,
         cells,
         speedups,
@@ -614,6 +750,12 @@ fn main() {
     std::fs::write(&out, json + "\n").unwrap_or_else(|e| panic!("writing {out}: {e}"));
     println!("report written to {out}");
 
+    if fuse_failures > 0 {
+        eprintln!(
+            "error: {fuse_failures} cell(s) below the {FUSE_FACTOR:.0}x fused-scheduler gate"
+        );
+        std::process::exit(1);
+    }
     if let Some(path) = baseline {
         let failures = compare_baseline(&report, &path, ratios_only);
         if failures > 0 {

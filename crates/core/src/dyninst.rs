@@ -1,6 +1,6 @@
 //! Per-dynamic-instruction in-flight state.
 
-use sqip_isa::OpClass;
+use sqip_isa::{OpClass, MAX_SRCS};
 use sqip_types::{Seq, Ssn};
 
 /// Where an in-flight instruction is in its lifecycle.
@@ -51,7 +51,7 @@ pub(crate) struct DynInst {
     /// Outstanding wake conditions (register producers + forwarding-store
     /// execution + delay-store commit). Ready when zero.
     pub gates: u32,
-    pub srcs: [Operand; 2],
+    pub srcs: [Operand; MAX_SRCS],
 
     /// Youngest store older than this instruction (program order).
     pub prev_store_ssn: Ssn,

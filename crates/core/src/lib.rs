@@ -84,7 +84,7 @@ pub use shared::{oracle_tap, OracleFeed, OracleTap};
 /// so the differential tests and the `perf` harness can run both cores
 /// in one process.
 pub mod engine {
-    pub use crate::pipeline::event::{EventWheel, WheelEvent, FETCH_BLOCK};
+    pub use crate::pipeline::event::{EventWheel, SchedCounters, WheelEvent, FETCH_BLOCK};
 }
 pub use policy::{
     BuiltinPolicy, DesignCaps, DesignRegistry, ForwardingPolicy, LoadCommitInfo, LoadRename,

@@ -29,7 +29,7 @@ impl EventCore<'_> {
 
         // Selective replay: operands whose producers are not actually ready
         // (scheduler latency mis-speculation) force a replay.
-        let mut unready = [0u64; 2];
+        let mut unready = [0u64; sqip_isa::MAX_SRCS];
         let mut n_unready = 0;
         for src in srcs {
             if let Operand::InFlight(p) = src {

@@ -12,7 +12,14 @@
 //!   recycled (free-list-backed, allocation-free in steady state);
 //! * wakeups, latencies and replays sit in an [`EventWheel`]
 //!   (O(1) schedule, bucket drain instead of heap sift);
-//! * the ready set is a sorted vector scanned as a slice;
+//! * the common case never touches the wheel: issue schedules **zero**
+//!   wheel events per instruction — executions and value broadcasts
+//!   ride 64-cycle [`NearRing`]s and speculative store wakes a
+//!   monotonic FIFO, drained around the wheel each cycle in an order
+//!   proven to commute with the wheel's (see
+//!   [`EventCore::process_events`]);
+//! * the ready set is split into per-port lanes ([`ReadyLanes`]) popped
+//!   oldest-first under the port budgets — no full-set selection scan;
 //! * **idle cycles are skipped**: after each active cycle the engine
 //!   computes the next cycle at which *any* stage could do work (next
 //!   wheel event, commit eligibility of the ROB head, rename readiness,
@@ -40,8 +47,33 @@ use crate::policy::{DesignCaps, PolicyHost};
 use crate::shared::Analysis;
 use crate::stats::SimStats;
 
-pub(crate) use structs::{InstSlab, ReadySet, WaiterRing};
+pub(crate) use structs::{fits_near, InstSlab, NearRing, ReadyLanes, WaiterRing};
 pub use wheel::{EventWheel, WheelEvent};
+
+/// Scheduling-cost counters for the event engine, read through
+/// [`Processor::sched_counters`](crate::Processor::sched_counters).
+///
+/// These are diagnostic state: absent from [`SimStats`], absent from
+/// snapshots (a restore resets them), and therefore incapable of
+/// perturbing bit-identity. The perf bin divides them by the committed
+/// instruction count to report hardware-portable scheduling costs.
+///
+/// PR 9's engine routed every broadcast and speculative store wake
+/// through the wheel, so its wheel-ops figure for the same run equals
+/// `wheel_ops + near_ops` here — that sum is the honest baseline when
+/// comparing against the fused scheduler.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedCounters {
+    /// Events scheduled on the event wheel.
+    pub wheel_ops: u64,
+    /// Executions, broadcasts and store wakes scheduled on the near
+    /// structures (rings / FIFO) instead of the wheel.
+    pub near_ops: u64,
+    /// Value broadcasts delivered (each fans out to its waiter list).
+    pub broadcasts: u64,
+    /// Ready-lane tail peeks during issue selection.
+    pub ready_touches: u64,
+}
 
 mod commit;
 mod frontend;
@@ -67,7 +99,7 @@ pub(crate) enum RenameStop {
 
 /// Records pulled from the trace source per block fetch: one virtual
 /// source call (and one tee/oracle-ring crossing behind it) amortised
-/// over up to this many records. Sized to the [`RecordWindow`]'s slack
+/// over up to this many records. Sized to the record window's slack
 /// past the structural pipeline bound, so pulling a full block ahead of
 /// the fetch frontier can never overflow the window.
 pub const FETCH_BLOCK: usize = 64;
@@ -124,8 +156,29 @@ pub(crate) struct EventCore<'t> {
     pub(crate) rob: Window<Seq>,
     pub(crate) insts: InstSlab,
     pub(crate) iq_count: usize,
-    pub(crate) ready_q: ReadySet,
+    pub(crate) ready_q: ReadyLanes,
     pub(crate) wheel: EventWheel,
+    /// Short-horizon value broadcasts (the issue-time common case),
+    /// fused off the wheel. Same liveness contract as a wheel
+    /// `Broadcast`: survives flushes, fires even for squashed producers
+    /// (the drain is a no-op once the waiter ring was cleared).
+    pub(crate) near: NearRing<u64>,
+    /// Pending executions `(seq, incarnation)`, fused off the wheel —
+    /// always due `issue_to_exec` cycles out, well inside the ring span
+    /// (`issue_to_exec = 0` requests the *current* cycle and takes the
+    /// wheel's past-event clamping path instead). Survives flushes like
+    /// a wheel `Exec`; the dispatcher's incarnation check drops stale
+    /// entries.
+    pub(crate) near_execs: NearRing<(u64, u64)>,
+    /// Speculative store wakes `(due cycle, store SSN)`, fused off the
+    /// wheel. Pushed only by the issue stage at `cycle + 1`, with
+    /// same-cycle stores issuing oldest-first, so the queue is sorted by
+    /// `(due, ssn)` — exactly the wheel's `StoreWake` drain order.
+    pub(crate) store_wakes: std::collections::VecDeque<(u64, u64)>,
+    /// Recycled buffer for draining a near-broadcast slot.
+    near_scratch: Vec<u64>,
+    /// Recycled buffer for draining a near-exec slot.
+    near_exec_scratch: Vec<(u64, u64)>,
     /// Producer seq -> consumers waiting for its wakeup broadcast.
     pub(crate) wake_on_value: WaiterRing,
     /// Store SSN -> loads waiting for it to execute (forwarding
@@ -146,6 +199,20 @@ pub(crate) struct EventCore<'t> {
     wake_scratch: Vec<u64>,
     /// Recycled buffer for issue selection (no per-cycle allocation).
     pub(crate) issue_scratch: Vec<u64>,
+
+    // ---- scheduling-cost instrumentation (diagnostic: not serialised,
+    // not in SimStats; see SchedCounters) ----
+    /// Executions + broadcasts + store wakes scheduled off-wheel.
+    pub(crate) near_ops: u64,
+    /// Value broadcasts delivered.
+    pub(crate) broadcasts: u64,
+    /// Ready-lane tail peeks during issue selection.
+    pub(crate) ready_touches: u64,
+    /// Test knob: route executions, broadcasts and store wakes through
+    /// the wheel (the PR 9 scheduling shape) instead of the near
+    /// structures. The differential proptests pin both shapes
+    /// bit-identical. Not serialised; defaults to off.
+    pub(crate) wheel_only_broadcasts: bool,
 
     // ---- dense per-seq value state (survives commit; slots reset as
     // their sequence numbers re-enter rename) ----
@@ -206,14 +273,23 @@ impl<'t> EventCore<'t> {
             rob: Window::new(cfg.rob_size),
             insts: InstSlab::new(cfg.rob_size, cfg.fetch_width),
             iq_count: 0,
-            ready_q: ReadySet::default(),
+            ready_q: ReadyLanes::default(),
             wheel: EventWheel::new(),
+            near: NearRing::new(),
+            near_execs: NearRing::new(),
+            store_wakes: std::collections::VecDeque::new(),
+            near_scratch: Vec::new(),
+            near_exec_scratch: Vec::new(),
             wake_on_value: WaiterRing::new(2 * cfg.rob_size + 4 * cfg.fetch_width + 64),
             wake_on_store_exec: WaiterRing::new(2 * cfg.sq_size + 64),
             wake_on_store_exec_strict: WaiterRing::new(2 * cfg.sq_size + 64),
             wake_on_store_commit: WaiterRing::new(2 * cfg.sq_size + 64),
             wake_scratch: Vec::new(),
             issue_scratch: Vec::new(),
+            near_ops: 0,
+            broadcasts: 0,
+            ready_touches: 0,
+            wheel_only_broadcasts: false,
             vals: SeqRing::new(cfg.rob_size, cfg.fetch_width),
             sq: StoreQueue::new(cfg.sq_size),
             lq: LoadQueue::new(cfg.lq_size),
@@ -310,9 +386,20 @@ impl<'t> EventCore<'t> {
             return floor;
         }
         let mut next = u64::MAX;
-        // Events: wakeups, latencies, execute-stage entries.
+        // Events: wakeups, latencies, execute-stage entries — on the
+        // wheel or the fused near structures. All four must feed the
+        // bound: skipping past a due event would deliver it late.
         if let Some(at) = self.wheel.next_at() {
             next = next.min(at.max(floor));
+        }
+        if let Some(at) = self.near.next_at() {
+            next = next.min(at.max(floor));
+        }
+        if let Some(at) = self.near_execs.next_at() {
+            next = next.min(at.max(floor));
+        }
+        if let Some(&(due, _)) = self.store_wakes.front() {
+            next = next.min(due.max(floor));
         }
         // Commit: a completed ROB head commits at its eligibility cycle.
         // (A non-completed head progresses via events, covered above.)
@@ -387,6 +474,17 @@ impl<'t> EventCore<'t> {
 
     pub(crate) fn rec(&self, seq: Seq) -> &TraceRecord {
         self.window.rec(seq)
+    }
+
+    /// Scheduling-cost counters accumulated since construction (or the
+    /// last snapshot restore).
+    pub(crate) fn sched_counters(&self) -> SchedCounters {
+        SchedCounters {
+            wheel_ops: self.wheel.ops(),
+            near_ops: self.near_ops,
+            broadcasts: self.broadcasts,
+            ready_touches: self.ready_touches,
+        }
     }
 
     /// Drains `ring`'s waiters for `key` and wakes each one. The scratch
@@ -515,6 +613,9 @@ impl EventCore<'_> {
         self.iq_count.save(w)?;
         self.ready_q.save(w)?;
         self.wheel.save(w)?;
+        self.near.save(w)?;
+        self.near_execs.save(w)?;
+        self.store_wakes.save(w)?;
         self.wake_on_value.save(w)?;
         self.wake_on_store_exec.save(w)?;
         self.wake_on_store_exec_strict.save(w)?;
@@ -558,9 +659,12 @@ impl EventCore<'_> {
         self.insts = InstSlab::load(r)?;
         self.insts.rebuild_record_cache(&self.window);
         self.iq_count = usize::load(r)?;
-        self.ready_q = ReadySet::load(r)?;
+        self.ready_q = ReadyLanes::load(r)?;
         self.ready_q.rebuild_classes(&self.window);
         self.wheel = EventWheel::load(r)?;
+        self.near = NearRing::<u64>::load(r)?;
+        self.near_execs = NearRing::<(u64, u64)>::load(r)?;
+        self.store_wakes = std::collections::VecDeque::<(u64, u64)>::load(r)?;
         self.wake_on_value = WaiterRing::load(r)?;
         self.wake_on_store_exec = WaiterRing::load(r)?;
         self.wake_on_store_exec_strict = WaiterRing::load(r)?;
@@ -577,6 +681,12 @@ impl EventCore<'_> {
         self.stats = SimStats::load(r)?;
         self.wake_scratch.clear();
         self.issue_scratch.clear();
+        self.near_scratch.clear();
+        self.near_exec_scratch.clear();
+        // Diagnostic counters restart at zero, like the wheel's.
+        self.near_ops = 0;
+        self.broadcasts = 0;
+        self.ready_touches = 0;
         Ok(())
     }
 }

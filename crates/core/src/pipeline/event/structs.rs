@@ -114,97 +114,248 @@ impl InstSlab {
     }
 }
 
-/// The scheduler's ready set: a sorted `Vec` standing in for the
-/// reference engine's `BTreeSet<u64>`, in SoA form — sequence numbers in
-/// one array, each entry's [`OpClass`] (captured at insert) in a
-/// parallel one.
-///
-/// Issue selection scans oldest-first; the set rarely holds more than a
-/// few dozen entries, so binary-search-plus-memmove beats tree
-/// rebalancing and keeps iteration a contiguous slice scan. Caching the
-/// class means the per-cycle issue scan indexes two small dense arrays
-/// instead of loading a 72-byte trace record per entry; the class is
-/// stable across squash re-fetch (the same sequence number replays the
-/// same golden record), so the cache can never go stale.
-#[derive(Default)]
-pub(crate) struct ReadySet {
-    seqs: Vec<u64>,
-    classes: Vec<OpClass>,
+/// The issue-port index an op class contends for (the order of
+/// `issue_stage`'s port-budget array and of [`ReadyLanes`]'s lanes).
+pub(crate) const fn port_of(class: OpClass) -> usize {
+    match class {
+        OpClass::IntAlu | OpClass::IntMul | OpClass::None => 0,
+        OpClass::FpAdd | OpClass::FpMul | OpClass::FpDiv => 1,
+        OpClass::Branch => 2,
+        OpClass::Load => 3,
+        OpClass::Store => 4,
+    }
 }
 
-impl ReadySet {
+/// Number of issue-port lanes ([`port_of`]'s range).
+pub(crate) const NUM_LANES: usize = 5;
+
+/// The scheduler's ready set, split into one dense lane per issue port.
+///
+/// Where the reference engine scans a single ordered set oldest-first
+/// and dispatches on each candidate's class, issue selection here is a
+/// min-seq merge over at most [`NUM_LANES`] lane tails: lanes whose
+/// port budget is exhausted drop out of the merge wholesale, so a
+/// cycle's selection touches O(issue width × lanes) entries instead of
+/// the whole ready set. Each lane is kept sorted descending (oldest
+/// entry at the tail), so the merge peeks and pops in O(1) per lane.
+///
+/// The selection is provably the reference order: the reference scan
+/// skips (without consuming total-width budget) exactly the candidates
+/// whose port budget is zero, and the merge's min over budgeted lanes
+/// is exactly the next non-skipped candidate of that scan.
+#[derive(Default)]
+pub(crate) struct ReadyLanes {
+    lanes: [Vec<u64>; NUM_LANES],
+    len: usize,
+}
+
+impl ReadyLanes {
     #[inline]
     pub(crate) fn insert(&mut self, seq: u64, class: OpClass) {
-        if let Err(pos) = self.seqs.binary_search(&seq) {
-            self.seqs.insert(pos, seq);
-            self.classes.insert(pos, class);
+        let lane = &mut self.lanes[port_of(class)];
+        // Descending order: oldest (smallest) seq at the tail.
+        if let Err(pos) = lane.binary_search_by(|x| seq.cmp(x)) {
+            lane.insert(pos, seq);
+            self.len += 1;
         }
     }
 
     #[cfg(test)]
     pub(crate) fn remove(&mut self, seq: u64) {
-        if let Ok(pos) = self.seqs.binary_search(&seq) {
-            self.seqs.remove(pos);
-            self.classes.remove(pos);
+        for lane in &mut self.lanes {
+            if let Ok(pos) = lane.binary_search_by(|x| seq.cmp(x)) {
+                lane.remove(pos);
+                self.len -= 1;
+                return;
+            }
         }
     }
 
     #[inline]
     pub(crate) fn is_empty(&self) -> bool {
-        self.seqs.is_empty()
+        self.len == 0
     }
 
-    /// Ascending sequence-number order, like `BTreeSet` iteration.
-    #[cfg(test)]
-    pub(crate) fn iter(&self) -> std::slice::Iter<'_, u64> {
-        self.seqs.iter()
+    /// Every ready sequence number in ascending order (the old
+    /// single-set iteration order), for tests and snapshots.
+    pub(crate) fn sorted_seqs(&self) -> Vec<u64> {
+        let mut all: Vec<u64> = Vec::with_capacity(self.len);
+        for lane in &self.lanes {
+            all.extend_from_slice(lane);
+        }
+        all.sort_unstable();
+        all
     }
 
     pub(crate) fn retain(&mut self, mut f: impl FnMut(&u64) -> bool) {
-        let mut w = 0;
-        for r in 0..self.seqs.len() {
-            if f(&self.seqs[r]) {
-                self.seqs[w] = self.seqs[r];
-                self.classes[w] = self.classes[r];
-                w += 1;
-            }
+        for lane in &mut self.lanes {
+            let before = lane.len();
+            lane.retain(|s| f(s));
+            self.len -= before - lane.len();
         }
-        self.seqs.truncate(w);
-        self.classes.truncate(w);
     }
 
-    /// One-pass issue selection: visits entries oldest-first, removes
-    /// those `select` claims (returns `true` for), keeps the rest —
-    /// fusing the reference engine's scan-then-remove into a single
-    /// compaction.
-    pub(crate) fn take_selected(&mut self, mut select: impl FnMut(u64, OpClass) -> bool) {
-        let mut w = 0;
-        for r in 0..self.seqs.len() {
-            let (s, c) = (self.seqs[r], self.classes[r]);
-            if !select(s, c) {
-                self.seqs[w] = s;
-                self.classes[w] = c;
-                w += 1;
+    /// One cycle's issue selection: repeatedly pops the oldest entry
+    /// among lanes with remaining port budget, decrementing that port
+    /// and the shared total, until the total is spent or no budgeted
+    /// lane has entries. Selected seqs land in `out` oldest-first.
+    /// `touches` counts lane-tail peeks (the selection-cost observable).
+    pub(crate) fn pop_selected(
+        &mut self,
+        ports: &mut [usize; NUM_LANES],
+        mut total: usize,
+        out: &mut Vec<u64>,
+        touches: &mut u64,
+    ) {
+        while total > 0 {
+            let mut best = u64::MAX;
+            let mut best_lane = usize::MAX;
+            for (l, lane) in self.lanes.iter().enumerate() {
+                if ports[l] == 0 {
+                    continue;
+                }
+                if let Some(&s) = lane.last() {
+                    *touches += 1;
+                    if s < best {
+                        best = s;
+                        best_lane = l;
+                    }
+                }
             }
+            if best_lane == usize::MAX {
+                break;
+            }
+            self.lanes[best_lane].pop();
+            self.len -= 1;
+            ports[best_lane] -= 1;
+            total -= 1;
+            out.push(best);
         }
-        self.seqs.truncate(w);
-        self.classes.truncate(w);
     }
 
     pub(crate) fn clear(&mut self) {
-        self.seqs.clear();
-        self.classes.clear();
+        for lane in &mut self.lanes {
+            lane.clear();
+        }
+        self.len = 0;
     }
 
-    /// Recomputes the cached classes from the record window (used after
-    /// checkpoint restore, where only the sequence numbers are
-    /// serialised — the classes are derived state).
+    /// Redistributes a flat snapshot-loaded seq list into per-port lanes
+    /// using each record's class from the window (used after checkpoint
+    /// restore, where only the merged sequence numbers are serialised —
+    /// the lane split is derived state).
     pub(crate) fn rebuild_classes(&mut self, window: &crate::pipeline::window::RecordWindow) {
-        self.classes = self
-            .seqs
-            .iter()
-            .map(|&s| window.rec(Seq(s)).op.class())
-            .collect();
+        let seqs = self.sorted_seqs();
+        self.clear();
+        for s in seqs {
+            self.insert(s, window.rec(Seq(s)).op.class());
+        }
+    }
+}
+
+/// Span of the near rings: the furthest-ahead event they can hold.
+/// Covers every predicted latency of the short-latency op classes (and
+/// every `issue_to_exec` depth); rarer further-out events fall back to
+/// the event wheel.
+pub(crate) const NEAR_SPAN: u64 = 64;
+
+/// Whether an event due at `at` is near enough for a [`NearRing`]
+/// (strictly future, within the span).
+#[inline]
+pub(crate) fn fits_near(now: u64, at: u64) -> bool {
+    at > now && at - now <= NEAR_SPAN
+}
+
+/// Deferred events within the next [`NEAR_SPAN`] cycles, keyed by due
+/// cycle — the structure that lets `issue_stage` stay off the event
+/// wheel entirely on the common path. One instance holds pending value
+/// broadcasts (payload: producer seq), another pending executions
+/// (payload: `(seq, incarnation)`).
+///
+/// A slot holds the payloads due at one cycle (`at % NEAR_SPAN` is
+/// collision-free because every pending due cycle lies in a single
+/// `NEAR_SPAN`-wide window past the current cycle). Draining pops whole
+/// slots; slot `Vec`s are recycled, so steady-state scheduling is
+/// allocation-free. Like the wheel's events, entries are **never
+/// removed by flushes**: a squashed producer's broadcast still fires
+/// and drains whatever consumers are registered (possibly none), and a
+/// squashed execution is dropped by the dispatcher's incarnation check
+/// — the reference engine's heap does exactly the same, so a stale
+/// drain is a bit-identical no-op.
+pub(crate) struct NearRing<T> {
+    /// Occupancy bitmap over the slots (one bit per slot).
+    occ: u64,
+    /// The due cycle each occupied slot holds.
+    cycles: [u64; NEAR_SPAN as usize],
+    slots: Vec<Vec<T>>,
+    /// Earliest occupied due cycle (`u64::MAX` when empty).
+    earliest: u64,
+    len: usize,
+}
+
+impl<T> NearRing<T> {
+    pub(crate) fn new() -> NearRing<T> {
+        NearRing {
+            occ: 0,
+            cycles: [0; NEAR_SPAN as usize],
+            slots: std::iter::repeat_with(Vec::new)
+                .take(NEAR_SPAN as usize)
+                .collect(),
+            earliest: u64::MAX,
+            len: 0,
+        }
+    }
+
+    /// Queues `payload` for cycle `at`. The caller guarantees
+    /// [`fits_near`]; within one span window two distinct pending
+    /// cycles can never share a slot.
+    #[inline]
+    pub(crate) fn schedule(&mut self, at: u64, payload: T) {
+        let i = (at % NEAR_SPAN) as usize;
+        if self.slots[i].is_empty() {
+            self.cycles[i] = at;
+            self.occ |= 1u64 << i;
+        } else {
+            debug_assert_eq!(
+                self.cycles[i], at,
+                "near-ring slot collision across the span window"
+            );
+        }
+        self.slots[i].push(payload);
+        self.earliest = self.earliest.min(at);
+        self.len += 1;
+    }
+
+    /// Earliest pending due cycle, for skip-ahead.
+    #[inline]
+    pub(crate) fn next_at(&self) -> Option<u64> {
+        (self.earliest != u64::MAX).then_some(self.earliest)
+    }
+
+    /// Moves the earliest due slot's payloads into `out` if that slot
+    /// is due at or before `now`. Returns whether anything was taken.
+    pub(crate) fn take_due(&mut self, now: u64, out: &mut Vec<T>) -> bool {
+        if self.earliest > now {
+            return false;
+        }
+        let i = (self.earliest % NEAR_SPAN) as usize;
+        debug_assert!(self.occ & (1u64 << i) != 0);
+        self.len -= self.slots[i].len();
+        out.append(&mut self.slots[i]);
+        self.occ &= !(1u64 << i);
+        self.earliest = self.rescan_earliest();
+        true
+    }
+
+    fn rescan_earliest(&self) -> u64 {
+        let mut occ = self.occ;
+        let mut earliest = u64::MAX;
+        while occ != 0 {
+            let i = occ.trailing_zeros() as usize;
+            occ &= occ - 1;
+            earliest = earliest.min(self.cycles[i]);
+        }
+        earliest
     }
 }
 
@@ -319,21 +470,59 @@ impl sqip_snapshot::Snapshot for InstSlab {
     }
 }
 
-impl sqip_snapshot::Snapshot for ReadySet {
+impl sqip_snapshot::Snapshot for ReadyLanes {
     fn save(&self, w: &mut sqip_snapshot::SnapWriter) -> Result<(), sqip_snapshot::SnapError> {
-        self.seqs.save(w)
+        // The merged ascending seq list — the same bytes the pre-lane
+        // `ReadySet` wrote, so the format is lane-layout-agnostic.
+        self.sorted_seqs().save(w)
     }
-    fn load(r: &mut sqip_snapshot::SnapReader) -> Result<ReadySet, sqip_snapshot::SnapError> {
+    fn load(r: &mut sqip_snapshot::SnapReader) -> Result<ReadyLanes, sqip_snapshot::SnapError> {
         let seqs = Vec::<u64>::load(r)?;
         if !seqs.windows(2).all(|p| p[0] < p[1]) {
             return Err(sqip_snapshot::SnapError::Corrupt(
                 "ready set is not sorted and deduplicated".into(),
             ));
         }
-        // Placeholder classes: derived state, recomputed by the engine's
-        // `rebuild_classes` once the record window is restored.
-        let classes = vec![OpClass::None; seqs.len()];
-        Ok(ReadySet { seqs, classes })
+        // Staged into lane 0 (descending); the lane split is derived
+        // state, recomputed by the engine's `rebuild_classes` once the
+        // record window is restored.
+        let len = seqs.len();
+        let mut lanes: [Vec<u64>; NUM_LANES] = Default::default();
+        lanes[0] = seqs;
+        lanes[0].reverse();
+        Ok(ReadyLanes { lanes, len })
+    }
+}
+
+impl<T: Clone + sqip_snapshot::Snapshot> sqip_snapshot::Snapshot for NearRing<T> {
+    fn save(&self, w: &mut sqip_snapshot::SnapWriter) -> Result<(), sqip_snapshot::SnapError> {
+        // Occupied slots in due-cycle order, each with its payload list
+        // in push order (occupancy/earliest are derived on load).
+        let mut due: Vec<(u64, Vec<T>)> = Vec::new();
+        let mut occ = self.occ;
+        while occ != 0 {
+            let i = occ.trailing_zeros() as usize;
+            occ &= occ - 1;
+            due.push((self.cycles[i], self.slots[i].clone()));
+        }
+        due.sort_unstable_by_key(|(at, _)| *at);
+        due.save(w)
+    }
+    fn load(r: &mut sqip_snapshot::SnapReader) -> Result<NearRing<T>, sqip_snapshot::SnapError> {
+        let due = Vec::<(u64, Vec<T>)>::load(r)?;
+        let mut near = NearRing::new();
+        for (at, payloads) in due {
+            let i = (at % NEAR_SPAN) as usize;
+            if !near.slots[i].is_empty() || payloads.is_empty() {
+                return Err(sqip_snapshot::SnapError::Corrupt(
+                    "near ring: colliding or empty slot".into(),
+                ));
+            }
+            for p in payloads {
+                near.schedule(at, p);
+            }
+        }
+        Ok(near)
     }
 }
 
@@ -389,15 +578,74 @@ mod tests {
     }
 
     #[test]
-    fn ready_set_is_ordered_and_dedup() {
-        let mut r = ReadySet::default();
-        for s in [9, 3, 7, 3] {
-            r.insert(s, OpClass::IntAlu);
+    fn ready_lanes_are_ordered_and_dedup() {
+        let mut r = ReadyLanes::default();
+        for (s, c) in [
+            (9, OpClass::IntAlu),
+            (3, OpClass::Load),
+            (7, OpClass::IntAlu),
+            (3, OpClass::Load),
+        ] {
+            r.insert(s, c);
         }
-        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![3, 7, 9]);
+        assert_eq!(r.sorted_seqs(), vec![3, 7, 9]);
         r.remove(7);
         r.retain(|&s| s < 9);
-        assert_eq!(r.iter().copied().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(r.sorted_seqs(), vec![3]);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn lane_selection_matches_the_oldest_first_port_budget_scan() {
+        // Reference semantics: scan ascending; a zero port budget skips
+        // the candidate WITHOUT consuming total width; total exhaustion
+        // stops everything.
+        let mut r = ReadyLanes::default();
+        for (s, c) in [
+            (1, OpClass::Load),
+            (2, OpClass::IntAlu),
+            (3, OpClass::Load),
+            (4, OpClass::Store),
+            (5, OpClass::IntAlu),
+            (6, OpClass::IntAlu),
+        ] {
+            r.insert(s, c);
+        }
+        // Budgets: 2 int, 0 fp, 0 branch, 1 load, 1 store; total 3.
+        // Scan order 1(load,take) 2(int,take) 3(load,port dry,skip)
+        // 4(store,take) -> total spent.
+        let mut ports = [2, 0, 0, 1, 1];
+        let mut out = Vec::new();
+        let mut touches = 0u64;
+        r.pop_selected(&mut ports, 3, &mut out, &mut touches);
+        assert_eq!(out, vec![1, 2, 4]);
+        assert_eq!(r.sorted_seqs(), vec![3, 5, 6]);
+        assert!(touches > 0);
+    }
+
+    #[test]
+    fn near_rings_drain_in_due_order_and_recycle_slots() {
+        let mut n = NearRing::<u64>::new();
+        assert!(fits_near(10, 11));
+        assert!(fits_near(10, 10 + NEAR_SPAN));
+        assert!(!fits_near(10, 10));
+        assert!(!fits_near(10, 11 + NEAR_SPAN));
+        n.schedule(12, 100);
+        n.schedule(15, 200);
+        n.schedule(12, 101);
+        assert_eq!(n.next_at(), Some(12));
+        let mut out = Vec::new();
+        assert!(!n.take_due(11, &mut out), "nothing due yet");
+        assert!(n.take_due(12, &mut out));
+        assert_eq!(out, vec![100, 101]);
+        assert_eq!(n.next_at(), Some(15));
+        out.clear();
+        assert!(n.take_due(15, &mut out));
+        assert_eq!(out, vec![200]);
+        assert_eq!(n.next_at(), None);
+        // A span later, the same slot index serves a new cycle.
+        n.schedule(12 + NEAR_SPAN, 300);
+        assert_eq!(n.next_at(), Some(12 + NEAR_SPAN));
     }
 
     #[test]

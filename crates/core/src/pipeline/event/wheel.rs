@@ -77,6 +77,11 @@ pub struct EventWheel {
     current: Vec<WheelEvent>,
     /// Spare bucket storage, recycled to keep draining allocation-free.
     spare: Vec<WheelEvent>,
+    /// Events scheduled over the wheel's lifetime — the scheduling-cost
+    /// instrumentation behind the perf bin's wheel-ops/inst metric.
+    /// Diagnostic state: never serialised (snapshot loads reset it), so
+    /// it cannot perturb snapshot bytes or bit-identity.
+    ops: u64,
 }
 
 impl EventWheel {
@@ -92,6 +97,7 @@ impl EventWheel {
             ring_len: 0,
             current: Vec::new(),
             spare: Vec::new(),
+            ops: 0,
         }
     }
 
@@ -102,6 +108,7 @@ impl EventWheel {
     /// [`EventWheel::pop_due`] pass — clamped to bucket `now + 1` but
     /// ordered by its requested cycle, exactly like the reference heap.
     pub fn schedule(&mut self, now: u64, at: u64, kind: EvKind, seq: u64, inc: u64) {
+        self.ops += 1;
         let ev = WheelEvent { at, kind, seq, inc };
         let place = at.max(now + 1);
         debug_assert!(place > self.drained, "scheduling into a drained bucket");
@@ -133,9 +140,31 @@ impl EventWheel {
     /// Pops the next event due at or before `now`, in
     /// `(cycle, kind, seq, inc)` order.
     pub fn pop_due(&mut self, now: u64) -> Option<WheelEvent> {
+        self.ensure_current(now);
+        self.current.pop()
+    }
+
+    /// Pops the next due event only if its *requested* cycle precedes
+    /// `before`. Events requested in the past get clamped into a later
+    /// delivery pass (see the module docs) but keep their original cycle
+    /// as sort key, so the reference heap fires them ahead of everything
+    /// requested *for* the delivery cycle — this lets the engine drain
+    /// exactly those stragglers before its off-wheel event structures.
+    pub fn pop_due_before(&mut self, now: u64, before: u64) -> Option<WheelEvent> {
+        self.ensure_current(now);
+        if self.current.last().is_some_and(|ev| ev.at < before) {
+            self.current.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Refills `current` with the earliest due bucket so its tail is the
+    /// next event due at or before `now` (leaves it empty if none is).
+    fn ensure_current(&mut self, now: u64) {
         loop {
-            if let Some(ev) = self.current.pop() {
-                return Some(ev);
+            if !self.current.is_empty() {
+                return;
             }
             // With an empty ring the window can fast-forward, so overflow
             // events far beyond the old window stay reachable after a
@@ -161,7 +190,7 @@ impl EventWheel {
                 self.earliest = self.earliest.min(at);
             }
             if self.earliest > now {
-                return None;
+                return;
             }
             // Take the earliest bucket and sort it into heap order.
             let cy = self.earliest;
@@ -220,6 +249,13 @@ impl EventWheel {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Events scheduled since construction (or since the last snapshot
+    /// restore — the counter is diagnostic state, not serialised).
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
 }
 
 sqip_snapshot::snapshot_struct!(WheelEvent { at, kind, seq, inc });
@@ -274,6 +310,7 @@ impl sqip_snapshot::Snapshot for EventWheel {
             ring_len,
             current,
             spare: Vec::new(),
+            ops: 0,
         })
     }
 }

@@ -320,6 +320,31 @@ impl<'t> Processor<'t> {
         }
     }
 
+    /// The event engine's scheduling-cost counters (wheel ops, off-wheel
+    /// ops, broadcasts delivered, ready-lane touches) accumulated since
+    /// construction. `None` under the reference engine, which carries no
+    /// scheduler instrumentation. Diagnostic state: never part of
+    /// [`SimStats`] or checkpoints, so reading it cannot perturb
+    /// bit-identity.
+    #[must_use]
+    pub fn sched_counters(&self) -> Option<crate::engine::SchedCounters> {
+        match &self.core {
+            Core::Event(c) => Some(c.sched_counters()),
+            Core::Reference(_) => None,
+        }
+    }
+
+    /// Test knob: routes every broadcast and speculative store wake
+    /// through the event wheel (the pre-fusion scheduling shape) so
+    /// differential tests can pin the fused off-wheel path bit-identical
+    /// against it. No-op under the reference engine.
+    #[doc(hidden)]
+    pub fn set_wheel_only_scheduling(&mut self, on: bool) {
+        if let Core::Event(c) = &mut self.core {
+            c.wheel_only_broadcasts = on;
+        }
+    }
+
     /// Advances the simulation by one *step*.
     ///
     /// Under the reference engine a step is exactly one cycle. Under the

@@ -690,6 +690,99 @@ mod engine_tests {
         assert_eq!(run(Engine::Event), run(Engine::Reference));
     }
 
+    /// Negative path for the fused scheduler's liveness exemption:
+    /// replay-heavy code under constant branch mispredicts leaves stale
+    /// Exec/Wake/broadcast entries in the near rings and on the wheel
+    /// after every squash, and replays re-register waiters while those
+    /// stale events still drain. The incarnation checks (and cleared
+    /// waiter rings) must make every stale delivery a no-op: fused,
+    /// wheel-only and reference runs stay bit-identical, with the
+    /// squash + replay traffic provably present.
+    #[test]
+    fn replay_while_squashed_drops_stale_events_in_every_shape() {
+        let mut b = ProgramBuilder::new();
+        let (ctr, v, t, p, c, one) = (
+            Reg::new(1),
+            Reg::new(2),
+            Reg::new(3),
+            Reg::new(4),
+            Reg::new(5),
+            Reg::new(6),
+        );
+        b.load_imm(ctr, 300);
+        b.load_imm(p, 0x20_0000);
+        b.load_imm(one, 1);
+        let top = b.label("top");
+        // A cold strided load (misses, replays its consumers) feeding a
+        // data-dependent branch (mispredicts, squashes those consumers).
+        b.load(DataSize::Quad, v, p, 0);
+        b.and(c, ctr, one);
+        b.store(DataSize::Quad, c, Reg::ZERO, 0x100);
+        b.load(DataSize::Quad, t, Reg::ZERO, 0x100);
+        let skip = b.forward_label("skip");
+        b.branch_z_to(t, &skip);
+        b.add_imm(v, v, 3);
+        b.place(&skip);
+        b.add_imm(p, p, 4096);
+        b.add_imm(ctr, ctr, -1);
+        b.branch_nz(ctr, top);
+        b.halt();
+        let trace = trace_program(&b.build().unwrap(), 1_000_000).unwrap();
+
+        let run = |engine: Engine, wheel_only: bool| {
+            let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+            cfg.engine = engine;
+            let mut proc = Processor::new(cfg, &trace);
+            proc.set_wheel_only_scheduling(wheel_only);
+            proc.try_run().expect("run completes")
+        };
+        let fused = run(Engine::Event, false);
+        assert!(fused.flushes > 0, "no squashes: test exercises nothing");
+        assert!(fused.replays > 0, "no replays: test exercises nothing");
+        assert_eq!(fused, run(Engine::Event, true), "fused vs wheel-only");
+        assert_eq!(fused, run(Engine::Reference, false), "event vs reference");
+    }
+
+    /// Negative path for the fused drain order: a single-cycle ALU
+    /// dependency chain makes every consumer's wake arrive the same
+    /// cycle it must issue, so near-ring broadcasts, ready-lane
+    /// insertion and issue selection interlock cycle by cycle. Any
+    /// off-by-one in the drain phases (wake delivered after issue
+    /// selection, or an Exec before a same-cycle broadcast) changes the
+    /// cycle count; all three scheduling shapes must agree.
+    #[test]
+    fn same_cycle_issue_and_wake_ordering_is_shape_invariant() {
+        let mut b = ProgramBuilder::new();
+        let ctr = Reg::new(1);
+        b.load_imm(ctr, 200);
+        for r in 2..10 {
+            b.load_imm(Reg::new(r), i64::from(r));
+        }
+        let top = b.label("top");
+        // An 8-deep chain of 1-cycle ops: each wake must land exactly
+        // when its consumer selects, every cycle.
+        for r in 2..9 {
+            b.add_imm(Reg::new(r + 1), Reg::new(r), 1);
+        }
+        b.xor(Reg::new(2), Reg::new(9), Reg::new(2));
+        b.add_imm(ctr, ctr, -1);
+        b.branch_nz(ctr, top);
+        b.halt();
+        let trace = trace_program(&b.build().unwrap(), 1_000_000).unwrap();
+
+        let run = |engine: Engine, wheel_only: bool| {
+            let mut cfg = SimConfig::with_design(SqDesign::Indexed3FwdDly);
+            cfg.engine = engine;
+            let mut proc = Processor::new(cfg, &trace);
+            proc.set_wheel_only_scheduling(wheel_only);
+            proc.try_run().expect("run completes")
+        };
+        let fused = run(Engine::Event, false);
+        assert_eq!(fused.committed, trace.len() as u64);
+        assert_eq!(fused, run(Engine::Event, true), "fused vs wheel-only");
+        assert_eq!(fused, run(Engine::Reference, false), "event vs reference");
+    }
+
     /// `run_until` is cycle-exact under skip-ahead: the event engine
     /// lands on the requested cycle even when it falls mid-idle-stretch.
     #[test]

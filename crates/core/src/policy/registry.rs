@@ -1,6 +1,6 @@
 //! The global design registry: name → capabilities + policy factory.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock, RwLock};
 
 use crate::config::{SimConfig, SqDesign};
@@ -66,7 +66,7 @@ pub struct DesignRegistry {
 
 #[derive(Default)]
 struct Inner {
-    entries: HashMap<&'static str, Entry>,
+    entries: BTreeMap<&'static str, Entry>,
     /// Registration order, for stable `names()` listings.
     order: Vec<&'static str>,
 }

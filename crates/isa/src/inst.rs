@@ -43,7 +43,7 @@ impl StaticInst {
     /// The registers this instruction reads, zero register excluded
     /// (reads of `r0` never create dependences).
     #[must_use]
-    pub fn sources(&self) -> [Option<Reg>; 2] {
+    pub fn sources(&self) -> [Option<Reg>; crate::MAX_SRCS] {
         let keep = |r: Option<Reg>| r.filter(|r| !r.is_zero());
         [keep(self.src1), keep(self.src2)]
     }

@@ -62,5 +62,5 @@ pub use program::{Label, Program, ProgramBuilder};
 pub use reg::{Reg, NUM_REGS};
 pub use source::{ProgramSource, TraceCursor, TraceSource};
 pub use tee::{TeeCursor, TeePoll, TraceTee};
-pub use trace::{trace_program, trace_program_with_state, Trace, TraceRecord};
+pub use trace::{trace_program, trace_program_with_state, Trace, TraceRecord, MAX_SRCS};
 pub use tracefile::{record_trace, TraceReader, TraceWriter};

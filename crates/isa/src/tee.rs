@@ -470,7 +470,7 @@ impl TraceSource for TeeCursor<'_> {
         }
     }
 
-    /// Like [`TeeCursor::poll_block`], with [`TeeBlockPoll::Blocked`]
+    /// Like [`TeeCursor::poll_block`], with `TeeBlockPoll::Blocked`
     /// mapped to [`IsaError::TraceIo`] (see
     /// [`next_record`](TeeCursor::next_record) for why a well-scheduled
     /// cursor never observes it).
@@ -643,16 +643,25 @@ mod tests {
         let mut b_cursor = cursors.pop().unwrap();
         let mut a_cursor = cursors.pop().unwrap();
         for _ in 0..8 {
-            assert!(matches!(a_cursor.poll_record().unwrap(), TeePoll::Record(_)));
+            assert!(matches!(
+                a_cursor.poll_record().unwrap(),
+                TeePoll::Record(_)
+            ));
         }
         assert_eq!(a_cursor.poll_record().unwrap(), TeePoll::Blocked);
         assert!(!tee.is_failed(), "backpressure is not failure");
         for _ in 0..5 {
-            assert!(matches!(b_cursor.poll_record().unwrap(), TeePoll::Record(_)));
+            assert!(matches!(
+                b_cursor.poll_record().unwrap(),
+                TeePoll::Record(_)
+            ));
         }
         // A consumes the remaining budget and trips the upstream error.
         for _ in 8..12 {
-            assert!(matches!(a_cursor.poll_record().unwrap(), TeePoll::Record(_)));
+            assert!(matches!(
+                a_cursor.poll_record().unwrap(),
+                TeePoll::Record(_)
+            ));
         }
         let err = a_cursor.poll_record().unwrap_err();
         assert_eq!(err, IsaError::InstructionBudgetExceeded { budget: 12 });
@@ -663,7 +672,10 @@ mod tests {
         assert_eq!(a_cursor.poll_record().unwrap_err(), err);
         // The laggard replays the buffered tail, then hits the same error.
         for _ in 5..12 {
-            assert!(matches!(b_cursor.poll_record().unwrap(), TeePoll::Record(_)));
+            assert!(matches!(
+                b_cursor.poll_record().unwrap(),
+                TeePoll::Record(_)
+            ));
         }
         assert_eq!(b_cursor.poll_record().unwrap_err(), err);
     }

@@ -10,6 +10,15 @@ use crate::op::Op;
 use crate::program::Program;
 use crate::reg::Reg;
 
+/// Maximum source operands one instruction can carry.
+///
+/// Every fixed per-instruction operand buffer in the simulator — the
+/// record's `srcs`, the in-flight operand array, the scheduler's replay
+/// wake buffer — is sized by this bound, so an ISA extension past two
+/// sources is a change *here* that the type system then carries through
+/// each of them (instead of a panic in the issue hot loop).
+pub const MAX_SRCS: usize = 2;
+
 /// One dynamic instruction of the golden execution.
 ///
 /// `addr` and `result` are *architectural* (correct) values. The timing
@@ -28,7 +37,7 @@ pub struct TraceRecord {
     /// Destination register (zero register filtered out).
     pub dst: Option<Reg>,
     /// Source registers (zero register filtered out).
-    pub srcs: [Option<Reg>; 2],
+    pub srcs: [Option<Reg>; MAX_SRCS],
     /// The instruction's immediate.
     pub imm: i64,
     /// Effective address for loads/stores.
@@ -145,7 +154,8 @@ impl Trace {
         }
         // Byte-granular map from address to the index (in dynamic stores) of
         // the last store writing it.
-        let mut last_store: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        let mut last_store: std::collections::BTreeMap<u64, u64> =
+            std::collections::BTreeMap::new();
         let mut store_count: u64 = 0;
         let mut forwarding_loads: u64 = 0;
         for r in &self.records {

@@ -17,7 +17,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: sqipd [--addr HOST:PORT] [--queue-cap N] [--workers N] \
          [--job-threads N] [--max-cells N] [--default-timeout-ms N] \
-         [--journal PATH]"
+         [--journal PATH] [--rate PER_SEC[:BURST]]"
     );
     std::process::exit(2);
 }
@@ -49,6 +49,7 @@ fn main() {
             "--max-cells" => cfg.max_cells_per_job = parse(&arg, it.next()),
             "--default-timeout-ms" => cfg.default_timeout_ms = parse(&arg, it.next()),
             "--journal" => cfg.journal = Some(parse::<std::path::PathBuf>(&arg, it.next())),
+            "--rate" => cfg.rate = Some(parse(&arg, it.next())),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown flag `{other}`");

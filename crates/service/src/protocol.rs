@@ -138,6 +138,12 @@ pub struct StatsSnapshot {
     /// Worker threads configured — with `queue_capacity`, the sizing a
     /// load generator needs to provoke admission control.
     pub workers: u64,
+    /// Submits turned away by per-client rate limiting (a subset of
+    /// `rejected`). Always `0` when the server has no `--rate`.
+    pub rate_limited: u64,
+    /// Per-client token buckets currently tracked (one per connection
+    /// that has submitted under a rate limit; dropped on disconnect).
+    pub rate_clients: u64,
 }
 
 fn obj(fields: Vec<(&str, Value)>) -> Value {

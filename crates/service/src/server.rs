@@ -20,7 +20,10 @@
 //! [`RESPONSE_CHANNEL_DEPTH`] messages. A worker streaming rows to a
 //! client that has stopped reading blocks on that bounded channel,
 //! polling its cancel token — so a stalled client wedges only its own
-//! jobs until their timeout fires, never the server.
+//! jobs until their timeout fires, never the server. With
+//! [`ServerConfig::rate`] set, a per-client token bucket additionally
+//! bounds how fast any one connection may *submit* — overflow gets a
+//! clean rejection, never a stalled or dropped connection.
 
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
@@ -72,6 +75,10 @@ pub struct ServerConfig {
     /// settle — the process was killed, or shut down with work queued
     /// or running — are re-queued by the next server that opens it.
     pub journal: Option<std::path::PathBuf>,
+    /// Per-client submit rate limit; `None` (the default) admits at any
+    /// rate the queue can absorb. Each connection gets its own token
+    /// bucket, so one chatty client exhausts only its own budget.
+    pub rate: Option<RateLimit>,
 }
 
 impl Default for ServerConfig {
@@ -83,8 +90,93 @@ impl Default for ServerConfig {
             default_timeout_ms: 300_000,
             max_cells_per_job: 256,
             journal: None,
+            rate: None,
         }
     }
+}
+
+/// A token-bucket submit rate: a sustained `per_sec` jobs per second
+/// with bursts of up to `burst` back-to-back submits.
+///
+/// Parses from `"<per_sec>"` or `"<per_sec>:<burst>"` (the `--rate`
+/// flag's syntax); a bare rate gets `burst = per_sec`. Submits beyond
+/// the budget are answered with a clean [`Response::Rejected`] — the
+/// connection stays usable and the client may retry after backing off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RateLimit {
+    /// Sustained refill rate, tokens (= submits) per second. Never zero.
+    pub per_sec: u64,
+    /// Bucket capacity: how many submits may arrive back-to-back before
+    /// the sustained rate applies. Never zero.
+    pub burst: u64,
+}
+
+impl std::str::FromStr for RateLimit {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (rate, burst) = match s.split_once(':') {
+            Some((rate, burst)) => (rate, Some(burst)),
+            None => (s, None),
+        };
+        let per_sec: u64 = rate
+            .parse()
+            .map_err(|_| format!("invalid rate `{rate}` (want jobs/s)"))?;
+        let burst: u64 = match burst {
+            Some(b) => b
+                .parse()
+                .map_err(|_| format!("invalid burst `{b}` (want a job count)"))?,
+            None => per_sec,
+        };
+        if per_sec == 0 || burst == 0 {
+            return Err("rate and burst must both be at least 1".into());
+        }
+        Ok(RateLimit { per_sec, burst })
+    }
+}
+
+/// Micro-tokens per token: integer refill math at microsecond
+/// granularity, so fractional refills accumulate instead of rounding to
+/// zero between closely spaced submits.
+const MICRO: u64 = 1_000_000;
+
+impl RateLimit {
+    /// Takes one token from `bucket` at time `now`, refilling first.
+    /// Returns whether the submit is admitted.
+    fn admit(&self, bucket: &mut Bucket, now: Instant) -> bool {
+        let elapsed = now.saturating_duration_since(bucket.refilled_at);
+        let refill = u64::try_from(elapsed.as_micros())
+            .unwrap_or(u64::MAX)
+            .saturating_mul(self.per_sec);
+        bucket.micro_tokens = bucket
+            .micro_tokens
+            .saturating_add(refill)
+            .min(self.burst.saturating_mul(MICRO));
+        bucket.refilled_at = now;
+        if bucket.micro_tokens >= MICRO {
+            bucket.micro_tokens -= MICRO;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A fresh, full bucket — a new client may burst immediately.
+    fn full_bucket(&self, now: Instant) -> Bucket {
+        Bucket {
+            micro_tokens: self.burst.saturating_mul(MICRO),
+            refilled_at: now,
+        }
+    }
+}
+
+/// One client's token-bucket state (see [`RateLimit`]).
+struct Bucket {
+    /// Remaining budget in micro-tokens ([`MICRO`] per submit).
+    micro_tokens: u64,
+    /// When the bucket last refilled; elapsed wall time since then is
+    /// the next refill's credit.
+    refilled_at: Instant,
 }
 
 /// A job sitting in the queue: the validated experiment plus everything
@@ -135,6 +227,7 @@ struct Counters {
     cancelled: AtomicU64,
     failed: AtomicU64,
     running: AtomicU64,
+    rate_limited: AtomicU64,
 }
 
 struct Shared {
@@ -148,6 +241,10 @@ struct Shared {
     seq: AtomicU64,
     next_client: AtomicU64,
     counters: Counters,
+    /// Per-client token buckets, present only when `cfg.rate` is set.
+    /// Entries are created on a client's first submit and dropped when
+    /// its connection ends.
+    buckets: Mutex<BTreeMap<u64, Bucket>>,
 }
 
 impl Shared {
@@ -164,6 +261,8 @@ impl Shared {
             queue_high_water: self.queue.high_water() as u64,
             running: self.counters.running.load(Ordering::Relaxed),
             workers: self.cfg.workers as u64,
+            rate_limited: self.counters.rate_limited.load(Ordering::Relaxed),
+            rate_clients: lock_unpoisoned(&self.buckets).len() as u64,
         }
     }
 
@@ -284,6 +383,7 @@ impl Server {
                 seq: AtomicU64::new(0),
                 next_client: AtomicU64::new(1),
                 counters: Counters::default(),
+                buckets: Mutex::new(BTreeMap::new()),
             }),
             recovered,
         })
@@ -682,6 +782,8 @@ fn serve_connection(shared: &Arc<Shared>, client: u64, stream: TcpStream) {
         }
         shared.counters.cancelled.fetch_add(1, Ordering::Relaxed);
     }
+    // The client id is never reused, so its bucket is dead state now.
+    lock_unpoisoned(&shared.buckets).remove(&client);
     drop(tx);
     let _ = writer.join();
     let _ = stream.shutdown(std::net::Shutdown::Both);
@@ -800,6 +902,34 @@ fn handle_submit(
             },
         );
         return;
+    }
+
+    // Rate limiting comes before validation on purpose: a limited
+    // client must not be able to spend server CPU on spec expansion.
+    if let Some(rate) = &shared.cfg.rate {
+        let now = Instant::now();
+        let mut buckets = lock_unpoisoned(&shared.buckets);
+        let bucket = buckets
+            .entry(client)
+            .or_insert_with(|| rate.full_bucket(now));
+        let admitted = rate.admit(bucket, now);
+        drop(buckets);
+        if !admitted {
+            shared.counters.rate_limited.fetch_add(1, Ordering::Relaxed);
+            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            send_response(
+                tx,
+                None,
+                Response::Rejected {
+                    id,
+                    reason: format!(
+                        "rate limited: this client may submit {}/s (burst {})",
+                        rate.per_sec, rate.burst
+                    ),
+                },
+            );
+            return;
+        }
     }
 
     // Validate before admission: a spec that cannot build an experiment

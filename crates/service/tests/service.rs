@@ -198,6 +198,72 @@ fn scheduling_is_client_fair() {
     server.shutdown();
 }
 
+/// Per-client rate limiting: a burst beyond the bucket is rejected with
+/// a reason, other clients keep their own budgets, and the bucket
+/// refills at the sustained rate.
+#[test]
+fn rate_limit_rejects_burst_overflow_per_client() {
+    let server = spawn(ServerConfig {
+        rate: Some("1:2".parse().unwrap()),
+        ..ServerConfig::default()
+    });
+    let mut conn = Connection::connect(server.addr()).unwrap();
+
+    // Burst of 2: the first two submits are admitted back-to-back...
+    for (id, seed) in [("r0", 0x20u64), ("r1", 0x21)] {
+        conn.send(&Request::Submit {
+            id: id.into(),
+            spec: long_spec(seed),
+            timeout_ms: None,
+        })
+        .unwrap();
+        assert!(matches!(conn.recv().unwrap(), Response::Accepted { .. }));
+    }
+    // ...and the third is turned away, naming the budget.
+    conn.send(&Request::Submit {
+        id: "r2".into(),
+        spec: long_spec(0x22),
+        timeout_ms: None,
+    })
+    .unwrap();
+    match conn.recv().unwrap() {
+        Response::Rejected { id, reason } => {
+            assert_eq!(id, "r2");
+            assert!(reason.contains("rate"), "reason: {reason}");
+        }
+        other => panic!("expected rate rejection, got {other:?}"),
+    }
+    let stats = server.stats();
+    assert_eq!(stats.rate_limited, 1);
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.rate_clients, 1, "one bucket for the one submitter");
+
+    // A second client draws on its own bucket — not starved by the first.
+    let mut other = Connection::connect(server.addr()).unwrap();
+    other
+        .send(&Request::Submit {
+            id: "s0".into(),
+            spec: long_spec(0x23),
+            timeout_ms: None,
+        })
+        .unwrap();
+    assert!(matches!(other.recv().unwrap(), Response::Accepted { .. }));
+    assert_eq!(server.stats().rate_clients, 2);
+
+    // The bucket refills at 1 token/s: after a second the first client
+    // submits again.
+    std::thread::sleep(Duration::from_millis(1100));
+    conn.send(&Request::Submit {
+        id: "r3".into(),
+        spec: long_spec(0x24),
+        timeout_ms: None,
+    })
+    .unwrap();
+    assert!(matches!(conn.recv().unwrap(), Response::Accepted { .. }));
+
+    server.shutdown();
+}
+
 /// A per-job timeout cancels a long job promptly, reporting `timeout`.
 #[test]
 fn timeouts_cancel_with_reason() {

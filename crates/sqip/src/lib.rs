@@ -96,10 +96,11 @@ pub use sweep::{
 // The simulator core: configs, stats, the resumable processor, its
 // observation hooks, and the open design-policy API.
 pub use sqip_core::{
-    oracle_tap, BuiltinPolicy, DesignCaps, DesignRegistry, Engine, ForwardingPolicy,
-    LoadCommitInfo, LoadRename, ObserverAction, OracleBuilder, OracleFeed, OracleFwd, OracleHint,
-    OracleInfo, OracleTap, OrderingMode, ParseDesignError, PipelineView, Processor, RegistryError,
-    SimConfig, SimError, SimObserver, SimStats, SqDesign, SqProbe, StepOutcome,
+    engine::SchedCounters, oracle_tap, BuiltinPolicy, DesignCaps, DesignRegistry, Engine,
+    ForwardingPolicy, LoadCommitInfo, LoadRename, ObserverAction, OracleBuilder, OracleFeed,
+    OracleFwd, OracleHint, OracleInfo, OracleTap, OrderingMode, ParseDesignError, PipelineView,
+    Processor, RegistryError, SimConfig, SimError, SimObserver, SimStats, SqDesign, SqProbe,
+    StepOutcome,
 };
 // The checkpoint container: [`Processor::checkpoint`]/[`Processor::restore`]
 // speak this format, and the result cache addresses entries by [`Fnv`].

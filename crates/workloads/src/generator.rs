@@ -129,7 +129,11 @@ pub struct GeneratorError {
 
 impl std::fmt::Display for GeneratorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "invalid `{}:` generator parameters: {}", self.family, self.detail)
+        write!(
+            f,
+            "invalid `{}:` generator parameters: {}",
+            self.family, self.detail
+        )
     }
 }
 
@@ -275,13 +279,13 @@ mod tests {
     #[test]
     fn malformed_generator_parameters_are_described() {
         for (bad, expect) in [
-            ("mix:0xbeef", "does not match"),      // missing length
-            ("chase:64:1m", "does not match"),     // missing stride
-            ("stride:x:1m", "is not a number"),    // junk number
-            ("mix:zz:1m", "not a decimal"),        // junk seed
-            ("mix:1:0", "must be nonzero"),        // zero length
-            ("mix:1:20000000000b", "overflows"),   // 2e10 × 1e9 wraps u64
-            ("stride:4096:", "is empty"),          // empty count
+            ("mix:0xbeef", "does not match"),    // missing length
+            ("chase:64:1m", "does not match"),   // missing stride
+            ("stride:x:1m", "is not a number"),  // junk number
+            ("mix:zz:1m", "not a decimal"),      // junk seed
+            ("mix:1:0", "must be nonzero"),      // zero length
+            ("mix:1:20000000000b", "overflows"), // 2e10 × 1e9 wraps u64
+            ("stride:4096:", "is empty"),        // empty count
         ] {
             let err = parse_generator(bad).unwrap_err();
             assert!(
